@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Ablations of the reproduction's design choices (DESIGN.md Sec. 5):
+ *
+ *  1. DDMU fitting mode: the paper's two-point solve vs exact
+ *     composition, per accumulator kind;
+ *  2. Maiter-style selective scheduling in the Ligra-o baseline
+ *     (what "asynchronous execution [64]" buys the baseline);
+ *  3. the individual accelerator mechanisms (hardware worklist,
+ *     worklist-directed prefetch, in-hierarchy scatter) applied one
+ *     at a time on top of Ligra-o;
+ *  4. the hub index itself (DepGraph-H vs DepGraph-H-w), per
+ *     algorithm class.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "depgraph/executor.hh"
+#include "runtime/soft_engine.hh"
+
+using namespace depgraph;
+using namespace depgraph::bench;
+
+namespace
+{
+
+runtime::RunResult
+runEngine(runtime::Engine &e, const SystemConfig &cfg,
+          const graph::Graph &g, const std::string &algo)
+{
+    sim::Machine m(cfg.machine);
+    const auto alg = gas::makeAlgorithm(algo);
+    return e.run(g, *alg, m);
+}
+
+void
+fitModeAblation(const BenchEnv &env, const graph::Graph &g)
+{
+    std::printf("--- 1. DDMU fitting mode (FS) ---\n");
+    Table t({"algorithm", "fit", "sim_ms", "updates", "shortcuts"});
+    for (const auto *algo : {"pagerank", "sssp", "wcc"}) {
+        for (auto fit : {dep::FitMode::TwoPoint,
+                         dep::FitMode::Compose}) {
+            dep::DepOptions d;
+            d.mode = dep::Mode::Hardware;
+            d.fitMode = fit;
+            dep::DepGraphExecutor e(d, env.config().engine);
+            const auto r = runEngine(e, env.config(), g, algo);
+            t.addRow({algo,
+                      fit == dep::FitMode::TwoPoint ? "two-point"
+                                                    : "compose",
+                      Table::fmt(simMs(r.metrics.makespan), 3),
+                      Table::fmt(r.metrics.updates),
+                      Table::fmt(r.metrics.shortcutsApplied)});
+        }
+    }
+    t.print();
+}
+
+void
+selectiveAblation(const BenchEnv &env, const graph::Graph &g)
+{
+    std::printf("\n--- 2. Maiter-style selective scheduling in "
+                "Ligra-o (FS, pagerank) ---\n");
+    Table t({"selective", "sim_ms", "updates", "rounds"});
+    for (bool sel : {false, true}) {
+        runtime::SoftEngine e(
+            runtime::SoftConfig{"Ligra-o",
+                                runtime::Schedule::PriorityDelta, true,
+                                false, false, false, false, sel},
+            env.config().engine);
+        const auto r = runEngine(e, env.config(), g, "pagerank");
+        t.addRow({sel ? "on" : "off",
+                  Table::fmt(simMs(r.metrics.makespan), 3),
+                  Table::fmt(r.metrics.updates),
+                  Table::fmt(std::uint64_t{r.metrics.rounds})});
+    }
+    t.print();
+}
+
+void
+mechanismAblation(const BenchEnv &env, const graph::Graph &g)
+{
+    std::printf("\n--- 3. accelerator mechanisms on Ligra-o "
+                "(FS, pagerank) ---\n");
+    struct Mech
+    {
+        const char *name;
+        runtime::SoftConfig cfg;
+    };
+    const runtime::SoftConfig base{
+        "Ligra-o", runtime::Schedule::PriorityDelta, true, false,
+        false, false, false, true};
+    std::vector<Mech> mechs;
+    mechs.push_back({"baseline", base});
+    {
+        auto c = base;
+        c.hwWorklist = true;
+        mechs.push_back({"+hw worklist", c});
+    }
+    {
+        auto c = base;
+        c.hwWorklist = true;
+        c.prefetchVertexData = true;
+        mechs.push_back({"+worklist prefetch", c});
+    }
+    {
+        auto c = base;
+        c.cheapScatter = true;
+        mechs.push_back({"+in-hierarchy scatter", c});
+    }
+    {
+        auto c = base;
+        c.hwScheduler = true;
+        c.schedule = runtime::Schedule::PathSweep;
+        mechs.push_back({"+hw BDFS scheduling", c});
+    }
+
+    Table t({"mechanism", "sim_ms", "speedup"});
+    double base_ms = 0.0;
+    for (const auto &m : mechs) {
+        runtime::SoftEngine e(m.cfg, env.config().engine);
+        const auto r = runEngine(e, env.config(), g, "pagerank");
+        const double ms = simMs(r.metrics.makespan);
+        if (m.name == std::string("baseline"))
+            base_ms = ms;
+        t.addRow({m.name, Table::fmt(ms, 3),
+                  Table::fmt(base_ms / ms, 2) + "x"});
+    }
+    t.print();
+}
+
+void
+hubAblation(const BenchEnv &env, const graph::Graph &g)
+{
+    std::printf("\n--- 4. hub index per algorithm class (FS) ---\n");
+    Table t({"algorithm", "variant", "sim_ms", "updates", "rounds"});
+    for (const auto *algo : {"pagerank", "sssp", "wcc",
+                             "adsorption"}) {
+        for (bool hub : {false, true}) {
+            dep::DepOptions d;
+            d.mode = dep::Mode::Hardware;
+            d.hubIndexEnabled = hub;
+            dep::DepGraphExecutor e(d, env.config().engine);
+            const auto r = runEngine(e, env.config(), g, algo);
+            t.addRow({algo, hub ? "DepGraph-H" : "DepGraph-H-w",
+                      Table::fmt(simMs(r.metrics.makespan), 3),
+                      Table::fmt(r.metrics.updates),
+                      Table::fmt(std::uint64_t{r.metrics.rounds})});
+        }
+    }
+    t.print();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchEnv env;
+    env.parse(argc, argv);
+    banner("Design ablations",
+           "internal: quantifies each design choice of the "
+           "reproduction (no direct paper figure)",
+           env);
+    const auto g = graph::makeDataset("FS", env.scale);
+    fitModeAblation(env, g);
+    selectiveAblation(env, g);
+    mechanismAblation(env, g);
+    hubAblation(env, g);
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benchmarks.
+ *
+ * Every binary in bench/ regenerates one table or figure of the
+ * paper's evaluation (Sec. IV). Common knobs:
+ *   --scale  linear scale factor on the dataset stand-ins (default
+ *            0.20: benchmarks complete in minutes on one host);
+ *   --cores  simulated cores. The default is 16 rather than the
+ *            paper's 64 to keep the vertices-per-core ratio in a
+ *            realistic band for the scaled-down graphs (the paper has
+ *            ~1M vertices per core; 64 cores on a 10k-vertex stand-in
+ *            would make virtually every edge cross-partition, a regime
+ *            none of the solutions was designed for). Pass --cores=64
+ *            for the literal Table II machine.
+ *
+ * Shapes (who wins, by what rough factor) are the reproduction target;
+ * absolute numbers shift with --scale. Each binary prints the paper's
+ * reported numbers next to the measured ones.
+ */
+
+#ifndef DEPGRAPH_BENCH_BENCH_UTIL_HH
+#define DEPGRAPH_BENCH_BENCH_UTIL_HH
+
+#include <string>
+#include <vector>
+
+#include "common/options.hh"
+#include "common/table.hh"
+#include "core/depgraph_system.hh"
+#include "graph/datasets.hh"
+#include "graph/generators.hh"
+
+namespace depgraph::bench
+{
+
+struct BenchEnv
+{
+    double scale = 0.20;
+    unsigned cores = 16;
+    Options opts;
+
+    /** Declare the common flags, parse, and fill the fields. Extra
+     * flags must be declared on `opts` before calling. */
+    void
+    parse(int argc, char **argv)
+    {
+        opts.declare("scale", std::to_string(scale),
+                     "dataset scale factor");
+        opts.declare("cores", std::to_string(cores),
+                     "simulated core count");
+        opts.parse(argc, argv);
+        scale = opts.getDouble("scale");
+        cores = static_cast<unsigned>(opts.getInt("cores"));
+    }
+
+    /** The Table II machine restricted to `cores` cores. */
+    SystemConfig
+    config() const
+    {
+        SystemConfig cfg;
+        cfg.machine.numCores = cores;
+        cfg.engine.numCores = cores;
+        return cfg;
+    }
+};
+
+/** One engine run on a fresh machine; convenience wrapper. */
+inline runtime::RunResult
+runOne(const SystemConfig &cfg, const graph::Graph &g,
+       const std::string &algo, Solution s)
+{
+    DepGraphSystem sys(cfg);
+    return sys.run(g, algo, s);
+}
+
+/** Header banner tying the binary to its figure/table. */
+inline void
+banner(const std::string &what, const std::string &paper_summary,
+       const BenchEnv &env)
+{
+    std::printf("=== %s ===\n", what.c_str());
+    std::printf("paper reports: %s\n", paper_summary.c_str());
+    std::printf("run config: scale=%.2f cores=%u (Table II machine)\n\n",
+                env.scale, env.cores);
+}
+
+/** Milliseconds of simulated time at the Table II clock. */
+inline double
+simMs(Cycles cycles, double freq_ghz = 2.5)
+{
+    return static_cast<double>(cycles) / (freq_ghz * 1e6);
+}
+
+} // namespace depgraph::bench
+
+#endif // DEPGRAPH_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Reproduces Fig. 11: speedup over Ligra-o of HATS, Minnow, PHI,
+ * DepGraph-H-w (hub index disabled), and DepGraph-H (paper: DepGraph-H
+ * beats HATS/Minnow/PHI by up to 3.0-14.2x / 2.2-5.8x / 2.4-10.1x and
+ * the hub index contributes 56.9-71.5% of its improvement).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+using namespace depgraph;
+using namespace depgraph::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchEnv env;
+    env.parse(argc, argv);
+    banner("Fig. 11: speedup over Ligra-o",
+           "DepGraph-H is the fastest solution on every dataset and "
+           "algorithm; DepGraph-H-w isolates the hub index's share",
+           env);
+
+    const std::vector<Solution> contenders = {
+        Solution::Hats,          Solution::Minnow,
+        Solution::Phi,           Solution::DepGraphHNoHub,
+        Solution::DepGraphH,
+    };
+
+    Table t({"dataset", "algorithm", "HATS", "Minnow", "PHI",
+             "DG-H-w", "DG-H"});
+    for (const auto &ds : graph::datasetNames()) {
+        const auto g = graph::makeDataset(ds, env.scale);
+        for (const auto &algo : gas::paperAlgorithms()) {
+            const auto base =
+                runOne(env.config(), g, algo, Solution::LigraO);
+            std::vector<std::string> row{ds, algo};
+            for (auto s : contenders) {
+                const auto r = runOne(env.config(), g, algo, s);
+                row.push_back(Table::fmt(
+                    static_cast<double>(base.metrics.makespan)
+                        / static_cast<double>(r.metrics.makespan),
+                    2) + "x");
+            }
+            t.addRow(row);
+        }
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Reproduces Fig. 13: scalability with core count on FS (paper:
+ * DepGraph-H keeps improving as cores grow because its effective data
+ * parallelism holds; HATS/Minnow/PHI flatten as stale updates grow
+ * with the thread count).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+using namespace depgraph;
+using namespace depgraph::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchEnv env;
+    env.parse(argc, argv);
+    banner("Fig. 13: scalability with core count (FS, pagerank)",
+           "DepGraph-H scales better than HATS/Minnow/PHI up to 64 "
+           "cores",
+           env);
+
+    const auto g = graph::makeDataset("FS", env.scale);
+    Table t({"cores", "Ligra-o", "HATS", "Minnow", "PHI", "DG-H",
+             "DG-H speedup"});
+    for (unsigned c : {8u, 16u, 32u, 64u}) {
+        auto cfg = env.config();
+        cfg.machine.numCores = c;
+        cfg.engine.numCores = c;
+        std::vector<std::string> row{
+            Table::fmt(std::uint64_t{c})};
+        double base_ms = 0.0, dg_ms = 0.0;
+        for (auto s : {Solution::LigraO, Solution::Hats,
+                       Solution::Minnow, Solution::Phi,
+                       Solution::DepGraphH}) {
+            const auto r = runOne(cfg, g, "pagerank", s);
+            const double ms = simMs(r.metrics.makespan);
+            if (s == Solution::LigraO)
+                base_ms = ms;
+            if (s == Solution::DepGraphH)
+                dg_ms = ms;
+            row.push_back(Table::fmt(ms, 3));
+        }
+        row.push_back(Table::fmt(base_ms / dg_ms, 2) + "x");
+        t.addRow(row);
+    }
+    t.print();
+    return 0;
+}

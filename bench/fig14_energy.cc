@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Reproduces Fig. 14: energy to convergence on FS, normalized to the
+ * HATS-augmented system, broken down by component (paper: DepGraph-H
+ * consumes the least energy thanks to higher useful utilization and
+ * faster convergence).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+using namespace depgraph;
+using namespace depgraph::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchEnv env;
+    env.parse(argc, argv);
+    banner("Fig. 14: energy on FS normalized to HATS (pagerank)",
+           "DepGraph-H uses the least energy of all accelerated "
+           "systems",
+           env);
+
+    const auto g = graph::makeDataset("FS", env.scale);
+    double hats_total = 0.0;
+    struct Row
+    {
+        Solution s;
+        sim::EnergyBreakdown e;
+    };
+    std::vector<Row> rows;
+    for (auto s : {Solution::Hats, Solution::Minnow, Solution::Phi,
+                   Solution::DepGraphHNoHub, Solution::DepGraphH}) {
+        const auto r = runOne(env.config(), g, "pagerank", s);
+        rows.push_back({s, r.energy});
+        if (s == Solution::Hats)
+            hats_total = r.energy.totalMj();
+    }
+
+    Table t({"solution", "core", "cache", "noc", "dram", "accel",
+             "total(norm)"});
+    for (const auto &row : rows) {
+        t.addRow({solutionName(row.s),
+                  Table::fmt(row.e.coreMj / hats_total, 3),
+                  Table::fmt(row.e.cacheMj / hats_total, 3),
+                  Table::fmt(row.e.nocMj / hats_total, 3),
+                  Table::fmt(row.e.dramMj / hats_total, 3),
+                  Table::fmt(row.e.accelMj / hats_total, 3),
+                  Table::fmt(row.e.totalMj() / hats_total, 3)});
+    }
+    t.print();
+    return 0;
+}

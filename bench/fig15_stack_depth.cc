@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Reproduces Fig. 15: sensitivity of DepGraph-H to the HDTL traversal
+ * stack depth (paper: performance is almost flat beyond depth 10, so
+ * a fixed depth-10 stack suffices -- 6.1 Kbit of storage).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+using namespace depgraph;
+using namespace depgraph::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchEnv env;
+    env.parse(argc, argv);
+    banner("Fig. 15: HDTL stack-depth sensitivity (FS)",
+           "performance is flat after depth 10",
+           env);
+
+    const auto g = graph::makeDataset("FS", env.scale);
+    Table t({"stack_depth", "pagerank_ms", "sssp_ms"});
+    for (unsigned depth : {2u, 4u, 6u, 8u, 10u, 16u, 24u, 32u}) {
+        auto cfg = env.config();
+        cfg.engine.stackDepth = depth;
+        const auto pr = runOne(cfg, g, "pagerank",
+                               Solution::DepGraphH);
+        const auto sp = runOne(cfg, g, "sssp", Solution::DepGraphH);
+        t.addRow({Table::fmt(std::uint64_t{depth}),
+                  Table::fmt(simMs(pr.metrics.makespan), 3),
+                  Table::fmt(simMs(sp.metrics.makespan), 3)});
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Reproduces Fig. 17: sensitivity to the private L2 size (paper:
+ * DepGraph-H stays ahead of the other solutions as L2 grows; a larger
+ * L2 helps it because the engine fetches through the L2).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+using namespace depgraph;
+using namespace depgraph::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchEnv env;
+    env.parse(argc, argv);
+    banner("Fig. 17: L2 size sensitivity (FS, pagerank)",
+           "DepGraph-H leads at all L2 sizes",
+           env);
+
+    const auto g = graph::makeDataset("FS", env.scale);
+    Table t({"l2_kb", "Ligra-o_ms", "Minnow_ms", "DG-H_ms"});
+    for (std::size_t kb : {64u, 128u, 256u, 512u, 1024u}) {
+        auto cfg = env.config();
+        cfg.machine.l2.bytes = kb * 1024;
+        std::vector<std::string> row{Table::fmt(std::uint64_t{kb})};
+        for (auto s : {Solution::LigraO, Solution::Minnow,
+                       Solution::DepGraphH}) {
+            const auto r = runOne(cfg, g, "pagerank", s);
+            row.push_back(Table::fmt(simMs(r.metrics.makespan), 3));
+        }
+        t.addRow(row);
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Reproduces Fig. 18: sensitivity of DepGraph-H to the hub-fraction
+ * lambda and the sampling fraction beta on FS with SSSP (paper: a
+ * trade-off -- too many hubs bloat the hub index, too few miss useful
+ * core-paths; the defaults lambda=0.5%, beta=0.001 sit in the sweet
+ * spot).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+using namespace depgraph;
+using namespace depgraph::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchEnv env;
+    env.parse(argc, argv);
+    banner("Fig. 18: lambda / beta sensitivity (FS, sssp)",
+           "performance peaks near lambda=0.5%; beta mainly affects "
+           "threshold estimation",
+           env);
+
+    const auto g = graph::makeDataset("FS", env.scale);
+
+    std::printf("--- lambda sweep (beta = 0.001) ---\n");
+    Table a({"lambda", "sim_ms", "hub_entries", "hubidx_KB",
+             "shortcuts"});
+    for (double lam : {0.0005, 0.001, 0.005, 0.01, 0.05}) {
+        auto cfg = env.config();
+        cfg.engine.hub.lambda = lam;
+        // Sampling resolution must support the smallest lambda at
+        // reproduction scale (the paper's graphs are large enough
+        // that beta = 0.001 already samples thousands of vertices).
+        cfg.engine.hub.beta = 0.05;
+        const auto r = runOne(cfg, g, "sssp", Solution::DepGraphH);
+        a.addRow({Table::fmt(100.0 * lam, 2) + "%",
+                  Table::fmt(simMs(r.metrics.makespan), 3),
+                  Table::fmt(r.metrics.hubIndexInserts),
+                  Table::fmt(static_cast<double>(
+                                 r.metrics.hubIndexBytes) / 1024.0,
+                             1),
+                  Table::fmt(r.metrics.shortcutsApplied)});
+    }
+    a.print();
+
+    std::printf("\n--- beta sweep (lambda = 0.5%%) ---\n");
+    Table b({"beta", "sim_ms", "hub_entries"});
+    for (double beta : {0.0005, 0.001, 0.01, 0.1}) {
+        auto cfg = env.config();
+        cfg.engine.hub.lambda = 0.005;
+        cfg.engine.hub.beta = beta;
+        const auto r = runOne(cfg, g, "sssp", Solution::DepGraphH);
+        b.addRow({Table::fmt(beta, 4),
+                  Table::fmt(simMs(r.metrics.makespan), 3),
+                  Table::fmt(r.metrics.hubIndexInserts)});
+    }
+    b.print();
+    return 0;
+}

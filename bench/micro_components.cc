@@ -1,0 +1,120 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the simulator's hot components:
+ * cache lookups under the three replacement policies, NoC routing,
+ * hub-index probes, and the HDTL pipeline model. These measure the
+ * HOST cost of the simulation primitives (they bound how fast the
+ * figure benchmarks can run), not simulated time.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.hh"
+#include "depgraph/ddmu.hh"
+#include "depgraph/engine_model.hh"
+#include "sim/cache.hh"
+#include "sim/machine.hh"
+#include "sim/noc.hh"
+
+namespace
+{
+
+using namespace depgraph;
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    const auto policy = static_cast<sim::ReplPolicy>(state.range(0));
+    sim::Cache c("bm", 256 * 1024, 8, 64, policy);
+    Rng rng(1);
+    for (auto _ : state) {
+        const Addr a = (rng.next() & 0xfffff) << 6;
+        if (!c.access(a, false))
+            c.fill(a);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheAccess)
+    ->Arg(static_cast<int>(sim::ReplPolicy::LRU))
+    ->Arg(static_cast<int>(sim::ReplPolicy::DRRIP))
+    ->Arg(static_cast<int>(sim::ReplPolicy::GRASP));
+
+void
+BM_MachineAccess(benchmark::State &state)
+{
+    sim::MachineParams p;
+    p.numCores = 8;
+    p.l3TotalBytes = 8 * 1024 * 1024;
+    p.l3Banks = 8;
+    sim::Machine m(p);
+    const Addr base = m.mem().alloc("bm", 1 << 22);
+    Rng rng(2);
+    for (auto _ : state) {
+        const Addr a = base + (rng.next() & 0x3fffff);
+        benchmark::DoNotOptimize(
+            m.access(static_cast<unsigned>(rng.nextBounded(8)), a, 8,
+                     false));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MachineAccess);
+
+void
+BM_NocRouting(benchmark::State &state)
+{
+    sim::MachineParams p;
+    sim::MeshNoc noc(p);
+    Rng rng(3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(noc.transfer(
+            static_cast<unsigned>(rng.nextBounded(64)),
+            static_cast<unsigned>(rng.nextBounded(64))));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_NocRouting);
+
+void
+BM_HubIndexProbe(benchmark::State &state)
+{
+    sim::MachineParams p;
+    p.numCores = 2;
+    p.l3TotalBytes = 2 * 1024 * 1024;
+    p.l3Banks = 2;
+    sim::Machine m(p);
+    dep::HubIndex idx(m, 1024, 4096);
+    dep::Ddmu ddmu(idx);
+    gas::LinearFunc f{0.5, 1.0, kInfinity};
+    for (VertexId h = 0; h < 1024; ++h) {
+        ddmu.observe(h, h + 1, h, 1.0, 1.5, f, dep::FitMode::Compose);
+    }
+    Rng rng(4);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ddmu.tryShortcut(
+            static_cast<VertexId>(rng.nextBounded(1024)),
+            static_cast<VertexId>(rng.nextBounded(1024)), 2.0));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HubIndexProbe);
+
+void
+BM_PipelineModel(benchmark::State &state)
+{
+    dep::CorePipeline pl(64, /*hardware=*/true);
+    for (auto _ : state) {
+        pl.produce(12);
+        benchmark::DoNotOptimize(pl.consume(5));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PipelineModel);
+
+} // namespace
+
+BENCHMARK_MAIN();

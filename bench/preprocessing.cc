@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Reproduces the Sec. IV preprocessing-cost claim: DepGraph's
+ * preprocessing (two passes over the graph to find hub- and
+ * core-vertices) increases the baseline's preprocessing time by at
+ * most ~9.2% (paper: Ligra-o 7.6/0.4/17.5/67.3/19.6/546.0 ms vs
+ * DepGraph 8.0/0.43/18.9/72.4/21.4/595.1 ms for GL..FS).
+ *
+ * Measured as host wall-clock of the actual preprocessing code paths:
+ * baseline = CSR partitioning (+ transpose); DepGraph adds hub
+ * detection and the core-path decomposition.
+ */
+
+#include <chrono>
+#include <tuple>
+#include <functional>
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "graph/builder.hh"
+#include "graph/core_paths.hh"
+#include "graph/partition.hh"
+
+using namespace depgraph;
+using namespace depgraph::bench;
+
+namespace
+{
+
+double
+msOf(const std::function<void()> &fn)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchEnv env;
+    env.parse(argc, argv);
+    banner("Preprocessing overhead (Sec. IV prose)",
+           "DepGraph's extra preprocessing costs at most ~9.2% over "
+           "Ligra-o's",
+           env);
+
+    Table t({"dataset", "baseline_ms", "depgraph_ms", "overhead"});
+    for (const auto &ds : graph::datasetNames()) {
+        const auto g = graph::makeDataset(ds, env.scale);
+
+        // Recover the raw edge list so both variants start from the
+        // same un-preprocessed input, as the paper's measurement does.
+        std::vector<std::tuple<VertexId, VertexId, Value>> edges;
+        edges.reserve(g.numEdges());
+        for (VertexId v = 0; v < g.numVertices(); ++v)
+            for (EdgeId e = g.edgeBegin(v); e < g.edgeEnd(v); ++e)
+                edges.emplace_back(v, g.target(e), g.weight(e));
+
+        auto build_csr = [&] {
+            graph::Builder b(g.numVertices());
+            for (const auto &[src, dst, w] : edges)
+                b.addEdge(src, dst, w);
+            graph::Graph built = b.build();
+            built.buildTranspose(); // Ligra keeps both directions
+            graph::Partitioning part(built, env.cores);
+            return built;
+        };
+
+        constexpr int reps = 3;
+        double base_ms = 0.0, dep_ms = 0.0;
+        for (int i = 0; i < reps; ++i) {
+            base_ms += msOf([&] { (void)build_csr(); });
+            dep_ms += msOf([&] {
+                const graph::Graph built = build_csr();
+                graph::Partitioning part(built, env.cores);
+                graph::HubSet hubs(built, graph::HubParams{});
+                graph::CoreSubgraph cs(built, hubs, 40, &part);
+                (void)cs;
+            });
+        }
+        base_ms /= reps;
+        dep_ms /= reps;
+        t.addRow({ds, Table::fmt(base_ms, 3), Table::fmt(dep_ms, 3),
+                  Table::fmt(100.0 * (dep_ms - base_ms)
+                                 / std::max(base_ms, 1e-9),
+                             1) + "%"});
+    }
+    t.print();
+    std::printf("\nnote: relative overhead exceeds the paper's <=9.2%%"
+                " at reproduction scale because the baseline's cost is"
+                " dominated by multi-GB file IO in the original setup,"
+                " which the in-memory stand-ins skip; the absolute"
+                " DepGraph-side cost (hub detection + decomposition)"
+                " remains two passes over the graph, as in the"
+                " paper.\n");
+    return 0;
+}

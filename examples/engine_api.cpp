@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Programming-model demo: driving the DepGraph engine through the
+ * paper's low-level API the way a graph processing system would
+ * (Sec. III-B2). The "software" below owns the vertex states and the
+ * user-defined EdgeCompute/Accum; the engine owns traversal and
+ * prefetch. Together they compute SSSP asynchronously along
+ * dependency chains.
+ *
+ * Run: ./engine_api
+ */
+
+#include <iostream>
+
+#include "depgraph/api.hh"
+#include "gas/algorithms.hh"
+#include "graph/builder.hh"
+
+int
+main()
+{
+    using namespace depgraph;
+
+    // The example graph from the paper's Fig. 3 flavour: chains
+    // hanging off a few well-connected vertices.
+    graph::Builder b(8);
+    b.addEdge(0, 1, 1.0);
+    b.addEdge(1, 2, 2.0);
+    b.addEdge(2, 3, 1.0);
+    b.addEdge(0, 4, 4.0);
+    b.addEdge(4, 5, 1.0);
+    b.addEdge(5, 3, 1.0);
+    b.addEdge(3, 6, 2.0);
+    b.addEdge(6, 7, 1.0);
+    const graph::Graph g = b.build();
+
+    // --- software side: states + user functions -------------------
+    gas::Sssp sssp(0);
+    std::vector<Value> dist(g.numVertices(), kInfinity);
+    dist[0] = 0.0;
+
+    // --- engine side: DEP_configure + root insertion ---------------
+    dep::DepEngine engine;
+    dep::DepConfig cfg;
+    cfg.graph = &g;
+    cfg.partitionBegin = 0;
+    cfg.partitionEnd = g.numVertices();
+    cfg.stackDepth = 10;
+    engine.DEP_configure(cfg);
+    engine.DEP_insert_root(0);
+
+    // --- the processing loop the paper describes -------------------
+    // The engine prefetches edges along dependency chains; the core
+    // applies EdgeCompute + Accum to each fetched edge. Re-rooting on
+    // improvement keeps chains flowing until convergence.
+    std::uint64_t edge_ops = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        while (const auto f = engine.DEP_fetch_edge()) {
+            ++edge_ops;
+            const Value cand =
+                sssp.edgeCompute(g, f->src, f->edge, dist[f->src]);
+            if (cand < dist[f->dst]) {
+                dist[f->dst] = cand;
+                changed = true;
+                // A cut tail (or any improved vertex) becomes a new
+                // root so its chain is walked with the fresh value.
+                engine.DEP_insert_root(f->dst);
+            }
+        }
+        if (changed)
+            engine.DEP_insert_root(0);
+    }
+
+    std::cout << "distances computed through DEP_fetch_edge():\n";
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        std::cout << "  v" << v << " -> " << dist[v] << "\n";
+    std::cout << "\nengine stats: " << engine.prefetchedEdges()
+              << " edges prefetched across " << engine.traversals()
+              << " traversals (" << edge_ops << " edge ops)\n";
+    return 0;
+}

@@ -1,0 +1,62 @@
+#include "accel/accelerators.hh"
+
+#include "runtime/soft_engine.hh"
+
+namespace depgraph::accel
+{
+
+using runtime::EngineOptions;
+using runtime::EnginePtr;
+using runtime::Schedule;
+using runtime::SoftConfig;
+using runtime::SoftEngine;
+
+EnginePtr
+makeHats(EngineOptions opt)
+{
+    return std::make_unique<SoftEngine>(
+        SoftConfig{
+            .name = "HATS",
+            .schedule = Schedule::PathSweep, // hardware BDFS order
+            .async = true,
+            .hwScheduler = true,
+            .hwWorklist = false,
+            .prefetchVertexData = false,
+            .cheapScatter = false,
+        },
+        opt);
+}
+
+EnginePtr
+makeMinnow(EngineOptions opt)
+{
+    return std::make_unique<SoftEngine>(
+        SoftConfig{
+            .name = "Minnow",
+            .schedule = Schedule::PriorityDelta, // priority worklist
+            .async = true,
+            .hwScheduler = false,
+            .hwWorklist = true,
+            .prefetchVertexData = true,
+            .cheapScatter = false,
+        },
+        opt);
+}
+
+EnginePtr
+makePhi(EngineOptions opt)
+{
+    return std::make_unique<SoftEngine>(
+        SoftConfig{
+            .name = "PHI",
+            .schedule = Schedule::PriorityDelta,
+            .async = true,
+            .hwScheduler = false,
+            .hwWorklist = false,
+            .prefetchVertexData = false,
+            .cheapScatter = true,
+        },
+        opt);
+}
+
+} // namespace depgraph::accel

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Behavioural models of the three competing per-core accelerators the
+ * paper compares against (Sec. IV-B):
+ *
+ *  - HATS (Mukkara et al., MICRO'18): a hardware-accelerated traversal
+ *    scheduler that emits the active set in bounded-DFS order for
+ *    locality; scheduling has no core-side instruction cost.
+ *  - Minnow (Zhang et al., ASPLOS'18): hardware worklist management
+ *    (cheap priority enqueue/dequeue) plus worklist-directed
+ *    prefetching of the next work items' data.
+ *  - PHI (Mukkara et al., MICRO'19): commutative scatter updates are
+ *    coalesced and performed inside the cache hierarchy, removing the
+ *    core's stall on remote update lines.
+ *
+ * Each model reproduces the mechanism its paper credits for speedup on
+ * top of the same Ligra-o software runtime, which is exactly how the
+ * DepGraph paper sets up Fig. 11/12.
+ */
+
+#ifndef DEPGRAPH_ACCEL_ACCELERATORS_HH
+#define DEPGRAPH_ACCEL_ACCELERATORS_HH
+
+#include "runtime/engine.hh"
+
+namespace depgraph::accel
+{
+
+runtime::EnginePtr makeHats(runtime::EngineOptions opt = {});
+runtime::EnginePtr makeMinnow(runtime::EngineOptions opt = {});
+runtime::EnginePtr makePhi(runtime::EngineOptions opt = {});
+
+} // namespace depgraph::accel
+
+#endif // DEPGRAPH_ACCEL_ACCELERATORS_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Compact bitmap over vertex ids.
+ *
+ * Used for the in-memory H'' bitmap handed to the DepGraph engine via
+ * DEP_configure() (paper Sec. III-B2) and for frontier/visited sets in
+ * the software runtimes.
+ */
+
+#ifndef DEPGRAPH_COMMON_BITMAP_HH
+#define DEPGRAPH_COMMON_BITMAP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace depgraph
+{
+
+class Bitmap
+{
+  public:
+    Bitmap() = default;
+
+    explicit Bitmap(std::size_t n)
+        : words_((n + 63) / 64, 0), size_(n)
+    {}
+
+    std::size_t size() const { return size_; }
+
+    void
+    resize(std::size_t n)
+    {
+        words_.assign((n + 63) / 64, 0);
+        size_ = n;
+    }
+
+    bool
+    test(std::size_t i) const
+    {
+        return (words_[i >> 6] >> (i & 63)) & 1ull;
+    }
+
+    void
+    set(std::size_t i)
+    {
+        words_[i >> 6] |= (1ull << (i & 63));
+    }
+
+    void
+    reset(std::size_t i)
+    {
+        words_[i >> 6] &= ~(1ull << (i & 63));
+    }
+
+    /** Set bit i; returns true if it was previously clear. */
+    bool
+    testAndSet(std::size_t i)
+    {
+        const std::uint64_t mask = 1ull << (i & 63);
+        std::uint64_t &w = words_[i >> 6];
+        const bool was = w & mask;
+        w |= mask;
+        return !was;
+    }
+
+    void
+    clearAll()
+    {
+        for (auto &w : words_)
+            w = 0;
+    }
+
+    /** Population count over the whole bitmap. */
+    std::size_t
+    count() const
+    {
+        std::size_t c = 0;
+        for (auto w : words_)
+            c += static_cast<std::size_t>(__builtin_popcountll(w));
+        return c;
+    }
+
+    /** Approximate memory footprint in bytes (for storage accounting). */
+    std::size_t
+    byteSize() const
+    {
+        return words_.size() * sizeof(std::uint64_t);
+    }
+
+  private:
+    std::vector<std::uint64_t> words_;
+    std::size_t size_ = 0;
+};
+
+} // namespace depgraph
+
+#endif // DEPGRAPH_COMMON_BITMAP_HH

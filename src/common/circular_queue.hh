@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Fixed-capacity circular FIFO queue.
+ *
+ * Models the per-core "local circular queue" of active root vertices that
+ * the graph processing system maintains in memory and the DepGraph engine
+ * drains (paper Sec. III-B2, "Initialization"). Also reused as a generic
+ * bounded queue elsewhere in the simulator.
+ */
+
+#ifndef DEPGRAPH_COMMON_CIRCULAR_QUEUE_HH
+#define DEPGRAPH_COMMON_CIRCULAR_QUEUE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace depgraph
+{
+
+template <typename T>
+class CircularQueue
+{
+  public:
+    explicit CircularQueue(std::size_t capacity)
+        : buf_(capacity), head_(0), tail_(0), size_(0)
+    {
+        dg_assert(capacity > 0, "circular queue needs capacity > 0");
+    }
+
+    bool empty() const { return size_ == 0; }
+    bool full() const { return size_ == buf_.size(); }
+    std::size_t size() const { return size_; }
+    std::size_t capacity() const { return buf_.size(); }
+
+    /** Enqueue; returns false (drops) when full. */
+    bool
+    tryPush(const T &v)
+    {
+        if (full())
+            return false;
+        buf_[tail_] = v;
+        tail_ = (tail_ + 1) % buf_.size();
+        ++size_;
+        return true;
+    }
+
+    /** Enqueue; panics when full. */
+    void
+    push(const T &v)
+    {
+        dg_assert(tryPush(v), "push to full circular queue");
+    }
+
+    /** Dequeue the oldest element; panics when empty. */
+    T
+    pop()
+    {
+        dg_assert(!empty(), "pop from empty circular queue");
+        T v = buf_[head_];
+        head_ = (head_ + 1) % buf_.size();
+        --size_;
+        return v;
+    }
+
+    /** Peek the oldest element without removing it. */
+    const T &
+    front() const
+    {
+        dg_assert(!empty(), "front of empty circular queue");
+        return buf_[head_];
+    }
+
+    void
+    clear()
+    {
+        head_ = tail_ = 0;
+        size_ = 0;
+    }
+
+  private:
+    std::vector<T> buf_;
+    std::size_t head_;
+    std::size_t tail_;
+    std::size_t size_;
+};
+
+} // namespace depgraph
+
+#endif // DEPGRAPH_COMMON_CIRCULAR_QUEUE_HH

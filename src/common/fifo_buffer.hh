@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Bounded FIFO with occupancy statistics.
+ *
+ * Models the FIFO Edge Buffer of the DepGraph engine (paper Fig. 7): the
+ * HDTL pipeline pushes prefetched edges in, the core drains them through
+ * DEP_fetch_edge(). The simulator uses occupancy to decide how much of
+ * the prefetch latency is hidden.
+ */
+
+#ifndef DEPGRAPH_COMMON_FIFO_BUFFER_HH
+#define DEPGRAPH_COMMON_FIFO_BUFFER_HH
+
+#include <cstddef>
+#include <deque>
+
+#include "common/logging.hh"
+
+namespace depgraph
+{
+
+template <typename T>
+class FifoBuffer
+{
+  public:
+    explicit FifoBuffer(std::size_t capacity)
+        : cap_(capacity)
+    {
+        dg_assert(capacity > 0, "fifo needs capacity > 0");
+    }
+
+    bool empty() const { return q_.empty(); }
+    bool full() const { return q_.size() >= cap_; }
+    std::size_t size() const { return q_.size(); }
+    std::size_t capacity() const { return cap_; }
+
+    /** Push an element; returns false if the buffer is full. */
+    bool
+    tryPush(const T &v)
+    {
+        if (full())
+            return false;
+        q_.push_back(v);
+        ++pushes_;
+        occupancySum_ += q_.size();
+        return true;
+    }
+
+    /** Pop the oldest element; panics if empty. */
+    T
+    pop()
+    {
+        dg_assert(!empty(), "pop from empty fifo");
+        T v = q_.front();
+        q_.pop_front();
+        return v;
+    }
+
+    const T &
+    front() const
+    {
+        dg_assert(!empty(), "front of empty fifo");
+        return q_.front();
+    }
+
+    void clear() { q_.clear(); }
+
+    /** Total pushes observed (for stats). */
+    std::size_t pushes() const { return pushes_; }
+
+    /** Mean occupancy observed at push time. */
+    double
+    meanOccupancy() const
+    {
+        return pushes_ ? static_cast<double>(occupancySum_) / pushes_ : 0.0;
+    }
+
+  private:
+    std::deque<T> q_;
+    std::size_t cap_;
+    std::size_t pushes_ = 0;
+    std::size_t occupancySum_ = 0;
+};
+
+} // namespace depgraph
+
+#endif // DEPGRAPH_COMMON_FIFO_BUFFER_HH

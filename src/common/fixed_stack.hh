@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Fixed-depth stack.
+ *
+ * Models the HDTL traversal stack inside the DepGraph engine (paper
+ * Fig. 7): a small hardware structure with a configurable maximum depth
+ * (default 10, see the Fig. 15 sensitivity study). Pushing past the
+ * configured depth fails, which the traversal logic treats as "cut the
+ * path here" rather than as an error.
+ */
+
+#ifndef DEPGRAPH_COMMON_FIXED_STACK_HH
+#define DEPGRAPH_COMMON_FIXED_STACK_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace depgraph
+{
+
+template <typename T>
+class FixedStack
+{
+  public:
+    explicit FixedStack(std::size_t depth)
+        : buf_(), depth_(depth)
+    {
+        dg_assert(depth > 0, "fixed stack needs depth > 0");
+        buf_.reserve(depth);
+    }
+
+    bool empty() const { return buf_.empty(); }
+    bool full() const { return buf_.size() == depth_; }
+    std::size_t size() const { return buf_.size(); }
+    std::size_t depth() const { return depth_; }
+
+    /** Push; returns false when the stack is at maximum depth. */
+    bool
+    tryPush(const T &v)
+    {
+        if (full())
+            return false;
+        buf_.push_back(v);
+        return true;
+    }
+
+    T &
+    top()
+    {
+        dg_assert(!empty(), "top of empty stack");
+        return buf_.back();
+    }
+
+    const T &
+    top() const
+    {
+        dg_assert(!empty(), "top of empty stack");
+        return buf_.back();
+    }
+
+    void
+    pop()
+    {
+        dg_assert(!empty(), "pop from empty stack");
+        buf_.pop_back();
+    }
+
+    void clear() { buf_.clear(); }
+
+    /** Indexed access from the bottom (0) to the top (size()-1). */
+    const T &operator[](std::size_t i) const { return buf_[i]; }
+    T &operator[](std::size_t i) { return buf_[i]; }
+
+  private:
+    std::vector<T> buf_;
+    std::size_t depth_;
+};
+
+} // namespace depgraph
+
+#endif // DEPGRAPH_COMMON_FIXED_STACK_HH

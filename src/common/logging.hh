@@ -1,0 +1,72 @@
+/**
+ * @file
+ * gem5-flavoured status and error reporting.
+ *
+ * panic()  -- an internal invariant was violated (a DepGraph bug); aborts.
+ * fatal()  -- the user asked for something impossible (bad config); exits.
+ * warn()   -- something works but not as well as it should.
+ * inform() -- plain status output.
+ */
+
+#ifndef DEPGRAPH_COMMON_LOGGING_HH
+#define DEPGRAPH_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace depgraph
+{
+
+namespace detail
+{
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Fold a parameter pack into one string via operator<<. */
+template <typename... Args>
+std::string
+format(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Abort with a message: internal invariant violated. */
+#define dg_panic(...) \
+    ::depgraph::detail::panicImpl(__FILE__, __LINE__, \
+                                  ::depgraph::detail::format(__VA_ARGS__))
+
+/** Exit with a message: user/configuration error. */
+#define dg_fatal(...) \
+    ::depgraph::detail::fatalImpl(__FILE__, __LINE__, \
+                                  ::depgraph::detail::format(__VA_ARGS__))
+
+/** Non-fatal warning. */
+#define dg_warn(...) \
+    ::depgraph::detail::warnImpl(::depgraph::detail::format(__VA_ARGS__))
+
+/** Informational message. */
+#define dg_inform(...) \
+    ::depgraph::detail::informImpl(::depgraph::detail::format(__VA_ARGS__))
+
+/** Assert an invariant with a formatted message. */
+#define dg_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::depgraph::detail::panicImpl(__FILE__, __LINE__, \
+                ::depgraph::detail::format("assertion '" #cond "' failed: ", \
+                                           ##__VA_ARGS__)); \
+        } \
+    } while (0)
+
+} // namespace depgraph
+
+#endif // DEPGRAPH_COMMON_LOGGING_HH

@@ -1,0 +1,90 @@
+#include "common/options.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/logging.hh"
+
+namespace depgraph
+{
+
+void
+Options::declare(const std::string &name, const std::string &def,
+                 const std::string &help)
+{
+    flags_[name] = Flag{def, help};
+}
+
+void
+Options::parse(int argc, char **argv)
+{
+    program_ = argc > 0 ? argv[0] : "?";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: " << program_ << " [--flag=value ...]\n";
+            for (const auto &[name, flag] : flags_) {
+                std::cout << "  --" << name << " (default: "
+                          << (flag.value.empty() ? "\"\"" : flag.value)
+                          << ")\n      " << flag.help << "\n";
+            }
+            std::exit(0);
+        }
+        if (arg.rfind("--", 0) != 0)
+            dg_fatal("unexpected positional argument '", arg, "'");
+        arg = arg.substr(2);
+        std::string name, value;
+        auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            name = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+        } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0)
+                   != 0) {
+            name = arg;
+            value = argv[++i];
+        } else {
+            name = arg;
+            value = "1"; // bare boolean flag
+        }
+        auto it = flags_.find(name);
+        if (it == flags_.end())
+            dg_fatal("unknown flag '--", name, "' (try --help)");
+        it->second.value = value;
+    }
+}
+
+const Options::Flag &
+Options::lookup(const std::string &name) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end())
+        dg_panic("flag '", name, "' was never declared");
+    return it->second;
+}
+
+std::string
+Options::getString(const std::string &name) const
+{
+    return lookup(name).value;
+}
+
+std::int64_t
+Options::getInt(const std::string &name) const
+{
+    return std::stoll(lookup(name).value);
+}
+
+double
+Options::getDouble(const std::string &name) const
+{
+    return std::stod(lookup(name).value);
+}
+
+bool
+Options::getBool(const std::string &name) const
+{
+    const auto &v = lookup(name).value;
+    return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+} // namespace depgraph

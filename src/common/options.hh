@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Minimal command-line flag parser for examples and bench binaries.
+ *
+ * Syntax: --name=value or --name value; bare --flag sets a bool. Unknown
+ * flags are fatal so that typos in experiment scripts never pass silently.
+ */
+
+#ifndef DEPGRAPH_COMMON_OPTIONS_HH
+#define DEPGRAPH_COMMON_OPTIONS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace depgraph
+{
+
+class Options
+{
+  public:
+    /** Parse argv. Declared flags must be registered before parse(). */
+    Options() = default;
+
+    /** Register a flag with a default value and a help string. */
+    void declare(const std::string &name, const std::string &def,
+                 const std::string &help);
+
+    /** Parse the command line; handles --help by printing and exiting. */
+    void parse(int argc, char **argv);
+
+    std::string getString(const std::string &name) const;
+    std::int64_t getInt(const std::string &name) const;
+    double getDouble(const std::string &name) const;
+    bool getBool(const std::string &name) const;
+
+  private:
+    struct Flag
+    {
+        std::string value;
+        std::string help;
+    };
+
+    const Flag &lookup(const std::string &name) const;
+
+    std::map<std::string, Flag> flags_;
+    std::string program_;
+};
+
+} // namespace depgraph
+
+#endif // DEPGRAPH_COMMON_OPTIONS_HH

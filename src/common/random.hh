@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Deterministic, seedable random number generation.
+ *
+ * Every stochastic component in the repository (graph generators, hub
+ * sampling, workload construction) draws from an explicitly-seeded Rng so
+ * that tests and benchmarks are reproducible bit-for-bit.
+ */
+
+#ifndef DEPGRAPH_COMMON_RANDOM_HH
+#define DEPGRAPH_COMMON_RANDOM_HH
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace depgraph
+{
+
+/**
+ * xorshift128+ generator: tiny state, high quality, fully deterministic.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // SplitMix64 seeding so that nearby seeds give unrelated streams.
+        std::uint64_t z = seed;
+        for (auto *s : {&s0_, &s1_}) {
+            z += 0x9e3779b97f4a7c15ull;
+            std::uint64_t t = z;
+            t = (t ^ (t >> 30)) * 0xbf58476d1ce4e5b9ull;
+            t = (t ^ (t >> 27)) * 0x94d049bb133111ebull;
+            *s = t ^ (t >> 31);
+        }
+        if (s0_ == 0 && s1_ == 0)
+            s1_ = 1;
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = s0_;
+        const std::uint64_t y = s1_;
+        s0_ = y;
+        x ^= x << 23;
+        s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+        return s1_ + y;
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    std::uint64_t
+    nextBounded(std::uint64_t bound)
+    {
+        dg_assert(bound > 0, "nextBounded(0)");
+        // Rejection sampling to remove modulo bias.
+        const std::uint64_t threshold = -bound % bound;
+        for (;;) {
+            std::uint64_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    nextDouble(double lo, double hi)
+    {
+        return lo + (hi - lo) * nextDouble();
+    }
+
+    /** Bernoulli trial with probability p. */
+    bool
+    nextBool(double p)
+    {
+        return nextDouble() < p;
+    }
+
+  private:
+    std::uint64_t s0_;
+    std::uint64_t s1_;
+};
+
+/**
+ * Zipfian sampler over ranks {0, ..., n-1} with exponent alpha, using the
+ * classic inverse-CDF table. Rank 0 is the most probable outcome. Used by
+ * the power-law graph generator (paper Table V uses alpha in [1.8, 2.2]).
+ */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(std::size_t n, double alpha)
+        : cdf_(n)
+    {
+        dg_assert(n > 0, "empty Zipf support");
+        double sum = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            sum += 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+            cdf_[i] = sum;
+        }
+        for (auto &c : cdf_)
+            c /= sum;
+    }
+
+    /** Draw one rank. */
+    std::size_t
+    sample(Rng &rng) const
+    {
+        const double u = rng.nextDouble();
+        // Binary search for the first cdf entry >= u.
+        std::size_t lo = 0, hi = cdf_.size() - 1;
+        while (lo < hi) {
+            const std::size_t mid = (lo + hi) / 2;
+            if (cdf_[mid] < u)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        return lo;
+    }
+
+    std::size_t size() const { return cdf_.size(); }
+
+  private:
+    std::vector<double> cdf_;
+};
+
+} // namespace depgraph
+
+#endif // DEPGRAPH_COMMON_RANDOM_HH

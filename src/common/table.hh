@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Console table printer used by the benchmark harness.
+ *
+ * Every bench binary regenerates one paper table/figure as rows of an
+ * aligned text table, so that the output can be compared side-by-side
+ * with the paper and machine-parsed.
+ */
+
+#ifndef DEPGRAPH_COMMON_TABLE_HH
+#define DEPGRAPH_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace depgraph
+{
+
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row; cell count must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with column alignment to a string (ends with newline). */
+    std::string render() const;
+
+    /** Render to stdout. */
+    void print() const;
+
+    /** Format helper: fixed-point double. */
+    static std::string fmt(double v, int precision = 2);
+
+    /** Format helper: integer with thousands separators. */
+    static std::string fmt(std::uint64_t v);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace depgraph
+
+#endif // DEPGRAPH_COMMON_TABLE_HH

@@ -1,0 +1,99 @@
+#include "common/trace.hh"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace depgraph::trace
+{
+
+namespace
+{
+
+unsigned &
+mask()
+{
+    static unsigned m = [] {
+        const char *env = std::getenv("DG_TRACE");
+        return env ? parseCategories(env) : 0u;
+    }();
+    return m;
+}
+
+const char *
+name(unsigned category)
+{
+    switch (category) {
+      case kTraverse:
+        return "traverse";
+      case kShortcut:
+        return "shortcut";
+      case kDdmu:
+        return "ddmu";
+      case kQueue:
+        return "queue";
+      case kEngine:
+        return "engine";
+      default:
+        return "trace";
+    }
+}
+
+} // namespace
+
+bool
+enabled(unsigned category)
+{
+    return (mask() & category) != 0;
+}
+
+void
+enable(unsigned categories)
+{
+    mask() |= categories;
+}
+
+void
+disable(unsigned categories)
+{
+    mask() &= ~categories;
+}
+
+unsigned
+parseCategories(const std::string &list)
+{
+    unsigned m = 0;
+    std::stringstream ss(list);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (item == "all")
+            m |= kAll;
+        else if (item == "traverse" || item == "hdtl")
+            m |= kTraverse;
+        else if (item == "shortcut")
+            m |= kShortcut;
+        else if (item == "ddmu")
+            m |= kDdmu;
+        else if (item == "queue")
+            m |= kQueue;
+        else if (item == "engine")
+            m |= kEngine;
+        else if (!item.empty())
+            dg_warn("unknown trace category '", item, "'");
+    }
+    return m;
+}
+
+void
+emit(unsigned category, const std::string &msg)
+{
+    std::cerr << name(category) << ": " << msg << '\n';
+}
+
+unsigned
+activeMask()
+{
+    return mask();
+}
+
+} // namespace depgraph::trace

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * gem5-style categorized debug tracing.
+ *
+ * Trace points are always compiled in but cost one branch when the
+ * category is disabled. Categories are enabled programmatically
+ * (traceEnable) or through the DG_TRACE environment variable, a
+ * comma-separated category list ("hdtl,ddmu" or "all"):
+ *
+ *   DG_TRACE=shortcut ./dgrun --dataset PK --algo sssp ...
+ *
+ * Output goes to stderr as "category: message".
+ */
+
+#ifndef DEPGRAPH_COMMON_TRACE_HH
+#define DEPGRAPH_COMMON_TRACE_HH
+
+#include <string>
+
+#include "common/logging.hh"
+
+namespace depgraph
+{
+
+namespace trace
+{
+
+/** Trace categories, one bit each. */
+enum : unsigned
+{
+    kTraverse = 1u << 0, ///< HDTL traversal decisions
+    kShortcut = 1u << 1, ///< hub-index shortcut firings
+    kDdmu = 1u << 2,     ///< DDMU observations and fits
+    kQueue = 1u << 3,    ///< root queue activity
+    kEngine = 1u << 4,   ///< engine round/barrier events
+    kAll = ~0u,
+};
+
+/** Is a category enabled? (cheap: one load + and) */
+bool enabled(unsigned category);
+
+/** Enable/disable categories programmatically. */
+void enable(unsigned categories);
+void disable(unsigned categories);
+
+/** Parse a comma-separated category list ("hdtl,ddmu", "all"). */
+unsigned parseCategories(const std::string &list);
+
+/** Emit one trace line (used by the macro; honors enablement). */
+void emit(unsigned category, const std::string &msg);
+
+/** The category mask initialized from DG_TRACE at first use. */
+unsigned activeMask();
+
+} // namespace trace
+
+/** Trace-point macro: evaluates its arguments only when enabled. */
+#define dg_trace(category, ...) \
+    do { \
+        if (::depgraph::trace::enabled(category)) { \
+            ::depgraph::trace::emit( \
+                category, ::depgraph::detail::format(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+} // namespace depgraph
+
+#endif // DEPGRAPH_COMMON_TRACE_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every DepGraph module.
+ *
+ * Vertex identifiers are 32-bit (the paper's largest graph, Friendster,
+ * has 65.6M vertices); edge identifiers are 64-bit because edge counts
+ * comfortably exceed 2^32 at full scale.
+ */
+
+#ifndef DEPGRAPH_COMMON_TYPES_HH
+#define DEPGRAPH_COMMON_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace depgraph
+{
+
+/** Identifier of a vertex in a graph. */
+using VertexId = std::uint32_t;
+
+/** Index of an edge in the CSR edge array. */
+using EdgeId = std::uint64_t;
+
+/** Edge weight / vertex state scalar. */
+using Value = double;
+
+/** Simulated time in core clock cycles. */
+using Cycles = std::uint64_t;
+
+/** Byte address in the simulated physical address space. */
+using Addr = std::uint64_t;
+
+/** Sentinel vertex id meaning "no vertex". */
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+
+/** Sentinel used by fictitious (state-reset) edges; see the paper,
+ * Sec. III-B2 "Faster Propagation Based on Hub Index". */
+inline constexpr VertexId kFictitiousVertex = kInvalidVertex - 1;
+
+/** Positive infinity for min-style algorithms (SSSP). */
+inline constexpr Value kInfinity = std::numeric_limits<Value>::infinity();
+
+} // namespace depgraph
+
+#endif // DEPGRAPH_COMMON_TYPES_HH

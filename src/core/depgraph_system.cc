@@ -1,0 +1,127 @@
+#include "core/depgraph_system.hh"
+
+#include "accel/accelerators.hh"
+#include "common/logging.hh"
+#include "runtime/sequential.hh"
+#include "runtime/soft_engine.hh"
+#include "sim/machine.hh"
+
+namespace depgraph
+{
+
+const char *
+solutionName(Solution s)
+{
+    switch (s) {
+      case Solution::Sequential:
+        return "Sequential";
+      case Solution::Ligra:
+        return "Ligra";
+      case Solution::Mosaic:
+        return "Mosaic";
+      case Solution::Wonderland:
+        return "Wonderland";
+      case Solution::FBSGraph:
+        return "FBSGraph";
+      case Solution::LigraO:
+        return "Ligra-o";
+      case Solution::Hats:
+        return "HATS";
+      case Solution::Minnow:
+        return "Minnow";
+      case Solution::Phi:
+        return "PHI";
+      case Solution::DepGraphS:
+        return "DepGraph-S";
+      case Solution::DepGraphH:
+        return "DepGraph-H";
+      case Solution::DepGraphHNoHub:
+        return "DepGraph-H-w";
+    }
+    return "?";
+}
+
+Solution
+solutionFromName(const std::string &name)
+{
+    for (auto s : allSolutions())
+        if (name == solutionName(s))
+            return s;
+    dg_fatal("unknown solution '", name, "'");
+}
+
+const std::vector<Solution> &
+allSolutions()
+{
+    static const std::vector<Solution> all = {
+        Solution::Sequential, Solution::Ligra,     Solution::Mosaic,
+        Solution::Wonderland, Solution::FBSGraph,  Solution::LigraO,
+        Solution::Hats,       Solution::Minnow,    Solution::Phi,
+        Solution::DepGraphS,  Solution::DepGraphH,
+        Solution::DepGraphHNoHub,
+    };
+    return all;
+}
+
+runtime::EnginePtr
+makeEngine(Solution s, runtime::EngineOptions opt)
+{
+    switch (s) {
+      case Solution::Sequential:
+        return std::make_unique<runtime::SequentialEngine>(opt);
+      case Solution::Ligra:
+        return runtime::makeLigra(opt);
+      case Solution::Mosaic:
+        return runtime::makeMosaic(opt);
+      case Solution::Wonderland:
+        return runtime::makeWonderland(opt);
+      case Solution::FBSGraph:
+        return runtime::makeFbsGraph(opt);
+      case Solution::LigraO:
+        return runtime::makeLigraO(opt);
+      case Solution::Hats:
+        return accel::makeHats(opt);
+      case Solution::Minnow:
+        return accel::makeMinnow(opt);
+      case Solution::Phi:
+        return accel::makePhi(opt);
+      case Solution::DepGraphS:
+        return dep::makeDepGraphS(opt);
+      case Solution::DepGraphH:
+        return dep::makeDepGraphH(opt);
+      case Solution::DepGraphHNoHub:
+        return dep::makeDepGraphHNoHub(opt);
+    }
+    dg_panic("unhandled solution");
+}
+
+DepGraphSystem::DepGraphSystem(SystemConfig cfg)
+    : cfg_(std::move(cfg))
+{}
+
+runtime::RunResult
+DepGraphSystem::run(const graph::Graph &g, const std::string &algorithm,
+                    Solution s)
+{
+    const auto alg = gas::makeAlgorithm(algorithm);
+    return run(g, *alg, s);
+}
+
+runtime::RunResult
+DepGraphSystem::run(const graph::Graph &g, gas::Algorithm &alg,
+                    Solution s)
+{
+    sim::Machine machine(cfg_.machine);
+    const auto engine = makeEngine(s, cfg_.engine);
+    return engine->run(g, alg, machine);
+}
+
+std::uint64_t
+DepGraphSystem::minimalUpdates(const graph::Graph &g,
+                               const std::string &algorithm) const
+{
+    const auto alg = gas::makeAlgorithm(algorithm);
+    return runtime::SequentialEngine::countMinimalUpdates(g, *alg);
+}
+
+} // namespace depgraph

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * DepGraphSystem: the library's top-level public API.
+ *
+ * One entry point runs any supported iterative graph algorithm on any
+ * graph under any of the paper's execution solutions -- the software
+ * baselines (Sequential, Ligra, Mosaic, Wonderland, FBSGraph,
+ * Ligra-o), the competing accelerators (HATS, Minnow, PHI), and the
+ * paper's contribution (DepGraph-S, DepGraph-H, DepGraph-H-w) -- on a
+ * simulated many-core machine, returning converged vertex states plus
+ * the full metric set (updates, utilization, time breakdown, memory
+ * stats, energy).
+ *
+ * Typical use:
+ * @code
+ *   using namespace depgraph;
+ *   auto g = graph::makeDataset("FS");
+ *   DepGraphSystem sys;                         // Table II machine
+ *   auto r = sys.run(g, "sssp", Solution::DepGraphH);
+ *   std::cout << r.metrics.makespan << "\n";
+ * @endcode
+ */
+
+#ifndef DEPGRAPH_CORE_DEPGRAPH_SYSTEM_HH
+#define DEPGRAPH_CORE_DEPGRAPH_SYSTEM_HH
+
+#include <string>
+#include <vector>
+
+#include "depgraph/executor.hh"
+#include "gas/algorithms.hh"
+#include "runtime/engine.hh"
+#include "sim/params.hh"
+
+namespace depgraph
+{
+
+/** Every execution solution evaluated in the paper. */
+enum class Solution
+{
+    Sequential,
+    Ligra,
+    Mosaic,
+    Wonderland,
+    FBSGraph,
+    LigraO,
+    Hats,
+    Minnow,
+    Phi,
+    DepGraphS,
+    DepGraphH,
+    DepGraphHNoHub, ///< DepGraph-H with the hub index disabled
+};
+
+const char *solutionName(Solution s);
+Solution solutionFromName(const std::string &name);
+
+/** All solutions, in a stable presentation order. */
+const std::vector<Solution> &allSolutions();
+
+/** Build the engine implementing a solution. */
+runtime::EnginePtr makeEngine(Solution s,
+                              runtime::EngineOptions opt = {});
+
+struct SystemConfig
+{
+    sim::MachineParams machine;     ///< defaults = paper Table II
+    runtime::EngineOptions engine;  ///< defaults = paper Sec. IV
+};
+
+class DepGraphSystem
+{
+  public:
+    explicit DepGraphSystem(SystemConfig cfg = {});
+
+    /** Run a named algorithm (pagerank/adsorption/katz/sssp/wcc/sswp)
+     * under the given solution on a fresh machine instance. */
+    runtime::RunResult run(const graph::Graph &g,
+                           const std::string &algorithm, Solution s);
+
+    /** Run a caller-constructed algorithm instance. */
+    runtime::RunResult run(const graph::Graph &g, gas::Algorithm &alg,
+                           Solution s);
+
+    /** u_s: update count of the minimal sequential schedule, for
+     * effective-utilization metrics (r_e = u_s * U / u_d). */
+    std::uint64_t minimalUpdates(const graph::Graph &g,
+                                 const std::string &algorithm) const;
+
+    const SystemConfig &config() const { return cfg_; }
+    SystemConfig &config() { return cfg_; }
+
+  private:
+    SystemConfig cfg_;
+};
+
+} // namespace depgraph
+
+#endif // DEPGRAPH_CORE_DEPGRAPH_SYSTEM_HH

@@ -1,0 +1,133 @@
+#include "depgraph/api.hh"
+
+#include "common/logging.hh"
+
+namespace depgraph::dep
+{
+
+void
+DepEngine::DEP_configure(const DepConfig &cfg)
+{
+    dg_assert(cfg.graph != nullptr, "DEP_configure without a graph");
+    dg_assert(cfg.partitionBegin <= cfg.partitionEnd
+                  && cfg.partitionEnd <= cfg.graph->numVertices(),
+              "partition bounds out of range");
+    cfg_ = cfg;
+    queue_.emplace(cfg.queueCapacity);
+    stack_.emplace(cfg.stackDepth);
+    fifo_.emplace(cfg.fifoCapacity);
+    visitEpoch_.assign(cfg.graph->numVertices(), 0);
+    epoch_ = 0;
+    inQueue_.resize(cfg.graph->numVertices());
+    rooted_.resize(cfg.graph->numVertices());
+    prefetched_ = traversals_ = stackCuts_ = hppCuts_ = 0;
+}
+
+bool
+DepEngine::DEP_insert_root(VertexId v)
+{
+    dg_assert(queue_.has_value(), "engine not configured");
+    dg_assert(v < cfg_.graph->numVertices(), "root out of range");
+    rooted_.reset(v); // fresh external activation
+    if (inQueue_.test(v))
+        return true; // already pending
+    if (!queue_->tryPush(v))
+        return false;
+    inQueue_.set(v);
+    return true;
+}
+
+bool
+DepEngine::idle() const
+{
+    return (!queue_ || queue_->empty()) && (!stack_ || stack_->empty())
+        && (!fifo_ || fifo_->empty());
+}
+
+std::optional<FetchedEdge>
+DepEngine::DEP_fetch_edge()
+{
+    dg_assert(fifo_.has_value(), "engine not configured");
+    pump();
+    if (fifo_->empty())
+        return std::nullopt;
+    return fifo_->pop();
+}
+
+void
+DepEngine::pump()
+{
+    while (fifo_->empty()) {
+        if (stack_->empty()) {
+            // Get_Root stage: take the next active vertex.
+            if (queue_->empty())
+                return; // engine idle
+            const VertexId root = queue_->pop();
+            inQueue_.reset(root);
+            if (rooted_.test(root))
+                continue; // already expanded since its activation
+            rooted_.set(root);
+            ++traversals_;
+            ++epoch_;
+            visitEpoch_[root] = epoch_;
+            // Fetch_Offsets stage for the root.
+            stack_->tryPush({root, cfg_.graph->edgeBegin(root),
+                             cfg_.graph->edgeEnd(root)});
+        }
+        if (!step())
+            continue; // stack drained; next traversal
+    }
+}
+
+bool
+DepEngine::step()
+{
+    while (!stack_->empty() && !fifo_->full()) {
+        StackEntry &top = stack_->top();
+        if (top.cur == top.end) {
+            stack_->pop();
+            continue;
+        }
+        // Fetch_Neighbors + Fetch_States: emit one edge.
+        const EdgeId e = top.cur++;
+        const graph::Graph &g = *cfg_.graph;
+        const VertexId src = top.v;
+        const VertexId dst = g.target(e);
+
+        FetchedEdge out;
+        out.src = src;
+        out.dst = dst;
+        out.edge = e;
+        out.weight = g.weight(e);
+
+        const bool in_partition = dst >= cfg_.partitionBegin
+            && dst < cfg_.partitionEnd;
+        const bool is_hpp = cfg_.hpp && dst < cfg_.hpp->size()
+            && cfg_.hpp->test(dst);
+
+        if (is_hpp || !in_partition) {
+            // Cut: the tail becomes a root candidate elsewhere.
+            out.cutAtDst = true;
+            ++hppCuts_;
+        } else if (visitEpoch_[dst] != epoch_) {
+            visitEpoch_[dst] = epoch_;
+            if (!stack_->tryPush({dst, g.edgeBegin(dst),
+                                  g.edgeEnd(dst)})) {
+                // Stack full: the last prefetched vertex is inserted
+                // into the local circular queue as a new root.
+                ++stackCuts_;
+                if (!rooted_.test(dst) && !inQueue_.test(dst)
+                    && queue_->tryPush(dst)) {
+                    inQueue_.set(dst);
+                }
+            }
+        }
+        const bool pushed = fifo_->tryPush(out);
+        dg_assert(pushed, "fifo overflow despite full() check");
+        ++prefetched_;
+        return true;
+    }
+    return false;
+}
+
+} // namespace depgraph::dep

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The paper's low-level programming interface (Sec. III-B2) as a
+ * standalone, functional per-core engine model.
+ *
+ * The software system configures the engine once per partition
+ * (DEP_configure: array bases, partition bounds, the H'' bitmap, the
+ * local circular queue -- "as the way configuring a DMA engine"),
+ * inserts active roots, and then drains prefetched edges through
+ * DEP_fetch_edge(), the software face of the DEP_FETCH_EDGE
+ * instruction. Internally the HDTL four-stage pipeline
+ * (Get_Root / Fetch_Offsets / Fetch_Neighbors / Fetch_States) walks
+ * the dependency chains depth-first under a fixed-depth stack and
+ * feeds the FIFO Edge Buffer.
+ *
+ * This class models the ENGINE alone -- functional prefetching with
+ * hardware-faithful structure sizes, no timing and no vertex states.
+ * The timed, state-carrying integration used by the benchmarks lives
+ * in DepGraphExecutor; this facade exists so the programming model
+ * itself can be exercised, tested, and demonstrated in isolation
+ * (see examples/engine_api.cpp).
+ */
+
+#ifndef DEPGRAPH_DEPGRAPH_API_HH
+#define DEPGRAPH_DEPGRAPH_API_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bitmap.hh"
+#include "common/circular_queue.hh"
+#include "common/fifo_buffer.hh"
+#include "common/fixed_stack.hh"
+#include "graph/csr.hh"
+
+namespace depgraph::dep
+{
+
+/** Configuration conveyed by DEP_configure (paper Fig. 8). */
+struct DepConfig
+{
+    const graph::Graph *graph = nullptr;
+    /** Partition assigned to this core: [begin, end). */
+    VertexId partitionBegin = 0;
+    VertexId partitionEnd = 0;
+    /** The in-memory H'' bitmap (hub/core/boundary vertices). */
+    const Bitmap *hpp = nullptr;
+    unsigned stackDepth = 10;   ///< 6.1 Kbit stack (Fig. 15 knob)
+    unsigned fifoCapacity = 64; ///< 4.8 Kbit FIFO Edge Buffer
+    unsigned queueCapacity = 1024; ///< local circular queue slots
+};
+
+/** One edge delivered by DEP_fetch_edge. */
+struct FetchedEdge
+{
+    VertexId src = kInvalidVertex;
+    VertexId dst = kInvalidVertex;
+    EdgeId edge = 0; ///< CSR edge index
+    Value weight = 1.0;
+    /** True when dst is in H'': the traversal was cut here and dst
+     * was (re)inserted as a root candidate for some core. */
+    bool cutAtDst = false;
+};
+
+class DepEngine
+{
+  public:
+    DepEngine() = default;
+
+    /** Configure the engine for a partition (resets all state). */
+    void DEP_configure(const DepConfig &cfg);
+
+    /** Insert an active root into the local circular queue. Returns
+     * false when the queue is full (software must retry later). */
+    bool DEP_insert_root(VertexId v);
+
+    /**
+     * Pop the next prefetched edge; the HDTL pipeline advances as
+     * needed to refill the FIFO. std::nullopt when the engine is
+     * idle (queue, stack, and FIFO all drained).
+     */
+    std::optional<FetchedEdge> DEP_fetch_edge();
+
+    /** No pending work anywhere in the engine? */
+    bool idle() const;
+
+    /* Engine statistics (for tests and reporting). */
+    std::uint64_t prefetchedEdges() const { return prefetched_; }
+    std::uint64_t traversals() const { return traversals_; }
+    std::uint64_t stackCuts() const { return stackCuts_; }
+    std::uint64_t hppCuts() const { return hppCuts_; }
+
+  private:
+    /** One HDTL stack entry (paper Fig. 7): vertex id plus the
+     * current/end offsets of its unvisited edges. */
+    struct StackEntry
+    {
+        VertexId v;
+        EdgeId cur;
+        EdgeId end;
+    };
+
+    /** Run pipeline stages until the FIFO has an edge or the engine
+     * is out of work. */
+    void pump();
+
+    /** Expand the next edge of the stack top into the FIFO; handles
+     * descent, cuts, and pops. Returns false when the stack emptied
+     * without producing. */
+    bool step();
+
+    DepConfig cfg_;
+    std::optional<CircularQueue<VertexId>> queue_;
+    std::optional<FixedStack<StackEntry>> stack_;
+    std::optional<FifoBuffer<FetchedEdge>> fifo_;
+    Bitmap visited_; ///< per-traversal visit marks (epoch-cleared)
+    std::vector<std::uint32_t> visitEpoch_;
+    std::uint32_t epoch_ = 0;
+    /** Queue-membership and rooted-since-last-activation marks: the
+     * real system skips roots whose vertex is inactive; the facade
+     * has no activity notion, so a vertex roots at most once per
+     * external DEP_insert_root (guarantees termination on cycles). */
+    Bitmap inQueue_;
+    Bitmap rooted_;
+
+    std::uint64_t prefetched_ = 0;
+    std::uint64_t traversals_ = 0;
+    std::uint64_t stackCuts_ = 0;
+    std::uint64_t hppCuts_ = 0;
+};
+
+} // namespace depgraph::dep
+
+#endif // DEPGRAPH_DEPGRAPH_API_HH

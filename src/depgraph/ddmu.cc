@@ -1,0 +1,74 @@
+#include "depgraph/ddmu.hh"
+
+#include <cmath>
+
+namespace depgraph::dep
+{
+
+std::optional<Value>
+Ddmu::tryShortcut(VertexId head, VertexId path_id, Value delta)
+{
+    ++stats_.lookups;
+    const auto idx = index_.find(head, path_id);
+    if (idx == HubIndex::kNoEntry)
+        return std::nullopt;
+    const auto &e = index_.entry(idx);
+    if (e.flag != EntryFlag::A)
+        return std::nullopt;
+    ++stats_.hits;
+    return e.func(delta);
+}
+
+void
+Ddmu::observe(VertexId head, VertexId tail, VertexId path_id, Value in,
+              Value out, const gas::LinearFunc &composed, FitMode mode)
+{
+    const auto existing = index_.find(head, path_id);
+    const auto idx = index_.findOrCreate(head, tail, path_id);
+    if (existing == HubIndex::kNoEntry)
+        ++stats_.inserts;
+    auto &e = index_.entry(idx);
+    ++stats_.samples;
+
+    if (mode == FitMode::Compose) {
+        // Exact composition: available immediately.
+        if (e.flag != EntryFlag::A)
+            ++stats_.fits;
+        e.func = composed;
+        e.flag = EntryFlag::A;
+        return;
+    }
+
+    switch (e.flag) {
+      case EntryFlag::N:
+        e.sampleIn = in;
+        e.sampleOut = out;
+        e.flag = EntryFlag::I;
+        break;
+      case EntryFlag::I: {
+        const Value din = in - e.sampleIn;
+        if (din == 0.0) {
+            // Same input twice: refresh the stored sample and wait
+            // for a distinguishable observation.
+            e.sampleOut = out;
+            break;
+        }
+        const Value mu = (out - e.sampleOut) / din;
+        const Value xi = out - mu * in;
+        if (!std::isfinite(mu) || !std::isfinite(xi)) {
+            e.sampleIn = in;
+            e.sampleOut = out;
+            break;
+        }
+        e.func = {mu, xi, kInfinity};
+        e.flag = EntryFlag::A;
+        ++stats_.fits;
+        break;
+      }
+      case EntryFlag::A:
+        // Keep the solved dependency; the paper reuses A entries.
+        break;
+    }
+}
+
+} // namespace depgraph::dep

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Direct Dependency Management Unit (paper Sec. III-B1/B2).
+ *
+ * DDMU generates and maintains the hub index at runtime. Two fitting
+ * modes are provided:
+ *
+ *  - TwoPoint (default, the paper's mechanism): after a core-path is
+ *    traversed, DDMU records the (input delta, delivered influence)
+ *    pair. With one stored pair the entry is I; a second pair with a
+ *    different input solves mu = (x2-x1)/(d2-d1), xi = x1 - mu*d1 and
+ *    the entry becomes A. For the linear EdgeCompute functions of
+ *    Property 2 the fit is exact.
+ *  - Compose: the traversal composes the per-edge (mu, xi, cap)
+ *    functions directly and the entry becomes A after the first
+ *    traversal. This handles capped-linear algorithms (SSWP), whose
+ *    piecewise form a two-point fit can over-estimate -- unsafe under
+ *    a max accumulator.
+ *
+ * The engine picks TwoPoint for purely linear algorithms and Compose
+ * otherwise (see Algorithm::edgeFunc cap); both are forced-selectable
+ * for the ablation benchmark.
+ */
+
+#ifndef DEPGRAPH_DEPGRAPH_DDMU_HH
+#define DEPGRAPH_DEPGRAPH_DDMU_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "depgraph/hub_index.hh"
+
+namespace depgraph::dep
+{
+
+enum class FitMode
+{
+    TwoPoint,
+    Compose,
+};
+
+struct DdmuStats
+{
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;    ///< lookups that found an A entry
+    std::uint64_t inserts = 0; ///< entries created
+    std::uint64_t fits = 0;    ///< entries promoted to A
+    std::uint64_t samples = 0; ///< observations recorded
+};
+
+class Ddmu
+{
+  public:
+    explicit Ddmu(HubIndex &index)
+        : index_(index)
+    {}
+
+    /**
+     * Shortcut query for a root's core-path (paper: "DDMU checks if
+     * the direct dependency related to this vertex exists").
+     *
+     * @return The influence f(delta) when the entry is available.
+     */
+    std::optional<Value> tryShortcut(VertexId head, VertexId path_id,
+                                     Value delta);
+
+    /**
+     * Record a completed core-path traversal.
+     *
+     * @param in The delta that entered the path at the head.
+     * @param out The pure influence delivered at the tail.
+     * @param composed The traversal-composed function (Compose mode).
+     */
+    void observe(VertexId head, VertexId tail, VertexId path_id,
+                 Value in, Value out, const gas::LinearFunc &composed,
+                 FitMode mode);
+
+    const DdmuStats &stats() const { return stats_; }
+
+  private:
+    HubIndex &index_;
+    DdmuStats stats_;
+};
+
+} // namespace depgraph::dep
+
+#endif // DEPGRAPH_DEPGRAPH_DDMU_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Per-core hardware model of the DepGraph engine (paper Fig. 7):
+ * the HDTL prefetch pipeline coupled to the core through the FIFO Edge
+ * Buffer, plus the traversal stack and local circular queue geometry.
+ *
+ * Timing uses two virtual clocks per core. The prefetcher clock
+ * advances by the engine-side access latencies (issued to the L2, as
+ * the paper specifies); the core clock advances by compute and its own
+ * cache accesses. The FIFO couples them: the core cannot consume an
+ * edge before the prefetcher produced it, and the prefetcher cannot
+ * run more than the FIFO capacity ahead of the core. Cycles the core
+ * spends waiting on the FIFO are accounted as memory stall.
+ */
+
+#ifndef DEPGRAPH_DEPGRAPH_ENGINE_MODEL_HH
+#define DEPGRAPH_DEPGRAPH_ENGINE_MODEL_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace depgraph::dep
+{
+
+class CorePipeline
+{
+  public:
+    /**
+     * @param fifo_capacity Capacity of the FIFO Edge Buffer in edges
+     *        (4.8 Kbit / ~80 b per entry, ~64 by default).
+     * @param hardware False models DepGraph-S: a single clock, all
+     *        latencies serialized on the core.
+     */
+    CorePipeline(unsigned fifo_capacity, bool hardware)
+        : ring_(fifo_capacity, 0), hardware_(hardware)
+    {}
+
+    /** The prefetcher produced one edge after `lat` engine cycles. */
+    void
+    produce(Cycles lat)
+    {
+        if (!hardware_) {
+            // Software traversal: the core itself pays the latency.
+            core_ += lat;
+            swSerialized_ += lat;
+            return;
+        }
+        const Cycles floor = ring_[pos_ % ring_.size()];
+        pref_ = std::max(pref_, floor) + lat;
+    }
+
+    /**
+     * The core consumes the next produced edge (DEP_fetch_edge) and
+     * then spends `cost` cycles on it. Returns the cycles the core
+     * stalled waiting for the FIFO.
+     */
+    Cycles
+    consume(Cycles cost)
+    {
+        Cycles wait = 0;
+        if (hardware_ && pref_ > core_) {
+            wait = pref_ - core_;
+            core_ = pref_;
+        }
+        core_ += cost;
+        ring_[pos_ % ring_.size()] = core_;
+        ++pos_;
+        return wait;
+    }
+
+    /** Core-side work not tied to a FIFO entry (vertex apply etc.). */
+    void coreBusy(Cycles cost) { core_ += cost; }
+
+    /** Engine-side work not producing an edge (queue ops, DDMU). */
+    void
+    engineBusy(Cycles cost)
+    {
+        if (hardware_)
+            pref_ += cost;
+        else {
+            core_ += cost;
+            swSerialized_ += cost;
+        }
+    }
+
+    /** Barrier: jump both clocks to `t` (>= current). */
+    void
+    syncTo(Cycles t)
+    {
+        core_ = std::max(core_, t);
+        pref_ = std::max(pref_, core_);
+    }
+
+    Cycles coreClock() const { return core_; }
+
+    /** Latency the software variant serialized on the core (the
+     * "other time" the hardware removes). */
+    Cycles swSerializedCycles() const { return swSerialized_; }
+
+  private:
+    std::vector<Cycles> ring_;
+    std::size_t pos_ = 0;
+    Cycles core_ = 0;
+    Cycles pref_ = 0;
+    Cycles swSerialized_ = 0;
+    bool hardware_;
+};
+
+} // namespace depgraph::dep
+
+#endif // DEPGRAPH_DEPGRAPH_ENGINE_MODEL_HH

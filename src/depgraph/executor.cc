@@ -1,0 +1,703 @@
+#include "depgraph/executor.hh"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "common/bitmap.hh"
+#include "common/trace.hh"
+#include "common/logging.hh"
+#include "depgraph/engine_model.hh"
+#include "graph/core_paths.hh"
+#include "graph/partition.hh"
+#include "runtime/layout.hh"
+#include "runtime/selective.hh"
+
+namespace depgraph::dep
+{
+
+using gas::applyAccum;
+using gas::wouldChange;
+
+namespace
+{
+
+/** Core-path tracking state carried along a traversal (Sec. III-B2:
+ * identifying core-paths on the fly and feeding DDMU). */
+struct Track
+{
+    std::uint32_t pathIdx = kNone;
+    std::uint32_t pos = 0;   ///< edges of the path already walked
+    Value basisIn = 0.0;     ///< head delta the samples are based on
+    Value xPure = 0.0;       ///< pure influence composed so far
+    gas::LinearFunc composed{1.0, 0.0, kInfinity};
+    Value shortcutFired = 0.0; ///< influence already sent to the tail
+    bool hasShortcut = false;
+
+    static constexpr std::uint32_t kNone = 0xffffffffu;
+    bool valid() const { return pathIdx != kNone; }
+};
+
+/** One HDTL stack frame: a vertex being expanded plus its edge cursor
+ * (paper Fig. 7: vertex id, current/end offsets). */
+struct Frame
+{
+    VertexId v;
+    EdgeId cur;
+    EdgeId end;
+    Value d; ///< the delta this vertex applied on entry
+    Track track;
+};
+
+} // namespace
+
+DepGraphExecutor::DepGraphExecutor(DepOptions dep,
+                                   runtime::EngineOptions opt)
+    : dep_(dep), opt_(opt)
+{}
+
+std::string
+DepGraphExecutor::name() const
+{
+    if (dep_.mode == Mode::Software)
+        return "DepGraph-S";
+    return dep_.hubIndexEnabled ? "DepGraph-H" : "DepGraph-H-w";
+}
+
+runtime::RunResult
+DepGraphExecutor::run(const graph::Graph &g, gas::Algorithm &alg,
+                      sim::Machine &m)
+{
+    alg.prepare(g);
+    m.flushCaches();
+    m.clearStats();
+
+    const auto &P = m.params();
+    const unsigned cores = std::min(opt_.numCores, m.numCores());
+    const bool hw = dep_.mode == Mode::Hardware;
+
+    runtime::GraphLayout L(m, g);
+    const graph::Partitioning part(g, cores);
+    const VertexId n = g.numVertices();
+    const auto kind = alg.accumKind();
+    const Value ident = alg.identity();
+    const Value eps = alg.epsilon();
+    const bool is_sum = kind == gas::AccumKind::Sum;
+
+    /* ---- Preprocessing (software side, Sec. III-B): find hubs,
+     * core-vertices and disjoint core-paths; build the H'' bitmap. ---- */
+    const graph::HubSet hubs(g, opt_.hub);
+    const graph::CoreSubgraph cs(g, hubs, 4 * opt_.stackDepth, &part);
+    // First-edge -> core-path map used to recognize path starts. Only
+    // paths whose tail lives on ANOTHER core are indexed: a local tail
+    // receives the chain influence within the same traversal, so its
+    // direct dependency would never be consulted -- the useful
+    // shortcuts are exactly the cross-partition ones (Fig. 5c).
+    std::unordered_map<EdgeId, std::uint32_t> path_of_first_edge;
+    for (std::uint32_t i = 0;
+         i < static_cast<std::uint32_t>(cs.paths().size()); ++i) {
+        const auto &p = cs.paths()[i];
+        // Entries are kept for core-paths that (a) end on another
+        // core -- a local tail receives the chain influence within the
+        // same traversal anyway, so only cross-core dependencies are
+        // ever consulted -- and (b), for sum accumulators, span >= 3
+        // edges: shorter ones cost more in fictitious-edge resets than
+        // they save. Note the absolute storage share of the index at
+        // reproduction scale is larger than the paper's 0.9-2.8%
+        // because the 32 B entry size is constant while the scaled
+        // graphs are ~1000x smaller (see EXPERIMENTS.md).
+        const std::size_t min_len =
+            kind == gas::AccumKind::Sum ? 3 : 1;
+        if (p.edges.size() >= min_len
+            && part.ownerOf(p.tail) != part.ownerOf(p.head))
+            path_of_first_edge.emplace(p.edges[0], i);
+    }
+
+    // Decide the DDMU fitting mode: TwoPoint is exact for purely
+    // linear EdgeCompute; capped-linear algorithms (SSWP) need Compose
+    // to avoid over-estimating shortcuts under a max accumulator.
+    FitMode fit = FitMode::TwoPoint;
+    if (dep_.fitMode) {
+        fit = *dep_.fitMode;
+    } else if (kind != gas::AccumKind::Sum) {
+        // Min/max accumulators rarely present two distinguishable
+        // inputs for the same head (distances/labels settle quickly),
+        // so the two-point protocol would keep entries Initialized
+        // forever; composing the per-edge functions during the first
+        // walk fits the identical direct dependency in one shot. This
+        // also handles capped-linear EdgeCompute (SSWP) exactly.
+        fit = FitMode::Compose;
+    }
+
+    /* ---- Simulated-memory structures. ---- */
+    HubIndex index(m, hubs.numHubs() + cs.numCoreVertices(),
+                   2 * cs.paths().size() + 64);
+    Ddmu ddmu(index);
+    const Addr hpp_bitmap = m.mem().alloc("dep.hpp_bitmap",
+                                          (n + 7) / 8);
+    std::vector<Addr> queue_base(cores);
+    for (unsigned c = 0; c < cores; ++c) {
+        queue_base[c] = m.mem().alloc(
+            "dep.queue." + std::to_string(c),
+            std::max<std::size_t>(256, part.range(c).size()) * 4);
+    }
+    // The hub index is hot data: tell GRASP-managed L3 banks.
+    m.hotRegions().clear();
+    m.hotRegions().addRange(index.hashAddr(0), index.byteSize());
+
+    runtime::RunResult result;
+    auto &mx = result.metrics;
+    mx.coresUsed = cores;
+
+    /* ---- Functional state. ---- */
+    Value gate = eps; // Maiter-style selective gate (sum only)
+    std::vector<Value> state(n), delta(n), shadow(n, ident);
+    for (VertexId v = 0; v < n; ++v) {
+        state[v] = alg.initState(g, v);
+        delta[v] = alg.initDelta(g, v);
+    }
+
+    std::vector<CorePipeline> pl;
+    pl.reserve(cores);
+    for (unsigned c = 0; c < cores; ++c)
+        pl.emplace_back(opt_.fifoCapacity, hw);
+
+    /* ---- Charging helpers. ---- */
+    unsigned cur_core = 0;
+    auto engineAccess = [&](Addr a, unsigned bytes, bool write) {
+        // HDTL/DDMU accesses go through the L2 (Sec. III-B). In
+        // software mode the core itself performs them.
+        if (hw)
+            return m.accessFromL2(cur_core, a, bytes, write).latency;
+        return m.access(cur_core, a, bytes, write).latency;
+    };
+    auto coreAccess = [&](Addr a, unsigned bytes, bool write) {
+        const auto r = m.access(cur_core, a, bytes, write);
+        pl[cur_core].coreBusy(r.latency);
+        mx.memStallCycles += r.latency;
+    };
+    auto coreCompute = [&](Cycles cyc) {
+        pl[cur_core].coreBusy(cyc);
+        mx.computeCycles += cyc;
+    };
+
+    auto queueOp = [&](Addr qaddr, bool write) {
+        const Cycles lat = engineAccess(qaddr, 4, write);
+        if (hw) {
+            pl[cur_core].engineBusy(lat + 1);
+            ++mx.accelOps;
+        } else {
+            pl[cur_core].coreBusy(lat + P.queueOpCycles);
+            mx.memStallCycles += lat;
+            mx.overheadCycles += P.queueOpCycles;
+        }
+    };
+    auto ddmuAccessCost = [&](VertexId head, std::uint32_t entry_idx,
+                              bool write) {
+        Cycles lat = engineAccess(index.hashAddr(head), 16, false);
+        lat += engineAccess(
+            index.entryAddr(entry_idx == HubIndex::kNoEntry
+                                ? 0 : entry_idx),
+            32, write);
+        if (hw) {
+            pl[cur_core].engineBusy(lat + P.hwHubIndexCycles);
+            ++mx.accelOps;
+        } else {
+            pl[cur_core].coreBusy(lat + P.swHubIndexCycles);
+            mx.memStallCycles += lat;
+            mx.overheadCycles += P.swHubIndexCycles;
+        }
+    };
+
+    /* ---- Queues, activation. ----
+     *
+     * DepGraph's cross-core activations are explicit messages: the
+     * engine "inserts the tail vertex into the local circular queues
+     * of all cores that own a partition with it" (Sec. III-B2). A
+     * queue entry therefore carries the time it becomes visible to
+     * the receiving core; remote deliveries land directly in the
+     * target's pending delta (the handoff is explicit, not a stale
+     * rescan) and are processed within the same round. */
+    struct QEntry
+    {
+        VertexId v;
+        Cycles ready;
+    };
+    std::vector<std::deque<QEntry>> queue(cores);
+    Bitmap inQueue(n);
+    auto enqueueAt = [&](unsigned c, VertexId v, Cycles ready) {
+        if (!inQueue.testAndSet(v))
+            return;
+        queue[c].push_back({v, ready});
+        queueOp(queue_base[c], true);
+    };
+    /* Ordinary remote delivery: a plain store another core will only
+     * discover at the next round's active scan (no push machinery
+     * without the hub index). */
+    auto deliverRemote = [&](VertexId t, Value inf) {
+        shadow[t] = applyAccum(kind, shadow[t], inf);
+    };
+    /* Hub-index push: the engine inserts the tail into the owning
+     * core's local circular queue (Sec. III-B2), so the influence is
+     * consumed within the same round -- this is precisely the cross-
+     * core parallelism the direct dependencies unlock (Fig. 5c). */
+    auto pushRemote = [&](VertexId t, Value inf) {
+        const unsigned owner = part.ownerOf(t);
+        delta[t] = applyAccum(kind, delta[t], inf);
+        // Any genuine improvement is worth pushing: the message is
+        // cheap and it saves the tail's core a full round.
+        const bool worth = is_sum
+            ? runtime::worthChasing(kind, state[t], delta[t], gate)
+            : wouldChange(kind, state[t], delta[t], eps);
+        if (worth) {
+            const Cycles send = pl[cur_core].coreClock() + 30;
+            enqueueAt(owner, t, send);
+        }
+        if (hw) {
+            pl[cur_core].engineBusy(20);
+            ++mx.accelOps;
+        } else {
+            pl[cur_core].coreBusy(20 + P.queueOpCycles);
+            mx.overheadCycles += 20 + P.queueOpCycles;
+        }
+    };
+
+    /* ---- The HDTL traversal. ---- */
+    std::vector<std::uint32_t> visitEpoch(n, 0);
+    std::uint32_t epoch = 0;
+    std::vector<Frame> stack;
+    stack.reserve(opt_.stackDepth);
+
+    // A vertex applies its delta at most once per round (as in the
+    // baselines); chains still propagate multi-hop within a round
+    // because every hop is a first application in dependency order --
+    // this realizes Observation one's "least number of updates ...
+    // the same as the number of vertices" on a chain.
+    Bitmap processedRound(n);
+
+    auto enterVertex = [&](VertexId v) -> Value {
+        // Fetch_Offsets (engine) + the core applying the delta.
+        const Cycles off_lat = engineAccess(L.offsetAddr(v), 16, false);
+        if (hw) {
+            pl[cur_core].engineBusy(off_lat);
+            ++mx.accelOps;
+        } else {
+            pl[cur_core].coreBusy(off_lat + P.swTraversalCycles);
+            mx.memStallCycles += off_lat;
+            mx.overheadCycles += P.swTraversalCycles;
+        }
+        coreAccess(L.deltaAddr(v), 8, true);
+        coreAccess(L.stateAddr(v), 8, true);
+        const Value d = delta[v];
+        delta[v] = ident;
+        state[v] = applyAccum(kind, state[v], d);
+        ++mx.updates;
+        processedRound.set(v);
+        coreCompute(P.vertexOpCycles);
+        return d;
+    };
+
+    auto traverse = [&](VertexId root) {
+        ++epoch;
+        const Value d_root = enterVertex(root);
+        visitEpoch[root] = epoch;
+        const bool root_is_hpp = cs.isHubOrCore(root);
+        if (root_is_hpp) {
+            // H'' membership check against the in-memory bitmap.
+            Cycles lat = engineAccess(hpp_bitmap + root / 8, 1, false);
+            // DDMU retrieves mu/xi "for all core-paths originated
+            // from this vertex" with one hash probe plus a contiguous
+            // read of the entry range (Sec. III-B2); per-path checks
+            // during the traversal are then register-speed.
+            if (dep_.hubIndexEnabled && alg.transformable()) {
+                lat += engineAccess(index.hashAddr(root), 16, false);
+                // The entry range is contiguous; the engine streams it
+                // at one line per two cycles after the first access.
+                const auto &entries = index.entriesOf(root);
+                Cycles worst = 0;
+                std::size_t lines = 0;
+                for (std::size_t i = 0; i < entries.size(); i += 2) {
+                    worst = std::max(
+                        worst, engineAccess(index.entryAddr(entries[i]),
+                                            32, false));
+                    ++lines;
+                }
+                lat += worst + 2 * lines;
+            }
+            if (hw) {
+                pl[cur_core].engineBusy(lat + P.hwHubIndexCycles);
+                ++mx.accelOps;
+            } else {
+                pl[cur_core].coreBusy(lat + P.swHubIndexCycles);
+                mx.memStallCycles += lat;
+                mx.overheadCycles += P.swHubIndexCycles;
+            }
+        }
+
+        stack.clear();
+        stack.push_back({root, g.edgeBegin(root), g.edgeEnd(root),
+                         d_root, Track{}});
+
+        while (!stack.empty()) {
+            Frame &f = stack.back();
+            if (f.cur == f.end) {
+                stack.pop_back();
+                continue;
+            }
+            const EdgeId e = f.cur++;
+            const VertexId t = g.target(e);
+
+            /* Fetch_Neighbors + Fetch_States: the engine prefetches
+             * the edge and the endpoint's state/delta. */
+            Cycles prod = engineAccess(L.targetAddr(e), 4, false);
+            if (L.weighted())
+                prod = std::max(prod,
+                                engineAccess(L.weightAddr(e), 8,
+                                             false));
+            prod = std::max(prod,
+                            engineAccess(L.stateAddr(t), 8, false));
+            prod = std::max(prod,
+                            engineAccess(L.deltaAddr(t), 8, false));
+            if (hw) {
+                pl[cur_core].produce(prod + 2);
+                ++mx.prefetchedEdges;
+                ++mx.accelOps;
+            } else {
+                pl[cur_core].coreBusy(prod + P.swTraversalCycles);
+                mx.memStallCycles += prod;
+                mx.overheadCycles += P.swTraversalCycles;
+            }
+
+            /* Core consumes the edge: DEP_fetch_edge + EdgeCompute. */
+            const Cycles wait = pl[cur_core].consume(
+                1 + P.edgeOpCycles);
+            mx.memStallCycles += wait;
+            mx.computeCycles += 1 + P.edgeOpCycles;
+            ++mx.edgeOps;
+            const Value inf = alg.edgeCompute(g, f.v, e, f.d);
+            coreAccess(L.deltaAddr(t), 8, true);
+
+            /* Core-path tracking. */
+            Track child_track;
+            const bool hub_on =
+                dep_.hubIndexEnabled && alg.transformable();
+            if (hub_on && f.v == root && root_is_hpp) {
+                auto it = path_of_first_edge.find(e);
+                if (it != path_of_first_edge.end()) {
+                    const auto &cp = cs.paths()[it->second];
+                    child_track.pathIdx = it->second;
+                    child_track.pos = 1;
+                    child_track.basisIn = d_root;
+                    child_track.xPure =
+                        alg.edgeCompute(g, f.v, e, d_root);
+                    child_track.composed = alg.edgeFunc(g, f.v, e);
+                    // Shortcut: deliver the head's influence to the
+                    // tail immediately if the dependency is available
+                    // (entries were read at Get_Root time). Firing
+                    // pays off when the tail lives on another core --
+                    // that core then propagates the influence in
+                    // parallel with this walk (Fig. 5c); a local tail
+                    // receives the chain influence within the same
+                    // traversal anyway.
+                    if (part.ownerOf(cp.tail) != cur_core) {
+                        if (hw)
+                            pl[cur_core].engineBusy(1);
+                        else
+                            pl[cur_core].coreBusy(2);
+                        ++mx.hubIndexLookups;
+                        const auto x_fit = ddmu.tryShortcut(
+                            cp.head, it->second, d_root);
+                        if (x_fit) {
+                            ++mx.hubIndexHits;
+                            ++mx.shortcutsApplied;
+                            dg_trace(trace::kShortcut, "core ",
+                                     cur_core, ": v", cp.head,
+                                     " -> v", cp.tail, " f=", *x_fit);
+                            pushRemote(cp.tail, *x_fit);
+                            if (is_sum) {
+                                child_track.shortcutFired = *x_fit;
+                                child_track.hasShortcut = true;
+                            }
+                        }
+                    }
+                }
+            } else if (hub_on && f.track.valid()) {
+                const auto &cp = cs.paths()[f.track.pathIdx];
+                if (f.track.pos < cp.edges.size()
+                    && cp.edges[f.track.pos] == e) {
+                    child_track = f.track;
+                    ++child_track.pos;
+                    child_track.xPure =
+                        alg.edgeCompute(g, f.v, e, f.track.xPure);
+                    child_track.composed = gas::LinearFunc::compose(
+                        alg.edgeFunc(g, f.v, e), f.track.composed);
+                }
+            }
+
+            /* Tail reached: record the observation with DDMU and emit
+             * the fictitious reset edge if the shortcut double-
+             * delivered (sum accumulators only). */
+            const bool at_tail = child_track.valid()
+                && child_track.pos
+                    == cs.paths()[child_track.pathIdx].edges.size();
+            if (at_tail) {
+                const auto &cp = cs.paths()[child_track.pathIdx];
+                // Once an entry is Available it is only reused; DDMU
+                // does no further fitting work for it (Sec. III-B2).
+                const auto existing =
+                    index.find(cp.head, child_track.pathIdx);
+                const bool settled = existing != HubIndex::kNoEntry
+                    && index.entry(existing).flag == EntryFlag::A;
+                if (!settled) {
+                    dg_trace(trace::kDdmu, "observe path ",
+                             child_track.pathIdx, " head=v", cp.head,
+                             " tail=v", cp.tail, " in=",
+                             child_track.basisIn, " out=",
+                             child_track.xPure);
+                    ddmuAccessCost(cp.head, existing, true);
+                    const auto before = index.size();
+                    ddmu.observe(cp.head, cp.tail,
+                                 child_track.pathIdx,
+                                 child_track.basisIn,
+                                 child_track.xPure,
+                                 child_track.composed, fit);
+                    if (index.size() > before)
+                        ++mx.hubIndexInserts;
+                }
+                if (child_track.hasShortcut) {
+                    // Fictitious edge <-1, tail, NULL, f(s)>: the core
+                    // consumes it and takes the influence away once.
+                    // The reset rides with the chain delivery (both
+                    // are plain stores) and cancels at the barrier.
+                    const Cycles w2 = pl[cur_core].consume(
+                        1 + P.edgeOpCycles);
+                    mx.memStallCycles += w2;
+                    mx.computeCycles += 1 + P.edgeOpCycles;
+                    coreAccess(L.deltaAddr(cp.tail), 8, true);
+                    deliverRemote(cp.tail,
+                                  -child_track.shortcutFired);
+                }
+                child_track = Track{};
+            }
+
+            /* A tracked core-path that terminates before its tail
+             * must take back the influence the shortcut already sent
+             * (otherwise the tail would keep a copy the in-path
+             * propagation never matches). */
+            auto cancelShortcut = [&] {
+                if (child_track.valid() && child_track.hasShortcut) {
+                    deliverRemote(
+                        cs.paths()[child_track.pathIdx].tail,
+                        -child_track.shortcutFired);
+                }
+            };
+
+            /* Deliver the influence and decide whether to descend. */
+            const unsigned owner = part.ownerOf(t);
+            if (owner != cur_core) {
+                deliverRemote(t, inf); // discovered at the next round
+                cancelShortcut(); // interiors are local by construction
+                continue; // remote chains resume on their owner core
+            }
+            delta[t] = applyAccum(kind, delta[t], inf);
+            if (!runtime::worthChasing(kind, state[t], delta[t],
+                                       gate)) {
+                cancelShortcut();
+                continue; // contribution banks until it clears the gate
+            }
+
+            if (cs.isHubOrCore(t)) {
+                // H'' vertex: cut the traversal, hand t over as a new
+                // root (it may start core-paths of its own).
+                cancelShortcut();
+                enqueueAt(cur_core, t, pl[cur_core].coreClock());
+                continue;
+            }
+            if (visitEpoch[t] == epoch || processedRound.test(t)) {
+                // Already expanded in this traversal, or already
+                // applied this round: bank the delta for next round.
+                cancelShortcut();
+                continue;
+            }
+            if (stack.size() >= opt_.stackDepth) {
+                // Stack full: the last prefetched vertex becomes a new
+                // root (paper Sec. III-B2).
+                cancelShortcut();
+                enqueueAt(cur_core, t, pl[cur_core].coreClock());
+                continue;
+            }
+            visitEpoch[t] = epoch;
+            const Value d_t = enterVertex(t);
+            stack.push_back({t, g.edgeBegin(t), g.edgeEnd(t), d_t,
+                             child_track});
+        }
+    };
+
+    /* ---- Round loop. ---- */
+    std::size_t active_total = 0;
+    auto seedQueues = [&] {
+        inQueue.clearAll();
+        active_total = 0;
+        for (unsigned c = 0; c < cores; ++c)
+            queue[c].clear();
+        std::vector<VertexId> actives;
+        for (VertexId v = 0; v < n; ++v) {
+            if (delta[v] != ident
+                && wouldChange(kind, state[v], delta[v], eps)) {
+                actives.push_back(v);
+                ++active_total;
+            }
+        }
+        gate = runtime::selectionThreshold(kind, eps, delta, actives);
+        // Seed each core's queue most-impactful-first (closest first
+        // for min accumulators): chains then start from near-final
+        // values and re-updates stay rare.
+        std::stable_sort(actives.begin(), actives.end(),
+            [&](VertexId a, VertexId b) {
+                switch (kind) {
+                  case gas::AccumKind::Sum:
+                    return std::abs(delta[a]) > std::abs(delta[b]);
+                  case gas::AccumKind::Min:
+                    return delta[a] < delta[b];
+                  case gas::AccumKind::Max:
+                    return delta[a] > delta[b];
+                }
+                return false;
+            });
+        for (auto v : actives) {
+            if (runtime::clearsGate(kind, state[v], delta[v], gate)) {
+                queue[part.ownerOf(v)].push_back({v, 0});
+                inQueue.set(v);
+            }
+        }
+    };
+    seedQueues();
+
+    for (mx.rounds = 0; mx.rounds < opt_.maxRounds && active_total > 0;
+         ++mx.rounds) {
+        // Waves: keep draining queues until no core has work, so
+        // cross-core activations sent during the round are consumed in
+        // the same round (each vertex still applies at most once per
+        // round).
+        bool any_work = true;
+        while (any_work) {
+            any_work = false;
+            for (unsigned c = 0; c < cores; ++c) {
+                cur_core = c;
+                while (!queue[c].empty()) {
+                    // Take the first already-visible entry; an
+                    // in-flight push must not block work behind it.
+                    std::size_t pick = 0;
+                    std::size_t earliest = 0;
+                    bool found = false;
+                    for (std::size_t i = 0; i < queue[c].size(); ++i) {
+                        if (queue[c][i].ready <= pl[c].coreClock()) {
+                            pick = i;
+                            found = true;
+                            break;
+                        }
+                        if (queue[c][i].ready
+                            < queue[c][earliest].ready) {
+                            earliest = i;
+                        }
+                    }
+                    if (!found)
+                        pick = earliest;
+                    const QEntry entry = queue[c][pick];
+                    queue[c].erase(queue[c].begin()
+                                   + static_cast<std::ptrdiff_t>(pick));
+                    any_work = true;
+                    const VertexId root = entry.v;
+                    inQueue.reset(root);
+                    // The message is visible only once it arrived.
+                    if (entry.ready > pl[c].coreClock()) {
+                        mx.idleCycles +=
+                            entry.ready - pl[c].coreClock();
+                        pl[c].syncTo(entry.ready);
+                    }
+                    queueOp(queue_base[c], false); // Get_Root stage
+                    if (delta[root] == ident
+                        || processedRound.test(root)
+                        || !runtime::clearsGate(kind, state[root],
+                                                delta[root], gate)) {
+                        coreCompute(1);
+                        continue;
+                    }
+                    dg_trace(trace::kTraverse, "core ", cur_core,
+                             ": root v", root, " delta=",
+                             delta[root]);
+                    traverse(root);
+                }
+            }
+        }
+
+        dg_trace(trace::kEngine, name(), " round ", mx.rounds,
+                 " done: updates=", mx.updates);
+
+        /* Barrier: merge remote stores; reseed from banked deltas. */
+        processedRound.clearAll();
+        for (VertexId v = 0; v < n; ++v) {
+            if (shadow[v] != ident) {
+                delta[v] = applyAccum(kind, delta[v], shadow[v]);
+                shadow[v] = ident;
+            }
+        }
+        seedQueues();
+
+        Cycles bar = 0;
+        for (unsigned c = 0; c < cores; ++c)
+            bar = std::max(bar, pl[c].coreClock());
+        for (unsigned c = 0; c < cores; ++c) {
+            mx.idleCycles += bar - pl[c].coreClock();
+            pl[c].syncTo(bar);
+        }
+    }
+
+    mx.converged = active_total == 0;
+    if (!mx.converged)
+        dg_warn(name(), " hit the round limit before converging");
+
+    Cycles makespan = 0;
+    for (unsigned c = 0; c < cores; ++c)
+        makespan = std::max(makespan, pl[c].coreClock());
+    mx.makespan = makespan;
+
+    const auto &ds = ddmu.stats();
+    mx.hubIndexLookups = ds.lookups;
+    mx.hubIndexHits = ds.hits;
+    mx.hubIndexInserts = ds.inserts;
+    mx.hubIndexBytes = index.byteSize();
+
+    result.states = std::move(state);
+    result.memStats = m.stats();
+    result.energy = sim::computeEnergy(
+        result.memStats, mx.busyCycles(),
+        mx.idleCycles
+            + static_cast<std::uint64_t>(m.numCores() - cores)
+                * mx.makespan,
+        mx.accelOps);
+    return result;
+}
+
+runtime::EnginePtr
+makeDepGraphS(runtime::EngineOptions opt)
+{
+    return std::make_unique<DepGraphExecutor>(
+        DepOptions{Mode::Software, true, std::nullopt}, opt);
+}
+
+runtime::EnginePtr
+makeDepGraphH(runtime::EngineOptions opt)
+{
+    return std::make_unique<DepGraphExecutor>(
+        DepOptions{Mode::Hardware, true, std::nullopt}, opt);
+}
+
+runtime::EnginePtr
+makeDepGraphHNoHub(runtime::EngineOptions opt)
+{
+    return std::make_unique<DepGraphExecutor>(
+        DepOptions{Mode::Hardware, false, std::nullopt}, opt);
+}
+
+} // namespace depgraph::dep

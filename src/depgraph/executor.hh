@@ -1,0 +1,73 @@
+/**
+ * @file
+ * DepGraph execution engines (paper Sec. III).
+ *
+ * DepGraphExecutor implements the dependency-driven asynchronous
+ * execution approach on the simulated machine:
+ *
+ *  - per-core local circular queues of active roots;
+ *  - HDTL depth-first traversal from each root along dependency
+ *    chains, prefetching edges and endpoint states (4-stage pipeline,
+ *    fixed-depth stack, FIFO edge buffer);
+ *  - traversal cut points (stack overflow, partition boundary, H''
+ *    vertices) re-enqueued as new roots, H''/remote tails activated on
+ *    their owning cores;
+ *  - DDMU-maintained hub index over core-paths, with shortcut firing
+ *    at roots and fictitious-edge state reset for sum accumulators.
+ *
+ * Three variants cover the paper's configurations:
+ *   DepGraph-S   (mode Software):  everything on the core;
+ *   DepGraph-H   (mode Hardware):  HDTL/DDMU offloaded & pipelined;
+ *   DepGraph-H-w (hub index disabled): Fig. 11's ablation.
+ */
+
+#ifndef DEPGRAPH_DEPGRAPH_EXECUTOR_HH
+#define DEPGRAPH_DEPGRAPH_EXECUTOR_HH
+
+#include <optional>
+#include <string>
+
+#include "depgraph/ddmu.hh"
+#include "runtime/engine.hh"
+
+namespace depgraph::dep
+{
+
+enum class Mode
+{
+    Software, ///< DepGraph-S: fully software implementation
+    Hardware, ///< DepGraph-H: per-core engine coupled to the L2
+};
+
+struct DepOptions
+{
+    Mode mode = Mode::Hardware;
+    bool hubIndexEnabled = true;
+    /** Force a fitting mode; unset = TwoPoint for purely linear
+     * algorithms, Compose for capped-linear ones (SSWP). */
+    std::optional<FitMode> fitMode;
+};
+
+class DepGraphExecutor : public runtime::Engine
+{
+  public:
+    DepGraphExecutor(DepOptions dep, runtime::EngineOptions opt = {});
+
+    std::string name() const override;
+
+    runtime::RunResult run(const graph::Graph &g, gas::Algorithm &alg,
+                           sim::Machine &m) override;
+
+  private:
+    DepOptions dep_;
+    runtime::EngineOptions opt_;
+};
+
+/* Convenience factories matching the paper's configuration names. */
+runtime::EnginePtr makeDepGraphS(runtime::EngineOptions opt = {});
+runtime::EnginePtr makeDepGraphH(runtime::EngineOptions opt = {});
+runtime::EnginePtr makeDepGraphHNoHub(runtime::EngineOptions opt = {});
+
+} // namespace depgraph::dep
+
+#endif // DEPGRAPH_DEPGRAPH_EXECUTOR_HH

@@ -1,0 +1,90 @@
+#include "depgraph/hub_index.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace depgraph::dep
+{
+
+namespace
+{
+
+std::uint64_t
+key(VertexId head, VertexId path_id)
+{
+    return (static_cast<std::uint64_t>(head) << 32) | path_id;
+}
+
+} // namespace
+
+HubIndex::HubIndex(sim::Machine &m, std::size_t num_hub_vertices,
+                   std::size_t capacity_hint)
+{
+    // Hash directory: |H| / omega buckets, omega = 0.75 (paper cites
+    // Ross [41]); each bucket is <vertex id, begin, end> = 16 B.
+    hashBuckets_ = std::max<std::size_t>(
+        16, static_cast<std::size_t>(
+                static_cast<double>(num_hub_vertices) / 0.75));
+    hashBase_ = m.mem().alloc("hub.hash", hashBuckets_ * 16);
+
+    capacity_ = std::max<std::size_t>(capacity_hint, 64);
+    entriesBase_ = m.mem().alloc("hub.index", capacity_ * kEntryBytes);
+    entries_.reserve(capacity_);
+}
+
+std::uint32_t
+HubIndex::find(VertexId head, VertexId path_id) const
+{
+    auto it = lookup_.find(key(head, path_id));
+    return it == lookup_.end() ? kNoEntry : it->second;
+}
+
+std::uint32_t
+HubIndex::findOrCreate(VertexId head, VertexId tail, VertexId path_id)
+{
+    const auto k = key(head, path_id);
+    auto it = lookup_.find(k);
+    if (it != lookup_.end())
+        return it->second;
+    const auto idx = static_cast<std::uint32_t>(entries_.size());
+    dg_assert(idx != kNoEntry, "hub index full");
+    HubEntry e;
+    e.head = head;
+    e.tail = tail;
+    e.pathId = path_id;
+    entries_.push_back(e);
+    lookup_.emplace(k, idx);
+    byHead_[head].push_back(idx);
+    return idx;
+}
+
+const std::vector<std::uint32_t> &
+HubIndex::entriesOf(VertexId head) const
+{
+    auto it = byHead_.find(head);
+    return it == byHead_.end() ? emptyList_ : it->second;
+}
+
+Addr
+HubIndex::hashAddr(VertexId head) const
+{
+    return hashBase_ + (head % hashBuckets_) * 16;
+}
+
+Addr
+HubIndex::entryAddr(std::uint32_t idx) const
+{
+    // The pool address wraps if runtime discovery exceeds the hint;
+    // timing stays sane and the functional table is unbounded.
+    return entriesBase_
+        + (static_cast<Addr>(idx) % capacity_) * kEntryBytes;
+}
+
+std::size_t
+HubIndex::byteSize() const
+{
+    return entries_.size() * kEntryBytes + hashBuckets_ * 16;
+}
+
+} // namespace depgraph::dep

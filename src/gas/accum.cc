@@ -1,0 +1,44 @@
+#include "gas/accum.hh"
+
+#include "common/logging.hh"
+
+namespace depgraph::gas
+{
+
+std::optional<AccumKind>
+detectAccumKind(const Algorithm &alg)
+{
+    const Value probe = alg.accumOp(1.0, 1.0);
+    if (probe == 2.0)
+        return AccumKind::Sum;
+    if (probe == 1.0) {
+        // min or max: disambiguate with asymmetric operands.
+        const Value lo = alg.accumOp(1.0, 2.0);
+        const Value hi = alg.accumOp(2.0, 1.0);
+        if (lo == 1.0 && hi == 1.0)
+            return AccumKind::Min;
+        if (lo == 2.0 && hi == 2.0)
+            return AccumKind::Max;
+        return std::nullopt; // order-dependent: not a generalized sum
+    }
+    return std::nullopt;
+}
+
+AccumKind
+verifiedAccumKind(const Algorithm &alg)
+{
+    const auto detected = detectAccumKind(alg);
+    if (!detected) {
+        dg_fatal("algorithm '", alg.name(), "' has a generalized sum "
+                 "that is neither sum nor min/max; disable the "
+                 "dependency transformation for it");
+    }
+    if (*detected != alg.accumKind()) {
+        dg_fatal("algorithm '", alg.name(), "' declares accum kind '",
+                 accumKindName(alg.accumKind()), "' but probes as '",
+                 accumKindName(*detected), "'");
+    }
+    return *detected;
+}
+
+} // namespace depgraph::gas

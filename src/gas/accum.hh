@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Automatic detection of the generalized-sum kind.
+ *
+ * Implements the paper's probe (Sec. III-B2): evaluate Accum(1, 1) at
+ * initialization. A result of 2 means sum; 1 means min-or-max (then
+ * Accum(1, 2) disambiguates); anything else means the algorithm is not
+ * supported by the dependency transformation and DepGraph reports an
+ * error so the user can disable the transformation.
+ */
+
+#ifndef DEPGRAPH_GAS_ACCUM_HH
+#define DEPGRAPH_GAS_ACCUM_HH
+
+#include <optional>
+
+#include "gas/model.hh"
+
+namespace depgraph::gas
+{
+
+/**
+ * Probe the black-box accumOp of an algorithm.
+ *
+ * @return The detected kind, or std::nullopt when the generalized sum
+ *         is neither sum nor min/max (transformation unsupported).
+ */
+std::optional<AccumKind> detectAccumKind(const Algorithm &alg);
+
+/** Probe and cross-check against the declared accumKind(); fatal on a
+ * mismatch (a mis-declared algorithm would silently corrupt results). */
+AccumKind verifiedAccumKind(const Algorithm &alg);
+
+} // namespace depgraph::gas
+
+#endif // DEPGRAPH_GAS_ACCUM_HH

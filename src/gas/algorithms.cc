@@ -1,0 +1,35 @@
+#include "gas/algorithms.hh"
+
+#include "common/logging.hh"
+
+namespace depgraph::gas
+{
+
+AlgorithmPtr
+makeAlgorithm(const std::string &name)
+{
+    if (name == "pagerank")
+        return std::make_unique<PageRank>();
+    if (name == "adsorption")
+        return std::make_unique<Adsorption>();
+    if (name == "katz")
+        return std::make_unique<Katz>();
+    if (name == "sssp")
+        return std::make_unique<Sssp>();
+    if (name == "wcc")
+        return std::make_unique<Wcc>();
+    if (name == "sswp")
+        return std::make_unique<Sswp>();
+    if (name == "bfs")
+        return std::make_unique<Bfs>();
+    dg_fatal("unknown algorithm '", name,
+             "' (pagerank/adsorption/katz/sssp/wcc/sswp/bfs)");
+}
+
+std::vector<std::string>
+paperAlgorithms()
+{
+    return {"pagerank", "adsorption", "sssp", "wcc"};
+}
+
+} // namespace depgraph::gas

@@ -1,0 +1,378 @@
+/**
+ * @file
+ * The iterative graph algorithms evaluated in the paper (Fig. 1 and
+ * Table I): incremental pagerank, adsorption, SSSP, WCC, plus the
+ * Table I extras Katz metric and single-source widest path (SSWP).
+ *
+ * All are expressed in the delta-based linear GAS form of gas/model.hh.
+ */
+
+#ifndef DEPGRAPH_GAS_ALGORITHMS_HH
+#define DEPGRAPH_GAS_ALGORITHMS_HH
+
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "gas/model.hh"
+
+namespace depgraph::gas
+{
+
+/**
+ * Incremental pagerank (delta-accumulative form, paper Fig. 1a):
+ * EdgeCompute scatters damping * delta / outdeg(src); Accum is sum.
+ *
+ * "Incremental" means the run starts from a converged ranking into
+ * which a graph change injected fresh rank mass at a sparse set of
+ * vertices (every seed_stride-th vertex here, deterministically) --
+ * the workload of [56], [64] that the paper evaluates. Propagation is
+ * therefore chain-bound rather than uniformly decay-bound, which is
+ * the regime where dependency chains dominate (paper Sec. II).
+ * Pass seed_stride = 1 for a from-scratch full pagerank.
+ */
+class PageRank : public Algorithm
+{
+  public:
+    explicit PageRank(Value damping = 0.85, Value eps = 1e-5,
+                      VertexId seed_stride = 16)
+        : damping_(damping), eps_(eps), seedStride_(seed_stride)
+    {}
+
+    std::string name() const override { return "pagerank"; }
+    AccumKind accumKind() const override { return AccumKind::Sum; }
+    Value accumOp(Value a, Value b) const override { return a + b; }
+
+    LinearFunc
+    edgeFunc(const graph::Graph &g, VertexId src,
+             EdgeId) const override
+    {
+        const auto deg = g.outDegree(src);
+        return {damping_ / static_cast<Value>(deg ? deg : 1), 0.0,
+                kInfinity};
+    }
+
+    Value
+    initState(const graph::Graph &, VertexId) const override
+    {
+        return 0.0;
+    }
+
+    Value
+    initDelta(const graph::Graph &, VertexId v) const override
+    {
+        return (v % seedStride_ == 0) ? 1.0 - damping_ : 0.0;
+    }
+
+    Value epsilon() const override { return eps_; }
+    Value damping() const { return damping_; }
+
+  private:
+    Value damping_;
+    Value eps_;
+    VertexId seedStride_;
+};
+
+/**
+ * Adsorption label propagation (paper Fig. 1b): each vertex has a
+ * continuation probability; EdgeCompute scatters
+ * delta * p_cont(src) * weight / total_out_weight(src). A deterministic
+ * per-vertex probability keeps runs reproducible. Seed vertices inject
+ * unit label mass.
+ */
+class Adsorption : public Algorithm
+{
+  public:
+    /** @param seed_stride Every seed_stride-th vertex is a label seed. */
+    explicit Adsorption(VertexId seed_stride = 64, Value eps = 1e-5)
+        : seedStride_(seed_stride), eps_(eps)
+    {}
+
+    std::string name() const override { return "adsorption"; }
+    AccumKind accumKind() const override { return AccumKind::Sum; }
+    Value accumOp(Value a, Value b) const override { return a + b; }
+
+    /** Deterministic continuation probability in [0.30, 0.80). */
+    static Value
+    continueProb(VertexId v)
+    {
+        const std::uint32_t h = (v + 1u) * 2654435761u;
+        return 0.30 + 0.50 * static_cast<Value>((h >> 8) & 0xffff)
+            / 65536.0;
+    }
+
+    void
+    prepare(const graph::Graph &g) override
+    {
+        if (preparedFor_ == &g)
+            return;
+        outWeightSum_.assign(g.numVertices(), 1.0);
+        for (VertexId v = 0; v < g.numVertices(); ++v) {
+            Value wsum = 0.0;
+            for (EdgeId k = g.edgeBegin(v); k < g.edgeEnd(v); ++k)
+                wsum += g.weight(k);
+            if (wsum > 0.0)
+                outWeightSum_[v] = wsum;
+        }
+        preparedFor_ = &g;
+    }
+
+    LinearFunc
+    edgeFunc(const graph::Graph &g, VertexId src,
+             EdgeId e) const override
+    {
+        // Normalize by the total outgoing weight so the scatter is a
+        // contraction and the iteration converges.
+        dg_assert(preparedFor_ == &g,
+                  "Adsorption::prepare() not called for this graph");
+        return {continueProb(src) * g.weight(e) / outWeightSum_[src],
+                0.0, kInfinity};
+    }
+
+    Value
+    initState(const graph::Graph &, VertexId) const override
+    {
+        return 0.0;
+    }
+
+    Value
+    initDelta(const graph::Graph &, VertexId v) const override
+    {
+        return (v % seedStride_ == 0) ? 1.0 : 0.0;
+    }
+
+    Value epsilon() const override { return eps_; }
+
+  private:
+    VertexId seedStride_;
+    Value eps_;
+    const graph::Graph *preparedFor_ = nullptr;
+    std::vector<Value> outWeightSum_;
+};
+
+/**
+ * Katz centrality (Table I): EdgeCompute scatters beta * delta; Accum
+ * is sum. beta must be below 1/lambda_max for convergence; the default
+ * is conservative for the sparse graphs used in tests.
+ */
+class Katz : public Algorithm
+{
+  public:
+    explicit Katz(Value beta = 0.003, Value eps = 1e-5)
+        : beta_(beta), eps_(eps)
+    {}
+
+    std::string name() const override { return "katz"; }
+    AccumKind accumKind() const override { return AccumKind::Sum; }
+    Value accumOp(Value a, Value b) const override { return a + b; }
+
+    LinearFunc
+    edgeFunc(const graph::Graph &, VertexId, EdgeId) const override
+    {
+        return {beta_, 0.0, kInfinity};
+    }
+
+    Value
+    initState(const graph::Graph &, VertexId) const override
+    {
+        return 0.0;
+    }
+
+    Value
+    initDelta(const graph::Graph &, VertexId) const override
+    {
+        return 1.0;
+    }
+
+    Value epsilon() const override { return eps_; }
+
+  private:
+    Value beta_;
+    Value eps_;
+};
+
+/**
+ * Single-source shortest path (paper Fig. 1c): EdgeCompute is
+ * delta + weight; Accum is min.
+ */
+class Sssp : public Algorithm
+{
+  public:
+    explicit Sssp(VertexId source = 0)
+        : source_(source)
+    {}
+
+    std::string name() const override { return "sssp"; }
+    AccumKind accumKind() const override { return AccumKind::Min; }
+
+    Value
+    accumOp(Value a, Value b) const override
+    {
+        return a < b ? a : b;
+    }
+
+    LinearFunc
+    edgeFunc(const graph::Graph &g, VertexId, EdgeId e) const override
+    {
+        return {1.0, g.weight(e), kInfinity};
+    }
+
+    Value
+    initState(const graph::Graph &, VertexId) const override
+    {
+        return kInfinity;
+    }
+
+    Value
+    initDelta(const graph::Graph &, VertexId v) const override
+    {
+        return v == source_ ? 0.0 : kInfinity;
+    }
+
+    Value epsilon() const override { return 0.0; }
+    VertexId source() const { return source_; }
+
+  private:
+    VertexId source_;
+};
+
+/**
+ * Weakly connected components via max-label propagation (paper
+ * Fig. 1d): EdgeCompute forwards the label; Accum is max. On directed
+ * inputs this computes forward-reachability labels; engines that want
+ * true WCC run it on the symmetrized graph.
+ */
+class Wcc : public Algorithm
+{
+  public:
+    std::string name() const override { return "wcc"; }
+    AccumKind accumKind() const override { return AccumKind::Max; }
+
+    Value
+    accumOp(Value a, Value b) const override
+    {
+        return a > b ? a : b;
+    }
+
+    LinearFunc
+    edgeFunc(const graph::Graph &, VertexId, EdgeId) const override
+    {
+        return {1.0, 0.0, kInfinity};
+    }
+
+    Value
+    initState(const graph::Graph &, VertexId) const override
+    {
+        return -kInfinity;
+    }
+
+    Value
+    initDelta(const graph::Graph &, VertexId v) const override
+    {
+        return static_cast<Value>(v);
+    }
+
+    Value epsilon() const override { return 0.0; }
+};
+
+/**
+ * Single-source widest path (Table I): the bottleneck capacity of the
+ * best path. EdgeCompute is min(delta, weight) -- a capped linear
+ * function -- and Accum is max.
+ */
+class Sswp : public Algorithm
+{
+  public:
+    explicit Sswp(VertexId source = 0)
+        : source_(source)
+    {}
+
+    std::string name() const override { return "sswp"; }
+    AccumKind accumKind() const override { return AccumKind::Max; }
+
+    Value
+    accumOp(Value a, Value b) const override
+    {
+        return a > b ? a : b;
+    }
+
+    LinearFunc
+    edgeFunc(const graph::Graph &g, VertexId, EdgeId e) const override
+    {
+        return {1.0, 0.0, g.weight(e)};
+    }
+
+    Value
+    initState(const graph::Graph &, VertexId) const override
+    {
+        return -kInfinity;
+    }
+
+    Value
+    initDelta(const graph::Graph &, VertexId v) const override
+    {
+        return v == source_ ? kInfinity : -kInfinity;
+    }
+
+    Value epsilon() const override { return 0.0; }
+
+  private:
+    VertexId source_;
+};
+
+/**
+ * Breadth-first hop count: SSSP over unit edge weights (every edge
+ * costs one hop regardless of stored weights). Accum is min.
+ */
+class Bfs : public Algorithm
+{
+  public:
+    explicit Bfs(VertexId source = 0)
+        : source_(source)
+    {}
+
+    std::string name() const override { return "bfs"; }
+    AccumKind accumKind() const override { return AccumKind::Min; }
+
+    Value
+    accumOp(Value a, Value b) const override
+    {
+        return a < b ? a : b;
+    }
+
+    LinearFunc
+    edgeFunc(const graph::Graph &, VertexId, EdgeId) const override
+    {
+        return {1.0, 1.0, kInfinity};
+    }
+
+    Value
+    initState(const graph::Graph &, VertexId) const override
+    {
+        return kInfinity;
+    }
+
+    Value
+    initDelta(const graph::Graph &, VertexId v) const override
+    {
+        return v == source_ ? 0.0 : kInfinity;
+    }
+
+    Value epsilon() const override { return 0.0; }
+
+  private:
+    VertexId source_;
+};
+
+/**
+ * Build an algorithm by name: pagerank | adsorption | katz | sssp |
+ * wcc | sswp | bfs. Fatal on unknown names.
+ */
+AlgorithmPtr makeAlgorithm(const std::string &name);
+
+/** The four algorithms the paper's evaluation sweeps (Sec. IV). */
+std::vector<std::string> paperAlgorithms();
+
+} // namespace depgraph::gas
+
+#endif // DEPGRAPH_GAS_ALGORITHMS_HH

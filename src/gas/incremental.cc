@@ -1,0 +1,107 @@
+#include "gas/incremental.hh"
+
+#include <unordered_set>
+
+#include "common/logging.hh"
+
+namespace depgraph::gas
+{
+
+graph::Graph
+applyInsertions(const graph::Graph &g,
+                const std::vector<EdgeInsertion> &ins)
+{
+    VertexId n = g.numVertices();
+    for (const auto &e : ins)
+        n = std::max({n, e.src + 1, e.dst + 1});
+    graph::Builder b(n);
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        for (EdgeId e = g.edgeBegin(v); e < g.edgeEnd(v); ++e)
+            b.addEdge(v, g.target(e), g.weight(e));
+    for (const auto &e : ins)
+        b.addEdge(e.src, e.dst, e.weight);
+    return b.build(true);
+}
+
+std::vector<Value>
+edgeInsertionDeltas(const graph::Graph &old_graph,
+                    const graph::Graph &updated,
+                    const std::vector<EdgeInsertion> &ins,
+                    const std::vector<Value> &old_states,
+                    Algorithm &alg)
+{
+    dg_assert(old_states.size() == old_graph.numVertices(),
+              "old state vector size mismatch");
+    const auto kind = alg.accumKind();
+    std::vector<Value> inj(updated.numVertices(), alg.identity());
+
+    if (kind == AccumKind::Sum) {
+        // Affected sources: every vertex whose out-edge set changed.
+        std::unordered_set<VertexId> sources;
+        for (const auto &e : ins)
+            sources.insert(e.src);
+
+        // Retract the mass sent under the old edge functions...
+        alg.prepare(old_graph);
+        for (const auto u : sources) {
+            if (u >= old_graph.numVertices())
+                continue;
+            const Value m = old_states[u]; // total delta applied at u
+            if (m == 0.0)
+                continue;
+            for (EdgeId e = old_graph.edgeBegin(u);
+                 e < old_graph.edgeEnd(u); ++e) {
+                const auto f = alg.edgeFunc(old_graph, u, e);
+                dg_assert(f.xi == 0.0 && f.isPureLinear(),
+                          "sum-incremental needs homogeneous linear "
+                          "edge functions");
+                inj[old_graph.target(e)] -= f.mu * m;
+            }
+        }
+        // ... and re-send it under the new ones (covers both the
+        // renormalization of old edges and the brand-new edges).
+        alg.prepare(updated);
+        for (const auto u : sources) {
+            const Value m =
+                u < old_graph.numVertices() ? old_states[u] : 0.0;
+            if (m == 0.0)
+                continue;
+            for (EdgeId e = updated.edgeBegin(u);
+                 e < updated.edgeEnd(u); ++e) {
+                const auto f = alg.edgeFunc(updated, u, e);
+                inj[updated.target(e)] += f.mu * m;
+            }
+        }
+        // New vertices (if any) start with their initial delta.
+        for (VertexId v = old_graph.numVertices();
+             v < updated.numVertices(); ++v) {
+            inj[v] = applyAccum(kind, inj[v],
+                                alg.initDelta(updated, v));
+        }
+        return inj;
+    }
+
+    // Min/max: the old fixpoint stays a valid bound; only the new
+    // edges inject influence, which then propagates monotonically.
+    alg.prepare(updated);
+    for (const auto &e : ins) {
+        const Value s = e.src < old_graph.numVertices()
+            ? old_states[e.src]
+            : alg.initDelta(updated, e.src);
+        // Locate the inserted edge in the updated CSR (first matching
+        // edge with this weight; parallel duplicates are equivalent).
+        for (EdgeId k = updated.edgeBegin(e.src);
+             k < updated.edgeEnd(e.src); ++k) {
+            if (updated.target(k) == e.dst
+                && updated.weight(k) == e.weight) {
+                inj[e.dst] = applyAccum(
+                    kind, inj[e.dst],
+                    alg.edgeCompute(updated, e.src, k, s));
+                break;
+            }
+        }
+    }
+    return inj;
+}
+
+} // namespace depgraph::gas

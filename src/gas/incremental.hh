@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Incremental recomputation after graph updates.
+ *
+ * "Incremental pagerank" [56], [64] -- the paper's flagship workload --
+ * reconverges an already-solved instance after the graph changes,
+ * propagating only the deltas the change injects. For linear GAS
+ * algorithms this is exact: a vertex u with converged state s_u has
+ * historically sent f_e(total delta through u) along each out-edge e,
+ * and since the edge functions are linear in the propagated mass, an
+ * edge change simply injects the difference into the affected
+ * neighbors' pending deltas.
+ *
+ * Two pieces make any engine incremental without modification:
+ *  - edgeInsertionDeltas(): the exact delta injection for a batch of
+ *    edge insertions under a sum-accumulator algorithm (min/max
+ *    algorithms reseed even more simply: the new edge's influence);
+ *  - ResumeAlgorithm: wraps any Algorithm, overriding initState() /
+ *    initDelta() with explicit vectors, so every engine starts from
+ *    the old fixpoint plus the injected deltas.
+ */
+
+#ifndef DEPGRAPH_GAS_INCREMENTAL_HH
+#define DEPGRAPH_GAS_INCREMENTAL_HH
+
+#include <vector>
+
+#include "gas/model.hh"
+#include "graph/builder.hh"
+
+namespace depgraph::gas
+{
+
+/** One edge insertion. */
+struct EdgeInsertion
+{
+    VertexId src;
+    VertexId dst;
+    Value weight = 1.0;
+};
+
+/**
+ * Build the updated graph: the old graph's edges plus the insertions.
+ */
+graph::Graph applyInsertions(const graph::Graph &g,
+                             const std::vector<EdgeInsertion> &ins);
+
+/**
+ * Compute the pending-delta injection that reconverges `alg` on
+ * `updated` starting from `old_states` (the fixpoint on the old
+ * graph).
+ *
+ * Sum accumulators: for every source u of an inserted edge, the mass u
+ * has historically pushed along each old out-edge was computed with
+ * the OLD edge function (e.g. pagerank's damping/old_outdeg); the
+ * injection adds f_new(m_u) - f_old(m_u) to every old neighbor and
+ * f_new(m_u) to the new neighbors, where m_u is the total delta ever
+ * applied at u. For the algorithms here (initial state 0, pure
+ * accumulation) m_u equals the converged state.
+ *
+ * Min/max accumulators: converged states remain valid lower/upper
+ * bounds; the injection is simply the new edges' influence
+ * f_e(s_src), which then propagates monotonically.
+ *
+ * @return Per-vertex pending deltas (accumulator identity elsewhere).
+ */
+std::vector<Value> edgeInsertionDeltas(
+    const graph::Graph &old_graph, const graph::Graph &updated,
+    const std::vector<EdgeInsertion> &ins,
+    const std::vector<Value> &old_states, Algorithm &alg);
+
+/**
+ * Wrap an algorithm with explicit initial states and pending deltas,
+ * turning any engine run into a resume-from-fixpoint run.
+ */
+class ResumeAlgorithm : public Algorithm
+{
+  public:
+    ResumeAlgorithm(Algorithm &inner, std::vector<Value> states,
+                    std::vector<Value> deltas)
+        : inner_(inner), states_(std::move(states)),
+          deltas_(std::move(deltas))
+    {}
+
+    std::string name() const override
+    {
+        return inner_.name() + "+resume";
+    }
+
+    AccumKind accumKind() const override { return inner_.accumKind(); }
+
+    Value
+    accumOp(Value a, Value b) const override
+    {
+        return inner_.accumOp(a, b);
+    }
+
+    LinearFunc
+    edgeFunc(const graph::Graph &g, VertexId src,
+             EdgeId e) const override
+    {
+        return inner_.edgeFunc(g, src, e);
+    }
+
+    Value
+    edgeCompute(const graph::Graph &g, VertexId src, EdgeId e,
+                Value delta) const override
+    {
+        return inner_.edgeCompute(g, src, e, delta);
+    }
+
+    void prepare(const graph::Graph &g) override { inner_.prepare(g); }
+
+    Value
+    initState(const graph::Graph &, VertexId v) const override
+    {
+        return states_[v];
+    }
+
+    Value
+    initDelta(const graph::Graph &, VertexId v) const override
+    {
+        return deltas_[v];
+    }
+
+    Value epsilon() const override { return inner_.epsilon(); }
+
+    bool transformable() const override
+    {
+        return inner_.transformable();
+    }
+
+  private:
+    Algorithm &inner_;
+    std::vector<Value> states_;
+    std::vector<Value> deltas_;
+};
+
+} // namespace depgraph::gas
+
+#endif // DEPGRAPH_GAS_INCREMENTAL_HH

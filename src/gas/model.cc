@@ -1,0 +1,50 @@
+#include "gas/model.hh"
+
+namespace depgraph::gas
+{
+
+const char *
+accumKindName(AccumKind k)
+{
+    switch (k) {
+      case AccumKind::Sum:
+        return "sum";
+      case AccumKind::Min:
+        return "min";
+      case AccumKind::Max:
+        return "max";
+    }
+    return "?";
+}
+
+Value
+accumIdentity(AccumKind k)
+{
+    switch (k) {
+      case AccumKind::Sum:
+        return 0.0;
+      case AccumKind::Min:
+        return kInfinity;
+      case AccumKind::Max:
+        return -kInfinity;
+    }
+    return 0.0;
+}
+
+bool
+wouldChange(AccumKind k, Value state, Value delta, Value eps)
+{
+    switch (k) {
+      case AccumKind::Sum:
+        return std::abs(delta) > eps;
+      case AccumKind::Min:
+        return delta < state - eps;
+      case AccumKind::Max:
+        if (state == -kInfinity)
+            return delta != -kInfinity;
+        return delta > state + eps;
+    }
+    return false;
+}
+
+} // namespace depgraph::gas

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * The linear GAS (Gather-Apply-Scatter) programming model.
+ *
+ * Algorithms are expressed exactly as in the paper's Fig. 1: a
+ * generalized sum Accum() (sum, min, or max) and an edge function
+ * EdgeCompute() that is linear in the propagated state. Execution uses
+ * the delta-based accumulative formulation (Maiter/DAIC): every vertex
+ * carries a state and a pending delta; processing a vertex folds the
+ * delta into the state and scatters EdgeCompute(delta) to each
+ * out-neighbor's delta. The two properties of Sec. III-A3 (GAS form +
+ * linear EdgeCompute) are what make the dependency transformation
+ * correct (Theorem 1).
+ */
+
+#ifndef DEPGRAPH_GAS_MODEL_HH
+#define DEPGRAPH_GAS_MODEL_HH
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "common/types.hh"
+#include "graph/csr.hh"
+
+namespace depgraph::gas
+{
+
+/** The generalized sum of the algorithm (paper Table I). */
+enum class AccumKind
+{
+    Sum,
+    Min,
+    Max,
+};
+
+/** Human-readable name for reports. */
+const char *accumKindName(AccumKind k);
+
+/**
+ * A capped linear function f(s) = min(cap, mu*s + xi).
+ *
+ * Pure linear functions (cap = +inf) cover pagerank/adsorption/katz/
+ * SSSP/WCC. The cap extension makes SSWP's EdgeCompute
+ * (min(s, weight)) exactly representable; the family is closed under
+ * composition whenever mu >= 0, which holds for every supported
+ * algorithm, so composite dependencies along core-paths stay in the
+ * family (the property the hub index relies on).
+ */
+struct LinearFunc
+{
+    Value mu = 1.0;
+    Value xi = 0.0;
+    Value cap = kInfinity;
+
+    Value
+    operator()(Value s) const
+    {
+        return std::min(cap, mu * s + xi);
+    }
+
+    /** Composition outer(inner(s)); requires outer.mu >= 0. */
+    static LinearFunc
+    compose(const LinearFunc &outer, const LinearFunc &inner)
+    {
+        LinearFunc f;
+        f.mu = outer.mu * inner.mu;
+        f.xi = outer.mu * inner.xi + outer.xi;
+        f.cap = outer.cap;
+        if (inner.cap != kInfinity) {
+            f.cap = std::min(f.cap, outer.mu * inner.cap + outer.xi);
+        }
+        return f;
+    }
+
+    bool
+    isPureLinear() const
+    {
+        return cap == kInfinity;
+    }
+};
+
+/** Identity element of the generalized sum. */
+Value accumIdentity(AccumKind k);
+
+/** Apply the generalized sum. */
+inline Value
+applyAccum(AccumKind k, Value a, Value b)
+{
+    switch (k) {
+      case AccumKind::Sum:
+        return a + b;
+      case AccumKind::Min:
+        return a < b ? a : b;
+      case AccumKind::Max:
+        return a > b ? a : b;
+    }
+    return a;
+}
+
+/**
+ * Would folding `delta` into `state` move the state by more than eps?
+ * This is the paper's activity criterion ("its state change ... is
+ * larger than epsilon").
+ */
+bool wouldChange(AccumKind k, Value state, Value delta, Value eps);
+
+/**
+ * One iterative graph algorithm in the linear GAS form.
+ *
+ * Subclasses define the edge function, the initial state/delta per
+ * vertex, and the convergence threshold. The Accum() callback is
+ * provided as the virtual accumOp() so that DepGraph's automatic
+ * Accum-kind probe (Sec. III-B2, "inputting x=1 and y=1") has a real
+ * black-box function to interrogate.
+ */
+class Algorithm
+{
+  public:
+    virtual ~Algorithm() = default;
+
+    virtual std::string name() const = 0;
+
+    /**
+     * The user-supplied generalized sum, treated as a black box by the
+     * accelerator (see detectAccumKind()).
+     */
+    virtual Value accumOp(Value a, Value b) const = 0;
+
+    /** The declared accumulator kind (engines may instead probe). */
+    virtual AccumKind accumKind() const = 0;
+
+    /**
+     * The linear form of EdgeCompute for edge e out of src:
+     * influence(delta) = min(cap, mu*delta + xi).
+     */
+    virtual LinearFunc edgeFunc(const graph::Graph &g, VertexId src,
+                                EdgeId e) const = 0;
+
+    /** EdgeCompute itself; default applies edgeFunc(). */
+    virtual Value
+    edgeCompute(const graph::Graph &g, VertexId src, EdgeId e,
+                Value delta) const
+    {
+        return edgeFunc(g, src, e)(delta);
+    }
+
+    /**
+     * One-time per-graph preparation hook; engines must call it before
+     * the first edgeFunc()/edgeCompute() on a graph. Algorithms use it
+     * to precompute per-vertex constants (e.g. adsorption's outgoing
+     * weight sums). Idempotent per graph.
+     */
+    virtual void prepare(const graph::Graph &) {}
+
+    /** Initial state of v. */
+    virtual Value initState(const graph::Graph &g, VertexId v) const = 0;
+
+    /** Initial pending delta of v (accum identity when inactive). */
+    virtual Value initDelta(const graph::Graph &g, VertexId v) const = 0;
+
+    /** Convergence threshold (paper uses 1e-5 for pagerank). */
+    virtual Value epsilon() const { return 1e-5; }
+
+    /**
+     * Whether the dependency transformation may be applied (Property 2
+     * of Sec. III-A3). Algorithms such as triangle counting would
+     * return false and run with the hub index disabled.
+     */
+    virtual bool transformable() const { return true; }
+
+    /* Non-virtual conveniences. */
+    Value identity() const { return accumIdentity(accumKind()); }
+
+    Value
+    accum(Value a, Value b) const
+    {
+        return applyAccum(accumKind(), a, b);
+    }
+
+    bool
+    isActiveDelta(Value state, Value delta) const
+    {
+        return wouldChange(accumKind(), state, delta, epsilon());
+    }
+};
+
+using AlgorithmPtr = std::unique_ptr<Algorithm>;
+
+} // namespace depgraph::gas
+
+#endif // DEPGRAPH_GAS_MODEL_HH

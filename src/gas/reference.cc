@@ -1,0 +1,84 @@
+#include "gas/reference.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace depgraph::gas
+{
+
+ReferenceResult
+runReference(const graph::Graph &g, Algorithm &alg, unsigned max_rounds)
+{
+    alg.prepare(g);
+    const VertexId n = g.numVertices();
+    const Value ident = alg.identity();
+    const AccumKind kind = alg.accumKind();
+    const Value eps = alg.epsilon();
+
+    ReferenceResult r;
+    r.states.resize(n);
+    std::vector<Value> delta(n), next(n, ident);
+    for (VertexId v = 0; v < n; ++v) {
+        r.states[v] = alg.initState(g, v);
+        delta[v] = alg.initDelta(g, v);
+    }
+
+    for (unsigned round = 0; round < max_rounds; ++round) {
+        bool any = false;
+        for (VertexId v = 0; v < n; ++v) {
+            const Value d = delta[v];
+            if (d == ident)
+                continue;
+            if (!wouldChange(kind, r.states[v], d, eps)) {
+                // Sub-threshold delta: carry it forward so mass is not
+                // silently dropped (it may still grow past epsilon).
+                next[v] = applyAccum(kind, next[v], d);
+                continue;
+            }
+            any = true;
+            r.states[v] = applyAccum(kind, r.states[v], d);
+            ++r.updates;
+            for (EdgeId e = g.edgeBegin(v); e < g.edgeEnd(v); ++e) {
+                const Value inf = alg.edgeCompute(g, v, e, d);
+                const VertexId t = g.target(e);
+                next[t] = applyAccum(kind, next[t], inf);
+                ++r.edgeOps;
+            }
+        }
+        delta.swap(next);
+        for (VertexId v = 0; v < n; ++v)
+            next[v] = ident;
+        ++r.rounds;
+        if (!any) {
+            r.converged = true;
+            break;
+        }
+    }
+    if (!r.converged)
+        dg_warn("reference run of '", alg.name(), "' hit the round "
+                "limit (", max_rounds, ") before converging");
+    return r;
+}
+
+Value
+maxStateDifference(const std::vector<Value> &a,
+                   const std::vector<Value> &b)
+{
+    dg_assert(a.size() == b.size(), "state vectors differ in size");
+    Value worst = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const bool fa = std::isfinite(a[i]), fb = std::isfinite(b[i]);
+        if (!fa && !fb) {
+            if (a[i] != b[i])
+                return kInfinity; // +inf vs -inf
+            continue;
+        }
+        if (fa != fb)
+            return kInfinity;
+        worst = std::max(worst, std::abs(a[i] - b[i]));
+    }
+    return worst;
+}
+
+} // namespace depgraph::gas

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Synchronous reference executor.
+ *
+ * Runs the delta-accumulative GAS iteration round-by-round with a
+ * two-buffer (Jacobi) schedule and no hardware model. Its converged
+ * states are the gold results every engine (Ligra, Ligra-o, HATS,
+ * Minnow, PHI, DepGraph-S/H) is validated against -- this is the
+ * executable form of Theorem 1's "same results as the original ones
+ * without dependency transformation".
+ */
+
+#ifndef DEPGRAPH_GAS_REFERENCE_HH
+#define DEPGRAPH_GAS_REFERENCE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "gas/model.hh"
+
+namespace depgraph::gas
+{
+
+struct ReferenceResult
+{
+    std::vector<Value> states;
+    unsigned rounds = 0;
+    std::uint64_t updates = 0;  ///< vertex state applications
+    std::uint64_t edgeOps = 0;  ///< EdgeCompute invocations
+    bool converged = false;
+};
+
+/**
+ * Run alg on g to convergence (or max_rounds).
+ */
+ReferenceResult runReference(const graph::Graph &g, Algorithm &alg,
+                             unsigned max_rounds = 10000);
+
+/**
+ * Compare two state vectors under the algorithm's accumulator
+ * semantics; returns the max absolute difference over vertices where
+ * both are finite, treating matching infinities as equal.
+ */
+Value maxStateDifference(const std::vector<Value> &a,
+                         const std::vector<Value> &b);
+
+} // namespace depgraph::gas
+
+#endif // DEPGRAPH_GAS_REFERENCE_HH

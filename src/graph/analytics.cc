@@ -1,0 +1,201 @@
+#include "graph/analytics.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace depgraph::graph
+{
+
+namespace
+{
+
+/** Undirected simple adjacency (sorted, deduped, no self loops). */
+std::vector<std::vector<VertexId>>
+undirectedSimpleAdjacency(const Graph &g)
+{
+    const VertexId n = g.numVertices();
+    g.buildTranspose();
+    std::vector<std::vector<VertexId>> adj(n);
+    for (VertexId v = 0; v < n; ++v) {
+        auto &a = adj[v];
+        for (auto t : g.neighbors(v))
+            if (t != v)
+                a.push_back(t);
+        for (auto t : g.inNeighbors(v))
+            if (t != v)
+                a.push_back(t);
+        std::sort(a.begin(), a.end());
+        a.erase(std::unique(a.begin(), a.end()), a.end());
+    }
+    return adj;
+}
+
+} // namespace
+
+std::vector<std::uint32_t>
+coreNumbers(const Graph &g)
+{
+    const VertexId n = g.numVertices();
+    const auto adj = undirectedSimpleAdjacency(g);
+
+    std::vector<std::uint32_t> deg(n);
+    std::uint32_t maxd = 0;
+    for (VertexId v = 0; v < n; ++v) {
+        deg[v] = static_cast<std::uint32_t>(adj[v].size());
+        maxd = std::max(maxd, deg[v]);
+    }
+
+    // Bucket sort by degree (Matula-Beck peeling).
+    std::vector<std::uint32_t> bin(maxd + 2, 0);
+    for (VertexId v = 0; v < n; ++v)
+        ++bin[deg[v]];
+    std::uint32_t start = 0;
+    for (std::uint32_t d = 0; d <= maxd; ++d) {
+        const auto count = bin[d];
+        bin[d] = start;
+        start += count;
+    }
+    std::vector<VertexId> order(n);   // vertices by ascending degree
+    std::vector<std::uint32_t> pos(n); // position of v in order
+    {
+        std::vector<std::uint32_t> cursor(bin.begin(), bin.end() - 1);
+        for (VertexId v = 0; v < n; ++v) {
+            pos[v] = cursor[deg[v]]++;
+            order[pos[v]] = v;
+        }
+    }
+
+    std::vector<std::uint32_t> core(deg.begin(), deg.end());
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const VertexId v = order[i];
+        for (const VertexId u : adj[v]) {
+            if (core[u] > core[v]) {
+                // Move u one bucket down: swap it with the first
+                // vertex of its current bucket, then shrink the
+                // bucket.
+                const auto du = core[u];
+                const auto pu = pos[u];
+                const auto pw = bin[du];
+                const VertexId w = order[pw];
+                if (u != w) {
+                    std::swap(order[pu], order[pw]);
+                    pos[u] = pw;
+                    pos[w] = pu;
+                }
+                ++bin[du];
+                --core[u];
+            }
+        }
+    }
+    return core;
+}
+
+std::vector<VertexId>
+kCoreMembers(const Graph &g, std::uint32_t k)
+{
+    const auto core = coreNumbers(g);
+    std::vector<VertexId> members;
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        if (core[v] >= k)
+            members.push_back(v);
+    return members;
+}
+
+std::uint32_t
+degeneracy(const Graph &g)
+{
+    const auto core = coreNumbers(g);
+    std::uint32_t best = 0;
+    for (auto c : core)
+        best = std::max(best, c);
+    return best;
+}
+
+std::vector<std::uint64_t>
+trianglesPerVertex(const Graph &g)
+{
+    const VertexId n = g.numVertices();
+    const auto adj = undirectedSimpleAdjacency(g);
+
+    // Orient edges from lower-degree to higher-degree endpoints (ties
+    // by id): every triangle is counted exactly once at its apex.
+    auto rank_less = [&](VertexId a, VertexId b) {
+        if (adj[a].size() != adj[b].size())
+            return adj[a].size() < adj[b].size();
+        return a < b;
+    };
+    std::vector<std::vector<VertexId>> fwd(n);
+    for (VertexId v = 0; v < n; ++v)
+        for (auto u : adj[v])
+            if (rank_less(v, u))
+                fwd[v].push_back(u); // already sorted by id
+
+    std::vector<std::uint64_t> tri(n, 0);
+    for (VertexId v = 0; v < n; ++v) {
+        const auto &fv = fwd[v];
+        for (std::size_t i = 0; i < fv.size(); ++i) {
+            const VertexId u = fv[i];
+            // Intersect fwd[v] with fwd[u]: every common member w has
+            // higher rank than both, so the triangle (v, u, w) is
+            // found exactly once, at its lowest-rank corner v via its
+            // middle-rank corner u. (Lists are id-sorted; rank order
+            // within fv is arbitrary, hence the full scan.)
+            const auto &fu = fwd[u];
+            std::size_t a = 0, b = 0;
+            while (a < fv.size() && b < fu.size()) {
+                if (fv[a] < fu[b]) {
+                    ++a;
+                } else if (fv[a] > fu[b]) {
+                    ++b;
+                } else {
+                    ++tri[v];
+                    ++tri[u];
+                    ++tri[fv[a]];
+                    ++a;
+                    ++b;
+                }
+            }
+        }
+    }
+    return tri;
+}
+
+std::uint64_t
+countTriangles(const Graph &g)
+{
+    const auto tri = trianglesPerVertex(g);
+    const std::uint64_t sum =
+        std::accumulate(tri.begin(), tri.end(), std::uint64_t{0});
+    dg_assert(sum % 3 == 0, "per-vertex triangle counts inconsistent");
+    return sum / 3;
+}
+
+double
+globalClusteringCoefficient(const Graph &g)
+{
+    const auto adj = undirectedSimpleAdjacency(g);
+    std::uint64_t wedges = 0;
+    for (const auto &a : adj) {
+        const std::uint64_t d = a.size();
+        wedges += d * (d - 1) / 2;
+    }
+    if (wedges == 0)
+        return 0.0;
+    return 3.0 * static_cast<double>(countTriangles(g))
+        / static_cast<double>(wedges);
+}
+
+std::vector<std::uint64_t>
+degreeHistogram(const Graph &g, std::size_t max_degree)
+{
+    std::vector<std::uint64_t> hist(max_degree + 1, 0);
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        const auto d = static_cast<std::size_t>(g.outDegree(v));
+        ++hist[std::min(d, max_degree)];
+    }
+    return hist;
+}
+
+} // namespace depgraph::graph

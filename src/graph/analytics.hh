@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Non-GAS graph analytics.
+ *
+ * The paper's Table I lists k-core among the supported min/max
+ * algorithms; triangle counting and clique detection are its examples
+ * of algorithms that do NOT satisfy the dependency-transformation
+ * properties (Sec. III-A3) and must run with the hub index disabled.
+ * This module provides exact host-side implementations of these
+ * analytics on the CSR substrate -- both as library features in their
+ * own right and as oracles for tests.
+ */
+
+#ifndef DEPGRAPH_GRAPH_ANALYTICS_HH
+#define DEPGRAPH_GRAPH_ANALYTICS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hh"
+
+namespace depgraph::graph
+{
+
+/**
+ * k-core decomposition by iterative peeling over the undirected view
+ * (out + in edges): returns the core number of every vertex -- the
+ * largest k such that the vertex survives in the subgraph where every
+ * vertex has degree >= k. O(E) bucket peeling (Matula-Beck).
+ */
+std::vector<std::uint32_t> coreNumbers(const Graph &g);
+
+/** Vertices of the k-core: core number >= k. */
+std::vector<VertexId> kCoreMembers(const Graph &g, std::uint32_t k);
+
+/** The degeneracy of the graph: max core number. */
+std::uint32_t degeneracy(const Graph &g);
+
+/**
+ * Exact triangle count over the undirected simple view of the graph
+ * (parallel edges and directions collapsed). Merge-based counting on
+ * degeneracy-ordered adjacency lists.
+ */
+std::uint64_t countTriangles(const Graph &g);
+
+/** Per-vertex triangle counts (same undirected simple view). */
+std::vector<std::uint64_t> trianglesPerVertex(const Graph &g);
+
+/**
+ * Global clustering coefficient: 3 * triangles / open wedges.
+ * Returns 0 for graphs without wedges.
+ */
+double globalClusteringCoefficient(const Graph &g);
+
+/** Out-degree histogram: bucket[i] = #vertices with out-degree i
+ * (the tail is clamped into the last bucket). */
+std::vector<std::uint64_t> degreeHistogram(const Graph &g,
+                                           std::size_t max_degree = 64);
+
+} // namespace depgraph::graph
+
+#endif // DEPGRAPH_GRAPH_ANALYTICS_HH

@@ -1,0 +1,124 @@
+#include "graph/builder.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace depgraph::graph
+{
+
+Builder::Builder(VertexId num_vertices)
+    : numVertices_(num_vertices)
+{
+    dg_assert(num_vertices > 0, "graph needs at least one vertex");
+}
+
+void
+Builder::addEdge(VertexId src, VertexId dst, Value w)
+{
+    dg_assert(src < numVertices_ && dst < numVertices_,
+              "edge (", src, ", ", dst, ") out of range");
+    srcs_.push_back(src);
+    dsts_.push_back(dst);
+    weights_.push_back(w);
+}
+
+void
+Builder::addUndirectedEdge(VertexId src, VertexId dst, Value w)
+{
+    addEdge(src, dst, w);
+    addEdge(dst, src, w);
+}
+
+void
+Builder::dedupe()
+{
+    std::vector<std::size_t> order(srcs_.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  if (srcs_[a] != srcs_[b])
+                      return srcs_[a] < srcs_[b];
+                  if (dsts_[a] != dsts_[b])
+                      return dsts_[a] < dsts_[b];
+                  return a < b; // stable: keep first weight
+              });
+    std::vector<VertexId> s, d;
+    std::vector<Value> w;
+    s.reserve(srcs_.size());
+    d.reserve(dsts_.size());
+    w.reserve(weights_.size());
+    for (std::size_t k = 0; k < order.size(); ++k) {
+        const std::size_t i = order[k];
+        if (!s.empty() && s.back() == srcs_[i] && d.back() == dsts_[i])
+            continue;
+        s.push_back(srcs_[i]);
+        d.push_back(dsts_[i]);
+        w.push_back(weights_[i]);
+    }
+    srcs_ = std::move(s);
+    dsts_ = std::move(d);
+    weights_ = std::move(w);
+}
+
+void
+Builder::removeSelfLoops()
+{
+    std::vector<VertexId> s, d;
+    std::vector<Value> w;
+    for (std::size_t i = 0; i < srcs_.size(); ++i) {
+        if (srcs_[i] == dsts_[i])
+            continue;
+        s.push_back(srcs_[i]);
+        d.push_back(dsts_[i]);
+        w.push_back(weights_[i]);
+    }
+    srcs_ = std::move(s);
+    dsts_ = std::move(d);
+    weights_ = std::move(w);
+}
+
+Graph
+Builder::build(bool weighted) const
+{
+    std::vector<EdgeId> offsets(numVertices_ + 1, 0);
+    for (auto s : srcs_)
+        ++offsets[s + 1];
+    for (VertexId v = 0; v < numVertices_; ++v)
+        offsets[v + 1] += offsets[v];
+
+    std::vector<VertexId> targets(srcs_.size());
+    std::vector<Value> weights(weighted ? srcs_.size() : 0);
+    std::vector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
+    for (std::size_t i = 0; i < srcs_.size(); ++i) {
+        const EdgeId slot = cursor[srcs_[i]]++;
+        targets[slot] = dsts_[i];
+        if (weighted)
+            weights[slot] = weights_[i];
+    }
+    // Sort each vertex's neighbor list by target id for determinism.
+    for (VertexId v = 0; v < numVertices_; ++v) {
+        const EdgeId lo = offsets[v], hi = offsets[v + 1];
+        std::vector<std::size_t> order(hi - lo);
+        std::iota(order.begin(), order.end(), 0);
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return targets[lo + a] < targets[lo + b];
+                  });
+        std::vector<VertexId> t2(hi - lo);
+        std::vector<Value> w2(weighted ? hi - lo : 0);
+        for (std::size_t k = 0; k < order.size(); ++k) {
+            t2[k] = targets[lo + order[k]];
+            if (weighted)
+                w2[k] = weights[lo + order[k]];
+        }
+        std::copy(t2.begin(), t2.end(), targets.begin() + lo);
+        if (weighted)
+            std::copy(w2.begin(), w2.end(), weights.begin() + lo);
+    }
+    return Graph(std::move(offsets), std::move(targets),
+                 std::move(weights));
+}
+
+} // namespace depgraph::graph

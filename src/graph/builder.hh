@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Incremental edge-list builder producing CSR graphs.
+ */
+
+#ifndef DEPGRAPH_GRAPH_BUILDER_HH
+#define DEPGRAPH_GRAPH_BUILDER_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "graph/csr.hh"
+
+namespace depgraph::graph
+{
+
+class Builder
+{
+  public:
+    /** @param num_vertices Vertex count; ids must be < num_vertices. */
+    explicit Builder(VertexId num_vertices);
+
+    /** Add a directed edge src -> dst with weight w. */
+    void addEdge(VertexId src, VertexId dst, Value w = 1.0);
+
+    /** Add src->dst and dst->src with the same weight. */
+    void addUndirectedEdge(VertexId src, VertexId dst, Value w = 1.0);
+
+    /** Drop duplicate (src, dst) pairs, keeping the first weight seen. */
+    void dedupe();
+
+    /** Drop self-loop edges (src == dst). */
+    void removeSelfLoops();
+
+    std::size_t edgeCount() const { return srcs_.size(); }
+    VertexId numVertices() const { return numVertices_; }
+
+    /**
+     * Build the CSR graph. Edges are sorted by (src, dst). When
+     * weighted is false the weight array is omitted.
+     */
+    Graph build(bool weighted = true) const;
+
+  private:
+    VertexId numVertices_;
+    std::vector<VertexId> srcs_;
+    std::vector<VertexId> dsts_;
+    std::vector<Value> weights_;
+};
+
+} // namespace depgraph::graph
+
+#endif // DEPGRAPH_GRAPH_BUILDER_HH

@@ -1,0 +1,192 @@
+#include "graph/core_paths.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace depgraph::graph
+{
+
+CoreSubgraph::CoreSubgraph(const Graph &g, const HubSet &hubs,
+                           unsigned max_len, const Partitioning *part)
+    : g_(g), coreVertices_(g.numVertices()), hubOrCore_(g.numVertices()),
+      ownerPath_(g.numVertices(), kNoOwner)
+{
+    for (auto h : hubs.hubList())
+        hubOrCore_.set(h);
+
+    // Edge-disjointness guard: an edge can appear in one core-path only.
+    Bitmap edge_used(g.numEdges());
+
+    // Epoch-stamped on-walk marker: O(1) "is this vertex already on
+    // the current walk" instead of scanning the walk vector.
+    std::vector<std::uint32_t> walk_epoch(g.numVertices(), 0);
+    std::uint32_t walk_id = 0;
+
+    // Walk from every hub along every out-edge. Process hubs in id
+    // order for determinism; the walk greedily extends through
+    // unclaimed non-hub vertices until it reaches another hub/core
+    // vertex, joins an existing path interior (which splits that path),
+    // dead-ends, or exceeds max_len.
+    for (auto head : hubs.hubList()) {
+        const unsigned head_owner = part ? part->ownerOf(head) : 0;
+        for (EdgeId e0 = g.edgeBegin(head); e0 < g.edgeEnd(head); ++e0) {
+            if (edge_used.test(e0))
+                continue;
+
+            CorePath p;
+            p.head = head;
+            p.vertices.push_back(head);
+            ++walk_id;
+            walk_epoch[head] = walk_id;
+
+            EdgeId cur_edge = e0;
+            VertexId cur = g.target(e0);
+            bool completed = false;
+
+            while (p.edges.size() < max_len) {
+                if (cur == head)
+                    break; // degenerate cycle back to the head
+
+                p.edges.push_back(cur_edge);
+                p.vertices.push_back(cur);
+                walk_epoch[cur] = walk_id;
+
+                if (hubOrCore_.test(cur)) {
+                    completed = true; // reached a hub or core vertex
+                    break;
+                }
+                if (part && part->ownerOf(cur) != head_owner) {
+                    // Crossed a partition boundary: cur joins H'' as a
+                    // boundary vertex and terminates the path, so every
+                    // core-path interior stays within one partition.
+                    if (ownerPath_[cur] != kNoOwner) {
+                        splitAt(cur); // also marks cur a core-vertex
+                    } else if (!coreVertices_.test(cur)) {
+                        coreVertices_.set(cur);
+                        hubOrCore_.set(cur);
+                        ++coreVertexCount_;
+                    }
+                    completed = true;
+                    break;
+                }
+                if (ownerPath_[cur] != kNoOwner) {
+                    // Joined the interior of another core-path: that
+                    // vertex becomes a core-vertex and the other path is
+                    // split around it.
+                    splitAt(cur);
+                    completed = true;
+                    break;
+                }
+
+                // Claim cur as interior (tentatively; owner index is
+                // assigned when the path is recorded) and advance to the
+                // best unvisited out-neighbor: prefer hubs/core vertices,
+                // then unclaimed vertices via an unused edge.
+                EdgeId next_edge = g.numEdges();
+                EdgeId fallback_edge = g.numEdges();
+                for (EdgeId e = g.edgeBegin(cur); e < g.edgeEnd(cur);
+                     ++e) {
+                    if (edge_used.test(e))
+                        continue;
+                    const VertexId t = g.target(e);
+                    if (t == cur)
+                        continue;
+                    // Avoid revisiting a vertex already on this walk.
+                    if (walk_epoch[t] == walk_id)
+                        continue;
+                    if (hubOrCore_.test(t) || ownerPath_[t] != kNoOwner) {
+                        next_edge = e;
+                        break;
+                    }
+                    if (fallback_edge == g.numEdges())
+                        fallback_edge = e;
+                }
+                if (next_edge == g.numEdges())
+                    next_edge = fallback_edge;
+                if (next_edge == g.numEdges())
+                    break; // dead end: abandon the walk
+
+                cur_edge = next_edge;
+                cur = g.target(next_edge);
+            }
+
+            if (completed && !p.edges.empty()) {
+                p.tail = p.vertices.back();
+                p.pathId = p.vertices.size() > 1 ? p.vertices[1]
+                                                 : kInvalidVertex;
+                for (auto e : p.edges)
+                    edge_used.set(e);
+                recordPath(std::move(p));
+            }
+        }
+    }
+}
+
+void
+CoreSubgraph::recordPath(CorePath &&p)
+{
+    const auto idx = static_cast<std::uint32_t>(paths_.size());
+    // Interior vertices now belong to this path.
+    for (std::size_t i = 1; i + 1 < p.vertices.size(); ++i)
+        ownerPath_[p.vertices[i]] = idx;
+    byHead_[p.head].push_back(idx);
+    paths_.push_back(std::move(p));
+}
+
+void
+CoreSubgraph::splitAt(VertexId v)
+{
+    const std::uint32_t owner = ownerPath_[v];
+    dg_assert(owner != kNoOwner, "splitAt on unowned vertex ", v);
+    CorePath old = std::move(paths_[owner]);
+
+    // Mark v as a core-vertex; it is now a legal path endpoint.
+    if (!coreVertices_.test(v)) {
+        coreVertices_.set(v);
+        hubOrCore_.set(v);
+        ++coreVertexCount_;
+    }
+
+    const auto it = std::find(old.vertices.begin(), old.vertices.end(), v);
+    dg_assert(it != old.vertices.end(), "vertex not on owner path");
+    const auto pos =
+        static_cast<std::size_t>(it - old.vertices.begin());
+
+    CorePath first, second;
+    first.head = old.head;
+    first.tail = v;
+    first.vertices.assign(old.vertices.begin(),
+                          old.vertices.begin() + pos + 1);
+    first.edges.assign(old.edges.begin(), old.edges.begin() + pos);
+    first.pathId =
+        first.vertices.size() > 1 ? first.vertices[1] : kInvalidVertex;
+
+    second.head = v;
+    second.tail = old.tail;
+    second.vertices.assign(old.vertices.begin() + pos,
+                           old.vertices.end());
+    second.edges.assign(old.edges.begin() + pos, old.edges.end());
+    second.pathId =
+        second.vertices.size() > 1 ? second.vertices[1] : kInvalidVertex;
+
+    // Replace the old path in place with `first`; detach the old head
+    // list entry only if the path id changes (it does not: same head).
+    for (std::size_t i = 1; i + 1 < first.vertices.size(); ++i)
+        ownerPath_[first.vertices[i]] = owner;
+    ownerPath_[v] = kNoOwner;
+    paths_[owner] = std::move(first);
+
+    if (!second.edges.empty()) {
+        recordPath(std::move(second));
+    }
+}
+
+const std::vector<std::uint32_t> &
+CoreSubgraph::pathsFrom(VertexId v) const
+{
+    auto it = byHead_.find(v);
+    return it == byHead_.end() ? emptyList_ : it->second;
+}
+
+} // namespace depgraph::graph

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Core-subgraph decomposition into disjoint core-paths (paper Def. 2).
+ *
+ * The core-subgraph is the union of hub-paths (paths whose endpoints are
+ * both hub-vertices). To avoid generating a direct dependency per
+ * hub-path, it is represented as a set of *core-paths* that are pairwise
+ * disjoint except possibly at their endpoints; a vertex where two
+ * core-paths meet is a *core-vertex*. Each core-path later gets exactly
+ * one hub-index entry.
+ *
+ * The paper identifies core-paths at runtime while HDTL traverses the
+ * graph; this class provides the equivalent static decomposition that the
+ * software preprocessing pass uses to find core-vertices (Sec. III-B,
+ * "the software system also finds the hub-vertices and core-vertices ...
+ * by traversing the graph only once").
+ */
+
+#ifndef DEPGRAPH_GRAPH_CORE_PATHS_HH
+#define DEPGRAPH_GRAPH_CORE_PATHS_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitmap.hh"
+#include "common/types.hh"
+#include "graph/csr.hh"
+#include "graph/hub.hh"
+#include "graph/partition.hh"
+
+namespace depgraph::graph
+{
+
+/** One core-path: head and tail are hub- or core-vertices; interior
+ * vertices belong to no other core-path. */
+struct CorePath
+{
+    VertexId head = kInvalidVertex;
+    VertexId tail = kInvalidVertex;
+    /** Path identifier: the id of the second vertex on the path (paper
+     * Sec. III-B2, "Maintaining the Hub Index"). On multigraphs this
+     * is ambiguous (two edge-disjoint paths may share head and second
+     * vertex), so hub-index keys use the unique decomposition index
+     * instead; pathId is kept for reporting parity with the paper. */
+    VertexId pathId = kInvalidVertex;
+    /** All vertices head..tail inclusive, in path order. */
+    std::vector<VertexId> vertices;
+    /** Edge-array indices of the path's edges (vertices.size()-1 of
+     * them). */
+    std::vector<EdgeId> edges;
+
+    std::size_t length() const { return edges.size(); }
+};
+
+class CoreSubgraph
+{
+  public:
+    /**
+     * Decompose the hub-path structure of g.
+     *
+     * @param g Graph.
+     * @param hubs Detected hub set.
+     * @param max_len Walks longer than this are cut (mirrors the bounded
+     *        HDTL stack depth).
+     * @param part Optional partitioning: paths never walk across a
+     *        partition boundary; the first vertex on the far side
+     *        becomes a path endpoint and joins the H'' set, exactly as
+     *        the paper's boundary-vertex set H^m' does (Sec. III-B2).
+     */
+    CoreSubgraph(const Graph &g, const HubSet &hubs,
+                 unsigned max_len = 64,
+                 const Partitioning *part = nullptr);
+
+    const std::vector<CorePath> &paths() const { return paths_; }
+
+    bool isCoreVertex(VertexId v) const { return coreVertices_.test(v); }
+
+    /** True when v is a hub- OR core-vertex, i.e. v is in the global H
+     * set whose per-partition restriction is H'' (paper Sec. III-B2). */
+    bool
+    isHubOrCore(VertexId v) const
+    {
+        return hubOrCore_.test(v);
+    }
+
+    const Bitmap &hubOrCoreBitmap() const { return hubOrCore_; }
+
+    /** Indices into paths() of core-paths whose head is v. */
+    const std::vector<std::uint32_t> &pathsFrom(VertexId v) const;
+
+    std::size_t numCoreVertices() const { return coreVertexCount_; }
+
+  private:
+    void recordPath(CorePath &&p);
+    /** Split the path containing interior vertex v at v; marks v a
+     * core-vertex. */
+    void splitAt(VertexId v);
+
+    const Graph &g_;
+    std::vector<CorePath> paths_;
+    Bitmap coreVertices_;
+    Bitmap hubOrCore_;
+    std::size_t coreVertexCount_ = 0;
+
+    /** For interior vertices: which live path index owns them. */
+    std::vector<std::uint32_t> ownerPath_;
+    static constexpr std::uint32_t kNoOwner = 0xffffffffu;
+
+    std::unordered_map<VertexId, std::vector<std::uint32_t>> byHead_;
+    std::vector<std::uint32_t> emptyList_;
+};
+
+} // namespace depgraph::graph
+
+#endif // DEPGRAPH_GRAPH_CORE_PATHS_HH

@@ -1,0 +1,88 @@
+#include "graph/csr.hh"
+
+namespace depgraph::graph
+{
+
+Graph::Graph(std::vector<EdgeId> offsets, std::vector<VertexId> targets,
+             std::vector<Value> weights)
+    : offsets_(std::move(offsets)), targets_(std::move(targets)),
+      weights_(std::move(weights))
+{
+    dg_assert(!offsets_.empty(), "offset array must have >= 1 entry");
+    numVertices_ = static_cast<VertexId>(offsets_.size() - 1);
+    dg_assert(offsets_.back() == targets_.size(),
+              "offset array end (", offsets_.back(),
+              ") != edge array size (", targets_.size(), ")");
+    dg_assert(weights_.empty() || weights_.size() == targets_.size(),
+              "weight array size mismatch");
+    for (VertexId v = 0; v < numVertices_; ++v) {
+        dg_assert(offsets_[v] <= offsets_[v + 1],
+                  "offset array not monotone at vertex ", v);
+    }
+    for (auto t : targets_)
+        dg_assert(t < numVertices_, "edge target ", t, " out of range");
+}
+
+void
+Graph::buildTranspose() const
+{
+    if (transposeBuilt_)
+        return;
+    inOffsets_.assign(numVertices_ + 1, 0);
+    for (auto t : targets_)
+        ++inOffsets_[t + 1];
+    for (VertexId v = 0; v < numVertices_; ++v)
+        inOffsets_[v + 1] += inOffsets_[v];
+    inSources_.resize(targets_.size());
+    if (!weights_.empty())
+        inWeights_.resize(targets_.size());
+    std::vector<EdgeId> cursor(inOffsets_.begin(), inOffsets_.end() - 1);
+    for (VertexId v = 0; v < numVertices_; ++v) {
+        for (EdgeId e = offsets_[v]; e < offsets_[v + 1]; ++e) {
+            const VertexId t = targets_[e];
+            const EdgeId slot = cursor[t]++;
+            inSources_[slot] = v;
+            if (!weights_.empty())
+                inWeights_[slot] = weights_[e];
+        }
+    }
+    transposeBuilt_ = true;
+}
+
+EdgeId
+Graph::inDegree(VertexId v) const
+{
+    buildTranspose();
+    return inOffsets_[v + 1] - inOffsets_[v];
+}
+
+std::span<const VertexId>
+Graph::inNeighbors(VertexId v) const
+{
+    buildTranspose();
+    return {inSources_.data() + inOffsets_[v],
+            inSources_.data() + inOffsets_[v + 1]};
+}
+
+Value
+Graph::inWeight(VertexId v, EdgeId k) const
+{
+    buildTranspose();
+    return inWeights_.empty() ? 1.0 : inWeights_[inOffsets_[v] + k];
+}
+
+EdgeId
+Graph::totalDegree(VertexId v) const
+{
+    return outDegree(v) + inDegree(v);
+}
+
+std::size_t
+Graph::byteSize() const
+{
+    return offsets_.size() * sizeof(EdgeId)
+        + targets_.size() * sizeof(VertexId)
+        + weights_.size() * sizeof(Value);
+}
+
+} // namespace depgraph::graph

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Compressed Sparse Row graph representation.
+ *
+ * Mirrors the layout described in the paper (Fig. 2): an offset array, an
+ * edge (target) array, an optional per-edge weight array, and one or more
+ * vertex state arrays owned by the algorithms. Out-edges are primary; an
+ * in-edge (transposed) view can be materialized on demand for pull-style
+ * baselines.
+ */
+
+#ifndef DEPGRAPH_GRAPH_CSR_HH
+#define DEPGRAPH_GRAPH_CSR_HH
+
+#include <span>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace depgraph::graph
+{
+
+/** One directed edge endpoint with weight, as stored in the edge array. */
+struct Edge
+{
+    VertexId target;
+    Value weight;
+};
+
+class Graph
+{
+  public:
+    Graph() = default;
+
+    /**
+     * Construct from prepared CSR arrays. offsets.size() must equal
+     * numVertices + 1 and offsets.back() must equal targets.size().
+     * weights may be empty (unweighted graph) or match targets.size().
+     */
+    Graph(std::vector<EdgeId> offsets, std::vector<VertexId> targets,
+          std::vector<Value> weights);
+
+    VertexId numVertices() const { return numVertices_; }
+    EdgeId numEdges() const { return static_cast<EdgeId>(targets_.size()); }
+    bool weighted() const { return !weights_.empty(); }
+
+    /** Out-degree of v. */
+    EdgeId
+    outDegree(VertexId v) const
+    {
+        return offsets_[v + 1] - offsets_[v];
+    }
+
+    /** First edge index of v in the edge array. */
+    EdgeId edgeBegin(VertexId v) const { return offsets_[v]; }
+
+    /** One past the last edge index of v. */
+    EdgeId edgeEnd(VertexId v) const { return offsets_[v + 1]; }
+
+    /** Target vertex of edge e. */
+    VertexId target(EdgeId e) const { return targets_[e]; }
+
+    /** Weight of edge e (1.0 when the graph is unweighted). */
+    Value
+    weight(EdgeId e) const
+    {
+        return weights_.empty() ? 1.0 : weights_[e];
+    }
+
+    /** Out-neighbors of v as a contiguous span. */
+    std::span<const VertexId>
+    neighbors(VertexId v) const
+    {
+        return {targets_.data() + offsets_[v],
+                targets_.data() + offsets_[v + 1]};
+    }
+
+    /** In-degree of v. Materializes the transpose on first use. */
+    EdgeId inDegree(VertexId v) const;
+
+    /** In-neighbors of v. Materializes the transpose on first use. */
+    std::span<const VertexId> inNeighbors(VertexId v) const;
+
+    /** Weight of the in-edge at position k of v's in-neighbor list. */
+    Value inWeight(VertexId v, EdgeId k) const;
+
+    /** Total degree (in + out) of v. */
+    EdgeId totalDegree(VertexId v) const;
+
+    /** Force construction of the transposed view now. */
+    void buildTranspose() const;
+
+    /** Raw array access for address-layout computation. */
+    const std::vector<EdgeId> &offsets() const { return offsets_; }
+    const std::vector<VertexId> &targets() const { return targets_; }
+    const std::vector<Value> &weights() const { return weights_; }
+
+    /** Bytes occupied by the CSR arrays (for storage accounting). */
+    std::size_t byteSize() const;
+
+  private:
+    VertexId numVertices_ = 0;
+    std::vector<EdgeId> offsets_;
+    std::vector<VertexId> targets_;
+    std::vector<Value> weights_;
+
+    // Lazily built transpose (logically const: a cached view).
+    mutable bool transposeBuilt_ = false;
+    mutable std::vector<EdgeId> inOffsets_;
+    mutable std::vector<VertexId> inSources_;
+    mutable std::vector<Value> inWeights_;
+};
+
+} // namespace depgraph::graph
+
+#endif // DEPGRAPH_GRAPH_CSR_HH

@@ -1,0 +1,90 @@
+#include "graph/datasets.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "graph/generators.hh"
+
+namespace depgraph::graph
+{
+
+const std::vector<DatasetInfo> &
+datasetCatalog()
+{
+    static const std::vector<DatasetInfo> catalog = {
+        {"GL", "ego-Gplus", 107614, 13673453, 127.0, 6},
+        {"AZ", "com-Amazon", 334863, 925872, 6.0, 44},
+        {"PK", "soc-Pokec", 1632803, 30622564, 19.0, 11},
+        {"OK", "com-Orkut", 3072441, 117185083, 76.0, 9},
+        {"LJ", "com-LiveJournal", 3997962, 34681189, 17.0, 17},
+        {"FS", "com-Friendster", 65608366, 950652916, 29.0, 32},
+    };
+    return catalog;
+}
+
+const DatasetInfo &
+datasetInfo(const std::string &name)
+{
+    for (const auto &d : datasetCatalog())
+        if (d.name == name)
+            return d;
+    dg_fatal("unknown dataset '", name, "' (use GL/AZ/PK/OK/LJ/FS)");
+}
+
+const std::vector<std::string> &
+datasetNames()
+{
+    static const std::vector<std::string> names = {"GL", "AZ", "PK",
+                                                   "OK", "LJ", "FS"};
+    return names;
+}
+
+Graph
+makeDataset(const std::string &name, double scale)
+{
+    dg_assert(scale > 0.0, "dataset scale must be positive");
+    auto scaled = [&](VertexId base) {
+        return std::max<VertexId>(
+            64, static_cast<VertexId>(std::lround(base * scale)));
+    };
+
+    GenOptions opt;
+    opt.weighted = true;
+
+    if (name == "GL") {
+        // Dense ego network: very high average degree, tiny diameter.
+        opt.seed = 101;
+        return powerLaw(scaled(9000), 2.0, 90.0, opt);
+    }
+    if (name == "AZ") {
+        // Sparse co-purchase graph: low degree, large diameter. A chain
+        // of mild-skew communities stretches the diameter into the 40s.
+        opt.seed = 102;
+        return communityChain(36, scaled(700), 2.1, 6.0, 2, opt);
+    }
+    if (name == "PK") {
+        // Social network: moderate degree, moderate diameter.
+        opt.seed = 103;
+        return powerLaw(scaled(30000), 2.0, 19.0, opt);
+    }
+    if (name == "OK") {
+        // Dense social network: high degree, small diameter.
+        opt.seed = 104;
+        return powerLaw(scaled(22000), 1.9, 60.0, opt);
+    }
+    if (name == "LJ") {
+        // Blog network: moderate degree, larger diameter -> a few
+        // communities in a chain, strong internal skew.
+        opt.seed = 105;
+        return communityChain(8, scaled(4500), 1.95, 17.0, 3, opt);
+    }
+    if (name == "FS") {
+        // Friendster: biggest graph, moderate degree, large diameter.
+        opt.seed = 106;
+        return communityChain(16, scaled(3750), 1.95, 25.0, 3, opt);
+    }
+    dg_fatal("unknown dataset '", name, "' (use GL/AZ/PK/OK/LJ/FS)");
+}
+
+} // namespace depgraph::graph

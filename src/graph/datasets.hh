@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Stand-ins for the paper's six SNAP datasets (Table III).
+ *
+ * The real graphs (up to 950M edges) are not redistributable nor
+ * tractable inside a functional timing simulator, so each dataset is
+ * replaced with a seeded synthetic graph matching its average degree,
+ * diameter class, and power-law skew at a reduced scale. See DESIGN.md
+ * Sec. 2 for the substitution argument.
+ */
+
+#ifndef DEPGRAPH_GRAPH_DATASETS_HH
+#define DEPGRAPH_GRAPH_DATASETS_HH
+
+#include <string>
+#include <vector>
+
+#include "graph/csr.hh"
+
+namespace depgraph::graph
+{
+
+struct DatasetInfo
+{
+    std::string name;       ///< paper short name: GL/AZ/PK/OK/LJ/FS
+    std::string fullName;   ///< SNAP dataset it stands in for
+    VertexId paperVertices; ///< Table III vertex count
+    EdgeId paperEdges;      ///< Table III edge count
+    double paperAvgDegree;  ///< Table III D-bar
+    VertexId paperDiameter; ///< Table III d
+};
+
+/** The six paper datasets, in Table III order. */
+const std::vector<DatasetInfo> &datasetCatalog();
+
+/** Look up catalog info by short name (GL/AZ/PK/OK/LJ/FS). */
+const DatasetInfo &datasetInfo(const std::string &name);
+
+/**
+ * Build the synthetic stand-in for the named dataset.
+ *
+ * @param name Short name from the catalog.
+ * @param scale Linear scale factor on vertex count (1.0 = default
+ *        reduced size; smaller for quick tests).
+ */
+Graph makeDataset(const std::string &name, double scale = 1.0);
+
+/** Short names in Table III order, for iteration in benches. */
+const std::vector<std::string> &datasetNames();
+
+} // namespace depgraph::graph
+
+#endif // DEPGRAPH_GRAPH_DATASETS_HH

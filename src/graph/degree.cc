@@ -1,0 +1,130 @@
+#include "graph/degree.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/random.hh"
+
+namespace depgraph::graph
+{
+
+DegreeStats
+degreeStats(const Graph &g)
+{
+    DegreeStats s;
+    const VertexId n = g.numVertices();
+    std::vector<EdgeId> degs(n);
+    EdgeId total = 0;
+    for (VertexId v = 0; v < n; ++v) {
+        degs[v] = g.outDegree(v);
+        total += degs[v];
+        s.maxOutDegree = std::max(s.maxOutDegree, degs[v]);
+    }
+    s.avgOutDegree = n ? static_cast<double>(total) / n : 0.0;
+    std::sort(degs.begin(), degs.end());
+    s.medianOutDegree = n ? degs[n / 2] : 0;
+    const VertexId top = std::max<VertexId>(1, n / 100);
+    EdgeId top_edges = 0;
+    for (VertexId i = 0; i < top; ++i)
+        top_edges += degs[n - 1 - i];
+    s.top1PctEdgeShare =
+        total ? static_cast<double>(top_edges) / total : 0.0;
+    return s;
+}
+
+namespace
+{
+
+/** BFS over the union of out- and in-edges; returns hop distances
+ * (kInvalidVertex for unreachable). */
+std::vector<VertexId>
+bfsUndirected(const Graph &g, VertexId src)
+{
+    std::vector<VertexId> dist(g.numVertices(), kInvalidVertex);
+    std::queue<VertexId> q;
+    dist[src] = 0;
+    q.push(src);
+    while (!q.empty()) {
+        const VertexId u = q.front();
+        q.pop();
+        auto visit = [&](VertexId w) {
+            if (dist[w] == kInvalidVertex) {
+                dist[w] = dist[u] + 1;
+                q.push(w);
+            }
+        };
+        for (auto w : g.neighbors(u))
+            visit(w);
+        for (auto w : g.inNeighbors(u))
+            visit(w);
+    }
+    return dist;
+}
+
+} // namespace
+
+VertexId
+estimateDiameter(const Graph &g, unsigned num_samples, std::uint64_t seed)
+{
+    Rng rng(seed);
+    g.buildTranspose();
+    VertexId best = 0;
+    VertexId src = 0;
+    for (unsigned s = 0; s < num_samples; ++s) {
+        const auto dist = bfsUndirected(g, src);
+        VertexId ecc = 0;
+        VertexId far = src;
+        for (VertexId v = 0; v < g.numVertices(); ++v) {
+            if (dist[v] != kInvalidVertex && dist[v] > ecc) {
+                ecc = dist[v];
+                far = v;
+            }
+        }
+        best = std::max(best, ecc);
+        // Double-sweep: continue from the farthest vertex found; mixing
+        // in a random restart every other sample avoids local basins.
+        src = (s % 2 == 0)
+            ? far
+            : static_cast<VertexId>(rng.nextBounded(g.numVertices()));
+    }
+    return best;
+}
+
+double
+averagePathLength(const Graph &g, unsigned num_samples, std::uint64_t seed)
+{
+    Rng rng(seed);
+    g.buildTranspose();
+    double total = 0.0;
+    std::uint64_t count = 0;
+    for (unsigned s = 0; s < num_samples; ++s) {
+        const auto src = static_cast<VertexId>(
+            rng.nextBounded(g.numVertices()));
+        const auto dist = bfsUndirected(g, src);
+        for (VertexId v = 0; v < g.numVertices(); ++v) {
+            if (v != src && dist[v] != kInvalidVertex) {
+                total += dist[v];
+                ++count;
+            }
+        }
+    }
+    return count ? total / static_cast<double>(count) : 0.0;
+}
+
+std::vector<VertexId>
+verticesByDegreeDesc(const Graph &g)
+{
+    std::vector<VertexId> order(g.numVertices());
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        order[v] = v;
+    std::sort(order.begin(), order.end(),
+              [&](VertexId a, VertexId b) {
+                  const auto da = g.outDegree(a), db = g.outDegree(b);
+                  if (da != db)
+                      return da > db;
+                  return a < b;
+              });
+    return order;
+}
+
+} // namespace depgraph::graph

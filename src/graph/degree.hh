@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Degree distribution and distance statistics (Table III style).
+ */
+
+#ifndef DEPGRAPH_GRAPH_DEGREE_HH
+#define DEPGRAPH_GRAPH_DEGREE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hh"
+
+namespace depgraph::graph
+{
+
+struct DegreeStats
+{
+    double avgOutDegree = 0.0;
+    EdgeId maxOutDegree = 0;
+    EdgeId medianOutDegree = 0;
+    /** Fraction of edges owned by the top 1% highest-degree vertices;
+     * a skew proxy (power-law graphs land far above 0.01). */
+    double top1PctEdgeShare = 0.0;
+};
+
+DegreeStats degreeStats(const Graph &g);
+
+/**
+ * Estimate the (effective) diameter: run BFS over undirected edges from
+ * num_samples random sources and report the largest finite eccentricity
+ * seen. Exact on small graphs when num_samples >= numVertices.
+ */
+VertexId estimateDiameter(const Graph &g, unsigned num_samples = 8,
+                          std::uint64_t seed = 1);
+
+/**
+ * Mean shortest-path hop count over sampled reachable pairs (the paper's
+ * "average length of the dependency chain" proxy, Sec. II).
+ */
+double averagePathLength(const Graph &g, unsigned num_samples = 8,
+                         std::uint64_t seed = 1);
+
+/** Vertices sorted by descending out-degree (ties by id). */
+std::vector<VertexId> verticesByDegreeDesc(const Graph &g);
+
+} // namespace depgraph::graph
+
+#endif // DEPGRAPH_GRAPH_DEGREE_HH

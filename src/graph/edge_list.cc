@@ -1,0 +1,131 @@
+#include "graph/edge_list.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "graph/builder.hh"
+
+namespace depgraph::graph
+{
+
+namespace
+{
+
+constexpr std::uint64_t kBinaryMagic = 0x4447424e31303030ull; // "DGBN1000"
+
+} // namespace
+
+Graph
+loadEdgeListText(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        dg_fatal("cannot open edge list '", path, "'");
+
+    std::vector<VertexId> srcs, dsts;
+    std::vector<Value> weights;
+    bool any_weight = false;
+    VertexId max_id = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#' || line[0] == '%')
+            continue;
+        std::istringstream ls(line);
+        std::uint64_t s, d;
+        if (!(ls >> s >> d))
+            dg_fatal("malformed edge list line: '", line, "'");
+        double w;
+        if (ls >> w)
+            any_weight = true;
+        else
+            w = 1.0;
+        srcs.push_back(static_cast<VertexId>(s));
+        dsts.push_back(static_cast<VertexId>(d));
+        weights.push_back(w);
+        max_id = std::max({max_id, static_cast<VertexId>(s),
+                           static_cast<VertexId>(d)});
+    }
+    if (srcs.empty())
+        dg_fatal("edge list '", path, "' contains no edges");
+
+    Builder b(max_id + 1);
+    for (std::size_t i = 0; i < srcs.size(); ++i)
+        b.addEdge(srcs[i], dsts[i], weights[i]);
+    return b.build(any_weight);
+}
+
+void
+saveEdgeListText(const Graph &g, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        dg_fatal("cannot write edge list '", path, "'");
+    out << "# depgraph edge list: " << g.numVertices() << " vertices, "
+        << g.numEdges() << " edges\n";
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        for (EdgeId e = g.edgeBegin(v); e < g.edgeEnd(v); ++e) {
+            out << v << ' ' << g.target(e);
+            if (g.weighted())
+                out << ' ' << g.weight(e);
+            out << '\n';
+        }
+    }
+}
+
+void
+saveBinary(const Graph &g, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        dg_fatal("cannot write binary graph '", path, "'");
+    auto put = [&](const void *p, std::size_t n) {
+        out.write(static_cast<const char *>(p),
+                  static_cast<std::streamsize>(n));
+    };
+    const std::uint64_t magic = kBinaryMagic;
+    const std::uint64_t nv = g.numVertices();
+    const std::uint64_t ne = g.numEdges();
+    const std::uint64_t weighted = g.weighted() ? 1 : 0;
+    put(&magic, 8);
+    put(&nv, 8);
+    put(&ne, 8);
+    put(&weighted, 8);
+    put(g.offsets().data(), g.offsets().size() * sizeof(EdgeId));
+    put(g.targets().data(), g.targets().size() * sizeof(VertexId));
+    if (weighted)
+        put(g.weights().data(), g.weights().size() * sizeof(Value));
+}
+
+Graph
+loadBinary(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        dg_fatal("cannot open binary graph '", path, "'");
+    auto get = [&](void *p, std::size_t n) {
+        in.read(static_cast<char *>(p), static_cast<std::streamsize>(n));
+        if (!in)
+            dg_fatal("truncated binary graph '", path, "'");
+    };
+    std::uint64_t magic, nv, ne, weighted;
+    get(&magic, 8);
+    if (magic != kBinaryMagic)
+        dg_fatal("'", path, "' is not a depgraph binary graph");
+    get(&nv, 8);
+    get(&ne, 8);
+    get(&weighted, 8);
+    std::vector<EdgeId> offsets(nv + 1);
+    std::vector<VertexId> targets(ne);
+    std::vector<Value> weights(weighted ? ne : 0);
+    get(offsets.data(), offsets.size() * sizeof(EdgeId));
+    get(targets.data(), targets.size() * sizeof(VertexId));
+    if (weighted)
+        get(weights.data(), weights.size() * sizeof(Value));
+    return Graph(std::move(offsets), std::move(targets),
+                 std::move(weights));
+}
+
+} // namespace depgraph::graph

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Edge-list file IO.
+ *
+ * Text format (SNAP-compatible): one "src dst [weight]" triple per line;
+ * lines starting with '#' or '%' are comments. A compact binary format is
+ * provided for fast round-tripping of generated graphs.
+ */
+
+#ifndef DEPGRAPH_GRAPH_EDGE_LIST_HH
+#define DEPGRAPH_GRAPH_EDGE_LIST_HH
+
+#include <string>
+
+#include "graph/csr.hh"
+
+namespace depgraph::graph
+{
+
+/** Load a text edge list; vertex count is 1 + max id seen. */
+Graph loadEdgeListText(const std::string &path);
+
+/** Save a graph as a text edge list (weights emitted when present). */
+void saveEdgeListText(const Graph &g, const std::string &path);
+
+/** Load the compact binary format written by saveBinary(). */
+Graph loadBinary(const std::string &path);
+
+/** Save the CSR arrays in a compact binary format. */
+void saveBinary(const Graph &g, const std::string &path);
+
+} // namespace depgraph::graph
+
+#endif // DEPGRAPH_GRAPH_EDGE_LIST_HH

@@ -1,0 +1,304 @@
+#include "graph/generators.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "graph/builder.hh"
+
+namespace depgraph::graph
+{
+
+namespace
+{
+
+Value
+drawWeight(Rng &rng, const GenOptions &opt)
+{
+    return opt.weighted ? rng.nextDouble(opt.minWeight, opt.maxWeight)
+                        : 1.0;
+}
+
+/** Shuffle vertex ids so degree rank does not correlate with id. */
+std::vector<VertexId>
+shuffledIds(VertexId n, Rng &rng)
+{
+    std::vector<VertexId> ids(n);
+    for (VertexId v = 0; v < n; ++v)
+        ids[v] = v;
+    for (VertexId v = n; v > 1; --v) {
+        const auto j = static_cast<VertexId>(rng.nextBounded(v));
+        std::swap(ids[v - 1], ids[j]);
+    }
+    return ids;
+}
+
+} // namespace
+
+Graph
+powerLaw(VertexId num_vertices, double alpha, double avg_degree,
+         const GenOptions &opt)
+{
+    dg_assert(num_vertices >= 2, "powerLaw needs >= 2 vertices");
+    dg_assert(alpha > 1.0, "powerLaw needs alpha > 1");
+    Rng rng(opt.seed);
+
+    // Out-degree of the rank-r vertex ~ C / (r+1)^(1/(alpha-1)), where C
+    // is normalized so the total is ~ n * avg_degree. The rank exponent
+    // 1/(alpha-1) is the standard Zipf-rank <-> power-law-degree
+    // correspondence for a degree distribution P(d) ~ d^-alpha: lower
+    // alpha means a steeper rank curve, i.e. heavier skew (Table V).
+    const double exp_deg = 1.0 / (alpha - 1.0);
+    double norm = 0.0;
+    for (VertexId r = 0; r < num_vertices; ++r)
+        norm += 1.0 / std::pow(static_cast<double>(r + 1), exp_deg);
+    const double c =
+        avg_degree * static_cast<double>(num_vertices) / norm;
+
+    const auto ids = shuffledIds(num_vertices, rng);
+    ZipfSampler target_rank(num_vertices, exp_deg);
+
+    // Real-world vertex numberings exhibit strong id-locality
+    // (crawl/community order); half the edges target nearby ids so
+    // that range partitions keep a realistic fraction of local edges.
+    const VertexId window =
+        std::max<VertexId>(8, num_vertices / 64);
+
+    Builder b(num_vertices);
+    for (VertexId r = 0; r < num_vertices; ++r) {
+        const double want =
+            c / std::pow(static_cast<double>(r + 1), exp_deg);
+        auto deg = static_cast<EdgeId>(want);
+        if (rng.nextDouble() < want - static_cast<double>(deg))
+            ++deg;
+        deg = std::min<EdgeId>(deg, num_vertices - 1);
+        const VertexId src = ids[r];
+        for (EdgeId k = 0; k < deg; ++k) {
+            VertexId dst;
+            if (rng.nextBool(0.5)) {
+                const VertexId lo =
+                    src > window ? src - window : 0;
+                const VertexId hi = std::min<VertexId>(
+                    num_vertices - 1, src + window);
+                dst = lo + static_cast<VertexId>(
+                    rng.nextBounded(hi - lo + 1));
+            } else {
+                dst = ids[target_rank.sample(rng)];
+            }
+            if (dst == src)
+                dst = ids[(r + 1) % num_vertices];
+            b.addEdge(src, dst, drawWeight(rng, opt));
+        }
+    }
+    // Guarantee weak connectivity of the dependency structure: a sparse
+    // random ring so no vertex is isolated.
+    for (VertexId v = 0; v < num_vertices; ++v) {
+        if (rng.nextDouble() < 0.2) {
+            b.addEdge(ids[v], ids[(v + 1) % num_vertices],
+                      drawWeight(rng, opt));
+        }
+    }
+    // Parallel edges are kept (multigraph), as deduping would starve the
+    // head of the degree distribution and shift the average degree far
+    // from its target; all engines handle parallel edges uniformly.
+    b.removeSelfLoops();
+    return b.build(opt.weighted);
+}
+
+Graph
+powerLawTableV(VertexId num_vertices, double alpha, const GenOptions &opt)
+{
+    // Table V: 10M vertices; alpha 1.8/1.9/2.0/2.1/2.2 gives
+    // 667/246/104/56/37 M edges, i.e. avg degree 66.7/24.6/10.4/5.6/3.7.
+    // Reproduce the same alpha -> avg-degree relationship at our scale.
+    const double avg_degree = 66.7 * std::pow(10.0, -(alpha - 1.8) * 3.1);
+    return powerLaw(num_vertices, alpha, avg_degree, opt);
+}
+
+Graph
+rmat(VertexId num_vertices_log2, EdgeId num_edges, double a, double b,
+     double c, const GenOptions &opt)
+{
+    dg_assert(num_vertices_log2 >= 1 && num_vertices_log2 < 31,
+              "rmat scale out of range");
+    const double d = 1.0 - a - b - c;
+    dg_assert(d >= 0.0, "rmat probabilities exceed 1");
+    Rng rng(opt.seed);
+    const VertexId n = VertexId{1} << num_vertices_log2;
+
+    Builder bl(n);
+    for (EdgeId e = 0; e < num_edges; ++e) {
+        VertexId src = 0, dst = 0;
+        for (unsigned bit = 0; bit < num_vertices_log2; ++bit) {
+            const double u = rng.nextDouble();
+            if (u < a) {
+                // top-left: no bits set
+            } else if (u < a + b) {
+                dst |= VertexId{1} << bit;
+            } else if (u < a + b + c) {
+                src |= VertexId{1} << bit;
+            } else {
+                src |= VertexId{1} << bit;
+                dst |= VertexId{1} << bit;
+            }
+        }
+        if (src != dst)
+            bl.addEdge(src, dst, drawWeight(rng, opt));
+    }
+    bl.dedupe();
+    return bl.build(opt.weighted);
+}
+
+Graph
+erdosRenyi(VertexId num_vertices, EdgeId num_edges, const GenOptions &opt)
+{
+    dg_assert(num_vertices >= 2, "erdosRenyi needs >= 2 vertices");
+    Rng rng(opt.seed);
+    Builder b(num_vertices);
+    for (EdgeId e = 0; e < num_edges; ++e) {
+        const auto src = static_cast<VertexId>(
+            rng.nextBounded(num_vertices));
+        auto dst = static_cast<VertexId>(rng.nextBounded(num_vertices));
+        if (dst == src)
+            dst = (dst + 1) % num_vertices;
+        b.addEdge(src, dst, drawWeight(rng, opt));
+    }
+    b.dedupe();
+    return b.build(opt.weighted);
+}
+
+Graph
+grid(VertexId rows, VertexId cols, const GenOptions &opt)
+{
+    dg_assert(rows >= 1 && cols >= 1, "grid needs positive dimensions");
+    Rng rng(opt.seed);
+    const VertexId n = rows * cols;
+    Builder b(n);
+    auto id = [&](VertexId r, VertexId c) { return r * cols + c; };
+    for (VertexId r = 0; r < rows; ++r) {
+        for (VertexId c = 0; c < cols; ++c) {
+            if (c + 1 < cols)
+                b.addUndirectedEdge(id(r, c), id(r, c + 1),
+                                    drawWeight(rng, opt));
+            if (r + 1 < rows)
+                b.addUndirectedEdge(id(r, c), id(r + 1, c),
+                                    drawWeight(rng, opt));
+        }
+    }
+    return b.build(opt.weighted);
+}
+
+Graph
+path(VertexId num_vertices, const GenOptions &opt)
+{
+    dg_assert(num_vertices >= 2, "path needs >= 2 vertices");
+    Rng rng(opt.seed);
+    Builder b(num_vertices);
+    for (VertexId v = 0; v + 1 < num_vertices; ++v)
+        b.addEdge(v, v + 1, drawWeight(rng, opt));
+    return b.build(opt.weighted);
+}
+
+Graph
+ring(VertexId num_vertices, const GenOptions &opt)
+{
+    dg_assert(num_vertices >= 2, "ring needs >= 2 vertices");
+    Rng rng(opt.seed);
+    Builder b(num_vertices);
+    for (VertexId v = 0; v < num_vertices; ++v)
+        b.addEdge(v, (v + 1) % num_vertices, drawWeight(rng, opt));
+    return b.build(opt.weighted);
+}
+
+Graph
+star(VertexId num_vertices, const GenOptions &opt)
+{
+    dg_assert(num_vertices >= 2, "star needs >= 2 vertices");
+    Rng rng(opt.seed);
+    Builder b(num_vertices);
+    for (VertexId v = 1; v < num_vertices; ++v)
+        b.addUndirectedEdge(0, v, drawWeight(rng, opt));
+    return b.build(opt.weighted);
+}
+
+Graph
+binaryTree(VertexId num_vertices, const GenOptions &opt)
+{
+    dg_assert(num_vertices >= 1, "tree needs >= 1 vertex");
+    Rng rng(opt.seed);
+    Builder b(num_vertices);
+    for (VertexId v = 0; v < num_vertices; ++v) {
+        const VertexId l = 2 * v + 1, r = 2 * v + 2;
+        if (l < num_vertices)
+            b.addEdge(v, l, drawWeight(rng, opt));
+        if (r < num_vertices)
+            b.addEdge(v, r, drawWeight(rng, opt));
+    }
+    return b.build(opt.weighted);
+}
+
+Graph
+communityChain(VertexId num_communities, VertexId community_size,
+               double alpha, double avg_degree, VertexId bridges_per_link,
+               const GenOptions &opt)
+{
+    dg_assert(num_communities >= 1 && community_size >= 2,
+              "communityChain needs communities of >= 2 vertices");
+    Rng rng(opt.seed);
+    const VertexId n = num_communities * community_size;
+    Builder b(n);
+
+    const double exp_deg = 1.0 / (alpha - 1.0);
+    double norm = 0.0;
+    for (VertexId r = 0; r < community_size; ++r)
+        norm += 1.0 / std::pow(static_cast<double>(r + 1), exp_deg);
+    const double cnorm =
+        avg_degree * static_cast<double>(community_size) / norm;
+    ZipfSampler target_rank(community_size, exp_deg);
+
+    for (VertexId comm = 0; comm < num_communities; ++comm) {
+        const VertexId base = comm * community_size;
+        const auto ids = shuffledIds(community_size, rng);
+        for (VertexId r = 0; r < community_size; ++r) {
+            const double want =
+                cnorm / std::pow(static_cast<double>(r + 1), exp_deg);
+            auto deg = static_cast<EdgeId>(want);
+            if (rng.nextDouble() < want - static_cast<double>(deg))
+                ++deg;
+            deg = std::min<EdgeId>(deg, community_size - 1);
+            const VertexId src = base + ids[r];
+            for (EdgeId k = 0; k < deg; ++k) {
+                VertexId dst = base + ids[target_rank.sample(rng)];
+                if (dst == src)
+                    dst = base + ids[(r + 1) % community_size];
+                b.addEdge(src, dst, drawWeight(rng, opt));
+            }
+        }
+        // Sparse intra-community ring for connectivity.
+        for (VertexId v = 0; v < community_size; ++v) {
+            if (rng.nextDouble() < 0.15) {
+                b.addEdge(base + ids[v],
+                          base + ids[(v + 1) % community_size],
+                          drawWeight(rng, opt));
+            }
+        }
+        // Bridges to the next community; bridging through the highest-
+        // degree vertices so that hub-paths cross community borders.
+        if (comm + 1 < num_communities) {
+            const VertexId next = (comm + 1) * community_size;
+            for (VertexId k = 0; k < bridges_per_link; ++k) {
+                const auto u = static_cast<VertexId>(
+                    rng.nextBounded(community_size));
+                const auto w = static_cast<VertexId>(
+                    rng.nextBounded(community_size));
+                b.addUndirectedEdge(base + u, next + w,
+                                    drawWeight(rng, opt));
+            }
+        }
+    }
+    b.removeSelfLoops();
+    return b.build(opt.weighted);
+}
+
+} // namespace depgraph::graph

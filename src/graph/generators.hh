@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Synthetic graph generators.
+ *
+ * These provide the workloads for all experiments. powerLaw() matches the
+ * construction used for the paper's Table V / Fig. 19 sensitivity study
+ * (fixed vertex count, Zipfian degree skew controlled by alpha), and
+ * communityChain() produces the high-diameter power-law graphs needed to
+ * stand in for com-Amazon and com-Friendster.
+ */
+
+#ifndef DEPGRAPH_GRAPH_GENERATORS_HH
+#define DEPGRAPH_GRAPH_GENERATORS_HH
+
+#include <cstdint>
+
+#include "graph/csr.hh"
+
+namespace depgraph::graph
+{
+
+/** Shared knobs for all generators. */
+struct GenOptions
+{
+    std::uint64_t seed = 42;
+    /** Emit uniform-random edge weights in [minWeight, maxWeight). */
+    bool weighted = true;
+    Value minWeight = 1.0;
+    Value maxWeight = 8.0;
+};
+
+/**
+ * Power-law graph: out-degree of the rank-r vertex is proportional to
+ * 1/r^alpha (normalized so the total edge count comes out near
+ * num_vertices * avg_degree); edge targets are drawn Zipf-distributed
+ * over degree rank so in-degree is skewed too (preferential attachment
+ * flavour). Lower alpha => heavier skew, as in the paper's Table V.
+ */
+Graph powerLaw(VertexId num_vertices, double alpha, double avg_degree,
+               const GenOptions &opt = {});
+
+/**
+ * Power-law graph sized the way the paper's Table V does it: vertex count
+ * is fixed and the edge count emerges from alpha alone (alpha 1.8 ->
+ * ~67 edges/kvertex at paper scale). We mimic that by deriving
+ * avg_degree from alpha with the paper's ratios.
+ */
+Graph powerLawTableV(VertexId num_vertices, double alpha,
+                     const GenOptions &opt = {});
+
+/** R-MAT (Graph500-style recursive matrix) generator. */
+Graph rmat(VertexId num_vertices_log2, EdgeId num_edges,
+           double a = 0.57, double b = 0.19, double c = 0.19,
+           const GenOptions &opt = {});
+
+/** Erdos-Renyi G(n, m): m directed edges chosen uniformly. */
+Graph erdosRenyi(VertexId num_vertices, EdgeId num_edges,
+                 const GenOptions &opt = {});
+
+/** 2-D grid/mesh with 4-neighbor bidirectional edges (mesh-like graphs
+ * exercise DepGraph-H with the hub index disabled, Sec. IV-A). */
+Graph grid(VertexId rows, VertexId cols, const GenOptions &opt = {});
+
+/** Simple directed path v0 -> v1 -> ... -> v(n-1): the worst-case single
+ * dependency chain. */
+Graph path(VertexId num_vertices, const GenOptions &opt = {});
+
+/** Directed ring: path plus a closing edge. */
+Graph ring(VertexId num_vertices, const GenOptions &opt = {});
+
+/** Star: hub vertex 0 with bidirectional spokes. */
+Graph star(VertexId num_vertices, const GenOptions &opt = {});
+
+/** Complete binary out-tree rooted at 0. */
+Graph binaryTree(VertexId num_vertices, const GenOptions &opt = {});
+
+/**
+ * Chain of power-law communities: num_communities clusters of
+ * community_size vertices, each internally skewed, consecutive clusters
+ * joined by bridge edges. Produces large diameter together with
+ * power-law degree skew (the AZ / FS regime in Table III).
+ */
+Graph communityChain(VertexId num_communities, VertexId community_size,
+                     double alpha, double avg_degree,
+                     VertexId bridges_per_link = 2,
+                     const GenOptions &opt = {});
+
+} // namespace depgraph::graph
+
+#endif // DEPGRAPH_GRAPH_GENERATORS_HH

@@ -1,0 +1,66 @@
+#include "graph/hub.hh"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace depgraph::graph
+{
+
+HubSet::HubSet(const Graph &g, std::vector<VertexId> explicit_hubs)
+    : hubs_(g.numVertices()), hubList_(std::move(explicit_hubs))
+{
+    std::sort(hubList_.begin(), hubList_.end());
+    hubList_.erase(std::unique(hubList_.begin(), hubList_.end()),
+                   hubList_.end());
+    threshold_ = g.numEdges() + 1;
+    for (auto v : hubList_) {
+        dg_assert(v < g.numVertices(), "hub vertex ", v, " out of range");
+        hubs_.set(v);
+        threshold_ = std::min(threshold_, g.outDegree(v));
+    }
+    if (hubList_.empty())
+        threshold_ = 0;
+}
+
+HubSet::HubSet(const Graph &g, const HubParams &params)
+    : hubs_(g.numVertices())
+{
+    dg_assert(params.lambda >= 0.0 && params.lambda <= 1.0,
+              "lambda must be in [0, 1]");
+    dg_assert(params.beta > 0.0 && params.beta <= 1.0,
+              "beta must be in (0, 1]");
+    const VertexId n = g.numVertices();
+    if (params.lambda == 0.0)
+        return; // hub machinery disabled
+
+    // Sample beta*n vertices (at least a small floor so tiny graphs
+    // still produce a sensible threshold).
+    Rng rng(params.seed);
+    const std::size_t sample_size = std::max<std::size_t>(
+        std::min<std::size_t>(n, 64),
+        static_cast<std::size_t>(params.beta * static_cast<double>(n)));
+    std::vector<EdgeId> sample;
+    sample.reserve(sample_size);
+    for (std::size_t i = 0; i < sample_size; ++i) {
+        const auto v = static_cast<VertexId>(rng.nextBounded(n));
+        sample.push_back(g.outDegree(v));
+    }
+    std::sort(sample.begin(), sample.end(), std::greater<EdgeId>());
+    auto pos = static_cast<std::size_t>(
+        params.lambda * static_cast<double>(sample.size()));
+    if (pos >= sample.size())
+        pos = sample.size() - 1;
+    threshold_ = std::max<EdgeId>(sample[pos], 1);
+
+    for (VertexId v = 0; v < n; ++v) {
+        if (g.outDegree(v) >= threshold_) {
+            hubs_.set(v);
+            hubList_.push_back(v);
+        }
+    }
+}
+
+} // namespace depgraph::graph

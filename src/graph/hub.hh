@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Hub-vertex detection (paper Definition 1).
+ *
+ * A vertex is a hub when its degree exceeds a threshold T. Users specify
+ * lambda (target fraction of hub vertices, default 0.5%) and the
+ * threshold is derived by sampling a beta fraction of vertices instead of
+ * sorting them all, exactly as Sec. III-A1 describes: sample beta*n
+ * vertices, sort the sample by degree, and take the degree at position
+ * lambda*beta*n as T.
+ */
+
+#ifndef DEPGRAPH_GRAPH_HUB_HH
+#define DEPGRAPH_GRAPH_HUB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitmap.hh"
+#include "common/types.hh"
+#include "graph/csr.hh"
+
+namespace depgraph::graph
+{
+
+struct HubParams
+{
+    double lambda = 0.005;  ///< target hub fraction (paper default 0.5%)
+    double beta = 0.001;    ///< sampling fraction (paper default 0.001)
+    std::uint64_t seed = 7; ///< sampling seed
+};
+
+class HubSet
+{
+  public:
+    /** Detect hubs of g under params. Degree = out-degree, matching the
+     * propagation role hubs play. */
+    HubSet(const Graph &g, const HubParams &params);
+
+    /**
+     * Force an explicit hub list, bypassing threshold detection. Used by
+     * tests and by callers that precompute hubs externally. The
+     * threshold is reported as the minimum degree among the given hubs.
+     */
+    HubSet(const Graph &g, std::vector<VertexId> explicit_hubs);
+
+    bool isHub(VertexId v) const { return hubs_.test(v); }
+    const std::vector<VertexId> &hubList() const { return hubList_; }
+    std::size_t numHubs() const { return hubList_.size(); }
+
+    /** The derived degree threshold T. */
+    EdgeId threshold() const { return threshold_; }
+
+    /** Bitmap view (the in-memory structure DEP_configure passes). */
+    const Bitmap &bitmap() const { return hubs_; }
+
+  private:
+    Bitmap hubs_;
+    std::vector<VertexId> hubList_;
+    EdgeId threshold_ = 0;
+};
+
+} // namespace depgraph::graph
+
+#endif // DEPGRAPH_GRAPH_HUB_HH

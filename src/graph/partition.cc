@@ -1,0 +1,60 @@
+#include "graph/partition.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace depgraph::graph
+{
+
+Partitioning::Partitioning(const Graph &g, unsigned num_parts)
+{
+    dg_assert(num_parts > 0, "need at least one partition");
+    const VertexId n = g.numVertices();
+    const EdgeId total = g.numEdges();
+    const EdgeId per_part = std::max<EdgeId>(1, total / num_parts);
+
+    ranges_.reserve(num_parts);
+    VertexId v = 0;
+    for (unsigned p = 0; p < num_parts; ++p) {
+        PartitionRange r;
+        r.begin = v;
+        if (p + 1 == num_parts) {
+            r.end = n;
+        } else {
+            EdgeId acc = 0;
+            while (v < n && (acc < per_part || v == r.begin)) {
+                acc += g.outDegree(v);
+                ++v;
+            }
+            // Leave at least one vertex per remaining partition.
+            const VertexId remaining_parts = num_parts - p - 1;
+            if (n - v < remaining_parts)
+                v = n - remaining_parts;
+            if (v < r.begin)
+                v = r.begin;
+            r.end = v;
+        }
+        ranges_.push_back(r);
+    }
+    dg_assert(ranges_.back().end == n, "partitioning must cover graph");
+}
+
+unsigned
+Partitioning::ownerOf(VertexId v) const
+{
+    // Binary search for the range whose begin <= v < end.
+    unsigned lo = 0, hi = numParts() - 1;
+    while (lo < hi) {
+        const unsigned mid = (lo + hi) / 2;
+        if (ranges_[mid].end <= v)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    dg_assert(ranges_[lo].contains(v) || ranges_[lo].size() == 0,
+              "vertex ", v, " not in computed partition");
+    return lo;
+}
+
+} // namespace depgraph::graph

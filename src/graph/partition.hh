@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Contiguous vertex-range partitioning across cores.
+ *
+ * Matches the scheme DepGraph assumes (paper Sec. III-B2): each core owns
+ * a partition identified by a [begin, end) vertex-id range, so membership
+ * tests reduce to two id comparisons, exactly as the paper's cross-core
+ * activation check does ("it only needs to simply check the partition
+ * boundaries by comparing the ID ... with the IDs of the beginning and
+ * the end vertex").
+ */
+
+#ifndef DEPGRAPH_GRAPH_PARTITION_HH
+#define DEPGRAPH_GRAPH_PARTITION_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "graph/csr.hh"
+
+namespace depgraph::graph
+{
+
+struct PartitionRange
+{
+    VertexId begin = 0; ///< first vertex id in the partition
+    VertexId end = 0;   ///< one past the last vertex id
+
+    bool contains(VertexId v) const { return v >= begin && v < end; }
+    VertexId size() const { return end - begin; }
+};
+
+class Partitioning
+{
+  public:
+    /**
+     * Split [0, numVertices) into num_parts contiguous ranges balanced
+     * by out-edge count (each range carries ~|E|/num_parts edges).
+     */
+    Partitioning(const Graph &g, unsigned num_parts);
+
+    unsigned numParts() const
+    {
+        return static_cast<unsigned>(ranges_.size());
+    }
+
+    const PartitionRange &range(unsigned p) const { return ranges_[p]; }
+
+    /** Partition owning vertex v (binary search over range bounds). */
+    unsigned ownerOf(VertexId v) const;
+
+  private:
+    std::vector<PartitionRange> ranges_;
+};
+
+} // namespace depgraph::graph
+
+#endif // DEPGRAPH_GRAPH_PARTITION_HH

@@ -1,0 +1,149 @@
+#include "graph/reorder.hh"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "graph/builder.hh"
+
+namespace depgraph::graph
+{
+
+Graph
+relabel(const Graph &g, const std::vector<VertexId> &perm)
+{
+    dg_assert(isPermutation(g, perm), "invalid permutation");
+    Builder b(g.numVertices());
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        for (EdgeId e = g.edgeBegin(v); e < g.edgeEnd(v); ++e)
+            b.addEdge(perm[v], perm[g.target(e)], g.weight(e));
+    return b.build(g.weighted());
+}
+
+bool
+isPermutation(const Graph &g, const std::vector<VertexId> &perm)
+{
+    if (perm.size() != g.numVertices())
+        return false;
+    std::vector<bool> seen(perm.size(), false);
+    for (auto p : perm) {
+        if (p >= perm.size() || seen[p])
+            return false;
+        seen[p] = true;
+    }
+    return true;
+}
+
+std::vector<VertexId>
+rcmOrder(const Graph &g)
+{
+    const VertexId n = g.numVertices();
+    g.buildTranspose();
+    auto udeg = [&](VertexId v) {
+        return g.outDegree(v) + g.inDegree(v);
+    };
+
+    std::vector<VertexId> visit_order;
+    visit_order.reserve(n);
+    std::vector<bool> visited(n, false);
+
+    // Start components from their lowest-degree vertex (peripheral
+    // heuristic); cover every component.
+    std::vector<VertexId> by_degree(n);
+    std::iota(by_degree.begin(), by_degree.end(), 0);
+    std::sort(by_degree.begin(), by_degree.end(),
+              [&](VertexId a, VertexId b) {
+                  if (udeg(a) != udeg(b))
+                      return udeg(a) < udeg(b);
+                  return a < b;
+              });
+
+    std::vector<VertexId> nbrs;
+    for (auto seed : by_degree) {
+        if (visited[seed])
+            continue;
+        std::queue<VertexId> q;
+        q.push(seed);
+        visited[seed] = true;
+        while (!q.empty()) {
+            const VertexId v = q.front();
+            q.pop();
+            visit_order.push_back(v);
+            nbrs.clear();
+            for (auto t : g.neighbors(v))
+                if (!visited[t])
+                    nbrs.push_back(t);
+            for (auto t : g.inNeighbors(v))
+                if (!visited[t])
+                    nbrs.push_back(t);
+            std::sort(nbrs.begin(), nbrs.end());
+            nbrs.erase(std::unique(nbrs.begin(), nbrs.end()),
+                       nbrs.end());
+            std::sort(nbrs.begin(), nbrs.end(),
+                      [&](VertexId a, VertexId b) {
+                          if (udeg(a) != udeg(b))
+                              return udeg(a) < udeg(b);
+                          return a < b;
+                      });
+            for (auto t : nbrs) {
+                visited[t] = true;
+                q.push(t);
+            }
+        }
+    }
+
+    // Reverse (the "R" of RCM) and convert visit order -> permutation.
+    std::vector<VertexId> perm(n);
+    for (VertexId i = 0; i < n; ++i)
+        perm[visit_order[i]] = n - 1 - i;
+    return perm;
+}
+
+std::vector<VertexId>
+degreeOrder(const Graph &g)
+{
+    const VertexId n = g.numVertices();
+    std::vector<VertexId> by_degree(n);
+    std::iota(by_degree.begin(), by_degree.end(), 0);
+    std::sort(by_degree.begin(), by_degree.end(),
+              [&](VertexId a, VertexId b) {
+                  if (g.outDegree(a) != g.outDegree(b))
+                      return g.outDegree(a) > g.outDegree(b);
+                  return a < b;
+              });
+    std::vector<VertexId> perm(n);
+    for (VertexId i = 0; i < n; ++i)
+        perm[by_degree[i]] = i;
+    return perm;
+}
+
+std::vector<VertexId>
+randomOrder(const Graph &g, std::uint64_t seed)
+{
+    const VertexId n = g.numVertices();
+    std::vector<VertexId> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    Rng rng(seed);
+    for (VertexId v = n; v > 1; --v) {
+        const auto j = static_cast<VertexId>(rng.nextBounded(v));
+        std::swap(perm[v - 1], perm[j]);
+    }
+    return perm;
+}
+
+VertexId
+bandwidth(const Graph &g)
+{
+    VertexId bw = 0;
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        for (auto t : g.neighbors(v)) {
+            const VertexId d = v > t ? v - t : t - v;
+            bw = std::max(bw, d);
+        }
+    }
+    return bw;
+}
+
+} // namespace depgraph::graph

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Vertex relabeling / reordering utilities.
+ *
+ * Vertex-id locality decides how many edges stay inside a range
+ * partition and how well the state arrays cache -- first-order effects
+ * for every engine in this repository (and the reason real systems
+ * preprocess orderings). Provided orders:
+ *
+ *  - reverse Cuthill-McKee (bandwidth-minimizing BFS order);
+ *  - degree-descending (hub clustering, GRASP-style hot-region
+ *    friendliness);
+ *  - random (the adversarial baseline).
+ */
+
+#ifndef DEPGRAPH_GRAPH_REORDER_HH
+#define DEPGRAPH_GRAPH_REORDER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hh"
+
+namespace depgraph::graph
+{
+
+/**
+ * Apply a permutation: vertex v of g becomes perm[v] in the result.
+ * perm must be a bijection on [0, numVertices).
+ */
+Graph relabel(const Graph &g, const std::vector<VertexId> &perm);
+
+/** Is perm a valid permutation for g? */
+bool isPermutation(const Graph &g, const std::vector<VertexId> &perm);
+
+/**
+ * Reverse Cuthill-McKee order over the undirected view: BFS from a
+ * low-degree peripheral vertex, visiting neighbors by ascending
+ * degree, then reversed. Returns perm with perm[old] = new.
+ */
+std::vector<VertexId> rcmOrder(const Graph &g);
+
+/** Degree-descending order: hubs get the smallest ids. */
+std::vector<VertexId> degreeOrder(const Graph &g);
+
+/** Uniform random permutation (the locality-destroying baseline). */
+std::vector<VertexId> randomOrder(const Graph &g, std::uint64_t seed);
+
+/**
+ * Bandwidth of the undirected view under the current labeling:
+ * max |u - v| over edges. RCM exists to shrink this.
+ */
+VertexId bandwidth(const Graph &g);
+
+} // namespace depgraph::graph
+
+#endif // DEPGRAPH_GRAPH_REORDER_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Engine interface: every execution strategy (software baselines,
+ * competing accelerators, DepGraph-S, DepGraph-H) runs an algorithm on
+ * a graph over the simulated machine and returns states + metrics.
+ */
+
+#ifndef DEPGRAPH_RUNTIME_ENGINE_HH
+#define DEPGRAPH_RUNTIME_ENGINE_HH
+
+#include <memory>
+#include <string>
+
+#include "gas/model.hh"
+#include "graph/hub.hh"
+#include "runtime/metrics.hh"
+#include "sim/machine.hh"
+
+namespace depgraph::runtime
+{
+
+/** Knobs shared by all engines; DepGraph-specific ones are ignored by
+ * the software baselines. */
+struct EngineOptions
+{
+    unsigned numCores = 64;      ///< cores to use (<= machine cores)
+    unsigned maxRounds = 100000; ///< convergence safety limit
+    unsigned chunkSize = 32;     ///< work-stealing chunk granularity
+
+    /* DepGraph knobs (paper defaults: lambda=0.5%, beta=0.001,
+     * stack depth 10). */
+    graph::HubParams hub;
+    unsigned stackDepth = 10;
+    unsigned fifoCapacity = 64;
+    bool hubIndexEnabled = true;
+};
+
+class Engine
+{
+  public:
+    virtual ~Engine() = default;
+
+    virtual std::string name() const = 0;
+
+    /**
+     * Run alg on g over machine m to convergence. The machine's cache
+     * contents and stats are reset at the start of the run so results
+     * are order-independent.
+     */
+    virtual RunResult run(const graph::Graph &g, gas::Algorithm &alg,
+                          sim::Machine &m) = 0;
+};
+
+using EnginePtr = std::unique_ptr<Engine>;
+
+} // namespace depgraph::runtime
+
+#endif // DEPGRAPH_RUNTIME_ENGINE_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Simulated-memory layout of the CSR arrays and vertex state arrays
+ * (paper Fig. 8): offset array, edge array, weight array, and the
+ * vertex state arrays (recent state + pending delta, the two arrays
+ * incremental pagerank needs).
+ */
+
+#ifndef DEPGRAPH_RUNTIME_LAYOUT_HH
+#define DEPGRAPH_RUNTIME_LAYOUT_HH
+
+#include <algorithm>
+
+#include "graph/csr.hh"
+#include "sim/machine.hh"
+
+namespace depgraph::runtime
+{
+
+class GraphLayout
+{
+  public:
+    GraphLayout(sim::Machine &m, const graph::Graph &g)
+    {
+        auto &as = m.mem();
+        const std::size_t nv = g.numVertices();
+        // Edgeless graphs are legal; keep allocations non-empty.
+        const std::size_t ne = std::max<std::size_t>(g.numEdges(), 1);
+        offsetsBase_ = as.alloc("csr.offsets", (nv + 1) * 8);
+        targetsBase_ = as.alloc("csr.targets", ne * 4);
+        weightsBase_ = g.weighted() ? as.alloc("csr.weights", ne * 8)
+                                    : 0;
+        stateBase_ = as.alloc("vertex.state", nv * 8);
+        deltaBase_ = as.alloc("vertex.delta", nv * 8);
+        // Second delta buffer for synchronous (Jacobi) engines.
+        delta2Base_ = as.alloc("vertex.delta2", nv * 8);
+        weighted_ = g.weighted();
+    }
+
+    Addr offsetAddr(VertexId v) const { return offsetsBase_ + Addr{v} * 8; }
+    Addr targetAddr(EdgeId e) const { return targetsBase_ + e * 4; }
+    Addr weightAddr(EdgeId e) const { return weightsBase_ + e * 8; }
+    Addr stateAddr(VertexId v) const { return stateBase_ + Addr{v} * 8; }
+    Addr deltaAddr(VertexId v) const { return deltaBase_ + Addr{v} * 8; }
+    Addr delta2Addr(VertexId v) const { return delta2Base_ + Addr{v} * 8; }
+    bool weighted() const { return weighted_; }
+
+    Addr stateBase() const { return stateBase_; }
+    Addr deltaBase() const { return deltaBase_; }
+
+  private:
+    Addr offsetsBase_ = 0;
+    Addr targetsBase_ = 0;
+    Addr weightsBase_ = 0;
+    Addr stateBase_ = 0;
+    Addr deltaBase_ = 0;
+    Addr delta2Base_ = 0;
+    bool weighted_ = false;
+};
+
+} // namespace depgraph::runtime
+
+#endif // DEPGRAPH_RUNTIME_LAYOUT_HH

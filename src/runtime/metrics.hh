@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Per-run metrics and the common result type all engines return.
+ *
+ * The definitions follow Sec. II of the paper:
+ *  - an *update* is one application of Accum to a vertex state;
+ *  - utilization U = compute cycles / (cores * makespan);
+ *  - effective utilization r_e = u_s * U / u_d, where u_s is the update
+ *    count of the 1-thread asynchronous DFS baseline and u_d the
+ *    engine's own update count.
+ */
+
+#ifndef DEPGRAPH_RUNTIME_METRICS_HH
+#define DEPGRAPH_RUNTIME_METRICS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/energy.hh"
+#include "sim/machine.hh"
+
+namespace depgraph::runtime
+{
+
+struct RunMetrics
+{
+    std::uint64_t updates = 0;   ///< vertex-state applications (u_d)
+    std::uint64_t edgeOps = 0;   ///< EdgeCompute invocations
+    unsigned rounds = 0;
+    bool converged = false;
+
+    Cycles makespan = 0;            ///< max core finish time
+    std::uint64_t computeCycles = 0; ///< vertex-state processing time
+    std::uint64_t memStallCycles = 0; ///< memory access stalls
+    std::uint64_t overheadCycles = 0; ///< queues, traversal, hub index
+    std::uint64_t idleCycles = 0;    ///< barrier / starvation
+
+    std::uint64_t accelOps = 0;  ///< accelerator operations performed
+
+    /* DepGraph-specific counters (0 for other engines). */
+    std::uint64_t hubIndexLookups = 0;
+    std::uint64_t hubIndexHits = 0;
+    std::uint64_t hubIndexInserts = 0;
+    std::uint64_t shortcutsApplied = 0;
+    std::uint64_t prefetchedEdges = 0;
+    std::size_t hubIndexBytes = 0;
+
+    unsigned coresUsed = 1;
+
+    /** Total busy cycles (anything but idle), summed over cores. */
+    std::uint64_t
+    busyCycles() const
+    {
+        return computeCycles + memStallCycles + overheadCycles;
+    }
+
+    /** Overall utilization U: fraction of core-cycles doing vertex
+     * state processing. */
+    double
+    utilization() const
+    {
+        const double denom = static_cast<double>(coresUsed)
+            * static_cast<double>(makespan);
+        return denom > 0.0
+            ? static_cast<double>(computeCycles) / denom
+            : 0.0;
+    }
+
+    /** r_e given the sequential baseline's update count u_s. */
+    double
+    effectiveUtilization(std::uint64_t u_s) const
+    {
+        if (updates == 0)
+            return 0.0;
+        return static_cast<double>(u_s) * utilization()
+            / static_cast<double>(updates);
+    }
+
+    /** Fig. 9's split: share of busy time that is "other" (memory +
+     * traversal + queues + hub index), not vertex state processing. */
+    double
+    otherTimeShare() const
+    {
+        const auto busy = busyCycles();
+        return busy
+            ? static_cast<double>(memStallCycles + overheadCycles)
+                / static_cast<double>(busy)
+            : 0.0;
+    }
+};
+
+struct RunResult
+{
+    std::vector<Value> states;
+    RunMetrics metrics;
+    sim::MachineStats memStats;
+    sim::EnergyBreakdown energy;
+};
+
+} // namespace depgraph::runtime
+
+#endif // DEPGRAPH_RUNTIME_METRICS_HH

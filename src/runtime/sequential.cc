@@ -1,0 +1,253 @@
+#include "runtime/sequential.hh"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "common/logging.hh"
+#include "runtime/layout.hh"
+#include "runtime/soft_engine.hh"
+
+namespace depgraph::runtime
+{
+
+namespace
+{
+
+/**
+ * Core of the single-thread best-first asynchronous schedule, shared by
+ * the timed and untimed entry points.
+ *
+ * The paper's sequential baseline processes vertices asynchronously
+ * along dependency chains so that each state is propagated once
+ * ("the least number of updates", Observation one). The order that
+ * realizes that minimality is best-first: for min-accumulators this is
+ * Dijkstra's order (each vertex settles once), for max the symmetric
+ * order, and for sum-accumulators processing the largest pending delta
+ * first lets smaller contributions coalesce before being propagated.
+ *
+ * `touch(addr, bytes, write)` is invoked for every memory access the
+ * schedule performs; `cost(kind)` for every compute event (0 = queue
+ * op, 1 = vertex apply, 2 = edge op). Pass no-ops to only count.
+ */
+template <typename Touch, typename Cost>
+void
+bestFirstAsync(const graph::Graph &g, gas::Algorithm &alg,
+               RunMetrics &mx, std::vector<Value> &state, Touch &&touch,
+               Cost &&cost, const GraphLayout *L)
+{
+    using gas::applyAccum;
+    using gas::wouldChange;
+
+    const VertexId n = g.numVertices();
+    const auto kind = alg.accumKind();
+    const Value ident = alg.identity();
+    const Value eps = alg.epsilon();
+
+    std::vector<Value> delta(n);
+    state.resize(n);
+    for (VertexId v = 0; v < n; ++v) {
+        state[v] = alg.initState(g, v);
+        delta[v] = alg.initDelta(g, v);
+    }
+
+    // Priority of a pending delta: larger = process sooner.
+    auto priority = [&](Value d) -> Value {
+        switch (kind) {
+          case gas::AccumKind::Sum:
+            return std::abs(d);
+          case gas::AccumKind::Min:
+            return -d; // smallest tentative value first (Dijkstra)
+          case gas::AccumKind::Max:
+            return d;
+        }
+        return 0.0;
+    };
+
+    // Lazy max-heap of (priority, vertex); stale entries are skipped
+    // at pop time by re-checking the live delta.
+    using Entry = std::pair<Value, VertexId>;
+    std::priority_queue<Entry> heap;
+    for (VertexId v = 0; v < n; ++v)
+        if (delta[v] != ident
+            && wouldChange(kind, state[v], delta[v], eps))
+            heap.emplace(priority(delta[v]), v);
+
+    while (!heap.empty()) {
+        const auto [prio, v] = heap.top();
+        heap.pop();
+        cost(0); // worklist pop
+        const Value d = delta[v];
+        if (d == ident || priority(d) != prio
+            || !wouldChange(kind, state[v], d, eps)) {
+            continue; // stale or settled entry
+        }
+        if (L) {
+            touch(L->offsetAddr(v), 16u, false);
+            touch(L->deltaAddr(v), 8u, true);
+            touch(L->stateAddr(v), 8u, true);
+        }
+        delta[v] = ident;
+        state[v] = applyAccum(kind, state[v], d);
+        ++mx.updates;
+        cost(1);
+
+        for (EdgeId e = g.edgeBegin(v); e < g.edgeEnd(v); ++e) {
+            const VertexId t = g.target(e);
+            if (L) {
+                touch(L->targetAddr(e), 4u, false);
+                if (L->weighted())
+                    touch(L->weightAddr(e), 8u, false);
+                touch(L->deltaAddr(t), 8u, true);
+            }
+            const Value inf = alg.edgeCompute(g, v, e, d);
+            const Value nd = applyAccum(kind, delta[t], inf);
+            ++mx.edgeOps;
+            cost(2);
+            if (nd != delta[t] || kind == gas::AccumKind::Sum) {
+                delta[t] = nd;
+                if (wouldChange(kind, state[t], nd, eps))
+                    heap.emplace(priority(nd), t);
+            }
+        }
+    }
+    mx.rounds = 1;
+    mx.converged = true;
+}
+
+} // namespace
+
+SequentialEngine::SequentialEngine(EngineOptions opt)
+    : opt_(opt)
+{}
+
+RunResult
+SequentialEngine::run(const graph::Graph &g, gas::Algorithm &alg,
+                      sim::Machine &m)
+{
+    if (alg.accumKind() == gas::AccumKind::Sum) {
+        // For sum accumulators the round-based Gauss-Seidel schedule
+        // ("one thread of Ligra-o") batches deltas and needs fewer
+        // updates than best-first; run exactly that on one core.
+        EngineOptions one = opt_;
+        one.numCores = 1;
+        SoftEngine gs(SoftConfig{"Sequential",
+                                 Schedule::PriorityDelta, true, false,
+                                 false, false, false},
+                      one);
+        return gs.run(g, alg, m);
+    }
+
+    alg.prepare(g);
+    m.flushCaches();
+    m.clearStats();
+    const auto &P = m.params();
+    GraphLayout L(m, g);
+
+    RunResult result;
+    auto &mx = result.metrics;
+    mx.coresUsed = 1;
+    Cycles clock = 0;
+
+    auto touch = [&](Addr a, unsigned bytes, bool write) {
+        const auto r = m.access(0, a, bytes, write);
+        clock += r.latency;
+        mx.memStallCycles += r.latency;
+    };
+    auto cost = [&](int what) {
+        switch (what) {
+          case 0:
+            clock += P.queueOpCycles;
+            mx.overheadCycles += P.queueOpCycles;
+            break;
+          case 1:
+            clock += P.vertexOpCycles;
+            mx.computeCycles += P.vertexOpCycles;
+            break;
+          default:
+            clock += P.edgeOpCycles;
+            mx.computeCycles += P.edgeOpCycles;
+            break;
+        }
+    };
+    bestFirstAsync(g, alg, mx, result.states, touch, cost, &L);
+
+    mx.makespan = clock;
+    result.memStats = m.stats();
+    result.energy = sim::computeEnergy(
+        result.memStats, mx.busyCycles(),
+        static_cast<std::uint64_t>(m.numCores() - 1) * mx.makespan, 0);
+    return result;
+}
+
+namespace
+{
+
+/** Update count of a single-core round-based Gauss-Seidel schedule
+ * ("one thread of Ligra-o", the paper's sequential baseline). */
+std::uint64_t
+gaussSeidelUpdateCount(const graph::Graph &g, gas::Algorithm &alg,
+                       unsigned max_rounds = 100000)
+{
+    using gas::applyAccum;
+    using gas::wouldChange;
+    const VertexId n = g.numVertices();
+    const auto kind = alg.accumKind();
+    const Value ident = alg.identity();
+    const Value eps = alg.epsilon();
+
+    std::vector<Value> state(n), delta(n);
+    for (VertexId v = 0; v < n; ++v) {
+        state[v] = alg.initState(g, v);
+        delta[v] = alg.initDelta(g, v);
+    }
+    std::uint64_t updates = 0;
+    std::vector<VertexId> frontier;
+    for (VertexId v = 0; v < n; ++v)
+        if (delta[v] != ident
+            && wouldChange(kind, state[v], delta[v], eps))
+            frontier.push_back(v);
+
+    for (unsigned round = 0; round < max_rounds && !frontier.empty();
+         ++round) {
+        for (const VertexId v : frontier) {
+            const Value d = delta[v];
+            if (d == ident || !wouldChange(kind, state[v], d, eps))
+                continue;
+            delta[v] = ident;
+            state[v] = applyAccum(kind, state[v], d);
+            ++updates;
+            for (EdgeId e = g.edgeBegin(v); e < g.edgeEnd(v); ++e) {
+                const VertexId t = g.target(e);
+                delta[t] = applyAccum(kind, delta[t],
+                                      alg.edgeCompute(g, v, e, d));
+            }
+        }
+        frontier.clear();
+        for (VertexId v = 0; v < n; ++v)
+            if (delta[v] != ident
+                && wouldChange(kind, state[v], delta[v], eps))
+                frontier.push_back(v);
+    }
+    return updates;
+}
+
+} // namespace
+
+std::uint64_t
+SequentialEngine::countMinimalUpdates(const graph::Graph &g,
+                                      gas::Algorithm &alg)
+{
+    alg.prepare(g);
+    // The "least number of updates" a sequential asynchronous schedule
+    // needs: best-first is optimal for min/max accumulators (Dijkstra
+    // order), round-based Gauss-Seidel batches better for sum; take
+    // the better of the two.
+    RunMetrics mx;
+    std::vector<Value> state;
+    bestFirstAsync(g, alg, mx, state,
+                   [](Addr, unsigned, bool) {}, [](int) {}, nullptr);
+    return std::min(mx.updates, gaussSeidelUpdateCount(g, alg));
+}
+
+} // namespace depgraph::runtime

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Single-thread asynchronous baseline (paper Sec. II): all vertices
+ * handled by one thread with every new state used immediately. The
+ * processing order is best-first (Dijkstra order for min/max
+ * accumulators, largest-delta-first for sum), which realizes the
+ * paper's "least number of updates" property (Observation one); its
+ * update count is u_s, the numerator of the effective utilization
+ * metric r_e = u_s * U / u_d.
+ */
+
+#ifndef DEPGRAPH_RUNTIME_SEQUENTIAL_HH
+#define DEPGRAPH_RUNTIME_SEQUENTIAL_HH
+
+#include "runtime/engine.hh"
+
+namespace depgraph::runtime
+{
+
+class SequentialEngine : public Engine
+{
+  public:
+    explicit SequentialEngine(EngineOptions opt = {});
+
+    std::string name() const override { return "Sequential"; }
+
+    RunResult run(const graph::Graph &g, gas::Algorithm &alg,
+                  sim::Machine &m) override;
+
+    /**
+     * Update count of the DFS-async schedule without any machine
+     * simulation -- the cheap way to obtain u_s for metrics.
+     */
+    static std::uint64_t countMinimalUpdates(const graph::Graph &g,
+                                             gas::Algorithm &alg);
+
+  private:
+    EngineOptions opt_;
+};
+
+} // namespace depgraph::runtime
+
+#endif // DEPGRAPH_RUNTIME_SEQUENTIAL_HH

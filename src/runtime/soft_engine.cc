@@ -1,0 +1,319 @@
+#include "runtime/soft_engine.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/bitmap.hh"
+#include "common/logging.hh"
+#include "graph/partition.hh"
+#include "runtime/layout.hh"
+#include "runtime/selective.hh"
+
+namespace depgraph::runtime
+{
+
+SoftEngine::SoftEngine(SoftConfig cfg, EngineOptions opt)
+    : cfg_(std::move(cfg)), opt_(opt)
+{}
+
+/*
+ * Parallel execution and staleness model
+ * --------------------------------------
+ * Vertices are range-partitioned across cores (the partitioning scheme
+ * the paper assumes). Within a round each core processes the active
+ * vertices of its own partition. A scatter whose target lives in the
+ * SAME partition updates the live delta (asynchronous engines see it
+ * immediately -- Gauss-Seidel); a scatter to ANOTHER core's partition
+ * lands in a shadow buffer that merges at the round barrier (Jacobi
+ * across cores). This reproduces the paper's Sec. II mechanics: a
+ * dependency chain needs a round per core crossing, concurrent threads
+ * read stale remote states and perform unnecessary updates, and the
+ * waste grows with the core count (Fig. 4b). Fully synchronous engines
+ * (Ligra, Mosaic) route every scatter through the shadow buffer.
+ */
+RunResult
+SoftEngine::run(const graph::Graph &g, gas::Algorithm &alg,
+                sim::Machine &m)
+{
+    using gas::applyAccum;
+    using gas::wouldChange;
+
+    alg.prepare(g);
+    m.flushCaches();
+    m.clearStats();
+
+    const auto &P = m.params();
+    const unsigned cores = std::min(opt_.numCores, m.numCores());
+    dg_assert(cores > 0, "engine needs at least one core");
+
+    GraphLayout L(m, g);
+    const graph::Partitioning part(g, cores);
+    const VertexId n = g.numVertices();
+    const auto kind = alg.accumKind();
+    const Value ident = alg.identity();
+    const Value eps = alg.epsilon();
+
+    RunResult result;
+    auto &mx = result.metrics;
+    mx.coresUsed = cores;
+
+    std::vector<Value> state(n), delta(n), shadow(n, ident);
+    for (VertexId v = 0; v < n; ++v) {
+        state[v] = alg.initState(g, v);
+        delta[v] = alg.initDelta(g, v);
+    }
+
+    std::vector<Cycles> clock(cores, 0);
+    auto chargeMem = [&](unsigned c, const sim::AccessResult &r) {
+        clock[c] += r.latency;
+        mx.memStallCycles += r.latency;
+    };
+    auto chargeCompute = [&](unsigned c, Cycles cyc) {
+        clock[c] += cyc;
+        mx.computeCycles += cyc;
+    };
+    auto chargeOverhead = [&](unsigned c, Cycles cyc) {
+        clock[c] += cyc;
+        mx.overheadCycles += cyc;
+    };
+
+    // Per-core frontiers (ascending ids within each).
+    std::vector<std::vector<VertexId>> frontier(cores);
+    std::size_t active_total = 0;
+    auto rebuildFrontier = [&] {
+        for (auto &f : frontier)
+            f.clear();
+        active_total = 0;
+        for (VertexId v = 0; v < n; ++v) {
+            if (delta[v] != ident
+                && wouldChange(kind, state[v], delta[v], eps)) {
+                frontier[part.ownerOf(v)].push_back(v);
+                ++active_total;
+            }
+        }
+    };
+    rebuildFrontier();
+
+    std::vector<VertexId> order;
+    Bitmap visited(n), inFrontier(n); // PathSweep scratch
+
+    std::vector<VertexId> all_active;
+    for (mx.rounds = 0; mx.rounds < opt_.maxRounds && active_total > 0;
+         ++mx.rounds) {
+        /* Maiter-style selective gate for this round (sum only). */
+        Value gate = eps;
+        if (cfg_.selective && kind == gas::AccumKind::Sum) {
+            all_active.clear();
+            for (unsigned c = 0; c < cores; ++c)
+                all_active.insert(all_active.end(),
+                                  frontier[c].begin(),
+                                  frontier[c].end());
+            gate = selectionThreshold(kind, eps, delta, all_active);
+        }
+
+        for (unsigned c = 0; c < cores; ++c) {
+            /* ---- Build this core's processing order. ---- */
+            order.clear();
+            for (auto v : frontier[c])
+                if (clearsGate(kind, state[v], delta[v], gate))
+                    order.push_back(v);
+            switch (cfg_.schedule) {
+              case Schedule::VertexOrder:
+                break; // already ascending
+              case Schedule::PriorityDelta:
+                std::stable_sort(order.begin(), order.end(),
+                    [&](VertexId a, VertexId b) {
+                        switch (kind) {
+                          case gas::AccumKind::Sum:
+                            return std::abs(delta[a])
+                                > std::abs(delta[b]);
+                          case gas::AccumKind::Min:
+                            return delta[a] < delta[b];
+                          case gas::AccumKind::Max:
+                            return delta[a] > delta[b];
+                        }
+                        return false;
+                    });
+                break;
+              case Schedule::PriorityDegree:
+                std::stable_sort(order.begin(), order.end(),
+                    [&](VertexId a, VertexId b) {
+                        return g.outDegree(a) > g.outDegree(b);
+                    });
+                break;
+              case Schedule::PathSweep: {
+                // DFS over this core's active set: active chains are
+                // laid out consecutively (FBSGraph / HATS BDFS).
+                visited.clearAll();
+                inFrontier.clearAll();
+                for (auto v : order)
+                    inFrontier.set(v);
+                std::vector<VertexId> dfs;
+                dfs.reserve(order.size());
+                std::vector<VertexId> stack;
+                for (auto seed : order) {
+                    if (visited.test(seed))
+                        continue;
+                    stack.push_back(seed);
+                    while (!stack.empty()) {
+                        const VertexId v = stack.back();
+                        stack.pop_back();
+                        if (!visited.testAndSet(v))
+                            continue;
+                        dfs.push_back(v);
+                        for (auto t : g.neighbors(v))
+                            if (inFrontier.test(t) && !visited.test(t))
+                                stack.push_back(t);
+                    }
+                }
+                order = std::move(dfs);
+                break;
+              }
+            }
+
+            /* ---- Process this core's work. ---- */
+            for (const VertexId v : order) {
+                // Worklist pop / scheduling bookkeeping.
+                if (cfg_.hwWorklist || cfg_.hwScheduler) {
+                    chargeOverhead(c, 1);
+                    ++mx.accelOps;
+                } else {
+                    chargeOverhead(c, P.queueOpCycles);
+                }
+
+                if (cfg_.prefetchVertexData) {
+                    // Worklist-directed prefetch into L2, off the
+                    // critical path.
+                    m.accessFromL2(c, L.offsetAddr(v), 16, false);
+                    m.accessFromL2(c, L.deltaAddr(v), 8, false);
+                    m.accessFromL2(c, L.stateAddr(v), 8, false);
+                    mx.accelOps += 3;
+                }
+
+                chargeMem(c, m.access(c, L.offsetAddr(v), 16, false));
+                chargeMem(c, m.access(c, L.deltaAddr(v), 8, true));
+                const Value d = delta[v];
+                if (d == ident
+                    || !wouldChange(kind, state[v], d, eps)) {
+                    chargeCompute(c, 2);
+                    continue;
+                }
+                delta[v] = ident;
+                chargeMem(c, m.access(c, L.stateAddr(v), 8, true));
+                state[v] = applyAccum(kind, state[v], d);
+                ++mx.updates;
+                chargeCompute(c, P.vertexOpCycles);
+
+                for (EdgeId e = g.edgeBegin(v); e < g.edgeEnd(v); ++e) {
+                    const VertexId t = g.target(e);
+                    chargeMem(c, m.access(c, L.targetAddr(e), 4,
+                                          false));
+                    if (L.weighted())
+                        chargeMem(c, m.access(c, L.weightAddr(e), 8,
+                                              false));
+                    const Value inf = alg.edgeCompute(g, v, e, d);
+                    chargeCompute(c, P.edgeOpCycles);
+                    ++mx.edgeOps;
+
+                    // Racing threads make same-round contributions
+                    // invisible in practice: only a genuinely
+                    // sequential run (1 core) sees them in place.
+                    const bool local = cfg_.async && cores == 1;
+                    const Addr da = L.deltaAddr(t);
+                    if (cfg_.cheapScatter) {
+                        // PHI: fire-and-forget update pushed into the
+                        // hierarchy; the core never stalls on it.
+                        m.accessFromL2(c, da, 8, true);
+                        chargeMem(c, {2, sim::MemLevel::L2});
+                        ++mx.accelOps;
+                    } else {
+                        chargeMem(c, m.access(c, da, 8, true));
+                    }
+                    auto &dst = local ? delta[t] : shadow[t];
+                    dst = applyAccum(kind, dst, inf);
+                    chargeOverhead(c, 2); // frontier bookkeeping
+                }
+            }
+        }
+
+        /* ---- Round barrier: merge remote contributions. ---- */
+        for (VertexId v = 0; v < n; ++v) {
+            if (shadow[v] != ident) {
+                delta[v] = applyAccum(kind, delta[v], shadow[v]);
+                shadow[v] = ident;
+            }
+        }
+        rebuildFrontier();
+
+        const Cycles bar = *std::max_element(clock.begin(), clock.end());
+        for (unsigned c = 0; c < cores; ++c) {
+            mx.idleCycles += bar - clock[c];
+            clock[c] = bar;
+        }
+    }
+
+    mx.converged = active_total == 0;
+    if (!mx.converged)
+        dg_warn(cfg_.name, " hit the round limit before converging");
+
+    mx.makespan = *std::max_element(clock.begin(), clock.end());
+    result.states = std::move(state);
+    result.memStats = m.stats();
+    result.energy = sim::computeEnergy(
+        result.memStats, mx.busyCycles(),
+        mx.idleCycles
+            + static_cast<std::uint64_t>(m.numCores() - cores)
+                * mx.makespan,
+        mx.accelOps);
+    return result;
+}
+
+EnginePtr
+makeLigra(EngineOptions opt)
+{
+    return std::make_unique<SoftEngine>(
+        SoftConfig{"Ligra", Schedule::VertexOrder, false, false, false,
+                   false, false, /*selective=*/false},
+        opt);
+}
+
+EnginePtr
+makeMosaic(EngineOptions opt)
+{
+    // Mosaic: synchronous tile-ordered processing; on a range
+    // partitioning the tile order coincides with ascending ids.
+    return std::make_unique<SoftEngine>(
+        SoftConfig{"Mosaic", Schedule::VertexOrder, false, false, false,
+                   false, false, /*selective=*/false},
+        opt);
+}
+
+EnginePtr
+makeWonderland(EngineOptions opt)
+{
+    return std::make_unique<SoftEngine>(
+        SoftConfig{"Wonderland", Schedule::PriorityDegree, true, false,
+                   false, false, false},
+        opt);
+}
+
+EnginePtr
+makeFbsGraph(EngineOptions opt)
+{
+    return std::make_unique<SoftEngine>(
+        SoftConfig{"FBSGraph", Schedule::PathSweep, true, false, false,
+                   false, false},
+        opt);
+}
+
+EnginePtr
+makeLigraO(EngineOptions opt)
+{
+    return std::make_unique<SoftEngine>(
+        SoftConfig{"Ligra-o", Schedule::PriorityDelta, true, false,
+                   false, false, false},
+        opt);
+}
+
+} // namespace depgraph::runtime

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The configurable software-runtime engine.
+ *
+ * One implementation covers the whole baseline landscape of the paper's
+ * evaluation through scheduling/acceleration flags:
+ *
+ *  - Ligra          : synchronous (Jacobi) rounds, vertex order
+ *  - Mosaic         : synchronous, tile(id)-ordered processing
+ *  - Wonderland     : asynchronous rounds, degree-priority order
+ *  - FBSGraph       : asynchronous, path-sweep (DFS) order
+ *  - Ligra-o        : asynchronous, delta-priority order (Maiter-style
+ *                     delta accumulation + abstraction-guided priority)
+ *  - HATS           : Ligra-o + hardware BDFS traversal scheduling
+ *                     (locality-ordered, zero scheduling overhead)
+ *  - Minnow         : Ligra-o + hardware worklist (cheap queue ops,
+ *                     priority order) + worklist-directed prefetching
+ *  - PHI            : Ligra-o + in-hierarchy commutative scatter
+ *                     updates (core does not stall on remote updates)
+ *
+ * All variants execute the same delta-accumulative GAS iteration, so
+ * they converge to identical states (Theorem-1 test anchor); they
+ * differ in schedule, per-operation cost, and the memory access stream
+ * they generate against the simulated machine.
+ */
+
+#ifndef DEPGRAPH_RUNTIME_SOFT_ENGINE_HH
+#define DEPGRAPH_RUNTIME_SOFT_ENGINE_HH
+
+#include <string>
+
+#include "runtime/engine.hh"
+
+namespace depgraph::runtime
+{
+
+enum class Schedule
+{
+    VertexOrder,    ///< ascending vertex id
+    PriorityDelta,  ///< most impactful pending delta first
+    PriorityDegree, ///< high out-degree first
+    PathSweep,      ///< DFS order over the active set
+};
+
+struct SoftConfig
+{
+    std::string name = "Ligra";
+    Schedule schedule = Schedule::VertexOrder;
+    bool async = false;            ///< Gauss-Seidel in-place deltas
+    bool hwScheduler = false;      ///< ordering done by an accelerator
+    bool hwWorklist = false;       ///< queue ops done by an accelerator
+    bool prefetchVertexData = false; ///< worklist-directed prefetch
+    bool cheapScatter = false;     ///< PHI-style in-hierarchy updates
+    bool selective = true;         ///< Maiter-style delta-threshold
+                                   ///< scheduling (sum accumulators)
+};
+
+class SoftEngine : public Engine
+{
+  public:
+    SoftEngine(SoftConfig cfg, EngineOptions opt = {});
+
+    std::string name() const override { return cfg_.name; }
+
+    RunResult run(const graph::Graph &g, gas::Algorithm &alg,
+                  sim::Machine &m) override;
+
+  private:
+    SoftConfig cfg_;
+    EngineOptions opt_;
+};
+
+/* Factories for the named baselines. */
+EnginePtr makeLigra(EngineOptions opt = {});
+EnginePtr makeMosaic(EngineOptions opt = {});
+EnginePtr makeWonderland(EngineOptions opt = {});
+EnginePtr makeFbsGraph(EngineOptions opt = {});
+EnginePtr makeLigraO(EngineOptions opt = {});
+
+} // namespace depgraph::runtime
+
+#endif // DEPGRAPH_RUNTIME_SOFT_ENGINE_HH

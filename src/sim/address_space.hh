@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Simulated physical address space: a bump allocator handing out
+ * aligned regions for graph arrays, state arrays, queues, and the hub
+ * index, plus a region registry used for hot-data classification
+ * (GRASP) and storage accounting.
+ */
+
+#ifndef DEPGRAPH_SIM_ADDRESS_SPACE_HH
+#define DEPGRAPH_SIM_ADDRESS_SPACE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace depgraph::sim
+{
+
+struct Region
+{
+    std::string name;
+    Addr base = 0;
+    std::size_t size = 0;
+
+    bool
+    contains(Addr a) const
+    {
+        return a >= base && a < base + size;
+    }
+};
+
+class AddressSpace
+{
+  public:
+    /** Allocate a named region; returns its 64-byte-aligned base. */
+    Addr
+    alloc(const std::string &name, std::size_t size)
+    {
+        dg_assert(size > 0, "empty allocation '", name, "'");
+        const Addr base = next_;
+        regions_.push_back({name, base, size});
+        next_ = (base + size + 63) & ~Addr{63};
+        return base;
+    }
+
+    const std::vector<Region> &regions() const { return regions_; }
+
+    /** Total allocated bytes (storage accounting, e.g. the paper's
+     * hub-index memory share of 0.9-2.8%). */
+    std::size_t
+    totalBytes() const
+    {
+        std::size_t t = 0;
+        for (const auto &r : regions_)
+            t += r.size;
+        return t;
+    }
+
+    /** Find the region containing an address (nullptr if none). */
+    const Region *
+    regionOf(Addr a) const
+    {
+        for (const auto &r : regions_)
+            if (r.contains(a))
+                return &r;
+        return nullptr;
+    }
+
+    /** Bytes of the region with the given name (0 when absent). */
+    std::size_t
+    bytesOf(const std::string &name) const
+    {
+        std::size_t t = 0;
+        for (const auto &r : regions_)
+            if (r.name == name)
+                t += r.size;
+        return t;
+    }
+
+  private:
+    Addr next_ = 0x1000; ///< keep 0 unmapped to catch null derefs
+    std::vector<Region> regions_;
+};
+
+/** A set of address ranges marked hot for GRASP. */
+class HotRegions
+{
+  public:
+    void
+    addRange(Addr base, std::size_t size)
+    {
+        ranges_.push_back({base, base + size});
+    }
+
+    bool
+    contains(Addr a) const
+    {
+        for (const auto &[lo, hi] : ranges_)
+            if (a >= lo && a < hi)
+                return true;
+        return false;
+    }
+
+    void clear() { ranges_.clear(); }
+    bool empty() const { return ranges_.empty(); }
+
+  private:
+    std::vector<std::pair<Addr, Addr>> ranges_;
+};
+
+} // namespace depgraph::sim
+
+#endif // DEPGRAPH_SIM_ADDRESS_SPACE_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Analytic area/power model for the per-core accelerators (Table IV).
+ *
+ * Each accelerator is modelled as SRAM storage bits plus random logic
+ * gates, both at a commercial 14 nm process. The reference core is a
+ * Skylake-class OOO core. The derived numbers land on the paper's
+ * Table IV values; the derivation (bits, gates, densities) is explicit
+ * so the table is regenerated rather than transcribed.
+ */
+
+#ifndef DEPGRAPH_SIM_AREA_HH
+#define DEPGRAPH_SIM_AREA_HH
+
+#include <string>
+#include <vector>
+
+namespace depgraph::sim
+{
+
+struct AccelAreaSpec
+{
+    std::string name;
+    double storageKbits = 0.0; ///< buffers/queues in the accelerator
+    double logicKGates = 0.0;  ///< control + datapath gate estimate
+};
+
+struct AccelAreaResult
+{
+    std::string name;
+    double areaMm2 = 0.0;
+    double pctCore = 0.0; ///< of one OOO core
+    double powerMw = 0.0; ///< across the 64-core chip
+    double pctTdp = 0.0;
+};
+
+/** Process/technology constants used by the model. */
+struct AreaModelParams
+{
+    double sramMm2PerKbit = 0.000070; ///< 6T SRAM + periphery @14nm
+    double logicMm2PerKGate = 0.000125; ///< NAND2-equivalent @14nm
+    double coreAreaMm2 = 1.85;       ///< Skylake-class core (no L2)
+    double chipTdpW = 195.0;         ///< 64-core chip TDP
+    double mwPerMm2 = 950.0;         ///< accelerator power density
+    unsigned numCores = 64;
+};
+
+/** Derive area/power for one spec. */
+AccelAreaResult deriveArea(const AccelAreaSpec &spec,
+                           const AreaModelParams &p = {});
+
+/**
+ * The four accelerators of Table IV with their structural estimates:
+ * HATS (traversal scheduler), Minnow (worklist engine, the largest
+ * buffers), PHI (update coalescing logic), DepGraph (6.1 Kbit stack +
+ * 4.8 Kbit FIFO edge buffer + HDTL/DDMU logic).
+ */
+std::vector<AccelAreaSpec> tableIVSpecs();
+
+/** Derived Table IV. */
+std::vector<AccelAreaResult> tableIV(const AreaModelParams &p = {});
+
+} // namespace depgraph::sim
+
+#endif // DEPGRAPH_SIM_AREA_HH

@@ -1,0 +1,233 @@
+#include "sim/cache.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace depgraph::sim
+{
+
+Cache::Cache(std::string name, std::size_t bytes, unsigned assoc,
+             unsigned line_size, ReplPolicy policy)
+    : name_(std::move(name)), assoc_(assoc), policy_(policy)
+{
+    dg_assert(line_size > 0 && (line_size & (line_size - 1)) == 0,
+              "line size must be a power of two");
+    dg_assert(assoc > 0, "associativity must be positive");
+    dg_assert(bytes >= static_cast<std::size_t>(line_size) * assoc,
+              "cache smaller than one set");
+    lineShift_ = static_cast<unsigned>(std::countr_zero(line_size));
+    numSets_ = static_cast<unsigned>(bytes / line_size / assoc);
+    dg_assert(numSets_ > 0, "cache must have at least one set");
+    ways_.resize(static_cast<std::size_t>(numSets_) * assoc_);
+}
+
+Addr
+Cache::lineAddr(Addr addr) const
+{
+    return addr >> lineShift_;
+}
+
+unsigned
+Cache::setIndex(Addr line_addr) const
+{
+    // Hash the index bits so pathological strides spread across sets
+    // (Table II: "hashed set-associative" L3).
+    const Addr h = line_addr ^ (line_addr >> 13) ^ (line_addr >> 27);
+    return static_cast<unsigned>(h % numSets_);
+}
+
+Cache::SetRole
+Cache::setRole(unsigned set) const
+{
+    // Every 64th set leads SRRIP, the next one leads BRRIP (Jaleel's
+    // static simple-dueling layout scaled to small caches).
+    if (numSets_ < 4)
+        return SetRole::Follower;
+    const unsigned stride = numSets_ >= 64 ? 64 : 4;
+    if (set % stride == 0)
+        return SetRole::LeaderSrrip;
+    if (set % stride == 1)
+        return SetRole::LeaderBrrip;
+    return SetRole::Follower;
+}
+
+bool
+Cache::access(Addr addr, bool write)
+{
+    const Addr line = lineAddr(addr);
+    const unsigned set = setIndex(line);
+    Way *base = &ways_[static_cast<std::size_t>(set) * assoc_];
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (base[w].valid && base[w].tag == line) {
+            touchOnHit(base[w]);
+            if (write)
+                base[w].dirty = true;
+            ++stats_.hits;
+            return true;
+        }
+    }
+    ++stats_.misses;
+    // Set dueling: a miss in a leader set votes against its policy.
+    if (policy_ == ReplPolicy::DRRIP) {
+        constexpr int kPselMax = 512;
+        switch (setRole(set)) {
+          case SetRole::LeaderSrrip:
+            psel_ = std::min(psel_ + 1, kPselMax);
+            break;
+          case SetRole::LeaderBrrip:
+            psel_ = std::max(psel_ - 1, -kPselMax);
+            break;
+          case SetRole::Follower:
+            break;
+        }
+    }
+    return false;
+}
+
+Addr
+Cache::fill(Addr addr, bool dirty)
+{
+    const Addr line = lineAddr(addr);
+    const unsigned set = setIndex(line);
+    Way *base = &ways_[static_cast<std::size_t>(set) * assoc_];
+
+    // Already present (e.g. racing fills): just refresh.
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (base[w].valid && base[w].tag == line) {
+            base[w].dirty |= dirty;
+            return kNoLine;
+        }
+    }
+
+    const unsigned victim = victimWay(set);
+    Way &v = base[victim];
+    Addr evicted = kNoLine;
+    if (v.valid) {
+        evicted = v.tag;
+        ++stats_.evictions;
+        if (v.dirty)
+            ++stats_.writebacks;
+    }
+    initOnFill(v, line);
+    v.dirty = dirty;
+    return evicted;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    const Addr line = lineAddr(addr);
+    const unsigned set = setIndex(line);
+    const Way *base = &ways_[static_cast<std::size_t>(set) * assoc_];
+    for (unsigned w = 0; w < assoc_; ++w)
+        if (base[w].valid && base[w].tag == line)
+            return true;
+    return false;
+}
+
+bool
+Cache::invalidate(Addr addr)
+{
+    const Addr line = lineAddr(addr);
+    const unsigned set = setIndex(line);
+    Way *base = &ways_[static_cast<std::size_t>(set) * assoc_];
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (base[w].valid && base[w].tag == line) {
+            const bool was_dirty = base[w].dirty;
+            base[w] = Way{};
+            return was_dirty;
+        }
+    }
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (auto &w : ways_)
+        w = Way{};
+}
+
+unsigned
+Cache::victimWay(unsigned set)
+{
+    Way *base = &ways_[static_cast<std::size_t>(set) * assoc_];
+    // Invalid way first.
+    for (unsigned w = 0; w < assoc_; ++w)
+        if (!base[w].valid)
+            return w;
+
+    if (policy_ == ReplPolicy::LRU) {
+        unsigned victim = 0;
+        for (unsigned w = 1; w < assoc_; ++w)
+            if (base[w].lastUse < base[victim].lastUse)
+                victim = w;
+        return victim;
+    }
+
+    // RRIP search: find a way with RRPV 3, aging everyone until found.
+    for (;;) {
+        for (unsigned w = 0; w < assoc_; ++w)
+            if (base[w].rrpv >= 3)
+                return w;
+        for (unsigned w = 0; w < assoc_; ++w)
+            ++base[w].rrpv;
+    }
+}
+
+void
+Cache::touchOnHit(Way &w)
+{
+    w.lastUse = ++useClock_;
+    // RRIP hit promotion.
+    w.rrpv = 0;
+}
+
+void
+Cache::initOnFill(Way &w, Addr line)
+{
+    w.tag = line;
+    w.valid = true;
+    w.lastUse = ++useClock_;
+    ++fillClock_;
+    switch (policy_) {
+      case ReplPolicy::LRU:
+        w.rrpv = 0;
+        break;
+      case ReplPolicy::DRRIP: {
+        // Leaders use their own policy; followers adopt the duel
+        // winner (psel > 0 means the BRRIP leaders missed less).
+        const unsigned set = setIndex(line);
+        bool use_brrip;
+        switch (setRole(set)) {
+          case SetRole::LeaderSrrip:
+            use_brrip = false;
+            break;
+          case SetRole::LeaderBrrip:
+            use_brrip = true;
+            break;
+          default:
+            use_brrip = psel_ > 0;
+            break;
+        }
+        if (use_brrip)
+            w.rrpv = (fillClock_ % 32 == 0) ? 2 : 3;
+        else
+            w.rrpv = 2;
+        break;
+      }
+      case ReplPolicy::GRASP:
+        if (hot_ && hot_(line << lineShift_)) {
+            w.rrpv = 0; // protect hot graph data
+        } else {
+            // Cold data inserted at distant RRPV so it cannot thrash
+            // the protected region.
+            w.rrpv = (fillClock_ % 32 == 0) ? 3 : 2;
+        }
+        break;
+    }
+}
+
+} // namespace depgraph::sim

@@ -1,0 +1,41 @@
+#include "sim/energy.hh"
+
+namespace depgraph::sim
+{
+
+namespace
+{
+
+constexpr double kPjToMj = 1e-9;
+
+} // namespace
+
+EnergyBreakdown
+computeEnergy(const MachineStats &stats, std::uint64_t busy_cycles,
+              std::uint64_t idle_cycles, std::uint64_t accel_ops,
+              const EnergyParams &p)
+{
+    EnergyBreakdown e;
+    e.coreMj = (static_cast<double>(busy_cycles) * p.coreBusyPj
+                + static_cast<double>(idle_cycles) * p.coreIdlePj)
+        * kPjToMj;
+    const double l1 =
+        static_cast<double>(stats.l1.hits + stats.l1.misses)
+        * p.l1AccessPj;
+    const double l2 =
+        static_cast<double>(stats.l2.hits + stats.l2.misses)
+        * p.l2AccessPj;
+    const double l3 =
+        static_cast<double>(stats.l3.hits + stats.l3.misses)
+        * p.l3AccessPj;
+    e.cacheMj = (l1 + l2 + l3) * kPjToMj;
+    e.nocMj = static_cast<double>(stats.nocHops) * p.nocHopPj * kPjToMj;
+    e.dramMj =
+        static_cast<double>(stats.dramAccesses) * p.dramAccessPj
+        * kPjToMj;
+    e.accelMj =
+        static_cast<double>(accel_ops) * p.accelOpPj * kPjToMj;
+    return e;
+}
+
+} // namespace depgraph::sim

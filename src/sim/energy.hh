@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Energy model (Fig. 14 reproduction).
+ *
+ * McPAT-style accounting: per-event energies for each component
+ * multiplied by event counts from the machine stats, plus per-cycle
+ * core energies split into busy and idle. Constants are 22 nm-class
+ * estimates, documented inline; the figure of merit is the *relative*
+ * energy between solutions, matching how the paper reports Fig. 14
+ * (normalized to HATS).
+ */
+
+#ifndef DEPGRAPH_SIM_ENERGY_HH
+#define DEPGRAPH_SIM_ENERGY_HH
+
+#include <cstdint>
+
+#include "sim/machine.hh"
+
+namespace depgraph::sim
+{
+
+/** Per-event and per-cycle energies in picojoules. */
+struct EnergyParams
+{
+    double l1AccessPj = 15.0;    ///< 32 KB SRAM read/write
+    double l2AccessPj = 45.0;    ///< 256 KB SRAM
+    double l3AccessPj = 220.0;   ///< 4 MB bank incl. tag + data
+    double nocHopPj = 26.0;      ///< 64 B message through one router
+    double dramAccessPj = 10400; ///< 64 B DDR4 line transfer
+    double coreBusyPj = 1500.0;  ///< OOO core active cycle (~3.75 W)
+    double coreIdlePj = 300.0;   ///< clock-gated stall cycle
+    double accelOpPj = 6.0;      ///< one HDTL/DDMU (or peer) operation
+};
+
+struct EnergyBreakdown
+{
+    double coreMj = 0.0;  ///< busy + idle core energy, millijoules
+    double cacheMj = 0.0; ///< L1 + L2 + L3
+    double nocMj = 0.0;
+    double dramMj = 0.0;
+    double accelMj = 0.0;
+
+    double
+    totalMj() const
+    {
+        return coreMj + cacheMj + nocMj + dramMj + accelMj;
+    }
+};
+
+/**
+ * Fold machine stats and core activity into an energy breakdown.
+ *
+ * @param stats Memory-system event counts.
+ * @param busy_cycles Sum over cores of cycles doing useful work.
+ * @param idle_cycles Sum over cores of stall/idle cycles to makespan.
+ * @param accel_ops Accelerator operations (0 for software-only runs).
+ */
+EnergyBreakdown computeEnergy(const MachineStats &stats,
+                              std::uint64_t busy_cycles,
+                              std::uint64_t idle_cycles,
+                              std::uint64_t accel_ops,
+                              const EnergyParams &p = {});
+
+} // namespace depgraph::sim
+
+#endif // DEPGRAPH_SIM_ENERGY_HH

@@ -1,0 +1,204 @@
+#include "sim/machine.hh"
+
+#include "common/logging.hh"
+
+namespace depgraph::sim
+{
+
+Machine::Machine(const MachineParams &params)
+    : params_(params), noc_(params), dram_(params)
+{
+    dg_assert(params_.numCores > 0, "need at least one core");
+    dg_assert(params_.l3Banks > 0, "need at least one L3 bank");
+    // Line-address arithmetic in this file is specialized for 64 B
+    // lines (Table II); other sizes would silently mis-map banks.
+    dg_assert(params_.lineSize == 64,
+              "the machine model supports 64 B cache lines only");
+
+    l1d_.reserve(params_.numCores);
+    l2_.reserve(params_.numCores);
+    for (unsigned c = 0; c < params_.numCores; ++c) {
+        l1d_.push_back(std::make_unique<Cache>(
+            "l1d." + std::to_string(c), params_.l1d.bytes,
+            params_.l1d.assoc, params_.lineSize, params_.l1d.policy));
+        l2_.push_back(std::make_unique<Cache>(
+            "l2." + std::to_string(c), params_.l2.bytes,
+            params_.l2.assoc, params_.lineSize, params_.l2.policy));
+    }
+    const std::size_t bank_bytes = params_.l3TotalBytes / params_.l3Banks;
+    for (unsigned b = 0; b < params_.l3Banks; ++b) {
+        auto bank = std::make_unique<Cache>(
+            "l3." + std::to_string(b), bank_bytes, params_.l3Assoc,
+            params_.lineSize, params_.l3Policy);
+        bank->setHotOracle(
+            [this](Addr a) { return hotRegions_.contains(a); });
+        l3Banks_.push_back(std::move(bank));
+    }
+}
+
+unsigned
+Machine::bankOf(Addr line_addr) const
+{
+    const Addr h = line_addr ^ (line_addr >> 7);
+    return static_cast<unsigned>(h % params_.l3Banks);
+}
+
+Cycles
+Machine::coherenceCheck(unsigned core, Addr line_addr, bool write)
+{
+    auto it = directory_.find(line_addr);
+    Cycles penalty = 0;
+    if (it != directory_.end() && it->second.owner != core
+        && it->second.owner != 0xffff) {
+        const unsigned owner = it->second.owner;
+        if (write) {
+            // Invalidate the remote copy.
+            l1d_[owner]->invalidate(line_addr << 6);
+            l2_[owner]->invalidate(line_addr << 6);
+            penalty += params_.invalidationCycles
+                + noc_.transfer(noc_.coreTile(core),
+                                noc_.coreTile(owner));
+            ++invalidations_;
+        } else if (it->second.dirty) {
+            // Fetch the dirty line from the remote private cache.
+            penalty += params_.remoteDirtyCycles;
+            ++remoteDirtyHits_;
+            it->second.dirty = false; // now shared/clean
+        }
+    }
+    if (write) {
+        auto &e = directory_[line_addr];
+        e.owner = static_cast<std::uint16_t>(core);
+        e.dirty = true;
+    }
+    return penalty;
+}
+
+Cycles
+Machine::lineAccess(unsigned core, Addr line_byte_addr, bool write,
+                    bool skip_l1, MemLevel &level)
+{
+    Cycles lat = 0;
+    const Addr line_addr = line_byte_addr >> 6;
+
+    lat += coherenceCheck(core, line_addr, write);
+
+    if (!skip_l1) {
+        lat += params_.l1d.latency;
+        if (l1d_[core]->access(line_byte_addr, write)) {
+            level = MemLevel::L1;
+            return lat;
+        }
+    }
+
+    lat += params_.l2.latency;
+    if (l2_[core]->access(line_byte_addr, write)) {
+        if (!skip_l1)
+            l1d_[core]->fill(line_byte_addr, write);
+        level = MemLevel::L2;
+        return lat;
+    }
+
+    const unsigned bank = bankOf(line_addr);
+    lat += noc_.coreToBankRoundTrip(core, bank);
+    lat += params_.l3BankLatency;
+    if (l3Banks_[bank]->access(line_byte_addr, write)) {
+        l2_[core]->fill(line_byte_addr, write);
+        if (!skip_l1)
+            l1d_[core]->fill(line_byte_addr, write);
+        level = MemLevel::L3;
+        return lat;
+    }
+
+    lat += dram_.access(line_addr);
+    l3Banks_[bank]->fill(line_byte_addr, write);
+    l2_[core]->fill(line_byte_addr, write);
+    if (!skip_l1)
+        l1d_[core]->fill(line_byte_addr, write);
+    level = MemLevel::Mem;
+    return lat;
+}
+
+AccessResult
+Machine::accessImpl(unsigned core, Addr addr, unsigned bytes, bool write,
+                    bool skip_l1)
+{
+    dg_assert(core < params_.numCores, "core ", core, " out of range");
+    dg_assert(bytes > 0, "zero-byte access");
+    ++accesses_;
+
+    AccessResult r;
+    const Addr first_line = addr & ~Addr{63};
+    const Addr last_line = (addr + bytes - 1) & ~Addr{63};
+    MemLevel worst = MemLevel::L1;
+    for (Addr line = first_line; line <= last_line; line += 64) {
+        MemLevel lvl = MemLevel::L1;
+        r.latency += lineAccess(core, line, write, skip_l1, lvl);
+        if (static_cast<int>(lvl) > static_cast<int>(worst))
+            worst = lvl;
+    }
+    r.level = worst;
+    return r;
+}
+
+AccessResult
+Machine::access(unsigned core, Addr addr, unsigned bytes, bool write)
+{
+    return accessImpl(core, addr, bytes, write, /*skip_l1=*/false);
+}
+
+AccessResult
+Machine::accessFromL2(unsigned core, Addr addr, unsigned bytes,
+                      bool write)
+{
+    return accessImpl(core, addr, bytes, write, /*skip_l1=*/true);
+}
+
+MachineStats
+Machine::stats() const
+{
+    MachineStats s;
+    for (const auto &c : l1d_)
+        s.l1.add(c->stats());
+    for (const auto &c : l2_)
+        s.l2.add(c->stats());
+    for (const auto &c : l3Banks_)
+        s.l3.add(c->stats());
+    s.nocHops = noc_.hopCount();
+    s.nocMessages = noc_.messages();
+    s.dramAccesses = dram_.accesses();
+    s.invalidations = invalidations_;
+    s.remoteDirtyHits = remoteDirtyHits_;
+    s.accesses = accesses_;
+    return s;
+}
+
+void
+Machine::clearStats()
+{
+    for (auto &c : l1d_)
+        c->clearStats();
+    for (auto &c : l2_)
+        c->clearStats();
+    for (auto &c : l3Banks_)
+        c->clearStats();
+    noc_.clearStats();
+    dram_.clearStats();
+    invalidations_ = 0;
+    remoteDirtyHits_ = 0;
+    accesses_ = 0;
+}
+
+void
+Machine::flushCaches()
+{
+    for (auto &c : l1d_)
+        c->flush();
+    for (auto &c : l2_)
+        c->flush();
+    for (auto &c : l3Banks_)
+        c->flush();
+    directory_.clear();
+}
+
+} // namespace depgraph::sim

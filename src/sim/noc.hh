@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Mesh network-on-chip model (Table II: 8x8 mesh, X-Y dimension-order
+ * routing, 3 cycles per hop, 512-bit links).
+ *
+ * Latency is hop-count based; per-hop flit traffic is accumulated for
+ * the energy model.
+ */
+
+#ifndef DEPGRAPH_SIM_NOC_HH
+#define DEPGRAPH_SIM_NOC_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "sim/params.hh"
+
+namespace depgraph::sim
+{
+
+class MeshNoc
+{
+  public:
+    explicit MeshNoc(const MachineParams &p)
+        : width_(p.meshWidth), height_(p.meshHeight),
+          hopCycles_(p.hopCycles)
+    {}
+
+    unsigned numTiles() const { return width_ * height_; }
+
+    /** Tile hosting a core (one core per tile, row-major). */
+    unsigned
+    coreTile(unsigned core) const
+    {
+        return core % numTiles();
+    }
+
+    /** Tile hosting an L3 bank (banks interleaved over tiles). */
+    unsigned
+    bankTile(unsigned bank) const
+    {
+        // Spread banks over the mesh; with 32 banks on 64 tiles every
+        // other tile hosts a bank.
+        return (bank * numTiles() / 32u + bank) % numTiles();
+    }
+
+    /** Manhattan hop count between two tiles under X-Y routing. */
+    unsigned
+    hops(unsigned from_tile, unsigned to_tile) const
+    {
+        const int fx = static_cast<int>(from_tile % width_);
+        const int fy = static_cast<int>(from_tile / width_);
+        const int tx = static_cast<int>(to_tile % width_);
+        const int ty = static_cast<int>(to_tile / width_);
+        const int dx = fx > tx ? fx - tx : tx - fx;
+        const int dy = fy > ty ? fy - ty : ty - fy;
+        return static_cast<unsigned>(dx + dy);
+    }
+
+    /** One-way latency between tiles; records traffic. */
+    Cycles
+    transfer(unsigned from_tile, unsigned to_tile)
+    {
+        const unsigned h = hops(from_tile, to_tile);
+        hopCount_ += h;
+        ++messages_;
+        return static_cast<Cycles>(h) * hopCycles_;
+    }
+
+    /** Round trip core <-> L3 bank; records both directions. */
+    Cycles
+    coreToBankRoundTrip(unsigned core, unsigned bank)
+    {
+        const unsigned ct = coreTile(core);
+        const unsigned bt = bankTile(bank);
+        return transfer(ct, bt) + transfer(bt, ct);
+    }
+
+    std::uint64_t hopCount() const { return hopCount_; }
+    std::uint64_t messages() const { return messages_; }
+
+    void
+    clearStats()
+    {
+        hopCount_ = 0;
+        messages_ = 0;
+    }
+
+  private:
+    unsigned width_;
+    unsigned height_;
+    Cycles hopCycles_;
+    std::uint64_t hopCount_ = 0;
+    std::uint64_t messages_ = 0;
+};
+
+} // namespace depgraph::sim
+
+#endif // DEPGRAPH_SIM_NOC_HH

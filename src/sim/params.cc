@@ -1,0 +1,36 @@
+#include "sim/params.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace depgraph::sim
+{
+
+const char *
+replPolicyName(ReplPolicy p)
+{
+    switch (p) {
+      case ReplPolicy::LRU:
+        return "LRU";
+      case ReplPolicy::DRRIP:
+        return "DRRIP";
+      case ReplPolicy::GRASP:
+        return "GRASP";
+    }
+    return "?";
+}
+
+ReplPolicy
+replPolicyFromName(const char *name)
+{
+    if (!std::strcmp(name, "LRU"))
+        return ReplPolicy::LRU;
+    if (!std::strcmp(name, "DRRIP"))
+        return ReplPolicy::DRRIP;
+    if (!std::strcmp(name, "GRASP"))
+        return ReplPolicy::GRASP;
+    dg_fatal("unknown replacement policy '", name, "'");
+}
+
+} // namespace depgraph::sim

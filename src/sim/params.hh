@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Configuration of the simulated many-core machine.
+ *
+ * Defaults reproduce the paper's Table II: 64 Skylake-like cores at
+ * 2.5 GHz, 32 KB L1I / 32 KB L1D / 256 KB private L2 per core, a
+ * 128 MB 32-bank shared L3 with DRRIP on an 8x8 mesh (X-Y routing,
+ * 3 cycles/hop), and DDR4-2400-class main memory.
+ */
+
+#ifndef DEPGRAPH_SIM_PARAMS_HH
+#define DEPGRAPH_SIM_PARAMS_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace depgraph::sim
+{
+
+/** Replacement policies supported by the cache model. */
+enum class ReplPolicy
+{
+    LRU,
+    DRRIP,
+    GRASP, ///< DRRIP with preferential insertion for hot graph data
+};
+
+const char *replPolicyName(ReplPolicy p);
+ReplPolicy replPolicyFromName(const char *name);
+
+struct CacheParams
+{
+    std::size_t bytes = 0;
+    unsigned assoc = 8;
+    Cycles latency = 1;
+    ReplPolicy policy = ReplPolicy::LRU;
+};
+
+struct MachineParams
+{
+    unsigned numCores = 64;
+    unsigned lineSize = 64;
+    double freqGHz = 2.5;
+
+    CacheParams l1i{32 * 1024, 4, 3, ReplPolicy::LRU};
+    CacheParams l1d{32 * 1024, 8, 4, ReplPolicy::LRU};
+    CacheParams l2{256 * 1024, 8, 7, ReplPolicy::LRU};
+
+    /** Shared L3: total size across all banks. */
+    std::size_t l3TotalBytes = std::size_t{128} * 1024 * 1024;
+    unsigned l3Banks = 32;
+    unsigned l3Assoc = 16;
+    Cycles l3BankLatency = 27;
+    ReplPolicy l3Policy = ReplPolicy::DRRIP;
+
+    /** Mesh NoC (Table II: 8x8, X-Y routing, 3 cycles/hop). */
+    unsigned meshWidth = 8;
+    unsigned meshHeight = 8;
+    Cycles hopCycles = 3;
+
+    /** Main memory: DDR4-2400 CL17, 12 channels. The model charges a
+     * fixed access latency plus a per-channel serialization term. */
+    Cycles dramLatency = 150;
+    unsigned dramChannels = 12;
+    Cycles dramChannelOccupancy = 8; ///< cycles a line transfer holds a
+                                     ///< channel (2400 MT/s, 64 B line)
+
+    /** Coherence costs (MESI-flavoured, in-cache directory). */
+    Cycles invalidationCycles = 20; ///< per remote copy invalidated
+    Cycles remoteDirtyCycles = 40;  ///< fetch of a dirty remote line
+
+    /* --- Core cost model (cycles of compute, excluding memory) --- */
+    Cycles edgeOpCycles = 4;    ///< EdgeCompute + Accum per edge (SIMD-
+                                ///< amortized, GCC -O3 + AVX512 class)
+    Cycles vertexOpCycles = 6;  ///< apply delta + activity check
+    Cycles queueOpCycles = 10;  ///< software worklist push/pop
+    Cycles swTraversalCycles = 22; ///< software DFS bookkeeping per edge
+                                   ///< (DepGraph-S, Sec. IV-A cost)
+    Cycles swHubIndexCycles = 55;  ///< software hub-index op (hash probe
+                                   ///< + fit) per core-path event
+    Cycles hwHubIndexCycles = 4;   ///< the same op done by DDMU
+
+    /** Sanity: derived values. */
+    unsigned
+    l3BankBytes() const
+    {
+        return static_cast<unsigned>(l3TotalBytes / l3Banks);
+    }
+};
+
+} // namespace depgraph::sim
+
+#endif // DEPGRAPH_SIM_PARAMS_HH

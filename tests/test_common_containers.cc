@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Unit tests for the bounded containers (circular queue, fixed stack,
+ * FIFO buffer, bitmap) that model DepGraph's hardware structures.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitmap.hh"
+#include "common/circular_queue.hh"
+#include "common/fifo_buffer.hh"
+#include "common/fixed_stack.hh"
+
+namespace depgraph
+{
+namespace
+{
+
+TEST(CircularQueue, StartsEmpty)
+{
+    CircularQueue<int> q(4);
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(q.full());
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_EQ(q.capacity(), 4u);
+}
+
+TEST(CircularQueue, FifoOrder)
+{
+    CircularQueue<int> q(4);
+    q.push(1);
+    q.push(2);
+    q.push(3);
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_EQ(q.pop(), 2);
+    EXPECT_EQ(q.pop(), 3);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(CircularQueue, WrapsAround)
+{
+    CircularQueue<int> q(3);
+    q.push(1);
+    q.push(2);
+    EXPECT_EQ(q.pop(), 1);
+    q.push(3);
+    q.push(4); // wraps
+    EXPECT_TRUE(q.full());
+    EXPECT_EQ(q.pop(), 2);
+    EXPECT_EQ(q.pop(), 3);
+    EXPECT_EQ(q.pop(), 4);
+}
+
+TEST(CircularQueue, TryPushFailsWhenFull)
+{
+    CircularQueue<int> q(2);
+    EXPECT_TRUE(q.tryPush(1));
+    EXPECT_TRUE(q.tryPush(2));
+    EXPECT_FALSE(q.tryPush(3));
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(q.front(), 1);
+}
+
+TEST(CircularQueue, ClearResets)
+{
+    CircularQueue<int> q(2);
+    q.push(1);
+    q.clear();
+    EXPECT_TRUE(q.empty());
+    q.push(7);
+    EXPECT_EQ(q.pop(), 7);
+}
+
+TEST(FixedStack, LifoOrder)
+{
+    FixedStack<int> s(4);
+    EXPECT_TRUE(s.tryPush(1));
+    EXPECT_TRUE(s.tryPush(2));
+    EXPECT_EQ(s.top(), 2);
+    s.pop();
+    EXPECT_EQ(s.top(), 1);
+}
+
+TEST(FixedStack, RespectsDepthLimit)
+{
+    FixedStack<int> s(2);
+    EXPECT_TRUE(s.tryPush(1));
+    EXPECT_TRUE(s.tryPush(2));
+    EXPECT_TRUE(s.full());
+    EXPECT_FALSE(s.tryPush(3)); // depth-limited, as in HDTL
+    EXPECT_EQ(s.size(), 2u);
+    EXPECT_EQ(s.depth(), 2u);
+}
+
+TEST(FixedStack, IndexedAccessBottomUp)
+{
+    FixedStack<int> s(3);
+    s.tryPush(10);
+    s.tryPush(20);
+    s.tryPush(30);
+    EXPECT_EQ(s[0], 10);
+    EXPECT_EQ(s[1], 20);
+    EXPECT_EQ(s[2], 30);
+}
+
+TEST(FixedStack, TopIsMutable)
+{
+    FixedStack<int> s(2);
+    s.tryPush(5);
+    s.top() = 9;
+    EXPECT_EQ(s.top(), 9);
+}
+
+TEST(FifoBuffer, OrderAndCapacity)
+{
+    FifoBuffer<int> f(2);
+    EXPECT_TRUE(f.tryPush(1));
+    EXPECT_TRUE(f.tryPush(2));
+    EXPECT_FALSE(f.tryPush(3));
+    EXPECT_EQ(f.pop(), 1);
+    EXPECT_TRUE(f.tryPush(3));
+    EXPECT_EQ(f.pop(), 2);
+    EXPECT_EQ(f.pop(), 3);
+    EXPECT_TRUE(f.empty());
+}
+
+TEST(FifoBuffer, TracksOccupancyStats)
+{
+    FifoBuffer<int> f(8);
+    f.tryPush(1); // occupancy 1
+    f.tryPush(2); // occupancy 2
+    f.tryPush(3); // occupancy 3
+    EXPECT_EQ(f.pushes(), 3u);
+    EXPECT_DOUBLE_EQ(f.meanOccupancy(), 2.0);
+}
+
+TEST(Bitmap, SetTestReset)
+{
+    Bitmap b(130);
+    EXPECT_FALSE(b.test(0));
+    b.set(0);
+    b.set(64);
+    b.set(129);
+    EXPECT_TRUE(b.test(0));
+    EXPECT_TRUE(b.test(64));
+    EXPECT_TRUE(b.test(129));
+    EXPECT_FALSE(b.test(1));
+    b.reset(64);
+    EXPECT_FALSE(b.test(64));
+    EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(Bitmap, TestAndSet)
+{
+    Bitmap b(10);
+    EXPECT_TRUE(b.testAndSet(3));
+    EXPECT_FALSE(b.testAndSet(3));
+    EXPECT_EQ(b.count(), 1u);
+}
+
+TEST(Bitmap, ClearAllAndResize)
+{
+    Bitmap b(100);
+    b.set(50);
+    b.clearAll();
+    EXPECT_EQ(b.count(), 0u);
+    b.resize(10);
+    EXPECT_EQ(b.size(), 10u);
+    EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(Bitmap, ByteSizeCoversAllBits)
+{
+    Bitmap b(65);
+    EXPECT_EQ(b.byteSize(), 16u); // two 64-bit words
+}
+
+} // namespace
+} // namespace depgraph

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for RNG, Zipf sampling, table rendering, and option parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/options.hh"
+#include "common/random.hh"
+#include "common/table.hh"
+
+namespace depgraph
+{
+namespace
+{
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = r.nextBounded(17);
+        EXPECT_LT(v, 17u);
+    }
+}
+
+TEST(Rng, BoundedCoversRange)
+{
+    Rng r(9);
+    std::vector<int> seen(8, 0);
+    for (int i = 0; i < 4000; ++i)
+        ++seen[r.nextBounded(8)];
+    for (int c : seen)
+        EXPECT_GT(c, 300); // ~500 expected per bucket
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double d = r.nextDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+        sum += d;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, DoubleRange)
+{
+    Rng r(13);
+    for (int i = 0; i < 100; ++i) {
+        const double d = r.nextDouble(2.0, 5.0);
+        EXPECT_GE(d, 2.0);
+        EXPECT_LT(d, 5.0);
+    }
+}
+
+TEST(Zipf, RankZeroMostProbable)
+{
+    Rng r(17);
+    ZipfSampler z(100, 1.2);
+    std::vector<int> counts(100, 0);
+    for (int i = 0; i < 20000; ++i)
+        ++counts[z.sample(r)];
+    EXPECT_GT(counts[0], counts[10]);
+    EXPECT_GT(counts[0], counts[50]);
+    EXPECT_GT(counts[1], counts[50]);
+}
+
+TEST(Zipf, HigherAlphaMoreSkew)
+{
+    Rng r1(19), r2(19);
+    ZipfSampler flat(50, 0.5), steep(50, 2.5);
+    int flat_top = 0, steep_top = 0;
+    for (int i = 0; i < 10000; ++i) {
+        if (flat.sample(r1) == 0)
+            ++flat_top;
+        if (steep.sample(r2) == 0)
+            ++steep_top;
+    }
+    EXPECT_GT(steep_top, flat_top);
+}
+
+TEST(Zipf, SingleElementAlwaysZero)
+{
+    Rng r(23);
+    ZipfSampler z(1, 2.0);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(z.sample(r), 0u);
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer", "22"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+    // Header line and separator line plus two rows = 4 newlines.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, FormatsDoublesAndInts)
+{
+    EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::fmt(1.0, 1), "1.0");
+    EXPECT_EQ(Table::fmt(std::uint64_t{1234567}), "1,234,567");
+    EXPECT_EQ(Table::fmt(std::uint64_t{12}), "12");
+}
+
+TEST(Options, ParsesEqualsAndSpaceForms)
+{
+    Options o;
+    o.declare("alpha", "1.5", "skew");
+    o.declare("n", "10", "count");
+    o.declare("flag", "0", "bool flag");
+    const char *argv[] = {"prog", "--alpha=2.5", "--n", "42", "--flag"};
+    o.parse(5, const_cast<char **>(argv));
+    EXPECT_DOUBLE_EQ(o.getDouble("alpha"), 2.5);
+    EXPECT_EQ(o.getInt("n"), 42);
+    EXPECT_TRUE(o.getBool("flag"));
+}
+
+TEST(Options, DefaultsSurviveWhenUnset)
+{
+    Options o;
+    o.declare("x", "7", "x");
+    const char *argv[] = {"prog"};
+    o.parse(1, const_cast<char **>(argv));
+    EXPECT_EQ(o.getInt("x"), 7);
+}
+
+} // namespace
+} // namespace depgraph

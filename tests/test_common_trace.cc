@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Unit tests for the categorized trace infrastructure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/trace.hh"
+
+namespace depgraph::trace
+{
+namespace
+{
+
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { disable(kAll); }
+    void TearDown() override { disable(kAll); }
+};
+
+TEST_F(TraceTest, DisabledByDefault)
+{
+    EXPECT_FALSE(enabled(kTraverse));
+    EXPECT_FALSE(enabled(kDdmu));
+}
+
+TEST_F(TraceTest, EnableDisableRoundTrip)
+{
+    enable(kShortcut);
+    EXPECT_TRUE(enabled(kShortcut));
+    EXPECT_FALSE(enabled(kQueue));
+    enable(kQueue);
+    EXPECT_TRUE(enabled(kQueue));
+    disable(kShortcut);
+    EXPECT_FALSE(enabled(kShortcut));
+    EXPECT_TRUE(enabled(kQueue));
+}
+
+TEST_F(TraceTest, ParseSingleCategory)
+{
+    EXPECT_EQ(parseCategories("shortcut"), kShortcut);
+    EXPECT_EQ(parseCategories("ddmu"), kDdmu);
+    EXPECT_EQ(parseCategories("hdtl"), kTraverse);
+    EXPECT_EQ(parseCategories("engine"), kEngine);
+}
+
+TEST_F(TraceTest, ParseList)
+{
+    EXPECT_EQ(parseCategories("traverse,queue"), kTraverse | kQueue);
+    EXPECT_EQ(parseCategories("all"), kAll);
+    EXPECT_EQ(parseCategories(""), 0u);
+}
+
+TEST_F(TraceTest, ParseIgnoresUnknown)
+{
+    EXPECT_EQ(parseCategories("shortcut,bogus"), kShortcut);
+}
+
+TEST_F(TraceTest, MacroEvaluatesLazily)
+{
+    int evaluated = 0;
+    auto expensive = [&] {
+        ++evaluated;
+        return 42;
+    };
+    dg_trace(kQueue, "value ", expensive());
+    EXPECT_EQ(evaluated, 0); // disabled: argument untouched
+
+    enable(kQueue);
+    testing::internal::CaptureStderr();
+    dg_trace(kQueue, "value ", expensive());
+    const std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_EQ(evaluated, 1);
+    EXPECT_NE(err.find("queue: value 42"), std::string::npos);
+}
+
+} // namespace
+} // namespace depgraph::trace

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Configuration-invariance properties: timing parameters (core count,
+ * cache sizes, replacement policy, stack depth, FIFO capacity) may
+ * change cycle counts but must NEVER change converged states. A
+ * violation would mean the timing model leaks into functional
+ * behaviour -- the worst class of simulator bug.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/depgraph_system.hh"
+#include "gas/reference.hh"
+#include "graph/generators.hh"
+
+namespace depgraph
+{
+namespace
+{
+
+using gas::maxStateDifference;
+using graph::Graph;
+
+const Graph &
+testGraph()
+{
+    static const Graph g =
+        graph::communityChain(4, 120, 2.0, 7.0, 2, {.seed = 701});
+    return g;
+}
+
+const std::vector<Value> &
+gold(const std::string &algo)
+{
+    static std::map<std::string, std::vector<Value>> cache;
+    auto it = cache.find(algo);
+    if (it != cache.end())
+        return it->second;
+    const auto alg = gas::makeAlgorithm(algo);
+    auto r = gas::runReference(testGraph(), *alg);
+    EXPECT_TRUE(r.converged);
+    return cache.emplace(algo, std::move(r.states)).first->second;
+}
+
+struct Config
+{
+    std::string label;
+    SystemConfig cfg;
+};
+
+std::vector<Config>
+machineConfigs()
+{
+    std::vector<Config> out;
+    for (unsigned cores : {1u, 3u, 8u, 16u}) {
+        SystemConfig c;
+        c.machine.numCores = cores;
+        c.engine.numCores = cores;
+        out.push_back({"cores" + std::to_string(cores), c});
+    }
+    {
+        SystemConfig c;
+        c.machine.numCores = 8;
+        c.engine.numCores = 8;
+        c.machine.l2.bytes = 32 * 1024;
+        c.machine.l3TotalBytes = 512 * 1024;
+        c.machine.l3Banks = 8;
+        out.push_back({"tiny_caches", c});
+    }
+    {
+        SystemConfig c;
+        c.machine.numCores = 8;
+        c.engine.numCores = 8;
+        c.machine.l3Policy = sim::ReplPolicy::GRASP;
+        out.push_back({"grasp", c});
+    }
+    {
+        SystemConfig c;
+        c.machine.numCores = 8;
+        c.engine.numCores = 8;
+        c.engine.stackDepth = 3;
+        c.engine.fifoCapacity = 4;
+        out.push_back({"tiny_engine", c});
+    }
+    {
+        SystemConfig c;
+        c.machine.numCores = 8;
+        c.engine.numCores = 8;
+        c.machine.dramLatency = 500;
+        c.machine.hopCycles = 9;
+        out.push_back({"slow_memory", c});
+    }
+    return out;
+}
+
+struct Case
+{
+    Config config;
+    std::string algorithm;
+    Solution solution;
+};
+
+std::string
+caseName(const ::testing::TestParamInfo<Case> &info)
+{
+    std::string s = info.param.config.label + "_"
+        + info.param.algorithm + "_"
+        + solutionName(info.param.solution);
+    for (auto &c : s)
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return s;
+}
+
+class ConfigInvariance : public ::testing::TestWithParam<Case>
+{};
+
+TEST_P(ConfigInvariance, StatesIndependentOfTiming)
+{
+    const auto &[config, algo, solution] = GetParam();
+    DepGraphSystem sys(config.cfg);
+    const auto r = sys.run(testGraph(), algo, solution);
+    EXPECT_TRUE(r.metrics.converged) << config.label;
+    EXPECT_LE(maxStateDifference(r.states, gold(algo)), 1e-3)
+        << config.label;
+}
+
+std::vector<Case>
+allCases()
+{
+    std::vector<Case> cases;
+    for (const auto &cfg : machineConfigs()) {
+        for (const auto *algo : {"pagerank", "sssp", "wcc"}) {
+            for (auto s : {Solution::LigraO, Solution::Phi,
+                           Solution::DepGraphS, Solution::DepGraphH}) {
+                cases.push_back({cfg, algo, s});
+            }
+        }
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ConfigInvariance,
+                         ::testing::ValuesIn(allCases()), caseName);
+
+} // namespace
+} // namespace depgraph

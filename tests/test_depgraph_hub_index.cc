@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for the hub index table and the DDMU flag protocol
+ * (N -> I -> A with the two-point linear solve), including the exact
+ * solve the paper gives: mu = (s'_i - s_i)/(s'_j - s_j),
+ * xi = s'_i - mu * s'_j.
+ */
+
+#include <gtest/gtest.h>
+
+#include "depgraph/ddmu.hh"
+#include "depgraph/hub_index.hh"
+#include "sim/machine.hh"
+
+namespace depgraph::dep
+{
+namespace
+{
+
+sim::Machine &
+testMachine()
+{
+    static sim::MachineParams p = [] {
+        sim::MachineParams q;
+        q.numCores = 2;
+        q.l3TotalBytes = 1024 * 1024;
+        q.l3Banks = 2;
+        return q;
+    }();
+    static sim::Machine m(p);
+    return m;
+}
+
+TEST(HubIndex, FindOrCreateIsIdempotent)
+{
+    HubIndex idx(testMachine(), 16, 64);
+    const auto a = idx.findOrCreate(3, 9, 5);
+    const auto b = idx.findOrCreate(3, 9, 5);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(idx.size(), 1u);
+    EXPECT_EQ(idx.entry(a).head, 3u);
+    EXPECT_EQ(idx.entry(a).tail, 9u);
+    EXPECT_EQ(idx.entry(a).pathId, 5u);
+    EXPECT_EQ(idx.entry(a).flag, EntryFlag::N);
+}
+
+TEST(HubIndex, DistinguishesPathsBetweenSamePair)
+{
+    // The paper stores parallel core-paths between the same (j, i)
+    // under different path ids (the id of the second vertex).
+    HubIndex idx(testMachine(), 16, 64);
+    const auto a = idx.findOrCreate(3, 9, 5);
+    const auto b = idx.findOrCreate(3, 9, 7);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(idx.size(), 2u);
+}
+
+TEST(HubIndex, FindMissReturnsNoEntry)
+{
+    HubIndex idx(testMachine(), 16, 64);
+    EXPECT_EQ(idx.find(1, 2), HubIndex::kNoEntry);
+}
+
+TEST(HubIndex, EntriesOfGroupsByHead)
+{
+    HubIndex idx(testMachine(), 16, 64);
+    idx.findOrCreate(3, 9, 5);
+    idx.findOrCreate(3, 11, 6);
+    idx.findOrCreate(4, 9, 5);
+    EXPECT_EQ(idx.entriesOf(3).size(), 2u);
+    EXPECT_EQ(idx.entriesOf(4).size(), 1u);
+    EXPECT_TRUE(idx.entriesOf(99).empty());
+}
+
+TEST(HubIndex, AddressesAreDistinctPerEntry)
+{
+    HubIndex idx(testMachine(), 16, 64);
+    const auto a = idx.findOrCreate(1, 2, 3);
+    const auto b = idx.findOrCreate(1, 2, 4);
+    EXPECT_NE(idx.entryAddr(a), idx.entryAddr(b));
+    EXPECT_EQ(idx.entryAddr(b) - idx.entryAddr(a),
+              HubIndex::kEntryBytes);
+}
+
+TEST(HubIndex, ByteSizeGrowsWithEntries)
+{
+    HubIndex idx(testMachine(), 16, 64);
+    const auto empty = idx.byteSize();
+    idx.findOrCreate(1, 2, 3);
+    EXPECT_EQ(idx.byteSize(), empty + HubIndex::kEntryBytes);
+}
+
+TEST(Ddmu, FlagProtocolNThenIThenA)
+{
+    HubIndex idx(testMachine(), 16, 64);
+    Ddmu ddmu(idx);
+    gas::LinearFunc composed{0.5, 1.0, kInfinity};
+
+    // No entry yet: shortcut unavailable.
+    EXPECT_FALSE(ddmu.tryShortcut(1, 2, 10.0).has_value());
+
+    // First observation: N -> I; still unavailable.
+    ddmu.observe(1, 9, 2, /*in=*/4.0, /*out=*/3.0, composed,
+                 FitMode::TwoPoint);
+    EXPECT_EQ(idx.entry(idx.find(1, 2)).flag, EntryFlag::I);
+    EXPECT_FALSE(ddmu.tryShortcut(1, 2, 10.0).has_value());
+
+    // Second observation with a different input: I -> A.
+    // Samples (4, 3) and (8, 5) => mu = 0.5, xi = 1.
+    ddmu.observe(1, 9, 2, 8.0, 5.0, composed, FitMode::TwoPoint);
+    EXPECT_EQ(idx.entry(idx.find(1, 2)).flag, EntryFlag::A);
+    const auto f = ddmu.tryShortcut(1, 2, 10.0);
+    ASSERT_TRUE(f.has_value());
+    EXPECT_DOUBLE_EQ(*f, 0.5 * 10.0 + 1.0);
+}
+
+TEST(Ddmu, SameInputTwiceStaysInitialized)
+{
+    HubIndex idx(testMachine(), 16, 64);
+    Ddmu ddmu(idx);
+    gas::LinearFunc composed{1.0, 0.0, kInfinity};
+    ddmu.observe(1, 9, 2, 4.0, 4.0, composed, FitMode::TwoPoint);
+    ddmu.observe(1, 9, 2, 4.0, 4.0, composed, FitMode::TwoPoint);
+    EXPECT_EQ(idx.entry(idx.find(1, 2)).flag, EntryFlag::I);
+    // A distinguishable sample finally promotes it.
+    ddmu.observe(1, 9, 2, 6.0, 6.0, composed, FitMode::TwoPoint);
+    EXPECT_EQ(idx.entry(idx.find(1, 2)).flag, EntryFlag::A);
+    EXPECT_DOUBLE_EQ(*ddmu.tryShortcut(1, 2, 3.0), 3.0); // mu=1, xi=0
+}
+
+TEST(Ddmu, ComposeModeAvailableImmediately)
+{
+    HubIndex idx(testMachine(), 16, 64);
+    Ddmu ddmu(idx);
+    gas::LinearFunc composed{1.0, 0.0, 5.0}; // min(s, 5): SSWP-style
+    ddmu.observe(1, 9, 2, 7.0, 5.0, composed, FitMode::Compose);
+    EXPECT_EQ(idx.entry(idx.find(1, 2)).flag, EntryFlag::A);
+    EXPECT_DOUBLE_EQ(*ddmu.tryShortcut(1, 2, 3.0), 3.0);
+    EXPECT_DOUBLE_EQ(*ddmu.tryShortcut(1, 2, 9.0), 5.0); // capped
+}
+
+TEST(Ddmu, AvailableEntryIsStable)
+{
+    HubIndex idx(testMachine(), 16, 64);
+    Ddmu ddmu(idx);
+    gas::LinearFunc composed{2.0, 0.0, kInfinity};
+    ddmu.observe(1, 9, 2, 1.0, 2.0, composed, FitMode::TwoPoint);
+    ddmu.observe(1, 9, 2, 2.0, 4.0, composed, FitMode::TwoPoint);
+    ASSERT_TRUE(ddmu.tryShortcut(1, 2, 5.0).has_value());
+    // Further observations do not perturb the solved dependency.
+    ddmu.observe(1, 9, 2, 100.0, 123.0, composed, FitMode::TwoPoint);
+    EXPECT_DOUBLE_EQ(*ddmu.tryShortcut(1, 2, 5.0), 10.0);
+}
+
+TEST(Ddmu, StatsCountEvents)
+{
+    HubIndex idx(testMachine(), 16, 64);
+    Ddmu ddmu(idx);
+    gas::LinearFunc composed{1.0, 1.0, kInfinity};
+    ddmu.tryShortcut(1, 2, 1.0);
+    ddmu.observe(1, 9, 2, 1.0, 2.0, composed, FitMode::TwoPoint);
+    ddmu.observe(1, 9, 2, 2.0, 3.0, composed, FitMode::TwoPoint);
+    ddmu.tryShortcut(1, 2, 1.0);
+    const auto &s = ddmu.stats();
+    EXPECT_EQ(s.lookups, 2u);
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.inserts, 1u);
+    EXPECT_EQ(s.fits, 1u);
+    EXPECT_EQ(s.samples, 2u);
+}
+
+TEST(Ddmu, SsspStyleFitIsExact)
+{
+    // SSSP along a path of total weight 1.4 (the paper's Fig. 5c
+    // example): samples (d, d + 1.4) must fit mu = 1, xi = 1.4.
+    HubIndex idx(testMachine(), 16, 64);
+    Ddmu ddmu(idx);
+    gas::LinearFunc composed{1.0, 1.4, kInfinity};
+    ddmu.observe(5, 15, 7, 3.0, 4.4, composed, FitMode::TwoPoint);
+    ddmu.observe(5, 15, 7, 1.0, 2.4, composed, FitMode::TwoPoint);
+    const auto &e = idx.entry(idx.find(5, 7));
+    EXPECT_EQ(e.flag, EntryFlag::A);
+    EXPECT_NEAR(e.func.mu, 1.0, 1e-12);
+    EXPECT_NEAR(e.func.xi, 1.4, 1e-12);
+}
+
+TEST(Ddmu, PageRankStyleFitIsExact)
+{
+    // Paper Fig. 5b: pagerank with damping 0.1 over a 4-hop path with
+    // a fan-out of 2 at the head: mu = 0.1^4 / 2, xi = 0.
+    const double mu = std::pow(0.1, 4) / 2.0;
+    HubIndex idx(testMachine(), 16, 64);
+    Ddmu ddmu(idx);
+    gas::LinearFunc composed{mu, 0.0, kInfinity};
+    ddmu.observe(5, 15, 7, 1.0, mu, composed, FitMode::TwoPoint);
+    ddmu.observe(5, 15, 7, 3.0, 3.0 * mu, composed,
+                 FitMode::TwoPoint);
+    const auto &e = idx.entry(idx.find(5, 7));
+    EXPECT_EQ(e.flag, EntryFlag::A);
+    EXPECT_NEAR(e.func.mu, mu, 1e-15);
+    EXPECT_NEAR(e.func.xi, 0.0, 1e-15);
+}
+
+} // namespace
+} // namespace depgraph::dep

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Failure-injection and pathological-input tests: non-convergent
+ * algorithms must terminate with converged=false instead of hanging,
+ * degenerate graphs must not break any engine, and user errors must
+ * be fatal with clear messages.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/depgraph_system.hh"
+#include "gas/accum.hh"
+#include "gas/reference.hh"
+#include "graph/builder.hh"
+#include "graph/generators.hh"
+
+namespace depgraph
+{
+namespace
+{
+
+using graph::Builder;
+using graph::Graph;
+
+SystemConfig
+smallConfig()
+{
+    SystemConfig cfg;
+    cfg.machine.numCores = 4;
+    cfg.machine.l3TotalBytes = 2 * 1024 * 1024;
+    cfg.machine.l3Banks = 4;
+    cfg.engine.numCores = 4;
+    return cfg;
+}
+
+TEST(FailureModes, DivergentAlgorithmHitsRoundCapGracefully)
+{
+    // Katz with beta far above 1/lambda_max diverges; every engine
+    // must stop at maxRounds and report non-convergence.
+    const Graph g = graph::powerLaw(200, 2.0, 8.0, {.seed = 601});
+    gas::Katz bad(/*beta=*/0.9, /*eps=*/1e-5);
+
+    auto cfg = smallConfig();
+    cfg.engine.maxRounds = 30;
+    DepGraphSystem sys(cfg);
+    for (auto s : {Solution::Ligra, Solution::LigraO,
+                   Solution::DepGraphH}) {
+        const auto r = sys.run(g, bad, s);
+        EXPECT_FALSE(r.metrics.converged) << solutionName(s);
+        EXPECT_LE(r.metrics.rounds, 30u) << solutionName(s);
+    }
+}
+
+TEST(FailureModes, ReferenceReportsNonConvergence)
+{
+    const Graph g = graph::powerLaw(100, 2.0, 6.0, {.seed = 602});
+    gas::Katz bad(0.9, 1e-5);
+    const auto r = gas::runReference(g, bad, /*max_rounds=*/20);
+    EXPECT_FALSE(r.converged);
+    EXPECT_EQ(r.rounds, 20u);
+}
+
+TEST(FailureModes, EdgelessGraphConvergesImmediately)
+{
+    Builder b(10);
+    const Graph g = b.build();
+    DepGraphSystem sys(smallConfig());
+    for (auto s : allSolutions()) {
+        const auto r = sys.run(g, "sssp", s);
+        EXPECT_TRUE(r.metrics.converged) << solutionName(s);
+        EXPECT_DOUBLE_EQ(r.states[0], 0.0);
+        for (VertexId v = 1; v < 10; ++v)
+            EXPECT_EQ(r.states[v], kInfinity) << solutionName(s);
+    }
+}
+
+TEST(FailureModes, SingleVertexGraph)
+{
+    Builder b(1);
+    const Graph g = b.build();
+    DepGraphSystem sys(smallConfig());
+    const auto r = sys.run(g, "pagerank", Solution::DepGraphH);
+    EXPECT_TRUE(r.metrics.converged);
+    EXPECT_NEAR(r.states[0], 0.15, 1e-9);
+}
+
+TEST(FailureModes, SelfLoopHeavyMultigraph)
+{
+    // Self loops and parallel edges everywhere; engines must converge
+    // to the reference fixpoint regardless.
+    Builder b(6);
+    for (VertexId v = 0; v < 6; ++v) {
+        b.addEdge(v, v, 1.0);
+        b.addEdge(v, (v + 1) % 6, 2.0);
+        b.addEdge(v, (v + 1) % 6, 2.0);
+    }
+    const Graph g = b.build();
+    const auto gold_alg = gas::makeAlgorithm("sssp");
+    const auto gold = gas::runReference(g, *gold_alg);
+    DepGraphSystem sys(smallConfig());
+    for (auto s : {Solution::LigraO, Solution::DepGraphH}) {
+        const auto r = sys.run(g, "sssp", s);
+        EXPECT_LE(gas::maxStateDifference(r.states, gold.states),
+                  1e-9)
+            << solutionName(s);
+    }
+}
+
+TEST(FailureModes, TwoVertexCycleAllEngines)
+{
+    Builder b(2);
+    b.addEdge(0, 1, 1.0);
+    b.addEdge(1, 0, 1.0);
+    const Graph g = b.build();
+    DepGraphSystem sys(smallConfig());
+    for (auto s : allSolutions()) {
+        const auto r = sys.run(g, "wcc", s);
+        EXPECT_DOUBLE_EQ(r.states[0], 1.0) << solutionName(s);
+        EXPECT_DOUBLE_EQ(r.states[1], 1.0) << solutionName(s);
+    }
+}
+
+TEST(FailureModes, MoreEngineCoresThanMachineCoresIsClamped)
+{
+    const Graph g = graph::powerLaw(200, 2.0, 5.0, {.seed = 603});
+    SystemConfig cfg = smallConfig();
+    cfg.engine.numCores = 64; // machine only has 4
+    DepGraphSystem sys(cfg);
+    const auto r = sys.run(g, "pagerank", Solution::DepGraphH);
+    EXPECT_TRUE(r.metrics.converged);
+    EXPECT_EQ(r.metrics.coresUsed, 4u);
+}
+
+TEST(FailureModes, UnsupportedAccumulatorIsRejected)
+{
+    class Weird : public gas::PageRank
+    {
+      public:
+        Value
+        accumOp(Value a, Value b) const override
+        {
+            return a * b; // 1*1 = 1 but order-independence check ok...
+        }
+    };
+    // Multiplication probes as 1 at (1,1) but fails the min/max
+    // disambiguation (1,2)/(2,1) -> 2,2 would look like max; use an
+    // asymmetric op to be rejected outright.
+    class Asym : public gas::PageRank
+    {
+      public:
+        Value
+        accumOp(Value a, Value b) const override
+        {
+            return a - b;
+        }
+    };
+    EXPECT_FALSE(gas::detectAccumKind(Asym{}).has_value());
+    // Multiplication masquerades as max under the probe -- exactly why
+    // the paper also lets users disable the transformation manually.
+    EXPECT_EQ(gas::detectAccumKind(Weird{}), gas::AccumKind::Max);
+}
+
+TEST(FailureModes, ZeroLambdaDisablesHubsButStillRuns)
+{
+    const Graph g = graph::powerLaw(300, 2.0, 6.0, {.seed = 604});
+    auto cfg = smallConfig();
+    cfg.engine.hub.lambda = 0.0;
+    DepGraphSystem sys(cfg);
+    const auto r = sys.run(g, "sssp", Solution::DepGraphH);
+    EXPECT_TRUE(r.metrics.converged);
+    EXPECT_EQ(r.metrics.shortcutsApplied, 0u);
+}
+
+TEST(FailureModesDeath, BadConfigIsFatal)
+{
+    const Graph g = graph::path(4);
+    EXPECT_DEATH(
+        {
+            sim::MachineParams p;
+            p.numCores = 0;
+            sim::Machine m(p);
+        },
+        "at least one core");
+    EXPECT_DEATH(
+        {
+            graph::HubParams hp;
+            hp.beta = 0.0;
+            graph::HubSet hubs(g, hp);
+        },
+        "beta");
+}
+
+} // namespace
+} // namespace depgraph

@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Tests for the algorithm implementations: edge functions, accumulator
+ * detection, and semantic correctness of converged reference results on
+ * graphs with known answers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gas/accum.hh"
+#include "gas/algorithms.hh"
+#include "gas/reference.hh"
+#include "graph/builder.hh"
+#include "graph/generators.hh"
+
+namespace depgraph::gas
+{
+namespace
+{
+
+using graph::Builder;
+using graph::Graph;
+
+TEST(AccumDetect, ProbesAllAlgorithms)
+{
+    // The paper's Accum(1,1) probe must classify every algorithm.
+    EXPECT_EQ(detectAccumKind(PageRank{}), AccumKind::Sum);
+    EXPECT_EQ(detectAccumKind(Adsorption{}), AccumKind::Sum);
+    EXPECT_EQ(detectAccumKind(Katz{}), AccumKind::Sum);
+    EXPECT_EQ(detectAccumKind(Sssp{}), AccumKind::Min);
+    EXPECT_EQ(detectAccumKind(Wcc{}), AccumKind::Max);
+    EXPECT_EQ(detectAccumKind(Sswp{}), AccumKind::Max);
+}
+
+TEST(AccumDetect, RejectsNonGeneralizedSum)
+{
+    // An order-dependent "accumulator" must be rejected.
+    class Bogus : public PageRank
+    {
+      public:
+        Value
+        accumOp(Value a, Value b) const override
+        {
+            return a - b;
+        }
+    };
+    EXPECT_FALSE(detectAccumKind(Bogus{}).has_value());
+    EXPECT_DEATH(verifiedAccumKind(Bogus{}), "neither sum nor min/max");
+}
+
+TEST(AccumDetect, VerifiedMatchesDeclared)
+{
+    EXPECT_EQ(verifiedAccumKind(Sssp{}), AccumKind::Min);
+    EXPECT_EQ(verifiedAccumKind(PageRank{}), AccumKind::Sum);
+}
+
+TEST(Factory, BuildsEveryName)
+{
+    for (const auto &n : {"pagerank", "adsorption", "katz", "sssp",
+                          "wcc", "sswp"}) {
+        const auto alg = makeAlgorithm(n);
+        EXPECT_EQ(alg->name(), n);
+    }
+    EXPECT_DEATH(makeAlgorithm("nope"), "unknown algorithm");
+}
+
+TEST(Factory, PaperAlgorithmsAreTheEvaluatedFour)
+{
+    const auto algs = paperAlgorithms();
+    ASSERT_EQ(algs.size(), 4u);
+    EXPECT_EQ(algs[0], "pagerank");
+    EXPECT_EQ(algs[1], "adsorption");
+    EXPECT_EQ(algs[2], "sssp");
+    EXPECT_EQ(algs[3], "wcc");
+}
+
+TEST(PageRankAlg, EdgeFuncDividesByOutDegree)
+{
+    Builder b(3);
+    b.addEdge(0, 1);
+    b.addEdge(0, 2);
+    const Graph g = b.build();
+    PageRank pr(0.85);
+    const auto f = pr.edgeFunc(g, 0, 0);
+    EXPECT_DOUBLE_EQ(f.mu, 0.85 / 2.0);
+    EXPECT_DOUBLE_EQ(f.xi, 0.0);
+}
+
+TEST(PageRankAlg, ConvergesToKnownValuesOnTwoCycle)
+{
+    // 0 <-> 1: symmetric, converged pagerank mass is equal; with the
+    // delta formulation each state converges to (1-d)/(1-d) = 1.
+    Builder b(2);
+    b.addEdge(0, 1);
+    b.addEdge(1, 0);
+    const Graph g = b.build();
+    PageRank pr(0.5, 1e-12, 1);
+    const auto r = runReference(g, pr);
+    ASSERT_TRUE(r.converged);
+    EXPECT_NEAR(r.states[0], 1.0, 1e-6);
+    EXPECT_NEAR(r.states[1], 1.0, 1e-6);
+}
+
+TEST(PageRankAlg, MassIsBounded)
+{
+    const Graph g = graph::powerLaw(500, 2.0, 6.0, {.seed = 51});
+    PageRank pr(0.85, 1e-5, 1);
+    const auto r = runReference(g, pr);
+    ASSERT_TRUE(r.converged);
+    // Sum of converged states is ~ n (normalized form), certainly
+    // within [n*(1-d), n*C].
+    Value total = 0.0;
+    for (auto s : r.states)
+        total += s;
+    EXPECT_GT(total, 0.15 * 500);
+    EXPECT_LT(total, 5.0 * 500);
+}
+
+TEST(SsspAlg, ExactDistancesOnWeightedDiamond)
+{
+    Builder b(4);
+    b.addEdge(0, 1, 1.0);
+    b.addEdge(0, 2, 5.0);
+    b.addEdge(1, 2, 1.0);
+    b.addEdge(1, 3, 10.0);
+    b.addEdge(2, 3, 1.0);
+    const Graph g = b.build();
+    Sssp sssp(0);
+    const auto r = runReference(g, sssp);
+    ASSERT_TRUE(r.converged);
+    EXPECT_DOUBLE_EQ(r.states[0], 0.0);
+    EXPECT_DOUBLE_EQ(r.states[1], 1.0);
+    EXPECT_DOUBLE_EQ(r.states[2], 2.0);
+    EXPECT_DOUBLE_EQ(r.states[3], 3.0);
+}
+
+TEST(SsspAlg, UnreachableStaysInfinite)
+{
+    Builder b(3);
+    b.addEdge(0, 1, 2.0);
+    const Graph g = b.build();
+    Sssp sssp(0);
+    const auto r = runReference(g, sssp);
+    EXPECT_DOUBLE_EQ(r.states[1], 2.0);
+    EXPECT_EQ(r.states[2], kInfinity);
+}
+
+TEST(SsspAlg, PathGraphDistancesAreWeightPrefixSums)
+{
+    Builder b(5);
+    for (VertexId v = 0; v + 1 < 5; ++v)
+        b.addEdge(v, v + 1, static_cast<Value>(v + 1));
+    const Graph g = b.build();
+    Sssp sssp(0);
+    const auto r = runReference(g, sssp);
+    EXPECT_DOUBLE_EQ(r.states[4], 1.0 + 2.0 + 3.0 + 4.0);
+}
+
+TEST(WccAlg, LabelsAreMaxReachableAncestor)
+{
+    // Component {0,1,2} in a cycle and isolated pair {3->4}.
+    Builder b(5);
+    b.addEdge(0, 1);
+    b.addEdge(1, 2);
+    b.addEdge(2, 0);
+    b.addEdge(3, 4);
+    const Graph g = b.build();
+    Wcc wcc;
+    const auto r = runReference(g, wcc);
+    ASSERT_TRUE(r.converged);
+    EXPECT_DOUBLE_EQ(r.states[0], 2.0);
+    EXPECT_DOUBLE_EQ(r.states[1], 2.0);
+    EXPECT_DOUBLE_EQ(r.states[2], 2.0);
+    EXPECT_DOUBLE_EQ(r.states[3], 3.0);
+    EXPECT_DOUBLE_EQ(r.states[4], 4.0);
+}
+
+TEST(WccAlg, SymmetricGraphGetsOneLabelPerComponent)
+{
+    Builder b(6);
+    b.addUndirectedEdge(0, 1);
+    b.addUndirectedEdge(1, 2);
+    b.addUndirectedEdge(4, 5);
+    const Graph g = b.build();
+    Wcc wcc;
+    const auto r = runReference(g, wcc);
+    EXPECT_DOUBLE_EQ(r.states[0], 2.0);
+    EXPECT_DOUBLE_EQ(r.states[1], 2.0);
+    EXPECT_DOUBLE_EQ(r.states[2], 2.0);
+    EXPECT_DOUBLE_EQ(r.states[3], 3.0); // isolated keeps own label
+    EXPECT_DOUBLE_EQ(r.states[4], 5.0);
+    EXPECT_DOUBLE_EQ(r.states[5], 5.0);
+}
+
+TEST(SswpAlg, WidestPathOnDiamond)
+{
+    // 0->1 cap 5, 1->3 cap 2 ; 0->2 cap 3, 2->3 cap 3. Widest to 3 = 3.
+    Builder b(4);
+    b.addEdge(0, 1, 5.0);
+    b.addEdge(1, 3, 2.0);
+    b.addEdge(0, 2, 3.0);
+    b.addEdge(2, 3, 3.0);
+    const Graph g = b.build();
+    Sswp sswp(0);
+    const auto r = runReference(g, sswp);
+    ASSERT_TRUE(r.converged);
+    EXPECT_EQ(r.states[0], kInfinity);
+    EXPECT_DOUBLE_EQ(r.states[1], 5.0);
+    EXPECT_DOUBLE_EQ(r.states[2], 3.0);
+    EXPECT_DOUBLE_EQ(r.states[3], 3.0);
+}
+
+TEST(AdsorptionAlg, ConvergesAndSpreadsFromSeeds)
+{
+    const Graph g = graph::powerLaw(400, 2.0, 6.0, {.seed = 52});
+    Adsorption ad(16);
+    const auto r = runReference(g, ad);
+    ASSERT_TRUE(r.converged);
+    // Seed vertices received their injection.
+    EXPECT_GE(r.states[0], 1.0);
+    // Some non-seed vertex received mass.
+    Value spread = 0.0;
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        if (v % 16 != 0)
+            spread += r.states[v];
+    EXPECT_GT(spread, 0.0);
+}
+
+TEST(AdsorptionAlg, ContinueProbInRange)
+{
+    for (VertexId v = 0; v < 1000; ++v) {
+        const Value p = Adsorption::continueProb(v);
+        ASSERT_GE(p, 0.30);
+        ASSERT_LT(p, 0.80);
+    }
+}
+
+TEST(KatzAlg, CountsDiscountedPaths)
+{
+    // path 0->1->2: katz(2) gets beta^1 (from 1's initial delta) ... the
+    // delta-accumulative form computes sum over walks ending at v of
+    // beta^len, over all start vertices with initial delta 1.
+    Builder b(3);
+    b.addEdge(0, 1);
+    b.addEdge(1, 2);
+    const Graph g = b.build();
+    Katz katz(0.5, 1e-9);
+    const auto r = runReference(g, katz);
+    ASSERT_TRUE(r.converged);
+    EXPECT_NEAR(r.states[0], 1.0, 1e-6);
+    EXPECT_NEAR(r.states[1], 1.0 + 0.5, 1e-6);
+    EXPECT_NEAR(r.states[2], 1.0 + 0.5 + 0.25, 1e-6);
+}
+
+TEST(Reference, CountsRoundsAndUpdates)
+{
+    const Graph g = graph::path(6);
+    Sssp sssp(0);
+    const auto r = runReference(g, sssp);
+    ASSERT_TRUE(r.converged);
+    // One new distance settles per round down the chain.
+    EXPECT_GE(r.rounds, 6u);
+    EXPECT_EQ(r.updates, 6u);
+    EXPECT_EQ(r.edgeOps, 5u);
+}
+
+TEST(Reference, MaxStateDifferenceSemantics)
+{
+    EXPECT_DOUBLE_EQ(maxStateDifference({1.0, 2.0}, {1.0, 2.5}), 0.5);
+    EXPECT_DOUBLE_EQ(maxStateDifference({kInfinity}, {kInfinity}), 0.0);
+    EXPECT_EQ(maxStateDifference({kInfinity}, {1.0}), kInfinity);
+    EXPECT_EQ(maxStateDifference({kInfinity}, {-kInfinity}), kInfinity);
+}
+
+/** Theorem-1 style sanity at the reference level: synchronous rounds
+ * with different round limits converge to the same fixpoint. */
+class ReferenceConvergence
+    : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(ReferenceConvergence, FixpointIsStable)
+{
+    const Graph g = graph::powerLaw(300, 2.0, 5.0, {.seed = 53});
+    const auto alg1 = makeAlgorithm(GetParam());
+    const auto alg2 = makeAlgorithm(GetParam());
+    const auto a = runReference(g, *alg1);
+    const auto b = runReference(g, *alg2);
+    ASSERT_TRUE(a.converged);
+    EXPECT_LE(maxStateDifference(a.states, b.states), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, ReferenceConvergence,
+                         ::testing::Values("pagerank", "adsorption",
+                                           "katz", "sssp", "wcc",
+                                           "sswp"));
+
+} // namespace
+} // namespace depgraph::gas

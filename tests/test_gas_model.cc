@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the linear GAS model primitives: LinearFunc composition
+ * (incl. the cap extension), accumulators, and activity predicates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gas/model.hh"
+
+namespace depgraph::gas
+{
+namespace
+{
+
+TEST(LinearFunc, AppliesMuXi)
+{
+    LinearFunc f{2.0, 3.0, kInfinity};
+    EXPECT_DOUBLE_EQ(f(5.0), 13.0);
+}
+
+TEST(LinearFunc, CapLimitsOutput)
+{
+    LinearFunc f{1.0, 0.0, 4.0};
+    EXPECT_DOUBLE_EQ(f(2.0), 2.0);
+    EXPECT_DOUBLE_EQ(f(9.0), 4.0);
+}
+
+TEST(LinearFunc, ComposePureLinear)
+{
+    // outer(inner(s)) = 2*(3s+1)+4 = 6s+6
+    LinearFunc inner{3.0, 1.0, kInfinity};
+    LinearFunc outer{2.0, 4.0, kInfinity};
+    const LinearFunc c = LinearFunc::compose(outer, inner);
+    EXPECT_DOUBLE_EQ(c.mu, 6.0);
+    EXPECT_DOUBLE_EQ(c.xi, 6.0);
+    EXPECT_EQ(c.cap, kInfinity);
+    for (Value s : {-2.0, 0.0, 1.5, 10.0})
+        EXPECT_DOUBLE_EQ(c(s), outer(inner(s)));
+}
+
+TEST(LinearFunc, ComposeWithCapsMatchesPointwise)
+{
+    // SSWP-style composition: min caps chain through.
+    LinearFunc inner{1.0, 0.0, 5.0}; // min(s, 5)
+    LinearFunc outer{1.0, 0.0, 3.0}; // min(s, 3)
+    const LinearFunc c = LinearFunc::compose(outer, inner);
+    for (Value s : {0.0, 2.0, 4.0, 6.0, 100.0})
+        EXPECT_DOUBLE_EQ(c(s), outer(inner(s))) << "s=" << s;
+    EXPECT_DOUBLE_EQ(c(100.0), 3.0);
+}
+
+TEST(LinearFunc, ComposeMixedCapAndAffine)
+{
+    // outer = 0.5*s + 1 (no cap), inner = min(s, 4)
+    LinearFunc inner{1.0, 0.0, 4.0};
+    LinearFunc outer{0.5, 1.0, kInfinity};
+    const LinearFunc c = LinearFunc::compose(outer, inner);
+    for (Value s : {0.0, 3.0, 4.0, 10.0})
+        EXPECT_DOUBLE_EQ(c(s), outer(inner(s))) << "s=" << s;
+    // Cap transforms through the outer affine map: 0.5*4+1 = 3.
+    EXPECT_DOUBLE_EQ(c.cap, 3.0);
+}
+
+TEST(LinearFunc, ComposeAssociativity)
+{
+    LinearFunc a{0.9, 0.1, kInfinity};
+    LinearFunc b{1.0, 2.0, 7.0};
+    LinearFunc c{0.5, 0.0, kInfinity};
+    const LinearFunc left =
+        LinearFunc::compose(LinearFunc::compose(c, b), a);
+    const LinearFunc right =
+        LinearFunc::compose(c, LinearFunc::compose(b, a));
+    for (Value s : {0.0, 1.0, 5.0, 50.0})
+        EXPECT_NEAR(left(s), right(s), 1e-12) << "s=" << s;
+}
+
+TEST(Accum, IdentityElements)
+{
+    EXPECT_DOUBLE_EQ(accumIdentity(AccumKind::Sum), 0.0);
+    EXPECT_EQ(accumIdentity(AccumKind::Min), kInfinity);
+    EXPECT_EQ(accumIdentity(AccumKind::Max), -kInfinity);
+}
+
+TEST(Accum, Apply)
+{
+    EXPECT_DOUBLE_EQ(applyAccum(AccumKind::Sum, 2.0, 3.0), 5.0);
+    EXPECT_DOUBLE_EQ(applyAccum(AccumKind::Min, 2.0, 3.0), 2.0);
+    EXPECT_DOUBLE_EQ(applyAccum(AccumKind::Max, 2.0, 3.0), 3.0);
+}
+
+TEST(Accum, IdentityIsNeutral)
+{
+    for (auto k : {AccumKind::Sum, AccumKind::Min, AccumKind::Max}) {
+        const Value id = accumIdentity(k);
+        for (Value v : {-3.0, 0.0, 7.5})
+            EXPECT_DOUBLE_EQ(applyAccum(k, id, v), v);
+    }
+}
+
+TEST(WouldChange, SumThreshold)
+{
+    EXPECT_TRUE(wouldChange(AccumKind::Sum, 1.0, 0.1, 1e-5));
+    EXPECT_FALSE(wouldChange(AccumKind::Sum, 1.0, 1e-7, 1e-5));
+    EXPECT_TRUE(wouldChange(AccumKind::Sum, 1.0, -0.1, 1e-5));
+}
+
+TEST(WouldChange, MinOnlyWhenSmaller)
+{
+    EXPECT_TRUE(wouldChange(AccumKind::Min, 5.0, 3.0, 0.0));
+    EXPECT_FALSE(wouldChange(AccumKind::Min, 5.0, 5.0, 0.0));
+    EXPECT_FALSE(wouldChange(AccumKind::Min, 5.0, 8.0, 0.0));
+    EXPECT_TRUE(wouldChange(AccumKind::Min, kInfinity, 1.0, 0.0));
+    EXPECT_FALSE(wouldChange(AccumKind::Min, kInfinity, kInfinity, 0.0));
+}
+
+TEST(WouldChange, MaxOnlyWhenLarger)
+{
+    EXPECT_TRUE(wouldChange(AccumKind::Max, 3.0, 5.0, 0.0));
+    EXPECT_FALSE(wouldChange(AccumKind::Max, 5.0, 5.0, 0.0));
+    EXPECT_FALSE(wouldChange(AccumKind::Max, 5.0, 2.0, 0.0));
+    EXPECT_TRUE(wouldChange(AccumKind::Max, -kInfinity, 0.0, 0.0));
+    EXPECT_FALSE(wouldChange(AccumKind::Max, -kInfinity, -kInfinity,
+                             0.0));
+}
+
+TEST(AccumKindName, AllNamed)
+{
+    EXPECT_STREQ(accumKindName(AccumKind::Sum), "sum");
+    EXPECT_STREQ(accumKindName(AccumKind::Min), "min");
+    EXPECT_STREQ(accumKindName(AccumKind::Max), "max");
+}
+
+} // namespace
+} // namespace depgraph::gas

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Tests for the non-GAS analytics: k-core peeling, triangle counting,
+ * clustering coefficients, degree histograms -- with closed-form
+ * oracles on structured graphs and brute-force cross-checks on random
+ * ones.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/analytics.hh"
+#include "graph/builder.hh"
+#include "graph/generators.hh"
+
+namespace depgraph::graph
+{
+namespace
+{
+
+Graph
+triangleGraph()
+{
+    // A single triangle 0-1-2 plus a pendant 3.
+    Builder b(4);
+    b.addUndirectedEdge(0, 1);
+    b.addUndirectedEdge(1, 2);
+    b.addUndirectedEdge(2, 0);
+    b.addUndirectedEdge(2, 3);
+    return b.build();
+}
+
+TEST(KCore, TriangleWithPendant)
+{
+    const auto core = coreNumbers(triangleGraph());
+    EXPECT_EQ(core[0], 2u);
+    EXPECT_EQ(core[1], 2u);
+    EXPECT_EQ(core[2], 2u);
+    EXPECT_EQ(core[3], 1u);
+    EXPECT_EQ(degeneracy(triangleGraph()), 2u);
+}
+
+TEST(KCore, PathGraphIsOneCore)
+{
+    const auto core = coreNumbers(path(10));
+    for (auto c : core)
+        EXPECT_EQ(c, 1u);
+}
+
+TEST(KCore, CompleteGraphIsNMinusOneCore)
+{
+    Builder b(5);
+    for (VertexId u = 0; u < 5; ++u)
+        for (VertexId v = u + 1; v < 5; ++v)
+            b.addUndirectedEdge(u, v);
+    const auto core = coreNumbers(b.build());
+    for (auto c : core)
+        EXPECT_EQ(c, 4u);
+}
+
+TEST(KCore, StarIsOneCore)
+{
+    const auto core = coreNumbers(star(20));
+    for (auto c : core)
+        EXPECT_EQ(c, 1u);
+}
+
+TEST(KCore, MembersAreMonotoneInK)
+{
+    const Graph g = powerLaw(800, 2.0, 8.0, {.seed = 201});
+    const auto k1 = kCoreMembers(g, 1);
+    const auto k3 = kCoreMembers(g, 3);
+    EXPECT_GE(k1.size(), k3.size());
+    // Every 3-core member is a 1-core member.
+    std::set<VertexId> ones(k1.begin(), k1.end());
+    for (auto v : k3)
+        EXPECT_TRUE(ones.count(v)) << v;
+}
+
+TEST(KCore, PeelingInvariant)
+{
+    // Inside the k-core subgraph every member has >= k neighbors that
+    // are also members (the defining property).
+    const Graph g = powerLaw(500, 2.0, 6.0, {.seed = 202});
+    g.buildTranspose();
+    const std::uint32_t k = 3;
+    const auto members = kCoreMembers(g, k);
+    std::set<VertexId> in(members.begin(), members.end());
+    for (auto v : members) {
+        std::set<VertexId> nbrs;
+        for (auto t : g.neighbors(v))
+            if (t != v && in.count(t))
+                nbrs.insert(t);
+        for (auto t : g.inNeighbors(v))
+            if (t != v && in.count(t))
+                nbrs.insert(t);
+        EXPECT_GE(nbrs.size(), k) << "vertex " << v;
+    }
+}
+
+TEST(Triangles, SingleTriangle)
+{
+    EXPECT_EQ(countTriangles(triangleGraph()), 1u);
+    const auto per = trianglesPerVertex(triangleGraph());
+    EXPECT_EQ(per[0], 1u);
+    EXPECT_EQ(per[1], 1u);
+    EXPECT_EQ(per[2], 1u);
+    EXPECT_EQ(per[3], 0u);
+}
+
+TEST(Triangles, CompleteGraphHasChoose3)
+{
+    Builder b(6);
+    for (VertexId u = 0; u < 6; ++u)
+        for (VertexId v = u + 1; v < 6; ++v)
+            b.addUndirectedEdge(u, v);
+    EXPECT_EQ(countTriangles(b.build()), 20u); // C(6,3)
+}
+
+TEST(Triangles, TreesAndPathsHaveNone)
+{
+    EXPECT_EQ(countTriangles(path(20)), 0u);
+    EXPECT_EQ(countTriangles(binaryTree(31)), 0u);
+    EXPECT_EQ(countTriangles(star(10)), 0u);
+}
+
+TEST(Triangles, DirectionAndMultiplicityCollapse)
+{
+    // Parallel and reciprocal edges of a triangle count it once.
+    Builder b(3);
+    b.addEdge(0, 1);
+    b.addEdge(1, 0);
+    b.addEdge(1, 2);
+    b.addEdge(1, 2);
+    b.addEdge(2, 0);
+    EXPECT_EQ(countTriangles(b.build()), 1u);
+}
+
+TEST(Triangles, MatchesBruteForceOnRandomGraph)
+{
+    const Graph g = erdosRenyi(60, 400, {.seed = 203});
+    g.buildTranspose();
+    // Brute force over the undirected simple view.
+    std::set<std::pair<VertexId, VertexId>> edges;
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        for (auto t : g.neighbors(v)) {
+            if (t != v)
+                edges.insert({std::min(v, t), std::max(v, t)});
+        }
+    }
+    auto connected = [&](VertexId a, VertexId b2) {
+        return edges.count({std::min(a, b2), std::max(a, b2)}) > 0;
+    };
+    std::uint64_t brute = 0;
+    for (VertexId a = 0; a < g.numVertices(); ++a)
+        for (VertexId b2 = a + 1; b2 < g.numVertices(); ++b2)
+            for (VertexId c = b2 + 1; c < g.numVertices(); ++c)
+                if (connected(a, b2) && connected(b2, c)
+                    && connected(a, c))
+                    ++brute;
+    EXPECT_EQ(countTriangles(g), brute);
+}
+
+TEST(Clustering, CompleteGraphIsOne)
+{
+    Builder b(5);
+    for (VertexId u = 0; u < 5; ++u)
+        for (VertexId v = u + 1; v < 5; ++v)
+            b.addUndirectedEdge(u, v);
+    EXPECT_NEAR(globalClusteringCoefficient(b.build()), 1.0, 1e-12);
+}
+
+TEST(Clustering, TriangleFreeIsZero)
+{
+    EXPECT_DOUBLE_EQ(globalClusteringCoefficient(star(12)), 0.0);
+    EXPECT_DOUBLE_EQ(globalClusteringCoefficient(path(12)), 0.0);
+}
+
+TEST(Clustering, BetweenZeroAndOne)
+{
+    const Graph g = powerLaw(600, 2.0, 8.0, {.seed = 204});
+    const double c = globalClusteringCoefficient(g);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+}
+
+TEST(DegreeHistogram, CountsAndClampsTail)
+{
+    const Graph g = star(10); // v0 out-degree 9, others 1
+    const auto h = degreeHistogram(g, 4);
+    EXPECT_EQ(h[1], 9u);
+    EXPECT_EQ(h[4], 1u); // degree 9 clamped into the last bucket
+    std::uint64_t total = 0;
+    for (auto x : h)
+        total += x;
+    EXPECT_EQ(total, 10u);
+}
+
+} // namespace
+} // namespace depgraph::graph

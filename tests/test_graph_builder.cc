@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for the edge-list builder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hh"
+
+namespace depgraph::graph
+{
+namespace
+{
+
+TEST(Builder, SortsNeighborsById)
+{
+    Builder b(4);
+    b.addEdge(0, 3);
+    b.addEdge(0, 1);
+    b.addEdge(0, 2);
+    const Graph g = b.build();
+    auto n = g.neighbors(0);
+    ASSERT_EQ(n.size(), 3u);
+    EXPECT_EQ(n[0], 1u);
+    EXPECT_EQ(n[1], 2u);
+    EXPECT_EQ(n[2], 3u);
+}
+
+TEST(Builder, WeightsTrackSortedOrder)
+{
+    Builder b(4);
+    b.addEdge(0, 3, 30.0);
+    b.addEdge(0, 1, 10.0);
+    const Graph g = b.build();
+    EXPECT_DOUBLE_EQ(g.weight(g.edgeBegin(0)), 10.0);
+    EXPECT_DOUBLE_EQ(g.weight(g.edgeBegin(0) + 1), 30.0);
+}
+
+TEST(Builder, UndirectedAddsBothDirections)
+{
+    Builder b(2);
+    b.addUndirectedEdge(0, 1, 5.0);
+    const Graph g = b.build();
+    EXPECT_EQ(g.numEdges(), 2u);
+    EXPECT_EQ(g.neighbors(0)[0], 1u);
+    EXPECT_EQ(g.neighbors(1)[0], 0u);
+    EXPECT_DOUBLE_EQ(g.weight(0), 5.0);
+    EXPECT_DOUBLE_EQ(g.weight(1), 5.0);
+}
+
+TEST(Builder, DedupeKeepsFirstWeight)
+{
+    Builder b(2);
+    b.addEdge(0, 1, 7.0);
+    b.addEdge(0, 1, 9.0);
+    b.dedupe();
+    EXPECT_EQ(b.edgeCount(), 1u);
+    const Graph g = b.build();
+    EXPECT_DOUBLE_EQ(g.weight(0), 7.0);
+}
+
+TEST(Builder, DedupeKeepsDistinctEdges)
+{
+    Builder b(3);
+    b.addEdge(0, 1);
+    b.addEdge(0, 2);
+    b.addEdge(1, 2);
+    b.dedupe();
+    EXPECT_EQ(b.edgeCount(), 3u);
+}
+
+TEST(Builder, RemoveSelfLoops)
+{
+    Builder b(3);
+    b.addEdge(0, 0);
+    b.addEdge(0, 1);
+    b.addEdge(2, 2);
+    b.removeSelfLoops();
+    EXPECT_EQ(b.edgeCount(), 1u);
+    const Graph g = b.build();
+    EXPECT_EQ(g.neighbors(0)[0], 1u);
+}
+
+TEST(Builder, EmptyGraphBuilds)
+{
+    Builder b(3);
+    const Graph g = b.build();
+    EXPECT_EQ(g.numVertices(), 3u);
+    EXPECT_EQ(g.numEdges(), 0u);
+    EXPECT_EQ(g.outDegree(1), 0u);
+}
+
+TEST(BuilderDeath, RejectsOutOfRangeVertex)
+{
+    Builder b(2);
+    EXPECT_DEATH(b.addEdge(0, 2), "out of range");
+}
+
+} // namespace
+} // namespace depgraph::graph

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Unit tests for the CSR graph representation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hh"
+#include "graph/csr.hh"
+
+namespace depgraph::graph
+{
+namespace
+{
+
+Graph
+diamond()
+{
+    // 0 -> 1 -> 3, 0 -> 2 -> 3
+    Builder b(4);
+    b.addEdge(0, 1, 1.0);
+    b.addEdge(0, 2, 2.0);
+    b.addEdge(1, 3, 3.0);
+    b.addEdge(2, 3, 4.0);
+    return b.build();
+}
+
+TEST(Csr, BasicCounts)
+{
+    const Graph g = diamond();
+    EXPECT_EQ(g.numVertices(), 4u);
+    EXPECT_EQ(g.numEdges(), 4u);
+    EXPECT_TRUE(g.weighted());
+}
+
+TEST(Csr, OutDegrees)
+{
+    const Graph g = diamond();
+    EXPECT_EQ(g.outDegree(0), 2u);
+    EXPECT_EQ(g.outDegree(1), 1u);
+    EXPECT_EQ(g.outDegree(2), 1u);
+    EXPECT_EQ(g.outDegree(3), 0u);
+}
+
+TEST(Csr, NeighborsSpan)
+{
+    const Graph g = diamond();
+    auto n0 = g.neighbors(0);
+    ASSERT_EQ(n0.size(), 2u);
+    EXPECT_EQ(n0[0], 1u);
+    EXPECT_EQ(n0[1], 2u);
+    EXPECT_TRUE(g.neighbors(3).empty());
+}
+
+TEST(Csr, WeightsFollowEdges)
+{
+    const Graph g = diamond();
+    EXPECT_DOUBLE_EQ(g.weight(g.edgeBegin(0)), 1.0);
+    EXPECT_DOUBLE_EQ(g.weight(g.edgeBegin(0) + 1), 2.0);
+    EXPECT_DOUBLE_EQ(g.weight(g.edgeBegin(1)), 3.0);
+}
+
+TEST(Csr, UnweightedDefaultsToOne)
+{
+    Builder b(2);
+    b.addEdge(0, 1);
+    const Graph g = b.build(/*weighted=*/false);
+    EXPECT_FALSE(g.weighted());
+    EXPECT_DOUBLE_EQ(g.weight(0), 1.0);
+}
+
+TEST(Csr, TransposeInDegrees)
+{
+    const Graph g = diamond();
+    EXPECT_EQ(g.inDegree(0), 0u);
+    EXPECT_EQ(g.inDegree(1), 1u);
+    EXPECT_EQ(g.inDegree(2), 1u);
+    EXPECT_EQ(g.inDegree(3), 2u);
+}
+
+TEST(Csr, TransposeInNeighbors)
+{
+    const Graph g = diamond();
+    auto in3 = g.inNeighbors(3);
+    ASSERT_EQ(in3.size(), 2u);
+    EXPECT_EQ(in3[0], 1u);
+    EXPECT_EQ(in3[1], 2u);
+}
+
+TEST(Csr, TransposeInWeights)
+{
+    const Graph g = diamond();
+    g.buildTranspose();
+    // in-edges of 3: from 1 (w=3) and from 2 (w=4), in source order.
+    EXPECT_DOUBLE_EQ(g.inWeight(3, 0), 3.0);
+    EXPECT_DOUBLE_EQ(g.inWeight(3, 1), 4.0);
+}
+
+TEST(Csr, TotalDegree)
+{
+    const Graph g = diamond();
+    EXPECT_EQ(g.totalDegree(0), 2u);
+    EXPECT_EQ(g.totalDegree(3), 2u);
+    EXPECT_EQ(g.totalDegree(1), 2u);
+}
+
+TEST(Csr, EdgeSumMatchesOffsets)
+{
+    const Graph g = diamond();
+    EdgeId sum = 0;
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        sum += g.outDegree(v);
+    EXPECT_EQ(sum, g.numEdges());
+}
+
+TEST(Csr, ByteSizeAccountsArrays)
+{
+    const Graph g = diamond();
+    const std::size_t expect = 5 * sizeof(EdgeId)
+        + 4 * sizeof(VertexId) + 4 * sizeof(Value);
+    EXPECT_EQ(g.byteSize(), expect);
+}
+
+TEST(CsrDeath, RejectsMalformedOffsets)
+{
+    auto make = [] {
+        std::vector<EdgeId> off = {0, 2, 1};
+        std::vector<VertexId> tgt = {0};
+        Graph g(std::move(off), std::move(tgt), {});
+    };
+    EXPECT_DEATH(make(), "not monotone");
+}
+
+TEST(CsrDeath, RejectsOutOfRangeTarget)
+{
+    auto make = [] {
+        std::vector<EdgeId> off = {0, 1};
+        std::vector<VertexId> tgt = {5};
+        Graph g(std::move(off), std::move(tgt), {});
+    };
+    EXPECT_DEATH(make(), "out of range");
+}
+
+} // namespace
+} // namespace depgraph::graph

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the Table III dataset stand-ins: catalog integrity and
+ * fidelity of each stand-in's degree/diameter class.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/datasets.hh"
+#include "graph/degree.hh"
+
+namespace depgraph::graph
+{
+namespace
+{
+
+TEST(Datasets, CatalogMatchesTableIII)
+{
+    const auto &cat = datasetCatalog();
+    ASSERT_EQ(cat.size(), 6u);
+    EXPECT_EQ(cat[0].name, "GL");
+    EXPECT_EQ(cat[5].name, "FS");
+    EXPECT_EQ(cat[5].paperVertices, 65608366u);
+    EXPECT_EQ(cat[5].paperEdges, 950652916u);
+    EXPECT_EQ(cat[1].paperDiameter, 44u);
+}
+
+TEST(Datasets, InfoLookup)
+{
+    EXPECT_EQ(datasetInfo("PK").fullName, "soc-Pokec");
+    EXPECT_DEATH(datasetInfo("XX"), "unknown dataset");
+}
+
+TEST(Datasets, NamesMatchCatalogOrder)
+{
+    const auto &names = datasetNames();
+    const auto &cat = datasetCatalog();
+    ASSERT_EQ(names.size(), cat.size());
+    for (std::size_t i = 0; i < names.size(); ++i)
+        EXPECT_EQ(names[i], cat[i].name);
+}
+
+/** Each stand-in should land near its paper average degree and in the
+ * right diameter class (small <12 / medium / large >=20). */
+class StandInSweep : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(StandInSweep, DegreeTracksPaper)
+{
+    const auto &info = datasetInfo(GetParam());
+    // Small scale keeps this test quick; degree is scale-invariant.
+    const Graph g = makeDataset(GetParam(), 0.25);
+    const auto s = degreeStats(g);
+    EXPECT_GT(s.avgOutDegree, info.paperAvgDegree * 0.4)
+        << GetParam();
+    EXPECT_LT(s.avgOutDegree, info.paperAvgDegree * 2.5)
+        << GetParam();
+}
+
+TEST_P(StandInSweep, GraphIsNonTrivial)
+{
+    const Graph g = makeDataset(GetParam(), 0.25);
+    EXPECT_GT(g.numVertices(), 500u);
+    EXPECT_GT(g.numEdges(), g.numVertices());
+    EXPECT_TRUE(g.weighted());
+}
+
+TEST_P(StandInSweep, SkewedLikeRealGraphs)
+{
+    const Graph g = makeDataset(GetParam(), 0.25);
+    const auto s = degreeStats(g);
+    EXPECT_GT(s.top1PctEdgeShare, 0.02) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSix, StandInSweep,
+                         ::testing::Values("GL", "AZ", "PK", "OK", "LJ",
+                                           "FS"));
+
+TEST(Datasets, HighDiameterClassForAZandFS)
+{
+    const Graph az = makeDataset("AZ", 0.25);
+    const Graph gl = makeDataset("GL", 0.25);
+    EXPECT_GT(estimateDiameter(az, 6), estimateDiameter(gl, 6));
+}
+
+TEST(Datasets, Deterministic)
+{
+    const Graph a = makeDataset("PK", 0.1);
+    const Graph b = makeDataset("PK", 0.1);
+    ASSERT_EQ(a.numEdges(), b.numEdges());
+    for (EdgeId e = 0; e < a.numEdges(); e += 97)
+        ASSERT_EQ(a.target(e), b.target(e));
+}
+
+} // namespace
+} // namespace depgraph::graph

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests for degree statistics and distance estimation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hh"
+#include "graph/degree.hh"
+#include "graph/generators.hh"
+
+namespace depgraph::graph
+{
+namespace
+{
+
+TEST(DegreeStats, SimpleGraph)
+{
+    Builder b(4);
+    b.addEdge(0, 1);
+    b.addEdge(0, 2);
+    b.addEdge(0, 3);
+    b.addEdge(1, 2);
+    const auto s = degreeStats(b.build());
+    EXPECT_DOUBLE_EQ(s.avgOutDegree, 1.0);
+    EXPECT_EQ(s.maxOutDegree, 3u);
+}
+
+TEST(DegreeStats, TopSharePicksHub)
+{
+    // 100 vertices; v0 owns 50 of 60 edges -> top 1% share >= 0.8.
+    Builder b(100);
+    for (VertexId v = 1; v <= 50; ++v)
+        b.addEdge(0, v);
+    for (VertexId v = 1; v <= 10; ++v)
+        b.addEdge(v, v + 1);
+    const auto s = degreeStats(b.build());
+    EXPECT_NEAR(s.top1PctEdgeShare, 50.0 / 60.0, 1e-9);
+}
+
+TEST(Diameter, PathGraphIsExact)
+{
+    const Graph g = path(17);
+    EXPECT_EQ(estimateDiameter(g, 8), 16u);
+}
+
+TEST(Diameter, GridMatchesManhattan)
+{
+    const Graph g = grid(4, 6);
+    EXPECT_EQ(estimateDiameter(g, 8), 3u + 5u);
+}
+
+TEST(Diameter, StarIsTwo)
+{
+    const Graph g = star(50);
+    EXPECT_EQ(estimateDiameter(g, 4), 2u);
+}
+
+TEST(AveragePathLength, PathGraph)
+{
+    // Directed path treated as undirected for distances: the average over
+    // all pairs from a single source v0 is (1+2+...+n-1)/(n-1).
+    const Graph g = path(5);
+    const double apl = averagePathLength(g, 12, 1);
+    EXPECT_GT(apl, 1.0);
+    EXPECT_LT(apl, 4.0);
+}
+
+TEST(VerticesByDegreeDesc, OrdersCorrectly)
+{
+    Builder b(4);
+    b.addEdge(1, 0);
+    b.addEdge(1, 2);
+    b.addEdge(1, 3);
+    b.addEdge(2, 0);
+    b.addEdge(2, 3);
+    b.addEdge(3, 0);
+    const auto order = verticesByDegreeDesc(b.build());
+    EXPECT_EQ(order[0], 1u);
+    EXPECT_EQ(order[1], 2u);
+    EXPECT_EQ(order[2], 3u);
+    EXPECT_EQ(order[3], 0u);
+}
+
+TEST(VerticesByDegreeDesc, TiesBrokenById)
+{
+    Builder b(3);
+    b.addEdge(2, 0);
+    b.addEdge(1, 0);
+    const auto order = verticesByDegreeDesc(b.build());
+    EXPECT_EQ(order[0], 1u);
+    EXPECT_EQ(order[1], 2u);
+    EXPECT_EQ(order[2], 0u);
+}
+
+} // namespace
+} // namespace depgraph::graph

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Tests for the synthetic graph generators, including property-style
+ * parameterized sweeps over generator parameters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "graph/degree.hh"
+#include "graph/generators.hh"
+
+namespace depgraph::graph
+{
+namespace
+{
+
+TEST(PowerLaw, HitsTargetAverageDegree)
+{
+    const Graph g = powerLaw(4000, 2.0, 12.0, {.seed = 1});
+    const auto s = degreeStats(g);
+    EXPECT_NEAR(s.avgOutDegree, 12.0, 3.0);
+}
+
+TEST(PowerLaw, IsSkewed)
+{
+    const Graph g = powerLaw(4000, 2.0, 12.0, {.seed = 1});
+    const auto s = degreeStats(g);
+    // Top 1% of vertices must own far more than 1% of edges.
+    EXPECT_GT(s.top1PctEdgeShare, 0.10);
+    EXPECT_GT(s.maxOutDegree, 50u);
+}
+
+TEST(PowerLaw, LowerAlphaMoreSkewed)
+{
+    const auto s18 = degreeStats(powerLaw(4000, 1.8, 10.0, {.seed = 2}));
+    const auto s22 = degreeStats(powerLaw(4000, 2.2, 10.0, {.seed = 2}));
+    EXPECT_GT(s18.top1PctEdgeShare, s22.top1PctEdgeShare);
+}
+
+TEST(PowerLaw, DeterministicForSeed)
+{
+    const Graph a = powerLaw(500, 2.0, 6.0, {.seed = 5});
+    const Graph b = powerLaw(500, 2.0, 6.0, {.seed = 5});
+    ASSERT_EQ(a.numEdges(), b.numEdges());
+    for (EdgeId e = 0; e < a.numEdges(); ++e)
+        ASSERT_EQ(a.target(e), b.target(e));
+}
+
+TEST(PowerLaw, NoSelfLoopsAndSortedNeighbors)
+{
+    // Parallel edges are allowed (multigraph) but self loops are not,
+    // and per-vertex neighbor lists must be sorted.
+    const Graph g = powerLaw(1000, 2.0, 8.0, {.seed = 6});
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        auto n = g.neighbors(v);
+        for (std::size_t i = 0; i < n.size(); ++i) {
+            ASSERT_NE(n[i], v) << "self loop at " << v;
+            if (i) {
+                ASSERT_LE(n[i - 1], n[i]) << "unsorted at " << v;
+            }
+        }
+    }
+}
+
+TEST(PowerLawTableV, AlphaControlsEdgeCount)
+{
+    // Paper Table V: lower alpha => denser graph.
+    const Graph g18 = powerLawTableV(3000, 1.8, {.seed = 7});
+    const Graph g20 = powerLawTableV(3000, 2.0, {.seed = 7});
+    const Graph g22 = powerLawTableV(3000, 2.2, {.seed = 7});
+    EXPECT_GT(g18.numEdges(), g20.numEdges());
+    EXPECT_GT(g20.numEdges(), g22.numEdges());
+    // The paper's ratio between alpha=1.8 and alpha=2.2 is ~18x;
+    // accept a broad band around it.
+    const double ratio = static_cast<double>(g18.numEdges())
+        / static_cast<double>(g22.numEdges());
+    EXPECT_GT(ratio, 6.0);
+    EXPECT_LT(ratio, 50.0);
+}
+
+TEST(Rmat, ProducesRequestedScale)
+{
+    const Graph g = rmat(10, 8000, 0.57, 0.19, 0.19, {.seed = 8});
+    EXPECT_EQ(g.numVertices(), 1024u);
+    EXPECT_GT(g.numEdges(), 4000u); // dedupe removes some
+    EXPECT_LE(g.numEdges(), 8000u);
+}
+
+TEST(Rmat, IsSkewed)
+{
+    const Graph g = rmat(12, 40000, 0.57, 0.19, 0.19, {.seed = 9});
+    const auto s = degreeStats(g);
+    EXPECT_GT(s.top1PctEdgeShare, 0.05);
+}
+
+TEST(ErdosRenyi, UniformDegrees)
+{
+    const Graph g = erdosRenyi(2000, 20000, {.seed = 10});
+    const auto s = degreeStats(g);
+    EXPECT_NEAR(s.avgOutDegree, 10.0, 1.0);
+    // ER graphs are NOT skewed.
+    EXPECT_LT(s.top1PctEdgeShare, 0.05);
+}
+
+TEST(Grid, StructureIsCorrect)
+{
+    const Graph g = grid(3, 4, {.seed = 11});
+    EXPECT_EQ(g.numVertices(), 12u);
+    // 2*(rows*(cols-1) + (rows-1)*cols) directed edges.
+    EXPECT_EQ(g.numEdges(), 2u * (3 * 3 + 2 * 4));
+    // Corner vertex 0 has exactly 2 out-neighbors.
+    EXPECT_EQ(g.outDegree(0), 2u);
+    // Interior vertex (1,1) = 5 has 4.
+    EXPECT_EQ(g.outDegree(5), 4u);
+}
+
+TEST(Path, IsASingleChain)
+{
+    const Graph g = path(10, {.seed = 12});
+    EXPECT_EQ(g.numEdges(), 9u);
+    for (VertexId v = 0; v + 1 < 10; ++v) {
+        ASSERT_EQ(g.outDegree(v), 1u);
+        ASSERT_EQ(g.neighbors(v)[0], v + 1);
+    }
+    EXPECT_EQ(g.outDegree(9), 0u);
+}
+
+TEST(Ring, ClosesTheLoop)
+{
+    const Graph g = ring(5, {.seed = 13});
+    EXPECT_EQ(g.numEdges(), 5u);
+    EXPECT_EQ(g.neighbors(4)[0], 0u);
+}
+
+TEST(Star, HubOwnsHalfTheEdges)
+{
+    const Graph g = star(11, {.seed = 14});
+    EXPECT_EQ(g.numEdges(), 20u);
+    EXPECT_EQ(g.outDegree(0), 10u);
+    for (VertexId v = 1; v < 11; ++v)
+        ASSERT_EQ(g.outDegree(v), 1u);
+}
+
+TEST(BinaryTree, DegreesAreAtMostTwo)
+{
+    const Graph g = binaryTree(15, {.seed = 15});
+    EXPECT_EQ(g.numEdges(), 14u);
+    for (VertexId v = 0; v < 7; ++v)
+        ASSERT_EQ(g.outDegree(v), 2u);
+    for (VertexId v = 7; v < 15; ++v)
+        ASSERT_EQ(g.outDegree(v), 0u);
+}
+
+TEST(CommunityChain, IsConnectedAcrossCommunities)
+{
+    const Graph g = communityChain(6, 100, 2.0, 6.0, 2, {.seed = 16});
+    EXPECT_EQ(g.numVertices(), 600u);
+    // BFS over undirected edges must reach every community from v0.
+    g.buildTranspose();
+    std::vector<bool> seen(g.numVertices(), false);
+    std::queue<VertexId> q;
+    q.push(0);
+    seen[0] = true;
+    std::size_t reached = 1;
+    while (!q.empty()) {
+        const VertexId u = q.front();
+        q.pop();
+        auto visit = [&](VertexId w) {
+            if (!seen[w]) {
+                seen[w] = true;
+                ++reached;
+                q.push(w);
+            }
+        };
+        for (auto w : g.neighbors(u))
+            visit(w);
+        for (auto w : g.inNeighbors(u))
+            visit(w);
+    }
+    EXPECT_GT(reached, g.numVertices() * 9 / 10);
+}
+
+TEST(CommunityChain, StretchesDiameter)
+{
+    const Graph chain = communityChain(12, 80, 2.0, 6.0, 1, {.seed = 17});
+    const Graph blob = powerLaw(960, 2.0, 6.0, {.seed = 17});
+    EXPECT_GT(estimateDiameter(chain, 6), estimateDiameter(blob, 6));
+}
+
+TEST(Weights, StayInConfiguredRange)
+{
+    GenOptions opt;
+    opt.seed = 18;
+    opt.minWeight = 2.0;
+    opt.maxWeight = 3.0;
+    const Graph g = powerLaw(300, 2.0, 5.0, opt);
+    for (EdgeId e = 0; e < g.numEdges(); ++e) {
+        ASSERT_GE(g.weight(e), 2.0);
+        ASSERT_LT(g.weight(e), 3.0);
+    }
+}
+
+/** Parameterized sweep: every generator produces structurally valid CSR
+ * under a range of sizes. */
+class GeneratorSweep : public ::testing::TestWithParam<VertexId>
+{};
+
+TEST_P(GeneratorSweep, AllGeneratorsProduceValidGraphs)
+{
+    const VertexId n = GetParam();
+    const std::vector<Graph> graphs = {
+        powerLaw(n, 2.0, 6.0, {.seed = n}),
+        erdosRenyi(n, 4 * n, {.seed = n}),
+        grid(n / 8 + 1, 8, {.seed = n}),
+        path(n, {.seed = n}),
+        ring(n, {.seed = n}),
+        star(n, {.seed = n}),
+        binaryTree(n, {.seed = n}),
+        communityChain(4, n / 4 + 2, 2.0, 5.0, 2, {.seed = n}),
+    };
+    for (const auto &g : graphs) {
+        EdgeId sum = 0;
+        for (VertexId v = 0; v < g.numVertices(); ++v) {
+            sum += g.outDegree(v);
+            for (auto t : g.neighbors(v))
+                ASSERT_LT(t, g.numVertices());
+        }
+        ASSERT_EQ(sum, g.numEdges());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GeneratorSweep,
+                         ::testing::Values(16, 64, 257, 1000));
+
+} // namespace
+} // namespace depgraph::graph

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests for hub-vertex detection (lambda/beta sampling, Definition 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hh"
+#include "graph/hub.hh"
+
+namespace depgraph::graph
+{
+namespace
+{
+
+TEST(HubSet, StarHubIsDetected)
+{
+    const Graph g = star(200);
+    HubParams p;
+    p.lambda = 0.01;
+    const HubSet hubs(g, p);
+    EXPECT_TRUE(hubs.isHub(0));
+}
+
+TEST(HubSet, HubsAreHighDegree)
+{
+    const Graph g = powerLaw(4000, 2.0, 10.0, {.seed = 31});
+    HubParams p;
+    p.lambda = 0.005;
+    const HubSet hubs(g, p);
+    ASSERT_GT(hubs.numHubs(), 0u);
+    for (auto h : hubs.hubList())
+        EXPECT_GE(g.outDegree(h), hubs.threshold());
+    // Non-hubs are below threshold.
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        if (!hubs.isHub(v)) {
+            EXPECT_LT(g.outDegree(v), hubs.threshold());
+        }
+    }
+}
+
+TEST(HubSet, LambdaControlsHubCount)
+{
+    const Graph g = powerLaw(4000, 2.0, 10.0, {.seed = 32});
+    HubParams small, large;
+    small.lambda = 0.002;
+    large.lambda = 0.05;
+    const HubSet hs(g, small);
+    const HubSet hl(g, large);
+    EXPECT_LT(hs.numHubs(), hl.numHubs());
+}
+
+TEST(HubSet, LambdaZeroDisablesHubs)
+{
+    const Graph g = powerLaw(1000, 2.0, 8.0, {.seed = 33});
+    HubParams p;
+    p.lambda = 0.0;
+    const HubSet hubs(g, p);
+    EXPECT_EQ(hubs.numHubs(), 0u);
+}
+
+TEST(HubSet, HubFractionIsNearLambda)
+{
+    const Graph g = powerLaw(20000, 2.0, 10.0, {.seed = 34});
+    HubParams p;
+    p.lambda = 0.01;
+    p.beta = 0.05; // bigger sample for a tighter estimate
+    const HubSet hubs(g, p);
+    const double frac = static_cast<double>(hubs.numHubs())
+        / static_cast<double>(g.numVertices());
+    // Sampling-based threshold: accept a generous band around lambda.
+    EXPECT_GT(frac, 0.001);
+    EXPECT_LT(frac, 0.08);
+}
+
+TEST(HubSet, DeterministicForSeed)
+{
+    const Graph g = powerLaw(2000, 2.0, 8.0, {.seed = 35});
+    HubParams p;
+    p.seed = 9;
+    const HubSet a(g, p);
+    const HubSet b(g, p);
+    EXPECT_EQ(a.threshold(), b.threshold());
+    EXPECT_EQ(a.hubList(), b.hubList());
+}
+
+TEST(HubSet, BitmapMatchesList)
+{
+    const Graph g = powerLaw(2000, 2.0, 8.0, {.seed = 36});
+    const HubSet hubs(g, HubParams{});
+    EXPECT_EQ(hubs.bitmap().count(), hubs.numHubs());
+    for (auto h : hubs.hubList())
+        EXPECT_TRUE(hubs.bitmap().test(h));
+}
+
+} // namespace
+} // namespace depgraph::graph

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Round-trip tests for edge-list text and binary graph IO.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "graph/builder.hh"
+#include "graph/edge_list.hh"
+#include "graph/generators.hh"
+
+namespace depgraph::graph
+{
+namespace
+{
+
+class IoTest : public ::testing::Test
+{
+  protected:
+    std::string
+    tmpPath(const std::string &name)
+    {
+        const auto dir = std::filesystem::temp_directory_path();
+        return (dir / ("dg_io_" + name)).string();
+    }
+
+    void
+    TearDown() override
+    {
+        for (const auto &p : created_)
+            std::remove(p.c_str());
+    }
+
+    std::string
+    track(const std::string &p)
+    {
+        created_.push_back(p);
+        return p;
+    }
+
+    std::vector<std::string> created_;
+};
+
+bool
+sameGraph(const Graph &a, const Graph &b)
+{
+    if (a.numVertices() != b.numVertices()
+        || a.numEdges() != b.numEdges()) {
+        return false;
+    }
+    for (VertexId v = 0; v < a.numVertices(); ++v) {
+        if (a.outDegree(v) != b.outDegree(v))
+            return false;
+        for (EdgeId e = a.edgeBegin(v); e < a.edgeEnd(v); ++e) {
+            if (a.target(e) != b.target(e))
+                return false;
+            if (std::abs(a.weight(e) - b.weight(e)) > 1e-9)
+                return false;
+        }
+    }
+    return true;
+}
+
+TEST_F(IoTest, TextRoundTrip)
+{
+    Builder b(5);
+    b.addEdge(0, 1, 1.5);
+    b.addEdge(1, 2, 2.5);
+    b.addEdge(4, 0, 3.0);
+    const Graph g = b.build();
+    const auto path = track(tmpPath("rt.txt"));
+    saveEdgeListText(g, path);
+    const Graph h = loadEdgeListText(path);
+    EXPECT_TRUE(sameGraph(g, h));
+}
+
+TEST_F(IoTest, TextSkipsCommentsAndHandlesUnweighted)
+{
+    const auto path = track(tmpPath("comments.txt"));
+    {
+        std::ofstream out(path);
+        out << "# comment\n% other comment\n0 1\n1 2\n\n2 0\n";
+    }
+    const Graph g = loadEdgeListText(path);
+    EXPECT_EQ(g.numVertices(), 3u);
+    EXPECT_EQ(g.numEdges(), 3u);
+    EXPECT_FALSE(g.weighted());
+}
+
+TEST_F(IoTest, BinaryRoundTripWeighted)
+{
+    const Graph g = powerLaw(500, 2.0, 8.0, {.seed = 3});
+    const auto path = track(tmpPath("rt.bin"));
+    saveBinary(g, path);
+    const Graph h = loadBinary(path);
+    EXPECT_TRUE(sameGraph(g, h));
+}
+
+TEST_F(IoTest, BinaryRoundTripUnweighted)
+{
+    GenOptions opt;
+    opt.weighted = false;
+    const Graph g = erdosRenyi(200, 800, opt);
+    const auto path = track(tmpPath("rtu.bin"));
+    saveBinary(g, path);
+    const Graph h = loadBinary(path);
+    EXPECT_FALSE(h.weighted());
+    EXPECT_TRUE(sameGraph(g, h));
+}
+
+TEST_F(IoTest, BinaryRejectsBadMagic)
+{
+    const auto path = track(tmpPath("junk.bin"));
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "this is not a graph file at all, padding padding";
+    }
+    EXPECT_DEATH(loadBinary(path), "not a depgraph binary");
+}
+
+TEST_F(IoTest, MissingFileIsFatal)
+{
+    EXPECT_DEATH(loadEdgeListText("/nonexistent/nope.txt"),
+                 "cannot open");
+}
+
+} // namespace
+} // namespace depgraph::graph

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for contiguous edge-balanced partitioning.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hh"
+#include "graph/partition.hh"
+
+namespace depgraph::graph
+{
+namespace
+{
+
+TEST(Partition, CoversAllVerticesExactlyOnce)
+{
+    const Graph g = powerLaw(1000, 2.0, 8.0, {.seed = 21});
+    const Partitioning p(g, 8);
+    ASSERT_EQ(p.numParts(), 8u);
+    VertexId expect = 0;
+    for (unsigned i = 0; i < p.numParts(); ++i) {
+        EXPECT_EQ(p.range(i).begin, expect);
+        expect = p.range(i).end;
+    }
+    EXPECT_EQ(expect, g.numVertices());
+}
+
+TEST(Partition, OwnerOfIsConsistentWithRanges)
+{
+    const Graph g = powerLaw(500, 2.0, 6.0, {.seed = 22});
+    const Partitioning p(g, 7);
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        const unsigned owner = p.ownerOf(v);
+        ASSERT_TRUE(p.range(owner).contains(v)) << "vertex " << v;
+    }
+}
+
+TEST(Partition, EdgeBalanceWithinFactor)
+{
+    const Graph g = erdosRenyi(4000, 40000, {.seed = 23});
+    const Partitioning p(g, 8);
+    EdgeId min_e = g.numEdges(), max_e = 0;
+    for (unsigned i = 0; i < p.numParts(); ++i) {
+        EdgeId e = 0;
+        for (VertexId v = p.range(i).begin; v < p.range(i).end; ++v)
+            e += g.outDegree(v);
+        min_e = std::min(min_e, e);
+        max_e = std::max(max_e, e);
+    }
+    // ER graphs have uniform degrees; ranges should be well balanced.
+    EXPECT_LT(static_cast<double>(max_e),
+              2.0 * static_cast<double>(min_e) + 64.0);
+}
+
+TEST(Partition, SinglePartition)
+{
+    const Graph g = path(10);
+    const Partitioning p(g, 1);
+    EXPECT_EQ(p.numParts(), 1u);
+    EXPECT_EQ(p.range(0).begin, 0u);
+    EXPECT_EQ(p.range(0).end, 10u);
+    EXPECT_EQ(p.ownerOf(9), 0u);
+}
+
+TEST(Partition, MorePartsThanVertices)
+{
+    const Graph g = path(3);
+    const Partitioning p(g, 8);
+    EXPECT_EQ(p.numParts(), 8u);
+    EXPECT_EQ(p.range(7).end, 3u);
+    // Every vertex still has exactly one owner.
+    for (VertexId v = 0; v < 3; ++v) {
+        const unsigned o = p.ownerOf(v);
+        EXPECT_TRUE(p.range(o).contains(v));
+    }
+}
+
+TEST(PartitionRange, ContainsBoundaries)
+{
+    PartitionRange r{10, 20};
+    EXPECT_TRUE(r.contains(10));
+    EXPECT_TRUE(r.contains(19));
+    EXPECT_FALSE(r.contains(20));
+    EXPECT_FALSE(r.contains(9));
+    EXPECT_EQ(r.size(), 10u);
+}
+
+/** Property sweep: any partition count covers the graph contiguously. */
+class PartitionSweep : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(PartitionSweep, AlwaysContiguousAndComplete)
+{
+    const Graph g = powerLaw(777, 2.0, 5.0, {.seed = 24});
+    const Partitioning p(g, GetParam());
+    VertexId expect = 0;
+    for (unsigned i = 0; i < p.numParts(); ++i) {
+        ASSERT_EQ(p.range(i).begin, expect);
+        ASSERT_LE(p.range(i).begin, p.range(i).end);
+        expect = p.range(i).end;
+    }
+    ASSERT_EQ(expect, g.numVertices());
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, PartitionSweep,
+                         ::testing::Values(1, 2, 3, 8, 16, 64, 100));
+
+} // namespace
+} // namespace depgraph::graph

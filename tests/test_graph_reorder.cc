@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for vertex relabeling: permutation validity, structural
+ * isomorphism under relabel (degrees, algorithm results), bandwidth
+ * reduction by RCM, and the degree/random orders.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gas/algorithms.hh"
+#include "gas/reference.hh"
+#include "graph/generators.hh"
+#include "graph/reorder.hh"
+
+namespace depgraph::graph
+{
+namespace
+{
+
+TEST(Permutation, Validation)
+{
+    const Graph g = path(4);
+    EXPECT_TRUE(isPermutation(g, {0, 1, 2, 3}));
+    EXPECT_TRUE(isPermutation(g, {3, 1, 0, 2}));
+    EXPECT_FALSE(isPermutation(g, {0, 1, 2}));      // wrong size
+    EXPECT_FALSE(isPermutation(g, {0, 1, 2, 2}));   // duplicate
+    EXPECT_FALSE(isPermutation(g, {0, 1, 2, 4}));   // out of range
+}
+
+TEST(Relabel, PreservesDegreesAndWeights)
+{
+    const Graph g = powerLaw(300, 2.0, 6.0, {.seed = 501});
+    const auto perm = randomOrder(g, 502);
+    const Graph h = relabel(g, perm);
+    ASSERT_EQ(h.numVertices(), g.numVertices());
+    ASSERT_EQ(h.numEdges(), g.numEdges());
+    Value wg = 0, wh = 0;
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        EXPECT_EQ(h.outDegree(perm[v]), g.outDegree(v));
+        for (EdgeId e = g.edgeBegin(v); e < g.edgeEnd(v); ++e)
+            wg += g.weight(e);
+    }
+    for (EdgeId e = 0; e < h.numEdges(); ++e)
+        wh += h.weight(e);
+    EXPECT_NEAR(wg, wh, 1e-6);
+}
+
+TEST(Relabel, AlgorithmResultsArePermuted)
+{
+    // SSSP from the relabeled source gives the permuted distances.
+    const Graph g = powerLaw(250, 2.0, 6.0, {.seed = 503});
+    const auto perm = randomOrder(g, 504);
+    const Graph h = relabel(g, perm);
+
+    gas::Sssp a0(0);
+    const auto r0 = gas::runReference(g, a0);
+    gas::Sssp a1(perm[0]);
+    const auto r1 = gas::runReference(h, a1);
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        if (std::isfinite(r0.states[v]))
+            EXPECT_NEAR(r1.states[perm[v]], r0.states[v], 1e-9);
+        else
+            EXPECT_EQ(r1.states[perm[v]], r0.states[v]);
+    }
+}
+
+TEST(Rcm, ReducesGridBandwidth)
+{
+    // A randomly labeled grid has huge bandwidth; RCM restores
+    // near-optimal (cols+1-ish) bandwidth.
+    const Graph g0 = grid(16, 16);
+    const Graph shuffled = relabel(g0, randomOrder(g0, 505));
+    const Graph rcm = relabel(shuffled, rcmOrder(shuffled));
+    EXPECT_LT(bandwidth(rcm), bandwidth(shuffled) / 2);
+    EXPECT_LE(bandwidth(rcm), 40u); // near the grid's natural ~17
+}
+
+TEST(Rcm, IsAPermutationOnAnyGraph)
+{
+    for (const Graph &g :
+         {powerLaw(200, 2.0, 5.0, {.seed = 506}), star(50),
+          binaryTree(63), communityChain(3, 40, 2.0, 5.0, 1,
+                                         {.seed = 507})}) {
+        EXPECT_TRUE(isPermutation(g, rcmOrder(g)));
+    }
+}
+
+TEST(DegreeOrder, HubsGetSmallestIds)
+{
+    const Graph g = star(20);
+    const auto perm = degreeOrder(g);
+    EXPECT_EQ(perm[0], 0u); // the hub keeps id 0
+    EXPECT_TRUE(isPermutation(g, perm));
+}
+
+TEST(RandomOrder, DeterministicPerSeed)
+{
+    const Graph g = path(100);
+    EXPECT_EQ(randomOrder(g, 1), randomOrder(g, 1));
+    EXPECT_NE(randomOrder(g, 1), randomOrder(g, 2));
+}
+
+TEST(Bandwidth, PathAndStar)
+{
+    EXPECT_EQ(bandwidth(path(10)), 1u);
+    EXPECT_EQ(bandwidth(star(10)), 9u);
+}
+
+} // namespace
+} // namespace depgraph::graph

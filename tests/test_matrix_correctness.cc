@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The full correctness matrix: every execution solution x every
+ * algorithm x several graph topologies, each instance asserting
+ * convergence to the reference fixpoint. This is the broadest
+ * Theorem-1 sweep in the suite (TEST_P over the cartesian product).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/depgraph_system.hh"
+#include "gas/reference.hh"
+#include "graph/generators.hh"
+
+namespace depgraph
+{
+namespace
+{
+
+using gas::makeAlgorithm;
+using gas::maxStateDifference;
+using gas::runReference;
+using graph::Graph;
+
+struct Case
+{
+    std::string topology;
+    std::string algorithm;
+    Solution solution;
+};
+
+std::string
+caseName(const ::testing::TestParamInfo<Case> &info)
+{
+    std::string s = info.param.topology + "_" + info.param.algorithm
+        + "_" + solutionName(info.param.solution);
+    for (auto &c : s)
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return s;
+}
+
+const Graph &
+topologyGraph(const std::string &name)
+{
+    static std::map<std::string, Graph> cache;
+    auto it = cache.find(name);
+    if (it != cache.end())
+        return it->second;
+    Graph g = [&]() -> Graph {
+        if (name == "powerlaw")
+            return graph::powerLaw(400, 2.0, 7.0, {.seed = 401});
+        if (name == "chain")
+            return graph::communityChain(4, 90, 2.0, 6.0, 2,
+                                         {.seed = 402});
+        if (name == "grid")
+            return graph::grid(16, 16, {.seed = 403});
+        if (name == "tree")
+            return graph::binaryTree(255, {.seed = 404});
+        dg_fatal("unknown topology ", name);
+    }();
+    return cache.emplace(name, std::move(g)).first->second;
+}
+
+/** Gold fixpoints are shared across the sweep (one per
+ * topology x algorithm). */
+const std::vector<Value> &
+gold(const std::string &topo, const std::string &algo)
+{
+    static std::map<std::string, std::vector<Value>> cache;
+    const std::string key = topo + "/" + algo;
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+    const auto alg = makeAlgorithm(algo);
+    auto r = runReference(topologyGraph(topo), *alg);
+    EXPECT_TRUE(r.converged) << key;
+    return cache.emplace(key, std::move(r.states)).first->second;
+}
+
+class Matrix : public ::testing::TestWithParam<Case>
+{};
+
+TEST_P(Matrix, ConvergesToReferenceFixpoint)
+{
+    const auto &[topo, algo, solution] = GetParam();
+    SystemConfig cfg;
+    cfg.machine.numCores = 4;
+    cfg.machine.l3TotalBytes = 4 * 1024 * 1024;
+    cfg.machine.l3Banks = 4;
+    cfg.engine.numCores = 4;
+    cfg.engine.hub.lambda = 0.01;
+    DepGraphSystem sys(cfg);
+
+    const auto r = sys.run(topologyGraph(topo), algo, solution);
+    EXPECT_TRUE(r.metrics.converged);
+    EXPECT_LE(maxStateDifference(r.states, gold(topo, algo)), 1e-3);
+    EXPECT_GT(r.metrics.makespan, 0u);
+}
+
+std::vector<Case>
+allCases()
+{
+    std::vector<Case> cases;
+    for (const auto *topo : {"powerlaw", "chain", "grid", "tree"}) {
+        for (const auto *algo : {"pagerank", "adsorption", "sssp",
+                                 "wcc", "sswp", "bfs"}) {
+            for (auto s : allSolutions())
+                cases.push_back({topo, algo, s});
+        }
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Matrix,
+                         ::testing::ValuesIn(allCases()), caseName);
+
+} // namespace
+} // namespace depgraph

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Tests for the software runtime engines and accelerator models:
+ * correctness against the reference fixpoint (the Theorem-1 anchor for
+ * baselines), metric sanity, and the qualitative orderings the paper's
+ * motivation section reports (sequential-DFS minimality, async < sync
+ * update counts).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "accel/accelerators.hh"
+#include "gas/algorithms.hh"
+#include "gas/reference.hh"
+#include "graph/datasets.hh"
+#include "graph/generators.hh"
+#include "runtime/sequential.hh"
+#include "runtime/soft_engine.hh"
+
+namespace depgraph::runtime
+{
+namespace
+{
+
+using gas::makeAlgorithm;
+using gas::maxStateDifference;
+using gas::runReference;
+using graph::Graph;
+
+sim::MachineParams
+testMachine(unsigned cores = 8)
+{
+    sim::MachineParams p;
+    p.numCores = cores;
+    p.l3TotalBytes = 8 * 1024 * 1024; // small L3 keeps tests fast
+    p.l3Banks = 8;
+    return p;
+}
+
+std::vector<EnginePtr>
+allEngines(EngineOptions opt)
+{
+    std::vector<EnginePtr> v;
+    v.push_back(std::make_unique<SequentialEngine>(opt));
+    v.push_back(makeLigra(opt));
+    v.push_back(makeMosaic(opt));
+    v.push_back(makeWonderland(opt));
+    v.push_back(makeFbsGraph(opt));
+    v.push_back(makeLigraO(opt));
+    v.push_back(accel::makeHats(opt));
+    v.push_back(accel::makeMinnow(opt));
+    v.push_back(accel::makePhi(opt));
+    return v;
+}
+
+/** Every engine must converge to the reference fixpoint. */
+class EngineCorrectness : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(EngineCorrectness, MatchesReferenceOnPowerLaw)
+{
+    const Graph g = graph::powerLaw(800, 2.0, 8.0, {.seed = 61});
+    const auto gold_alg = makeAlgorithm(GetParam());
+    const auto gold = runReference(g, *gold_alg);
+    ASSERT_TRUE(gold.converged);
+
+    EngineOptions opt;
+    opt.numCores = 8;
+    sim::Machine m(testMachine());
+    for (auto &e : allEngines(opt)) {
+        const auto alg = makeAlgorithm(GetParam());
+        const auto r = e->run(g, *alg, m);
+        EXPECT_TRUE(r.metrics.converged) << e->name();
+        EXPECT_LE(maxStateDifference(r.states, gold.states), 1e-3)
+            << e->name() << " diverges from reference on "
+            << GetParam();
+    }
+}
+
+TEST_P(EngineCorrectness, MatchesReferenceOnCommunityChain)
+{
+    const Graph g =
+        graph::communityChain(5, 120, 2.0, 6.0, 2, {.seed = 62});
+    const auto gold_alg = makeAlgorithm(GetParam());
+    const auto gold = runReference(g, *gold_alg);
+
+    EngineOptions opt;
+    opt.numCores = 4;
+    sim::Machine m(testMachine(4));
+    for (auto &e : allEngines(opt)) {
+        const auto alg = makeAlgorithm(GetParam());
+        const auto r = e->run(g, *alg, m);
+        EXPECT_LE(maxStateDifference(r.states, gold.states), 1e-3)
+            << e->name();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, EngineCorrectness,
+                         ::testing::Values("pagerank", "sssp", "wcc",
+                                           "adsorption", "sswp"));
+
+TEST(EngineMetrics, SequentialHasMinimalUpdates)
+{
+    const Graph g = graph::powerLaw(600, 2.0, 8.0, {.seed = 63});
+    sim::Machine m(testMachine());
+    EngineOptions opt;
+    opt.numCores = 8;
+
+    auto sssp_a = makeAlgorithm("sssp");
+    SequentialEngine seq(opt);
+    const auto seq_r = seq.run(g, *sssp_a, m);
+
+    auto sssp_b = makeAlgorithm("sssp");
+    const auto ligra = makeLigra(opt)->run(g, *sssp_b, m);
+
+    auto sssp_c = makeAlgorithm("sssp");
+    const auto ligra_o = makeLigraO(opt)->run(g, *sssp_c, m);
+
+    // Observation one: async DFS needs the fewest updates; the
+    // synchronous system needs the most.
+    EXPECT_LE(seq_r.metrics.updates, ligra_o.metrics.updates);
+    EXPECT_LE(ligra_o.metrics.updates, ligra.metrics.updates);
+    EXPECT_GT(ligra.metrics.updates, 0u);
+}
+
+TEST(EngineMetrics, CountMinimalUpdatesMatchesTimedRun)
+{
+    const Graph g = graph::powerLaw(400, 2.0, 6.0, {.seed = 64});
+    auto a1 = makeAlgorithm("sssp");
+    auto a2 = makeAlgorithm("sssp");
+    sim::Machine m(testMachine(1));
+    EngineOptions opt;
+    opt.numCores = 1;
+    SequentialEngine seq(opt);
+    const auto timed = seq.run(g, *a1, m);
+    const auto counted =
+        SequentialEngine::countMinimalUpdates(g, *a2);
+    EXPECT_EQ(timed.metrics.updates, counted);
+}
+
+TEST(EngineMetrics, UtilizationIsAFraction)
+{
+    const Graph g = graph::powerLaw(500, 2.0, 8.0, {.seed = 65});
+    sim::Machine m(testMachine());
+    EngineOptions opt;
+    opt.numCores = 8;
+    auto alg = makeAlgorithm("pagerank");
+    const auto r = makeLigraO(opt)->run(g, *alg, m);
+    EXPECT_GT(r.metrics.utilization(), 0.0);
+    EXPECT_LE(r.metrics.utilization(), 1.0);
+    EXPECT_GT(r.metrics.makespan, 0u);
+    EXPECT_GT(r.metrics.busyCycles(), 0u);
+}
+
+TEST(EngineMetrics, EffectiveUtilizationBelowTotal)
+{
+    const Graph g = graph::powerLaw(500, 2.0, 8.0, {.seed = 66});
+    sim::Machine m(testMachine());
+    EngineOptions opt;
+    opt.numCores = 8;
+    auto alg = makeAlgorithm("pagerank");
+    auto alg2 = makeAlgorithm("pagerank");
+    const auto r = makeLigra(opt)->run(g, *alg, m);
+    const auto u_s = SequentialEngine::countMinimalUpdates(g, *alg2);
+    const double re = r.metrics.effectiveUtilization(u_s);
+    EXPECT_GT(re, 0.0);
+    EXPECT_LE(re, r.metrics.utilization() + 1e-12);
+}
+
+TEST(EngineMetrics, DeterministicAcrossRuns)
+{
+    const Graph g = graph::powerLaw(300, 2.0, 6.0, {.seed = 67});
+    EngineOptions opt;
+    opt.numCores = 4;
+    auto run_once = [&] {
+        sim::Machine m(testMachine(4));
+        auto alg = makeAlgorithm("pagerank");
+        return makeLigraO(opt)->run(g, *alg, m);
+    };
+    const auto a = run_once();
+    const auto b = run_once();
+    EXPECT_EQ(a.metrics.makespan, b.metrics.makespan);
+    EXPECT_EQ(a.metrics.updates, b.metrics.updates);
+    EXPECT_EQ(a.memStats.l1.hits, b.memStats.l1.hits);
+}
+
+TEST(EngineMetrics, MoreCoresShortenMakespan)
+{
+    const Graph g = graph::powerLaw(1500, 2.0, 10.0, {.seed = 68});
+    auto run_with = [&](unsigned cores) {
+        sim::Machine m(testMachine(cores));
+        EngineOptions opt;
+        opt.numCores = cores;
+        auto alg = makeAlgorithm("pagerank");
+        return makeLigraO(opt)->run(g, *alg, m).metrics.makespan;
+    };
+    const auto t1 = run_with(1);
+    const auto t8 = run_with(8);
+    EXPECT_LT(t8, t1);
+}
+
+TEST(Accelerators, NamesAreCorrect)
+{
+    EXPECT_EQ(accel::makeHats()->name(), "HATS");
+    EXPECT_EQ(accel::makeMinnow()->name(), "Minnow");
+    EXPECT_EQ(accel::makePhi()->name(), "PHI");
+    EXPECT_EQ(makeLigra()->name(), "Ligra");
+    EXPECT_EQ(makeLigraO()->name(), "Ligra-o");
+}
+
+TEST(Accelerators, UseAcceleratorOps)
+{
+    const Graph g = graph::powerLaw(400, 2.0, 8.0, {.seed = 69});
+    sim::Machine m(testMachine());
+    EngineOptions opt;
+    opt.numCores = 8;
+    for (auto make : {accel::makeHats, accel::makeMinnow,
+                      accel::makePhi}) {
+        auto alg = makeAlgorithm("pagerank");
+        const auto r = make(opt)->run(g, *alg, m);
+        EXPECT_GT(r.metrics.accelOps, 0u);
+    }
+    // The pure software baseline performs no accelerator operations.
+    auto alg = makeAlgorithm("pagerank");
+    EXPECT_EQ(makeLigraO(opt)->run(g, *alg, m).metrics.accelOps, 0u);
+}
+
+TEST(Accelerators, AcceleratedRunsBeatLigraO)
+{
+    // On a skewed graph each accelerator should improve on Ligra-o
+    // makespan (the premise of the paper's Fig. 11 baseline bars).
+    const Graph g = graph::powerLaw(3000, 2.0, 12.0, {.seed = 70});
+    EngineOptions opt;
+    opt.numCores = 8;
+    auto run_engine = [&](EnginePtr e) {
+        sim::Machine m(testMachine());
+        auto alg = makeAlgorithm("pagerank");
+        return e->run(g, *alg, m).metrics.makespan;
+    };
+    const auto base = run_engine(makeLigraO(opt));
+    EXPECT_LT(run_engine(accel::makeMinnow(opt)), base);
+    EXPECT_LT(run_engine(accel::makePhi(opt)), base);
+    // HATS targets locality; give it a small tolerance band.
+    EXPECT_LT(run_engine(accel::makeHats(opt)),
+              static_cast<Cycles>(1.10 * static_cast<double>(base)));
+}
+
+TEST(EngineBreakdown, SharesSumToOne)
+{
+    const Graph g = graph::powerLaw(400, 2.0, 6.0, {.seed = 71});
+    sim::Machine m(testMachine());
+    EngineOptions opt;
+    opt.numCores = 8;
+    auto alg = makeAlgorithm("pagerank");
+    const auto r = makeLigraO(opt)->run(g, *alg, m);
+    const auto &mx = r.metrics;
+    EXPECT_EQ(mx.busyCycles(),
+              mx.computeCycles + mx.memStallCycles + mx.overheadCycles);
+    EXPECT_GE(mx.otherTimeShare(), 0.0);
+    EXPECT_LE(mx.otherTimeShare(), 1.0);
+}
+
+TEST(EngineEnergy, NonZeroAndDramSensitive)
+{
+    const Graph g = graph::powerLaw(400, 2.0, 6.0, {.seed = 72});
+    sim::Machine m(testMachine());
+    EngineOptions opt;
+    opt.numCores = 8;
+    auto alg = makeAlgorithm("pagerank");
+    const auto r = makeLigraO(opt)->run(g, *alg, m);
+    EXPECT_GT(r.energy.totalMj(), 0.0);
+    EXPECT_GT(r.energy.coreMj, 0.0);
+    EXPECT_GT(r.energy.dramMj, 0.0);
+}
+
+} // namespace
+} // namespace depgraph::runtime

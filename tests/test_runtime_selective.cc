@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit tests for Maiter-style selective scheduling: the round gate and
+ * the chase-worthiness predicate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/selective.hh"
+
+namespace depgraph::runtime
+{
+namespace
+{
+
+using gas::AccumKind;
+
+TEST(SelectionThreshold, SumUsesMeanMagnitude)
+{
+    std::vector<Value> delta = {0.0, 4.0, -2.0, 6.0};
+    std::vector<VertexId> active = {1, 2, 3};
+    // mean |delta| = (4 + 2 + 6) / 3 = 4 -> gate = 0.5 * 4 = 2.
+    EXPECT_DOUBLE_EQ(
+        selectionThreshold(AccumKind::Sum, 1e-5, delta, active), 2.0);
+}
+
+TEST(SelectionThreshold, FloorsAtEpsilon)
+{
+    std::vector<Value> delta = {1e-9};
+    std::vector<VertexId> active = {0};
+    EXPECT_DOUBLE_EQ(
+        selectionThreshold(AccumKind::Sum, 1e-5, delta, active), 1e-5);
+}
+
+TEST(SelectionThreshold, MinMaxAndEmptyFallBackToEps)
+{
+    std::vector<Value> delta = {5.0};
+    std::vector<VertexId> active = {0};
+    EXPECT_DOUBLE_EQ(
+        selectionThreshold(AccumKind::Min, 1e-5, delta, active), 1e-5);
+    EXPECT_DOUBLE_EQ(selectionThreshold(AccumKind::Sum, 1e-5, delta,
+                                        {}),
+                     1e-5);
+}
+
+TEST(SelectionThreshold, GuaranteesProgress)
+{
+    // The maximum-magnitude active delta always clears the gate.
+    std::vector<Value> delta = {0.1, 0.2, 0.9};
+    std::vector<VertexId> active = {0, 1, 2};
+    const Value gate =
+        selectionThreshold(AccumKind::Sum, 1e-5, delta, active);
+    EXPECT_TRUE(clearsGate(AccumKind::Sum, 0.0, 0.9, gate));
+}
+
+TEST(ClearsGate, SumComparesMagnitude)
+{
+    EXPECT_TRUE(clearsGate(AccumKind::Sum, 0.0, 3.0, 2.0));
+    EXPECT_TRUE(clearsGate(AccumKind::Sum, 0.0, -3.0, 2.0));
+    EXPECT_FALSE(clearsGate(AccumKind::Sum, 0.0, 1.0, 2.0));
+}
+
+TEST(ClearsGate, MinMaxRequireStrictImprovement)
+{
+    EXPECT_TRUE(clearsGate(AccumKind::Min, 5.0, 4.0, 0.0));
+    EXPECT_FALSE(clearsGate(AccumKind::Min, 5.0, 5.0, 0.0));
+    EXPECT_TRUE(clearsGate(AccumKind::Max, 5.0, 6.0, 0.0));
+    EXPECT_FALSE(clearsGate(AccumKind::Max, 5.0, 4.0, 0.0));
+}
+
+TEST(WorthChasing, SumMatchesGate)
+{
+    EXPECT_TRUE(worthChasing(AccumKind::Sum, 0.0, 3.0, 2.0));
+    EXPECT_FALSE(worthChasing(AccumKind::Sum, 0.0, 1.0, 2.0));
+}
+
+TEST(WorthChasing, MinNeedsMarginOverFiniteState)
+{
+    // 5% margin: 4.7 vs 5.0 is not worth a chase, 4.0 is.
+    EXPECT_FALSE(worthChasing(AccumKind::Min, 5.0, 4.8, 0.0));
+    EXPECT_TRUE(worthChasing(AccumKind::Min, 5.0, 4.0, 0.0));
+    // First arrival at an unreached vertex is always chased.
+    EXPECT_TRUE(worthChasing(AccumKind::Min, kInfinity, 100.0, 0.0));
+    EXPECT_FALSE(worthChasing(AccumKind::Min, kInfinity, kInfinity,
+                              0.0));
+}
+
+TEST(WorthChasing, MaxIsSymmetric)
+{
+    EXPECT_FALSE(worthChasing(AccumKind::Max, 5.0, 5.1, 0.0));
+    EXPECT_TRUE(worthChasing(AccumKind::Max, 5.0, 6.0, 0.0));
+    EXPECT_TRUE(worthChasing(AccumKind::Max, -kInfinity, 0.0, 0.0));
+}
+
+} // namespace
+} // namespace depgraph::runtime

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests for the Table IV area/power model: the derived numbers must
+ * land on the paper's reported values within tight bands.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/area.hh"
+
+namespace depgraph::sim
+{
+namespace
+{
+
+const AccelAreaResult &
+row(const std::vector<AccelAreaResult> &t, const std::string &name)
+{
+    for (const auto &r : t)
+        if (r.name == name)
+            return r;
+    ADD_FAILURE() << "missing row " << name;
+    static AccelAreaResult dummy;
+    return dummy;
+}
+
+TEST(AreaModel, TableHasFourAccelerators)
+{
+    const auto t = tableIV();
+    ASSERT_EQ(t.size(), 4u);
+    EXPECT_EQ(t[0].name, "HATS");
+    EXPECT_EQ(t[3].name, "DepGraph");
+}
+
+TEST(AreaModel, AreasMatchPaper)
+{
+    const auto t = tableIV();
+    EXPECT_NEAR(row(t, "HATS").areaMm2, 0.007, 0.001);
+    EXPECT_NEAR(row(t, "Minnow").areaMm2, 0.017, 0.002);
+    EXPECT_NEAR(row(t, "PHI").areaMm2, 0.008, 0.001);
+    EXPECT_NEAR(row(t, "DepGraph").areaMm2, 0.011, 0.001);
+}
+
+TEST(AreaModel, CorePercentagesMatchPaper)
+{
+    const auto t = tableIV();
+    EXPECT_NEAR(row(t, "HATS").pctCore, 0.38, 0.06);
+    EXPECT_NEAR(row(t, "Minnow").pctCore, 0.92, 0.10);
+    EXPECT_NEAR(row(t, "PHI").pctCore, 0.43, 0.06);
+    // The headline claim: DepGraph costs ~0.6% of a core.
+    EXPECT_NEAR(row(t, "DepGraph").pctCore, 0.61, 0.08);
+}
+
+TEST(AreaModel, PowerMatchesPaper)
+{
+    const auto t = tableIV();
+    EXPECT_NEAR(row(t, "HATS").powerMw, 425, 40);
+    EXPECT_NEAR(row(t, "Minnow").powerMw, 849, 80);
+    EXPECT_NEAR(row(t, "PHI").powerMw, 493, 50);
+    EXPECT_NEAR(row(t, "DepGraph").powerMw, 562, 55);
+}
+
+TEST(AreaModel, TdpPercentagesMatchPaper)
+{
+    const auto t = tableIV();
+    EXPECT_NEAR(row(t, "HATS").pctTdp, 0.22, 0.04);
+    EXPECT_NEAR(row(t, "Minnow").pctTdp, 0.43, 0.06);
+    EXPECT_NEAR(row(t, "PHI").pctTdp, 0.25, 0.04);
+    EXPECT_NEAR(row(t, "DepGraph").pctTdp, 0.29, 0.04);
+}
+
+TEST(AreaModel, DepGraphStorageIsStackPlusFifo)
+{
+    // Sec. IV-D: 6.1 Kbit stack + 4.8 Kbit FIFO edge buffer.
+    for (const auto &s : tableIVSpecs()) {
+        if (s.name == "DepGraph") {
+            EXPECT_DOUBLE_EQ(s.storageKbits, 10.9);
+        }
+    }
+}
+
+TEST(AreaModel, AreaScalesWithStorage)
+{
+    AccelAreaSpec small{"x", 1.0, 10.0};
+    AccelAreaSpec big{"x", 100.0, 10.0};
+    EXPECT_GT(deriveArea(big).areaMm2, deriveArea(small).areaMm2);
+}
+
+TEST(AreaModel, MinnowIsTheLargest)
+{
+    const auto t = tableIV();
+    for (const auto &r : t)
+        EXPECT_LE(r.areaMm2, row(t, "Minnow").areaMm2 + 1e-12);
+}
+
+} // namespace
+} // namespace depgraph::sim

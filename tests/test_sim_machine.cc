@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Tests for the machine model: hierarchy latencies, NoC distances,
+ * DRAM, coherence costs, address space, and stats plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/energy.hh"
+#include "sim/machine.hh"
+
+namespace depgraph::sim
+{
+namespace
+{
+
+MachineParams
+tinyParams()
+{
+    MachineParams p;
+    p.numCores = 4;
+    p.l1d = {1024, 2, 4, ReplPolicy::LRU};
+    p.l2 = {4096, 4, 7, ReplPolicy::LRU};
+    p.l3TotalBytes = 64 * 1024;
+    p.l3Banks = 4;
+    p.meshWidth = 2;
+    p.meshHeight = 2;
+    return p;
+}
+
+TEST(Machine, ColdMissGoesToMemory)
+{
+    Machine m(tinyParams());
+    const Addr a = m.mem().alloc("x", 4096);
+    const auto r = m.access(0, a, 8, false);
+    EXPECT_EQ(r.level, MemLevel::Mem);
+    EXPECT_GE(r.latency, m.params().dramLatency);
+}
+
+TEST(Machine, SecondAccessHitsL1)
+{
+    Machine m(tinyParams());
+    const Addr a = m.mem().alloc("x", 4096);
+    m.access(0, a, 8, false);
+    const auto r = m.access(0, a, 8, false);
+    EXPECT_EQ(r.level, MemLevel::L1);
+    EXPECT_EQ(r.latency, m.params().l1d.latency);
+}
+
+TEST(Machine, LatencyOrderingAcrossLevels)
+{
+    Machine m(tinyParams());
+    const Addr a = m.mem().alloc("x", 1 << 20);
+    const auto mem = m.access(0, a, 8, false);
+    const auto l1 = m.access(0, a, 8, false);
+    // Evict from L1 by touching conflicting lines, then re-access: L2.
+    // L1 is 1 KB 2-way with 8 sets; lines 512 B apart share a set.
+    for (int i = 1; i <= 4; ++i)
+        m.access(0, a + i * 512, 8, false);
+    const auto l2 = m.access(0, a, 8, false);
+    EXPECT_LT(l1.latency, l2.latency);
+    EXPECT_LT(l2.latency, mem.latency);
+    EXPECT_EQ(l2.level, MemLevel::L2);
+}
+
+TEST(Machine, AccessFromL2SkipsL1)
+{
+    Machine m(tinyParams());
+    const Addr a = m.mem().alloc("x", 4096);
+    m.accessFromL2(0, a, 8, false);
+    // The line is in L2 but not in L1: a core access must be L2-level.
+    const auto r = m.access(0, a, 8, false);
+    EXPECT_EQ(r.level, MemLevel::L2);
+}
+
+TEST(Machine, MultiLineAccessSumsLatency)
+{
+    Machine m(tinyParams());
+    const Addr a = m.mem().alloc("x", 4096);
+    m.access(0, a, 8, false);
+    m.access(0, a + 64, 8, false);
+    // Both lines hot: an access spanning both costs two L1 hits.
+    const auto r = m.access(0, a + 60, 8, false);
+    EXPECT_EQ(r.latency, 2 * m.params().l1d.latency);
+}
+
+TEST(Machine, WriteInvalidatesRemoteCopy)
+{
+    Machine m(tinyParams());
+    const Addr a = m.mem().alloc("x", 4096);
+    m.access(0, a, 8, true);  // core 0 owns the line dirty
+    m.access(1, a, 8, true);  // core 1 writes: invalidation
+    const auto s = m.stats();
+    EXPECT_EQ(s.invalidations, 1u);
+    // Core 0 lost its copy: next access by core 0 cannot be L1.
+    const auto r = m.access(0, a, 8, false);
+    EXPECT_NE(r.level, MemLevel::L1);
+}
+
+TEST(Machine, ReadOfRemoteDirtyLineIsCharged)
+{
+    Machine m(tinyParams());
+    const Addr a = m.mem().alloc("x", 4096);
+    m.access(0, a, 8, true);
+    m.access(1, a, 8, false);
+    EXPECT_EQ(m.stats().remoteDirtyHits, 1u);
+}
+
+TEST(Machine, StatsAccumulateAndClear)
+{
+    Machine m(tinyParams());
+    const Addr a = m.mem().alloc("x", 4096);
+    m.access(0, a, 8, false);
+    m.access(0, a, 8, false);
+    auto s = m.stats();
+    EXPECT_EQ(s.accesses, 2u);
+    EXPECT_GE(s.l1.hits, 1u);
+    EXPECT_GE(s.dramAccesses, 1u);
+    m.clearStats();
+    s = m.stats();
+    EXPECT_EQ(s.accesses, 0u);
+    EXPECT_EQ(s.l1.hits + s.l1.misses, 0u);
+}
+
+TEST(Machine, FlushForgetsContents)
+{
+    Machine m(tinyParams());
+    const Addr a = m.mem().alloc("x", 4096);
+    m.access(0, a, 8, false);
+    m.flushCaches();
+    const auto r = m.access(0, a, 8, false);
+    EXPECT_EQ(r.level, MemLevel::Mem);
+}
+
+TEST(Noc, ManhattanHops)
+{
+    MachineParams p;
+    p.meshWidth = 8;
+    p.meshHeight = 8;
+    MeshNoc n(p);
+    EXPECT_EQ(n.hops(0, 0), 0u);
+    EXPECT_EQ(n.hops(0, 7), 7u);   // same row
+    EXPECT_EQ(n.hops(0, 56), 7u);  // same column
+    EXPECT_EQ(n.hops(0, 63), 14u); // opposite corner
+    EXPECT_EQ(n.hops(63, 0), 14u); // symmetric
+}
+
+TEST(Noc, TransferChargesHopLatencyAndCountsTraffic)
+{
+    MachineParams p;
+    p.hopCycles = 3;
+    MeshNoc n(p);
+    const Cycles lat = n.transfer(0, 63);
+    EXPECT_EQ(lat, 14u * 3u);
+    EXPECT_EQ(n.hopCount(), 14u);
+    EXPECT_EQ(n.messages(), 1u);
+}
+
+TEST(Dram, LatencyIncludesQueueingUnderPressure)
+{
+    MachineParams p;
+    Dram d(p);
+    const Cycles first = d.access(0x40);
+    Cycles last = first;
+    for (int i = 0; i < 32; ++i)
+        last = d.access(0x40); // hammer one channel
+    EXPECT_GE(last, first);
+    EXPECT_EQ(d.accesses(), 33u);
+}
+
+TEST(AddressSpace, AllocatesDisjointAlignedRegions)
+{
+    AddressSpace as;
+    const Addr a = as.alloc("a", 100);
+    const Addr b = as.alloc("b", 100);
+    EXPECT_EQ(a % 64, 0u);
+    EXPECT_EQ(b % 64, 0u);
+    EXPECT_GE(b, a + 100);
+    EXPECT_EQ(as.regionOf(a)->name, "a");
+    EXPECT_EQ(as.regionOf(b + 50)->name, "b");
+    EXPECT_EQ(as.regionOf(0x10), nullptr);
+    EXPECT_EQ(as.bytesOf("a"), 100u);
+    EXPECT_EQ(as.totalBytes(), 200u);
+}
+
+TEST(HotRegions, MembershipAndClear)
+{
+    HotRegions h;
+    EXPECT_TRUE(h.empty());
+    h.addRange(0x1000, 0x100);
+    EXPECT_TRUE(h.contains(0x1000));
+    EXPECT_TRUE(h.contains(0x10ff));
+    EXPECT_FALSE(h.contains(0x1100));
+    h.clear();
+    EXPECT_FALSE(h.contains(0x1000));
+}
+
+TEST(Energy, BreakdownScalesWithEvents)
+{
+    MachineStats s;
+    s.l1.hits = 1000;
+    s.l2.hits = 100;
+    s.l3.hits = 10;
+    s.dramAccesses = 5;
+    s.nocHops = 50;
+    const auto e1 = computeEnergy(s, 10000, 1000, 100);
+    MachineStats s2 = s;
+    s2.dramAccesses = 10;
+    const auto e2 = computeEnergy(s2, 10000, 1000, 100);
+    EXPECT_GT(e2.dramMj, e1.dramMj);
+    EXPECT_DOUBLE_EQ(e1.coreMj, e2.coreMj);
+    EXPECT_GT(e1.totalMj(), 0.0);
+}
+
+TEST(Energy, IdleCheaperThanBusy)
+{
+    MachineStats s;
+    const auto busy = computeEnergy(s, 1000, 0, 0);
+    const auto idle = computeEnergy(s, 0, 1000, 0);
+    EXPECT_GT(busy.coreMj, idle.coreMj);
+}
+
+} // namespace
+} // namespace depgraph::sim
