@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_updates.dir/fig10_updates.cc.o"
+  "CMakeFiles/fig10_updates.dir/fig10_updates.cc.o.d"
+  "fig10_updates"
+  "fig10_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig13_scalability.cc" "bench/CMakeFiles/fig13_scalability.dir/fig13_scalability.cc.o" "gcc" "bench/CMakeFiles/fig13_scalability.dir/fig13_scalability.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dg_core_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/depgraph/CMakeFiles/dg_depgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/dg_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/dg_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/gas/CMakeFiles/dg_gas.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

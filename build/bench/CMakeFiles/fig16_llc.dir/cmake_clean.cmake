@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_llc.dir/fig16_llc.cc.o"
+  "CMakeFiles/fig16_llc.dir/fig16_llc.cc.o.d"
+  "fig16_llc"
+  "fig16_llc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_llc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

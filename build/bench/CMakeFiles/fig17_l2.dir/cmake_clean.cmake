@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_l2.dir/fig17_l2.cc.o"
+  "CMakeFiles/fig17_l2.dir/fig17_l2.cc.o.d"
+  "fig17_l2"
+  "fig17_l2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_l2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

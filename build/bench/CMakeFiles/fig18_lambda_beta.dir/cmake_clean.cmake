@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_lambda_beta.dir/fig18_lambda_beta.cc.o"
+  "CMakeFiles/fig18_lambda_beta.dir/fig18_lambda_beta.cc.o.d"
+  "fig18_lambda_beta"
+  "fig18_lambda_beta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_lambda_beta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

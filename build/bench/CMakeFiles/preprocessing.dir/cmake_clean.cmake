@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preprocessing.dir/preprocessing.cc.o"
+  "CMakeFiles/preprocessing.dir/preprocessing.cc.o.d"
+  "preprocessing"
+  "preprocessing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preprocessing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_area_power.dir/table4_area_power.cc.o"
+  "CMakeFiles/table4_area_power.dir/table4_area_power.cc.o.d"
+  "table4_area_power"
+  "table4_area_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_area_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

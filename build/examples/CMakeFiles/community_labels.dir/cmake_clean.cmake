@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/community_labels.dir/community_labels.cpp.o"
+  "CMakeFiles/community_labels.dir/community_labels.cpp.o.d"
+  "community_labels"
+  "community_labels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/community_labels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

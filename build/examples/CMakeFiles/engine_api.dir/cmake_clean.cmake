@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_api.dir/engine_api.cpp.o"
+  "CMakeFiles/engine_api.dir/engine_api.cpp.o.d"
+  "engine_api"
+  "engine_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

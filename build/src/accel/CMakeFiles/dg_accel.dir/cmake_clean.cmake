@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dg_accel.dir/accelerators.cc.o"
+  "CMakeFiles/dg_accel.dir/accelerators.cc.o.d"
+  "libdg_accel.a"
+  "libdg_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dg_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dg_common.dir/logging.cc.o"
+  "CMakeFiles/dg_common.dir/logging.cc.o.d"
+  "CMakeFiles/dg_common.dir/options.cc.o"
+  "CMakeFiles/dg_common.dir/options.cc.o.d"
+  "CMakeFiles/dg_common.dir/table.cc.o"
+  "CMakeFiles/dg_common.dir/table.cc.o.d"
+  "CMakeFiles/dg_common.dir/trace.cc.o"
+  "CMakeFiles/dg_common.dir/trace.cc.o.d"
+  "libdg_common.a"
+  "libdg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

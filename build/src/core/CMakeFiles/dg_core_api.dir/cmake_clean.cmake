@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dg_core_api.dir/depgraph_system.cc.o"
+  "CMakeFiles/dg_core_api.dir/depgraph_system.cc.o.d"
+  "libdg_core_api.a"
+  "libdg_core_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dg_core_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

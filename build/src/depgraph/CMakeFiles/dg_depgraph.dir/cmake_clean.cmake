@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dg_depgraph.dir/api.cc.o"
+  "CMakeFiles/dg_depgraph.dir/api.cc.o.d"
+  "CMakeFiles/dg_depgraph.dir/ddmu.cc.o"
+  "CMakeFiles/dg_depgraph.dir/ddmu.cc.o.d"
+  "CMakeFiles/dg_depgraph.dir/executor.cc.o"
+  "CMakeFiles/dg_depgraph.dir/executor.cc.o.d"
+  "CMakeFiles/dg_depgraph.dir/hub_index.cc.o"
+  "CMakeFiles/dg_depgraph.dir/hub_index.cc.o.d"
+  "libdg_depgraph.a"
+  "libdg_depgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dg_depgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gas/accum.cc" "src/gas/CMakeFiles/dg_gas.dir/accum.cc.o" "gcc" "src/gas/CMakeFiles/dg_gas.dir/accum.cc.o.d"
+  "/root/repo/src/gas/algorithms.cc" "src/gas/CMakeFiles/dg_gas.dir/algorithms.cc.o" "gcc" "src/gas/CMakeFiles/dg_gas.dir/algorithms.cc.o.d"
+  "/root/repo/src/gas/incremental.cc" "src/gas/CMakeFiles/dg_gas.dir/incremental.cc.o" "gcc" "src/gas/CMakeFiles/dg_gas.dir/incremental.cc.o.d"
+  "/root/repo/src/gas/model.cc" "src/gas/CMakeFiles/dg_gas.dir/model.cc.o" "gcc" "src/gas/CMakeFiles/dg_gas.dir/model.cc.o.d"
+  "/root/repo/src/gas/reference.cc" "src/gas/CMakeFiles/dg_gas.dir/reference.cc.o" "gcc" "src/gas/CMakeFiles/dg_gas.dir/reference.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/dg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

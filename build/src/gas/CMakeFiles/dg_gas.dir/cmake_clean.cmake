@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dg_gas.dir/accum.cc.o"
+  "CMakeFiles/dg_gas.dir/accum.cc.o.d"
+  "CMakeFiles/dg_gas.dir/algorithms.cc.o"
+  "CMakeFiles/dg_gas.dir/algorithms.cc.o.d"
+  "CMakeFiles/dg_gas.dir/incremental.cc.o"
+  "CMakeFiles/dg_gas.dir/incremental.cc.o.d"
+  "CMakeFiles/dg_gas.dir/model.cc.o"
+  "CMakeFiles/dg_gas.dir/model.cc.o.d"
+  "CMakeFiles/dg_gas.dir/reference.cc.o"
+  "CMakeFiles/dg_gas.dir/reference.cc.o.d"
+  "libdg_gas.a"
+  "libdg_gas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dg_gas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/analytics.cc" "src/graph/CMakeFiles/dg_graph.dir/analytics.cc.o" "gcc" "src/graph/CMakeFiles/dg_graph.dir/analytics.cc.o.d"
+  "/root/repo/src/graph/builder.cc" "src/graph/CMakeFiles/dg_graph.dir/builder.cc.o" "gcc" "src/graph/CMakeFiles/dg_graph.dir/builder.cc.o.d"
+  "/root/repo/src/graph/core_paths.cc" "src/graph/CMakeFiles/dg_graph.dir/core_paths.cc.o" "gcc" "src/graph/CMakeFiles/dg_graph.dir/core_paths.cc.o.d"
+  "/root/repo/src/graph/csr.cc" "src/graph/CMakeFiles/dg_graph.dir/csr.cc.o" "gcc" "src/graph/CMakeFiles/dg_graph.dir/csr.cc.o.d"
+  "/root/repo/src/graph/datasets.cc" "src/graph/CMakeFiles/dg_graph.dir/datasets.cc.o" "gcc" "src/graph/CMakeFiles/dg_graph.dir/datasets.cc.o.d"
+  "/root/repo/src/graph/degree.cc" "src/graph/CMakeFiles/dg_graph.dir/degree.cc.o" "gcc" "src/graph/CMakeFiles/dg_graph.dir/degree.cc.o.d"
+  "/root/repo/src/graph/edge_list.cc" "src/graph/CMakeFiles/dg_graph.dir/edge_list.cc.o" "gcc" "src/graph/CMakeFiles/dg_graph.dir/edge_list.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "src/graph/CMakeFiles/dg_graph.dir/generators.cc.o" "gcc" "src/graph/CMakeFiles/dg_graph.dir/generators.cc.o.d"
+  "/root/repo/src/graph/hub.cc" "src/graph/CMakeFiles/dg_graph.dir/hub.cc.o" "gcc" "src/graph/CMakeFiles/dg_graph.dir/hub.cc.o.d"
+  "/root/repo/src/graph/partition.cc" "src/graph/CMakeFiles/dg_graph.dir/partition.cc.o" "gcc" "src/graph/CMakeFiles/dg_graph.dir/partition.cc.o.d"
+  "/root/repo/src/graph/reorder.cc" "src/graph/CMakeFiles/dg_graph.dir/reorder.cc.o" "gcc" "src/graph/CMakeFiles/dg_graph.dir/reorder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

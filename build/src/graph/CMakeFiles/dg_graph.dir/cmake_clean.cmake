@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dg_graph.dir/analytics.cc.o"
+  "CMakeFiles/dg_graph.dir/analytics.cc.o.d"
+  "CMakeFiles/dg_graph.dir/builder.cc.o"
+  "CMakeFiles/dg_graph.dir/builder.cc.o.d"
+  "CMakeFiles/dg_graph.dir/core_paths.cc.o"
+  "CMakeFiles/dg_graph.dir/core_paths.cc.o.d"
+  "CMakeFiles/dg_graph.dir/csr.cc.o"
+  "CMakeFiles/dg_graph.dir/csr.cc.o.d"
+  "CMakeFiles/dg_graph.dir/datasets.cc.o"
+  "CMakeFiles/dg_graph.dir/datasets.cc.o.d"
+  "CMakeFiles/dg_graph.dir/degree.cc.o"
+  "CMakeFiles/dg_graph.dir/degree.cc.o.d"
+  "CMakeFiles/dg_graph.dir/edge_list.cc.o"
+  "CMakeFiles/dg_graph.dir/edge_list.cc.o.d"
+  "CMakeFiles/dg_graph.dir/generators.cc.o"
+  "CMakeFiles/dg_graph.dir/generators.cc.o.d"
+  "CMakeFiles/dg_graph.dir/hub.cc.o"
+  "CMakeFiles/dg_graph.dir/hub.cc.o.d"
+  "CMakeFiles/dg_graph.dir/partition.cc.o"
+  "CMakeFiles/dg_graph.dir/partition.cc.o.d"
+  "CMakeFiles/dg_graph.dir/reorder.cc.o"
+  "CMakeFiles/dg_graph.dir/reorder.cc.o.d"
+  "libdg_graph.a"
+  "libdg_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dg_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

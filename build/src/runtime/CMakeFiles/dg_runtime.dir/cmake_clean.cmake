@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dg_runtime.dir/sequential.cc.o"
+  "CMakeFiles/dg_runtime.dir/sequential.cc.o.d"
+  "CMakeFiles/dg_runtime.dir/soft_engine.cc.o"
+  "CMakeFiles/dg_runtime.dir/soft_engine.cc.o.d"
+  "libdg_runtime.a"
+  "libdg_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dg_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

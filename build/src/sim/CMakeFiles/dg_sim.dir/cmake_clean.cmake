@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dg_sim.dir/area.cc.o"
+  "CMakeFiles/dg_sim.dir/area.cc.o.d"
+  "CMakeFiles/dg_sim.dir/cache.cc.o"
+  "CMakeFiles/dg_sim.dir/cache.cc.o.d"
+  "CMakeFiles/dg_sim.dir/energy.cc.o"
+  "CMakeFiles/dg_sim.dir/energy.cc.o.d"
+  "CMakeFiles/dg_sim.dir/machine.cc.o"
+  "CMakeFiles/dg_sim.dir/machine.cc.o.d"
+  "CMakeFiles/dg_sim.dir/params.cc.o"
+  "CMakeFiles/dg_sim.dir/params.cc.o.d"
+  "libdg_sim.a"
+  "libdg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common_trace.dir/test_common_trace.cc.o"
+  "CMakeFiles/test_common_trace.dir/test_common_trace.cc.o.d"
+  "test_common_trace"
+  "test_common_trace.pdb"
+  "test_common_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

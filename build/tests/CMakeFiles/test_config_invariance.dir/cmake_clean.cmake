@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_config_invariance.dir/test_config_invariance.cc.o"
+  "CMakeFiles/test_config_invariance.dir/test_config_invariance.cc.o.d"
+  "test_config_invariance"
+  "test_config_invariance.pdb"
+  "test_config_invariance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_config_invariance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

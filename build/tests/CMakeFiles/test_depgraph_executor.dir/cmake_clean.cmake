@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_depgraph_executor.dir/test_depgraph_executor.cc.o"
+  "CMakeFiles/test_depgraph_executor.dir/test_depgraph_executor.cc.o.d"
+  "test_depgraph_executor"
+  "test_depgraph_executor.pdb"
+  "test_depgraph_executor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_depgraph_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

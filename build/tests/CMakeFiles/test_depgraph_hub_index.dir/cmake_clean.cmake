@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_depgraph_hub_index.dir/test_depgraph_hub_index.cc.o"
+  "CMakeFiles/test_depgraph_hub_index.dir/test_depgraph_hub_index.cc.o.d"
+  "test_depgraph_hub_index"
+  "test_depgraph_hub_index.pdb"
+  "test_depgraph_hub_index[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_depgraph_hub_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

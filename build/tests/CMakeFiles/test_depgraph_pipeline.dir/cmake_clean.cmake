@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_depgraph_pipeline.dir/test_depgraph_pipeline.cc.o"
+  "CMakeFiles/test_depgraph_pipeline.dir/test_depgraph_pipeline.cc.o.d"
+  "test_depgraph_pipeline"
+  "test_depgraph_pipeline.pdb"
+  "test_depgraph_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_depgraph_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gas_algorithms.dir/test_gas_algorithms.cc.o"
+  "CMakeFiles/test_gas_algorithms.dir/test_gas_algorithms.cc.o.d"
+  "test_gas_algorithms"
+  "test_gas_algorithms.pdb"
+  "test_gas_algorithms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gas_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

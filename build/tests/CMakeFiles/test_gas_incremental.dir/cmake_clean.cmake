@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gas_incremental.dir/test_gas_incremental.cc.o"
+  "CMakeFiles/test_gas_incremental.dir/test_gas_incremental.cc.o.d"
+  "test_gas_incremental"
+  "test_gas_incremental.pdb"
+  "test_gas_incremental[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gas_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gas_model.dir/test_gas_model.cc.o"
+  "CMakeFiles/test_gas_model.dir/test_gas_model.cc.o.d"
+  "test_gas_model"
+  "test_gas_model.pdb"
+  "test_gas_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gas_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_builder.dir/test_graph_builder.cc.o"
+  "CMakeFiles/test_graph_builder.dir/test_graph_builder.cc.o.d"
+  "test_graph_builder"
+  "test_graph_builder.pdb"
+  "test_graph_builder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_core_paths.dir/test_graph_core_paths.cc.o"
+  "CMakeFiles/test_graph_core_paths.dir/test_graph_core_paths.cc.o.d"
+  "test_graph_core_paths"
+  "test_graph_core_paths.pdb"
+  "test_graph_core_paths[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_core_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

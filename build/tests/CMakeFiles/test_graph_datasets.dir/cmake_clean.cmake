@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_datasets.dir/test_graph_datasets.cc.o"
+  "CMakeFiles/test_graph_datasets.dir/test_graph_datasets.cc.o.d"
+  "test_graph_datasets"
+  "test_graph_datasets.pdb"
+  "test_graph_datasets[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_degree.dir/test_graph_degree.cc.o"
+  "CMakeFiles/test_graph_degree.dir/test_graph_degree.cc.o.d"
+  "test_graph_degree"
+  "test_graph_degree.pdb"
+  "test_graph_degree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_hub.dir/test_graph_hub.cc.o"
+  "CMakeFiles/test_graph_hub.dir/test_graph_hub.cc.o.d"
+  "test_graph_hub"
+  "test_graph_hub.pdb"
+  "test_graph_hub[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_hub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_reorder.dir/test_graph_reorder.cc.o"
+  "CMakeFiles/test_graph_reorder.dir/test_graph_reorder.cc.o.d"
+  "test_graph_reorder"
+  "test_graph_reorder.pdb"
+  "test_graph_reorder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_reorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

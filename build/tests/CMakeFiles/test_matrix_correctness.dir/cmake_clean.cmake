@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matrix_correctness.dir/test_matrix_correctness.cc.o"
+  "CMakeFiles/test_matrix_correctness.dir/test_matrix_correctness.cc.o.d"
+  "test_matrix_correctness"
+  "test_matrix_correctness.pdb"
+  "test_matrix_correctness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matrix_correctness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_engines.dir/test_runtime_engines.cc.o"
+  "CMakeFiles/test_runtime_engines.dir/test_runtime_engines.cc.o.d"
+  "test_runtime_engines"
+  "test_runtime_engines.pdb"
+  "test_runtime_engines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_selective.dir/test_runtime_selective.cc.o"
+  "CMakeFiles/test_runtime_selective.dir/test_runtime_selective.cc.o.d"
+  "test_runtime_selective"
+  "test_runtime_selective.pdb"
+  "test_runtime_selective[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_selective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dggen.dir/dggen.cc.o"
+  "CMakeFiles/dggen.dir/dggen.cc.o.d"
+  "dggen"
+  "dggen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dggen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

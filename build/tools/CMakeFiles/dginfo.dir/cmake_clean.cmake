@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dginfo.dir/dginfo.cc.o"
+  "CMakeFiles/dginfo.dir/dginfo.cc.o.d"
+  "dginfo"
+  "dginfo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dginfo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dginfo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgrun.dir/dgrun.cc.o"
+  "CMakeFiles/dgrun.dir/dgrun.cc.o.d"
+  "dgrun"
+  "dgrun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgrun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

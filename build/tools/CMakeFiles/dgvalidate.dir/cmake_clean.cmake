@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgvalidate.dir/dgvalidate.cc.o"
+  "CMakeFiles/dgvalidate.dir/dgvalidate.cc.o.d"
+  "dgvalidate"
+  "dgvalidate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgvalidate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
