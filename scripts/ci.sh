@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# CI driver: build + tier-1 ctest under each sanitizer mode.
+#
+#   scripts/ci.sh                 # all modes: release, asan, tsan
+#   scripts/ci.sh release         # plain Release build + full ctest
+#   scripts/ci.sh asan            # AddressSanitizer + UBSan
+#   scripts/ci.sh tsan            # ThreadSanitizer; service/concurrency
+#                                 # tests (label `tsan`) must stay clean
+#
+# Extra args after the mode are forwarded to ctest, e.g.
+#   scripts/ci.sh tsan -R Service
+#
+# Env: JOBS (parallelism, default nproc), GENERATOR (cmake -G value).
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+
+run_mode() {
+    local mode="$1"
+    shift
+    local dir="build-ci-${mode}"
+    local cmake_args=(-DCMAKE_BUILD_TYPE=Release)
+    local ctest_args=(--output-on-failure -j "${JOBS}")
+
+    case "${mode}" in
+    release) ;;
+    asan)
+        cmake_args+=(
+            -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer -g"
+            -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined")
+        ;;
+    tsan)
+        cmake_args+=(
+            -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer -g -O1"
+            -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread")
+        # TSan's value is the threaded code; the single-threaded
+        # simulator suite runs 5-20x slower under it for no extra
+        # signal, so this mode runs only the `tsan`-labelled tests.
+        ctest_args+=(-L tsan)
+        ;;
+    *)
+        echo "unknown mode '${mode}' (want release|asan|tsan)" >&2
+        exit 2
+        ;;
+    esac
+
+    echo "=== [${mode}] configure ==="
+    cmake -B "${dir}" -S . ${GENERATOR:+-G "${GENERATOR}"} \
+        "${cmake_args[@]}"
+    echo "=== [${mode}] build ==="
+    cmake --build "${dir}" -j "${JOBS}"
+    echo "=== [${mode}] test ==="
+    (cd "${dir}" && ctest "${ctest_args[@]}" "$@")
+    echo "=== [${mode}] OK ==="
+}
+
+if [[ $# -eq 0 ]]; then
+    for mode in release asan tsan; do
+        run_mode "${mode}"
+    done
+else
+    run_mode "$@"
+fi

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Bounded multi-producer / multi-consumer job queue.
+ *
+ * The service's backpressure point: producers either block for space
+ * or get an immediate Full, per call site. close() wakes everyone;
+ * consumers drain the remaining items before seeing Closed, so a
+ * graceful shutdown never drops accepted work.
+ *
+ * A mutex + two condition variables is deliberately boring: the queue
+ * hands out whole requests (milliseconds of simulated-machine work
+ * each), so queue overhead is noise and clarity under TSan wins.
+ */
+
+#ifndef DEPGRAPH_SERVICE_JOB_QUEUE_HH
+#define DEPGRAPH_SERVICE_JOB_QUEUE_HH
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+namespace depgraph::service
+{
+
+enum class PushResult
+{
+    Ok,
+    Full,   ///< reject policy and no space
+    Closed, ///< queue is shut down; item not accepted
+};
+
+template <typename T>
+class JobQueue
+{
+  public:
+    explicit JobQueue(std::size_t capacity)
+        : capacity_(capacity ? capacity : 1)
+    {}
+
+    /** Non-blocking push: Full when at capacity. */
+    PushResult
+    tryPush(T item)
+    {
+        {
+            std::lock_guard lk(mu_);
+            if (closed_)
+                return PushResult::Closed;
+            if (items_.size() >= capacity_)
+                return PushResult::Full;
+            items_.push_back(std::move(item));
+            highWater_ = std::max(highWater_, items_.size());
+        }
+        consumerCv_.notify_one();
+        return PushResult::Ok;
+    }
+
+    /** Blocking push: waits for space; Closed if shut down meanwhile. */
+    PushResult
+    push(T item)
+    {
+        {
+            std::unique_lock lk(mu_);
+            producerCv_.wait(lk, [&] {
+                return closed_ || items_.size() < capacity_;
+            });
+            if (closed_)
+                return PushResult::Closed;
+            items_.push_back(std::move(item));
+            highWater_ = std::max(highWater_, items_.size());
+        }
+        consumerCv_.notify_one();
+        return PushResult::Ok;
+    }
+
+    /**
+     * Blocking pop. Returns false only once the queue is closed AND
+     * drained, so pending work survives shutdown.
+     */
+    bool
+    pop(T &out)
+    {
+        std::unique_lock lk(mu_);
+        consumerCv_.wait(lk, [&] { return closed_ || !items_.empty(); });
+        if (items_.empty())
+            return false;
+        out = std::move(items_.front());
+        items_.pop_front();
+        lk.unlock();
+        producerCv_.notify_one();
+        return true;
+    }
+
+    /** Stop accepting items and wake all waiters. */
+    void
+    close()
+    {
+        {
+            std::lock_guard lk(mu_);
+            closed_ = true;
+        }
+        consumerCv_.notify_all();
+        producerCv_.notify_all();
+    }
+
+    bool
+    closed() const
+    {
+        std::lock_guard lk(mu_);
+        return closed_;
+    }
+
+    std::size_t
+    depth() const
+    {
+        std::lock_guard lk(mu_);
+        return items_.size();
+    }
+
+    /** Deepest the queue has ever been (backpressure indicator). */
+    std::size_t
+    highWater() const
+    {
+        std::lock_guard lk(mu_);
+        return highWater_;
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    const std::size_t capacity_;
+    mutable std::mutex mu_;
+    std::condition_variable consumerCv_;
+    std::condition_variable producerCv_;
+    std::deque<T> items_;
+    std::size_t highWater_ = 0;
+    bool closed_ = false;
+};
+
+} // namespace depgraph::service
+
+#endif // DEPGRAPH_SERVICE_JOB_QUEUE_HH

@@ -1,0 +1,270 @@
+#include "service/protocol.hh"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "graph/generators.hh"
+
+namespace depgraph::service
+{
+
+namespace
+{
+
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::istringstream is(line);
+    std::vector<std::string> toks;
+    std::string t;
+    while (is >> t)
+        toks.push_back(t);
+    return toks;
+}
+
+bool
+parseU64(const std::string &s, std::uint64_t &out)
+{
+    try {
+        std::size_t pos = 0;
+        out = std::stoull(s, &pos);
+        return pos == s.size();
+    } catch (...) {
+        return false;
+    }
+}
+
+bool
+parseDouble(const std::string &s, double &out)
+{
+    try {
+        std::size_t pos = 0;
+        out = std::stod(s, &pos);
+        return pos == s.size();
+    } catch (...) {
+        return false;
+    }
+}
+
+CommandResult
+err(const std::string &reason)
+{
+    return {"err: " + reason};
+}
+
+const char *kHelp =
+    "commands:\n"
+    "  load <name> powerlaw <n> [alpha] [degree] [seed]\n"
+    "  load <name> grid <rows> <cols>\n"
+    "  load <name> path <n> | ring <n>\n"
+    "  load <name> chain <communities> <community_size>\n"
+    "  query <name> [algo] [solution] [top]\n"
+    "  update <name> <src> <dst> [weight]\n"
+    "  flush <name>\n"
+    "  graphs | stats | drain | help | quit";
+
+CommandResult
+doLoad(GraphService &svc, const std::vector<std::string> &t)
+{
+    if (t.size() < 4)
+        return err("usage: load <name> <gen> <args...>");
+    const auto &name = t[1];
+    const auto &gen = t[2];
+    std::uint64_t a = 0, b = 0;
+    if (!parseU64(t[3], a))
+        return err("bad number '" + t[3] + "'");
+
+    graph::Graph g;
+    if (gen == "powerlaw") {
+        double alpha = 2.0, degree = 8.0;
+        graph::GenOptions gopt;
+        if (t.size() > 4 && !parseDouble(t[4], alpha))
+            return err("bad alpha '" + t[4] + "'");
+        if (t.size() > 5 && !parseDouble(t[5], degree))
+            return err("bad degree '" + t[5] + "'");
+        if (t.size() > 6 && !parseU64(t[6], gopt.seed))
+            return err("bad seed '" + t[6] + "'");
+        g = graph::powerLaw(static_cast<VertexId>(a), alpha, degree,
+                            gopt);
+    } else if (gen == "grid") {
+        if (t.size() < 5 || !parseU64(t[4], b))
+            return err("usage: load <name> grid <rows> <cols>");
+        g = graph::grid(static_cast<VertexId>(a),
+                        static_cast<VertexId>(b));
+    } else if (gen == "path") {
+        g = graph::path(static_cast<VertexId>(a));
+    } else if (gen == "ring") {
+        g = graph::ring(static_cast<VertexId>(a));
+    } else if (gen == "chain") {
+        if (t.size() < 5 || !parseU64(t[4], b))
+            return err("usage: load <name> chain <communities> <size>");
+        g = graph::communityChain(static_cast<VertexId>(a),
+                                  static_cast<VertexId>(b), 2.0, 6.0);
+    } else {
+        return err("unknown generator '" + gen + "'");
+    }
+
+    std::ostringstream os;
+    os << "ok v=" << svc.loadGraph(name, std::move(g)) << " graph="
+       << name;
+    return {os.str()};
+}
+
+CommandResult
+doQuery(GraphService &svc, const std::vector<std::string> &t)
+{
+    if (t.size() < 2)
+        return err("usage: query <name> [algo] [solution] [top]");
+    QuerySpec spec;
+    spec.graph = t[1];
+    if (t.size() > 2)
+        spec.algorithm = t[2];
+    if (t.size() > 3) {
+        // Accept any paper solution name; bad names must not kill the
+        // server, so scan instead of calling solutionFromName().
+        bool found = false;
+        for (auto s : allSolutions()) {
+            if (t[3] == solutionName(s)) {
+                spec.solution = s;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            return err("unknown solution '" + t[3] + "'");
+    }
+    std::uint64_t top = 3;
+    if (t.size() > 4 && !parseU64(t[4], top))
+        return err("bad top '" + t[4] + "'");
+
+    const auto r = svc.query(spec).get();
+    if (!r.ok())
+        return err(std::string(statusName(r.status)) + " "
+                   + r.error);
+
+    std::ostringstream os;
+    os << "ok v=" << r.version << " algo=" << spec.algorithm
+       << (r.cacheHit ? " cache=hit" : " cache=miss");
+    if (!r.cacheHit)
+        os << " updates=" << r.metrics.updates << " makespan="
+           << r.metrics.makespan;
+    if (r.states && top > 0) {
+        std::vector<VertexId> order(r.states->size());
+        for (VertexId v = 0; v < order.size(); ++v)
+            order[v] = v;
+        const auto n = std::min<std::size_t>(top, order.size());
+        std::partial_sort(order.begin(),
+                          order.begin()
+                              + static_cast<std::ptrdiff_t>(n),
+                          order.end(), [&](VertexId x, VertexId y) {
+                              return (*r.states)[x] > (*r.states)[y];
+                          });
+        os << " top:";
+        for (std::size_t i = 0; i < n; ++i)
+            os << " v" << order[i] << "=" << (*r.states)[order[i]];
+    }
+    return {os.str()};
+}
+
+CommandResult
+doUpdate(GraphService &svc, const std::vector<std::string> &t)
+{
+    if (t.size() < 4)
+        return err("usage: update <name> <src> <dst> [weight]");
+    std::uint64_t src = 0, dst = 0;
+    double w = 1.0;
+    if (!parseU64(t[2], src) || !parseU64(t[3], dst))
+        return err("bad vertex id");
+    if (t.size() > 4 && !parseDouble(t[4], w))
+        return err("bad weight '" + t[4] + "'");
+
+    const auto r = svc
+                       .streamUpdates(t[1],
+                                      {{static_cast<VertexId>(src),
+                                        static_cast<VertexId>(dst),
+                                        w}})
+                       .get();
+    if (!r.ok())
+        return err(std::string(statusName(r.status)) + " "
+                   + r.error);
+    std::ostringstream os;
+    os << "ok enqueued=" << r.enqueuedEdges << " pending="
+       << r.pendingEdges;
+    if (r.version)
+        os << " applied v=" << r.version;
+    return {os.str()};
+}
+
+} // namespace
+
+CommandResult
+runCommandLine(GraphService &svc, const std::string &line)
+{
+    const auto t = tokenize(line);
+    if (t.empty() || t[0][0] == '#')
+        return {""};
+    const auto &cmd = t[0];
+
+    if (cmd == "quit" || cmd == "exit")
+        return {"bye", true};
+    if (cmd == "help")
+        return {kHelp};
+    if (cmd == "load")
+        return doLoad(svc, t);
+    if (cmd == "query")
+        return doQuery(svc, t);
+    if (cmd == "update")
+        return doUpdate(svc, t);
+    if (cmd == "flush") {
+        if (t.size() < 2)
+            return err("usage: flush <name>");
+        const auto r = svc.flush(t[1]).get();
+        std::ostringstream os;
+        if (r.version)
+            os << "ok applied v=" << r.version;
+        else
+            os << "ok nothing-pending";
+        return {os.str()};
+    }
+    if (cmd == "graphs") {
+        std::ostringstream os;
+        os << "ok";
+        for (const auto &name : svc.store().names()) {
+            const auto snap = svc.store().get(name);
+            os << " " << name << "@v" << (snap ? snap->version : 0);
+        }
+        return {os.str()};
+    }
+    if (cmd == "stats")
+        return {svc.stats().render()};
+    if (cmd == "drain") {
+        svc.drain();
+        return {"ok drained"};
+    }
+    return err("unknown command '" + cmd + "' (try help)");
+}
+
+std::size_t
+serveStream(GraphService &svc, std::istream &in, std::ostream &out,
+            bool echo)
+{
+    std::size_t executed = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (echo)
+            out << "> " << line << "\n";
+        const auto r = runCommandLine(svc, line);
+        if (!r.output.empty())
+            out << r.output << "\n";
+        out.flush();
+        ++executed;
+        if (r.quit)
+            break;
+    }
+    return executed;
+}
+
+} // namespace depgraph::service

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The dgserve request protocol: newline-delimited commands, one reply
+ * per line block. Scriptable over stdin/stdout, no network dependency;
+ * a transport (socket, pipe) can be layered on later without touching
+ * the service.
+ *
+ *   load <name> <gen> <args...>   gen: powerlaw <n> [alpha] [deg] [seed]
+ *                                      grid <rows> <cols>
+ *                                      path|ring <n>
+ *                                      chain <communities> <size>
+ *   query <name> [algo] [solution] [top]
+ *   update <name> <src> <dst> [weight]
+ *   flush <name>
+ *   graphs
+ *   stats
+ *   drain
+ *   help
+ *   quit
+ *
+ * Replies start with "ok" or "err: <reason>"; malformed input never
+ * terminates the server.
+ */
+
+#ifndef DEPGRAPH_SERVICE_PROTOCOL_HH
+#define DEPGRAPH_SERVICE_PROTOCOL_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "service/service.hh"
+
+namespace depgraph::service
+{
+
+struct CommandResult
+{
+    std::string output; ///< reply text (no trailing newline)
+    bool quit = false;  ///< the client asked to stop
+};
+
+/** Parse and execute one protocol line against the service. */
+CommandResult runCommandLine(GraphService &svc, const std::string &line);
+
+/**
+ * REPL driver: read lines from `in`, execute, write replies to `out`
+ * until EOF or `quit`. @return number of commands executed.
+ */
+std::size_t serveStream(GraphService &svc, std::istream &in,
+                        std::ostream &out, bool echo = false);
+
+} // namespace depgraph::service
+
+#endif // DEPGRAPH_SERVICE_PROTOCOL_HH

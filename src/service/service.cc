@@ -1,0 +1,316 @@
+#include "service/service.hh"
+
+#include <array>
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "gas/algorithms.hh"
+
+namespace depgraph::service
+{
+
+namespace
+{
+
+/** Names gas::makeAlgorithm() accepts; checked here so a bad request
+ * returns BadRequest instead of tearing the whole service down. */
+bool
+knownAlgorithm(const std::string &name)
+{
+    static const std::array<const char *, 7> names = {
+        "pagerank", "adsorption", "katz", "sssp", "wcc", "sswp", "bfs",
+    };
+    return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+std::uint64_t
+microsSince(std::chrono::steady_clock::time_point start)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+}
+
+} // namespace
+
+const char *
+statusName(Status s)
+{
+    switch (s) {
+      case Status::Ok:
+        return "ok";
+      case Status::NotFound:
+        return "not-found";
+      case Status::BadRequest:
+        return "bad-request";
+      case Status::Rejected:
+        return "rejected";
+      case Status::DeadlineExceeded:
+        return "deadline-exceeded";
+      case Status::ShuttingDown:
+        return "shutting-down";
+    }
+    return "?";
+}
+
+Deadline
+deadlineIn(std::chrono::milliseconds timeout)
+{
+    return std::chrono::steady_clock::now() + timeout;
+}
+
+GraphService::GraphService(ServiceOptions opt)
+    : opt_(opt), system_(opt.system),
+      batcher_(store_, system_, stats_, opt.batcher), pool_(opt.pool)
+{
+    if (opt_.statsLogInterval.count() > 0)
+        logger_ = std::thread([this] { statsLogLoop(); });
+}
+
+GraphService::~GraphService()
+{
+    shutdown();
+}
+
+std::uint64_t
+GraphService::loadGraph(const std::string &name, graph::Graph g)
+{
+    const auto start = std::chrono::steady_clock::now();
+    const auto version = store_.put(name, std::move(g));
+    stats_.loads.fetch_add(1, std::memory_order_relaxed);
+    stats_.recordLatency(RequestType::Load, microsSince(start));
+    return version;
+}
+
+std::future<Response>
+GraphService::submitJob(RequestType type, std::function<Response()> body,
+                        Deadline deadline)
+{
+    auto prom = std::make_shared<std::promise<Response>>();
+    auto fut = prom->get_future();
+    if (shutdown_.load(std::memory_order_acquire)) {
+        Response r;
+        r.status = Status::ShuttingDown;
+        prom->set_value(std::move(r));
+        return fut;
+    }
+
+    const auto submitted = std::chrono::steady_clock::now();
+    auto job = [this, type, body = std::move(body), deadline, submitted,
+                prom]() mutable {
+        Response r;
+        if (deadline
+            && std::chrono::steady_clock::now() > *deadline) {
+            r.status = Status::DeadlineExceeded;
+            r.error = "deadline passed while queued";
+            stats_.deadlineExpired.fetch_add(1,
+                                             std::memory_order_relaxed);
+        } else {
+            r = body();
+        }
+        stats_.recordLatency(type, microsSince(submitted));
+        prom->set_value(std::move(r));
+    };
+
+    switch (pool_.submit(std::move(job))) {
+      case PushResult::Ok:
+        break;
+      case PushResult::Full: {
+        stats_.rejected.fetch_add(1, std::memory_order_relaxed);
+        Response r;
+        r.status = Status::Rejected;
+        r.error = "job queue full";
+        prom->set_value(std::move(r));
+        break;
+      }
+      case PushResult::Closed: {
+        Response r;
+        r.status = Status::ShuttingDown;
+        prom->set_value(std::move(r));
+        break;
+      }
+    }
+    return fut;
+}
+
+std::future<Response>
+GraphService::query(QuerySpec spec, Deadline deadline)
+{
+    return submitJob(
+        RequestType::Query,
+        [this, spec = std::move(spec)] { return runQuery(spec); },
+        deadline);
+}
+
+Response
+GraphService::runQuery(const QuerySpec &spec)
+{
+    stats_.queries.fetch_add(1, std::memory_order_relaxed);
+    Response r;
+    if (!knownAlgorithm(spec.algorithm)) {
+        r.status = Status::BadRequest;
+        r.error = "unknown algorithm '" + spec.algorithm + "'";
+        return r;
+    }
+    const auto snap = store_.get(spec.graph);
+    if (!snap) {
+        r.status = Status::NotFound;
+        r.error = "no graph named '" + spec.graph + "'";
+        return r;
+    }
+    r.version = snap->version;
+
+    // Fixpoint cache: keyed by algorithm only, because every solution
+    // converges to the same states (within epsilon) on a snapshot.
+    const auto it = snap->fixpoints.find(spec.algorithm);
+    if (it != snap->fixpoints.end()) {
+        stats_.queryCacheHits.fetch_add(1, std::memory_order_relaxed);
+        r.cacheHit = true;
+        r.states = it->second;
+        return r;
+    }
+    stats_.queryCacheMisses.fetch_add(1, std::memory_order_relaxed);
+
+    const auto alg = gas::makeAlgorithm(spec.algorithm);
+    auto run = system_.run(*snap->graph, *alg, spec.solution);
+    r.metrics = run.metrics;
+    auto states = std::make_shared<std::vector<Value>>(
+        std::move(run.states));
+    r.states = states;
+    store_.cacheFixpoint(spec.graph, snap->version, spec.algorithm,
+                         std::move(states));
+    return r;
+}
+
+std::future<Response>
+GraphService::streamUpdates(const std::string &graph,
+                            std::vector<gas::EdgeInsertion> edges,
+                            Deadline deadline)
+{
+    return submitJob(
+        RequestType::StreamUpdates,
+        [this, graph, edges = std::move(edges)]() mutable {
+            stats_.updateRequests.fetch_add(1,
+                                            std::memory_order_relaxed);
+            Response r;
+            if (!store_.get(graph)) {
+                r.status = Status::NotFound;
+                r.error = "no graph named '" + graph + "'";
+                return r;
+            }
+            stats_.updateEdgesEnqueued.fetch_add(
+                edges.size(), std::memory_order_relaxed);
+            r.enqueuedEdges = edges.size();
+            bool should_flush = false;
+            r.pendingEdges = batcher_.enqueue(graph, std::move(edges),
+                                              &should_flush);
+            // Threshold crossed: apply the batch right here on this
+            // worker (no re-submit, so a full queue cannot wedge it).
+            if (should_flush)
+                r.version = batcher_.flush(graph);
+            return r;
+        },
+        deadline);
+}
+
+std::future<Response>
+GraphService::flush(const std::string &graph)
+{
+    return submitJob(
+        RequestType::Flush,
+        [this, graph] {
+            Response r;
+            r.version = batcher_.flush(graph);
+            r.pendingEdges = batcher_.pendingEdges(graph);
+            return r;
+        },
+        {});
+}
+
+void
+GraphService::drain()
+{
+    // Finish every accepted request (they may enqueue more edges),
+    // then apply whatever is pending.
+    pool_.drain();
+    batcher_.flushAll();
+}
+
+void
+GraphService::shutdown()
+{
+    if (shutdown_.exchange(true, std::memory_order_acq_rel))
+        return;
+    if (logger_.joinable()) {
+        {
+            std::lock_guard lk(logMu_);
+            stopLogger_ = true;
+        }
+        logCv_.notify_all();
+        logger_.join();
+    }
+    pool_.shutdown();     // drains queued requests, joins workers
+    batcher_.flushAll();  // accepted updates are never dropped
+}
+
+StatsSnapshot
+GraphService::stats() const
+{
+    return stats_.snapshot(pool_.queueDepth(), pool_.queueHighWater());
+}
+
+void
+GraphService::statsLogLoop()
+{
+    std::unique_lock lk(logMu_);
+    while (!stopLogger_) {
+        logCv_.wait_for(lk, opt_.statsLogInterval,
+                        [&] { return stopLogger_; });
+        if (stopLogger_)
+            break;
+        lk.unlock();
+        dg_inform(stats().logLine());
+        lk.lock();
+    }
+}
+
+Deadline
+Session::deadline() const
+{
+    return timeout_ ? deadlineIn(*timeout_) : Deadline{};
+}
+
+Response
+Session::query()
+{
+    return query(algorithm_);
+}
+
+Response
+Session::query(const std::string &algorithm)
+{
+    return svc_.query({graph_, algorithm, solution_}, deadline())
+        .get();
+}
+
+Response
+Session::update(std::vector<gas::EdgeInsertion> edges)
+{
+    return svc_.streamUpdates(graph_, std::move(edges), deadline())
+        .get();
+}
+
+Response
+Session::update(VertexId src, VertexId dst, Value weight)
+{
+    return update(std::vector<gas::EdgeInsertion>{{src, dst, weight}});
+}
+
+Response
+Session::flushUpdates()
+{
+    return svc_.flush(graph_).get();
+}
+
+} // namespace depgraph::service

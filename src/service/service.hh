@@ -1,0 +1,210 @@
+/**
+ * @file
+ * GraphService: the long-lived, thread-safe serving facade.
+ *
+ * Wires together the GraphStore (versioned copy-on-write snapshots),
+ * the UpdateBatcher (coalesced incremental reconvergence), a bounded
+ * worker ThreadPool (backpressure: block or reject), and service-level
+ * Stats. Requests are asynchronous -- each returns a std::future --
+ * and carry an optional deadline checked when a worker picks the
+ * request up, so requests that waited too long in the queue fail fast
+ * instead of burning a worker.
+ *
+ * Consistency model: Query reads the current published snapshot
+ * (snapshot isolation); StreamUpdates acknowledges once the edges are
+ * durably queued in the batcher, and they become visible to queries
+ * when a batch flush publishes the next version (threshold crossing,
+ * explicit Flush, drain, or shutdown -- accepted updates are never
+ * dropped by a graceful shutdown).
+ */
+
+#ifndef DEPGRAPH_SERVICE_SERVICE_HH
+#define DEPGRAPH_SERVICE_SERVICE_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/depgraph_system.hh"
+#include "gas/incremental.hh"
+#include "service/snapshot_store.hh"
+#include "service/stats.hh"
+#include "service/thread_pool.hh"
+#include "service/update_batcher.hh"
+
+namespace depgraph::service
+{
+
+enum class Status
+{
+    Ok,
+    NotFound,         ///< unknown graph name
+    BadRequest,       ///< e.g. unknown algorithm
+    Rejected,         ///< queue full under the reject policy
+    DeadlineExceeded, ///< deadline passed while queued
+    ShuttingDown,     ///< service no longer accepts requests
+};
+
+const char *statusName(Status s);
+
+/** Absolute per-request deadline (empty = none). */
+using Deadline = std::optional<std::chrono::steady_clock::time_point>;
+
+/** Convenience: deadline `timeout` from now. */
+Deadline deadlineIn(std::chrono::milliseconds timeout);
+
+struct QuerySpec
+{
+    std::string graph;
+    std::string algorithm = "pagerank";
+    Solution solution = Solution::DepGraphH;
+};
+
+struct Response
+{
+    Status status = Status::Ok;
+    std::string error;
+    std::uint64_t version = 0; ///< snapshot version served / published
+
+    /* Query */
+    StateVectorPtr states;          ///< converged vertex states
+    runtime::RunMetrics metrics;    ///< zeroed on a cache hit
+    bool cacheHit = false;
+
+    /* StreamUpdates / Flush */
+    std::size_t enqueuedEdges = 0;
+    std::size_t pendingEdges = 0;
+
+    bool ok() const { return status == Status::Ok; }
+};
+
+struct ServiceOptions
+{
+    ThreadPool::Options pool;
+    UpdateBatcher::Options batcher;
+    SystemConfig system; ///< machine + engine config for all runs
+    /** > 0: a background thread logs a stats line at this period. */
+    std::chrono::milliseconds statsLogInterval{0};
+};
+
+class GraphService
+{
+  public:
+    explicit GraphService(ServiceOptions opt = {});
+
+    /** Graceful: drains accepted work, applies pending updates. */
+    ~GraphService();
+
+    GraphService(const GraphService &) = delete;
+    GraphService &operator=(const GraphService &) = delete;
+
+    /**
+     * Create or replace a named graph (synchronous; the snapshot is
+     * visible to queries when this returns). @return the new version.
+     */
+    std::uint64_t loadGraph(const std::string &name, graph::Graph g);
+
+    /** Run an algorithm against the current snapshot of a graph. */
+    std::future<Response> query(QuerySpec spec, Deadline deadline = {});
+
+    /** Queue edge insertions; acknowledged when durably batched. */
+    std::future<Response>
+    streamUpdates(const std::string &graph,
+                  std::vector<gas::EdgeInsertion> edges,
+                  Deadline deadline = {});
+
+    /** Force-apply everything pending for one graph. */
+    std::future<Response> flush(const std::string &graph);
+
+    /**
+     * Finish every accepted request, then apply all pending update
+     * batches. On return, queries see every update accepted before
+     * drain() was called.
+     */
+    void drain();
+
+    /** Stop accepting requests, drain, join workers. Idempotent. */
+    void shutdown();
+
+    StatsSnapshot stats() const;
+
+    GraphStore &store() { return store_; }
+    UpdateBatcher &batcher() { return batcher_; }
+    const ServiceOptions &options() const { return opt_; }
+
+  private:
+    struct Timed; // request bookkeeping helper
+
+    std::future<Response> submitJob(RequestType type,
+                                    std::function<Response()> body,
+                                    Deadline deadline);
+    Response runQuery(const QuerySpec &spec);
+    void statsLogLoop();
+
+    ServiceOptions opt_;
+    Stats stats_;
+    GraphStore store_;
+    DepGraphSystem system_;
+    UpdateBatcher batcher_;
+    ThreadPool pool_;
+
+    std::mutex logMu_;
+    std::condition_variable logCv_;
+    bool stopLogger_ = false;
+    std::thread logger_;
+
+    std::atomic<bool> shutdown_{false};
+};
+
+/**
+ * Session: a client handle binding a default graph / algorithm /
+ * solution, with synchronous conveniences and an optional per-request
+ * timeout applied to every call.
+ */
+class Session
+{
+  public:
+    Session(GraphService &svc, std::string graph,
+            std::string algorithm = "pagerank",
+            Solution solution = Solution::DepGraphH)
+        : svc_(svc), graph_(std::move(graph)),
+          algorithm_(std::move(algorithm)), solution_(solution)
+    {}
+
+    void setTimeout(std::chrono::milliseconds t) { timeout_ = t; }
+    void setAlgorithm(std::string a) { algorithm_ = std::move(a); }
+
+    const std::string &graph() const { return graph_; }
+
+    /** Blocking query with the session defaults. */
+    Response query();
+
+    /** Blocking query for another algorithm. */
+    Response query(const std::string &algorithm);
+
+    /** Blocking update enqueue. */
+    Response update(std::vector<gas::EdgeInsertion> edges);
+
+    /** Blocking single-edge update. */
+    Response update(VertexId src, VertexId dst, Value weight = 1.0);
+
+    /** Blocking flush of the session's graph. */
+    Response flushUpdates();
+
+  private:
+    Deadline deadline() const;
+
+    GraphService &svc_;
+    std::string graph_;
+    std::string algorithm_;
+    Solution solution_;
+    std::optional<std::chrono::milliseconds> timeout_;
+};
+
+} // namespace depgraph::service
+
+#endif // DEPGRAPH_SERVICE_SERVICE_HH

@@ -1,0 +1,103 @@
+#include "service/snapshot_store.hh"
+
+namespace depgraph::service
+{
+
+namespace
+{
+
+std::shared_ptr<const graph::Graph>
+freezeGraph(graph::Graph g)
+{
+    // Build the lazy transpose view now, while this thread still has
+    // exclusive ownership; afterwards every member is truly read-only
+    // and the graph can be shared across worker threads without locks.
+    auto p = std::make_shared<graph::Graph>(std::move(g));
+    p->buildTranspose();
+    return p;
+}
+
+} // namespace
+
+std::uint64_t
+GraphStore::put(const std::string &name, graph::Graph g)
+{
+    auto frozen = freezeGraph(std::move(g));
+    std::lock_guard lk(mu_);
+    auto snap = std::make_shared<Snapshot>();
+    snap->name = name;
+    const auto it = snaps_.find(name);
+    snap->version = it == snaps_.end() ? 1 : it->second->version + 1;
+    snap->graph = std::move(frozen);
+    snaps_[name] = snap;
+    return snap->version;
+}
+
+SnapshotPtr
+GraphStore::get(const std::string &name) const
+{
+    std::lock_guard lk(mu_);
+    const auto it = snaps_.find(name);
+    return it == snaps_.end() ? nullptr : it->second;
+}
+
+bool
+GraphStore::erase(const std::string &name)
+{
+    std::lock_guard lk(mu_);
+    return snaps_.erase(name) > 0;
+}
+
+std::vector<std::string>
+GraphStore::names() const
+{
+    std::lock_guard lk(mu_);
+    std::vector<std::string> out;
+    out.reserve(snaps_.size());
+    for (const auto &[name, snap] : snaps_)
+        out.push_back(name);
+    return out;
+}
+
+SnapshotPtr
+GraphStore::publish(const SnapshotPtr &base, graph::Graph g,
+                    std::map<std::string, StateVectorPtr> fixpoints)
+{
+    if (!base)
+        return nullptr;
+    auto frozen = freezeGraph(std::move(g));
+    std::lock_guard lk(mu_);
+    const auto it = snaps_.find(base->name);
+    // Compare versions, not pointers: cacheFixpoint() swaps in an
+    // equivalent snapshot object without bumping the version, and that
+    // must not fail a publish (at worst its cache entry is superseded).
+    if (it == snaps_.end() || it->second->version != base->version)
+        return nullptr; // someone published past us; retry on current
+    auto snap = std::make_shared<Snapshot>();
+    snap->name = base->name;
+    snap->version = base->version + 1;
+    snap->graph = std::move(frozen);
+    snap->fixpoints = std::move(fixpoints);
+    it->second = snap;
+    return snap;
+}
+
+bool
+GraphStore::cacheFixpoint(const std::string &name,
+                          std::uint64_t version,
+                          const std::string &algorithm,
+                          StateVectorPtr states)
+{
+    std::lock_guard lk(mu_);
+    const auto it = snaps_.find(name);
+    if (it == snaps_.end() || it->second->version != version)
+        return false;
+    // Snapshots are immutable once handed out: cache by replacing the
+    // current snapshot with an identical one plus the new entry.
+    auto snap = std::make_shared<Snapshot>(*it->second);
+    snap->fixpoints[algorithm] = std::move(states);
+    it->second = snap;
+    return true;
+}
+
+} // namespace depgraph::service

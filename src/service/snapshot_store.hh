@@ -1,0 +1,93 @@
+/**
+ * @file
+ * GraphStore: named, versioned, copy-on-write graph snapshots.
+ *
+ * Readers grab a shared_ptr<const Snapshot> and compute against it for
+ * as long as they like; writers never mutate a published snapshot --
+ * they build a fresh graph (plus reconverged fixpoint caches) and
+ * publish it as the next version. publish() is optimistic: it fails if
+ * the named graph moved past the base version, so concurrent writers
+ * can detect the conflict and retry on the new current snapshot.
+ *
+ * Snapshots also carry a per-algorithm fixpoint cache (the converged
+ * state vector at this exact version). Queries fill it; the
+ * UpdateBatcher consumes it as the resume point for incremental
+ * reconvergence and re-populates it for the next version.
+ */
+
+#ifndef DEPGRAPH_SERVICE_SNAPSHOT_STORE_HH
+#define DEPGRAPH_SERVICE_SNAPSHOT_STORE_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "graph/csr.hh"
+
+namespace depgraph::service
+{
+
+using StateVectorPtr = std::shared_ptr<const std::vector<Value>>;
+
+/** One immutable published version of a named graph. */
+struct Snapshot
+{
+    std::string name;
+    std::uint64_t version = 0;
+    std::shared_ptr<const graph::Graph> graph;
+    /** Converged states per algorithm name, valid for this version. */
+    std::map<std::string, StateVectorPtr> fixpoints;
+};
+
+using SnapshotPtr = std::shared_ptr<const Snapshot>;
+
+class GraphStore
+{
+  public:
+    /**
+     * Create or replace the named graph with a brand-new lineage
+     * (version = previous version + 1, empty fixpoint cache).
+     * The transpose view is materialized eagerly so the published
+     * graph is safe for lock-free concurrent readers.
+     * @return the published version.
+     */
+    std::uint64_t put(const std::string &name, graph::Graph g);
+
+    /** Current snapshot, or nullptr if the name is unknown. */
+    SnapshotPtr get(const std::string &name) const;
+
+    /** @return true if the name existed. */
+    bool erase(const std::string &name);
+
+    std::vector<std::string> names() const;
+
+    /**
+     * Publish the successor of `base`: a new graph plus the fixpoint
+     * caches reconverged for it. Fails (returns nullptr, nothing
+     * published) when `base` is no longer the current snapshot of its
+     * name -- the caller should re-read and retry.
+     */
+    SnapshotPtr publish(const SnapshotPtr &base, graph::Graph g,
+                        std::map<std::string, StateVectorPtr> fixpoints);
+
+    /**
+     * Attach a freshly computed fixpoint to the named graph, but only
+     * if it is still at `version` (otherwise the states describe a
+     * stale graph and are dropped). @return true if cached.
+     */
+    bool cacheFixpoint(const std::string &name, std::uint64_t version,
+                       const std::string &algorithm,
+                       StateVectorPtr states);
+
+  private:
+    mutable std::mutex mu_;
+    std::map<std::string, SnapshotPtr> snaps_;
+};
+
+} // namespace depgraph::service
+
+#endif // DEPGRAPH_SERVICE_SNAPSHOT_STORE_HH

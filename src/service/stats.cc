@@ -1,0 +1,174 @@
+#include "service/stats.hh"
+
+#include <bit>
+#include <sstream>
+
+#include "common/table.hh"
+
+namespace depgraph::service
+{
+
+const char *
+requestTypeName(RequestType t)
+{
+    switch (t) {
+      case RequestType::Load:
+        return "load";
+      case RequestType::Query:
+        return "query";
+      case RequestType::StreamUpdates:
+        return "update";
+      case RequestType::Flush:
+        return "flush";
+    }
+    return "?";
+}
+
+void
+LatencyHistogram::record(std::uint64_t micros)
+{
+    std::size_t k = micros == 0
+        ? 0
+        : static_cast<std::size_t>(std::bit_width(micros) - 1);
+    if (k >= kBuckets)
+        k = kBuckets - 1;
+    buckets_[k].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(micros, std::memory_order_relaxed);
+    auto prev = max_.load(std::memory_order_relaxed);
+    while (micros > prev
+           && !max_.compare_exchange_weak(prev, micros,
+                                          std::memory_order_relaxed)) {
+    }
+}
+
+std::uint64_t
+LatencyHistogram::count() const
+{
+    return count_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+LatencyHistogram::sumMicros() const
+{
+    return sum_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+LatencyHistogram::maxMicros() const
+{
+    return max_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+LatencyHistogram::quantileUpperBound(double q) const
+{
+    const auto total = count();
+    if (total == 0)
+        return 0;
+    const auto rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(total));
+    std::uint64_t seen = 0;
+    for (std::size_t k = 0; k < kBuckets; ++k) {
+        seen += buckets_[k].load(std::memory_order_relaxed);
+        if (seen > rank)
+            return (std::uint64_t{1} << (k + 1)) - 1;
+    }
+    return maxMicros();
+}
+
+void
+Stats::recordLatency(RequestType t, std::uint64_t micros)
+{
+    latency_[static_cast<std::size_t>(t)].record(micros);
+}
+
+StatsSnapshot
+Stats::snapshot(std::size_t queue_depth,
+                std::size_t queue_high_water) const
+{
+    StatsSnapshot s;
+    s.loads = loads.load(std::memory_order_relaxed);
+    s.queries = queries.load(std::memory_order_relaxed);
+    s.queryCacheHits = queryCacheHits.load(std::memory_order_relaxed);
+    s.queryCacheMisses =
+        queryCacheMisses.load(std::memory_order_relaxed);
+    s.updateRequests = updateRequests.load(std::memory_order_relaxed);
+    s.updateEdgesEnqueued =
+        updateEdgesEnqueued.load(std::memory_order_relaxed);
+    s.batchesApplied = batchesApplied.load(std::memory_order_relaxed);
+    s.batchEdgesApplied =
+        batchEdgesApplied.load(std::memory_order_relaxed);
+    s.incrementalPasses =
+        incrementalPasses.load(std::memory_order_relaxed);
+    s.rejected = rejected.load(std::memory_order_relaxed);
+    s.deadlineExpired = deadlineExpired.load(std::memory_order_relaxed);
+    s.errors = errors.load(std::memory_order_relaxed);
+    s.queueDepth = queue_depth;
+    s.queueHighWater = queue_high_water;
+    for (std::size_t i = 0; i < kNumRequestTypes; ++i) {
+        const auto &h = latency_[i];
+        auto &l = s.latency[i];
+        l.count = h.count();
+        l.meanMicros = l.count ? h.sumMicros() / l.count : 0;
+        l.p50Micros = h.quantileUpperBound(0.50);
+        l.p99Micros = h.quantileUpperBound(0.99);
+        l.maxMicros = h.maxMicros();
+    }
+    return s;
+}
+
+std::string
+StatsSnapshot::render() const
+{
+    Table counters({"counter", "value"});
+    counters.addRow({"loads", Table::fmt(loads)});
+    counters.addRow({"queries", Table::fmt(queries)});
+    counters.addRow({"query cache hits", Table::fmt(queryCacheHits)});
+    counters.addRow({"query cache misses",
+                     Table::fmt(queryCacheMisses)});
+    counters.addRow({"update requests", Table::fmt(updateRequests)});
+    counters.addRow({"update edges enqueued",
+                     Table::fmt(updateEdgesEnqueued)});
+    counters.addRow({"batches applied", Table::fmt(batchesApplied)});
+    counters.addRow({"batch edges applied",
+                     Table::fmt(batchEdgesApplied)});
+    counters.addRow({"incremental passes",
+                     Table::fmt(incrementalPasses)});
+    counters.addRow({"rejected", Table::fmt(rejected)});
+    counters.addRow({"deadline expired", Table::fmt(deadlineExpired)});
+    counters.addRow({"errors", Table::fmt(errors)});
+    counters.addRow({"queue depth", Table::fmt(std::uint64_t{
+                                        queueDepth})});
+    counters.addRow({"queue high water", Table::fmt(std::uint64_t{
+                                             queueHighWater})});
+
+    Table lat({"request", "count", "mean us", "p50 us", "p99 us",
+               "max us"});
+    for (std::size_t i = 0; i < kNumRequestTypes; ++i) {
+        const auto &l = latency[i];
+        lat.addRow({requestTypeName(static_cast<RequestType>(i)),
+                    Table::fmt(l.count), Table::fmt(l.meanMicros),
+                    Table::fmt(l.p50Micros), Table::fmt(l.p99Micros),
+                    Table::fmt(l.maxMicros)});
+    }
+    return counters.render() + "\n" + lat.render();
+}
+
+std::string
+StatsSnapshot::logLine() const
+{
+    std::ostringstream os;
+    os << "service: q=" << queries << " hit=" << queryCacheHits
+       << " upd=" << updateRequests << " batches=" << batchesApplied
+       << " passes=" << incrementalPasses << " rej=" << rejected
+       << " dl=" << deadlineExpired << " err=" << errors
+       << " depth=" << queueDepth << " hiwat=" << queueHighWater;
+    const auto &q = latency[static_cast<std::size_t>(
+        RequestType::Query)];
+    os << " query_p50us=" << q.p50Micros << " query_p99us="
+       << q.p99Micros;
+    return os.str();
+}
+
+} // namespace depgraph::service

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Service-level observability.
+ *
+ * Every worker thread bumps lock-free atomic counters; readers take a
+ * consistent-enough Snapshot (each counter is individually atomic; the
+ * set is not fenced, which is fine for monitoring). Latencies go into
+ * power-of-two microsecond histograms, one per request type, so the
+ * periodic log line can report p50/p99 without storing samples.
+ */
+
+#ifndef DEPGRAPH_SERVICE_STATS_HH
+#define DEPGRAPH_SERVICE_STATS_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace depgraph::service
+{
+
+/** Request categories tracked separately in the histograms. */
+enum class RequestType
+{
+    Load,
+    Query,
+    StreamUpdates,
+    Flush,
+};
+
+inline constexpr std::size_t kNumRequestTypes = 4;
+
+const char *requestTypeName(RequestType t);
+
+/**
+ * Power-of-two bucketed latency histogram: bucket k counts samples in
+ * [2^k, 2^(k+1)) microseconds (bucket 0 additionally holds 0us).
+ */
+class LatencyHistogram
+{
+  public:
+    static constexpr std::size_t kBuckets = 22; ///< up to ~35 minutes
+
+    void record(std::uint64_t micros);
+
+    std::uint64_t count() const;
+    std::uint64_t sumMicros() const;
+    std::uint64_t maxMicros() const;
+
+    /** Upper bound of the bucket holding quantile q (0 < q <= 1). */
+    std::uint64_t quantileUpperBound(double q) const;
+
+  private:
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sum_{0};
+    std::atomic<std::uint64_t> max_{0};
+};
+
+/** Point-in-time copy of every counter, for rendering / assertions. */
+struct StatsSnapshot
+{
+    std::uint64_t loads = 0;
+    std::uint64_t queries = 0;
+    std::uint64_t queryCacheHits = 0;
+    std::uint64_t queryCacheMisses = 0;
+    std::uint64_t updateRequests = 0;
+    std::uint64_t updateEdgesEnqueued = 0;
+    std::uint64_t batchesApplied = 0;
+    std::uint64_t batchEdgesApplied = 0;
+    std::uint64_t incrementalPasses = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t deadlineExpired = 0;
+    std::uint64_t errors = 0;
+    std::size_t queueDepth = 0;
+    std::size_t queueHighWater = 0;
+
+    struct Latency
+    {
+        std::uint64_t count = 0;
+        std::uint64_t meanMicros = 0;
+        std::uint64_t p50Micros = 0;
+        std::uint64_t p99Micros = 0;
+        std::uint64_t maxMicros = 0;
+    };
+    std::array<Latency, kNumRequestTypes> latency{};
+
+    /** Multi-line aligned table (common/table) for interactive use. */
+    std::string render() const;
+
+    /** One-line key=value summary for the periodic service log. */
+    std::string logLine() const;
+};
+
+/** The live counters shared by the service and its workers. */
+class Stats
+{
+  public:
+    std::atomic<std::uint64_t> loads{0};
+    std::atomic<std::uint64_t> queries{0};
+    std::atomic<std::uint64_t> queryCacheHits{0};
+    std::atomic<std::uint64_t> queryCacheMisses{0};
+    std::atomic<std::uint64_t> updateRequests{0};
+    std::atomic<std::uint64_t> updateEdgesEnqueued{0};
+    std::atomic<std::uint64_t> batchesApplied{0};
+    std::atomic<std::uint64_t> batchEdgesApplied{0};
+    std::atomic<std::uint64_t> incrementalPasses{0};
+    std::atomic<std::uint64_t> rejected{0};
+    std::atomic<std::uint64_t> deadlineExpired{0};
+    std::atomic<std::uint64_t> errors{0};
+
+    void recordLatency(RequestType t, std::uint64_t micros);
+
+    /** Queue gauges are sampled by the service at snapshot time. */
+    StatsSnapshot snapshot(std::size_t queue_depth = 0,
+                           std::size_t queue_high_water = 0) const;
+
+  private:
+    std::array<LatencyHistogram, kNumRequestTypes> latency_{};
+};
+
+} // namespace depgraph::service
+
+#endif // DEPGRAPH_SERVICE_STATS_HH

@@ -1,0 +1,95 @@
+#include "service/thread_pool.hh"
+
+namespace depgraph::service
+{
+
+ThreadPool::ThreadPool()
+    : ThreadPool(Options{})
+{}
+
+ThreadPool::ThreadPool(Options opt)
+    : opt_(opt), queue_(opt.queueCapacity)
+{
+    const unsigned n = opt_.numThreads ? opt_.numThreads : 1;
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    shutdown();
+}
+
+PushResult
+ThreadPool::submit(std::function<void()> job)
+{
+    // Count the job as accepted before it becomes poppable so drain()
+    // never observes executed_ == accepted_ with the job in flight.
+    {
+        std::lock_guard lk(idleMu_);
+        if (shutdown_)
+            return PushResult::Closed;
+        ++accepted_;
+    }
+    const auto r = opt_.blockWhenFull ? queue_.push(std::move(job))
+                                      : queue_.tryPush(std::move(job));
+    if (r != PushResult::Ok) {
+        std::lock_guard lk(idleMu_);
+        --accepted_;
+        idleCv_.notify_all();
+    }
+    return r;
+}
+
+void
+ThreadPool::drain()
+{
+    std::unique_lock lk(idleMu_);
+    idleCv_.wait(lk, [&] { return executed_ == accepted_; });
+}
+
+void
+ThreadPool::shutdown()
+{
+    {
+        std::lock_guard lk(idleMu_);
+        if (shutdown_) {
+            // Second caller: workers may already be joined.
+        }
+        shutdown_ = true;
+    }
+    queue_.close(); // workers drain the remaining items, then exit
+    for (auto &t : workers_)
+        if (t.joinable())
+            t.join();
+}
+
+std::uint64_t
+ThreadPool::jobsExecuted() const
+{
+    std::lock_guard lk(idleMu_);
+    return executed_;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::function<void()> job;
+    while (queue_.pop(job)) {
+        {
+            std::lock_guard lk(idleMu_);
+            ++active_;
+        }
+        job();
+        job = nullptr;
+        {
+            std::lock_guard lk(idleMu_);
+            --active_;
+            ++executed_;
+        }
+        idleCv_.notify_all();
+    }
+}
+
+} // namespace depgraph::service

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Fixed-size worker pool over the bounded JobQueue.
+ *
+ * Jobs are type-erased closures; the pool adds nothing clever on top
+ * of the queue except drain() -- "wait until every job accepted so far
+ * has finished" -- which shutdown and the service's Flush/Drain
+ * requests need.
+ */
+
+#ifndef DEPGRAPH_SERVICE_THREAD_POOL_HH
+#define DEPGRAPH_SERVICE_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "service/job_queue.hh"
+
+namespace depgraph::service
+{
+
+class ThreadPool
+{
+  public:
+    struct Options
+    {
+        unsigned numThreads = 4;
+        std::size_t queueCapacity = 128;
+        /** true: submit() blocks for space; false: rejects when full. */
+        bool blockWhenFull = false;
+    };
+
+    /* No `= {}` default: a nested aggregate's member initializers are
+     * not usable as a default argument until the enclosing class is
+     * complete (GCC enforces this), hence the separate default ctor. */
+    explicit ThreadPool(Options opt);
+    ThreadPool();
+
+    /** Drains and joins. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Enqueue a job under the configured backpressure policy.
+     * Ok: accepted and will run (even through shutdown's drain).
+     * Full: rejected (reject policy). Closed: pool is shutting down.
+     */
+    PushResult submit(std::function<void()> job);
+
+    /** Block until all jobs accepted so far have completed. */
+    void drain();
+
+    /** Stop accepting, drain the queue, join the workers. Idempotent. */
+    void shutdown();
+
+    unsigned numThreads() const { return static_cast<unsigned>(workers_.size()); }
+    std::size_t queueDepth() const { return queue_.depth(); }
+    std::size_t queueHighWater() const { return queue_.highWater(); }
+    std::uint64_t jobsExecuted() const;
+
+  private:
+    void workerLoop();
+
+    Options opt_;
+    JobQueue<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+
+    mutable std::mutex idleMu_;
+    std::condition_variable idleCv_;
+    std::size_t active_ = 0;          ///< jobs currently executing
+    std::uint64_t executed_ = 0;      ///< jobs finished
+    std::uint64_t accepted_ = 0;      ///< jobs ever accepted
+    bool shutdown_ = false;
+};
+
+} // namespace depgraph::service
+
+#endif // DEPGRAPH_SERVICE_THREAD_POOL_HH

@@ -1,0 +1,134 @@
+#include "service/update_batcher.hh"
+
+#include "common/logging.hh"
+#include "gas/algorithms.hh"
+
+namespace depgraph::service
+{
+
+UpdateBatcher::UpdateBatcher(GraphStore &store, DepGraphSystem &system,
+                             Stats &stats, Options opt)
+    : store_(store), system_(system), stats_(stats), opt_(opt)
+{}
+
+std::shared_ptr<UpdateBatcher::PerGraph>
+UpdateBatcher::state(const std::string &graph)
+{
+    std::lock_guard lk(mu_);
+    auto &slot = map_[graph];
+    if (!slot)
+        slot = std::make_shared<PerGraph>();
+    return slot;
+}
+
+std::size_t
+UpdateBatcher::enqueue(const std::string &graph,
+                       std::vector<gas::EdgeInsertion> edges,
+                       bool *should_flush)
+{
+    auto pg = state(graph);
+    std::lock_guard lk(mu_);
+    pg->pending.insert(pg->pending.end(), edges.begin(), edges.end());
+    bool crossed = false;
+    if (pg->pending.size() >= opt_.maxPendingEdges
+        && !pg->flushRequested) {
+        // Latch so only one enqueuer schedules the flush; the flush
+        // itself re-arms the latch when it drains the batch.
+        pg->flushRequested = true;
+        crossed = true;
+    }
+    if (should_flush)
+        *should_flush = crossed;
+    return pg->pending.size();
+}
+
+std::uint64_t
+UpdateBatcher::flush(const std::string &graph)
+{
+    auto pg = state(graph);
+    // Serialize applies per graph; enqueues keep landing in the next
+    // batch while this one reconverges.
+    std::lock_guard apply(pg->applyMu);
+
+    std::vector<gas::EdgeInsertion> batch;
+    {
+        std::lock_guard lk(mu_);
+        batch.swap(pg->pending);
+        pg->flushRequested = false;
+    }
+    if (batch.empty())
+        return 0;
+
+    // The only competing publisher is a concurrent put() (re-load);
+    // on conflict the batch simply applies to the fresher graph.
+    for (int attempt = 0; attempt < 3; ++attempt) {
+        const auto base = store_.get(graph);
+        if (!base) {
+            dg_warn("dropping ", batch.size(),
+                    " queued edges for unknown graph '", graph, "'");
+            return 0;
+        }
+        auto updated = gas::applyInsertions(*base->graph, batch);
+
+        std::map<std::string, StateVectorPtr> fixpoints;
+        for (const auto &[algo, states] : base->fixpoints) {
+            const auto alg = gas::makeAlgorithm(algo);
+            const auto deltas = gas::edgeInsertionDeltas(
+                *base->graph, updated, batch, *states, *alg);
+            auto resumed = *states;
+            resumed.resize(updated.numVertices(),
+                           alg->initState(updated, 0));
+            gas::ResumeAlgorithm resume(*alg, std::move(resumed),
+                                        deltas);
+            auto r = system_.run(updated, resume, opt_.solution);
+            if (!r.metrics.converged)
+                dg_warn("incremental ", algo, " on '", graph,
+                        "' hit the round limit before converging");
+            stats_.incrementalPasses.fetch_add(
+                1, std::memory_order_relaxed);
+            fixpoints[algo] = std::make_shared<std::vector<Value>>(
+                std::move(r.states));
+        }
+
+        const auto snap = store_.publish(base, std::move(updated),
+                                         std::move(fixpoints));
+        if (snap) {
+            stats_.batchesApplied.fetch_add(1,
+                                            std::memory_order_relaxed);
+            stats_.batchEdgesApplied.fetch_add(
+                batch.size(), std::memory_order_relaxed);
+            return snap->version;
+        }
+    }
+    stats_.errors.fetch_add(1, std::memory_order_relaxed);
+    dg_warn("giving up on a ", batch.size(), "-edge batch for '",
+            graph, "' after repeated publish conflicts");
+    return 0;
+}
+
+std::size_t
+UpdateBatcher::flushAll()
+{
+    std::vector<std::string> graphs;
+    {
+        std::lock_guard lk(mu_);
+        for (const auto &[name, pg] : map_)
+            if (!pg->pending.empty())
+                graphs.push_back(name);
+    }
+    std::size_t applied = 0;
+    for (const auto &name : graphs)
+        if (flush(name) != 0)
+            ++applied;
+    return applied;
+}
+
+std::size_t
+UpdateBatcher::pendingEdges(const std::string &graph) const
+{
+    std::lock_guard lk(mu_);
+    const auto it = map_.find(graph);
+    return it == map_.end() ? 0 : it->second->pending.size();
+}
+
+} // namespace depgraph::service

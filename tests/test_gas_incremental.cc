@@ -152,6 +152,73 @@ TEST(Incremental, NoInsertionsMeansNoWork)
     EXPECT_LE(maxStateDifference(inc.states, old_run.states), 1e-12);
 }
 
+/**
+ * Batch semantics property: applying two update batches sequentially
+ * (reconverging after each) and applying their concatenation as one
+ * merged batch must reach the same fixpoint. This is what lets the
+ * service's UpdateBatcher coalesce queued insertions freely.
+ * Parameterized over sum- and min/max-accumulator algorithms, several
+ * random batch pairs each.
+ */
+class BatchMergeSemantics : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(BatchMergeSemantics, SequentialBatchesEqualMergedBatch)
+{
+    for (const std::uint64_t seed : {910u, 920u, 930u}) {
+        const Graph g = graph::powerLaw(300, 2.0, 5.0, {.seed = seed});
+        const auto b1 = someInsertions(g, 6, seed + 1);
+        const auto b2 = someInsertions(g, 6, seed + 2);
+
+        const auto alg0 = makeAlgorithm(GetParam());
+        const auto fix0 = runReference(g, *alg0);
+        ASSERT_TRUE(fix0.converged);
+
+        // Path A: batch 1, reconverge, batch 2, reconverge.
+        const auto g1 = applyInsertions(g, b1);
+        const auto alg1 = makeAlgorithm(GetParam());
+        const auto d1 =
+            edgeInsertionDeltas(g, g1, b1, fix0.states, *alg1);
+        ResumeAlgorithm r1(*alg1, fix0.states, d1);
+        const auto run1 = runReference(g1, r1);
+        ASSERT_TRUE(run1.converged);
+
+        const auto g2 = applyInsertions(g1, b2);
+        const auto alg2 = makeAlgorithm(GetParam());
+        const auto d2 =
+            edgeInsertionDeltas(g1, g2, b2, run1.states, *alg2);
+        ResumeAlgorithm r2(*alg2, run1.states, d2);
+        const auto run2 = runReference(g2, r2);
+        ASSERT_TRUE(run2.converged);
+
+        // Path B: one merged batch.
+        auto merged = b1;
+        merged.insert(merged.end(), b2.begin(), b2.end());
+        const auto gm = applyInsertions(g, merged);
+        const auto algm = makeAlgorithm(GetParam());
+        const auto dm =
+            edgeInsertionDeltas(g, gm, merged, fix0.states, *algm);
+        ResumeAlgorithm rm(*algm, fix0.states, dm);
+        const auto runm = runReference(gm, rm);
+        ASSERT_TRUE(runm.converged);
+
+        ASSERT_EQ(g2.numEdges(), gm.numEdges());
+        EXPECT_LE(maxStateDifference(run2.states, runm.states), 1e-3)
+            << GetParam() << " seed " << seed;
+
+        // Both must also agree with from-scratch on the final graph.
+        const auto alg_gold = makeAlgorithm(GetParam());
+        const auto gold = runReference(gm, *alg_gold);
+        ASSERT_TRUE(gold.converged);
+        EXPECT_LE(maxStateDifference(runm.states, gold.states), 1e-3)
+            << GetParam() << " seed " << seed;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(SumAndMinMaxAccums, BatchMergeSemantics,
+                         ::testing::Values("pagerank", "adsorption",
+                                           "katz", "sssp", "sswp"));
+
 TEST(Incremental, SsspShortcutEdgeImprovesDistances)
 {
     // Inserting a short bypass must lower downstream distances.

@@ -1,0 +1,305 @@
+/**
+ * @file
+ * GraphService end-to-end API semantics on a single thread of clients:
+ * snapshot isolation, fixpoint caching, batched update visibility,
+ * deadlines, rejection, the Session wrapper, and the dgserve line
+ * protocol.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gas/algorithms.hh"
+#include "gas/reference.hh"
+#include "graph/generators.hh"
+#include "service/protocol.hh"
+#include "service/service.hh"
+
+namespace depgraph::service
+{
+namespace
+{
+
+/** Small service wired for fast tests: Sequential engine, no logs. */
+ServiceOptions
+testOptions()
+{
+    ServiceOptions opt;
+    opt.pool.numThreads = 2;
+    opt.pool.queueCapacity = 64;
+    opt.pool.blockWhenFull = true;
+    opt.batcher.maxPendingEdges = 1000; // no auto-flush unless asked
+    opt.batcher.solution = Solution::Sequential;
+    return opt;
+}
+
+graph::Graph
+testGraph(std::uint64_t seed = 11)
+{
+    return graph::powerLaw(300, 2.0, 5.0, {.seed = seed});
+}
+
+TEST(GraphService, QueryMatchesReferenceAndCachesFixpoint)
+{
+    GraphService svc(testOptions());
+    svc.loadGraph("g", testGraph());
+
+    auto r1 = svc.query({"g", "pagerank", Solution::Sequential}).get();
+    ASSERT_TRUE(r1.ok());
+    EXPECT_EQ(r1.version, 1u);
+    EXPECT_FALSE(r1.cacheHit);
+    ASSERT_NE(r1.states, nullptr);
+
+    const auto g = testGraph();
+    const auto alg = gas::makeAlgorithm("pagerank");
+    const auto gold = gas::runReference(g, *alg);
+    EXPECT_LE(gas::maxStateDifference(*r1.states, gold.states), 1e-3);
+
+    // Same snapshot, same algorithm: served from the fixpoint cache.
+    auto r2 = svc.query({"g", "pagerank", Solution::DepGraphH}).get();
+    ASSERT_TRUE(r2.ok());
+    EXPECT_TRUE(r2.cacheHit);
+    EXPECT_EQ(r2.states, r1.states); // literally the same vector
+
+    const auto st = svc.stats();
+    EXPECT_EQ(st.queries, 2u);
+    EXPECT_EQ(st.queryCacheHits, 1u);
+    EXPECT_EQ(st.queryCacheMisses, 1u);
+}
+
+TEST(GraphService, ErrorsAreReportedNotFatal)
+{
+    GraphService svc(testOptions());
+    svc.loadGraph("g", testGraph());
+
+    EXPECT_EQ(svc.query({"nope", "pagerank", Solution::Sequential})
+                  .get()
+                  .status,
+              Status::NotFound);
+    EXPECT_EQ(svc.query({"g", "frobnicate", Solution::Sequential})
+                  .get()
+                  .status,
+              Status::BadRequest);
+    EXPECT_EQ(svc.streamUpdates("nope", {{0, 1, 1.0}}).get().status,
+              Status::NotFound);
+}
+
+TEST(GraphService, UpdatesInvisibleUntilFlushThenVersionBumps)
+{
+    GraphService svc(testOptions());
+    svc.loadGraph("g", testGraph());
+
+    const auto before =
+        svc.query({"g", "pagerank", Solution::Sequential}).get();
+    ASSERT_TRUE(before.ok());
+
+    auto upd = svc.streamUpdates("g", {{1, 2, 1.0}, {3, 4, 1.0}}).get();
+    ASSERT_TRUE(upd.ok());
+    EXPECT_EQ(upd.enqueuedEdges, 2u);
+    EXPECT_EQ(upd.pendingEdges, 2u);
+    EXPECT_EQ(upd.version, 0u); // below threshold: not applied yet
+
+    // Snapshot isolation: still version 1, still a cache hit.
+    auto mid = svc.query({"g", "pagerank", Solution::Sequential}).get();
+    EXPECT_EQ(mid.version, 1u);
+    EXPECT_TRUE(mid.cacheHit);
+
+    auto fl = svc.flush("g").get();
+    ASSERT_TRUE(fl.ok());
+    EXPECT_EQ(fl.version, 2u);
+    EXPECT_EQ(fl.pendingEdges, 0u);
+
+    // The flush reconverged the cached pagerank fixpoint, so the
+    // post-flush query is a cache hit at the new version...
+    auto after = svc.query({"g", "pagerank", Solution::Sequential}).get();
+    EXPECT_EQ(after.version, 2u);
+    EXPECT_TRUE(after.cacheHit);
+
+    // ...and matches a from-scratch run on the updated graph.
+    const auto updated = gas::applyInsertions(
+        testGraph(), {{1, 2, 1.0}, {3, 4, 1.0}});
+    const auto alg = gas::makeAlgorithm("pagerank");
+    const auto gold = gas::runReference(updated, *alg);
+    EXPECT_LE(gas::maxStateDifference(*after.states, gold.states),
+              1e-3);
+
+    const auto st = svc.stats();
+    EXPECT_EQ(st.batchesApplied, 1u);
+    EXPECT_EQ(st.batchEdgesApplied, 2u);
+    EXPECT_EQ(st.incrementalPasses, 1u);
+}
+
+TEST(GraphService, ThresholdCrossingTriggersAutoFlush)
+{
+    auto opt = testOptions();
+    opt.batcher.maxPendingEdges = 4;
+    GraphService svc(opt);
+    svc.loadGraph("g", testGraph());
+
+    svc.streamUpdates("g", {{0, 5, 1.0}, {1, 6, 1.0}}).get();
+    auto r = svc.streamUpdates("g", {{2, 7, 1.0}, {3, 8, 1.0}}).get();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.version, 2u); // crossing 4 pending edges applied them
+
+    EXPECT_EQ(svc.batcher().pendingEdges("g"), 0u);
+    EXPECT_EQ(svc.stats().batchesApplied, 1u);
+    EXPECT_EQ(svc.stats().batchEdgesApplied, 4u);
+}
+
+TEST(GraphService, ExpiredDeadlineFailsFast)
+{
+    GraphService svc(testOptions());
+    svc.loadGraph("g", testGraph());
+
+    // A deadline already in the past when the worker picks it up.
+    const auto past = std::chrono::steady_clock::now()
+        - std::chrono::milliseconds(5);
+    auto r = svc.query({"g", "pagerank", Solution::Sequential},
+                       Deadline{past})
+                 .get();
+    EXPECT_EQ(r.status, Status::DeadlineExceeded);
+    EXPECT_EQ(svc.stats().deadlineExpired, 1u);
+
+    // A generous deadline passes untouched.
+    auto ok = svc.query({"g", "pagerank", Solution::Sequential},
+                        deadlineIn(std::chrono::minutes(1)))
+                  .get();
+    EXPECT_TRUE(ok.ok());
+}
+
+TEST(GraphService, SaturatedQueueRejectsUnderRejectPolicy)
+{
+    auto opt = testOptions();
+    opt.pool.numThreads = 1;
+    opt.pool.queueCapacity = 1;
+    opt.pool.blockWhenFull = false;
+    GraphService svc(opt);
+    // Big enough that the first query holds the only worker for a
+    // while (simulated run, hundreds of ms).
+    svc.loadGraph("g", graph::powerLaw(4000, 2.0, 6.0, {.seed = 9}));
+
+    auto slow = svc.query({"g", "pagerank", Solution::Sequential});
+    bool sawReject = false;
+    std::vector<std::future<Response>> pending;
+    for (int i = 0; i < 64 && !sawReject; ++i) {
+        auto f = svc.streamUpdates("g", {{0, 1, 1.0}});
+        if (f.wait_for(std::chrono::seconds(0))
+                == std::future_status::ready
+            && f.get().status == Status::Rejected) {
+            sawReject = true;
+        } else {
+            pending.push_back(std::move(f));
+        }
+    }
+    EXPECT_TRUE(sawReject);
+    EXPECT_GE(svc.stats().rejected, 1u);
+    EXPECT_TRUE(slow.get().ok());
+    svc.drain();
+}
+
+TEST(GraphService, DrainAppliesEverythingAccepted)
+{
+    GraphService svc(testOptions());
+    svc.loadGraph("g", testGraph());
+    svc.query({"g", "sssp", Solution::Sequential}).get();
+
+    std::vector<std::future<Response>> futs;
+    for (VertexId i = 0; i < 10; ++i)
+        futs.push_back(
+            svc.streamUpdates("g", {{i, i + 20, 1.0}}));
+    for (auto &f : futs)
+        ASSERT_TRUE(f.get().ok());
+
+    svc.drain();
+    const auto snap = svc.store().get("g");
+    ASSERT_NE(snap, nullptr);
+    EXPECT_EQ(snap->version, 2u); // 10 requests, one coalesced batch
+    EXPECT_EQ(svc.batcher().pendingEdges("g"), 0u);
+
+    const auto st = svc.stats();
+    EXPECT_EQ(st.updateRequests, 10u);
+    EXPECT_EQ(st.batchesApplied, 1u);
+    EXPECT_LT(st.batchesApplied, st.updateRequests);
+}
+
+TEST(GraphService, ShutdownAppliesPendingUpdates)
+{
+    auto svc = std::make_unique<GraphService>(testOptions());
+    svc->loadGraph("g", testGraph());
+    svc->streamUpdates("g", {{0, 9, 1.0}}).get();
+    svc->shutdown();
+    EXPECT_EQ(svc->store().get("g")->version, 2u);
+    // After shutdown, requests are refused, not queued.
+    EXPECT_EQ(svc->query({"g", "pagerank", Solution::Sequential})
+                  .get()
+                  .status,
+              Status::ShuttingDown);
+}
+
+TEST(Session, BindsDefaultsAndRoundTrips)
+{
+    GraphService svc(testOptions());
+    svc.loadGraph("social", testGraph(21));
+
+    Session s(svc, "social", "pagerank", Solution::Sequential);
+    auto q1 = s.query();
+    ASSERT_TRUE(q1.ok());
+    ASSERT_TRUE(s.update(2, 3, 1.0).ok());
+    ASSERT_TRUE(s.update({{4, 5, 1.0}, {6, 7, 1.0}}).ok());
+    auto fl = s.flushUpdates();
+    ASSERT_TRUE(fl.ok());
+    EXPECT_EQ(fl.version, 2u);
+    auto q2 = s.query();
+    ASSERT_TRUE(q2.ok());
+    EXPECT_TRUE(q2.cacheHit);
+    EXPECT_NE(q1.states, q2.states);
+
+    s.setTimeout(std::chrono::minutes(1));
+    EXPECT_TRUE(s.query("sssp").ok());
+}
+
+TEST(Protocol, ParsesAndExecutesScript)
+{
+    GraphService svc(testOptions());
+
+    EXPECT_EQ(runCommandLine(svc, "load g path 6").output,
+              "ok v=1 graph=g");
+    EXPECT_EQ(runCommandLine(svc, "").output, "");
+    EXPECT_EQ(runCommandLine(svc, "# comment").output, "");
+
+    const auto q =
+        runCommandLine(svc, "query g sssp Sequential 2").output;
+    EXPECT_EQ(q.rfind("ok v=1 algo=sssp cache=miss", 0), 0u) << q;
+
+    EXPECT_EQ(runCommandLine(svc, "update g 0 5 0.25").output,
+              "ok enqueued=1 pending=1");
+    EXPECT_EQ(runCommandLine(svc, "flush g").output,
+              "ok applied v=2");
+    EXPECT_EQ(runCommandLine(svc, "flush g").output,
+              "ok nothing-pending");
+    EXPECT_EQ(runCommandLine(svc, "graphs").output, "ok g@v2");
+    EXPECT_EQ(runCommandLine(svc, "drain").output, "ok drained");
+
+    // Errors are replies, never fatal.
+    EXPECT_EQ(runCommandLine(svc, "query").output,
+              "err: usage: query <name> [algo] [solution] [top]");
+    EXPECT_EQ(runCommandLine(svc, "query nope").output.rfind("err:", 0),
+              0u);
+    EXPECT_EQ(runCommandLine(svc, "load g warp 9").output,
+              "err: unknown generator 'warp'");
+    EXPECT_EQ(runCommandLine(svc, "update g zero 1").output,
+              "err: bad vertex id");
+    EXPECT_EQ(runCommandLine(svc, "bogus").output,
+              "err: unknown command 'bogus' (try help)");
+
+    const auto quit = runCommandLine(svc, "quit");
+    EXPECT_TRUE(quit.quit);
+
+    // The stream driver stops at quit and counts commands.
+    std::istringstream in("load h ring 5\nquery h sssp\nquit\nquery h");
+    std::ostringstream out;
+    EXPECT_EQ(serveStream(svc, in, out), 3u);
+    EXPECT_NE(out.str().find("bye"), std::string::npos);
+}
+
+} // namespace
+} // namespace depgraph::service

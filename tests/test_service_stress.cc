@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Concurrency stress: many client threads hammer one GraphService with
+ * interleaved Query and StreamUpdates requests. After a drain, the
+ * served states must equal a serial reference execution of the same
+ * request log (same initial graph + the union of all inserted edges),
+ * and the batcher must have coalesced updates into fewer incremental
+ * reconvergence passes than there were update requests.
+ *
+ * Registered with ctest labels `service;tsan`: it is the test the
+ * ThreadSanitizer CI mode exists for, and slow enough that quick local
+ * iterations may want `ctest -LE service`.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/random.hh"
+#include "gas/algorithms.hh"
+#include "gas/incremental.hh"
+#include "gas/reference.hh"
+#include "graph/generators.hh"
+#include "service/service.hh"
+
+namespace depgraph::service
+{
+namespace
+{
+
+constexpr unsigned kClients = 8;
+constexpr unsigned kRoundsPerClient = 5;
+constexpr unsigned kEdgesPerUpdate = 3;
+
+/** The edges client `t` inserts in round `i`: deterministic, so the
+ * serial reference can rebuild the exact request log. */
+std::vector<gas::EdgeInsertion>
+clientEdges(const graph::Graph &g, unsigned t, unsigned i)
+{
+    Rng rng(1000 + 97 * t + i);
+    std::vector<gas::EdgeInsertion> edges;
+    for (unsigned k = 0; k < kEdgesPerUpdate; ++k) {
+        const auto s = static_cast<VertexId>(
+            rng.nextBounded(g.numVertices()));
+        auto d =
+            static_cast<VertexId>(rng.nextBounded(g.numVertices()));
+        if (d == s)
+            d = (d + 1) % g.numVertices();
+        edges.push_back({s, d, rng.nextDouble(1.0, 4.0)});
+    }
+    return edges;
+}
+
+TEST(ServiceStress, ConcurrentClientsMatchSerialReference)
+{
+    const auto initial = graph::powerLaw(400, 2.0, 6.0, {.seed = 501});
+
+    ServiceOptions opt;
+    opt.pool.numThreads = 4;
+    opt.pool.queueCapacity = 256;
+    opt.pool.blockWhenFull = true; // stress must not drop requests
+    opt.batcher.maxPendingEdges = 24;
+    opt.batcher.solution = Solution::Sequential;
+    GraphService svc(opt);
+    svc.loadGraph("g", initial);
+
+    // Warm the fixpoint caches so flushes reconverge incrementally.
+    ASSERT_TRUE(
+        svc.query({"g", "pagerank", Solution::Sequential}).get().ok());
+    ASSERT_TRUE(
+        svc.query({"g", "sssp", Solution::Sequential}).get().ok());
+
+    std::vector<std::thread> clients;
+    std::atomic<unsigned> failures{0};
+    for (unsigned t = 0; t < kClients; ++t) {
+        clients.emplace_back([&, t] {
+            Session session(svc, "g", "pagerank",
+                            Solution::Sequential);
+            for (unsigned i = 0; i < kRoundsPerClient; ++i) {
+                if (!session.update(clientEdges(initial, t, i)).ok())
+                    ++failures;
+                const auto q = (t + i) % 2 == 0
+                    ? session.query("pagerank")
+                    : session.query("sssp");
+                if (!q.ok() || !q.states)
+                    ++failures;
+            }
+        });
+    }
+    for (auto &c : clients)
+        c.join();
+    EXPECT_EQ(failures.load(), 0u);
+
+    svc.drain();
+
+    // Serial reference: the same request log replayed as one batch.
+    std::vector<gas::EdgeInsertion> all;
+    for (unsigned t = 0; t < kClients; ++t)
+        for (unsigned i = 0; i < kRoundsPerClient; ++i) {
+            const auto e = clientEdges(initial, t, i);
+            all.insert(all.end(), e.begin(), e.end());
+        }
+    const auto final_graph = gas::applyInsertions(initial, all);
+
+    const auto served_pr =
+        svc.query({"g", "pagerank", Solution::Sequential}).get();
+    const auto served_sssp =
+        svc.query({"g", "sssp", Solution::Sequential}).get();
+    ASSERT_TRUE(served_pr.ok());
+    ASSERT_TRUE(served_sssp.ok());
+
+    const auto snap = svc.store().get("g");
+    ASSERT_NE(snap, nullptr);
+    EXPECT_EQ(snap->graph->numEdges(), final_graph.numEdges());
+
+    {
+        const auto alg = gas::makeAlgorithm("pagerank");
+        const auto gold = gas::runReference(final_graph, *alg);
+        ASSERT_TRUE(gold.converged);
+        EXPECT_LE(gas::maxStateDifference(*served_pr.states,
+                                          gold.states),
+                  5e-3);
+    }
+    {
+        const auto alg = gas::makeAlgorithm("sssp");
+        const auto gold = gas::runReference(final_graph, *alg);
+        ASSERT_TRUE(gold.converged);
+        EXPECT_LE(gas::maxStateDifference(*served_sssp.states,
+                                          gold.states),
+                  1e-9); // min-accumulator: exact
+    }
+
+    // Batching must be measurably effective: every update request
+    // accepted, yet far fewer reconvergence passes than requests.
+    const auto st = svc.stats();
+    EXPECT_EQ(st.updateRequests, kClients * kRoundsPerClient);
+    EXPECT_EQ(st.updateEdgesEnqueued,
+              kClients * kRoundsPerClient * kEdgesPerUpdate);
+    EXPECT_EQ(st.batchEdgesApplied, st.updateEdgesEnqueued);
+    EXPECT_GE(st.batchesApplied, 1u);
+    EXPECT_LT(st.batchesApplied, st.updateRequests);
+    EXPECT_LT(st.incrementalPasses, st.updateRequests);
+    EXPECT_GE(st.queryCacheHits, 1u);
+    EXPECT_EQ(st.rejected, 0u);
+}
+
+TEST(ServiceStress, ConcurrentLoadsQueriesAndFlushesStaySane)
+{
+    // A different interleaving: clients re-load graphs, query, and
+    // force flushes concurrently. Checks isolation and absence of
+    // crashes/races rather than exact states (re-loads reset lineage).
+    ServiceOptions opt;
+    opt.pool.numThreads = 4;
+    opt.pool.queueCapacity = 128;
+    opt.pool.blockWhenFull = true;
+    opt.batcher.maxPendingEdges = 10;
+    opt.batcher.solution = Solution::Sequential;
+    GraphService svc(opt);
+    svc.loadGraph("a", graph::powerLaw(200, 2.0, 5.0, {.seed = 1}));
+    svc.loadGraph("b", graph::ring(128));
+
+    std::atomic<unsigned> badStatuses{0};
+    std::vector<std::thread> clients;
+    for (unsigned t = 0; t < 8; ++t) {
+        clients.emplace_back([&, t] {
+            Rng rng(7000 + t);
+            const std::string name = (t % 2) ? "a" : "b";
+            for (unsigned i = 0; i < 6; ++i) {
+                switch (rng.nextBounded(4)) {
+                  case 0: {
+                    const auto r =
+                        svc.query({name, "wcc", Solution::Sequential})
+                            .get();
+                    if (!r.ok())
+                        ++badStatuses;
+                    break;
+                  }
+                  case 1: {
+                    const auto s = static_cast<VertexId>(
+                        rng.nextBounded(100));
+                    if (!svc.streamUpdates(name,
+                                           {{s, s + 7, 1.0}})
+                             .get()
+                             .ok())
+                        ++badStatuses;
+                    break;
+                  }
+                  case 2:
+                    if (!svc.flush(name).get().ok())
+                        ++badStatuses;
+                    break;
+                  case 3:
+                    svc.loadGraph(
+                        name, graph::powerLaw(
+                                  150 + 10 * t, 2.0, 5.0,
+                                  {.seed = 100 + t}));
+                    break;
+                }
+            }
+        });
+    }
+    for (auto &c : clients)
+        c.join();
+    svc.drain();
+
+    EXPECT_EQ(badStatuses.load(), 0u);
+    // Both graphs still serve consistent snapshots.
+    for (const auto &name : {"a", "b"}) {
+        const auto r =
+            svc.query({name, "pagerank", Solution::Sequential}).get();
+        ASSERT_TRUE(r.ok()) << name;
+        ASSERT_NE(r.states, nullptr);
+        EXPECT_EQ(r.states->size(),
+                  svc.store().get(name)->graph->numVertices());
+    }
+}
+
+} // namespace
+} // namespace depgraph::service

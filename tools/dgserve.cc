@@ -1,0 +1,60 @@
+/**
+ * @file
+ * dgserve — the graph-compute service behind a scriptable stdin/stdout
+ * protocol. Reads newline-delimited requests, executes them on the
+ * worker pool, prints one reply block per request (see
+ * service/protocol.hh for the command set).
+ *
+ * Examples:
+ *   printf 'load g powerlaw 5000\nquery g pagerank\nquit\n' | dgserve
+ *   dgserve --workers 8 --queue 256 --block --stats_ms 2000 < script
+ */
+
+#include <iostream>
+
+#include "common/options.hh"
+#include "service/protocol.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace depgraph;
+
+    Options o;
+    o.declare("workers", "4", "worker threads");
+    o.declare("queue", "128", "job queue capacity");
+    o.declare("block", "false",
+              "block producers when the queue is full (default: "
+              "reject)");
+    o.declare("batch", "64",
+              "pending-edge threshold that triggers a batch flush");
+    o.declare("solution", "DepGraph-H",
+              "engine for queries' default and incremental passes");
+    o.declare("cores", "16", "simulated cores");
+    o.declare("stats_ms", "0",
+              "periodic stats log interval in ms (0 = off)");
+    o.declare("echo", "false", "echo each command before its reply");
+    o.parse(argc, argv);
+
+    service::ServiceOptions sopt;
+    sopt.pool.numThreads = static_cast<unsigned>(o.getInt("workers"));
+    sopt.pool.queueCapacity =
+        static_cast<std::size_t>(o.getInt("queue"));
+    sopt.pool.blockWhenFull = o.getBool("block");
+    sopt.batcher.maxPendingEdges =
+        static_cast<std::size_t>(o.getInt("batch"));
+    sopt.batcher.solution = solutionFromName(o.getString("solution"));
+    sopt.system.machine.numCores =
+        static_cast<unsigned>(o.getInt("cores"));
+    sopt.system.engine.numCores = sopt.system.machine.numCores;
+    sopt.statsLogInterval =
+        std::chrono::milliseconds(o.getInt("stats_ms"));
+
+    service::GraphService svc(sopt);
+    const auto n = service::serveStream(svc, std::cin, std::cout,
+                                        o.getBool("echo"));
+    svc.drain();
+    std::cout << svc.stats().logLine() << "\n";
+    std::cout << "served " << n << " commands\n";
+    return 0;
+}
