@@ -1,17 +1,19 @@
 /**
  * @file
- * Streaming-update scenario: the "incremental pagerank" workload the
- * paper evaluates, shown through BOTH entry points:
+ * Streaming-churn scenario: the "incremental pagerank" workload the
+ * paper evaluates, over a stream that both FOLLOWS and UNFOLLOWS --
+ * shown through BOTH entry points:
  *
- *  1. the direct library path -- per batch, call
- *     gas::edgeInsertionDeltas + ResumeAlgorithm and run DepGraph-H
+ *  1. the direct library path -- per batch, call gas::applyChurn +
+ *     gas::edgeChurnDeltas + ResumeAlgorithm and run DepGraph-H
  *     yourself;
- *  2. the serving path -- stream the same edges one request at a time
- *     into a GraphService, whose UpdateBatcher coalesces them and
- *     applies ONE incremental reconvergence per batch flush.
+ *  2. the serving path -- stream the same insertions and deletions one
+ *     request at a time into a GraphService, whose UpdateBatcher
+ *     coalesces them and applies ONE incremental reconvergence per
+ *     batch flush.
  *
  * Both must land on the same fixpoint (asserted at the end), but the
- * service turns N update requests into a handful of reconvergence
+ * service turns N churn requests into a handful of reconvergence
  * passes -- check the `batches` vs `update requests` stats line.
  *
  * Run: ./streaming_updates [--batches=4] [--batch_size=16]
@@ -53,6 +55,27 @@ batchEdges(const graph::Graph &g, int batch, int batch_size)
     return ins;
 }
 
+/** The unfollow-edges of one batch: existing follows of the ORIGINAL
+ * graph, picked deterministically. A pair whose edge was already
+ * unfollowed in an earlier batch is simply a no-op -- identically on
+ * both paths. */
+std::vector<gas::EdgeDeletion>
+batchDeletions(const graph::Graph &g, int batch, int count)
+{
+    Rng rng(5100 + static_cast<std::uint64_t>(batch));
+    std::vector<gas::EdgeDeletion> dels;
+    while (static_cast<int>(dels.size()) < count) {
+        const auto s =
+            static_cast<VertexId>(rng.nextBounded(g.numVertices()));
+        if (g.outDegree(s) == 0)
+            continue;
+        const EdgeId e = g.edgeBegin(s)
+            + static_cast<EdgeId>(rng.nextBounded(g.outDegree(s)));
+        dels.push_back({s, g.target(e)}); // any-weight deletion
+    }
+    return dels;
+}
+
 } // namespace
 
 int
@@ -65,6 +88,7 @@ main(int argc, char **argv)
     opt.parse(argc, argv);
     const int batches = static_cast<int>(opt.getInt("batches"));
     const int batch_size = static_cast<int>(opt.getInt("batch_size"));
+    const int dels_per_batch = std::max(1, batch_size / 4);
 
     const graph::Graph initial =
         graph::powerLaw(8000, 2.0, 10.0, {.seed = 77});
@@ -82,17 +106,24 @@ main(int argc, char **argv)
     auto base_alg = gas::makeAlgorithm("pagerank");
     auto states = gas::runReference(g, *base_alg).states;
 
-    Table t({"batch", "new_edges", "inc_updates", "scratch_updates",
+    Table t({"batch", "ins", "dels", "inc_updates", "scratch_updates",
              "savings", "max_state_err"});
     for (int batch = 1; batch <= batches; ++batch) {
         const auto ins = batchEdges(initial, batch, batch_size);
-        const auto updated = gas::applyInsertions(g, ins);
+        const auto dels =
+            batchDeletions(initial, batch, dels_per_batch);
+        const auto updated = gas::applyChurn(g, ins, dels);
 
-        // Incremental reconvergence through DepGraph-H.
+        // Incremental reconvergence through DepGraph-H. For pagerank
+        // (a sum accumulator) the deleted follows' historical mass is
+        // retracted exactly; edgeChurnDeltas leaves `states` as the
+        // valid resume point.
         auto alg_inc = gas::makeAlgorithm("pagerank");
-        const auto deltas = gas::edgeInsertionDeltas(
-            g, updated, ins, states, *alg_inc);
-        gas::ResumeAlgorithm resume(*alg_inc, states, deltas);
+        auto resumed = states;
+        const auto deltas = gas::edgeChurnDeltas(
+            g, updated, ins, dels, resumed, *alg_inc);
+        gas::ResumeAlgorithm resume(*alg_inc, std::move(resumed),
+                                    deltas);
         const auto inc = sys.run(updated, resume, Solution::DepGraphH);
 
         // From-scratch comparison (and gold states).
@@ -107,6 +138,7 @@ main(int argc, char **argv)
 
         t.addRow({Table::fmt(std::uint64_t(batch)),
                   Table::fmt(std::uint64_t{ins.size()}),
+                  Table::fmt(std::uint64_t{dels.size()}),
                   Table::fmt(inc.metrics.updates),
                   Table::fmt(scratch.metrics.updates),
                   Table::fmt(100.0
@@ -131,10 +163,10 @@ main(int argc, char **argv)
     sopt.system = cfg;
     sopt.pool.numThreads = 2;
     sopt.pool.blockWhenFull = true;
-    // Coalesce one example batch per flush; edges arrive ONE request
-    // at a time, as a real follower stream would.
+    // Coalesce one example batch per flush; follows and unfollows
+    // arrive ONE request at a time, as a real stream would.
     sopt.batcher.maxPendingEdges =
-        static_cast<std::size_t>(batch_size);
+        static_cast<std::size_t>(batch_size + dels_per_batch);
     sopt.batcher.solution = Solution::DepGraphH;
     service::GraphService svc(sopt);
     svc.loadGraph("social", initial);
@@ -144,10 +176,15 @@ main(int argc, char **argv)
     auto first = session.query(); // converge + cache the base ranking
     dg_assert(first.ok(), "initial service query failed");
 
-    for (int batch = 1; batch <= batches; ++batch)
+    for (int batch = 1; batch <= batches; ++batch) {
         for (const auto &e : batchEdges(initial, batch, batch_size))
             dg_assert(session.update(e.src, e.dst, e.weight).ok(),
                       "update request failed");
+        for (const auto &d :
+             batchDeletions(initial, batch, dels_per_batch))
+            dg_assert(session.erase(d.src, d.dst).ok(),
+                      "delete request failed");
+    }
     svc.drain(); // apply whatever is still below the flush threshold
 
     const auto served = session.query();
@@ -156,9 +193,9 @@ main(int argc, char **argv)
 
     const auto st = svc.stats();
     std::cout << "service path: " << st.updateRequests
-              << " update requests coalesced into "
-              << st.batchesApplied << " batches / "
-              << st.incrementalPasses
+              << " churn requests (" << st.updateDeletionsEnqueued
+              << " deletions) coalesced into " << st.batchesApplied
+              << " batches / " << st.incrementalPasses
               << " incremental reconvergence passes\n";
 
     const auto err =
@@ -168,6 +205,6 @@ main(int argc, char **argv)
     dg_assert(err <= 1e-2,
               "service and direct paths diverged: ", err);
     std::cout << "both paths reach the same fixpoint; the service did "
-                 "it behind a thread pool with batched updates.\n";
+                 "it behind a thread pool with batched churn.\n";
     return 0;
 }

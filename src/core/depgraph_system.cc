@@ -111,8 +111,22 @@ runtime::RunResult
 DepGraphSystem::run(const graph::Graph &g, gas::Algorithm &alg,
                     Solution s)
 {
+    return run(g, alg, s, nullptr, nullptr);
+}
+
+runtime::RunResult
+DepGraphSystem::run(const graph::Graph &g, gas::Algorithm &alg,
+                    Solution s,
+                    const runtime::HubArtifacts *hub_seed,
+                    runtime::HubArtifacts *hub_export)
+{
+    if (hub_export)
+        hub_export->deps.clear();
     sim::Machine machine(cfg_.machine);
-    const auto engine = makeEngine(s, cfg_.engine);
+    auto opt = cfg_.engine;
+    opt.hubSeed = hub_seed;
+    opt.hubExport = hub_export;
+    const auto engine = makeEngine(s, opt);
     return engine->run(g, alg, machine);
 }
 

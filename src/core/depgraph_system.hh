@@ -82,6 +82,17 @@ class DepGraphSystem
     runtime::RunResult run(const graph::Graph &g, gas::Algorithm &alg,
                            Solution s);
 
+    /**
+     * Run with hub-index carry-over: warm-start the engine's hub index
+     * from `hub_seed` (nullable) and export the entries this run
+     * learned into `hub_export` (nullable, cleared first). Engines
+     * without a hub index ignore both and leave `hub_export` empty.
+     */
+    runtime::RunResult run(const graph::Graph &g, gas::Algorithm &alg,
+                           Solution s,
+                           const runtime::HubArtifacts *hub_seed,
+                           runtime::HubArtifacts *hub_export);
+
     /** u_s: update count of the minimal sequential schedule, for
      * effective-utilization metrics (r_e = u_s * U / u_d). */
     std::uint64_t minimalUpdates(const graph::Graph &g,

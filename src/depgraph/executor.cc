@@ -149,6 +149,44 @@ DepGraphExecutor::run(const graph::Graph &g, gas::Algorithm &alg,
     auto &mx = result.metrics;
     mx.coresUsed = cores;
 
+    /* ---- Hub-index warm start. A dependency learned by a previous
+     * run is installed as an Available entry only when its full
+     * head..tail vertex sequence reappears verbatim among THIS run's
+     * indexed core-paths: per-edge functions depend only on the
+     * source's out-edge set, so an untouched path composes to the
+     * identical function and the seeded entry equals what this run
+     * would eventually fit itself. Anything else (path re-cut, vertex
+     * churned away, partition moved) simply fails to match and gets
+     * re-learned from scratch. ---- */
+    if (dep_.hubIndexEnabled && alg.transformable() && opt_.hubSeed
+        && !opt_.hubSeed->empty()) {
+        std::unordered_map<VertexId, std::vector<std::uint32_t>>
+            paths_by_head;
+        for (const auto &[fe, pid] : path_of_first_edge) {
+            static_cast<void>(fe);
+            paths_by_head[cs.paths()[pid].head].push_back(pid);
+        }
+        for (const auto &d : opt_.hubSeed->deps) {
+            const auto it = paths_by_head.find(d.head);
+            if (it == paths_by_head.end())
+                continue;
+            for (const auto pid : it->second) {
+                const auto &p = cs.paths()[pid];
+                if (p.tail != d.tail || p.vertices != d.vertices)
+                    continue;
+                const auto idx =
+                    index.findOrCreate(p.head, p.tail, pid);
+                auto &en = index.entry(idx);
+                if (en.flag != EntryFlag::A) {
+                    en.flag = EntryFlag::A;
+                    en.func = d.func;
+                    ++mx.hubIndexSeeded;
+                }
+                break;
+            }
+        }
+    }
+
     /* ---- Functional state. ---- */
     Value gate = eps; // Maiter-style selective gate (sum only)
     std::vector<Value> state(n), delta(n), shadow(n, ident);
@@ -667,6 +705,23 @@ DepGraphExecutor::run(const graph::Graph &g, gas::Algorithm &alg,
     mx.hubIndexHits = ds.hits;
     mx.hubIndexInserts = ds.inserts;
     mx.hubIndexBytes = index.byteSize();
+
+    /* Export the Available entries in engine-independent form (full
+     * vertex sequence per dependency) so a later incremental run can
+     * warm-start from them after invalidating whatever a churn batch
+     * touched. */
+    if (opt_.hubExport) {
+        opt_.hubExport->deps.clear();
+        for (std::uint32_t i = 0;
+             i < static_cast<std::uint32_t>(index.size()); ++i) {
+            const auto &en = index.entry(i);
+            if (en.flag != EntryFlag::A)
+                continue;
+            const auto &p = cs.paths()[en.pathId];
+            opt_.hubExport->deps.push_back(
+                {en.head, en.tail, p.vertices, en.func});
+        }
+    }
 
     result.states = std::move(state);
     result.memStats = m.stats();

@@ -1,23 +1,85 @@
 #include "gas/incremental.hh"
 
+#include <deque>
 #include <unordered_set>
 
+#include "common/bitmap.hh"
 #include "common/logging.hh"
 
 namespace depgraph::gas
 {
 
+namespace
+{
+
+constexpr EdgeId kUnmatched = static_cast<EdgeId>(-1);
+
+/**
+ * Match each deletion to an edge id of g: request order, first
+ * not-yet-claimed occurrence, exact-weight when the deletion carries
+ * one. Both the graph rebuild and the delta computation use this, so
+ * they always agree on WHICH parallel duplicate a deletion claims.
+ */
+std::vector<EdgeId>
+matchDeletions(const graph::Graph &g,
+               const std::vector<EdgeDeletion> &dels)
+{
+    std::vector<EdgeId> matched(dels.size(), kUnmatched);
+    std::unordered_set<EdgeId> claimed;
+    for (std::size_t i = 0; i < dels.size(); ++i) {
+        const auto &d = dels[i];
+        if (d.src >= g.numVertices())
+            continue;
+        for (EdgeId e = g.edgeBegin(d.src); e < g.edgeEnd(d.src);
+             ++e) {
+            if (g.target(e) != d.dst || claimed.count(e))
+                continue;
+            if (!d.matchesAnyWeight() && g.weight(e) != d.weight)
+                continue;
+            matched[i] = e;
+            claimed.insert(e);
+            break;
+        }
+    }
+    return matched;
+}
+
+} // namespace
+
 graph::Graph
 applyInsertions(const graph::Graph &g,
                 const std::vector<EdgeInsertion> &ins)
 {
+    return applyChurn(g, ins, {});
+}
+
+graph::Graph
+applyDeletions(const graph::Graph &g,
+               const std::vector<EdgeDeletion> &dels)
+{
+    return applyChurn(g, {}, dels);
+}
+
+graph::Graph
+applyChurn(const graph::Graph &g,
+           const std::vector<EdgeInsertion> &ins,
+           const std::vector<EdgeDeletion> &dels)
+{
     VertexId n = g.numVertices();
     for (const auto &e : ins)
         n = std::max({n, e.src + 1, e.dst + 1});
+
+    const auto matched = matchDeletions(g, dels);
+    std::unordered_set<EdgeId> removed;
+    for (const auto e : matched)
+        if (e != kUnmatched)
+            removed.insert(e);
+
     graph::Builder b(n);
     for (VertexId v = 0; v < g.numVertices(); ++v)
         for (EdgeId e = g.edgeBegin(v); e < g.edgeEnd(v); ++e)
-            b.addEdge(v, g.target(e), g.weight(e));
+            if (!removed.count(e))
+                b.addEdge(v, g.target(e), g.weight(e));
     for (const auto &e : ins)
         b.addEdge(e.src, e.dst, e.weight);
     return b.build(true);
@@ -30,23 +92,51 @@ edgeInsertionDeltas(const graph::Graph &old_graph,
                     const std::vector<Value> &old_states,
                     Algorithm &alg)
 {
-    dg_assert(old_states.size() == old_graph.numVertices(),
+    auto states = old_states;
+    return edgeChurnDeltas(old_graph, updated, ins, {}, states, alg);
+}
+
+std::vector<Value>
+edgeDeletionDeltas(const graph::Graph &old_graph,
+                   const graph::Graph &updated,
+                   const std::vector<EdgeDeletion> &dels,
+                   std::vector<Value> &states, Algorithm &alg)
+{
+    return edgeChurnDeltas(old_graph, updated, {}, dels, states, alg);
+}
+
+std::vector<Value>
+edgeChurnDeltas(const graph::Graph &old_graph,
+                const graph::Graph &updated,
+                const std::vector<EdgeInsertion> &ins,
+                const std::vector<EdgeDeletion> &dels,
+                std::vector<Value> &states, Algorithm &alg)
+{
+    dg_assert(states.size() == old_graph.numVertices(),
               "old state vector size mismatch");
     const auto kind = alg.accumKind();
+    const VertexId old_n = old_graph.numVertices();
     std::vector<Value> inj(updated.numVertices(), alg.identity());
 
     if (kind == AccumKind::Sum) {
         // Affected sources: every vertex whose out-edge set changed.
+        // Deletions and insertions are symmetric here -- the diff of
+        // the mass sent under the old vs. the new edge functions
+        // covers the deleted edge's retraction (-f_old(m_u) at its old
+        // dst), the out-degree renormalization at surviving neighbors,
+        // and the brand-new edges, all at once.
         std::unordered_set<VertexId> sources;
         for (const auto &e : ins)
             sources.insert(e.src);
+        for (const auto &d : dels)
+            sources.insert(d.src);
 
         // Retract the mass sent under the old edge functions...
         alg.prepare(old_graph);
         for (const auto u : sources) {
-            if (u >= old_graph.numVertices())
+            if (u >= old_n)
                 continue;
-            const Value m = old_states[u]; // total delta applied at u
+            const Value m = states[u]; // total delta applied at u
             if (m == 0.0)
                 continue;
             for (EdgeId e = old_graph.edgeBegin(u);
@@ -58,12 +148,12 @@ edgeInsertionDeltas(const graph::Graph &old_graph,
                 inj[old_graph.target(e)] -= f.mu * m;
             }
         }
-        // ... and re-send it under the new ones (covers both the
-        // renormalization of old edges and the brand-new edges).
+        // ... and re-send it under the new ones.
         alg.prepare(updated);
         for (const auto u : sources) {
-            const Value m =
-                u < old_graph.numVertices() ? old_states[u] : 0.0;
+            if (u >= updated.numVertices())
+                continue;
+            const Value m = u < old_n ? states[u] : 0.0;
             if (m == 0.0)
                 continue;
             for (EdgeId e = updated.edgeBegin(u);
@@ -73,21 +163,101 @@ edgeInsertionDeltas(const graph::Graph &old_graph,
             }
         }
         // New vertices (if any) start with their initial delta.
-        for (VertexId v = old_graph.numVertices();
-             v < updated.numVertices(); ++v) {
+        states.resize(updated.numVertices());
+        for (VertexId v = old_n; v < updated.numVertices(); ++v) {
+            states[v] = alg.initState(updated, v);
             inj[v] = applyAccum(kind, inj[v],
                                 alg.initDelta(updated, v));
         }
         return inj;
     }
 
-    // Min/max: the old fixpoint stays a valid bound; only the new
-    // edges inject influence, which then propagates monotonically.
+    /* ---- Min/max accumulators. ---- */
+
+    // Deletions first: find every vertex whose converged value may
+    // have been SUPPORTED by a deleted edge (the edge's influence
+    // achieved the vertex's fixpoint value). Their old states are no
+    // longer valid bounds, and neither are those of anything
+    // downstream, so the whole closure re-seeds and re-propagates.
+    alg.prepare(old_graph);
+    const Value tol = alg.epsilon() + 1e-12;
+    std::deque<VertexId> frontier;
+    if (!dels.empty()) {
+        // Re-match against the old graph: same deterministic rule as
+        // applyChurn, so exactly the removed occurrences are checked.
+        const auto matched = matchDeletions(old_graph, dels);
+        for (std::size_t i = 0; i < dels.size(); ++i) {
+            const auto e = matched[i];
+            if (e == kUnmatched)
+                continue; // deleting a nonexistent edge: no-op
+            const VertexId src = dels[i].src;
+            const VertexId dst = old_graph.target(e);
+            const Value f =
+                alg.edgeCompute(old_graph, src, e, states[src]);
+            const Value s = states[dst];
+            const bool supports = kind == AccumKind::Min
+                ? f <= s + tol
+                : f >= s - tol;
+            if (supports)
+                frontier.push_back(dst);
+        }
+    }
+
+    // Downstream closure of the supported endpoints in the updated
+    // graph (influence only flows along edge direction).
+    Bitmap affected(updated.numVertices());
+    bool any_affected = false;
+    while (!frontier.empty()) {
+        const VertexId v = frontier.front();
+        frontier.pop_front();
+        if (v >= updated.numVertices() || !affected.testAndSet(v))
+            continue;
+        any_affected = true;
+        for (const auto t : updated.neighbors(v))
+            if (!affected.test(t))
+                frontier.push_back(t);
+    }
+
+    // Resume states: old fixpoint, except the affected closure (and
+    // any new vertices) restart from scratch.
+    states.resize(updated.numVertices());
     alg.prepare(updated);
+    for (VertexId v = 0; v < updated.numVertices(); ++v) {
+        if (v >= old_n || affected.test(v)) {
+            states[v] = alg.initState(updated, v);
+            inj[v] = applyAccum(kind, inj[v],
+                                alg.initDelta(updated, v));
+        }
+    }
+
+    // Boundary influence: every surviving edge from an unaffected
+    // vertex into the affected region re-seeds its endpoint from a
+    // still-valid fixpoint value. (One pass over the edge array keeps
+    // parallel duplicates trivially correct.)
+    if (any_affected) {
+        for (VertexId u = 0; u < updated.numVertices(); ++u) {
+            if (u >= old_n || affected.test(u))
+                continue;
+            for (EdgeId e = updated.edgeBegin(u);
+                 e < updated.edgeEnd(u); ++e) {
+                const VertexId t = updated.target(e);
+                if (!affected.test(t))
+                    continue;
+                inj[t] = applyAccum(
+                    kind, inj[t],
+                    alg.edgeCompute(updated, u, e, states[u]));
+            }
+        }
+    }
+
+    // Insertions: the new edges' influence from sources whose old
+    // value is still a valid bound. Affected/new sources are skipped
+    // -- their stale value could overshoot the monotone accumulator,
+    // and their true influence propagates once they reconverge.
     for (const auto &e : ins) {
-        const Value s = e.src < old_graph.numVertices()
-            ? old_states[e.src]
-            : alg.initDelta(updated, e.src);
+        if (e.src >= old_n || affected.test(e.src))
+            continue;
+        const Value s = states[e.src];
         // Locate the inserted edge in the updated CSR (first matching
         // edge with this weight; parallel duplicates are equivalent).
         for (EdgeId k = updated.edgeBegin(e.src);

@@ -11,13 +11,28 @@
  * edge change simply injects the difference into the affected
  * neighbors' pending deltas.
  *
- * Two pieces make any engine incremental without modification:
- *  - edgeInsertionDeltas(): the exact delta injection for a batch of
- *    edge insertions under a sum-accumulator algorithm (min/max
- *    algorithms reseed even more simply: the new edge's influence);
- *  - ResumeAlgorithm: wraps any Algorithm, overriding initState() /
- *    initDelta() with explicit vectors, so every engine starts from
- *    the old fixpoint plus the injected deltas.
+ * Both halves of a real update stream are supported:
+ *
+ *  - Insertions (edgeInsertionDeltas): sum accumulators retract the
+ *    mass sent under the old edge functions and re-send it under the
+ *    new ones; min/max accumulators keep the old fixpoint as a valid
+ *    bound and only inject the new edges' influence.
+ *  - Deletions (edgeDeletionDeltas): sum accumulators retract exactly
+ *    the mass the deleted edge historically delivered -- the same
+ *    retract/re-send computation, which also covers the out-degree
+ *    renormalization at surviving neighbors. Min/max accumulators are
+ *    harder: the old fixpoint is NO LONGER a valid bound for any
+ *    vertex whose value was supported by a deleted edge, so those
+ *    vertices (and their downstream closure) are re-seeded to their
+ *    initial state/delta and re-converged from the influence crossing
+ *    the closure boundary.
+ *  - Mixed batches (edgeChurnDeltas): one old->updated graph pair,
+ *    one combined injection; this is what the service's UpdateBatcher
+ *    applies per flush.
+ *
+ * ResumeAlgorithm wraps any Algorithm, overriding initState() /
+ * initDelta() with explicit vectors, so every engine starts from the
+ * old fixpoint plus the injected deltas.
  */
 
 #ifndef DEPGRAPH_GAS_INCREMENTAL_HH
@@ -40,10 +55,48 @@ struct EdgeInsertion
 };
 
 /**
+ * One edge deletion. A negative weight (the default) matches any
+ * (src, dst) edge; a non-negative weight only matches an edge with
+ * exactly that weight. Each deletion removes at most ONE occurrence,
+ * so parallel duplicates are deleted one request at a time; a deletion
+ * that matches nothing is ignored.
+ */
+struct EdgeDeletion
+{
+    VertexId src;
+    VertexId dst;
+    Value weight = kAnyWeight;
+
+    static constexpr Value kAnyWeight = -1.0;
+
+    bool matchesAnyWeight() const { return weight < 0.0; }
+};
+
+/**
  * Build the updated graph: the old graph's edges plus the insertions.
  */
 graph::Graph applyInsertions(const graph::Graph &g,
                              const std::vector<EdgeInsertion> &ins);
+
+/**
+ * Build the updated graph: the old graph's edges minus the deletions.
+ * Deletions are matched against g in request order, each claiming the
+ * first not-yet-claimed matching occurrence; unmatched deletions are
+ * ignored. The vertex set is unchanged.
+ */
+graph::Graph applyDeletions(const graph::Graph &g,
+                            const std::vector<EdgeDeletion> &dels);
+
+/**
+ * Build the updated graph for a mixed batch. Deletions are matched
+ * against the OLD graph's edges only (they can never claim an edge
+ * from `ins`), then the insertions are appended -- so a delete + an
+ * insert of the same (src, dst) in one batch replaces the edge rather
+ * than annihilating the insertion.
+ */
+graph::Graph applyChurn(const graph::Graph &g,
+                        const std::vector<EdgeInsertion> &ins,
+                        const std::vector<EdgeDeletion> &dels);
 
 /**
  * Compute the pending-delta injection that reconverges `alg` on
@@ -68,6 +121,40 @@ std::vector<Value> edgeInsertionDeltas(
     const graph::Graph &old_graph, const graph::Graph &updated,
     const std::vector<EdgeInsertion> &ins,
     const std::vector<Value> &old_states, Algorithm &alg);
+
+/**
+ * Combined injection for a mixed insert/delete batch; `updated` must
+ * be applyChurn(old_graph, ins, dels).
+ *
+ * `states` holds the old fixpoint on entry and the resume states on
+ * return: it is resized to the updated vertex count, and -- for
+ * min/max accumulators -- every vertex whose value may have depended
+ * on a deleted edge is reset to its initial state (the old value is no
+ * longer a valid bound once a supporting edge is gone). Sum
+ * accumulators never need the reset: the retraction is exact because
+ * the edge functions are linear and homogeneous (DESIGN.md), so the
+ * deleted edge's historical mass is simply taken back at the old dst
+ * and the renormalized difference re-sent to surviving neighbors.
+ *
+ * @return Per-vertex pending deltas to pair with `states` in a
+ *         ResumeAlgorithm run.
+ */
+std::vector<Value> edgeChurnDeltas(const graph::Graph &old_graph,
+                                   const graph::Graph &updated,
+                                   const std::vector<EdgeInsertion> &ins,
+                                   const std::vector<EdgeDeletion> &dels,
+                                   std::vector<Value> &states,
+                                   Algorithm &alg);
+
+/**
+ * Deletion-only convenience: edgeChurnDeltas with no insertions;
+ * `updated` must be applyDeletions(old_graph, dels).
+ */
+std::vector<Value> edgeDeletionDeltas(const graph::Graph &old_graph,
+                                      const graph::Graph &updated,
+                                      const std::vector<EdgeDeletion> &dels,
+                                      std::vector<Value> &states,
+                                      Algorithm &alg);
 
 /**
  * Wrap an algorithm with explicit initial states and pending deltas,

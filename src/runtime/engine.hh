@@ -10,6 +10,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "gas/model.hh"
 #include "graph/hub.hh"
@@ -18,6 +19,39 @@
 
 namespace depgraph::runtime
 {
+
+/**
+ * One learned direct dependency, in engine-independent form: the
+ * composite linear function a core-path delivers from its head to its
+ * tail (paper Sec. III-B2). `vertices` is the full head..tail path so
+ * a later run can (a) check the path still exists verbatim in its own
+ * decomposition and (b) invalidate the entry when any vertex on it
+ * changes its out-edge set -- every per-edge function depends only on
+ * properties of the edge's source, so an untouched path composes to
+ * the identical dependency.
+ */
+struct HubDependency
+{
+    VertexId head = kInvalidVertex;
+    VertexId tail = kInvalidVertex;
+    std::vector<VertexId> vertices; ///< path order, head..tail
+    gas::LinearFunc func;
+};
+
+/**
+ * The hub-index contents an engine run learned, portable across runs
+ * of the SAME algorithm on successors of the same graph. The serving
+ * layer caches these per snapshot and, after invalidating the entries
+ * a churn batch touched, warm-starts the next incremental run -- DDMU
+ * then serves shortcuts from round 0 instead of re-fitting, and a
+ * retracted edge's mass can never replay through a stale entry.
+ */
+struct HubArtifacts
+{
+    std::vector<HubDependency> deps;
+
+    bool empty() const { return deps.empty(); }
+};
 
 /** Knobs shared by all engines; DepGraph-specific ones are ignored by
  * the software baselines. */
@@ -33,6 +67,14 @@ struct EngineOptions
     unsigned stackDepth = 10;
     unsigned fifoCapacity = 64;
     bool hubIndexEnabled = true;
+
+    /* Hub-index warm start (both ignored by non-DepGraph engines).
+     * hubSeed: pre-fit dependencies to install as Available entries
+     * when their path survives verbatim in this run's decomposition.
+     * hubExport: filled on completion with this run's A entries. The
+     * pointed-to objects must outlive the run. */
+    const HubArtifacts *hubSeed = nullptr;
+    HubArtifacts *hubExport = nullptr;
 };
 
 class Engine

@@ -42,6 +42,8 @@ struct RunMetrics
     std::uint64_t hubIndexLookups = 0;
     std::uint64_t hubIndexHits = 0;
     std::uint64_t hubIndexInserts = 0;
+    std::uint64_t hubIndexSeeded = 0; ///< entries warm-started from a
+                                      ///< prior run's artifacts
     std::uint64_t shortcutsApplied = 0;
     std::uint64_t prefetchedEdges = 0;
     std::size_t hubIndexBytes = 0;

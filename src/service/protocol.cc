@@ -63,6 +63,7 @@ const char *kHelp =
     "  load <name> chain <communities> <community_size>\n"
     "  query <name> [algo] [solution] [top]\n"
     "  update <name> <src> <dst> [weight]\n"
+    "  del <name> <src> <dst> [weight]   (no weight = any weight)\n"
     "  flush <name>\n"
     "  graphs | stats | drain | help | quit";
 
@@ -198,6 +199,39 @@ doUpdate(GraphService &svc, const std::vector<std::string> &t)
     return {os.str()};
 }
 
+CommandResult
+doDelete(GraphService &svc, const std::vector<std::string> &t)
+{
+    if (t.size() < 4)
+        return err("usage: del <name> <src> <dst> [weight]");
+    std::uint64_t src = 0, dst = 0;
+    double w = gas::EdgeDeletion::kAnyWeight; // omitted = any weight
+    if (!parseU64(t[2], src) || !parseU64(t[3], dst))
+        return err("bad vertex id");
+    if (t.size() > 4) {
+        if (!parseDouble(t[4], w))
+            return err("bad weight '" + t[4] + "'");
+        if (w < 0.0)
+            return err("deletion weight must be >= 0 (omit for any)");
+    }
+
+    const auto r = svc
+                       .streamDeletions(t[1],
+                                        {{static_cast<VertexId>(src),
+                                          static_cast<VertexId>(dst),
+                                          w}})
+                       .get();
+    if (!r.ok())
+        return err(std::string(statusName(r.status)) + " "
+                   + r.error);
+    std::ostringstream os;
+    os << "ok enqueued=" << r.enqueuedEdges << " pending="
+       << r.pendingEdges;
+    if (r.version)
+        os << " applied v=" << r.version;
+    return {os.str()};
+}
+
 } // namespace
 
 CommandResult
@@ -218,6 +252,8 @@ runCommandLine(GraphService &svc, const std::string &line)
         return doQuery(svc, t);
     if (cmd == "update")
         return doUpdate(svc, t);
+    if (cmd == "del" || cmd == "delete")
+        return doDelete(svc, t);
     if (cmd == "flush") {
         if (t.size() < 2)
             return err("usage: flush <name>");

@@ -11,6 +11,7 @@
  *                                      chain <communities> <size>
  *   query <name> [algo] [solution] [top]
  *   update <name> <src> <dst> [weight]
+ *   del <name> <src> <dst> [weight]   (weight omitted = any weight)
  *   flush <name>
  *   graphs
  *   stats

@@ -173,13 +173,25 @@ GraphService::runQuery(const QuerySpec &spec)
     stats_.queryCacheMisses.fetch_add(1, std::memory_order_relaxed);
 
     const auto alg = gas::makeAlgorithm(spec.algorithm);
-    auto run = system_.run(*snap->graph, *alg, spec.solution);
+    // Warm-start from any hub dependencies already cached for this
+    // version, and cache what the run learned alongside the fixpoint
+    // so the batcher can carry them across churn batches.
+    const runtime::HubArtifacts *seed = nullptr;
+    const auto art_it = snap->hubArtifacts.find(spec.algorithm);
+    if (art_it != snap->hubArtifacts.end() && art_it->second
+        && !art_it->second->empty())
+        seed = art_it->second.get();
+    auto learned = std::make_shared<runtime::HubArtifacts>();
+    auto run = system_.run(*snap->graph, *alg, spec.solution, seed,
+                           learned.get());
     r.metrics = run.metrics;
     auto states = std::make_shared<std::vector<Value>>(
         std::move(run.states));
     r.states = states;
     store_.cacheFixpoint(spec.graph, snap->version, spec.algorithm,
-                         std::move(states));
+                         std::move(states),
+                         learned->empty() ? nullptr
+                                          : std::move(learned));
     return r;
 }
 
@@ -188,9 +200,27 @@ GraphService::streamUpdates(const std::string &graph,
                             std::vector<gas::EdgeInsertion> edges,
                             Deadline deadline)
 {
+    return streamChurn(graph, std::move(edges), {}, deadline);
+}
+
+std::future<Response>
+GraphService::streamDeletions(const std::string &graph,
+                              std::vector<gas::EdgeDeletion> edges,
+                              Deadline deadline)
+{
+    return streamChurn(graph, {}, std::move(edges), deadline);
+}
+
+std::future<Response>
+GraphService::streamChurn(const std::string &graph,
+                          std::vector<gas::EdgeInsertion> ins,
+                          std::vector<gas::EdgeDeletion> dels,
+                          Deadline deadline)
+{
     return submitJob(
         RequestType::StreamUpdates,
-        [this, graph, edges = std::move(edges)]() mutable {
+        [this, graph, ins = std::move(ins),
+         dels = std::move(dels)]() mutable {
             stats_.updateRequests.fetch_add(1,
                                             std::memory_order_relaxed);
             Response r;
@@ -200,10 +230,13 @@ GraphService::streamUpdates(const std::string &graph,
                 return r;
             }
             stats_.updateEdgesEnqueued.fetch_add(
-                edges.size(), std::memory_order_relaxed);
-            r.enqueuedEdges = edges.size();
+                ins.size(), std::memory_order_relaxed);
+            stats_.updateDeletionsEnqueued.fetch_add(
+                dels.size(), std::memory_order_relaxed);
+            r.enqueuedEdges = ins.size() + dels.size();
             bool should_flush = false;
-            r.pendingEdges = batcher_.enqueue(graph, std::move(edges),
+            r.pendingEdges = batcher_.enqueue(graph, std::move(ins),
+                                              std::move(dels),
                                               &should_flush);
             // Threshold crossed: apply the batch right here on this
             // worker (no re-submit, so a full queue cannot wedge it).
@@ -305,6 +338,19 @@ Response
 Session::update(VertexId src, VertexId dst, Value weight)
 {
     return update(std::vector<gas::EdgeInsertion>{{src, dst, weight}});
+}
+
+Response
+Session::erase(std::vector<gas::EdgeDeletion> edges)
+{
+    return svc_.streamDeletions(graph_, std::move(edges), deadline())
+        .get();
+}
+
+Response
+Session::erase(VertexId src, VertexId dst, Value weight)
+{
+    return erase(std::vector<gas::EdgeDeletion>{{src, dst, weight}});
 }
 
 Response

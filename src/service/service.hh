@@ -117,6 +117,21 @@ class GraphService
                   std::vector<gas::EdgeInsertion> edges,
                   Deadline deadline = {});
 
+    /** Queue edge deletions; acknowledged when durably batched. A
+     * deletion first cancels a matching insertion still pending in the
+     * batcher (see UpdateBatcher::enqueue). */
+    std::future<Response>
+    streamDeletions(const std::string &graph,
+                    std::vector<gas::EdgeDeletion> edges,
+                    Deadline deadline = {});
+
+    /** Queue a mixed insert/delete churn batch. */
+    std::future<Response>
+    streamChurn(const std::string &graph,
+                std::vector<gas::EdgeInsertion> ins,
+                std::vector<gas::EdgeDeletion> dels,
+                Deadline deadline = {});
+
     /** Force-apply everything pending for one graph. */
     std::future<Response> flush(const std::string &graph);
 
@@ -191,6 +206,13 @@ class Session
 
     /** Blocking single-edge update. */
     Response update(VertexId src, VertexId dst, Value weight = 1.0);
+
+    /** Blocking deletion enqueue. */
+    Response erase(std::vector<gas::EdgeDeletion> edges);
+
+    /** Blocking single-edge deletion (any weight by default). */
+    Response erase(VertexId src, VertexId dst,
+                   Value weight = gas::EdgeDeletion::kAnyWeight);
 
     /** Blocking flush of the session's graph. */
     Response flushUpdates();

@@ -61,7 +61,8 @@ GraphStore::names() const
 
 SnapshotPtr
 GraphStore::publish(const SnapshotPtr &base, graph::Graph g,
-                    std::map<std::string, StateVectorPtr> fixpoints)
+                    std::map<std::string, StateVectorPtr> fixpoints,
+                    std::map<std::string, HubArtifactsPtr> hub_artifacts)
 {
     if (!base)
         return nullptr;
@@ -78,6 +79,7 @@ GraphStore::publish(const SnapshotPtr &base, graph::Graph g,
     snap->version = base->version + 1;
     snap->graph = std::move(frozen);
     snap->fixpoints = std::move(fixpoints);
+    snap->hubArtifacts = std::move(hub_artifacts);
     it->second = snap;
     return snap;
 }
@@ -86,7 +88,7 @@ bool
 GraphStore::cacheFixpoint(const std::string &name,
                           std::uint64_t version,
                           const std::string &algorithm,
-                          StateVectorPtr states)
+                          StateVectorPtr states, HubArtifactsPtr hub)
 {
     std::lock_guard lk(mu_);
     const auto it = snaps_.find(name);
@@ -96,6 +98,8 @@ GraphStore::cacheFixpoint(const std::string &name,
     // current snapshot with an identical one plus the new entry.
     auto snap = std::make_shared<Snapshot>(*it->second);
     snap->fixpoints[algorithm] = std::move(states);
+    if (hub)
+        snap->hubArtifacts[algorithm] = std::move(hub);
     it->second = snap;
     return true;
 }

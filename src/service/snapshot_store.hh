@@ -27,11 +27,13 @@
 
 #include "common/types.hh"
 #include "graph/csr.hh"
+#include "runtime/engine.hh"
 
 namespace depgraph::service
 {
 
 using StateVectorPtr = std::shared_ptr<const std::vector<Value>>;
+using HubArtifactsPtr = std::shared_ptr<const runtime::HubArtifacts>;
 
 /** One immutable published version of a named graph. */
 struct Snapshot
@@ -41,6 +43,10 @@ struct Snapshot
     std::shared_ptr<const graph::Graph> graph;
     /** Converged states per algorithm name, valid for this version. */
     std::map<std::string, StateVectorPtr> fixpoints;
+    /** Hub-index dependencies learned at this version, per algorithm.
+     * The UpdateBatcher invalidates the entries a churn batch touches
+     * and warm-starts the next incremental run from the rest. */
+    std::map<std::string, HubArtifactsPtr> hubArtifacts;
 };
 
 using SnapshotPtr = std::shared_ptr<const Snapshot>;
@@ -71,17 +77,21 @@ class GraphStore
      * published) when `base` is no longer the current snapshot of its
      * name -- the caller should re-read and retry.
      */
-    SnapshotPtr publish(const SnapshotPtr &base, graph::Graph g,
-                        std::map<std::string, StateVectorPtr> fixpoints);
+    SnapshotPtr publish(
+        const SnapshotPtr &base, graph::Graph g,
+        std::map<std::string, StateVectorPtr> fixpoints,
+        std::map<std::string, HubArtifactsPtr> hub_artifacts = {});
 
     /**
      * Attach a freshly computed fixpoint to the named graph, but only
      * if it is still at `version` (otherwise the states describe a
-     * stale graph and are dropped). @return true if cached.
+     * stale graph and are dropped). `hub` (optional) attaches the hub
+     * artifacts the same run exported. @return true if cached.
      */
     bool cacheFixpoint(const std::string &name, std::uint64_t version,
                        const std::string &algorithm,
-                       StateVectorPtr states);
+                       StateVectorPtr states,
+                       HubArtifactsPtr hub = nullptr);
 
   private:
     mutable std::mutex mu_;

@@ -96,11 +96,18 @@ Stats::snapshot(std::size_t queue_depth,
     s.updateRequests = updateRequests.load(std::memory_order_relaxed);
     s.updateEdgesEnqueued =
         updateEdgesEnqueued.load(std::memory_order_relaxed);
+    s.updateDeletionsEnqueued =
+        updateDeletionsEnqueued.load(std::memory_order_relaxed);
+    s.updateEdgesCancelled =
+        updateEdgesCancelled.load(std::memory_order_relaxed);
     s.batchesApplied = batchesApplied.load(std::memory_order_relaxed);
     s.batchEdgesApplied =
         batchEdgesApplied.load(std::memory_order_relaxed);
     s.incrementalPasses =
         incrementalPasses.load(std::memory_order_relaxed);
+    s.hubDepsCarried = hubDepsCarried.load(std::memory_order_relaxed);
+    s.hubDepsInvalidated =
+        hubDepsInvalidated.load(std::memory_order_relaxed);
     s.rejected = rejected.load(std::memory_order_relaxed);
     s.deadlineExpired = deadlineExpired.load(std::memory_order_relaxed);
     s.errors = errors.load(std::memory_order_relaxed);
@@ -130,11 +137,18 @@ StatsSnapshot::render() const
     counters.addRow({"update requests", Table::fmt(updateRequests)});
     counters.addRow({"update edges enqueued",
                      Table::fmt(updateEdgesEnqueued)});
+    counters.addRow({"update deletions enqueued",
+                     Table::fmt(updateDeletionsEnqueued)});
+    counters.addRow({"update edges cancelled",
+                     Table::fmt(updateEdgesCancelled)});
     counters.addRow({"batches applied", Table::fmt(batchesApplied)});
     counters.addRow({"batch edges applied",
                      Table::fmt(batchEdgesApplied)});
     counters.addRow({"incremental passes",
                      Table::fmt(incrementalPasses)});
+    counters.addRow({"hub deps carried", Table::fmt(hubDepsCarried)});
+    counters.addRow({"hub deps invalidated",
+                     Table::fmt(hubDepsInvalidated)});
     counters.addRow({"rejected", Table::fmt(rejected)});
     counters.addRow({"deadline expired", Table::fmt(deadlineExpired)});
     counters.addRow({"errors", Table::fmt(errors)});
@@ -160,7 +174,9 @@ StatsSnapshot::logLine() const
 {
     std::ostringstream os;
     os << "service: q=" << queries << " hit=" << queryCacheHits
-       << " upd=" << updateRequests << " batches=" << batchesApplied
+       << " upd=" << updateRequests << " del=" << updateDeletionsEnqueued
+       << " cancel=" << updateEdgesCancelled
+       << " batches=" << batchesApplied
        << " passes=" << incrementalPasses << " rej=" << rejected
        << " dl=" << deadlineExpired << " err=" << errors
        << " depth=" << queueDepth << " hiwat=" << queueHighWater;

@@ -67,9 +67,13 @@ struct StatsSnapshot
     std::uint64_t queryCacheMisses = 0;
     std::uint64_t updateRequests = 0;
     std::uint64_t updateEdgesEnqueued = 0;
+    std::uint64_t updateDeletionsEnqueued = 0;
+    std::uint64_t updateEdgesCancelled = 0;
     std::uint64_t batchesApplied = 0;
     std::uint64_t batchEdgesApplied = 0;
     std::uint64_t incrementalPasses = 0;
+    std::uint64_t hubDepsCarried = 0;
+    std::uint64_t hubDepsInvalidated = 0;
     std::uint64_t rejected = 0;
     std::uint64_t deadlineExpired = 0;
     std::uint64_t errors = 0;
@@ -103,9 +107,13 @@ class Stats
     std::atomic<std::uint64_t> queryCacheMisses{0};
     std::atomic<std::uint64_t> updateRequests{0};
     std::atomic<std::uint64_t> updateEdgesEnqueued{0};
+    std::atomic<std::uint64_t> updateDeletionsEnqueued{0};
+    std::atomic<std::uint64_t> updateEdgesCancelled{0};
     std::atomic<std::uint64_t> batchesApplied{0};
     std::atomic<std::uint64_t> batchEdgesApplied{0};
     std::atomic<std::uint64_t> incrementalPasses{0};
+    std::atomic<std::uint64_t> hubDepsCarried{0};
+    std::atomic<std::uint64_t> hubDepsInvalidated{0};
     std::atomic<std::uint64_t> rejected{0};
     std::atomic<std::uint64_t> deadlineExpired{0};
     std::atomic<std::uint64_t> errors{0};

@@ -1,10 +1,52 @@
 #include "service/update_batcher.hh"
 
+#include <algorithm>
+#include <unordered_set>
+
 #include "common/logging.hh"
 #include "gas/algorithms.hh"
 
 namespace depgraph::service
 {
+
+namespace
+{
+
+/** True when the deletion would claim this pending insertion. */
+bool
+cancels(const gas::EdgeDeletion &d, const gas::EdgeInsertion &i)
+{
+    return d.src == i.src && d.dst == i.dst
+        && (d.matchesAnyWeight() || d.weight == i.weight);
+}
+
+/**
+ * Drop every carried hub dependency whose core-path touches a dirty
+ * vertex. Per-edge functions depend only on the source's out-edge set,
+ * so a path avoiding every dirty source composes to the identical
+ * function on the updated graph -- those entries stay exact and can be
+ * seeded; the rest must be re-learned (min/max shortcuts are not
+ * self-correcting, so a stale entry could replay retracted mass).
+ */
+runtime::HubArtifacts
+surviving(const runtime::HubArtifacts &arts,
+          const std::unordered_set<VertexId> &dirty,
+          std::uint64_t *invalidated)
+{
+    runtime::HubArtifacts out;
+    for (const auto &d : arts.deps) {
+        const bool touched = std::any_of(
+            d.vertices.begin(), d.vertices.end(),
+            [&](VertexId v) { return dirty.count(v) != 0; });
+        if (touched)
+            ++*invalidated;
+        else
+            out.deps.push_back(d);
+    }
+    return out;
+}
+
+} // namespace
 
 UpdateBatcher::UpdateBatcher(GraphStore &store, DepGraphSystem &system,
                              Stats &stats, Options opt)
@@ -26,12 +68,40 @@ UpdateBatcher::enqueue(const std::string &graph,
                        std::vector<gas::EdgeInsertion> edges,
                        bool *should_flush)
 {
+    return enqueue(graph, std::move(edges), {}, should_flush);
+}
+
+std::size_t
+UpdateBatcher::enqueue(const std::string &graph,
+                       std::vector<gas::EdgeInsertion> ins,
+                       std::vector<gas::EdgeDeletion> dels,
+                       bool *should_flush)
+{
     auto pg = state(graph);
     std::lock_guard lk(mu_);
-    pg->pending.insert(pg->pending.end(), edges.begin(), edges.end());
+    pg->ins.insert(pg->ins.end(), ins.begin(), ins.end());
+    std::uint64_t cancelled = 0;
+    for (auto &d : dels) {
+        // Cancel against the most recent matching pending insertion:
+        // the graph then never sees either, which is exactly the
+        // no-op an insert-then-delete of the same edge means.
+        const auto hit = std::find_if(
+            pg->ins.rbegin(), pg->ins.rend(),
+            [&](const gas::EdgeInsertion &i) { return cancels(d, i); });
+        if (hit != pg->ins.rend()) {
+            pg->ins.erase(std::next(hit).base());
+            ++cancelled;
+        } else {
+            pg->dels.push_back(d);
+        }
+    }
+    if (cancelled)
+        stats_.updateEdgesCancelled.fetch_add(
+            cancelled, std::memory_order_relaxed);
+
+    const std::size_t pending = pg->ins.size() + pg->dels.size();
     bool crossed = false;
-    if (pg->pending.size() >= opt_.maxPendingEdges
-        && !pg->flushRequested) {
+    if (pending >= opt_.maxPendingEdges && !pg->flushRequested) {
         // Latch so only one enqueuer schedules the flush; the flush
         // itself re-arms the latch when it drains the batch.
         pg->flushRequested = true;
@@ -39,7 +109,7 @@ UpdateBatcher::enqueue(const std::string &graph,
     }
     if (should_flush)
         *should_flush = crossed;
-    return pg->pending.size();
+    return pending;
 }
 
 std::uint64_t
@@ -50,37 +120,61 @@ UpdateBatcher::flush(const std::string &graph)
     // batch while this one reconverges.
     std::lock_guard apply(pg->applyMu);
 
-    std::vector<gas::EdgeInsertion> batch;
+    std::vector<gas::EdgeInsertion> ins;
+    std::vector<gas::EdgeDeletion> dels;
     {
         std::lock_guard lk(mu_);
-        batch.swap(pg->pending);
+        ins.swap(pg->ins);
+        dels.swap(pg->dels);
         pg->flushRequested = false;
     }
-    if (batch.empty())
-        return 0;
+    if (ins.empty() && dels.empty())
+        return 0; // e.g. every insertion cancelled against a deletion
+
+    // Every vertex whose out-edge set this batch changes. Hub deps
+    // whose path touches one of these are stale; everything else
+    // composes to the identical function on the updated graph.
+    std::unordered_set<VertexId> dirty;
+    for (const auto &e : ins)
+        dirty.insert(e.src);
+    for (const auto &d : dels)
+        dirty.insert(d.src);
 
     // The only competing publisher is a concurrent put() (re-load);
     // on conflict the batch simply applies to the fresher graph.
     for (int attempt = 0; attempt < 3; ++attempt) {
         const auto base = store_.get(graph);
         if (!base) {
-            dg_warn("dropping ", batch.size(),
-                    " queued edges for unknown graph '", graph, "'");
+            dg_warn("dropping ", ins.size() + dels.size(),
+                    " queued churn edges for unknown graph '", graph,
+                    "'");
             return 0;
         }
-        auto updated = gas::applyInsertions(*base->graph, batch);
+        auto updated = gas::applyChurn(*base->graph, ins, dels);
 
         std::map<std::string, StateVectorPtr> fixpoints;
+        std::map<std::string, HubArtifactsPtr> hub_artifacts;
+        std::uint64_t invalidated = 0, carried = 0;
         for (const auto &[algo, states] : base->fixpoints) {
             const auto alg = gas::makeAlgorithm(algo);
-            const auto deltas = gas::edgeInsertionDeltas(
-                *base->graph, updated, batch, *states, *alg);
             auto resumed = *states;
-            resumed.resize(updated.numVertices(),
-                           alg->initState(updated, 0));
+            const auto deltas = gas::edgeChurnDeltas(
+                *base->graph, updated, ins, dels, resumed, *alg);
             gas::ResumeAlgorithm resume(*alg, std::move(resumed),
                                         deltas);
-            auto r = system_.run(updated, resume, opt_.solution);
+
+            // Carry the surviving hub dependencies into the run and
+            // collect what it learned for the next version.
+            runtime::HubArtifacts seed;
+            const auto art_it = base->hubArtifacts.find(algo);
+            if (art_it != base->hubArtifacts.end() && art_it->second)
+                seed = surviving(*art_it->second, dirty, &invalidated);
+            carried += seed.deps.size();
+            auto learned = std::make_shared<runtime::HubArtifacts>();
+
+            auto r = system_.run(updated, resume, opt_.solution,
+                                 seed.empty() ? nullptr : &seed,
+                                 learned.get());
             if (!r.metrics.converged)
                 dg_warn("incremental ", algo, " on '", graph,
                         "' hit the round limit before converging");
@@ -88,21 +182,29 @@ UpdateBatcher::flush(const std::string &graph)
                 1, std::memory_order_relaxed);
             fixpoints[algo] = std::make_shared<std::vector<Value>>(
                 std::move(r.states));
+            if (!learned->empty())
+                hub_artifacts[algo] = std::move(learned);
         }
 
         const auto snap = store_.publish(base, std::move(updated),
-                                         std::move(fixpoints));
+                                         std::move(fixpoints),
+                                         std::move(hub_artifacts));
         if (snap) {
             stats_.batchesApplied.fetch_add(1,
                                             std::memory_order_relaxed);
             stats_.batchEdgesApplied.fetch_add(
-                batch.size(), std::memory_order_relaxed);
+                ins.size() + dels.size(), std::memory_order_relaxed);
+            stats_.hubDepsCarried.fetch_add(carried,
+                                            std::memory_order_relaxed);
+            stats_.hubDepsInvalidated.fetch_add(
+                invalidated, std::memory_order_relaxed);
             return snap->version;
         }
     }
     stats_.errors.fetch_add(1, std::memory_order_relaxed);
-    dg_warn("giving up on a ", batch.size(), "-edge batch for '",
-            graph, "' after repeated publish conflicts");
+    dg_warn("giving up on a ", ins.size() + dels.size(),
+            "-edge churn batch for '", graph,
+            "' after repeated publish conflicts");
     return 0;
 }
 
@@ -113,7 +215,7 @@ UpdateBatcher::flushAll()
     {
         std::lock_guard lk(mu_);
         for (const auto &[name, pg] : map_)
-            if (!pg->pending.empty())
+            if (!pg->ins.empty() || !pg->dels.empty())
                 graphs.push_back(name);
     }
     std::size_t applied = 0;
@@ -128,7 +230,9 @@ UpdateBatcher::pendingEdges(const std::string &graph) const
 {
     std::lock_guard lk(mu_);
     const auto it = map_.find(graph);
-    return it == map_.end() ? 0 : it->second->pending.size();
+    if (it == map_.end())
+        return 0;
+    return it->second->ins.size() + it->second->dels.size();
 }
 
 } // namespace depgraph::service

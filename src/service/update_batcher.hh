@@ -1,15 +1,22 @@
 /**
  * @file
- * UpdateBatcher: coalesce streamed edge insertions per graph and apply
- * them as ONE incremental reconvergence instead of N full recomputes.
+ * UpdateBatcher: coalesce streamed edge insertions AND deletions per
+ * graph and apply them as ONE incremental reconvergence instead of N
+ * full recomputes.
  *
- * enqueue() is cheap (append under a lock); flush() drains the pending
- * edges of a graph, builds the updated CSR once, and for every
- * algorithm with a cached fixpoint on the base snapshot runs
- * gas::edgeInsertionDeltas + ResumeAlgorithm through the engine, then
- * publishes the result as the next snapshot version. Applies are
- * serialized per graph; concurrent enqueues keep landing in the next
- * batch while a flush is in flight.
+ * enqueue() is cheap (append under a lock); a deletion first tries to
+ * cancel the most recent matching insertion still pending in the same
+ * batch -- both drop, the graph never sees either. flush() drains the
+ * pending churn of a graph, builds the updated CSR once with
+ * gas::applyChurn, and for every algorithm with a cached fixpoint on
+ * the base snapshot runs gas::edgeChurnDeltas + ResumeAlgorithm
+ * through the engine, then publishes the result as the next snapshot
+ * version. Hub-index dependencies cached on the base snapshot are
+ * carried over after dropping every dependency whose core-path touches
+ * a vertex the batch dirtied (any source of an inserted or deleted
+ * edge), so a DDMU shortcut can never replay retracted mass. Applies
+ * are serialized per graph; concurrent enqueues keep landing in the
+ * next batch while a flush is in flight.
  */
 
 #ifndef DEPGRAPH_SERVICE_UPDATE_BATCHER_HH
@@ -35,7 +42,8 @@ class UpdateBatcher
   public:
     struct Options
     {
-        /** enqueue() reports the threshold crossing at this size. */
+        /** enqueue() reports the threshold crossing at this size
+         * (insertions + deletions pending). */
         std::size_t maxPendingEdges = 256;
         /** Engine used for the incremental reconvergence passes. */
         Solution solution = Solution::DepGraphH;
@@ -55,22 +63,38 @@ class UpdateBatcher
                         bool *should_flush = nullptr);
 
     /**
+     * Queue a mixed churn batch for `graph`. Each deletion first
+     * cancels the MOST RECENT matching insertion still pending (same
+     * src/dst; any weight when the deletion is wildcard, exact weight
+     * otherwise): both are dropped, so an insert-then-delete of the
+     * same edge within one batch is a true no-op. Unmatched deletions
+     * queue up and are matched against the base graph at flush time.
+     */
+    std::size_t enqueue(const std::string &graph,
+                        std::vector<gas::EdgeInsertion> ins,
+                        std::vector<gas::EdgeDeletion> dels,
+                        bool *should_flush = nullptr);
+
+    /**
      * Apply everything pending for `graph` as one batch.
      * @return the newly published version, or 0 when there was nothing
-     *         pending or the graph does not exist (pending edges for a
-     *         vanished graph are dropped).
+     *         pending (e.g. after full insert/delete cancellation) or
+     *         the graph does not exist (pending churn for a vanished
+     *         graph is dropped).
      */
     std::uint64_t flush(const std::string &graph);
 
-    /** Flush every graph with pending edges. @return batches applied. */
+    /** Flush every graph with pending churn. @return batches applied. */
     std::size_t flushAll();
 
+    /** Pending insertions + deletions for `graph`. */
     std::size_t pendingEdges(const std::string &graph) const;
 
   private:
     struct PerGraph
     {
-        std::vector<gas::EdgeInsertion> pending; ///< guarded by mu_
+        std::vector<gas::EdgeInsertion> ins;  ///< guarded by mu_
+        std::vector<gas::EdgeDeletion> dels;  ///< guarded by mu_
         std::mutex applyMu; ///< serializes flushes of this graph
         bool flushRequested = false; ///< threshold crossing latched
     };

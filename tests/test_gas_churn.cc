@@ -1,0 +1,444 @@
+/**
+ * @file
+ * Differential churn harness: after a mixed stream of edge insertions
+ * AND deletions, resuming from the old fixpoint with the injection
+ * computed by gas::edgeChurnDeltas must converge to the same states as
+ * a from-scratch run on the updated graph. Deletions are the
+ * correctness-hard half -- sum accumulators must retract exactly the
+ * historical mass of the deleted edge, min/max accumulators must
+ * re-seed everything the edge supported -- so the harness sweeps many
+ * random seeds across both accumulator classes and through the real
+ * engines, plus targeted edge cases (nonexistent edges, dangling
+ * vertices, parallel duplicates).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "core/depgraph_system.hh"
+#include "gas/incremental.hh"
+#include "gas/reference.hh"
+#include "graph/generators.hh"
+
+namespace depgraph::gas
+{
+namespace
+{
+
+using graph::Graph;
+
+struct Churn
+{
+    std::vector<EdgeInsertion> ins;
+    std::vector<EdgeDeletion> dels;
+};
+
+/** Random mixed batch: fresh insertions plus deletions of edges that
+ * exist in g (and an occasional nonexistent one, which must be a
+ * no-op). */
+Churn
+someChurn(const Graph &g, unsigned n_ins, unsigned n_dels,
+          std::uint64_t seed)
+{
+    Rng rng(seed);
+    Churn c;
+    for (unsigned i = 0; i < n_ins; ++i) {
+        const auto s = static_cast<VertexId>(
+            rng.nextBounded(g.numVertices()));
+        auto d =
+            static_cast<VertexId>(rng.nextBounded(g.numVertices()));
+        if (d == s)
+            d = (d + 1) % g.numVertices();
+        c.ins.push_back({s, d, rng.nextDouble(1.0, 5.0)});
+    }
+    for (unsigned i = 0; i < n_dels; ++i) {
+        const auto s = static_cast<VertexId>(
+            rng.nextBounded(g.numVertices()));
+        if (g.outDegree(s) == 0 || rng.nextBounded(8) == 0) {
+            // Sprinkle in deletions that match nothing.
+            c.dels.push_back(
+                {s, static_cast<VertexId>(
+                        rng.nextBounded(g.numVertices()))});
+            continue;
+        }
+        const EdgeId e = g.edgeBegin(s)
+            + static_cast<EdgeId>(rng.nextBounded(g.outDegree(s)));
+        c.dels.push_back({s, g.target(e)});
+    }
+    return c;
+}
+
+/** Tolerance per accumulator class: sum converges within epsilon,
+ * min/max reconverge exactly. */
+double
+tolFor(const Algorithm &alg)
+{
+    return alg.accumKind() == AccumKind::Sum ? 1e-3 : 1e-9;
+}
+
+/** The harness core: incremental resume after `churn` vs from-scratch
+ * gold, at reference level. Returns the incremental run's states. */
+std::vector<Value>
+expectChurnMatchesScratch(const Graph &g, const Churn &churn,
+                          const std::string &algo,
+                          const std::string &context)
+{
+    const auto alg_old = makeAlgorithm(algo);
+    const auto fix = runReference(g, *alg_old);
+    EXPECT_TRUE(fix.converged) << context;
+
+    const auto updated = applyChurn(g, churn.ins, churn.dels);
+
+    const auto alg_gold = makeAlgorithm(algo);
+    const auto gold = runReference(updated, *alg_gold);
+    EXPECT_TRUE(gold.converged) << context;
+
+    const auto alg_inc = makeAlgorithm(algo);
+    auto states = fix.states;
+    const auto deltas = edgeChurnDeltas(g, updated, churn.ins,
+                                        churn.dels, states, *alg_inc);
+    ResumeAlgorithm resume(*alg_inc, states, deltas);
+    const auto inc = runReference(updated, resume);
+    EXPECT_TRUE(inc.converged) << context;
+
+    EXPECT_LE(maxStateDifference(inc.states, gold.states),
+              tolFor(*alg_inc))
+        << context;
+    return inc.states;
+}
+
+/* ---- The ≥20-seed differential sweep, sum and min/max. ---------- */
+
+class ChurnDifferential : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(ChurnDifferential, RandomStreamsMatchFromScratch)
+{
+    for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+        const Graph g = graph::powerLaw(250, 2.0, 5.0,
+                                        {.seed = 7000 + seed});
+        const auto churn = someChurn(g, 8, 8, 7100 + seed);
+        expectChurnMatchesScratch(
+            g, churn, GetParam(),
+            GetParam() + " seed " + std::to_string(seed));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(SumAndMinMaxAccums, ChurnDifferential,
+                         ::testing::Values("pagerank", "adsorption",
+                                           "sssp", "wcc", "sswp"));
+
+TEST(ChurnDifferential, DeletionHeavyStreams)
+{
+    // Deletion-only batches (no insertions masking retraction bugs).
+    for (std::uint64_t seed = 31; seed <= 40; ++seed) {
+        const Graph g = graph::powerLaw(200, 2.0, 6.0,
+                                        {.seed = 7300 + seed});
+        Churn churn = someChurn(g, 0, 12, 7400 + seed);
+        for (const auto &algo : {"pagerank", "sssp"})
+            expectChurnMatchesScratch(
+                g, churn,
+                algo, std::string(algo) + " seed "
+                    + std::to_string(seed));
+    }
+}
+
+/* ---- Through the real engines. ---------------------------------- */
+
+class ChurnThroughEngines
+    : public ::testing::TestWithParam<std::tuple<std::string, Solution>>
+{};
+
+TEST_P(ChurnThroughEngines, ResumeMatchesGold)
+{
+    const auto &[algo, solution] = GetParam();
+    SystemConfig cfg;
+    cfg.machine.numCores = 8;
+    cfg.engine.numCores = 8;
+    DepGraphSystem sys(cfg);
+
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        const Graph g = graph::powerLaw(400, 2.0, 6.0,
+                                        {.seed = 7500 + seed});
+        const auto churn = someChurn(g, 6, 6, 7600 + seed);
+        const auto updated = applyChurn(g, churn.ins, churn.dels);
+
+        const auto alg_old = makeAlgorithm(algo);
+        const auto fix = runReference(g, *alg_old);
+        ASSERT_TRUE(fix.converged);
+
+        const auto alg_gold = makeAlgorithm(algo);
+        const auto gold = runReference(updated, *alg_gold);
+        ASSERT_TRUE(gold.converged);
+
+        const auto alg_inc = makeAlgorithm(algo);
+        auto states = fix.states;
+        const auto deltas = edgeChurnDeltas(
+            g, updated, churn.ins, churn.dels, states, *alg_inc);
+        ResumeAlgorithm resume(*alg_inc, std::move(states), deltas);
+        const auto r = sys.run(updated, resume, solution);
+
+        EXPECT_TRUE(r.metrics.converged)
+            << algo << " seed " << seed;
+        EXPECT_LE(maxStateDifference(r.states, gold.states),
+                  tolFor(*alg_inc))
+            << algo << " on " << solutionName(solution) << " seed "
+            << seed;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SumAndMinOnBothEngines, ChurnThroughEngines,
+    ::testing::Combine(::testing::Values("pagerank", "sssp", "wcc"),
+                       ::testing::Values(Solution::Sequential,
+                                         Solution::DepGraphH)));
+
+/* ---- Batch-merge properties for deletions. ---------------------- */
+
+class DeletionBatchMerge : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(DeletionBatchMerge, SequentialDeleteBatchesEqualMergedBatch)
+{
+    for (const std::uint64_t seed : {910u, 920u, 930u}) {
+        const Graph g = graph::powerLaw(300, 2.0, 5.0, {.seed = seed});
+        const auto b1 = someChurn(g, 0, 5, seed + 1).dels;
+        const auto b2 = someChurn(g, 0, 5, seed + 2).dels;
+
+        const auto alg0 = makeAlgorithm(GetParam());
+        const auto fix0 = runReference(g, *alg0);
+        ASSERT_TRUE(fix0.converged);
+
+        // Path A: batch 1, reconverge, batch 2, reconverge.
+        const auto g1 = applyDeletions(g, b1);
+        const auto alg1 = makeAlgorithm(GetParam());
+        auto s1 = fix0.states;
+        const auto d1 = edgeDeletionDeltas(g, g1, b1, s1, *alg1);
+        ResumeAlgorithm r1(*alg1, s1, d1);
+        const auto run1 = runReference(g1, r1);
+        ASSERT_TRUE(run1.converged);
+
+        const auto g2 = applyDeletions(g1, b2);
+        const auto alg2 = makeAlgorithm(GetParam());
+        auto s2 = run1.states;
+        const auto d2 = edgeDeletionDeltas(g1, g2, b2, s2, *alg2);
+        ResumeAlgorithm r2(*alg2, s2, d2);
+        const auto run2 = runReference(g2, r2);
+        ASSERT_TRUE(run2.converged);
+
+        // Path B: one merged batch.
+        auto merged = b1;
+        merged.insert(merged.end(), b2.begin(), b2.end());
+        const auto gm = applyDeletions(g, merged);
+        const auto algm = makeAlgorithm(GetParam());
+        auto sm = fix0.states;
+        const auto dm = edgeDeletionDeltas(g, gm, merged, sm, *algm);
+        ResumeAlgorithm rm(*algm, sm, dm);
+        const auto runm = runReference(gm, rm);
+        ASSERT_TRUE(runm.converged);
+
+        ASSERT_EQ(g2.numEdges(), gm.numEdges())
+            << GetParam() << " seed " << seed;
+        EXPECT_LE(maxStateDifference(run2.states, runm.states),
+                  tolFor(*algm))
+            << GetParam() << " seed " << seed;
+
+        // Both must also agree with from-scratch on the final graph.
+        const auto alg_gold = makeAlgorithm(GetParam());
+        const auto gold = runReference(gm, *alg_gold);
+        ASSERT_TRUE(gold.converged);
+        EXPECT_LE(maxStateDifference(runm.states, gold.states),
+                  tolFor(*algm))
+            << GetParam() << " seed " << seed;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(SumAndMinMaxAccums, DeletionBatchMerge,
+                         ::testing::Values("pagerank", "sssp", "wcc"));
+
+TEST(ApplyChurn, DeleteThenInsertReplacesTheEdge)
+{
+    // In one applyChurn batch, deletions claim OLD edges only and the
+    // insertions are appended afterwards: a delete + insert of the
+    // same pair replaces the edge (possibly with a new weight).
+    const Graph g = graph::path(4); // edges 0->1->2->3
+    const auto updated = applyChurn(g, {{1, 2, 9.0}}, {{1, 2}});
+    EXPECT_EQ(updated.numEdges(), g.numEdges());
+    bool found = false;
+    for (EdgeId e = updated.edgeBegin(1); e < updated.edgeEnd(1); ++e)
+        if (updated.target(e) == 2 && updated.weight(e) == 9.0)
+            found = true;
+    EXPECT_TRUE(found);
+}
+
+/* ---- Edge cases. ------------------------------------------------ */
+
+TEST(ApplyDeletions, VertexSetUnchangedAndUnmatchedIgnored)
+{
+    const Graph g = graph::path(5);
+    // 3->0 does not exist; 0->1 does.
+    const auto updated = applyDeletions(g, {{3, 0}, {0, 1}});
+    EXPECT_EQ(updated.numVertices(), g.numVertices());
+    EXPECT_EQ(updated.numEdges(), g.numEdges() - 1);
+    EXPECT_EQ(updated.outDegree(0), 0u);
+}
+
+TEST(ApplyDeletions, ExactWeightOnlyClaimsMatchingOccurrence)
+{
+    // Unweighted path: the original 0->1 edge has weight 1.0.
+    Graph g = applyInsertions(graph::path(3, {.weighted = false}),
+                              {{0, 1, 7.0}}); // parallel to 0->1
+    ASSERT_EQ(g.outDegree(0), 2u);
+    // Deleting with weight 7 must leave the original unit edge.
+    const auto updated = applyDeletions(g, {{0, 1, 7.0}});
+    ASSERT_EQ(updated.outDegree(0), 1u);
+    EXPECT_EQ(updated.weight(updated.edgeBegin(0)), 1.0);
+    // Deleting with a wrong exact weight is a no-op.
+    const auto untouched = applyDeletions(g, {{0, 1, 3.0}});
+    EXPECT_EQ(untouched.numEdges(), g.numEdges());
+}
+
+TEST(ChurnDeltas, DeletingNonexistentEdgeIsNoWork)
+{
+    const Graph g = graph::powerLaw(300, 2.0, 5.0, {.seed = 307});
+    for (const auto &algo : {"pagerank", "sssp"}) {
+        const auto alg_old = makeAlgorithm(algo);
+        const auto fix = runReference(g, *alg_old);
+        const std::vector<EdgeDeletion> dels = {{1, 2, 123.0}};
+        const auto updated = applyDeletions(g, dels);
+        ASSERT_EQ(updated.numEdges(), g.numEdges());
+        const auto alg_inc = makeAlgorithm(algo);
+        auto states = fix.states;
+        const auto deltas =
+            edgeDeletionDeltas(g, updated, dels, states, *alg_inc);
+        ResumeAlgorithm resume(*alg_inc, states, deltas);
+        const auto inc = runReference(updated, resume);
+        EXPECT_EQ(inc.updates, 0u) << algo;
+        EXPECT_LE(maxStateDifference(inc.states, fix.states), 1e-12)
+            << algo;
+    }
+}
+
+TEST(ChurnDeltas, DeletingLastOutEdgeHandlesDanglingMass)
+{
+    // Vertex 1 has exactly one out-edge in a path; deleting it makes 1
+    // dangling (out-degree 0). Pagerank's retraction must take back
+    // ALL mass 1 ever sent -- there are no surviving out-edges to
+    // renormalize over.
+    const Graph g = graph::path(6);
+    const std::vector<EdgeDeletion> dels = {{1, 2}};
+    const auto updated = applyDeletions(g, dels);
+    ASSERT_EQ(updated.outDegree(1), 0u);
+
+    const auto alg_old = makeAlgorithm("pagerank");
+    const auto fix = runReference(g, *alg_old);
+    const auto alg_gold = makeAlgorithm("pagerank");
+    const auto gold = runReference(updated, *alg_gold);
+    const auto alg_inc = makeAlgorithm("pagerank");
+    auto states = fix.states;
+    const auto deltas =
+        edgeDeletionDeltas(g, updated, dels, states, *alg_inc);
+    ResumeAlgorithm resume(*alg_inc, states, deltas);
+    const auto inc = runReference(updated, resume);
+    ASSERT_TRUE(inc.converged);
+    EXPECT_LE(maxStateDifference(inc.states, gold.states), 1e-3);
+}
+
+TEST(ChurnDeltas, ParallelDuplicatesDeleteOneOccurrenceAtATime)
+{
+    // Two parallel 0->9 bypasses with different weights; deleting the
+    // lighter one must fall back to the heavier, not to the long path.
+    const Graph base = graph::path(10);
+    const auto g =
+        applyInsertions(base, {{0, 9, 0.5}, {0, 9, 2.0}});
+
+    const auto alg_old = makeAlgorithm("sssp");
+    const auto fix = runReference(g, *alg_old);
+    ASSERT_DOUBLE_EQ(fix.states[9], 0.5);
+
+    const std::vector<EdgeDeletion> dels = {{0, 9, 0.5}};
+    const auto updated = applyDeletions(g, dels);
+    const auto alg_inc = makeAlgorithm("sssp");
+    auto states = fix.states;
+    const auto deltas =
+        edgeDeletionDeltas(g, updated, dels, states, *alg_inc);
+    ResumeAlgorithm resume(*alg_inc, states, deltas);
+    const auto inc = runReference(updated, resume);
+    ASSERT_TRUE(inc.converged);
+    EXPECT_DOUBLE_EQ(inc.states[9], 2.0);
+
+    // Deleting both occurrences (wildcard twice) falls back to the
+    // path distance.
+    const std::vector<EdgeDeletion> both = {{0, 9}, {0, 9}};
+    const auto updated2 = applyDeletions(g, both);
+    const auto alg2 = makeAlgorithm("sssp");
+    auto states2 = fix.states;
+    const auto deltas2 =
+        edgeDeletionDeltas(g, updated2, both, states2, *alg2);
+    ResumeAlgorithm resume2(*alg2, states2, deltas2);
+    const auto inc2 = runReference(updated2, resume2);
+    const auto gold2_alg = makeAlgorithm("sssp");
+    const auto gold2 = runReference(updated2, *gold2_alg);
+    EXPECT_LE(maxStateDifference(inc2.states, gold2.states), 1e-9);
+    EXPECT_GT(inc2.states[9], 2.0);
+}
+
+TEST(ChurnDeltas, SsspLosesShortcutDistancesGrowBack)
+{
+    // The inverse of the insertion shortcut test: removing the bypass
+    // must re-grow downstream distances to the long-path values.
+    const Graph base = graph::path(10);
+    const auto g = applyInsertions(base, {{0, 9, 0.5}});
+    const auto alg_old = makeAlgorithm("sssp");
+    const auto fix = runReference(g, *alg_old);
+    ASSERT_DOUBLE_EQ(fix.states[9], 0.5);
+
+    const std::vector<EdgeDeletion> dels = {{0, 9}};
+    const auto updated = applyDeletions(g, dels);
+    const auto alg_inc = makeAlgorithm("sssp");
+    auto states = fix.states;
+    const auto deltas =
+        edgeDeletionDeltas(g, updated, dels, states, *alg_inc);
+    ResumeAlgorithm resume(*alg_inc, states, deltas);
+    const auto inc = runReference(updated, resume);
+    ASSERT_TRUE(inc.converged);
+
+    const auto alg_gold = makeAlgorithm("sssp");
+    const auto gold = runReference(updated, *alg_gold);
+    EXPECT_LE(maxStateDifference(inc.states, gold.states), 1e-9);
+    EXPECT_GT(inc.states[9], 0.5);
+}
+
+TEST(ChurnDeltas, WccBridgeDeletionSplitsComponent)
+{
+    // Two 3-cycles joined by a bridge; WCC label propagation flows the
+    // max label over the bridge. Deleting it must let the downstream
+    // cycle fall back to its own max label.
+    graph::Builder b(6);
+    b.addEdge(0, 1, 1.0); b.addEdge(1, 2, 1.0); b.addEdge(2, 0, 1.0);
+    b.addEdge(3, 4, 1.0); b.addEdge(4, 5, 1.0); b.addEdge(5, 3, 1.0);
+    b.addEdge(5, 0, 1.0); // the bridge: high-label cycle -> low cycle
+    const auto g = b.build(true);
+
+    const auto alg_old = makeAlgorithm("wcc");
+    const auto fix = runReference(g, *alg_old);
+    EXPECT_DOUBLE_EQ(fix.states[0], 5.0); // label leaked over bridge
+
+    const std::vector<EdgeDeletion> dels = {{5, 0}};
+    const auto updated = applyDeletions(g, dels);
+    const auto alg_inc = makeAlgorithm("wcc");
+    auto states = fix.states;
+    const auto deltas =
+        edgeDeletionDeltas(g, updated, dels, states, *alg_inc);
+    ResumeAlgorithm resume(*alg_inc, states, deltas);
+    const auto inc = runReference(updated, resume);
+    ASSERT_TRUE(inc.converged);
+
+    const auto alg_gold = makeAlgorithm("wcc");
+    const auto gold = runReference(updated, *alg_gold);
+    EXPECT_LE(maxStateDifference(inc.states, gold.states), 1e-12);
+    EXPECT_DOUBLE_EQ(inc.states[0], 2.0); // back to its own cycle max
+}
+
+} // namespace
+} // namespace depgraph::gas

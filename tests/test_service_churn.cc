@@ -1,0 +1,404 @@
+/**
+ * @file
+ * Service-level churn: edge deletions through the serving stack.
+ *
+ * Three layers are exercised:
+ *  - concurrent clients issuing mixed insert / delete / query streams,
+ *    checked against a serial replay of the same request log (clients
+ *    use unique per-edge weights and delete only their own insertions,
+ *    so the final edge multiset is interleaving-independent);
+ *  - the UpdateBatcher's cancellation rule (a deletion cancels the most
+ *    recent matching pending insertion; a fully-cancelled batch
+ *    publishes nothing and flush reports version 0);
+ *  - the dgserve protocol's `del` verb.
+ *
+ * Registered with ctest labels `service;tsan` like the stress test: the
+ * concurrent case is a ThreadSanitizer target.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/random.hh"
+#include "gas/algorithms.hh"
+#include "gas/incremental.hh"
+#include "gas/reference.hh"
+#include "graph/generators.hh"
+#include "service/protocol.hh"
+#include "service/service.hh"
+
+namespace depgraph::service
+{
+namespace
+{
+
+constexpr unsigned kClients = 6;
+constexpr unsigned kRoundsPerClient = 4;
+constexpr unsigned kInsPerRound = 4;
+constexpr unsigned kDelsPerRound = 2; // deletes of this round's inserts
+
+/** Unique weight per (client, round, k): a deletion carrying it can
+ * only ever claim the one insertion it targets, so the final graph is
+ * independent of how client streams interleave. */
+double
+clientWeight(unsigned t, unsigned i, unsigned k)
+{
+    return 1.0 + 0.001 * static_cast<double>(t * 1000 + i * 100 + k);
+}
+
+std::vector<gas::EdgeInsertion>
+clientIns(const graph::Graph &g, unsigned t, unsigned i)
+{
+    Rng rng(2000 + 97 * t + i);
+    std::vector<gas::EdgeInsertion> ins;
+    for (unsigned k = 0; k < kInsPerRound; ++k) {
+        const auto s =
+            static_cast<VertexId>(rng.nextBounded(g.numVertices()));
+        auto d =
+            static_cast<VertexId>(rng.nextBounded(g.numVertices()));
+        if (d == s)
+            d = (d + 1) % g.numVertices();
+        ins.push_back({s, d, clientWeight(t, i, k)});
+    }
+    return ins;
+}
+
+/** Each round deletes the first kDelsPerRound of its own insertions,
+ * by exact weight. Depending on flush timing the batcher either
+ * cancels the still-pending insert or the flush retracts the applied
+ * edge -- the final multiset is the same either way. */
+std::vector<gas::EdgeDeletion>
+clientDels(const graph::Graph &g, unsigned t, unsigned i)
+{
+    const auto ins = clientIns(g, t, i);
+    std::vector<gas::EdgeDeletion> dels;
+    for (unsigned k = 0; k < kDelsPerRound; ++k)
+        dels.push_back({ins[k].src, ins[k].dst, ins[k].weight});
+    return dels;
+}
+
+TEST(ServiceChurn, ConcurrentMixedChurnMatchesSerialReplay)
+{
+    const auto initial = graph::powerLaw(300, 2.0, 6.0, {.seed = 601});
+
+    ServiceOptions opt;
+    opt.pool.numThreads = 4;
+    opt.pool.queueCapacity = 256;
+    opt.pool.blockWhenFull = true;
+    opt.batcher.maxPendingEdges = 16;
+    opt.batcher.solution = Solution::Sequential;
+    GraphService svc(opt);
+    svc.loadGraph("g", initial);
+
+    // Warm the fixpoint caches so flushes reconverge incrementally.
+    ASSERT_TRUE(
+        svc.query({"g", "pagerank", Solution::Sequential}).get().ok());
+    ASSERT_TRUE(
+        svc.query({"g", "sssp", Solution::Sequential}).get().ok());
+
+    std::vector<std::thread> clients;
+    std::atomic<unsigned> failures{0};
+    for (unsigned t = 0; t < kClients; ++t) {
+        clients.emplace_back([&, t] {
+            Session session(svc, "g", "pagerank",
+                            Solution::Sequential);
+            for (unsigned i = 0; i < kRoundsPerClient; ++i) {
+                // The blocking calls order each client's stream:
+                // inserts are durably batched before their deletes
+                // are issued.
+                if (!session.update(clientIns(initial, t, i)).ok())
+                    ++failures;
+                if (!session.erase(clientDels(initial, t, i)).ok())
+                    ++failures;
+                const auto q = (t + i) % 2 == 0
+                    ? session.query("pagerank")
+                    : session.query("sssp");
+                if (!q.ok() || !q.states)
+                    ++failures;
+            }
+        });
+    }
+    for (auto &c : clients)
+        c.join();
+    EXPECT_EQ(failures.load(), 0u);
+
+    svc.drain();
+
+    // Serial replay: every insertion not targeted by a deletion
+    // survives; the deleted ones never survive, whether they were
+    // cancelled in the batcher or retracted by a flush.
+    std::vector<gas::EdgeInsertion> surviving;
+    for (unsigned t = 0; t < kClients; ++t)
+        for (unsigned i = 0; i < kRoundsPerClient; ++i) {
+            const auto ins = clientIns(initial, t, i);
+            surviving.insert(surviving.end(),
+                             ins.begin() + kDelsPerRound, ins.end());
+        }
+    const auto final_graph = gas::applyInsertions(initial, surviving);
+
+    const auto snap = svc.store().get("g");
+    ASSERT_NE(snap, nullptr);
+    EXPECT_EQ(snap->graph->numEdges(), final_graph.numEdges());
+
+    const auto served_pr =
+        svc.query({"g", "pagerank", Solution::Sequential}).get();
+    const auto served_sssp =
+        svc.query({"g", "sssp", Solution::Sequential}).get();
+    ASSERT_TRUE(served_pr.ok());
+    ASSERT_TRUE(served_sssp.ok());
+    {
+        const auto alg = gas::makeAlgorithm("pagerank");
+        const auto gold = gas::runReference(final_graph, *alg);
+        ASSERT_TRUE(gold.converged);
+        EXPECT_LE(gas::maxStateDifference(*served_pr.states,
+                                          gold.states),
+                  5e-3);
+    }
+    {
+        const auto alg = gas::makeAlgorithm("sssp");
+        const auto gold = gas::runReference(final_graph, *alg);
+        ASSERT_TRUE(gold.converged);
+        EXPECT_LE(gas::maxStateDifference(*served_sssp.states,
+                                          gold.states),
+                  1e-9); // min-accumulator: exact
+    }
+
+    // Churn accounting: every enqueued operation was either applied by
+    // a flush or annihilated as a cancelled insert+delete pair.
+    const auto st = svc.stats();
+    EXPECT_EQ(st.updateRequests,
+              2u * kClients * kRoundsPerClient); // update + erase
+    EXPECT_EQ(st.updateEdgesEnqueued,
+              kClients * kRoundsPerClient * kInsPerRound);
+    EXPECT_EQ(st.updateDeletionsEnqueued,
+              kClients * kRoundsPerClient * kDelsPerRound);
+    EXPECT_EQ(st.batchEdgesApplied + 2 * st.updateEdgesCancelled,
+              st.updateEdgesEnqueued + st.updateDeletionsEnqueued);
+    EXPECT_GE(st.batchesApplied, 1u);
+    EXPECT_LT(st.batchesApplied, st.updateRequests);
+    EXPECT_EQ(st.rejected, 0u);
+}
+
+TEST(ServiceChurn, SnapshotIsolationAcrossDeletions)
+{
+    ServiceOptions opt;
+    opt.pool.numThreads = 2;
+    opt.batcher.maxPendingEdges = 1000; // only explicit flushes
+    opt.batcher.solution = Solution::Sequential;
+    GraphService svc(opt);
+    svc.loadGraph("g", graph::ring(64));
+
+    const auto before = svc.store().get("g");
+    ASSERT_NE(before, nullptr);
+    const auto edges_before = before->graph->numEdges();
+
+    Session session(svc, "g", "pagerank", Solution::Sequential);
+    ASSERT_TRUE(session.erase(0, 1).ok());
+    const auto flushed = session.flushUpdates();
+    ASSERT_TRUE(flushed.ok());
+    EXPECT_GT(flushed.version, before->version);
+
+    // The pre-deletion snapshot is immutable; readers holding it keep
+    // a consistent view while new queries see the retracted edge.
+    EXPECT_EQ(before->graph->numEdges(), edges_before);
+    const auto after = svc.store().get("g");
+    ASSERT_NE(after, nullptr);
+    EXPECT_EQ(after->graph->numEdges(), edges_before - 1);
+    EXPECT_GT(after->version, before->version);
+}
+
+TEST(ServiceChurn, DepGraphHChurnStaysCorrectWithHubArtifacts)
+{
+    // The DepGraph-H incremental path carries hub-index dependencies
+    // across flushes (minus the invalidated ones); the served fixpoint
+    // must still match a from-scratch reference after deletions.
+    const auto initial = graph::powerLaw(500, 2.0, 7.0, {.seed = 811});
+
+    ServiceOptions opt;
+    opt.pool.numThreads = 2;
+    opt.batcher.maxPendingEdges = 1000;
+    opt.batcher.solution = Solution::DepGraphH;
+    GraphService svc(opt);
+    svc.loadGraph("g", initial);
+
+    Session session(svc, "g", "pagerank", Solution::DepGraphH);
+    ASSERT_TRUE(session.query().ok()); // learn hub artifacts
+
+    std::vector<gas::EdgeInsertion> ins;
+    std::vector<gas::EdgeDeletion> dels;
+    Rng rng(9100);
+    for (unsigned k = 0; k < 6; ++k) {
+        const auto s =
+            static_cast<VertexId>(rng.nextBounded(initial.numVertices()));
+        auto d =
+            static_cast<VertexId>(rng.nextBounded(initial.numVertices()));
+        if (d == s)
+            d = (d + 1) % initial.numVertices();
+        ins.push_back({s, d, rng.nextDouble(1.0, 4.0)});
+    }
+    for (unsigned k = 0; k < 6; ++k) {
+        const auto s = static_cast<VertexId>(
+            rng.nextBounded(initial.numVertices()));
+        if (initial.outDegree(s) == 0)
+            continue;
+        const EdgeId e = initial.edgeBegin(s)
+            + static_cast<EdgeId>(rng.nextBounded(initial.outDegree(s)));
+        dels.push_back({s, initial.target(e)});
+    }
+    ASSERT_FALSE(dels.empty());
+    ASSERT_TRUE(session.update(ins).ok());
+    ASSERT_TRUE(session.erase(dels).ok());
+    ASSERT_TRUE(session.flushUpdates().ok());
+
+    const auto served = session.query();
+    ASSERT_TRUE(served.ok());
+    ASSERT_NE(served.states, nullptr);
+
+    const auto updated = gas::applyChurn(initial, ins, dels);
+    const auto alg = gas::makeAlgorithm("pagerank");
+    const auto gold = gas::runReference(updated, *alg);
+    ASSERT_TRUE(gold.converged);
+    EXPECT_LE(gas::maxStateDifference(*served.states, gold.states),
+              5e-3);
+
+    const auto st = svc.stats();
+    // Carried + invalidated partition whatever the warm query learned.
+    EXPECT_EQ(st.updateDeletionsEnqueued, dels.size());
+    EXPECT_GE(st.hubDepsCarried + st.hubDepsInvalidated, 0u);
+}
+
+TEST(BatcherCancellation, InsertThenDeleteSameBatchIsNoOp)
+{
+    ServiceOptions opt;
+    opt.pool.numThreads = 1;
+    opt.batcher.maxPendingEdges = 1000; // no threshold flushes
+    opt.batcher.solution = Solution::Sequential;
+    GraphService svc(opt);
+    svc.loadGraph("g", graph::path(8));
+
+    Session session(svc, "g", "pagerank", Solution::Sequential);
+    ASSERT_TRUE(session.query().ok()); // cache the base fixpoint
+
+    const auto before = svc.store().get("g");
+    ASSERT_TRUE(session.update(2, 5, 3.25).ok());
+    const auto erased = session.erase(2, 5); // any-weight
+    ASSERT_TRUE(erased.ok());
+    EXPECT_EQ(erased.pendingEdges, 0u); // pair annihilated in place
+
+    // A fully-cancelled batch publishes nothing: flush reports
+    // version 0 and the snapshot (and its cached fixpoint) survive.
+    const auto flushed = session.flushUpdates();
+    ASSERT_TRUE(flushed.ok());
+    EXPECT_EQ(flushed.version, 0u);
+    const auto after = svc.store().get("g");
+    EXPECT_EQ(after->version, before->version);
+    EXPECT_EQ(after->graph->numEdges(), before->graph->numEdges());
+    EXPECT_TRUE(session.query().cacheHit);
+
+    const auto st = svc.stats();
+    EXPECT_EQ(st.updateEdgesCancelled, 1u);
+    EXPECT_EQ(st.batchesApplied, 0u);
+}
+
+TEST(BatcherCancellation, DeleteCancelsMostRecentMatchingInsert)
+{
+    ServiceOptions opt;
+    opt.pool.numThreads = 1;
+    opt.batcher.maxPendingEdges = 1000;
+    opt.batcher.solution = Solution::Sequential;
+    GraphService svc(opt);
+    svc.loadGraph("g", graph::path(8));
+    const auto base_out1 = svc.store().get("g")->graph->outDegree(1);
+
+    Session session(svc, "g", "pagerank", Solution::Sequential);
+    ASSERT_TRUE(session.update(1, 4, 10.0).ok());
+    ASSERT_TRUE(session.update(1, 4, 20.0).ok());
+    ASSERT_TRUE(session.erase(1, 4).ok()); // wildcard: cancels 20.0
+    ASSERT_TRUE(session.flushUpdates().ok());
+
+    const auto snap = svc.store().get("g");
+    const auto &g = *snap->graph;
+    ASSERT_EQ(g.outDegree(1), base_out1 + 1);
+    bool found10 = false, found20 = false;
+    for (EdgeId e = g.edgeBegin(1); e < g.edgeEnd(1); ++e) {
+        if (g.target(e) == 4 && g.weight(e) == 10.0)
+            found10 = true;
+        if (g.target(e) == 4 && g.weight(e) == 20.0)
+            found20 = true;
+    }
+    EXPECT_TRUE(found10);
+    EXPECT_FALSE(found20);
+
+    // An unmatched deletion queues and retracts the applied edge at
+    // the next flush.
+    ASSERT_TRUE(session.erase(1, 4, 10.0).ok());
+    ASSERT_TRUE(session.flushUpdates().ok());
+    EXPECT_EQ(svc.store().get("g")->graph->outDegree(1), base_out1);
+}
+
+TEST(BatcherCancellation, ExactWeightDeleteSkipsOtherWeights)
+{
+    ServiceOptions opt;
+    opt.pool.numThreads = 1;
+    opt.batcher.maxPendingEdges = 1000;
+    opt.batcher.solution = Solution::Sequential;
+    GraphService svc(opt);
+    svc.loadGraph("g", graph::path(8));
+
+    Session session(svc, "g", "pagerank", Solution::Sequential);
+    ASSERT_TRUE(session.update(0, 3, 1.5).ok());
+    ASSERT_TRUE(session.update(0, 3, 2.5).ok());
+    // Exact weight 1.5 cancels the OLDER matching insert even though
+    // the 2.5 one is more recent.
+    ASSERT_TRUE(session.erase(0, 3, 1.5).ok());
+    ASSERT_TRUE(session.flushUpdates().ok());
+
+    const auto snap = svc.store().get("g");
+    const auto &g = *snap->graph;
+    bool found15 = false, found25 = false;
+    for (EdgeId e = g.edgeBegin(0); e < g.edgeEnd(0); ++e) {
+        if (g.target(e) == 3 && g.weight(e) == 1.5)
+            found15 = true;
+        if (g.target(e) == 3 && g.weight(e) == 2.5)
+            found25 = true;
+    }
+    EXPECT_FALSE(found15);
+    EXPECT_TRUE(found25);
+    EXPECT_EQ(svc.stats().updateEdgesCancelled, 1u);
+}
+
+TEST(ProtocolChurn, DelVerbRoundTrip)
+{
+    ServiceOptions opt;
+    opt.pool.numThreads = 1;
+    opt.batcher.maxPendingEdges = 1000;
+    opt.batcher.solution = Solution::Sequential;
+    GraphService svc(opt);
+
+    auto out = [&](const std::string &line) {
+        return runCommandLine(svc, line).output;
+    };
+
+    EXPECT_EQ(out("load g ring 64").rfind("ok v=", 0), 0u);
+    EXPECT_EQ(out("del g 0 1").rfind("ok enqueued=1 pending=1", 0),
+              0u);
+    EXPECT_EQ(out("flush g").rfind("ok applied v=", 0), 0u);
+    EXPECT_EQ(svc.store().get("g")->graph->numEdges(), 63u);
+
+    // Malformed requests reply err without killing the server.
+    EXPECT_EQ(out("del g 0").rfind("err:", 0), 0u);
+    EXPECT_EQ(out("del g zero one").rfind("err:", 0), 0u);
+    EXPECT_EQ(out("del g 0 1 -2").rfind("err:", 0), 0u);
+    EXPECT_EQ(out("del nosuch 0 1").rfind("err:", 0), 0u);
+    EXPECT_NE(out("help").find("del <name>"), std::string::npos);
+
+    // Deleting a now-nonexistent edge is an accepted no-op request.
+    EXPECT_EQ(out("del g 0 1").rfind("ok enqueued=1", 0), 0u);
+    EXPECT_EQ(out("flush g").rfind("ok applied v=", 0), 0u);
+    EXPECT_EQ(svc.store().get("g")->graph->numEdges(), 63u);
+}
+
+} // namespace
+} // namespace depgraph::service

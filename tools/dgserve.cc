@@ -7,6 +7,7 @@
  *
  * Examples:
  *   printf 'load g powerlaw 5000\nquery g pagerank\nquit\n' | dgserve
+ *   printf 'load g ring 64\ndel g 0 1\nflush g\nquit\n' | dgserve
  *   dgserve --workers 8 --queue 256 --block --stats_ms 2000 < script
  */
 
