@@ -79,7 +79,9 @@ parseCategories(const std::string &list)
         else if (item == "engine")
             m |= kEngine;
         else if (!item.empty())
-            dg_warn("unknown trace category '", item, "'");
+            dg_warn("unknown trace category '", item,
+                    "' (valid: traverse|hdtl, shortcut, ddmu, queue, "
+                    "engine, all)");
     }
     return m;
 }

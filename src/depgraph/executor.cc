@@ -7,6 +7,8 @@
 #include "common/bitmap.hh"
 #include "common/trace.hh"
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "depgraph/engine_model.hh"
 #include "graph/core_paths.hh"
 #include "graph/partition.hh"
@@ -148,6 +150,24 @@ DepGraphExecutor::run(const graph::Graph &g, gas::Algorithm &alg,
     runtime::RunResult result;
     auto &mx = result.metrics;
     mx.coresUsed = cores;
+
+    /* ---- Registry counters mirroring the dg_trace taxonomy. The
+     * references are resolved once per run (registration takes the
+     * registry mutex); the per-event cost is one relaxed add. ---- */
+    auto &reg = obs::registry();
+    const obs::Labels engine_labels{{"engine", name()}};
+    auto &c_walks = reg.counter("dg_engine_chain_walks_total",
+                                "HDTL chain walks (root traversals)",
+                                engine_labels);
+    auto &c_shortcuts = reg.counter("dg_engine_shortcuts_total",
+                                    "Hub-index shortcut firings",
+                                    engine_labels);
+    auto &c_ddmu = reg.counter("dg_engine_ddmu_observations_total",
+                               "DDMU dependency-fit observations",
+                               engine_labels);
+    auto &c_rounds = reg.counter("dg_engine_rounds_total",
+                                 "Engine rounds executed",
+                                 engine_labels);
 
     /* ---- Hub-index warm start. A dependency learned by a previous
      * run is installed as an Available entry only when its full
@@ -448,9 +468,13 @@ DepGraphExecutor::run(const graph::Graph &g, gas::Algorithm &alg,
                         if (x_fit) {
                             ++mx.hubIndexHits;
                             ++mx.shortcutsApplied;
+                            c_shortcuts.inc();
                             dg_trace(trace::kShortcut, "core ",
                                      cur_core, ": v", cp.head,
                                      " -> v", cp.tail, " f=", *x_fit);
+                            obs::span::instant(
+                                "engine", "shortcut", "tail",
+                                static_cast<std::uint64_t>(cp.tail));
                             pushRemote(cp.tail, *x_fit);
                             if (is_sum) {
                                 child_track.shortcutFired = *x_fit;
@@ -487,11 +511,15 @@ DepGraphExecutor::run(const graph::Graph &g, gas::Algorithm &alg,
                 const bool settled = existing != HubIndex::kNoEntry
                     && index.entry(existing).flag == EntryFlag::A;
                 if (!settled) {
+                    c_ddmu.inc();
                     dg_trace(trace::kDdmu, "observe path ",
                              child_track.pathIdx, " head=v", cp.head,
                              " tail=v", cp.tail, " in=",
                              child_track.basisIn, " out=",
                              child_track.xPure);
+                    obs::span::instant(
+                        "engine", "ddmu_fit", "path",
+                        child_track.pathIdx);
                     ddmuAccessCost(cp.head, existing, true);
                     const auto before = index.size();
                     ddmu.observe(cp.head, cp.tail,
@@ -664,13 +692,23 @@ DepGraphExecutor::run(const graph::Graph &g, gas::Algorithm &alg,
                     dg_trace(trace::kTraverse, "core ", cur_core,
                              ": root v", root, " delta=",
                              delta[root]);
-                    traverse(root);
+                    c_walks.inc();
+                    if (obs::span::enabled()) {
+                        obs::span::Scoped walk("engine", "chain_walk",
+                                               "core", cur_core);
+                        traverse(root);
+                    } else {
+                        traverse(root);
+                    }
                 }
             }
         }
 
         dg_trace(trace::kEngine, name(), " round ", mx.rounds,
                  " done: updates=", mx.updates);
+        c_rounds.inc();
+        obs::span::instant("engine", "round_done", "round",
+                           mx.rounds);
 
         /* Barrier: merge remote stores; reseed from banked deltas. */
         processedRound.clearAll();

@@ -1,0 +1,302 @@
+#include "obs/json.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace depgraph::obs::json
+{
+
+Value
+Value::makeBool(bool b)
+{
+    Value v;
+    v.type_ = Type::Bool;
+    v.bool_ = b;
+    return v;
+}
+
+Value
+Value::makeNumber(double d)
+{
+    Value v;
+    v.type_ = Type::Number;
+    v.number_ = d;
+    return v;
+}
+
+Value
+Value::makeString(std::string s)
+{
+    Value v;
+    v.type_ = Type::String;
+    v.string_ = std::move(s);
+    return v;
+}
+
+Value
+Value::makeArray(Array a)
+{
+    Value v;
+    v.type_ = Type::Array;
+    v.array_ = std::make_shared<Array>(std::move(a));
+    return v;
+}
+
+Value
+Value::makeObject(Object o)
+{
+    Value v;
+    v.type_ = Type::Object;
+    v.object_ = std::make_shared<Object>(std::move(o));
+    return v;
+}
+
+namespace
+{
+
+struct Parser
+{
+    const std::string &text;
+    std::size_t pos = 0;
+    std::string err;
+
+    bool
+    fail(const std::string &msg)
+    {
+        if (err.empty())
+            err = "at byte " + std::to_string(pos) + ": " + msg;
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size()
+               && std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return fail(std::string("expected '") + c + "'");
+    }
+
+    bool
+    literal(const char *word)
+    {
+        for (const char *p = word; *p; ++p, ++pos)
+            if (pos >= text.size() || text[pos] != *p)
+                return fail(std::string("bad literal, expected ")
+                            + word);
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return false;
+        out.clear();
+        while (pos < text.size()) {
+            const char c = text[pos++];
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= text.size())
+                return fail("dangling escape");
+            const char e = text[pos++];
+            switch (e) {
+              case '"':
+              case '\\':
+              case '/':
+                out += e;
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u': {
+                if (pos + 4 > text.size())
+                    return fail("truncated \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text[pos++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad hex digit in \\u escape");
+                }
+                // UTF-8 encode (surrogate pairs are not stitched;
+                // the renderers never emit them).
+                if (cp < 0x80) {
+                    out += static_cast<char>(cp);
+                } else if (cp < 0x800) {
+                    out += static_cast<char>(0xC0 | (cp >> 6));
+                    out += static_cast<char>(0x80 | (cp & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (cp >> 12));
+                    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (cp & 0x3F));
+                }
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseValue(Value &out)
+    {
+        skipWs();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        const char c = text[pos];
+        if (c == '{') {
+            ++pos;
+            Object obj;
+            skipWs();
+            if (pos < text.size() && text[pos] == '}') {
+                ++pos;
+                out = Value::makeObject(std::move(obj));
+                return true;
+            }
+            while (true) {
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                if (!consume(':'))
+                    return false;
+                Value v;
+                if (!parseValue(v))
+                    return false;
+                obj.emplace(std::move(key), std::move(v));
+                skipWs();
+                if (pos < text.size() && text[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                break;
+            }
+            if (!consume('}'))
+                return false;
+            out = Value::makeObject(std::move(obj));
+            return true;
+        }
+        if (c == '[') {
+            ++pos;
+            Array arr;
+            skipWs();
+            if (pos < text.size() && text[pos] == ']') {
+                ++pos;
+                out = Value::makeArray(std::move(arr));
+                return true;
+            }
+            while (true) {
+                Value v;
+                if (!parseValue(v))
+                    return false;
+                arr.push_back(std::move(v));
+                skipWs();
+                if (pos < text.size() && text[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                break;
+            }
+            if (!consume(']'))
+                return false;
+            out = Value::makeArray(std::move(arr));
+            return true;
+        }
+        if (c == '"') {
+            std::string s;
+            if (!parseString(s))
+                return false;
+            out = Value::makeString(std::move(s));
+            return true;
+        }
+        if (c == 't') {
+            if (!literal("true"))
+                return false;
+            out = Value::makeBool(true);
+            return true;
+        }
+        if (c == 'f') {
+            if (!literal("false"))
+                return false;
+            out = Value::makeBool(false);
+            return true;
+        }
+        if (c == 'n') {
+            if (!literal("null"))
+                return false;
+            out = Value::makeNull();
+            return true;
+        }
+        if (c == '-' || (c >= '0' && c <= '9')) {
+            const char *start = text.c_str() + pos;
+            char *end = nullptr;
+            const double d = std::strtod(start, &end);
+            if (end == start)
+                return fail("bad number");
+            pos += static_cast<std::size_t>(end - start);
+            out = Value::makeNumber(d);
+            return true;
+        }
+        return fail("unexpected character");
+    }
+};
+
+} // namespace
+
+std::optional<Value>
+parse(const std::string &text, std::string *error)
+{
+    Parser p{text, 0, {}};
+    Value v;
+    if (!p.parseValue(v)) {
+        if (error)
+            *error = p.err;
+        return std::nullopt;
+    }
+    p.skipWs();
+    if (p.pos != text.size()) {
+        p.fail("trailing garbage");
+        if (error)
+            *error = p.err;
+        return std::nullopt;
+    }
+    return v;
+}
+
+} // namespace depgraph::obs::json

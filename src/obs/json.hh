@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON parser.
+ *
+ * Exists so the observability tests can round-trip the Chrome-trace
+ * and metrics JSON renderers through a real parser without an external
+ * dependency. Supports the full JSON value grammar (objects, arrays,
+ * strings with escapes, numbers, booleans, null); numbers are held as
+ * double, which is exact for the integer magnitudes the renderers
+ * emit. Not a streaming parser; intended for test-sized documents.
+ */
+
+#ifndef DEPGRAPH_OBS_JSON_HH
+#define DEPGRAPH_OBS_JSON_HH
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace depgraph::obs::json
+{
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+class Value
+{
+  public:
+    enum class Type
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Value() = default;
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    bool asBool() const { return bool_; }
+    double asNumber() const { return number_; }
+    const std::string &asString() const { return string_; }
+    const Array &asArray() const { return *array_; }
+    const Object &asObject() const { return *object_; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const Value *
+    find(const std::string &key) const
+    {
+        if (!isObject())
+            return nullptr;
+        const auto it = object_->find(key);
+        return it == object_->end() ? nullptr : &it->second;
+    }
+
+    static Value makeNull() { return Value(); }
+    static Value makeBool(bool b);
+    static Value makeNumber(double d);
+    static Value makeString(std::string s);
+    static Value makeArray(Array a);
+    static Value makeObject(Object o);
+
+  private:
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::shared_ptr<Array> array_;
+    std::shared_ptr<Object> object_;
+};
+
+/**
+ * Parse a complete JSON document. Empty optional on any syntax error
+ * (including trailing garbage); `error`, when non-null, receives a
+ * byte offset + message describing the first failure.
+ */
+std::optional<Value> parse(const std::string &text,
+                           std::string *error = nullptr);
+
+} // namespace depgraph::obs::json
+
+#endif // DEPGRAPH_OBS_JSON_HH

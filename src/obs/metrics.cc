@@ -1,0 +1,293 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace depgraph::obs
+{
+
+namespace
+{
+
+/** Label sets compare equal irrespective of declaration order. */
+Labels
+canonical(Labels labels)
+{
+    std::sort(labels.begin(), labels.end());
+    return labels;
+}
+
+const char *
+kindName(MetricKind k)
+{
+    switch (k) {
+      case MetricKind::Counter:
+        return "counter";
+      case MetricKind::Gauge:
+        return "gauge";
+      case MetricKind::Histogram:
+        return "histogram";
+    }
+    return "?";
+}
+
+/** `{k="v",...}` or empty; `extra` appends one more pair (le=...). */
+std::string
+labelBlock(const Labels &labels, const std::string &extra = {})
+{
+    if (labels.empty() && extra.empty())
+        return "";
+    std::ostringstream os;
+    os << '{';
+    bool first = true;
+    for (const auto &[k, v] : labels) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << k << "=\"" << escapeLabelValue(v) << '"';
+    }
+    if (!extra.empty()) {
+        if (!first)
+            os << ',';
+        os << extra;
+    }
+    os << '}';
+    return os.str();
+}
+
+/** JSON string escaping for names/labels (control chars, quote, \\). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::ostringstream os;
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          case '\t':
+            os << "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    return os.str();
+}
+
+} // namespace
+
+std::string
+escapeLabelValue(const std::string &v)
+{
+    std::string out;
+    out.reserve(v.size());
+    for (const char c : v) {
+        switch (c) {
+          case '\\':
+            out += "\\\\";
+            break;
+          case '"':
+            out += "\\\"";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+Registry::Instance &
+Registry::instance(const std::string &name, const std::string &help,
+                   MetricKind kind, Labels labels)
+{
+    labels = canonical(std::move(labels));
+    std::lock_guard lk(mu_);
+    for (auto &fam : families_) {
+        if (fam.name != name)
+            continue;
+        if (fam.kind != kind)
+            dg_panic("metric '", name, "' re-registered as ",
+                     kindName(kind), " but is a ", kindName(fam.kind));
+        for (auto &inst : fam.instances)
+            if (inst.labels == labels)
+                return inst;
+        fam.instances.emplace_back();
+        fam.instances.back().labels = std::move(labels);
+        return fam.instances.back();
+    }
+    families_.push_back({name, help, kind, {}});
+    families_.back().instances.emplace_back();
+    families_.back().instances.back().labels = std::move(labels);
+    return families_.back().instances.back();
+}
+
+Counter &
+Registry::counter(const std::string &name, const std::string &help,
+                  Labels labels)
+{
+    return instance(name, help, MetricKind::Counter, std::move(labels))
+        .counter;
+}
+
+Gauge &
+Registry::gauge(const std::string &name, const std::string &help,
+                Labels labels)
+{
+    return instance(name, help, MetricKind::Gauge, std::move(labels))
+        .gauge;
+}
+
+Histogram &
+Registry::histogram(const std::string &name, const std::string &help,
+                    Labels labels)
+{
+    return instance(name, help, MetricKind::Histogram,
+                    std::move(labels))
+        .histogram;
+}
+
+std::size_t
+Registry::familyCount() const
+{
+    std::lock_guard lk(mu_);
+    return families_.size();
+}
+
+std::string
+Registry::renderPrometheus() const
+{
+    std::lock_guard lk(mu_);
+    std::ostringstream os;
+    for (const auto &fam : families_) {
+        os << "# HELP " << fam.name << ' ' << fam.help << '\n';
+        os << "# TYPE " << fam.name << ' ' << kindName(fam.kind)
+           << '\n';
+        for (const auto &inst : fam.instances) {
+            switch (fam.kind) {
+              case MetricKind::Counter:
+                os << fam.name << labelBlock(inst.labels) << ' '
+                   << inst.counter.value() << '\n';
+                break;
+              case MetricKind::Gauge:
+                os << fam.name << labelBlock(inst.labels) << ' '
+                   << inst.gauge.value() << '\n';
+                break;
+              case MetricKind::Histogram: {
+                const auto &h = inst.histogram;
+                std::uint64_t cum = 0;
+                for (std::size_t k = 0; k < Histogram::kBuckets; ++k) {
+                    cum += h.bucketCount(k);
+                    // The overflow bucket only renders as +Inf below.
+                    if (k + 1 == Histogram::kBuckets)
+                        break;
+                    os << fam.name << "_bucket"
+                       << labelBlock(
+                              inst.labels,
+                              "le=\""
+                                  + std::to_string(
+                                      Histogram::bucketUpperBound(k))
+                                  + "\"")
+                       << ' ' << cum << '\n';
+                }
+                os << fam.name << "_bucket"
+                   << labelBlock(inst.labels, "le=\"+Inf\"") << ' '
+                   << h.count() << '\n';
+                os << fam.name << "_sum" << labelBlock(inst.labels)
+                   << ' ' << h.sum() << '\n';
+                os << fam.name << "_count" << labelBlock(inst.labels)
+                   << ' ' << h.count() << '\n';
+                break;
+              }
+            }
+        }
+    }
+    return os.str();
+}
+
+std::string
+Registry::renderJson() const
+{
+    std::lock_guard lk(mu_);
+    std::ostringstream os;
+    os << '{';
+    bool first_fam = true;
+    for (const auto &fam : families_) {
+        if (!first_fam)
+            os << ',';
+        first_fam = false;
+        os << '"' << jsonEscape(fam.name) << "\":{\"type\":\""
+           << kindName(fam.kind) << "\",\"help\":\""
+           << jsonEscape(fam.help) << "\",\"values\":[";
+        bool first_inst = true;
+        for (const auto &inst : fam.instances) {
+            if (!first_inst)
+                os << ',';
+            first_inst = false;
+            os << "{\"labels\":{";
+            bool first_lab = true;
+            for (const auto &[k, v] : inst.labels) {
+                if (!first_lab)
+                    os << ',';
+                first_lab = false;
+                os << '"' << jsonEscape(k) << "\":\"" << jsonEscape(v)
+                   << '"';
+            }
+            os << '}';
+            switch (fam.kind) {
+              case MetricKind::Counter:
+                os << ",\"value\":" << inst.counter.value();
+                break;
+              case MetricKind::Gauge:
+                os << ",\"value\":" << inst.gauge.value();
+                break;
+              case MetricKind::Histogram: {
+                const auto &h = inst.histogram;
+                os << ",\"count\":" << h.count() << ",\"sum\":"
+                   << h.sum() << ",\"max\":" << h.max()
+                   << ",\"p50\":" << h.quantileUpperBound(0.5)
+                   << ",\"p99\":" << h.quantileUpperBound(0.99)
+                   << ",\"buckets\":[";
+                for (std::size_t k = 0; k < Histogram::kBuckets; ++k) {
+                    if (k)
+                        os << ',';
+                    os << h.bucketCount(k);
+                }
+                os << ']';
+                break;
+              }
+            }
+            os << '}';
+        }
+        os << "]}";
+    }
+    os << '}';
+    return os.str();
+}
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+} // namespace depgraph::obs

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * The metrics registry: named counters, gauges and power-of-two
+ * histograms with labels, renderable as Prometheus text exposition or
+ * JSON.
+ *
+ * Design rules:
+ *  - The hot path is lock-free: a Counter/Gauge/Histogram reference
+ *    obtained from a Registry is a stable pointer into deque-backed
+ *    storage; incrementing it is a relaxed atomic op. The registry
+ *    mutex is only taken on registration (find-or-create) and while
+ *    rendering.
+ *  - Metric families follow the Prometheus conventions documented in
+ *    docs/OBSERVABILITY.md: `dg_` prefix, snake_case, `_total` suffix
+ *    for counters, unit suffixes (`_us`, `_bytes`, `_cycles`).
+ *  - Pre-existing atomic counters elsewhere in the codebase (e.g.
+ *    service::Stats, runtime::RunMetrics) publish into the registry at
+ *    report time via Counter::set() / Histogram::assignFrom() instead
+ *    of being rewritten to live here; the registry is the export
+ *    plane, not the only source of truth.
+ */
+
+#ifndef DEPGRAPH_OBS_METRICS_HH
+#define DEPGRAPH_OBS_METRICS_HH
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace depgraph::obs
+{
+
+/** Label set attached to one metric instance ("graph" -> "g"). */
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/** Monotonically increasing count. */
+class Counter
+{
+  public:
+    void
+    inc(std::uint64_t d = 1)
+    {
+        v_.fetch_add(d, std::memory_order_relaxed);
+    }
+
+    /** Bridge publishing: overwrite with a value maintained elsewhere
+     * (must itself be monotonic for Prometheus semantics to hold). */
+    void
+    set(std::uint64_t v)
+    {
+        v_.store(v, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> v_{0};
+};
+
+/** A value that can go up and down. */
+class Gauge
+{
+  public:
+    void
+    set(double v)
+    {
+        v_.store(v, std::memory_order_relaxed);
+    }
+
+    double
+    value() const
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<double> v_{0.0};
+};
+
+/**
+ * Power-of-two bucketed histogram: bucket k counts samples in
+ * [2^k, 2^(k+1)) (bucket 0 additionally holds 0). Unitless; callers
+ * pick the unit via the metric name (`_us`, `_cycles`, ...).
+ *
+ * The max tracker uses a CAS loop: a plain load-compare-store would
+ * lose the larger of two concurrent record() calls that both read the
+ * same stale maximum.
+ */
+class Histogram
+{
+  public:
+    static constexpr std::size_t kBuckets = 22; ///< up to ~2^22 ≈ 4.2M
+
+    void
+    record(std::uint64_t v)
+    {
+        buckets_[bucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+        count_.fetch_add(1, std::memory_order_relaxed);
+        sum_.fetch_add(v, std::memory_order_relaxed);
+        auto prev = max_.load(std::memory_order_relaxed);
+        while (v > prev
+               && !max_.compare_exchange_weak(
+                   prev, v, std::memory_order_relaxed)) {
+        }
+    }
+
+    std::uint64_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t sum() const
+    {
+        return sum_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t max() const
+    {
+        return max_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    bucketCount(std::size_t k) const
+    {
+        return buckets_[k].load(std::memory_order_relaxed);
+    }
+
+    /** Inclusive upper bound of bucket k (2^(k+1) - 1); the last
+     * bucket is the overflow bucket and has no finite bound. */
+    static std::uint64_t
+    bucketUpperBound(std::size_t k)
+    {
+        return (std::uint64_t{1} << (k + 1)) - 1;
+    }
+
+    static std::size_t
+    bucketOf(std::uint64_t v)
+    {
+        const std::size_t k = v == 0
+            ? 0
+            : static_cast<std::size_t>(std::bit_width(v) - 1);
+        return k < kBuckets ? k : kBuckets - 1;
+    }
+
+    /** Upper bound of the bucket holding quantile q (0 < q <= 1). */
+    std::uint64_t
+    quantileUpperBound(double q) const
+    {
+        const auto total = count();
+        if (total == 0)
+            return 0;
+        const auto rank = static_cast<std::uint64_t>(
+            q * static_cast<double>(total));
+        std::uint64_t seen = 0;
+        for (std::size_t k = 0; k < kBuckets; ++k) {
+            seen += bucketCount(k);
+            if (seen > rank)
+                return bucketUpperBound(k);
+        }
+        return max();
+    }
+
+    /** Bridge publishing: overwrite this histogram with a snapshot of
+     * another (relaxed copies; monitoring-grade consistency). */
+    void
+    assignFrom(const Histogram &o)
+    {
+        for (std::size_t k = 0; k < kBuckets; ++k)
+            buckets_[k].store(o.bucketCount(k),
+                              std::memory_order_relaxed);
+        count_.store(o.count(), std::memory_order_relaxed);
+        sum_.store(o.sum(), std::memory_order_relaxed);
+        max_.store(o.max(), std::memory_order_relaxed);
+    }
+
+  private:
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sum_{0};
+    std::atomic<std::uint64_t> max_{0};
+};
+
+enum class MetricKind
+{
+    Counter,
+    Gauge,
+    Histogram,
+};
+
+/**
+ * Find-or-create registry of metric families. A family is one name +
+ * help + kind; each distinct label set under it is one instance.
+ * Returned references stay valid for the registry's lifetime (deque
+ * storage, nothing is ever erased).
+ */
+class Registry
+{
+  public:
+    Counter &counter(const std::string &name, const std::string &help,
+                     Labels labels = {});
+    Gauge &gauge(const std::string &name, const std::string &help,
+                 Labels labels = {});
+    Histogram &histogram(const std::string &name,
+                         const std::string &help, Labels labels = {});
+
+    /** Prometheus text exposition format (version 0.0.4). */
+    std::string renderPrometheus() const;
+
+    /** The same content as a JSON object keyed by family name. */
+    std::string renderJson() const;
+
+    /** Families registered so far (diagnostics / tests). */
+    std::size_t familyCount() const;
+
+  private:
+    struct Instance
+    {
+        Labels labels;
+        Counter counter;
+        Gauge gauge;
+        Histogram histogram;
+    };
+
+    struct Family
+    {
+        std::string name;
+        std::string help;
+        MetricKind kind;
+        std::deque<Instance> instances;
+    };
+
+    Instance &instance(const std::string &name, const std::string &help,
+                       MetricKind kind, Labels labels);
+
+    mutable std::mutex mu_;
+    std::deque<Family> families_; ///< registration order
+};
+
+/** The process-wide default registry. */
+Registry &registry();
+
+/** Escape a Prometheus label value (backslash, quote, newline). */
+std::string escapeLabelValue(const std::string &v);
+
+} // namespace depgraph::obs
+
+#endif // DEPGRAPH_OBS_METRICS_HH

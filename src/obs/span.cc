@@ -1,0 +1,265 @@
+#include "obs/span.hh"
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+namespace depgraph::obs::span
+{
+
+namespace
+{
+
+std::atomic<bool> g_enabled{false};
+std::atomic<std::uint64_t> g_nextId{1};
+
+std::chrono::steady_clock::time_point
+epoch()
+{
+    static const auto t0 = std::chrono::steady_clock::now();
+    return t0;
+}
+
+struct Event
+{
+    const char *cat;
+    const char *name;
+    const char *argName; ///< nullptr = no argument
+    std::uint64_t ts;    ///< microseconds since epoch()
+    std::uint64_t dur;   ///< "X" events only
+    std::uint64_t idOrArg;
+    char phase; ///< 'X', 'i', 'b', 'e'
+};
+
+/** One thread's ring buffer. Guarded by its own mutex so a dump can
+ * snapshot it while the owner keeps recording (uncontended in the
+ * common case: the owner is the only regular locker). */
+struct ThreadBuffer
+{
+    explicit ThreadBuffer(std::size_t capacity)
+        : events(capacity)
+    {}
+
+    std::mutex mu;
+    std::vector<Event> events;
+    std::size_t next = 0;    ///< ring cursor
+    std::size_t filled = 0;  ///< events.size() once wrapped
+    std::uint64_t dropped = 0;
+    unsigned tid = 0;
+
+    void
+    push(const Event &e)
+    {
+        std::lock_guard lk(mu);
+        if (filled == events.size())
+            ++dropped; // overwriting the oldest event
+        events[next] = e;
+        next = (next + 1) % events.size();
+        if (filled < events.size())
+            ++filled;
+    }
+};
+
+constexpr std::size_t kPerThreadCapacity = 1 << 16;
+
+struct BufferDirectory
+{
+    std::mutex mu;
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    unsigned nextTid = 1;
+};
+
+BufferDirectory &
+directory()
+{
+    static BufferDirectory d;
+    return d;
+}
+
+ThreadBuffer &
+localBuffer()
+{
+    // The shared_ptr in the directory keeps the buffer alive past
+    // thread exit so late dumps still see its events.
+    thread_local std::shared_ptr<ThreadBuffer> buf = [] {
+        auto b = std::make_shared<ThreadBuffer>(kPerThreadCapacity);
+        auto &dir = directory();
+        std::lock_guard lk(dir.mu);
+        b->tid = dir.nextTid++;
+        dir.buffers.push_back(b);
+        return b;
+    }();
+    return *buf;
+}
+
+void
+record(char phase, const char *cat, const char *name,
+       std::uint64_t ts, std::uint64_t dur, const char *arg_name,
+       std::uint64_t id_or_arg)
+{
+    localBuffer().push(
+        Event{cat, name, arg_name, ts, dur, id_or_arg, phase});
+}
+
+std::string
+jsonEscape(const char *s)
+{
+    std::string out;
+    for (; *s; ++s) {
+        if (*s == '"' || *s == '\\')
+            out += '\\';
+        out += *s;
+    }
+    return out;
+}
+
+} // namespace
+
+bool
+enabled()
+{
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+void
+setEnabled(bool on)
+{
+    if (on)
+        epoch(); // pin the time base before the first event
+    g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t
+nowMicros()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch())
+            .count());
+}
+
+std::uint64_t
+newId()
+{
+    return g_nextId.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+complete(const char *cat, const char *name, std::uint64_t ts_us,
+         std::uint64_t dur_us, const char *arg_name, std::uint64_t arg)
+{
+    if (!enabled())
+        return;
+    record('X', cat, name, ts_us, dur_us, arg_name, arg);
+}
+
+void
+instant(const char *cat, const char *name, const char *arg_name,
+        std::uint64_t arg)
+{
+    if (!enabled())
+        return;
+    record('i', cat, name, nowMicros(), 0, arg_name, arg);
+}
+
+void
+asyncBegin(const char *cat, const char *name, std::uint64_t id)
+{
+    if (!enabled())
+        return;
+    record('b', cat, name, nowMicros(), 0, nullptr, id);
+}
+
+void
+asyncEnd(const char *cat, const char *name, std::uint64_t id)
+{
+    if (!enabled())
+        return;
+    record('e', cat, name, nowMicros(), 0, nullptr, id);
+}
+
+std::string
+dumpChromeJson()
+{
+    std::vector<std::shared_ptr<ThreadBuffer>> bufs;
+    {
+        auto &dir = directory();
+        std::lock_guard lk(dir.mu);
+        bufs = dir.buffers;
+    }
+
+    std::ostringstream os;
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (const auto &b : bufs) {
+        std::lock_guard lk(b->mu);
+        // Oldest-first: the ring cursor is the oldest slot once full.
+        const std::size_t n = b->filled;
+        const std::size_t start =
+            n == b->events.size() ? b->next : 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const Event &e =
+                b->events[(start + i) % b->events.size()];
+            if (!first)
+                os << ',';
+            first = false;
+            os << "{\"name\":\"" << jsonEscape(e.name)
+               << "\",\"cat\":\"" << jsonEscape(e.cat)
+               << "\",\"ph\":\"" << e.phase << "\",\"ts\":" << e.ts
+               << ",\"pid\":1,\"tid\":" << b->tid;
+            if (e.phase == 'X')
+                os << ",\"dur\":" << e.dur;
+            if (e.phase == 'b' || e.phase == 'e')
+                os << ",\"id\":" << e.idOrArg;
+            else if (e.argName)
+                os << ",\"args\":{\"" << jsonEscape(e.argName)
+                   << "\":" << e.idOrArg << '}';
+            os << '}';
+        }
+    }
+    os << "],\"displayTimeUnit\":\"ms\"}";
+    return os.str();
+}
+
+void
+clear()
+{
+    auto &dir = directory();
+    std::lock_guard lk(dir.mu);
+    for (const auto &b : dir.buffers) {
+        std::lock_guard blk(b->mu);
+        b->next = 0;
+        b->filled = 0;
+        b->dropped = 0;
+    }
+}
+
+std::uint64_t
+droppedEvents()
+{
+    auto &dir = directory();
+    std::lock_guard lk(dir.mu);
+    std::uint64_t total = 0;
+    for (const auto &b : dir.buffers) {
+        std::lock_guard blk(b->mu);
+        total += b->dropped;
+    }
+    return total;
+}
+
+std::size_t
+recordedEvents()
+{
+    auto &dir = directory();
+    std::lock_guard lk(dir.mu);
+    std::size_t total = 0;
+    for (const auto &b : dir.buffers) {
+        std::lock_guard blk(b->mu);
+        total += b->filled;
+    }
+    return total;
+}
+
+} // namespace depgraph::obs::span

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Structured span tracing with Chrome trace_event JSON export.
+ *
+ * Each thread records events into its own fixed-capacity ring buffer
+ * (oldest events are overwritten; the drop count is kept), so the hot
+ * path never contends with other recorders. With tracing disabled the
+ * cost of a trace point is one relaxed atomic load and a branch --
+ * that is the invariant bench/obs_overhead.cc checks.
+ *
+ * Event vocabulary (mapping to the Chrome trace_event `ph` field):
+ *  - Scoped / complete(): a named duration on the recording thread
+ *    ("X" with ts + dur);
+ *  - instant(): a point event ("i");
+ *  - asyncBegin()/asyncEnd(): a duration spanning threads, stitched by
+ *    id ("b"/"e") -- used for service request spans whose queue-wait
+ *    happens on the submitting thread but whose execution happens on a
+ *    worker. The id travels through the ThreadPool job queue.
+ *
+ * Name and category strings must be string literals (or otherwise
+ * outlive the tracer): the recorder stores the pointers, not copies.
+ * dump() renders everything recorded so far as a Chrome trace_event
+ * JSON object loadable in about://tracing / ui.perfetto.dev.
+ */
+
+#ifndef DEPGRAPH_OBS_SPAN_HH
+#define DEPGRAPH_OBS_SPAN_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace depgraph::obs::span
+{
+
+/** Is recording on? One relaxed load; the disabled-path branch. */
+bool enabled();
+
+/** Turn recording on/off process-wide. */
+void setEnabled(bool on);
+
+/** Microseconds since the process-wide trace epoch (steady clock). */
+std::uint64_t nowMicros();
+
+/** Fresh nonzero id for an async span. */
+std::uint64_t newId();
+
+/**
+ * Record a complete span with an explicit start. `arg`/`argName`
+ * attach one numeric argument shown in the trace viewer (pass
+ * argName = nullptr for none).
+ */
+void complete(const char *cat, const char *name, std::uint64_t ts_us,
+              std::uint64_t dur_us, const char *arg_name = nullptr,
+              std::uint64_t arg = 0);
+
+/** Record a point event at now. */
+void instant(const char *cat, const char *name,
+             const char *arg_name = nullptr, std::uint64_t arg = 0);
+
+/** Async span endpoints, stitched across threads by `id`. */
+void asyncBegin(const char *cat, const char *name, std::uint64_t id);
+void asyncEnd(const char *cat, const char *name, std::uint64_t id);
+
+/**
+ * RAII complete-event recorder. Captures the enablement decision at
+ * construction so a span is never half-recorded across a toggle.
+ */
+class Scoped
+{
+  public:
+    Scoped(const char *cat, const char *name,
+           const char *arg_name = nullptr, std::uint64_t arg = 0)
+        : cat_(cat), name_(name), argName_(arg_name), arg_(arg),
+          active_(enabled()), start_(active_ ? nowMicros() : 0)
+    {}
+
+    ~Scoped()
+    {
+        if (active_)
+            complete(cat_, name_, start_, nowMicros() - start_,
+                     argName_, arg_);
+    }
+
+    Scoped(const Scoped &) = delete;
+    Scoped &operator=(const Scoped &) = delete;
+
+  private:
+    const char *cat_;
+    const char *name_;
+    const char *argName_;
+    std::uint64_t arg_;
+    bool active_;
+    std::uint64_t start_;
+};
+
+/** Render everything recorded so far as Chrome trace_event JSON. */
+std::string dumpChromeJson();
+
+/** Drop all recorded events (dropped-event counters included). */
+void clear();
+
+/** Events lost to ring-buffer overwrite since the last clear(). */
+std::uint64_t droppedEvents();
+
+/** Events currently held across all thread buffers. */
+std::size_t recordedEvents();
+
+} // namespace depgraph::obs::span
+
+#endif // DEPGRAPH_OBS_SPAN_HH

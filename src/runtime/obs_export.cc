@@ -1,0 +1,128 @@
+#include "runtime/obs_export.hh"
+
+namespace depgraph::runtime
+{
+
+namespace
+{
+
+/** Cumulative counter publish: add this run's count on top. */
+void
+bump(obs::Registry &reg, const char *name, const char *help,
+     const obs::Labels &labels, std::uint64_t v)
+{
+    reg.counter(name, help, labels).inc(v);
+}
+
+} // namespace
+
+void
+publishRunMetrics(obs::Registry &reg, const RunMetrics &mx,
+                  const obs::Labels &labels)
+{
+    bump(reg, "dg_run_updates_total",
+         "Vertex-state applications (u_d)", labels, mx.updates);
+    bump(reg, "dg_run_edge_ops_total", "EdgeCompute invocations",
+         labels, mx.edgeOps);
+    bump(reg, "dg_run_rounds_total", "Engine rounds executed", labels,
+         mx.rounds);
+    bump(reg, "dg_run_makespan_cycles_total",
+         "Simulated makespan cycles", labels, mx.makespan);
+    bump(reg, "dg_run_compute_cycles_total",
+         "Vertex-state processing cycles", labels, mx.computeCycles);
+    bump(reg, "dg_run_mem_stall_cycles_total", "Memory stall cycles",
+         labels, mx.memStallCycles);
+    bump(reg, "dg_run_overhead_cycles_total",
+         "Queue/traversal/hub-index overhead cycles", labels,
+         mx.overheadCycles);
+    bump(reg, "dg_run_idle_cycles_total", "Barrier/starvation cycles",
+         labels, mx.idleCycles);
+    bump(reg, "dg_run_accel_ops_total", "Accelerator operations",
+         labels, mx.accelOps);
+    bump(reg, "dg_run_hub_index_lookups_total", "Hub-index lookups",
+         labels, mx.hubIndexLookups);
+    bump(reg, "dg_run_hub_index_hits_total", "Hub-index hits", labels,
+         mx.hubIndexHits);
+    bump(reg, "dg_run_shortcuts_total",
+         "Hub-index shortcuts applied", labels, mx.shortcutsApplied);
+
+    reg.gauge("dg_run_utilization",
+              "Overall utilization U of the last published run",
+              labels)
+        .set(mx.utilization());
+    reg.gauge("dg_run_other_time_share",
+              "Fig. 9 'other time' share of the last published run",
+              labels)
+        .set(mx.otherTimeShare());
+    reg.gauge("dg_run_hub_index_bytes",
+              "Hub-index footprint of the last published run", labels)
+        .set(static_cast<double>(mx.hubIndexBytes));
+    reg.gauge("dg_run_converged",
+              "1 when the last published run converged", labels)
+        .set(mx.converged ? 1.0 : 0.0);
+}
+
+void
+publishMachineStats(obs::Registry &reg, const sim::MachineStats &ms,
+                    const obs::Labels &labels)
+{
+    const struct
+    {
+        const char *name;
+        const char *help;
+        std::uint64_t v;
+    } items[] = {
+        {"dg_mem_l1_hits_total", "L1D hits", ms.l1.hits},
+        {"dg_mem_l1_misses_total", "L1D misses", ms.l1.misses},
+        {"dg_mem_l2_hits_total", "L2 hits", ms.l2.hits},
+        {"dg_mem_l2_misses_total", "L2 misses", ms.l2.misses},
+        {"dg_mem_l3_hits_total", "L3 hits", ms.l3.hits},
+        {"dg_mem_l3_misses_total", "L3 misses", ms.l3.misses},
+        {"dg_mem_noc_hops_total", "NoC router hops", ms.nocHops},
+        {"dg_mem_noc_messages_total", "NoC messages", ms.nocMessages},
+        {"dg_mem_dram_accesses_total", "DRAM line accesses",
+         ms.dramAccesses},
+        {"dg_mem_invalidations_total", "Directory invalidations",
+         ms.invalidations},
+        {"dg_mem_remote_dirty_hits_total", "Remote dirty hits",
+         ms.remoteDirtyHits},
+        {"dg_mem_accesses_total", "Core-side memory accesses",
+         ms.accesses},
+    };
+    for (const auto &it : items)
+        bump(reg, it.name, it.help, labels, it.v);
+}
+
+void
+publishEnergy(obs::Registry &reg, const sim::EnergyBreakdown &e,
+              const obs::Labels &labels)
+{
+    const struct
+    {
+        const char *name;
+        double v;
+    } items[] = {
+        {"dg_energy_core_mj", e.coreMj},
+        {"dg_energy_cache_mj", e.cacheMj},
+        {"dg_energy_noc_mj", e.nocMj},
+        {"dg_energy_dram_mj", e.dramMj},
+        {"dg_energy_accel_mj", e.accelMj},
+        {"dg_energy_total_mj", e.totalMj()},
+    };
+    for (const auto &it : items)
+        reg.gauge(it.name,
+                  "Energy of the last published run, millijoules",
+                  labels)
+            .set(it.v);
+}
+
+void
+publishRunResult(obs::Registry &reg, const RunResult &r,
+                 const obs::Labels &labels)
+{
+    publishRunMetrics(reg, r.metrics, labels);
+    publishMachineStats(reg, r.memStats, labels);
+    publishEnergy(reg, r.energy, labels);
+}
+
+} // namespace depgraph::runtime

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Bridges from the per-run metric structs (runtime::RunMetrics,
+ * sim::MachineStats, sim::EnergyBreakdown) into an obs::Registry.
+ *
+ * The engines keep returning their plain structs -- cheap, copyable,
+ * and what the benchmarks consume -- and anything that wants a
+ * scrapeable/exportable view publishes them here. Counters are
+ * cumulative across publishes (a second run on the same registry adds
+ * its updates on top), matching Prometheus counter semantics; gauges
+ * (utilization, hub-index bytes, energy) reflect the last published
+ * run.
+ */
+
+#ifndef DEPGRAPH_RUNTIME_OBS_EXPORT_HH
+#define DEPGRAPH_RUNTIME_OBS_EXPORT_HH
+
+#include "obs/metrics.hh"
+#include "runtime/metrics.hh"
+
+namespace depgraph::runtime
+{
+
+/**
+ * Publish one run's engine metrics. @param labels identify the run
+ * (e.g. {{"algo","sssp"},{"solution","DepGraph-H"}}); every metric of
+ * the run carries them.
+ */
+void publishRunMetrics(obs::Registry &reg, const RunMetrics &mx,
+                       const obs::Labels &labels);
+
+/** Publish the memory-system event counts of a run. */
+void publishMachineStats(obs::Registry &reg, const sim::MachineStats &ms,
+                         const obs::Labels &labels);
+
+/** Publish the energy breakdown of a run (gauges, millijoules). */
+void publishEnergy(obs::Registry &reg, const sim::EnergyBreakdown &e,
+                   const obs::Labels &labels);
+
+/** All three of the above for a complete RunResult. */
+void publishRunResult(obs::Registry &reg, const RunResult &r,
+                      const obs::Labels &labels);
+
+} // namespace depgraph::runtime
+
+#endif // DEPGRAPH_RUNTIME_OBS_EXPORT_HH

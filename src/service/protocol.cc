@@ -1,12 +1,15 @@
 #include "service/protocol.hh"
 
 #include <algorithm>
+#include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
 #include <vector>
 
 #include "graph/generators.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 
 namespace depgraph::service
 {
@@ -65,7 +68,8 @@ const char *kHelp =
     "  update <name> <src> <dst> [weight]\n"
     "  del <name> <src> <dst> [weight]   (no weight = any weight)\n"
     "  flush <name>\n"
-    "  graphs | stats | drain | help | quit";
+    "  graphs | stats | metrics | drain | help | quit\n"
+    "  trace on | off | dump <path>   (Chrome trace_event JSON)";
 
 CommandResult
 doLoad(GraphService &svc, const std::vector<std::string> &t)
@@ -276,6 +280,38 @@ runCommandLine(GraphService &svc, const std::string &line)
     }
     if (cmd == "stats")
         return {svc.stats().render()};
+    if (cmd == "metrics") {
+        // Mirror the live service stats first so the exposition is
+        // current even when no periodic publisher is running.
+        svc.publishStats();
+        return {obs::registry().renderPrometheus()};
+    }
+    if (cmd == "trace") {
+        if (t.size() < 2)
+            return err("usage: trace on | off | dump <path>");
+        if (t[1] == "on") {
+            obs::span::setEnabled(true);
+            return {"ok tracing"};
+        }
+        if (t[1] == "off") {
+            obs::span::setEnabled(false);
+            return {"ok stopped"};
+        }
+        if (t[1] == "dump") {
+            if (t.size() < 3)
+                return err("usage: trace dump <path>");
+            std::ofstream os(t[2]);
+            if (!os)
+                return err("cannot open '" + t[2] + "'");
+            os << obs::span::dumpChromeJson();
+            std::ostringstream msg;
+            msg << "ok events=" << obs::span::recordedEvents()
+                << " dropped=" << obs::span::droppedEvents() << " -> "
+                << t[2];
+            return {msg.str()};
+        }
+        return err("usage: trace on | off | dump <path>");
+    }
     if (cmd == "drain") {
         svc.drain();
         return {"ok drained"};

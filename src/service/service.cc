@@ -5,6 +5,8 @@
 
 #include "common/logging.hh"
 #include "gas/algorithms.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 
 namespace depgraph::service
 {
@@ -24,12 +26,19 @@ knownAlgorithm(const std::string &name)
 }
 
 std::uint64_t
-microsSince(std::chrono::steady_clock::time_point start)
+microsBetween(std::chrono::steady_clock::time_point start,
+              std::chrono::steady_clock::time_point end)
 {
     return static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::microseconds>(
-            std::chrono::steady_clock::now() - start)
+        std::chrono::duration_cast<std::chrono::microseconds>(end
+                                                              - start)
             .count());
+}
+
+std::uint64_t
+microsSince(std::chrono::steady_clock::time_point start)
+{
+    return microsBetween(start, std::chrono::steady_clock::now());
 }
 
 } // namespace
@@ -64,8 +73,9 @@ GraphService::GraphService(ServiceOptions opt)
     : opt_(opt), system_(opt.system),
       batcher_(store_, system_, stats_, opt.batcher), pool_(opt.pool)
 {
-    if (opt_.statsLogInterval.count() > 0)
-        logger_ = std::thread([this] { statsLogLoop(); });
+    if (opt_.statsLogInterval.count() > 0
+        || opt_.metricsPublishInterval.count() > 0)
+        reporter_ = std::thread([this] { reporterLoop(); });
 }
 
 GraphService::~GraphService()
@@ -79,7 +89,9 @@ GraphService::loadGraph(const std::string &name, graph::Graph g)
     const auto start = std::chrono::steady_clock::now();
     const auto version = store_.put(name, std::move(g));
     stats_.loads.fetch_add(1, std::memory_order_relaxed);
-    stats_.recordLatency(RequestType::Load, microsSince(start));
+    // Loads run synchronously on the caller, so there is no queue
+    // wait; the whole latency is service time.
+    stats_.recordService(RequestType::Load, microsSince(start));
     return version;
 }
 
@@ -96,28 +108,44 @@ GraphService::submitJob(RequestType type, std::function<Response()> body,
         return fut;
     }
 
+    // The request's async span is stitched across threads by id: it
+    // opens here on the submitter, the worker's queue_wait and
+    // handler spans carry the same id, and it closes on completion.
+    const char *type_name = requestTypeName(type);
+    const auto span_id = obs::span::newId();
+    obs::span::asyncBegin("service", type_name, span_id);
+
     const auto submitted = std::chrono::steady_clock::now();
-    auto job = [this, type, body = std::move(body), deadline, submitted,
+    auto job = [this, type, type_name, span_id,
+                body = std::move(body), deadline, submitted,
                 prom]() mutable {
+        const auto picked = std::chrono::steady_clock::now();
+        stats_.recordQueueWait(type,
+                               microsBetween(submitted, picked));
         Response r;
-        if (deadline
-            && std::chrono::steady_clock::now() > *deadline) {
-            r.status = Status::DeadlineExceeded;
-            r.error = "deadline passed while queued";
-            stats_.deadlineExpired.fetch_add(1,
-                                             std::memory_order_relaxed);
-        } else {
-            r = body();
+        {
+            obs::span::Scoped handle("service", type_name, "id",
+                                     span_id);
+            if (deadline && picked > *deadline) {
+                r.status = Status::DeadlineExceeded;
+                r.error = "deadline passed while queued";
+                stats_.deadlineExpired.fetch_add(
+                    1, std::memory_order_relaxed);
+            } else {
+                r = body();
+            }
         }
-        stats_.recordLatency(type, microsSince(submitted));
+        stats_.recordService(type, microsSince(picked));
+        obs::span::asyncEnd("service", type_name, span_id);
         prom->set_value(std::move(r));
     };
 
-    switch (pool_.submit(std::move(job))) {
+    switch (pool_.submit(std::move(job), span_id)) {
       case PushResult::Ok:
         break;
       case PushResult::Full: {
         stats_.rejected.fetch_add(1, std::memory_order_relaxed);
+        obs::span::asyncEnd("service", type_name, span_id);
         Response r;
         r.status = Status::Rejected;
         r.error = "job queue full";
@@ -125,6 +153,7 @@ GraphService::submitJob(RequestType type, std::function<Response()> body,
         break;
       }
       case PushResult::Closed: {
+        obs::span::asyncEnd("service", type_name, span_id);
         Response r;
         r.status = Status::ShuttingDown;
         prom->set_value(std::move(r));
@@ -275,13 +304,13 @@ GraphService::shutdown()
 {
     if (shutdown_.exchange(true, std::memory_order_acq_rel))
         return;
-    if (logger_.joinable()) {
+    if (reporter_.joinable()) {
         {
-            std::lock_guard lk(logMu_);
-            stopLogger_ = true;
+            std::lock_guard lk(reporterMu_);
+            stopReporter_ = true;
         }
-        logCv_.notify_all();
-        logger_.join();
+        reporterCv_.notify_all();
+        reporter_.join();
     }
     pool_.shutdown();     // drains queued requests, joins workers
     batcher_.flushAll();  // accepted updates are never dropped
@@ -294,16 +323,39 @@ GraphService::stats() const
 }
 
 void
-GraphService::statsLogLoop()
+GraphService::publishStats() const
 {
-    std::unique_lock lk(logMu_);
-    while (!stopLogger_) {
-        logCv_.wait_for(lk, opt_.statsLogInterval,
-                        [&] { return stopLogger_; });
-        if (stopLogger_)
+    stats_.publishTo(obs::registry(), pool_.queueDepth(),
+                     pool_.queueHighWater());
+}
+
+void
+GraphService::reporterLoop()
+{
+    using clock = std::chrono::steady_clock;
+    constexpr auto never = clock::time_point::max();
+    const bool log = opt_.statsLogInterval.count() > 0;
+    const bool publish = opt_.metricsPublishInterval.count() > 0;
+    auto next_log = log ? clock::now() + opt_.statsLogInterval : never;
+    auto next_pub =
+        publish ? clock::now() + opt_.metricsPublishInterval : never;
+
+    std::unique_lock lk(reporterMu_);
+    while (!stopReporter_) {
+        reporterCv_.wait_until(lk, std::min(next_log, next_pub),
+                               [&] { return stopReporter_; });
+        if (stopReporter_)
             break;
         lk.unlock();
-        dg_inform(stats().logLine());
+        const auto now = clock::now();
+        if (now >= next_log) {
+            dg_inform(stats().logLine());
+            next_log = now + opt_.statsLogInterval;
+        }
+        if (now >= next_pub) {
+            publishStats();
+            next_pub = now + opt_.metricsPublishInterval;
+        }
         lk.lock();
     }
 }

@@ -87,8 +87,11 @@ struct ServiceOptions
     ThreadPool::Options pool;
     UpdateBatcher::Options batcher;
     SystemConfig system; ///< machine + engine config for all runs
-    /** > 0: a background thread logs a stats line at this period. */
+    /** > 0: the reporter thread logs a stats line at this period. */
     std::chrono::milliseconds statsLogInterval{0};
+    /** > 0: the reporter thread also publishes the stats into
+     * obs::registry() at this period (dg_service_* metrics). */
+    std::chrono::milliseconds metricsPublishInterval{0};
 };
 
 class GraphService
@@ -147,6 +150,10 @@ class GraphService
 
     StatsSnapshot stats() const;
 
+    /** Mirror the live stats into obs::registry() right now (the
+     * `metrics` protocol verb renders the registry afterwards). */
+    void publishStats() const;
+
     GraphStore &store() { return store_; }
     UpdateBatcher &batcher() { return batcher_; }
     const ServiceOptions &options() const { return opt_; }
@@ -158,7 +165,7 @@ class GraphService
                                     std::function<Response()> body,
                                     Deadline deadline);
     Response runQuery(const QuerySpec &spec);
-    void statsLogLoop();
+    void reporterLoop();
 
     ServiceOptions opt_;
     Stats stats_;
@@ -167,10 +174,10 @@ class GraphService
     UpdateBatcher batcher_;
     ThreadPool pool_;
 
-    std::mutex logMu_;
-    std::condition_variable logCv_;
-    bool stopLogger_ = false;
-    std::thread logger_;
+    std::mutex reporterMu_;
+    std::condition_variable reporterCv_;
+    bool stopReporter_ = false;
+    std::thread reporter_;
 
     std::atomic<bool> shutdown_{false};
 };

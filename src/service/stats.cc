@@ -1,6 +1,5 @@
 #include "service/stats.hh"
 
-#include <bit>
 #include <sstream>
 
 #include "common/table.hh"
@@ -25,63 +24,31 @@ requestTypeName(RequestType t)
 }
 
 void
-LatencyHistogram::record(std::uint64_t micros)
+Stats::recordQueueWait(RequestType t, std::uint64_t micros)
 {
-    std::size_t k = micros == 0
-        ? 0
-        : static_cast<std::size_t>(std::bit_width(micros) - 1);
-    if (k >= kBuckets)
-        k = kBuckets - 1;
-    buckets_[k].fetch_add(1, std::memory_order_relaxed);
-    count_.fetch_add(1, std::memory_order_relaxed);
-    sum_.fetch_add(micros, std::memory_order_relaxed);
-    auto prev = max_.load(std::memory_order_relaxed);
-    while (micros > prev
-           && !max_.compare_exchange_weak(prev, micros,
-                                          std::memory_order_relaxed)) {
-    }
-}
-
-std::uint64_t
-LatencyHistogram::count() const
-{
-    return count_.load(std::memory_order_relaxed);
-}
-
-std::uint64_t
-LatencyHistogram::sumMicros() const
-{
-    return sum_.load(std::memory_order_relaxed);
-}
-
-std::uint64_t
-LatencyHistogram::maxMicros() const
-{
-    return max_.load(std::memory_order_relaxed);
-}
-
-std::uint64_t
-LatencyHistogram::quantileUpperBound(double q) const
-{
-    const auto total = count();
-    if (total == 0)
-        return 0;
-    const auto rank = static_cast<std::uint64_t>(
-        q * static_cast<double>(total));
-    std::uint64_t seen = 0;
-    for (std::size_t k = 0; k < kBuckets; ++k) {
-        seen += buckets_[k].load(std::memory_order_relaxed);
-        if (seen > rank)
-            return (std::uint64_t{1} << (k + 1)) - 1;
-    }
-    return maxMicros();
+    queueWait_[static_cast<std::size_t>(t)].record(micros);
 }
 
 void
-Stats::recordLatency(RequestType t, std::uint64_t micros)
+Stats::recordService(RequestType t, std::uint64_t micros)
 {
-    latency_[static_cast<std::size_t>(t)].record(micros);
+    service_[static_cast<std::size_t>(t)].record(micros);
 }
+
+namespace
+{
+
+void
+fill(StatsSnapshot::Latency &l, const LatencyHistogram &h)
+{
+    l.count = h.count();
+    l.meanMicros = l.count ? h.sum() / l.count : 0;
+    l.p50Micros = h.quantileUpperBound(0.50);
+    l.p99Micros = h.quantileUpperBound(0.99);
+    l.maxMicros = h.max();
+}
+
+} // namespace
 
 StatsSnapshot
 Stats::snapshot(std::size_t queue_depth,
@@ -114,15 +81,78 @@ Stats::snapshot(std::size_t queue_depth,
     s.queueDepth = queue_depth;
     s.queueHighWater = queue_high_water;
     for (std::size_t i = 0; i < kNumRequestTypes; ++i) {
-        const auto &h = latency_[i];
-        auto &l = s.latency[i];
-        l.count = h.count();
-        l.meanMicros = l.count ? h.sumMicros() / l.count : 0;
-        l.p50Micros = h.quantileUpperBound(0.50);
-        l.p99Micros = h.quantileUpperBound(0.99);
-        l.maxMicros = h.maxMicros();
+        fill(s.queueWait[i], queueWait_[i]);
+        fill(s.service[i], service_[i]);
     }
     return s;
+}
+
+void
+Stats::publishTo(obs::Registry &reg, std::size_t queue_depth,
+                 std::size_t queue_high_water) const
+{
+    const struct
+    {
+        const char *name;
+        const char *help;
+        const std::atomic<std::uint64_t> &v;
+    } counters[] = {
+        {"dg_service_loads_total", "Graph loads", loads},
+        {"dg_service_queries_total", "Query requests", queries},
+        {"dg_service_query_cache_hits_total", "Fixpoint cache hits",
+         queryCacheHits},
+        {"dg_service_query_cache_misses_total",
+         "Fixpoint cache misses", queryCacheMisses},
+        {"dg_service_update_requests_total", "Update requests",
+         updateRequests},
+        {"dg_service_update_edges_enqueued_total",
+         "Edge insertions enqueued", updateEdgesEnqueued},
+        {"dg_service_update_deletions_enqueued_total",
+         "Edge deletions enqueued", updateDeletionsEnqueued},
+        {"dg_service_update_edges_cancelled_total",
+         "Insertions cancelled by matching deletions",
+         updateEdgesCancelled},
+        {"dg_service_batches_applied_total", "Churn batches applied",
+         batchesApplied},
+        {"dg_service_batch_edges_applied_total",
+         "Edges applied through batches", batchEdgesApplied},
+        {"dg_service_incremental_passes_total",
+         "Incremental reconvergence passes", incrementalPasses},
+        {"dg_service_hub_deps_carried_total",
+         "Hub dependencies carried across flushes", hubDepsCarried},
+        {"dg_service_hub_deps_invalidated_total",
+         "Hub dependencies invalidated by dirty vertices",
+         hubDepsInvalidated},
+        {"dg_service_rejected_total", "Requests rejected (queue full)",
+         rejected},
+        {"dg_service_deadline_expired_total",
+         "Requests expired while queued", deadlineExpired},
+        {"dg_service_errors_total", "Internal errors", errors},
+    };
+    for (const auto &c : counters)
+        reg.counter(c.name, c.help)
+            .set(c.v.load(std::memory_order_relaxed));
+
+    reg.gauge("dg_service_queue_depth", "Jobs currently queued")
+        .set(static_cast<double>(queue_depth));
+    reg.gauge("dg_service_queue_high_water",
+              "Deepest the job queue has been")
+        .set(static_cast<double>(queue_high_water));
+
+    for (std::size_t i = 0; i < kNumRequestTypes; ++i) {
+        const obs::Labels labels{
+            {"type", requestTypeName(static_cast<RequestType>(i))}};
+        reg.histogram("dg_service_queue_wait_us",
+                      "Submit-to-pickup wait per request type, "
+                      "microseconds",
+                      labels)
+            .assignFrom(queueWait_[i]);
+        reg.histogram("dg_service_time_us",
+                      "Worker execution time per request type, "
+                      "microseconds",
+                      labels)
+            .assignFrom(service_[i]);
+    }
 }
 
 std::string
@@ -157,14 +187,23 @@ StatsSnapshot::render() const
     counters.addRow({"queue high water", Table::fmt(std::uint64_t{
                                              queueHighWater})});
 
-    Table lat({"request", "count", "mean us", "p50 us", "p99 us",
-               "max us"});
+    Table lat({"request", "phase", "count", "mean us", "p50 us",
+               "p99 us", "max us"});
     for (std::size_t i = 0; i < kNumRequestTypes; ++i) {
-        const auto &l = latency[i];
-        lat.addRow({requestTypeName(static_cast<RequestType>(i)),
-                    Table::fmt(l.count), Table::fmt(l.meanMicros),
-                    Table::fmt(l.p50Micros), Table::fmt(l.p99Micros),
-                    Table::fmt(l.maxMicros)});
+        const auto *name =
+            requestTypeName(static_cast<RequestType>(i));
+        const struct
+        {
+            const char *phase;
+            const Latency &l;
+        } rows[] = {{"wait", queueWait[i]}, {"service", service[i]}};
+        for (const auto &row : rows) {
+            lat.addRow({name, row.phase, Table::fmt(row.l.count),
+                        Table::fmt(row.l.meanMicros),
+                        Table::fmt(row.l.p50Micros),
+                        Table::fmt(row.l.p99Micros),
+                        Table::fmt(row.l.maxMicros)});
+        }
     }
     return counters.render() + "\n" + lat.render();
 }
@@ -180,10 +219,10 @@ StatsSnapshot::logLine() const
        << " passes=" << incrementalPasses << " rej=" << rejected
        << " dl=" << deadlineExpired << " err=" << errors
        << " depth=" << queueDepth << " hiwat=" << queueHighWater;
-    const auto &q = latency[static_cast<std::size_t>(
-        RequestType::Query)];
-    os << " query_p50us=" << q.p50Micros << " query_p99us="
-       << q.p99Micros;
+    const auto qi = static_cast<std::size_t>(RequestType::Query);
+    os << " query_wait_p99us=" << queueWait[qi].p99Micros
+       << " query_p50us=" << service[qi].p50Micros
+       << " query_p99us=" << service[qi].p99Micros;
     return os.str();
 }
 

@@ -4,9 +4,15 @@
  *
  * Every worker thread bumps lock-free atomic counters; readers take a
  * consistent-enough Snapshot (each counter is individually atomic; the
- * set is not fenced, which is fine for monitoring). Latencies go into
- * power-of-two microsecond histograms, one per request type, so the
- * periodic log line can report p50/p99 without storing samples.
+ * set is not fenced, which is fine for monitoring). Per request type,
+ * latencies split into TWO power-of-two microsecond histograms --
+ * queue wait (submit until a worker picks the request up) and service
+ * time (execution on the worker) -- so backpressure and slow handlers
+ * are distinguishable instead of conflated into one number.
+ *
+ * publishTo() mirrors everything into an obs::Registry, from which the
+ * `metrics` protocol verb renders the Prometheus text exposition (see
+ * docs/OBSERVABILITY.md).
  */
 
 #ifndef DEPGRAPH_SERVICE_STATS_HH
@@ -16,6 +22,8 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+
+#include "obs/metrics.hh"
 
 namespace depgraph::service
 {
@@ -35,28 +43,11 @@ const char *requestTypeName(RequestType t);
 
 /**
  * Power-of-two bucketed latency histogram: bucket k counts samples in
- * [2^k, 2^(k+1)) microseconds (bucket 0 additionally holds 0us).
+ * [2^k, 2^(k+1)) microseconds (bucket 0 additionally holds 0us). The
+ * shared obs::Histogram provides the CAS-loop max update, so two
+ * concurrent record() calls can never lose the larger maximum.
  */
-class LatencyHistogram
-{
-  public:
-    static constexpr std::size_t kBuckets = 22; ///< up to ~35 minutes
-
-    void record(std::uint64_t micros);
-
-    std::uint64_t count() const;
-    std::uint64_t sumMicros() const;
-    std::uint64_t maxMicros() const;
-
-    /** Upper bound of the bucket holding quantile q (0 < q <= 1). */
-    std::uint64_t quantileUpperBound(double q) const;
-
-  private:
-    std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
-    std::atomic<std::uint64_t> count_{0};
-    std::atomic<std::uint64_t> sum_{0};
-    std::atomic<std::uint64_t> max_{0};
-};
+using LatencyHistogram = obs::Histogram;
 
 /** Point-in-time copy of every counter, for rendering / assertions. */
 struct StatsSnapshot
@@ -88,7 +79,10 @@ struct StatsSnapshot
         std::uint64_t p99Micros = 0;
         std::uint64_t maxMicros = 0;
     };
-    std::array<Latency, kNumRequestTypes> latency{};
+    /** Time from submit until a worker picked the request up. */
+    std::array<Latency, kNumRequestTypes> queueWait{};
+    /** Execution time on the worker (deadline rejects included). */
+    std::array<Latency, kNumRequestTypes> service{};
 
     /** Multi-line aligned table (common/table) for interactive use. */
     std::string render() const;
@@ -118,14 +112,27 @@ class Stats
     std::atomic<std::uint64_t> deadlineExpired{0};
     std::atomic<std::uint64_t> errors{0};
 
-    void recordLatency(RequestType t, std::uint64_t micros);
+    /** Queue-wait: submit -> worker pickup. */
+    void recordQueueWait(RequestType t, std::uint64_t micros);
+
+    /** Service: worker pickup -> completion. */
+    void recordService(RequestType t, std::uint64_t micros);
 
     /** Queue gauges are sampled by the service at snapshot time. */
     StatsSnapshot snapshot(std::size_t queue_depth = 0,
                            std::size_t queue_high_water = 0) const;
 
+    /**
+     * Mirror every counter and histogram into `reg` under the
+     * `dg_service_*` names (see docs/OBSERVABILITY.md). Counters use
+     * Counter::set() -- the atomics here stay the source of truth.
+     */
+    void publishTo(obs::Registry &reg, std::size_t queue_depth = 0,
+                   std::size_t queue_high_water = 0) const;
+
   private:
-    std::array<LatencyHistogram, kNumRequestTypes> latency_{};
+    std::array<LatencyHistogram, kNumRequestTypes> queueWait_{};
+    std::array<LatencyHistogram, kNumRequestTypes> service_{};
 };
 
 } // namespace depgraph::service

@@ -1,5 +1,7 @@
 #include "service/thread_pool.hh"
 
+#include "obs/span.hh"
+
 namespace depgraph::service
 {
 
@@ -22,7 +24,7 @@ ThreadPool::~ThreadPool()
 }
 
 PushResult
-ThreadPool::submit(std::function<void()> job)
+ThreadPool::submit(std::function<void()> job, std::uint64_t span_id)
 {
     // Count the job as accepted before it becomes poppable so drain()
     // never observes executed_ == accepted_ with the job in flight.
@@ -32,8 +34,9 @@ ThreadPool::submit(std::function<void()> job)
             return PushResult::Closed;
         ++accepted_;
     }
-    const auto r = opt_.blockWhenFull ? queue_.push(std::move(job))
-                                      : queue_.tryPush(std::move(job));
+    Job item{std::move(job), span_id, std::chrono::steady_clock::now()};
+    const auto r = opt_.blockWhenFull ? queue_.push(std::move(item))
+                                      : queue_.tryPush(std::move(item));
     if (r != PushResult::Ok) {
         std::lock_guard lk(idleMu_);
         --accepted_;
@@ -75,14 +78,25 @@ ThreadPool::jobsExecuted() const
 void
 ThreadPool::workerLoop()
 {
-    std::function<void()> job;
+    Job job;
     while (queue_.pop(job)) {
         {
             std::lock_guard lk(idleMu_);
             ++active_;
         }
-        job();
-        job = nullptr;
+        if (job.spanId && obs::span::enabled()) {
+            const auto wait = std::chrono::duration_cast<
+                std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - job.enqueued);
+            const auto end = obs::span::nowMicros();
+            const auto wait_us =
+                static_cast<std::uint64_t>(wait.count());
+            obs::span::complete("service", "queue_wait",
+                                end > wait_us ? end - wait_us : 0,
+                                wait_us, "id", job.spanId);
+        }
+        job.fn();
+        job.fn = nullptr;
         {
             std::lock_guard lk(idleMu_);
             --active_;

@@ -6,11 +6,19 @@
  * of the queue except drain() -- "wait until every job accepted so far
  * has finished" -- which shutdown and the service's Flush/Drain
  * requests need.
+ *
+ * Observability: submit() optionally takes a span id. The id and the
+ * enqueue timestamp travel through the job queue with the closure, and
+ * the worker that dequeues the job records a "queue_wait" complete
+ * span (obs::span) carrying the id before running it -- that is how
+ * queue-wait time separates from service time in a trace, and how a
+ * request's async span stitches to the thread that executed it.
  */
 
 #ifndef DEPGRAPH_SERVICE_THREAD_POOL_HH
 #define DEPGRAPH_SERVICE_THREAD_POOL_HH
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -50,8 +58,12 @@ class ThreadPool
      * Enqueue a job under the configured backpressure policy.
      * Ok: accepted and will run (even through shutdown's drain).
      * Full: rejected (reject policy). Closed: pool is shutting down.
+     *
+     * @param span_id nonzero: the dequeuing worker records a
+     *        "queue_wait" span carrying this id (obs::span::newId()).
      */
-    PushResult submit(std::function<void()> job);
+    PushResult submit(std::function<void()> job,
+                      std::uint64_t span_id = 0);
 
     /** Block until all jobs accepted so far have completed. */
     void drain();
@@ -65,10 +77,19 @@ class ThreadPool
     std::uint64_t jobsExecuted() const;
 
   private:
+    /** What travels through the queue: the closure plus the span id
+     * and enqueue time the worker needs to account the queue wait. */
+    struct Job
+    {
+        std::function<void()> fn;
+        std::uint64_t spanId = 0;
+        std::chrono::steady_clock::time_point enqueued;
+    };
+
     void workerLoop();
 
     Options opt_;
-    JobQueue<std::function<void()>> queue_;
+    JobQueue<Job> queue_;
     std::vector<std::thread> workers_;
 
     mutable std::mutex idleMu_;

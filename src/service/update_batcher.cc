@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "gas/algorithms.hh"
+#include "obs/span.hh"
 
 namespace depgraph::service
 {
@@ -130,6 +131,9 @@ UpdateBatcher::flush(const std::string &graph)
     }
     if (ins.empty() && dels.empty())
         return 0; // e.g. every insertion cancelled against a deletion
+
+    obs::span::Scoped flush_span("service", "batch_flush", "edges",
+                                 ins.size() + dels.size());
 
     // Every vertex whose out-edge set this batch changes. Hub deps
     // whose path touches one of these are stale; everything else

@@ -54,7 +54,16 @@ TEST_F(TraceTest, ParseList)
 
 TEST_F(TraceTest, ParseIgnoresUnknown)
 {
+    testing::internal::CaptureStderr();
     EXPECT_EQ(parseCategories("shortcut,bogus"), kShortcut);
+    const std::string err = testing::internal::GetCapturedStderr();
+    // The warning must name the offending token...
+    EXPECT_NE(err.find("'bogus'"), std::string::npos) << err;
+    // ...and list every valid category so the fix is self-evident.
+    for (const char *cat :
+         {"traverse", "hdtl", "shortcut", "ddmu", "queue", "engine",
+          "all"})
+        EXPECT_NE(err.find(cat), std::string::npos) << cat;
 }
 
 TEST_F(TraceTest, MacroEvaluatesLazily)

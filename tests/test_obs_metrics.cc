@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Unit tests for the obs metrics registry: histogram bucket geometry
+ * and quantiles, concurrent registration and recording (run under the
+ * tsan CI mode as well), the Prometheus text exposition format, and
+ * the JSON renderer (validated by parsing it back).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+
+namespace depgraph::obs
+{
+namespace
+{
+
+/* ------------------------------------------------------------------ */
+/* Histogram geometry                                                  */
+/* ------------------------------------------------------------------ */
+
+TEST(HistogramBuckets, ExactPowersOfTwoLandOnBucketBoundaries)
+{
+    // Bucket k covers [2^k, 2^(k+1)), so 2^k is the first value of
+    // bucket k and 2^k - 1 the last value of bucket k-1.
+    for (std::size_t k = 1; k + 1 < Histogram::kBuckets; ++k) {
+        const auto lo = std::uint64_t{1} << k;
+        EXPECT_EQ(Histogram::bucketOf(lo), k) << "v=" << lo;
+        EXPECT_EQ(Histogram::bucketOf(lo - 1), k - 1)
+            << "v=" << lo - 1;
+        EXPECT_EQ(Histogram::bucketOf(2 * lo - 1), k)
+            << "v=" << 2 * lo - 1;
+    }
+}
+
+TEST(HistogramBuckets, ZeroLandsInBucketZero)
+{
+    EXPECT_EQ(Histogram::bucketOf(0), 0u);
+    EXPECT_EQ(Histogram::bucketOf(1), 0u); // [1, 2) is also bucket 0
+
+    Histogram h;
+    h.record(0);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.sum(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(HistogramBuckets, OverflowGoesToLastBucket)
+{
+    const auto last = Histogram::kBuckets - 1;
+    EXPECT_EQ(Histogram::bucketOf(std::uint64_t{1} << last), last);
+    EXPECT_EQ(Histogram::bucketOf(std::uint64_t{1} << 40), last);
+    EXPECT_EQ(Histogram::bucketOf(~std::uint64_t{0}), last);
+
+    Histogram h;
+    h.record(std::uint64_t{1} << 40);
+    EXPECT_EQ(h.bucketCount(last), 1u);
+    EXPECT_EQ(h.max(), std::uint64_t{1} << 40);
+}
+
+TEST(HistogramBuckets, UpperBoundsAreInclusive)
+{
+    EXPECT_EQ(Histogram::bucketUpperBound(0), 1u);
+    EXPECT_EQ(Histogram::bucketUpperBound(1), 3u);
+    EXPECT_EQ(Histogram::bucketUpperBound(2), 7u);
+    // The bound is the largest value the bucket holds.
+    for (std::size_t k = 0; k + 1 < Histogram::kBuckets; ++k) {
+        EXPECT_EQ(Histogram::bucketOf(Histogram::bucketUpperBound(k)),
+                  k);
+        EXPECT_EQ(
+            Histogram::bucketOf(Histogram::bucketUpperBound(k) + 1),
+            k + 1);
+    }
+}
+
+TEST(HistogramQuantiles, KnownDistribution)
+{
+    Histogram h;
+    // 90 fast samples in bucket 3 ([8, 16)) and 10 slow ones in
+    // bucket 10 ([1024, 2048)).
+    for (int i = 0; i < 90; ++i)
+        h.record(10);
+    for (int i = 0; i < 10; ++i)
+        h.record(1500);
+
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_EQ(h.quantileUpperBound(0.5), Histogram::bucketUpperBound(3));
+    EXPECT_EQ(h.quantileUpperBound(0.89),
+              Histogram::bucketUpperBound(3));
+    // The 90th of 100 ranked samples is already a slow one.
+    EXPECT_EQ(h.quantileUpperBound(0.9),
+              Histogram::bucketUpperBound(10));
+    EXPECT_EQ(h.quantileUpperBound(0.99),
+              Histogram::bucketUpperBound(10));
+    // q = 1 walks off the bucket array and falls back to the exact max.
+    EXPECT_EQ(h.quantileUpperBound(1.0), 1500u);
+}
+
+TEST(HistogramQuantiles, EmptyHistogramReportsZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.quantileUpperBound(0.5), 0u);
+    EXPECT_EQ(h.quantileUpperBound(0.99), 0u);
+}
+
+TEST(HistogramQuantiles, AssignFromCopiesEverything)
+{
+    Histogram a;
+    a.record(3);
+    a.record(100);
+    Histogram b;
+    b.assignFrom(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_EQ(b.sum(), 103u);
+    EXPECT_EQ(b.max(), 100u);
+    EXPECT_EQ(b.bucketCount(Histogram::bucketOf(3)), 1u);
+    EXPECT_EQ(b.bucketCount(Histogram::bucketOf(100)), 1u);
+}
+
+/* ------------------------------------------------------------------ */
+/* Concurrency (also run under ThreadSanitizer via the tsan label)     */
+/* ------------------------------------------------------------------ */
+
+TEST(HistogramConcurrency, MaxSurvivesConcurrentRecords)
+{
+    // The lost-update race a non-CAS max would hit: many threads all
+    // racing to publish, with the true maximum recorded early so late
+    // small writers are the ones who must not clobber it.
+    Histogram h;
+    constexpr int kThreads = 8;
+    constexpr std::uint64_t kPerThread = 4000;
+    std::vector<std::thread> ts;
+    for (int t = 0; t < kThreads; ++t) {
+        ts.emplace_back([&h, t] {
+            for (std::uint64_t i = 0; i < kPerThread; ++i)
+                h.record(static_cast<std::uint64_t>(t) * kPerThread
+                         + i);
+        });
+    }
+    for (auto &t : ts)
+        t.join();
+
+    EXPECT_EQ(h.count(), kThreads * kPerThread);
+    EXPECT_EQ(h.max(), kThreads * kPerThread - 1);
+    std::uint64_t bucket_total = 0;
+    for (std::size_t k = 0; k < Histogram::kBuckets; ++k)
+        bucket_total += h.bucketCount(k);
+    EXPECT_EQ(bucket_total, h.count());
+}
+
+TEST(RegistryConcurrency, FindOrCreateAndIncrementFromManyThreads)
+{
+    Registry reg;
+    constexpr int kThreads = 8;
+    constexpr std::uint64_t kIncs = 2000;
+    std::vector<std::thread> ts;
+    for (int t = 0; t < kThreads; ++t) {
+        ts.emplace_back([&reg, t] {
+            // Everyone shares one family; half the threads also bang
+            // on a per-thread labeled instance, exercising concurrent
+            // registration against concurrent increments.
+            auto &shared = reg.counter("dg_test_shared_total", "x");
+            auto &mine = reg.counter(
+                "dg_test_labeled_total", "x",
+                {{"thread", std::to_string(t % 2)}});
+            auto &hist = reg.histogram("dg_test_lat_us", "x");
+            for (std::uint64_t i = 0; i < kIncs; ++i) {
+                shared.inc();
+                mine.inc();
+                hist.record(i);
+            }
+        });
+    }
+    for (auto &t : ts)
+        t.join();
+
+    EXPECT_EQ(reg.counter("dg_test_shared_total", "x").value(),
+              kThreads * kIncs);
+    const auto a =
+        reg.counter("dg_test_labeled_total", "x", {{"thread", "0"}})
+            .value();
+    const auto b =
+        reg.counter("dg_test_labeled_total", "x", {{"thread", "1"}})
+            .value();
+    EXPECT_EQ(a + b, kThreads * kIncs);
+    EXPECT_EQ(reg.histogram("dg_test_lat_us", "x").count(),
+              kThreads * kIncs);
+}
+
+/* ------------------------------------------------------------------ */
+/* Prometheus exposition                                               */
+/* ------------------------------------------------------------------ */
+
+TEST(Prometheus, TypeAndHelpLines)
+{
+    Registry reg;
+    reg.counter("dg_requests_total", "Requests served").inc(7);
+    reg.gauge("dg_queue_depth", "Jobs waiting").set(3.5);
+    reg.histogram("dg_latency_us", "Service latency").record(5);
+
+    const auto text = reg.renderPrometheus();
+    EXPECT_NE(text.find("# HELP dg_requests_total Requests served"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE dg_requests_total counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("dg_requests_total 7"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE dg_queue_depth gauge"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE dg_latency_us histogram"),
+              std::string::npos);
+}
+
+TEST(Prometheus, HistogramSeriesAreCumulativeWithInf)
+{
+    Registry reg;
+    auto &h = reg.histogram("dg_lat_us", "x");
+    h.record(1);  // bucket 0, le="1"
+    h.record(2);  // bucket 1, le="3"
+    h.record(10); // bucket 3, le="15"
+
+    const auto text = reg.renderPrometheus();
+    EXPECT_NE(text.find("dg_lat_us_bucket{le=\"1\"} 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("dg_lat_us_bucket{le=\"3\"} 2"),
+              std::string::npos);
+    EXPECT_NE(text.find("dg_lat_us_bucket{le=\"15\"} 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("dg_lat_us_bucket{le=\"+Inf\"} 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("dg_lat_us_sum 13"), std::string::npos);
+    EXPECT_NE(text.find("dg_lat_us_count 3"), std::string::npos);
+}
+
+TEST(Prometheus, LabelValuesAreEscaped)
+{
+    EXPECT_EQ(escapeLabelValue("plain"), "plain");
+    EXPECT_EQ(escapeLabelValue("a\\b"), "a\\\\b");
+    EXPECT_EQ(escapeLabelValue("say \"hi\""), "say \\\"hi\\\"");
+    EXPECT_EQ(escapeLabelValue("two\nlines"), "two\\nlines");
+
+    Registry reg;
+    reg.counter("dg_odd_total", "x", {{"path", "a\\b\"c\nd"}}).inc();
+    const auto text = reg.renderPrometheus();
+    EXPECT_NE(text.find("dg_odd_total{path=\"a\\\\b\\\"c\\nd\"} 1"),
+              std::string::npos);
+}
+
+TEST(Prometheus, LabelsRenderSorted)
+{
+    Registry reg;
+    // Registration order of the label pairs must not matter: both
+    // spellings are the same instance.
+    reg.counter("dg_l_total", "x", {{"b", "2"}, {"a", "1"}}).inc();
+    reg.counter("dg_l_total", "x", {{"a", "1"}, {"b", "2"}}).inc();
+    const auto text = reg.renderPrometheus();
+    EXPECT_NE(text.find("dg_l_total{a=\"1\",b=\"2\"} 2"),
+              std::string::npos);
+}
+
+/* ------------------------------------------------------------------ */
+/* JSON renderer (validated by parsing it back)                        */
+/* ------------------------------------------------------------------ */
+
+TEST(JsonRender, ParsesBackAndCarriesValues)
+{
+    Registry reg;
+    reg.counter("dg_c_total", "count", {{"k", "v"}}).inc(42);
+    reg.gauge("dg_g", "gauge").set(0.25);
+    auto &h = reg.histogram("dg_h_us", "hist");
+    h.record(8);
+    h.record(9);
+
+    std::string err;
+    const auto parsed = json::parse(reg.renderJson(), &err);
+    ASSERT_TRUE(parsed.has_value()) << err;
+    ASSERT_TRUE(parsed->isObject());
+
+    const auto *c = parsed->find("dg_c_total");
+    ASSERT_NE(c, nullptr);
+    ASSERT_NE(c->find("type"), nullptr);
+    EXPECT_EQ(c->find("type")->asString(), "counter");
+    const auto *vals = c->find("values");
+    ASSERT_NE(vals, nullptr);
+    ASSERT_TRUE(vals->isArray());
+    ASSERT_EQ(vals->asArray().size(), 1u);
+    const auto &ci = vals->asArray()[0];
+    ASSERT_NE(ci.find("value"), nullptr);
+    EXPECT_DOUBLE_EQ(ci.find("value")->asNumber(), 42.0);
+    const auto *labels = ci.find("labels");
+    ASSERT_NE(labels, nullptr);
+    ASSERT_NE(labels->find("k"), nullptr);
+    EXPECT_EQ(labels->find("k")->asString(), "v");
+
+    const auto *g = parsed->find("dg_g");
+    ASSERT_NE(g, nullptr);
+    EXPECT_DOUBLE_EQ(
+        g->find("values")->asArray()[0].find("value")->asNumber(),
+        0.25);
+
+    const auto *hj = parsed->find("dg_h_us");
+    ASSERT_NE(hj, nullptr);
+    const auto &hi = hj->find("values")->asArray()[0];
+    EXPECT_DOUBLE_EQ(hi.find("count")->asNumber(), 2.0);
+    EXPECT_DOUBLE_EQ(hi.find("sum")->asNumber(), 17.0);
+    EXPECT_DOUBLE_EQ(hi.find("max")->asNumber(), 9.0);
+    ASSERT_TRUE(hi.find("buckets")->isArray());
+    EXPECT_EQ(hi.find("buckets")->asArray().size(),
+              Histogram::kBuckets);
+}
+
+TEST(JsonRender, EmptyRegistryIsAnEmptyObject)
+{
+    Registry reg;
+    std::string err;
+    const auto parsed = json::parse(reg.renderJson(), &err);
+    ASSERT_TRUE(parsed.has_value()) << err;
+    EXPECT_TRUE(parsed->isObject());
+    EXPECT_EQ(reg.familyCount(), 0u);
+}
+
+} // namespace
+} // namespace depgraph::obs

@@ -294,6 +294,32 @@ TEST(Protocol, ParsesAndExecutesScript)
     const auto quit = runCommandLine(svc, "quit");
     EXPECT_TRUE(quit.quit);
 
+    // The metrics verb publishes the live stats and renders the
+    // Prometheus text exposition.
+    const auto metrics = runCommandLine(svc, "metrics").output;
+    EXPECT_NE(metrics.find("# TYPE dg_service_queries_total counter"),
+              std::string::npos);
+    EXPECT_NE(metrics.find("# HELP dg_service_queries_total"),
+              std::string::npos);
+    EXPECT_NE(metrics.find(
+                  "dg_service_time_us_bucket{type=\"query\",le=\"1\"}"),
+              std::string::npos);
+    EXPECT_NE(metrics.find("dg_service_queue_wait_us_count"),
+              std::string::npos);
+
+    // trace on -> dump produces parseable Chrome JSON; off disables.
+    EXPECT_EQ(runCommandLine(svc, "trace on").output, "ok tracing");
+    EXPECT_TRUE(runCommandLine(svc, "query g sssp").output.rfind(
+                    "ok", 0) == 0);
+    const auto dump_path =
+        ::testing::TempDir() + "/protocol_trace.json";
+    const auto dumped =
+        runCommandLine(svc, "trace dump " + dump_path).output;
+    EXPECT_EQ(dumped.rfind("ok events=", 0), 0u) << dumped;
+    EXPECT_EQ(runCommandLine(svc, "trace off").output, "ok stopped");
+    EXPECT_EQ(runCommandLine(svc, "trace").output.rfind("err:", 0),
+              0u);
+
     // The stream driver stops at quit and counts commands.
     std::istringstream in("load h ring 5\nquery h sssp\nquit\nquery h");
     std::ostringstream out;

@@ -18,6 +18,8 @@
  */
 
 #include <cstdio>
+#include <fstream>
+#include <optional>
 
 #include "common/options.hh"
 #include "common/table.hh"
@@ -25,6 +27,9 @@
 #include "graph/datasets.hh"
 #include "graph/edge_list.hh"
 #include "graph/generators.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
+#include "runtime/obs_export.hh"
 
 using namespace depgraph;
 
@@ -95,9 +100,23 @@ main(int argc, char **argv)
     o.declare("lambda", "0.005", "hub fraction");
     o.declare("stack", "10", "HDTL stack depth");
     o.declare("top", "5", "print the top-N vertices by state");
+    o.declare("metrics-out", "",
+              "write Prometheus text exposition to this file");
+    o.declare("trace-out", "",
+              "write Chrome trace_event JSON to this file");
     o.parse(argc, argv);
 
-    const auto g = buildGraph(o);
+    const auto metrics_out = o.getString("metrics-out");
+    const auto trace_out = o.getString("trace-out");
+    if (!trace_out.empty())
+        obs::span::setEnabled(true);
+
+    std::optional<graph::Graph> loaded;
+    {
+        obs::span::Scoped load_span("tool", "load");
+        loaded = buildGraph(o);
+    }
+    const auto &g = *loaded;
     std::printf("graph: %u vertices, %llu edges\n", g.numVertices(),
                 static_cast<unsigned long long>(g.numEdges()));
 
@@ -109,8 +128,37 @@ main(int argc, char **argv)
 
     DepGraphSystem sys(cfg);
     const auto sol = solutionFromName(o.getString("solution"));
-    const auto r = sys.run(g, o.getString("algo"), sol);
+    runtime::RunResult r;
+    {
+        obs::span::Scoped run_span("tool", "run");
+        r = sys.run(g, o.getString("algo"), sol);
+    }
     const auto &mx = r.metrics;
+
+    if (!metrics_out.empty()) {
+        auto &reg = obs::registry();
+        runtime::publishRunResult(
+            reg, r,
+            {{"algo", o.getString("algo")},
+             {"solution", solutionName(sol)}});
+        std::ofstream os(metrics_out);
+        if (!os)
+            dg_fatal("cannot open --metrics-out '", metrics_out, "'");
+        os << reg.renderPrometheus();
+        std::printf("metrics: %s\n", metrics_out.c_str());
+    }
+    if (!trace_out.empty()) {
+        std::ofstream os(trace_out);
+        if (!os)
+            dg_fatal("cannot open --trace-out '", trace_out, "'");
+        os << obs::span::dumpChromeJson();
+        std::printf("trace: %s (%llu events, %llu dropped)\n",
+                    trace_out.c_str(),
+                    static_cast<unsigned long long>(
+                        obs::span::recordedEvents()),
+                    static_cast<unsigned long long>(
+                        obs::span::droppedEvents()));
+    }
 
     Table t({"metric", "value"});
     t.addRow({"solution", solutionName(sol)});

@@ -14,6 +14,7 @@
 #include <iostream>
 
 #include "common/options.hh"
+#include "obs/span.hh"
 #include "service/protocol.hh"
 
 int
@@ -34,6 +35,11 @@ main(int argc, char **argv)
     o.declare("cores", "16", "simulated cores");
     o.declare("stats_ms", "0",
               "periodic stats log interval in ms (0 = off)");
+    o.declare("metrics_ms", "0",
+              "periodic registry publish interval in ms (0 = off; the "
+              "'metrics' verb publishes on demand either way)");
+    o.declare("trace", "false",
+              "start with span tracing on (same as 'trace on')");
     o.declare("echo", "false", "echo each command before its reply");
     o.parse(argc, argv);
 
@@ -50,6 +56,10 @@ main(int argc, char **argv)
     sopt.system.engine.numCores = sopt.system.machine.numCores;
     sopt.statsLogInterval =
         std::chrono::milliseconds(o.getInt("stats_ms"));
+    sopt.metricsPublishInterval =
+        std::chrono::milliseconds(o.getInt("metrics_ms"));
+    if (o.getBool("trace"))
+        obs::span::setEnabled(true);
 
     service::GraphService svc(sopt);
     const auto n = service::serveStream(svc, std::cin, std::cout,
