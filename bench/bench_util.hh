@@ -22,7 +22,10 @@
 #ifndef DEPGRAPH_BENCH_BENCH_UTIL_HH
 #define DEPGRAPH_BENCH_BENCH_UTIL_HH
 
+#include <cstdio>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/options.hh"
@@ -91,6 +94,110 @@ simMs(Cycles cycles, double freq_ghz = 2.5)
 {
     return static_cast<double>(cycles) / (freq_ghz * 1e6);
 }
+
+/**
+ * Minimal JSON emitter for machine-readable benchmark artifacts
+ * (BENCH_*.json): an array of flat objects with string / number /
+ * boolean fields. Just enough for CI to parse with jq or python;
+ * values are rendered eagerly so the writer owns no type machinery.
+ */
+class JsonRecords
+{
+  public:
+    JsonRecords &
+    beginRecord()
+    {
+        records_.emplace_back();
+        return *this;
+    }
+
+    JsonRecords &
+    field(const std::string &key, const std::string &value)
+    {
+        records_.back().push_back({key, quote(value)});
+        return *this;
+    }
+
+    JsonRecords &
+    field(const std::string &key, const char *value)
+    {
+        return field(key, std::string(value));
+    }
+
+    JsonRecords &
+    field(const std::string &key, double value)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.9g", value);
+        records_.back().push_back({key, buf});
+        return *this;
+    }
+
+    JsonRecords &
+    field(const std::string &key, std::uint64_t value)
+    {
+        records_.back().push_back({key, std::to_string(value)});
+        return *this;
+    }
+
+    JsonRecords &
+    field(const std::string &key, unsigned value)
+    {
+        return field(key, static_cast<std::uint64_t>(value));
+    }
+
+    JsonRecords &
+    field(const std::string &key, bool value)
+    {
+        records_.back().push_back({key, value ? "true" : "false"});
+        return *this;
+    }
+
+    std::string
+    render() const
+    {
+        std::string out = "[\n";
+        for (std::size_t i = 0; i < records_.size(); ++i) {
+            out += "  {";
+            const auto &r = records_[i];
+            for (std::size_t j = 0; j < r.size(); ++j) {
+                out += quote(r[j].first) + ": " + r[j].second;
+                if (j + 1 < r.size())
+                    out += ", ";
+            }
+            out += i + 1 < records_.size() ? "},\n" : "}\n";
+        }
+        out += "]\n";
+        return out;
+    }
+
+    /** Write render() to `path`; returns false on I/O failure. */
+    bool
+    writeFile(const std::string &path) const
+    {
+        std::ofstream os(path);
+        if (!os)
+            return false;
+        os << render();
+        return static_cast<bool>(os);
+    }
+
+  private:
+    static std::string
+    quote(const std::string &s)
+    {
+        std::string q = "\"";
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                q += '\\';
+            q += c;
+        }
+        return q + "\"";
+    }
+
+    std::vector<std::vector<std::pair<std::string, std::string>>>
+        records_;
+};
 
 } // namespace depgraph::bench
 

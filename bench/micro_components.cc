@@ -102,6 +102,43 @@ BM_HubIndexProbe(benchmark::State &state)
 }
 BENCHMARK(BM_HubIndexProbe);
 
+/**
+ * entriesOf() directory lookup: arg 0 probes the byHead_ map fallback
+ * (directory stale), arg 1 probes the flat sorted directory built by
+ * flatten(). ~4096 entries over ~1024 heads, the regime of a warm
+ * serving-layer hub index.
+ */
+void
+BM_HubEntriesOf(benchmark::State &state)
+{
+    const bool flat = state.range(0) != 0;
+    sim::MachineParams p;
+    p.numCores = 2;
+    p.l3TotalBytes = 2 * 1024 * 1024;
+    p.l3Banks = 2;
+    sim::Machine m(p);
+    dep::HubIndex idx(m, 1024, 4096);
+    Rng fill(7);
+    for (std::size_t i = 0; i < 4096; ++i) {
+        const auto h = static_cast<VertexId>(fill.nextBounded(1024));
+        idx.findOrCreate(h, static_cast<VertexId>(1024 + i),
+                         static_cast<VertexId>(i));
+    }
+    if (flat)
+        idx.flatten();
+    Rng rng(8);
+    std::size_t total = 0;
+    for (auto _ : state) {
+        const auto span = idx.entriesOf(
+            static_cast<VertexId>(rng.nextBounded(1024)));
+        total += span.size();
+        benchmark::DoNotOptimize(total);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HubEntriesOf)->Arg(0)->Arg(1);
+
 void
 BM_PipelineModel(benchmark::State &state)
 {

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Strong-scaling sweep for the native parallel engine.
+ *
+ * Runs PageRank / SSSP / WCC on one R-MAT graph under
+ * Solution::Parallel at 1, 2, 4 and 8 host threads and reports
+ * wall-clock makespan, rounds and speedup versus the single-thread
+ * run. Unlike the fig* binaries this measures REAL time on the host,
+ * not simulated cycles, so results depend on the machine it runs on.
+ *
+ * Emits BENCH_parallel.json (an array of per-run records) for CI to
+ * archive, and optionally gates on the 4-thread PageRank speedup:
+ *
+ *   parallel_scaling --gate-pagerank-speedup 1.5
+ *
+ * exits non-zero if PageRank at 4 threads is not at least 1.5x faster
+ * than at 1 thread. The gate auto-skips (with a note) when the host
+ * exposes fewer than 4 hardware threads -- a single-core runner
+ * physically cannot show parallel speedup, and failing there would
+ * only test the CI fleet, not the engine.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <thread>
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+#include "graph/generators.hh"
+#include "obs/metrics.hh"
+
+using namespace depgraph;
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchEnv env;
+    env.opts.declare("n", "65536", "R-MAT vertex count (power of two)");
+    env.opts.declare("degree", "16", "R-MAT average degree");
+    env.opts.declare("seed", "42", "R-MAT seed");
+    env.opts.declare("json", "BENCH_parallel.json",
+                     "output path for the JSON records");
+    env.opts.declare("gate-pagerank-speedup", "0",
+                     "fail unless pagerank 4-thread speedup >= this "
+                     "(0 = no gate; auto-skips on <4 hardware threads)");
+    env.parse(argc, argv);
+
+    const auto n = static_cast<VertexId>(env.opts.getInt("n"));
+    const auto degree = env.opts.getDouble("degree");
+    graph::GenOptions gopt;
+    gopt.seed = static_cast<std::uint64_t>(env.opts.getInt("seed"));
+    unsigned lg = 0;
+    while ((VertexId{1} << (lg + 1)) <= n)
+        ++lg;
+    const auto g = graph::rmat(
+        lg, static_cast<EdgeId>(degree * static_cast<double>(n)), 0.57,
+        0.19, 0.19, gopt);
+
+    const unsigned hw = std::thread::hardware_concurrency();
+    std::printf("=== parallel engine strong scaling ===\n");
+    std::printf("graph: R-MAT 2^%u, %u vertices, %llu edges\n", lg,
+                g.numVertices(),
+                static_cast<unsigned long long>(g.numEdges()));
+    std::printf("host: %u hardware threads\n\n", hw);
+
+    const char *algos[] = {"pagerank", "sssp", "wcc"};
+    const unsigned threads[] = {1, 2, 4, 8};
+
+    bench::JsonRecords json;
+    // (algo, threads) -> wall ms, for the table and the gate.
+    std::map<std::pair<std::string, unsigned>, double> wall;
+
+    for (const char *algo : algos) {
+        for (unsigned t : threads) {
+            SystemConfig cfg;
+            cfg.engine.hostThreads = t;
+            DepGraphSystem sys(cfg);
+            const auto r = sys.run(g, algo, Solution::Parallel);
+            const double ms =
+                static_cast<double>(r.metrics.makespan) / 1e6;
+            wall[{algo, t}] = ms;
+            json.beginRecord()
+                .field("algo", algo)
+                .field("threads", t)
+                .field("hardware_threads", hw)
+                .field("vertices", std::uint64_t{g.numVertices()})
+                .field("edges", std::uint64_t{g.numEdges()})
+                .field("wall_ms", ms)
+                .field("rounds", std::uint64_t{r.metrics.rounds})
+                .field("updates", r.metrics.updates)
+                .field("edge_ops", r.metrics.edgeOps)
+                .field("converged", r.metrics.converged)
+                .field("speedup_vs_1t",
+                       wall[{algo, 1u}] > 0.0
+                           ? wall[{algo, 1u}] / ms
+                           : 1.0);
+            std::printf("  %-8s t=%u  %9.1f ms  %4llu rounds  "
+                        "speedup %.2fx\n",
+                        algo, t, ms,
+                        static_cast<unsigned long long>(
+                            r.metrics.rounds),
+                        wall[{algo, 1u}] / ms);
+        }
+    }
+
+    Table table({"algo", "t=1 ms", "t=2 ms", "t=4 ms", "t=8 ms",
+                 "4t speedup"});
+    for (const char *algo : algos) {
+        const double s4 = wall[{algo, 1u}] / wall[{algo, 4u}];
+        table.addRow({algo, Table::fmt(wall[{algo, 1u}], 1),
+                      Table::fmt(wall[{algo, 2u}], 1),
+                      Table::fmt(wall[{algo, 4u}], 1),
+                      Table::fmt(wall[{algo, 8u}], 1),
+                      Table::fmt(s4, 2)});
+    }
+    std::printf("\n");
+    table.print();
+
+    const auto path = env.opts.getString("json");
+    if (!json.writeFile(path)) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+    }
+    std::printf("\nwrote %s\n", path.c_str());
+
+    const double gate =
+        env.opts.getDouble("gate-pagerank-speedup");
+    if (gate > 0.0) {
+        if (hw < 4) {
+            std::printf("gate: SKIPPED (host has %u hardware threads; "
+                        "parallel speedup needs >= 4)\n", hw);
+            return 0;
+        }
+        const double s4 =
+            wall[{"pagerank", 1u}] / wall[{"pagerank", 4u}];
+        if (s4 < gate) {
+            std::fprintf(stderr,
+                         "gate: FAILED pagerank 4-thread speedup "
+                         "%.2fx < required %.2fx\n", s4, gate);
+            return 1;
+        }
+        std::printf("gate: PASSED pagerank 4-thread speedup %.2fx "
+                    ">= %.2fx\n", s4, gate);
+    }
+    return 0;
+}

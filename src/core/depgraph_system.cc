@@ -2,6 +2,7 @@
 
 #include "accel/accelerators.hh"
 #include "common/logging.hh"
+#include "runtime/parallel_engine.hh"
 #include "runtime/sequential.hh"
 #include "runtime/soft_engine.hh"
 #include "sim/machine.hh"
@@ -37,6 +38,8 @@ solutionName(Solution s)
         return "DepGraph-H";
       case Solution::DepGraphHNoHub:
         return "DepGraph-H-w";
+      case Solution::Parallel:
+        return "Parallel";
     }
     return "?";
 }
@@ -44,6 +47,9 @@ solutionName(Solution s)
 Solution
 solutionFromName(const std::string &name)
 {
+    // Not in allSolutions() (see the enum comment), so match it here.
+    if (name == solutionName(Solution::Parallel))
+        return Solution::Parallel;
     for (auto s : allSolutions())
         if (name == solutionName(s))
             return s;
@@ -91,6 +97,8 @@ makeEngine(Solution s, runtime::EngineOptions opt)
         return dep::makeDepGraphH(opt);
       case Solution::DepGraphHNoHub:
         return dep::makeDepGraphHNoHub(opt);
+      case Solution::Parallel:
+        return runtime::makeParallel(opt);
     }
     dg_panic("unhandled solution");
 }

@@ -50,6 +50,11 @@ enum class Solution
     DepGraphS,
     DepGraphH,
     DepGraphHNoHub, ///< DepGraph-H with the hub index disabled
+    /** Native multi-threaded chain walking on host threads (wall-clock
+     * makespan, no cycle model). Deliberately NOT in allSolutions():
+     * the paper sweeps iterate that list and must not mix wall-clock
+     * numbers into cycle tables. */
+    Parallel,
 };
 
 const char *solutionName(Solution s);

@@ -1,0 +1,366 @@
+/**
+ * @file
+ * The dependency-driven inner loops, shared between execution backends.
+ *
+ * Two engines execute the paper's HDTL model: the cycle-accurate
+ * executor (`src/depgraph/executor.cc`, simulated many-core machine)
+ * and the native multi-threaded engine
+ * (`src/runtime/parallel_engine.cc`, real host threads). Both must walk
+ * chains, track core-paths, fire hub-index shortcuts, compensate with
+ * fictitious edges and feed DDMU in EXACTLY the same order, or their
+ * fixpoints drift apart. This header owns that control flow once:
+ *
+ *  - walkChain(): the depth-first HDTL traversal skeleton (paper
+ *    Fig. 7) -- stack management, core-path tracking, shortcut firing
+ *    at the root edge, tail observation, fictitious-edge cancellation
+ *    on every early exit, and the routing decision per influence.
+ *  - ddmuFitStep(): the DDMU N -> I -> A fitting state machine
+ *    (Sec. III-B2), generic over the entry representation so the
+ *    simulated HubIndex and the native seqlock table share it.
+ *  - indexablePaths(): which core-paths get hub-index entries (cross-
+ *    partition tails; >= 3 edges for sum accumulators).
+ *  - forEachSurvivingSeed(): warm-start matching of exported
+ *    dependencies against this run's decomposition.
+ *
+ * Backends plug in through a Policy object (static polymorphism; the
+ * executor's policy charges simulated cycles, the native engine's
+ * writes shadow buffers and CAS-es atomics). The policy contract is
+ * documented at walkChain().
+ */
+
+#ifndef DEPGRAPH_DEPGRAPH_CHAIN_WALK_HH
+#define DEPGRAPH_DEPGRAPH_CHAIN_WALK_HH
+
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "gas/model.hh"
+#include "graph/core_paths.hh"
+#include "graph/partition.hh"
+#include "runtime/engine.hh"
+
+namespace depgraph::dep
+{
+
+/** DDMU fitting mode (see ddmu.hh for the full discussion). */
+enum class FitMode
+{
+    TwoPoint,
+    Compose,
+};
+
+/** Hub-index entry flag protocol (paper Sec. III-B2). */
+enum class EntryFlag : std::uint8_t
+{
+    N, ///< new: nothing observed
+    I, ///< initialized: one sample stored
+    A, ///< available: direct dependency usable
+};
+
+/** Core-path tracking state carried along a traversal (Sec. III-B2:
+ * identifying core-paths on the fly and feeding DDMU). */
+struct WalkTrack
+{
+    static constexpr std::uint32_t kNone = 0xffffffffu;
+
+    std::uint32_t pathIdx = kNone;
+    std::uint32_t pos = 0;   ///< edges of the path already walked
+    Value basisIn = 0.0;     ///< head delta the samples are based on
+    Value xPure = 0.0;       ///< pure influence composed so far
+    gas::LinearFunc composed{1.0, 0.0, kInfinity};
+    Value shortcutFired = 0.0; ///< influence already sent to the tail
+    bool hasShortcut = false;
+
+    bool valid() const { return pathIdx != kNone; }
+};
+
+/** One HDTL stack frame: a vertex being expanded plus its edge cursor
+ * (paper Fig. 7: vertex id, current/end offsets). */
+struct WalkFrame
+{
+    VertexId v;
+    EdgeId cur;
+    EdgeId end;
+    Value d; ///< the delta this vertex applied on entry
+    WalkTrack track;
+};
+
+/** Where an edge influence went, as decided by Policy::routeInfluence:
+ * either it banks (remote delivery, below-gate deposit, H'' cut,
+ * already-visited target) and the walk moves on, or the walker should
+ * descend into the target. */
+enum class Route
+{
+    Banked,
+    Descend,
+};
+
+/**
+ * One HDTL chain walk from `root` (paper Sec. III-B2, Fig. 7).
+ *
+ * The Policy supplies everything backend-specific:
+ *
+ *   bool hubEnabled()              core-path tracking on?
+ *   bool isSum()                   sum accumulator? (fictitious edges)
+ *   Value enterRoot(v, is_hpp)     apply root's delta, return it; also
+ *                                  charges root/index-stream costs
+ *   Value enterVertex(v)           apply an interior vertex's delta
+ *   void chargeEdge(src, e, t)     per-edge costs (prefetch + consume)
+ *   Value influence(src, e, d)     EdgeCompute
+ *   gas::LinearFunc edgeFunc(src, e)
+ *   std::uint32_t pathOfFirstEdge(e)  indexed path starting at e, or
+ *                                  WalkTrack::kNone
+ *   std::optional<Value> fireShortcut(pid, cp, d_root)
+ *                                  try the hub-index shortcut for the
+ *                                  path; deliver to the tail on hit and
+ *                                  return the fired influence
+ *   void observeTail(pid, cp, track)  feed DDMU at the path tail
+ *   void fictitiousReset(tail, fired) consume the fictitious edge
+ *                                  <-1, tail, NULL, f(s)> at the tail
+ *   void cancelShortcut(tail, fired)  take back a fired shortcut when
+ *                                  the walk leaves the path early
+ *   Route routeInfluence(t, inf)   deliver inf to t and decide descent
+ *   bool markDescended(t)          claim t for expansion (may fail
+ *                                  under concurrency)
+ *   void overflowRoot(t)           stack full: t becomes a new root
+ *
+ * Ordering guarantees (relied on by both backends): the shortcut fires
+ * before the root edge's influence is routed; the tail observation and
+ * fictitious reset happen before the tail edge's influence is routed;
+ * a fired shortcut is cancelled on EVERY path-leaving exit (remote
+ * target, below-gate bank, H'' cut, revisit, stack overflow).
+ */
+template <class Policy>
+void
+walkChain(const graph::Graph &g, const graph::CoreSubgraph &cs,
+          unsigned stack_depth, VertexId root,
+          std::vector<WalkFrame> &stack, Policy &P)
+{
+    const bool root_is_hpp = cs.isHubOrCore(root);
+    const Value d_root = P.enterRoot(root, root_is_hpp);
+
+    stack.clear();
+    stack.push_back({root, g.edgeBegin(root), g.edgeEnd(root), d_root,
+                     WalkTrack{}});
+
+    while (!stack.empty()) {
+        WalkFrame &f = stack.back();
+        if (f.cur == f.end) {
+            stack.pop_back();
+            continue;
+        }
+        const EdgeId e = f.cur++;
+        const VertexId t = g.target(e);
+
+        P.chargeEdge(f.v, e, t);
+        const Value inf = P.influence(f.v, e, f.d);
+
+        /* Core-path tracking. */
+        WalkTrack child;
+        const bool hub_on = P.hubEnabled();
+        if (hub_on && f.v == root && root_is_hpp) {
+            const auto pid = P.pathOfFirstEdge(e);
+            if (pid != WalkTrack::kNone) {
+                const auto &cp = cs.paths()[pid];
+                child.pathIdx = pid;
+                child.pos = 1;
+                child.basisIn = d_root;
+                child.xPure = P.influence(f.v, e, d_root);
+                child.composed = P.edgeFunc(f.v, e);
+                /* Shortcut: deliver the head's influence to the tail
+                 * immediately if the dependency is available. Only sum
+                 * accumulators need the fictitious-edge bookkeeping:
+                 * min/max double delivery is idempotent. */
+                if (const auto fired = P.fireShortcut(pid, cp, d_root);
+                    fired && P.isSum()) {
+                    child.shortcutFired = *fired;
+                    child.hasShortcut = true;
+                }
+            }
+        } else if (hub_on && f.track.valid()) {
+            const auto &cp = cs.paths()[f.track.pathIdx];
+            if (f.track.pos < cp.edges.size()
+                && cp.edges[f.track.pos] == e) {
+                child = f.track;
+                ++child.pos;
+                child.xPure = P.influence(f.v, e, f.track.xPure);
+                child.composed = gas::LinearFunc::compose(
+                    P.edgeFunc(f.v, e), f.track.composed);
+            }
+        }
+
+        /* Tail reached: record the observation with DDMU and emit the
+         * fictitious reset edge if the shortcut double-delivered. */
+        if (child.valid()
+            && child.pos == cs.paths()[child.pathIdx].edges.size()) {
+            const auto &cp = cs.paths()[child.pathIdx];
+            P.observeTail(child.pathIdx, cp, child);
+            if (child.hasShortcut)
+                P.fictitiousReset(cp.tail, child.shortcutFired);
+            child = WalkTrack{};
+        }
+
+        /* A tracked core-path that terminates before its tail must take
+         * back the influence the shortcut already sent (otherwise the
+         * tail would keep a copy the in-path propagation never
+         * matches). */
+        auto cancel_shortcut = [&] {
+            if (child.valid() && child.hasShortcut)
+                P.cancelShortcut(cs.paths()[child.pathIdx].tail,
+                                 child.shortcutFired);
+        };
+
+        /* Deliver the influence and decide whether to descend. */
+        if (P.routeInfluence(t, inf) != Route::Descend) {
+            cancel_shortcut();
+            continue;
+        }
+        if (stack.size() >= stack_depth) {
+            /* Stack full: the last prefetched vertex becomes a new root
+             * (paper Sec. III-B2). */
+            cancel_shortcut();
+            P.overflowRoot(t);
+            continue;
+        }
+        if (!P.markDescended(t)) {
+            /* Lost a claim race (native engine only): t was applied by
+             * another worker between routing and claiming. */
+            cancel_shortcut();
+            continue;
+        }
+        const Value d_t = P.enterVertex(t);
+        stack.push_back({t, g.edgeBegin(t), g.edgeEnd(t), d_t, child});
+    }
+}
+
+/** Outcome of one DDMU fitting step. */
+enum class FitOutcome
+{
+    Sampled,  ///< observation stored; entry still N/I
+    Promoted, ///< entry became Available
+    Kept,     ///< entry was already Available; untouched
+};
+
+/**
+ * Advance one hub-index entry's N -> I -> A protocol with a completed
+ * core-path observation (paper Sec. III-B2). Generic over the entry
+ * representation: any struct with `flag`, `func`, `sampleIn`,
+ * `sampleOut` members (the simulated HubEntry and the native engine's
+ * seqlock-guarded entry both qualify).
+ *
+ * @param in       The delta that entered the path at the head.
+ * @param out      The pure influence delivered at the tail.
+ * @param composed The traversal-composed function (Compose mode).
+ */
+template <class Entry>
+FitOutcome
+ddmuFitStep(Entry &e, Value in, Value out,
+            const gas::LinearFunc &composed, FitMode mode)
+{
+    if (mode == FitMode::Compose) {
+        /* Exact composition: available immediately. */
+        const bool promoted = e.flag != EntryFlag::A;
+        e.func = composed;
+        e.flag = EntryFlag::A;
+        return promoted ? FitOutcome::Promoted : FitOutcome::Kept;
+    }
+
+    switch (e.flag) {
+      case EntryFlag::N:
+        e.sampleIn = in;
+        e.sampleOut = out;
+        e.flag = EntryFlag::I;
+        return FitOutcome::Sampled;
+      case EntryFlag::I: {
+        const Value din = in - e.sampleIn;
+        if (din == 0.0) {
+            /* Same input twice: refresh the stored sample and wait for
+             * a distinguishable observation. */
+            e.sampleOut = out;
+            return FitOutcome::Sampled;
+        }
+        const Value mu = (out - e.sampleOut) / din;
+        const Value xi = out - mu * in;
+        if (!std::isfinite(mu) || !std::isfinite(xi)) {
+            e.sampleIn = in;
+            e.sampleOut = out;
+            return FitOutcome::Sampled;
+        }
+        e.func = {mu, xi, kInfinity};
+        e.flag = EntryFlag::A;
+        return FitOutcome::Promoted;
+      }
+      case EntryFlag::A:
+        /* Keep the solved dependency; the paper reuses A entries. */
+        return FitOutcome::Kept;
+    }
+    return FitOutcome::Kept;
+}
+
+/**
+ * First-edge -> core-path map used to recognize path starts during a
+ * walk. Entries are kept for core-paths that (a) end on another
+ * partition -- a local tail receives the chain influence within the
+ * same traversal anyway, so only cross-partition dependencies are ever
+ * consulted (Fig. 5c) -- and (b), for sum accumulators, span >= 3
+ * edges: shorter ones cost more in fictitious-edge resets than they
+ * save.
+ */
+inline std::unordered_map<EdgeId, std::uint32_t>
+indexablePaths(const graph::CoreSubgraph &cs,
+               const graph::Partitioning &part, gas::AccumKind kind)
+{
+    std::unordered_map<EdgeId, std::uint32_t> first_edge;
+    const std::size_t min_len = kind == gas::AccumKind::Sum ? 3 : 1;
+    for (std::uint32_t i = 0;
+         i < static_cast<std::uint32_t>(cs.paths().size()); ++i) {
+        const auto &p = cs.paths()[i];
+        if (p.edges.size() >= min_len
+            && part.ownerOf(p.tail) != part.ownerOf(p.head))
+            first_edge.emplace(p.edges[0], i);
+    }
+    return first_edge;
+}
+
+/**
+ * Hub-index warm start: a dependency learned by a previous run may be
+ * installed as an Available entry only when its full head..tail vertex
+ * sequence reappears verbatim among THIS run's indexed core-paths
+ * (per-edge functions depend only on the source's out-edge set, so an
+ * untouched path composes to the identical function). Calls
+ * `install(path_index, dep)` once per surviving dependency; anything
+ * else simply fails to match and gets re-learned from scratch.
+ */
+template <class Fn>
+void
+forEachSurvivingSeed(
+    const graph::CoreSubgraph &cs,
+    const std::unordered_map<EdgeId, std::uint32_t> &first_edge,
+    const runtime::HubArtifacts &seeds, Fn &&install)
+{
+    std::unordered_map<VertexId, std::vector<std::uint32_t>>
+        paths_by_head;
+    for (const auto &[fe, pid] : first_edge) {
+        static_cast<void>(fe);
+        paths_by_head[cs.paths()[pid].head].push_back(pid);
+    }
+    for (const auto &d : seeds.deps) {
+        const auto it = paths_by_head.find(d.head);
+        if (it == paths_by_head.end())
+            continue;
+        for (const auto pid : it->second) {
+            const auto &p = cs.paths()[pid];
+            if (p.tail != d.tail || p.vertices != d.vertices)
+                continue;
+            install(pid, d);
+            break;
+        }
+    }
+}
+
+} // namespace depgraph::dep
+
+#endif // DEPGRAPH_DEPGRAPH_CHAIN_WALK_HH

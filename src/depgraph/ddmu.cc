@@ -27,48 +27,13 @@ Ddmu::observe(VertexId head, VertexId tail, VertexId path_id, Value in,
     const auto idx = index_.findOrCreate(head, tail, path_id);
     if (existing == HubIndex::kNoEntry)
         ++stats_.inserts;
-    auto &e = index_.entry(idx);
     ++stats_.samples;
 
-    if (mode == FitMode::Compose) {
-        // Exact composition: available immediately.
-        if (e.flag != EntryFlag::A)
-            ++stats_.fits;
-        e.func = composed;
-        e.flag = EntryFlag::A;
-        return;
-    }
-
-    switch (e.flag) {
-      case EntryFlag::N:
-        e.sampleIn = in;
-        e.sampleOut = out;
-        e.flag = EntryFlag::I;
-        break;
-      case EntryFlag::I: {
-        const Value din = in - e.sampleIn;
-        if (din == 0.0) {
-            // Same input twice: refresh the stored sample and wait
-            // for a distinguishable observation.
-            e.sampleOut = out;
-            break;
-        }
-        const Value mu = (out - e.sampleOut) / din;
-        const Value xi = out - mu * in;
-        if (!std::isfinite(mu) || !std::isfinite(xi)) {
-            e.sampleIn = in;
-            e.sampleOut = out;
-            break;
-        }
-        e.func = {mu, xi, kInfinity};
-        e.flag = EntryFlag::A;
+    // The N -> I -> A state machine itself lives in chain_walk.hh so
+    // the native engine's seqlock table advances entries identically.
+    if (ddmuFitStep(index_.entry(idx), in, out, composed, mode)
+        == FitOutcome::Promoted)
         ++stats_.fits;
-        break;
-      }
-      case EntryFlag::A:
-        // Keep the solved dependency; the paper reuses A entries.
-        break;
-    }
 }
 
 } // namespace depgraph::dep

@@ -28,16 +28,11 @@
 #include <cstdint>
 #include <optional>
 
+#include "depgraph/chain_walk.hh" // FitMode, ddmuFitStep
 #include "depgraph/hub_index.hh"
 
 namespace depgraph::dep
 {
-
-enum class FitMode
-{
-    TwoPoint,
-    Compose,
-};
 
 struct DdmuStats
 {

@@ -9,6 +9,7 @@
 #include "common/logging.hh"
 #include "obs/metrics.hh"
 #include "obs/span.hh"
+#include "depgraph/chain_walk.hh"
 #include "depgraph/engine_model.hh"
 #include "graph/core_paths.hh"
 #include "graph/partition.hh"
@@ -24,31 +25,404 @@ using gas::wouldChange;
 namespace
 {
 
-/** Core-path tracking state carried along a traversal (Sec. III-B2:
- * identifying core-paths on the fly and feeding DDMU). */
-struct Track
-{
-    std::uint32_t pathIdx = kNone;
-    std::uint32_t pos = 0;   ///< edges of the path already walked
-    Value basisIn = 0.0;     ///< head delta the samples are based on
-    Value xPure = 0.0;       ///< pure influence composed so far
-    gas::LinearFunc composed{1.0, 0.0, kInfinity};
-    Value shortcutFired = 0.0; ///< influence already sent to the tail
-    bool hasShortcut = false;
-
-    static constexpr std::uint32_t kNone = 0xffffffffu;
-    bool valid() const { return pathIdx != kNone; }
-};
-
-/** One HDTL stack frame: a vertex being expanded plus its edge cursor
- * (paper Fig. 7: vertex id, current/end offsets). */
-struct Frame
+/** One root-queue entry: the vertex plus the core clock at which the
+ * activation message becomes visible to the receiving core. */
+struct QEntry
 {
     VertexId v;
-    EdgeId cur;
-    EdgeId end;
-    Value d; ///< the delta this vertex applied on entry
-    Track track;
+    Cycles ready;
+};
+
+/**
+ * The cycle-model implementation of the chain_walk.hh Policy contract.
+ *
+ * The walk ORDER lives in walkChain() (shared with the native
+ * multi-threaded engine); this policy contributes what is specific to
+ * the simulated machine: charging the per-core pipelines and the cache
+ * hierarchy for every step (Sec. III-B), the simulated root queues,
+ * and delivery through the HubIndex/Ddmu structures in simulated
+ * memory.
+ */
+struct SimWalkPolicy
+{
+    /* Context, bound once per run. */
+    const graph::Graph &g;
+    gas::Algorithm &alg;
+    sim::Machine &m;
+    const sim::MachineParams &mp;
+    runtime::GraphLayout &L;
+    const graph::Partitioning &part;
+    const graph::CoreSubgraph &cs;
+    HubIndex &index;
+    Ddmu &ddmu;
+    std::vector<CorePipeline> &pl;
+    runtime::RunMetrics &mx;
+    obs::Counter &c_shortcuts;
+    obs::Counter &c_ddmu;
+    const std::unordered_map<EdgeId, std::uint32_t> &pathOfFirst;
+    const std::vector<Addr> &queueBase;
+    std::vector<std::deque<QEntry>> &queue;
+    Bitmap &inQueue;
+    std::vector<Value> &state;
+    std::vector<Value> &delta;
+    std::vector<Value> &shadow;
+    std::vector<std::uint32_t> &visitEpoch;
+    Bitmap &processedRound;
+    const Addr hppBitmap;
+    const gas::AccumKind kind;
+    const Value ident;
+    const Value eps;
+    const bool sum;
+    const bool hw;
+    const bool hubOn;
+    const FitMode fit;
+
+    /* Round-varying state. */
+    Value gate = 0.0; ///< Maiter-style selective gate (sum only)
+    unsigned curCore = 0;
+    std::uint32_t epoch = 0;
+
+    /* ---- Charging helpers. ---- */
+    Cycles
+    engineAccess(Addr a, unsigned bytes, bool write)
+    {
+        // HDTL/DDMU accesses go through the L2 (Sec. III-B). In
+        // software mode the core itself performs them.
+        if (hw)
+            return m.accessFromL2(curCore, a, bytes, write).latency;
+        return m.access(curCore, a, bytes, write).latency;
+    }
+
+    void
+    coreAccess(Addr a, unsigned bytes, bool write)
+    {
+        const auto r = m.access(curCore, a, bytes, write);
+        pl[curCore].coreBusy(r.latency);
+        mx.memStallCycles += r.latency;
+    }
+
+    void
+    coreCompute(Cycles cyc)
+    {
+        pl[curCore].coreBusy(cyc);
+        mx.computeCycles += cyc;
+    }
+
+    void
+    queueOp(Addr qaddr, bool write)
+    {
+        const Cycles lat = engineAccess(qaddr, 4, write);
+        if (hw) {
+            pl[curCore].engineBusy(lat + 1);
+            ++mx.accelOps;
+        } else {
+            pl[curCore].coreBusy(lat + mp.queueOpCycles);
+            mx.memStallCycles += lat;
+            mx.overheadCycles += mp.queueOpCycles;
+        }
+    }
+
+    void
+    ddmuAccessCost(VertexId head, std::uint32_t entry_idx, bool write)
+    {
+        Cycles lat = engineAccess(index.hashAddr(head), 16, false);
+        lat += engineAccess(
+            index.entryAddr(entry_idx == HubIndex::kNoEntry
+                                ? 0 : entry_idx),
+            32, write);
+        if (hw) {
+            pl[curCore].engineBusy(lat + mp.hwHubIndexCycles);
+            ++mx.accelOps;
+        } else {
+            pl[curCore].coreBusy(lat + mp.swHubIndexCycles);
+            mx.memStallCycles += lat;
+            mx.overheadCycles += mp.swHubIndexCycles;
+        }
+    }
+
+    /* ---- Queues, activation. ----
+     *
+     * DepGraph's cross-core activations are explicit messages: the
+     * engine "inserts the tail vertex into the local circular queues
+     * of all cores that own a partition with it" (Sec. III-B2). A
+     * queue entry therefore carries the time it becomes visible to
+     * the receiving core; remote deliveries land directly in the
+     * target's pending delta (the handoff is explicit, not a stale
+     * rescan) and are processed within the same round. */
+    void
+    enqueueAt(unsigned c, VertexId v, Cycles ready)
+    {
+        if (!inQueue.testAndSet(v))
+            return;
+        queue[c].push_back({v, ready});
+        queueOp(queueBase[c], true);
+    }
+
+    /* Ordinary remote delivery: a plain store another core will only
+     * discover at the next round's active scan (no push machinery
+     * without the hub index). */
+    void
+    deliverRemote(VertexId t, Value inf)
+    {
+        shadow[t] = applyAccum(kind, shadow[t], inf);
+    }
+
+    /* Hub-index push: the engine inserts the tail into the owning
+     * core's local circular queue (Sec. III-B2), so the influence is
+     * consumed within the same round -- this is precisely the cross-
+     * core parallelism the direct dependencies unlock (Fig. 5c). */
+    void
+    pushRemote(VertexId t, Value inf)
+    {
+        const unsigned owner = part.ownerOf(t);
+        delta[t] = applyAccum(kind, delta[t], inf);
+        // Any genuine improvement is worth pushing: the message is
+        // cheap and it saves the tail's core a full round.
+        const bool worth = sum
+            ? runtime::worthChasing(kind, state[t], delta[t], gate)
+            : wouldChange(kind, state[t], delta[t], eps);
+        if (worth) {
+            const Cycles send = pl[curCore].coreClock() + 30;
+            enqueueAt(owner, t, send);
+        }
+        if (hw) {
+            pl[curCore].engineBusy(20);
+            ++mx.accelOps;
+        } else {
+            pl[curCore].coreBusy(20 + mp.queueOpCycles);
+            mx.overheadCycles += 20 + mp.queueOpCycles;
+        }
+    }
+
+    /* ---- The chain_walk.hh Policy contract. ---- */
+    bool hubEnabled() const { return hubOn; }
+
+    bool isSum() const { return sum; }
+
+    Value
+    enterVertex(VertexId v)
+    {
+        // Fetch_Offsets (engine) + the core applying the delta.
+        const Cycles off_lat = engineAccess(L.offsetAddr(v), 16, false);
+        if (hw) {
+            pl[curCore].engineBusy(off_lat);
+            ++mx.accelOps;
+        } else {
+            pl[curCore].coreBusy(off_lat + mp.swTraversalCycles);
+            mx.memStallCycles += off_lat;
+            mx.overheadCycles += mp.swTraversalCycles;
+        }
+        coreAccess(L.deltaAddr(v), 8, true);
+        coreAccess(L.stateAddr(v), 8, true);
+        const Value d = delta[v];
+        delta[v] = ident;
+        state[v] = applyAccum(kind, state[v], d);
+        ++mx.updates;
+        processedRound.set(v);
+        coreCompute(mp.vertexOpCycles);
+        return d;
+    }
+
+    Value
+    enterRoot(VertexId root, bool root_is_hpp)
+    {
+        ++epoch;
+        const Value d_root = enterVertex(root);
+        visitEpoch[root] = epoch;
+        if (root_is_hpp) {
+            // H'' membership check against the in-memory bitmap.
+            Cycles lat = engineAccess(hppBitmap + root / 8, 1, false);
+            // DDMU retrieves mu/xi "for all core-paths originated
+            // from this vertex" with one hash probe plus a contiguous
+            // read of the entry range (Sec. III-B2); per-path checks
+            // during the traversal are then register-speed.
+            if (hubOn) {
+                lat += engineAccess(index.hashAddr(root), 16, false);
+                // The entry range is contiguous; the engine streams it
+                // at one line per two cycles after the first access.
+                const auto entries = index.entriesOf(root);
+                Cycles worst = 0;
+                std::size_t lines = 0;
+                for (std::size_t i = 0; i < entries.size(); i += 2) {
+                    worst = std::max(
+                        worst, engineAccess(index.entryAddr(entries[i]),
+                                            32, false));
+                    ++lines;
+                }
+                lat += worst + 2 * lines;
+            }
+            if (hw) {
+                pl[curCore].engineBusy(lat + mp.hwHubIndexCycles);
+                ++mx.accelOps;
+            } else {
+                pl[curCore].coreBusy(lat + mp.swHubIndexCycles);
+                mx.memStallCycles += lat;
+                mx.overheadCycles += mp.swHubIndexCycles;
+            }
+        }
+        return d_root;
+    }
+
+    void
+    chargeEdge(VertexId, EdgeId e, VertexId t)
+    {
+        /* Fetch_Neighbors + Fetch_States: the engine prefetches the
+         * edge and the endpoint's state/delta. */
+        Cycles prod = engineAccess(L.targetAddr(e), 4, false);
+        if (L.weighted())
+            prod = std::max(prod,
+                            engineAccess(L.weightAddr(e), 8, false));
+        prod = std::max(prod,
+                        engineAccess(L.stateAddr(t), 8, false));
+        prod = std::max(prod,
+                        engineAccess(L.deltaAddr(t), 8, false));
+        if (hw) {
+            pl[curCore].produce(prod + 2);
+            ++mx.prefetchedEdges;
+            ++mx.accelOps;
+        } else {
+            pl[curCore].coreBusy(prod + mp.swTraversalCycles);
+            mx.memStallCycles += prod;
+            mx.overheadCycles += mp.swTraversalCycles;
+        }
+
+        /* Core consumes the edge: DEP_fetch_edge + EdgeCompute. */
+        const Cycles wait = pl[curCore].consume(1 + mp.edgeOpCycles);
+        mx.memStallCycles += wait;
+        mx.computeCycles += 1 + mp.edgeOpCycles;
+        ++mx.edgeOps;
+        coreAccess(L.deltaAddr(t), 8, true);
+    }
+
+    Value
+    influence(VertexId src, EdgeId e, Value d)
+    {
+        return alg.edgeCompute(g, src, e, d);
+    }
+
+    gas::LinearFunc
+    edgeFunc(VertexId src, EdgeId e)
+    {
+        return alg.edgeFunc(g, src, e);
+    }
+
+    std::uint32_t
+    pathOfFirstEdge(EdgeId e) const
+    {
+        const auto it = pathOfFirst.find(e);
+        return it == pathOfFirst.end() ? WalkTrack::kNone : it->second;
+    }
+
+    std::optional<Value>
+    fireShortcut(std::uint32_t pid, const graph::CorePath &cp,
+                 Value d_root)
+    {
+        // Firing pays off when the tail lives on another core -- that
+        // core then propagates the influence in parallel with this
+        // walk (Fig. 5c); a local tail receives the chain influence
+        // within the same traversal anyway.
+        if (part.ownerOf(cp.tail) == curCore)
+            return std::nullopt;
+        if (hw)
+            pl[curCore].engineBusy(1);
+        else
+            pl[curCore].coreBusy(2);
+        ++mx.hubIndexLookups;
+        const auto x_fit = ddmu.tryShortcut(cp.head, pid, d_root);
+        if (!x_fit)
+            return std::nullopt;
+        ++mx.hubIndexHits;
+        ++mx.shortcutsApplied;
+        c_shortcuts.inc();
+        dg_trace(trace::kShortcut, "core ", curCore, ": v", cp.head,
+                 " -> v", cp.tail, " f=", *x_fit);
+        obs::span::instant("engine", "shortcut", "tail",
+                           static_cast<std::uint64_t>(cp.tail));
+        pushRemote(cp.tail, *x_fit);
+        return x_fit;
+    }
+
+    void
+    observeTail(std::uint32_t pid, const graph::CorePath &cp,
+                const WalkTrack &tr)
+    {
+        // Once an entry is Available it is only reused; DDMU does no
+        // further fitting work for it (Sec. III-B2).
+        const auto existing = index.find(cp.head, pid);
+        const bool settled = existing != HubIndex::kNoEntry
+            && index.entry(existing).flag == EntryFlag::A;
+        if (settled)
+            return;
+        c_ddmu.inc();
+        dg_trace(trace::kDdmu, "observe path ", pid, " head=v",
+                 cp.head, " tail=v", cp.tail, " in=", tr.basisIn,
+                 " out=", tr.xPure);
+        obs::span::instant("engine", "ddmu_fit", "path", pid);
+        ddmuAccessCost(cp.head, existing, true);
+        const auto before = index.size();
+        ddmu.observe(cp.head, cp.tail, pid, tr.basisIn, tr.xPure,
+                     tr.composed, fit);
+        if (index.size() > before)
+            ++mx.hubIndexInserts;
+    }
+
+    void
+    fictitiousReset(VertexId tail, Value fired)
+    {
+        // Fictitious edge <-1, tail, NULL, f(s)>: the core consumes it
+        // and takes the influence away once. The reset rides with the
+        // chain delivery (both are plain stores) and cancels at the
+        // barrier.
+        const Cycles w2 = pl[curCore].consume(1 + mp.edgeOpCycles);
+        mx.memStallCycles += w2;
+        mx.computeCycles += 1 + mp.edgeOpCycles;
+        coreAccess(L.deltaAddr(tail), 8, true);
+        deliverRemote(tail, -fired);
+    }
+
+    void
+    cancelShortcut(VertexId tail, Value fired)
+    {
+        deliverRemote(tail, -fired);
+    }
+
+    Route
+    routeInfluence(VertexId t, Value inf)
+    {
+        const unsigned owner = part.ownerOf(t);
+        if (owner != curCore) {
+            deliverRemote(t, inf); // discovered at the next round
+            return Route::Banked;  // remote chains resume on their owner
+        }
+        delta[t] = applyAccum(kind, delta[t], inf);
+        if (!runtime::worthChasing(kind, state[t], delta[t], gate))
+            return Route::Banked; // banks until it clears the gate
+        if (cs.isHubOrCore(t)) {
+            // H'' vertex: cut the traversal, hand t over as a new root
+            // (it may start core-paths of its own).
+            enqueueAt(curCore, t, pl[curCore].coreClock());
+            return Route::Banked;
+        }
+        if (visitEpoch[t] == epoch || processedRound.test(t)) {
+            // Already expanded in this traversal, or already applied
+            // this round: bank the delta for next round.
+            return Route::Banked;
+        }
+        return Route::Descend;
+    }
+
+    bool
+    markDescended(VertexId t)
+    {
+        visitEpoch[t] = epoch;
+        return true;
+    }
+
+    void
+    overflowRoot(VertexId t)
+    {
+        enqueueAt(curCore, t, pl[curCore].coreClock());
+    }
 };
 
 } // namespace
@@ -85,35 +459,17 @@ DepGraphExecutor::run(const graph::Graph &g, gas::Algorithm &alg,
     const Value ident = alg.identity();
     const Value eps = alg.epsilon();
     const bool is_sum = kind == gas::AccumKind::Sum;
+    const bool hub_on = dep_.hubIndexEnabled && alg.transformable();
 
     /* ---- Preprocessing (software side, Sec. III-B): find hubs,
-     * core-vertices and disjoint core-paths; build the H'' bitmap. ---- */
+     * core-vertices and disjoint core-paths; build the H'' bitmap.
+     * Note the absolute storage share of the index at reproduction
+     * scale is larger than the paper's 0.9-2.8% because the 32 B entry
+     * size is constant while the scaled graphs are ~1000x smaller (see
+     * EXPERIMENTS.md). ---- */
     const graph::HubSet hubs(g, opt_.hub);
     const graph::CoreSubgraph cs(g, hubs, 4 * opt_.stackDepth, &part);
-    // First-edge -> core-path map used to recognize path starts. Only
-    // paths whose tail lives on ANOTHER core are indexed: a local tail
-    // receives the chain influence within the same traversal, so its
-    // direct dependency would never be consulted -- the useful
-    // shortcuts are exactly the cross-partition ones (Fig. 5c).
-    std::unordered_map<EdgeId, std::uint32_t> path_of_first_edge;
-    for (std::uint32_t i = 0;
-         i < static_cast<std::uint32_t>(cs.paths().size()); ++i) {
-        const auto &p = cs.paths()[i];
-        // Entries are kept for core-paths that (a) end on another
-        // core -- a local tail receives the chain influence within the
-        // same traversal anyway, so only cross-core dependencies are
-        // ever consulted -- and (b), for sum accumulators, span >= 3
-        // edges: shorter ones cost more in fictitious-edge resets than
-        // they save. Note the absolute storage share of the index at
-        // reproduction scale is larger than the paper's 0.9-2.8%
-        // because the 32 B entry size is constant while the scaled
-        // graphs are ~1000x smaller (see EXPERIMENTS.md).
-        const std::size_t min_len =
-            kind == gas::AccumKind::Sum ? 3 : 1;
-        if (p.edges.size() >= min_len
-            && part.ownerOf(p.tail) != part.ownerOf(p.head))
-            path_of_first_edge.emplace(p.edges[0], i);
-    }
+    const auto path_of_first_edge = indexablePaths(cs, part, kind);
 
     // Decide the DDMU fitting mode: TwoPoint is exact for purely
     // linear EdgeCompute; capped-linear algorithms (SSWP) need Compose
@@ -169,31 +525,13 @@ DepGraphExecutor::run(const graph::Graph &g, gas::Algorithm &alg,
                                  "Engine rounds executed",
                                  engine_labels);
 
-    /* ---- Hub-index warm start. A dependency learned by a previous
-     * run is installed as an Available entry only when its full
-     * head..tail vertex sequence reappears verbatim among THIS run's
-     * indexed core-paths: per-edge functions depend only on the
-     * source's out-edge set, so an untouched path composes to the
-     * identical function and the seeded entry equals what this run
-     * would eventually fit itself. Anything else (path re-cut, vertex
-     * churned away, partition moved) simply fails to match and gets
-     * re-learned from scratch. ---- */
-    if (dep_.hubIndexEnabled && alg.transformable() && opt_.hubSeed
-        && !opt_.hubSeed->empty()) {
-        std::unordered_map<VertexId, std::vector<std::uint32_t>>
-            paths_by_head;
-        for (const auto &[fe, pid] : path_of_first_edge) {
-            static_cast<void>(fe);
-            paths_by_head[cs.paths()[pid].head].push_back(pid);
-        }
-        for (const auto &d : opt_.hubSeed->deps) {
-            const auto it = paths_by_head.find(d.head);
-            if (it == paths_by_head.end())
-                continue;
-            for (const auto pid : it->second) {
+    /* ---- Hub-index warm start (matching logic shared with the
+     * native engine via chain_walk.hh). ---- */
+    if (hub_on && opt_.hubSeed && !opt_.hubSeed->empty()) {
+        forEachSurvivingSeed(
+            cs, path_of_first_edge, *opt_.hubSeed,
+            [&](std::uint32_t pid, const runtime::HubDependency &d) {
                 const auto &p = cs.paths()[pid];
-                if (p.tail != d.tail || p.vertices != d.vertices)
-                    continue;
                 const auto idx =
                     index.findOrCreate(p.head, p.tail, pid);
                 auto &en = index.entry(idx);
@@ -202,13 +540,14 @@ DepGraphExecutor::run(const graph::Graph &g, gas::Algorithm &alg,
                     en.func = d.func;
                     ++mx.hubIndexSeeded;
                 }
-                break;
-            }
-        }
+            });
     }
+    // Freeze the per-head directory into its flat sorted form; runtime
+    // inserts (DDMU discoveries) flip it back to the map until the
+    // next seed install.
+    index.flatten();
 
     /* ---- Functional state. ---- */
-    Value gate = eps; // Maiter-style selective gate (sum only)
     std::vector<Value> state(n), delta(n), shadow(n, ident);
     for (VertexId v = 0; v < n; ++v) {
         state[v] = alg.initState(g, v);
@@ -220,112 +559,9 @@ DepGraphExecutor::run(const graph::Graph &g, gas::Algorithm &alg,
     for (unsigned c = 0; c < cores; ++c)
         pl.emplace_back(opt_.fifoCapacity, hw);
 
-    /* ---- Charging helpers. ---- */
-    unsigned cur_core = 0;
-    auto engineAccess = [&](Addr a, unsigned bytes, bool write) {
-        // HDTL/DDMU accesses go through the L2 (Sec. III-B). In
-        // software mode the core itself performs them.
-        if (hw)
-            return m.accessFromL2(cur_core, a, bytes, write).latency;
-        return m.access(cur_core, a, bytes, write).latency;
-    };
-    auto coreAccess = [&](Addr a, unsigned bytes, bool write) {
-        const auto r = m.access(cur_core, a, bytes, write);
-        pl[cur_core].coreBusy(r.latency);
-        mx.memStallCycles += r.latency;
-    };
-    auto coreCompute = [&](Cycles cyc) {
-        pl[cur_core].coreBusy(cyc);
-        mx.computeCycles += cyc;
-    };
-
-    auto queueOp = [&](Addr qaddr, bool write) {
-        const Cycles lat = engineAccess(qaddr, 4, write);
-        if (hw) {
-            pl[cur_core].engineBusy(lat + 1);
-            ++mx.accelOps;
-        } else {
-            pl[cur_core].coreBusy(lat + P.queueOpCycles);
-            mx.memStallCycles += lat;
-            mx.overheadCycles += P.queueOpCycles;
-        }
-    };
-    auto ddmuAccessCost = [&](VertexId head, std::uint32_t entry_idx,
-                              bool write) {
-        Cycles lat = engineAccess(index.hashAddr(head), 16, false);
-        lat += engineAccess(
-            index.entryAddr(entry_idx == HubIndex::kNoEntry
-                                ? 0 : entry_idx),
-            32, write);
-        if (hw) {
-            pl[cur_core].engineBusy(lat + P.hwHubIndexCycles);
-            ++mx.accelOps;
-        } else {
-            pl[cur_core].coreBusy(lat + P.swHubIndexCycles);
-            mx.memStallCycles += lat;
-            mx.overheadCycles += P.swHubIndexCycles;
-        }
-    };
-
-    /* ---- Queues, activation. ----
-     *
-     * DepGraph's cross-core activations are explicit messages: the
-     * engine "inserts the tail vertex into the local circular queues
-     * of all cores that own a partition with it" (Sec. III-B2). A
-     * queue entry therefore carries the time it becomes visible to
-     * the receiving core; remote deliveries land directly in the
-     * target's pending delta (the handoff is explicit, not a stale
-     * rescan) and are processed within the same round. */
-    struct QEntry
-    {
-        VertexId v;
-        Cycles ready;
-    };
     std::vector<std::deque<QEntry>> queue(cores);
     Bitmap inQueue(n);
-    auto enqueueAt = [&](unsigned c, VertexId v, Cycles ready) {
-        if (!inQueue.testAndSet(v))
-            return;
-        queue[c].push_back({v, ready});
-        queueOp(queue_base[c], true);
-    };
-    /* Ordinary remote delivery: a plain store another core will only
-     * discover at the next round's active scan (no push machinery
-     * without the hub index). */
-    auto deliverRemote = [&](VertexId t, Value inf) {
-        shadow[t] = applyAccum(kind, shadow[t], inf);
-    };
-    /* Hub-index push: the engine inserts the tail into the owning
-     * core's local circular queue (Sec. III-B2), so the influence is
-     * consumed within the same round -- this is precisely the cross-
-     * core parallelism the direct dependencies unlock (Fig. 5c). */
-    auto pushRemote = [&](VertexId t, Value inf) {
-        const unsigned owner = part.ownerOf(t);
-        delta[t] = applyAccum(kind, delta[t], inf);
-        // Any genuine improvement is worth pushing: the message is
-        // cheap and it saves the tail's core a full round.
-        const bool worth = is_sum
-            ? runtime::worthChasing(kind, state[t], delta[t], gate)
-            : wouldChange(kind, state[t], delta[t], eps);
-        if (worth) {
-            const Cycles send = pl[cur_core].coreClock() + 30;
-            enqueueAt(owner, t, send);
-        }
-        if (hw) {
-            pl[cur_core].engineBusy(20);
-            ++mx.accelOps;
-        } else {
-            pl[cur_core].coreBusy(20 + P.queueOpCycles);
-            mx.overheadCycles += 20 + P.queueOpCycles;
-        }
-    };
-
-    /* ---- The HDTL traversal. ---- */
     std::vector<std::uint32_t> visitEpoch(n, 0);
-    std::uint32_t epoch = 0;
-    std::vector<Frame> stack;
-    stack.reserve(opt_.stackDepth);
-
     // A vertex applies its delta at most once per round (as in the
     // baselines); chains still propagate multi-hop within a round
     // because every hop is a first application in dependency order --
@@ -333,271 +569,40 @@ DepGraphExecutor::run(const graph::Graph &g, gas::Algorithm &alg,
     // the same as the number of vertices" on a chain.
     Bitmap processedRound(n);
 
-    auto enterVertex = [&](VertexId v) -> Value {
-        // Fetch_Offsets (engine) + the core applying the delta.
-        const Cycles off_lat = engineAccess(L.offsetAddr(v), 16, false);
-        if (hw) {
-            pl[cur_core].engineBusy(off_lat);
-            ++mx.accelOps;
-        } else {
-            pl[cur_core].coreBusy(off_lat + P.swTraversalCycles);
-            mx.memStallCycles += off_lat;
-            mx.overheadCycles += P.swTraversalCycles;
-        }
-        coreAccess(L.deltaAddr(v), 8, true);
-        coreAccess(L.stateAddr(v), 8, true);
-        const Value d = delta[v];
-        delta[v] = ident;
-        state[v] = applyAccum(kind, state[v], d);
-        ++mx.updates;
-        processedRound.set(v);
-        coreCompute(P.vertexOpCycles);
-        return d;
-    };
+    SimWalkPolicy sw{g,
+                     alg,
+                     m,
+                     P,
+                     L,
+                     part,
+                     cs,
+                     index,
+                     ddmu,
+                     pl,
+                     mx,
+                     c_shortcuts,
+                     c_ddmu,
+                     path_of_first_edge,
+                     queue_base,
+                     queue,
+                     inQueue,
+                     state,
+                     delta,
+                     shadow,
+                     visitEpoch,
+                     processedRound,
+                     hpp_bitmap,
+                     kind,
+                     ident,
+                     eps,
+                     is_sum,
+                     hw,
+                     hub_on,
+                     fit};
+    sw.gate = eps;
 
-    auto traverse = [&](VertexId root) {
-        ++epoch;
-        const Value d_root = enterVertex(root);
-        visitEpoch[root] = epoch;
-        const bool root_is_hpp = cs.isHubOrCore(root);
-        if (root_is_hpp) {
-            // H'' membership check against the in-memory bitmap.
-            Cycles lat = engineAccess(hpp_bitmap + root / 8, 1, false);
-            // DDMU retrieves mu/xi "for all core-paths originated
-            // from this vertex" with one hash probe plus a contiguous
-            // read of the entry range (Sec. III-B2); per-path checks
-            // during the traversal are then register-speed.
-            if (dep_.hubIndexEnabled && alg.transformable()) {
-                lat += engineAccess(index.hashAddr(root), 16, false);
-                // The entry range is contiguous; the engine streams it
-                // at one line per two cycles after the first access.
-                const auto &entries = index.entriesOf(root);
-                Cycles worst = 0;
-                std::size_t lines = 0;
-                for (std::size_t i = 0; i < entries.size(); i += 2) {
-                    worst = std::max(
-                        worst, engineAccess(index.entryAddr(entries[i]),
-                                            32, false));
-                    ++lines;
-                }
-                lat += worst + 2 * lines;
-            }
-            if (hw) {
-                pl[cur_core].engineBusy(lat + P.hwHubIndexCycles);
-                ++mx.accelOps;
-            } else {
-                pl[cur_core].coreBusy(lat + P.swHubIndexCycles);
-                mx.memStallCycles += lat;
-                mx.overheadCycles += P.swHubIndexCycles;
-            }
-        }
-
-        stack.clear();
-        stack.push_back({root, g.edgeBegin(root), g.edgeEnd(root),
-                         d_root, Track{}});
-
-        while (!stack.empty()) {
-            Frame &f = stack.back();
-            if (f.cur == f.end) {
-                stack.pop_back();
-                continue;
-            }
-            const EdgeId e = f.cur++;
-            const VertexId t = g.target(e);
-
-            /* Fetch_Neighbors + Fetch_States: the engine prefetches
-             * the edge and the endpoint's state/delta. */
-            Cycles prod = engineAccess(L.targetAddr(e), 4, false);
-            if (L.weighted())
-                prod = std::max(prod,
-                                engineAccess(L.weightAddr(e), 8,
-                                             false));
-            prod = std::max(prod,
-                            engineAccess(L.stateAddr(t), 8, false));
-            prod = std::max(prod,
-                            engineAccess(L.deltaAddr(t), 8, false));
-            if (hw) {
-                pl[cur_core].produce(prod + 2);
-                ++mx.prefetchedEdges;
-                ++mx.accelOps;
-            } else {
-                pl[cur_core].coreBusy(prod + P.swTraversalCycles);
-                mx.memStallCycles += prod;
-                mx.overheadCycles += P.swTraversalCycles;
-            }
-
-            /* Core consumes the edge: DEP_fetch_edge + EdgeCompute. */
-            const Cycles wait = pl[cur_core].consume(
-                1 + P.edgeOpCycles);
-            mx.memStallCycles += wait;
-            mx.computeCycles += 1 + P.edgeOpCycles;
-            ++mx.edgeOps;
-            const Value inf = alg.edgeCompute(g, f.v, e, f.d);
-            coreAccess(L.deltaAddr(t), 8, true);
-
-            /* Core-path tracking. */
-            Track child_track;
-            const bool hub_on =
-                dep_.hubIndexEnabled && alg.transformable();
-            if (hub_on && f.v == root && root_is_hpp) {
-                auto it = path_of_first_edge.find(e);
-                if (it != path_of_first_edge.end()) {
-                    const auto &cp = cs.paths()[it->second];
-                    child_track.pathIdx = it->second;
-                    child_track.pos = 1;
-                    child_track.basisIn = d_root;
-                    child_track.xPure =
-                        alg.edgeCompute(g, f.v, e, d_root);
-                    child_track.composed = alg.edgeFunc(g, f.v, e);
-                    // Shortcut: deliver the head's influence to the
-                    // tail immediately if the dependency is available
-                    // (entries were read at Get_Root time). Firing
-                    // pays off when the tail lives on another core --
-                    // that core then propagates the influence in
-                    // parallel with this walk (Fig. 5c); a local tail
-                    // receives the chain influence within the same
-                    // traversal anyway.
-                    if (part.ownerOf(cp.tail) != cur_core) {
-                        if (hw)
-                            pl[cur_core].engineBusy(1);
-                        else
-                            pl[cur_core].coreBusy(2);
-                        ++mx.hubIndexLookups;
-                        const auto x_fit = ddmu.tryShortcut(
-                            cp.head, it->second, d_root);
-                        if (x_fit) {
-                            ++mx.hubIndexHits;
-                            ++mx.shortcutsApplied;
-                            c_shortcuts.inc();
-                            dg_trace(trace::kShortcut, "core ",
-                                     cur_core, ": v", cp.head,
-                                     " -> v", cp.tail, " f=", *x_fit);
-                            obs::span::instant(
-                                "engine", "shortcut", "tail",
-                                static_cast<std::uint64_t>(cp.tail));
-                            pushRemote(cp.tail, *x_fit);
-                            if (is_sum) {
-                                child_track.shortcutFired = *x_fit;
-                                child_track.hasShortcut = true;
-                            }
-                        }
-                    }
-                }
-            } else if (hub_on && f.track.valid()) {
-                const auto &cp = cs.paths()[f.track.pathIdx];
-                if (f.track.pos < cp.edges.size()
-                    && cp.edges[f.track.pos] == e) {
-                    child_track = f.track;
-                    ++child_track.pos;
-                    child_track.xPure =
-                        alg.edgeCompute(g, f.v, e, f.track.xPure);
-                    child_track.composed = gas::LinearFunc::compose(
-                        alg.edgeFunc(g, f.v, e), f.track.composed);
-                }
-            }
-
-            /* Tail reached: record the observation with DDMU and emit
-             * the fictitious reset edge if the shortcut double-
-             * delivered (sum accumulators only). */
-            const bool at_tail = child_track.valid()
-                && child_track.pos
-                    == cs.paths()[child_track.pathIdx].edges.size();
-            if (at_tail) {
-                const auto &cp = cs.paths()[child_track.pathIdx];
-                // Once an entry is Available it is only reused; DDMU
-                // does no further fitting work for it (Sec. III-B2).
-                const auto existing =
-                    index.find(cp.head, child_track.pathIdx);
-                const bool settled = existing != HubIndex::kNoEntry
-                    && index.entry(existing).flag == EntryFlag::A;
-                if (!settled) {
-                    c_ddmu.inc();
-                    dg_trace(trace::kDdmu, "observe path ",
-                             child_track.pathIdx, " head=v", cp.head,
-                             " tail=v", cp.tail, " in=",
-                             child_track.basisIn, " out=",
-                             child_track.xPure);
-                    obs::span::instant(
-                        "engine", "ddmu_fit", "path",
-                        child_track.pathIdx);
-                    ddmuAccessCost(cp.head, existing, true);
-                    const auto before = index.size();
-                    ddmu.observe(cp.head, cp.tail,
-                                 child_track.pathIdx,
-                                 child_track.basisIn,
-                                 child_track.xPure,
-                                 child_track.composed, fit);
-                    if (index.size() > before)
-                        ++mx.hubIndexInserts;
-                }
-                if (child_track.hasShortcut) {
-                    // Fictitious edge <-1, tail, NULL, f(s)>: the core
-                    // consumes it and takes the influence away once.
-                    // The reset rides with the chain delivery (both
-                    // are plain stores) and cancels at the barrier.
-                    const Cycles w2 = pl[cur_core].consume(
-                        1 + P.edgeOpCycles);
-                    mx.memStallCycles += w2;
-                    mx.computeCycles += 1 + P.edgeOpCycles;
-                    coreAccess(L.deltaAddr(cp.tail), 8, true);
-                    deliverRemote(cp.tail,
-                                  -child_track.shortcutFired);
-                }
-                child_track = Track{};
-            }
-
-            /* A tracked core-path that terminates before its tail
-             * must take back the influence the shortcut already sent
-             * (otherwise the tail would keep a copy the in-path
-             * propagation never matches). */
-            auto cancelShortcut = [&] {
-                if (child_track.valid() && child_track.hasShortcut) {
-                    deliverRemote(
-                        cs.paths()[child_track.pathIdx].tail,
-                        -child_track.shortcutFired);
-                }
-            };
-
-            /* Deliver the influence and decide whether to descend. */
-            const unsigned owner = part.ownerOf(t);
-            if (owner != cur_core) {
-                deliverRemote(t, inf); // discovered at the next round
-                cancelShortcut(); // interiors are local by construction
-                continue; // remote chains resume on their owner core
-            }
-            delta[t] = applyAccum(kind, delta[t], inf);
-            if (!runtime::worthChasing(kind, state[t], delta[t],
-                                       gate)) {
-                cancelShortcut();
-                continue; // contribution banks until it clears the gate
-            }
-
-            if (cs.isHubOrCore(t)) {
-                // H'' vertex: cut the traversal, hand t over as a new
-                // root (it may start core-paths of its own).
-                cancelShortcut();
-                enqueueAt(cur_core, t, pl[cur_core].coreClock());
-                continue;
-            }
-            if (visitEpoch[t] == epoch || processedRound.test(t)) {
-                // Already expanded in this traversal, or already
-                // applied this round: bank the delta for next round.
-                cancelShortcut();
-                continue;
-            }
-            if (stack.size() >= opt_.stackDepth) {
-                // Stack full: the last prefetched vertex becomes a new
-                // root (paper Sec. III-B2).
-                cancelShortcut();
-                enqueueAt(cur_core, t, pl[cur_core].coreClock());
-                continue;
-            }
-            visitEpoch[t] = epoch;
-            const Value d_t = enterVertex(t);
-            stack.push_back({t, g.edgeBegin(t), g.edgeEnd(t), d_t,
-                             child_track});
-        }
-    };
+    std::vector<WalkFrame> stack;
+    stack.reserve(opt_.stackDepth);
 
     /* ---- Round loop. ---- */
     std::size_t active_total = 0;
@@ -614,7 +619,8 @@ DepGraphExecutor::run(const graph::Graph &g, gas::Algorithm &alg,
                 ++active_total;
             }
         }
-        gate = runtime::selectionThreshold(kind, eps, delta, actives);
+        sw.gate = runtime::selectionThreshold(kind, eps, delta,
+                                              actives);
         // Seed each core's queue most-impactful-first (closest first
         // for min accumulators): chains then start from near-final
         // values and re-updates stay rare.
@@ -631,7 +637,8 @@ DepGraphExecutor::run(const graph::Graph &g, gas::Algorithm &alg,
                 return false;
             });
         for (auto v : actives) {
-            if (runtime::clearsGate(kind, state[v], delta[v], gate)) {
+            if (runtime::clearsGate(kind, state[v], delta[v],
+                                    sw.gate)) {
                 queue[part.ownerOf(v)].push_back({v, 0});
                 inQueue.set(v);
             }
@@ -649,7 +656,7 @@ DepGraphExecutor::run(const graph::Graph &g, gas::Algorithm &alg,
         while (any_work) {
             any_work = false;
             for (unsigned c = 0; c < cores; ++c) {
-                cur_core = c;
+                sw.curCore = c;
                 while (!queue[c].empty()) {
                     // Take the first already-visible entry; an
                     // in-flight push must not block work behind it.
@@ -681,24 +688,27 @@ DepGraphExecutor::run(const graph::Graph &g, gas::Algorithm &alg,
                             entry.ready - pl[c].coreClock();
                         pl[c].syncTo(entry.ready);
                     }
-                    queueOp(queue_base[c], false); // Get_Root stage
+                    sw.queueOp(queue_base[c], false); // Get_Root stage
                     if (delta[root] == ident
                         || processedRound.test(root)
                         || !runtime::clearsGate(kind, state[root],
-                                                delta[root], gate)) {
-                        coreCompute(1);
+                                                delta[root],
+                                                sw.gate)) {
+                        sw.coreCompute(1);
                         continue;
                     }
-                    dg_trace(trace::kTraverse, "core ", cur_core,
+                    dg_trace(trace::kTraverse, "core ", c,
                              ": root v", root, " delta=",
                              delta[root]);
                     c_walks.inc();
                     if (obs::span::enabled()) {
                         obs::span::Scoped walk("engine", "chain_walk",
-                                               "core", cur_core);
-                        traverse(root);
+                                               "core", c);
+                        walkChain(g, cs, opt_.stackDepth, root, stack,
+                                  sw);
                     } else {
-                        traverse(root);
+                        walkChain(g, cs, opt_.stackDepth, root, stack,
+                                  sw);
                     }
                 }
             }

@@ -31,6 +31,11 @@ HubIndex::HubIndex(sim::Machine &m, std::size_t num_hub_vertices,
     capacity_ = std::max<std::size_t>(capacity_hint, 64);
     entriesBase_ = m.mem().alloc("hub.index", capacity_ * kEntryBytes);
     entries_.reserve(capacity_);
+    // Pre-size the host-side lookup structures from the core-path
+    // count: entry population is bounded by the indexed paths, so
+    // rehash-on-growth during a run is pure waste.
+    lookup_.reserve(capacity_);
+    byHead_.reserve(std::max<std::size_t>(num_hub_vertices, 16));
 }
 
 std::uint32_t
@@ -56,14 +61,50 @@ HubIndex::findOrCreate(VertexId head, VertexId tail, VertexId path_id)
     entries_.push_back(e);
     lookup_.emplace(k, idx);
     byHead_[head].push_back(idx);
+    flatCurrent_ = false;
     return idx;
 }
 
-const std::vector<std::uint32_t> &
+std::span<const std::uint32_t>
 HubIndex::entriesOf(VertexId head) const
 {
-    auto it = byHead_.find(head);
-    return it == byHead_.end() ? emptyList_ : it->second;
+    if (flatCurrent_) {
+        for (std::uint32_t s = head * 0x9e3779b9u;; ++s) {
+            const FlatHead &fh = flatSlots_[s & flatMask_];
+            if (fh.head == head)
+                return {flatEntries_.data() + fh.offset, fh.count};
+            if (fh.head == kNoHead)
+                return {};
+        }
+    }
+    const auto it = byHead_.find(head);
+    if (it == byHead_.end())
+        return {};
+    return {it->second.data(), it->second.size()};
+}
+
+void
+HubIndex::flatten()
+{
+    std::size_t slots = 16;
+    while (slots < byHead_.size() * 2)
+        slots <<= 1;
+    flatMask_ = static_cast<std::uint32_t>(slots - 1);
+    flatSlots_.assign(slots, {kNoHead, 0, 0});
+    flatEntries_.clear();
+    flatEntries_.reserve(entries_.size());
+    for (const auto &[head, list] : byHead_) {
+        const auto off =
+            static_cast<std::uint32_t>(flatEntries_.size());
+        flatEntries_.insert(flatEntries_.end(), list.begin(),
+                            list.end());
+        std::uint32_t s = head * 0x9e3779b9u;
+        while (flatSlots_[s & flatMask_].head != kNoHead)
+            ++s;
+        flatSlots_[s & flatMask_] = {
+            head, off, static_cast<std::uint32_t>(list.size())};
+    }
+    flatCurrent_ = true;
 }
 
 Addr

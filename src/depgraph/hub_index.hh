@@ -23,21 +23,16 @@
 #define DEPGRAPH_DEPGRAPH_HUB_INDEX_HH
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "depgraph/chain_walk.hh" // EntryFlag
 #include "gas/model.hh"
 #include "sim/machine.hh"
 
 namespace depgraph::dep
 {
-
-enum class EntryFlag : std::uint8_t
-{
-    N, ///< new: nothing observed
-    I, ///< initialized: one sample stored
-    A, ///< available: direct dependency usable
-};
 
 struct HubEntry
 {
@@ -77,8 +72,25 @@ class HubIndex
         return entries_[idx];
     }
 
-    /** Entry indices whose head is the given vertex. */
-    const std::vector<std::uint32_t> &entriesOf(VertexId head) const;
+    /**
+     * Entry indices whose head is the given vertex. Served from the
+     * flat sorted directory when one is current (see flatten()), else
+     * from the per-head hash map.
+     */
+    std::span<const std::uint32_t> entriesOf(VertexId head) const;
+
+    /**
+     * Build the flat head directory: one sorted (head, offset, count)
+     * table over a single contiguous index array, replacing per-head
+     * hash probes with a binary search over 12 B rows. Called once per
+     * seed, right after warm-start installation; inserts afterwards
+     * mark the directory stale and entriesOf() falls back to the map
+     * until the next flatten().
+     */
+    void flatten();
+
+    /** True when the flat directory reflects every entry. */
+    bool flatCurrent() const { return flatCurrent_; }
 
     std::size_t size() const { return entries_.size(); }
 
@@ -96,10 +108,24 @@ class HubIndex
     static constexpr unsigned kEntryBytes = 32;
 
   private:
+    struct FlatHead
+    {
+        VertexId head;
+        std::uint32_t offset; ///< into flatEntries_
+        std::uint32_t count;
+    };
+    static constexpr VertexId kNoHead = 0xffffffffu;
+
     std::vector<HubEntry> entries_;
     std::unordered_map<std::uint64_t, std::uint32_t> lookup_;
     std::unordered_map<VertexId, std::vector<std::uint32_t>> byHead_;
-    std::vector<std::uint32_t> emptyList_;
+    /** Open-addressing directory, power-of-two sized at <= 50% load:
+     * one or two probes beat both a tree walk and the byHead_ map's
+     * pointer chase on the hot entriesOf() path. */
+    std::vector<FlatHead> flatSlots_;
+    std::uint32_t flatMask_ = 0;
+    std::vector<std::uint32_t> flatEntries_;   ///< grouped by head
+    bool flatCurrent_ = false;
     Addr entriesBase_ = 0;
     Addr hashBase_ = 0;
     std::size_t hashBuckets_ = 0;

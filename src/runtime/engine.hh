@@ -68,6 +68,10 @@ struct EngineOptions
     unsigned fifoCapacity = 64;
     bool hubIndexEnabled = true;
 
+    /** Host threads for the native parallel engine (0 = one per
+     * hardware thread, capped at 16). Ignored by simulated engines. */
+    unsigned hostThreads = 0;
+
     /* Hub-index warm start (both ignored by non-DepGraph engines).
      * hubSeed: pre-fit dependencies to install as Available entries
      * when their path survives verbatim in this run's decomposition.

@@ -1,0 +1,839 @@
+#include "runtime/parallel_engine.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.hh"
+#include "depgraph/chain_walk.hh"
+#include "graph/core_paths.hh"
+#include "graph/hub.hh"
+#include "graph/partition.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
+#include "runtime/selective.hh"
+#include "runtime/worksteal.hh"
+
+namespace depgraph::runtime
+{
+
+namespace dep = ::depgraph::dep;
+
+namespace
+{
+
+constexpr unsigned kMaxThreads = 16;
+
+/** Canonicalize -0.0 to +0.0 so equal fixpoints are bit-identical
+ * regardless of which contribution reached a vertex first (IEEE min/max
+ * of +-0.0 is order-dependent; this is the only value-level tie a
+ * min/max race can produce). */
+inline Value
+canon(Value x)
+{
+    return x == 0.0 ? 0.0 : x;
+}
+
+/** Shared atomic bitmap; words cleared in parallel by word ranges
+ * (vertex-range splits would race on boundary words). */
+struct AtomicBitmap
+{
+    std::vector<std::atomic<std::uint64_t>> words;
+
+    explicit AtomicBitmap(std::size_t bits)
+        : words((bits + 63) / 64)
+    {}
+
+    /** True when this call set the bit (it was clear). */
+    bool
+    trySet(VertexId v)
+    {
+        const auto mask = std::uint64_t{1} << (v & 63u);
+        return (words[v >> 6].fetch_or(mask) & mask) == 0;
+    }
+
+    bool
+    test(VertexId v) const
+    {
+        const auto mask = std::uint64_t{1} << (v & 63u);
+        return (words[v >> 6].load() & mask) != 0;
+    }
+
+    void
+    clearWordRange(std::size_t b, std::size_t e)
+    {
+        for (std::size_t i = b; i < e; ++i)
+            words[i].store(0, std::memory_order_relaxed);
+    }
+};
+
+/* Chunk descriptors: owner worker in the top byte, [begin, end) indices
+ * into that worker's rootVec below. Owners append requeued roots past
+ * the seeded prefix; capacity is reserved up front so thieves can read
+ * through a stable pointer. */
+constexpr std::uint64_t kIdxMask = (std::uint64_t{1} << 28) - 1;
+
+inline std::uint64_t
+packChunk(unsigned owner, std::uint32_t b, std::uint32_t e)
+{
+    return (static_cast<std::uint64_t>(owner) << 56)
+        | (static_cast<std::uint64_t>(b) << 28) | e;
+}
+
+/** One direct-dependency entry of the native hub table, guarded by a
+ * seqlock (see docs/PARALLEL.md for the ordering contract). All fields
+ * are atomics so the tsan job sees every happens-before edge; seq_cst
+ * keeps the protocol obviously correct, and entry traffic (shortcut
+ * firings + tail observations) is far off the per-edge hot path. */
+struct alignas(64) NativeEntry
+{
+    std::atomic<std::uint32_t> seq{0}; ///< even = stable, odd = writing
+    std::atomic<std::uint8_t> flag{
+        static_cast<std::uint8_t>(dep::EntryFlag::N)};
+    std::atomic<Value> mu{0.0};
+    std::atomic<Value> xi{0.0};
+    std::atomic<Value> cap{kInfinity};
+    std::atomic<Value> sampleIn{0.0};
+    std::atomic<Value> sampleOut{0.0};
+};
+
+/** Plain mirror the shared ddmuFitStep state machine operates on. */
+struct ShimEntry
+{
+    dep::EntryFlag flag;
+    gas::LinearFunc func;
+    Value sampleIn;
+    Value sampleOut;
+};
+
+/** Seqlock read of an Available entry's function; nullopt on a miss or
+ * when racing a writer (the caller just skips the shortcut -- losing
+ * one firing costs a round of latency, never correctness). */
+inline std::optional<gas::LinearFunc>
+loadAvailable(const NativeEntry &en)
+{
+    const auto s1 = en.seq.load();
+    if (s1 & 1u)
+        return std::nullopt;
+    if (static_cast<dep::EntryFlag>(en.flag.load())
+        != dep::EntryFlag::A)
+        return std::nullopt;
+    gas::LinearFunc f{en.mu.load(), en.xi.load(), en.cap.load()};
+    if (en.seq.load() != s1)
+        return std::nullopt;
+    return f;
+}
+
+enum class ObserveResult
+{
+    Busy,    ///< another writer held the seqlock; sample dropped
+    Settled, ///< entry already Available
+    Sampled,
+    Promoted,
+};
+
+/** Single-writer fitting step: take the seqlock, run the shared
+ * N -> I -> A machine on a plain copy, publish. A lost CAS just drops
+ * the sample -- observations are plentiful. */
+inline ObserveResult
+observeNative(NativeEntry &en, Value in, Value out,
+              const gas::LinearFunc &composed, dep::FitMode mode)
+{
+    auto s = en.seq.load();
+    if (s & 1u)
+        return ObserveResult::Busy;
+    if (static_cast<dep::EntryFlag>(en.flag.load())
+        == dep::EntryFlag::A)
+        return ObserveResult::Settled;
+    if (!en.seq.compare_exchange_strong(s, s + 1))
+        return ObserveResult::Busy;
+
+    ShimEntry shim{static_cast<dep::EntryFlag>(en.flag.load()),
+                   {en.mu.load(), en.xi.load(), en.cap.load()},
+                   en.sampleIn.load(), en.sampleOut.load()};
+    const auto outcome = dep::ddmuFitStep(shim, in, out, composed,
+                                          mode);
+    en.flag.store(static_cast<std::uint8_t>(shim.flag));
+    en.mu.store(shim.func.mu);
+    en.xi.store(shim.func.xi);
+    en.cap.store(shim.func.cap);
+    en.sampleIn.store(shim.sampleIn);
+    en.sampleOut.store(shim.sampleOut);
+    en.seq.store(s + 2);
+
+    switch (outcome) {
+      case dep::FitOutcome::Promoted:
+        return ObserveResult::Promoted;
+      case dep::FitOutcome::Sampled:
+        return ObserveResult::Sampled;
+      case dep::FitOutcome::Kept:
+        return ObserveResult::Settled;
+    }
+    return ObserveResult::Settled;
+}
+
+/** Per-worker state, cache-line separated. */
+struct alignas(64) WorkerCtx
+{
+    unsigned id = 0;
+    graph::PartitionRange range;
+    WorkStealDeque deque;
+
+    std::vector<VertexId> rootVec; ///< seeded + requeued roots
+    const VertexId *rootPtr = nullptr;
+    std::vector<Value> shadow;      ///< sum: cross-partition deposits
+    std::vector<VertexId> touched;  ///< shadow slots possibly != ident
+    std::vector<dep::WalkFrame> stack;
+    std::vector<VertexId> actives;  ///< seeding scratch (unfiltered)
+    Value absSum = 0.0;
+
+    std::uint64_t updates = 0, edgeOps = 0, walks = 0;
+    std::uint64_t steals = 0, idleWaits = 0, shadowMerged = 0;
+    std::uint64_t hubLookups = 0, hubHits = 0, shortcuts = 0;
+    std::uint64_t ddmuObs = 0, inserts = 0;
+
+    WorkerCtx(unsigned w, graph::PartitionRange r, VertexId n,
+              unsigned chunk, bool is_sum, unsigned stack_depth)
+        : id(w), range(r),
+          deque((r.size() + chunk - 1) / std::max(1u, chunk) + n + 2)
+    {
+        rootVec.reserve(static_cast<std::size_t>(r.size()) + n);
+        rootPtr = rootVec.data();
+        if (is_sum) {
+            shadow.assign(n, 0.0);
+            touched.reserve(n);
+        }
+        stack.reserve(stack_depth + 1);
+        actives.reserve(r.size());
+    }
+};
+
+/** Round-global state; plain fields are written by worker 0 between
+ * barrier phases only. */
+struct SharedRound
+{
+    std::atomic<std::int64_t> outstanding{0};
+    Value gate = 0.0;
+    std::size_t activeTotal = 0;
+    bool done = false;
+    bool converged = false;
+    unsigned roundsRun = 0;
+};
+
+/**
+ * The native implementation of the chain_walk.hh Policy contract: no
+ * cycle charging; deliveries go through atomics and per-worker shadow
+ * buffers instead of simulated queues.
+ */
+struct NativePolicy
+{
+    const graph::Graph &g;
+    gas::Algorithm &alg;
+    const graph::Partitioning &part;
+    const graph::CoreSubgraph &cs;
+    const std::unordered_map<EdgeId, std::uint32_t> &pathOfFirst;
+    std::vector<NativeEntry> &entries;
+    std::vector<std::atomic<Value>> &state;
+    std::vector<std::atomic<Value>> &delta;
+    AtomicBitmap &claimed;
+    AtomicBitmap &queued;
+    SharedRound &S;
+    WorkerCtx &me;
+    const gas::AccumKind kind;
+    const Value ident;
+    const bool sum;
+    const bool hubOn;
+    const dep::FitMode fit;
+
+    Value gate = 0.0;     ///< copied from SharedRound each round
+    unsigned curPart = 0; ///< partition of the root being walked
+
+    bool hubEnabled() const { return hubOn; }
+    bool isSum() const { return sum; }
+
+    /* Apply a claimed vertex's pending delta. Only the claim winner
+     * reaches here, so the state store cannot race another store; the
+     * delta exchange is an RMW, so concurrent accumulators never lose
+     * a contribution (anything landing after the exchange waits in the
+     * slot for the next round). */
+    Value
+    applyVertex(VertexId v)
+    {
+        const Value d = canon(delta[v].exchange(ident));
+        state[v].store(
+            canon(gas::applyAccum(kind, state[v].load(), d)));
+        ++me.updates;
+        return d;
+    }
+
+    Value enterRoot(VertexId v, bool) { return applyVertex(v); }
+    Value enterVertex(VertexId v) { return applyVertex(v); }
+
+    void chargeEdge(VertexId, EdgeId, VertexId) { ++me.edgeOps; }
+
+    Value
+    influence(VertexId src, EdgeId e, Value d)
+    {
+        return alg.edgeCompute(g, src, e, d);
+    }
+
+    gas::LinearFunc
+    edgeFunc(VertexId src, EdgeId e)
+    {
+        return alg.edgeFunc(g, src, e);
+    }
+
+    std::uint32_t
+    pathOfFirstEdge(EdgeId e) const
+    {
+        const auto it = pathOfFirst.find(e);
+        return it == pathOfFirst.end() ? dep::WalkTrack::kNone
+                                       : it->second;
+    }
+
+    /* Cross-partition sum deposit: plain write into this worker's own
+     * shadow, merged by the range owner at the barrier. */
+    void
+    bankShadow(VertexId t, Value inf)
+    {
+        Value &sh = me.shadow[t];
+        if (sh == 0.0)
+            me.touched.push_back(t);
+        sh += inf;
+    }
+
+    Value
+    addDelta(VertexId t, Value inf)
+    {
+        auto &slot = delta[t];
+        Value cur = slot.load();
+        Value next;
+        do {
+            next = canon(cur + inf);
+        } while (!slot.compare_exchange_weak(cur, next));
+        return next;
+    }
+
+    /* Strict-improvement CAS for min/max: store only when the merge
+     * changes the value, canonicalized. Convergence is to the unique
+     * exact fixpoint, so the result is interleaving-independent. */
+    Value
+    improveDelta(VertexId t, Value inf)
+    {
+        auto &slot = delta[t];
+        const Value c = canon(inf);
+        Value cur = slot.load();
+        for (;;) {
+            const Value merged = canon(gas::applyAccum(kind, cur, c));
+            if (merged == cur)
+                return cur;
+            if (slot.compare_exchange_weak(cur, merged))
+                return merged;
+        }
+    }
+
+    /* Requeue t as a fresh root on this worker's own deque (at most
+     * once per vertex per round; the bound sizes rootVec/deque). The
+     * outstanding increment precedes the push so no worker can observe
+     * a transient zero while the chunk is in flight. */
+    void
+    requeue(VertexId t)
+    {
+        if (!queued.trySet(t))
+            return;
+        S.outstanding.fetch_add(1);
+        dg_assert(me.rootVec.size() < me.rootVec.capacity(),
+                  "parallel rootVec reserve bug");
+        const auto idx = static_cast<std::uint32_t>(me.rootVec.size());
+        me.rootVec.push_back(t);
+        const bool ok = me.deque.push(packChunk(me.id, idx, idx + 1));
+        dg_assert(ok, "parallel work deque overflow");
+    }
+
+    /* Pure chain influence by folding per-edge EdgeCompute along the
+     * path -- bit-identical to what the walk itself would deliver
+     * (mu*d + xi evaluation rounds differently, which would make
+     * min/max fixpoints depend on whether a shortcut fired). */
+    Value
+    foldPath(const graph::CorePath &cp, Value d) const
+    {
+        Value x = d;
+        for (std::size_t k = 0; k < cp.edges.size(); ++k)
+            x = alg.edgeCompute(g, cp.vertices[k], cp.edges[k], x);
+        return x;
+    }
+
+    std::optional<Value>
+    fireShortcut(std::uint32_t pid, const graph::CorePath &cp,
+                 Value d_root)
+    {
+        if (part.ownerOf(cp.tail) == curPart)
+            return std::nullopt; // local tails get the chain anyway
+        ++me.hubLookups;
+        const auto f = loadAvailable(entries[pid]);
+        if (!f)
+            return std::nullopt;
+        ++me.hubHits;
+        ++me.shortcuts;
+        const Value x = sum ? (*f)(d_root) : foldPath(cp, d_root);
+        obs::span::instant("parallel", "shortcut", "tail",
+                           static_cast<std::uint64_t>(cp.tail));
+        const Value after =
+            sum ? addDelta(cp.tail, x) : improveDelta(cp.tail, x);
+        if (worthChasing(kind, state[cp.tail].load(), after, gate))
+            requeue(cp.tail);
+        return x;
+    }
+
+    void
+    observeTail(std::uint32_t pid, const graph::CorePath &,
+                const dep::WalkTrack &tr)
+    {
+        auto &en = entries[pid];
+        const auto prior =
+            static_cast<dep::EntryFlag>(en.flag.load());
+        const auto r = observeNative(en, tr.basisIn, tr.xPure,
+                                     tr.composed, fit);
+        if (r == ObserveResult::Sampled
+            || r == ObserveResult::Promoted) {
+            ++me.ddmuObs;
+            if (prior == dep::EntryFlag::N)
+                ++me.inserts;
+        }
+    }
+
+    /* Fictitious edge / early-exit compensation (sum only by
+     * construction): ride the shadow path so the -fired deposit meets
+     * the +fired push at the barrier merge exactly. */
+    void
+    fictitiousReset(VertexId tail, Value fired)
+    {
+        bankShadow(tail, -fired);
+    }
+
+    void
+    cancelShortcut(VertexId tail, Value fired)
+    {
+        bankShadow(tail, -fired);
+    }
+
+    dep::Route
+    routeInfluence(VertexId t, Value inf)
+    {
+        if (part.ownerOf(t) != curPart) {
+            /* Remote: the paper's engine inserts cross-core tails into
+             * the owning core's circular queue so chains keep moving
+             * within the round (Sec. III-B2). Natively that is a push:
+             * deliver and requeue when the influence clears the chase
+             * gate -- otherwise rounds scale with the partition count
+             * and strong scaling dies. Sub-gate influence (the bulk of
+             * a damped sum fan-out) stays atomic-free in this worker's
+             * shadow and merges at the barrier. Min/max CAS is
+             * idempotent, so in-place delivery is always safe. */
+            if (sum) {
+                /* Bank atomic-free, but once THIS worker's private
+                 * accumulation for t clears the gate, flush it into
+                 * the shared delta and requeue -- the stale `touched`
+                 * entry is harmless (the merge skips zero slots). */
+                Value &sh = me.shadow[t];
+                if (sh == 0.0)
+                    me.touched.push_back(t);
+                sh += inf;
+                if (std::abs(sh) >= gate) {
+                    const Value flushed = sh;
+                    sh = 0.0;
+                    const Value after = addDelta(t, flushed);
+                    if (worthChasing(kind, state[t].load(), after,
+                                     gate))
+                        requeue(t);
+                }
+            } else {
+                const Value after = improveDelta(t, inf);
+                if (worthChasing(kind, state[t].load(), after, gate))
+                    requeue(t);
+            }
+            return dep::Route::Banked;
+        }
+        const Value after =
+            sum ? addDelta(t, inf) : improveDelta(t, inf);
+        if (!worthChasing(kind, state[t].load(), after, gate))
+            return dep::Route::Banked;
+        if (cs.isHubOrCore(t)) {
+            requeue(t); // H'' cut: t restarts as its own root
+            return dep::Route::Banked;
+        }
+        if (claimed.test(t))
+            return dep::Route::Banked; // applied this round already
+        return dep::Route::Descend;
+    }
+
+    bool markDescended(VertexId t) { return claimed.trySet(t); }
+
+    void overflowRoot(VertexId t) { requeue(t); }
+
+    /** Round-loop body for one root (the executor round loop's gate
+     * checks, then the shared walk). The claim happens before the walk
+     * because enterRoot cannot abort it. */
+    void
+    workRoot(VertexId v, unsigned stack_depth)
+    {
+        curPart = part.ownerOf(v);
+        const Value d = delta[v].load();
+        if (d == ident || claimed.test(v)
+            || !clearsGate(kind, state[v].load(), d, gate))
+            return;
+        if (!claimed.trySet(v))
+            return;
+        ++me.walks;
+        dep::walkChain(g, cs, stack_depth, v, me.stack, *this);
+    }
+};
+
+} // namespace
+
+unsigned
+resolveHostThreads(unsigned requested)
+{
+    unsigned t =
+        requested ? requested : std::thread::hardware_concurrency();
+    if (t == 0)
+        t = 1;
+    return std::min(t, kMaxThreads);
+}
+
+ParallelEngine::ParallelEngine(EngineOptions opt)
+    : opt_(opt)
+{}
+
+std::string
+ParallelEngine::name() const
+{
+    return "Parallel";
+}
+
+RunResult
+ParallelEngine::run(const graph::Graph &g, gas::Algorithm &alg,
+                    sim::Machine &)
+{
+    alg.prepare(g);
+
+    const VertexId n = g.numVertices();
+    const auto kind = alg.accumKind();
+    const Value ident = alg.identity();
+    const Value eps = alg.epsilon();
+    const bool is_sum = kind == gas::AccumKind::Sum;
+
+    unsigned T = resolveHostThreads(opt_.hostThreads);
+    if (n > 0)
+        T = std::min<unsigned>(T, n);
+    else
+        T = 1;
+    const unsigned chunk = std::max(1u, opt_.chunkSize);
+
+    const graph::Partitioning part(g, T);
+    const bool hub_on = opt_.hubIndexEnabled && alg.transformable();
+    const graph::HubSet hubs(g, opt_.hub);
+    const graph::CoreSubgraph cs(g, hubs, 4 * opt_.stackDepth, &part);
+    const auto path_of_first = dep::indexablePaths(cs, part, kind);
+    const dep::FitMode fit = is_sum ? dep::FitMode::TwoPoint
+                                    : dep::FitMode::Compose;
+    dg_assert(static_cast<std::uint64_t>(n)
+                      + part.range(0).size() < kIdxMask,
+              "graph too large for packed chunk descriptors");
+
+    std::vector<NativeEntry> entries(cs.paths().size());
+    std::uint64_t seeded = 0;
+    if (hub_on && opt_.hubSeed && !opt_.hubSeed->empty()) {
+        dep::forEachSurvivingSeed(
+            cs, path_of_first, *opt_.hubSeed,
+            [&](std::uint32_t pid, const HubDependency &d) {
+                auto &en = entries[pid];
+                en.mu.store(d.func.mu);
+                en.xi.store(d.func.xi);
+                en.cap.store(d.func.cap);
+                en.flag.store(
+                    static_cast<std::uint8_t>(dep::EntryFlag::A));
+                ++seeded;
+            });
+    }
+
+    std::vector<std::atomic<Value>> state(n), delta(n);
+    for (VertexId v = 0; v < n; ++v) {
+        state[v].store(canon(alg.initState(g, v)),
+                       std::memory_order_relaxed);
+        delta[v].store(canon(alg.initDelta(g, v)),
+                       std::memory_order_relaxed);
+    }
+
+    AtomicBitmap claimed(n), queued(n);
+    SharedRound S;
+    std::barrier<> bar(static_cast<std::ptrdiff_t>(T));
+
+    std::vector<std::unique_ptr<WorkerCtx>> ctxs;
+    ctxs.reserve(T);
+    for (unsigned w = 0; w < T; ++w)
+        ctxs.push_back(std::make_unique<WorkerCtx>(
+            w, part.range(w), n, chunk, is_sum, opt_.stackDepth));
+
+    auto &reg = obs::registry();
+    const obs::Labels labels{{"engine", "Parallel"}};
+    auto &c_walks = reg.counter("dg_engine_chain_walks_total",
+                                "HDTL chain walks (root traversals)",
+                                labels);
+    auto &c_shortcuts = reg.counter("dg_engine_shortcuts_total",
+                                    "Hub-index shortcut firings",
+                                    labels);
+    auto &c_ddmu = reg.counter("dg_engine_ddmu_observations_total",
+                               "DDMU dependency-fit observations",
+                               labels);
+    auto &c_rounds = reg.counter("dg_engine_rounds_total",
+                                 "Engine rounds executed", labels);
+    auto &c_steals = reg.counter("dg_parallel_steals_total",
+                                 "Chunks stolen between workers",
+                                 labels);
+    auto &c_waits = reg.counter(
+        "dg_parallel_barrier_waits_total",
+        "Idle waits (no local, stealable or pending work)", labels);
+    auto &c_merge = reg.counter(
+        "dg_parallel_shadow_merge_values_total",
+        "Shadow delta values merged at round barriers", labels);
+
+    const auto wordShare = [&](unsigned w) {
+        const std::size_t words = claimed.words.size();
+        return std::pair<std::size_t, std::size_t>{
+            words * w / T, words * (w + 1) / T};
+    };
+
+    auto workerLoop = [&](unsigned w) {
+        auto &me = *ctxs[w];
+        NativePolicy pol{g,       alg,     part,  cs,
+                         path_of_first,    entries, state, delta,
+                         claimed, queued,  S,     me,
+                         kind,    ident,   is_sum, hub_on, fit};
+
+        for (unsigned round = 0;; ++round) {
+            obs::span::Scoped roundSpan("parallel", "worker_round",
+                                        "worker", me.id);
+
+            /* Merge + clear + scan (own range / own word share). */
+            if (is_sum && round > 0) {
+                for (unsigned j = 0; j < T; ++j) {
+                    auto &cj = *ctxs[j];
+                    for (const VertexId v : cj.touched) {
+                        if (!me.range.contains(v))
+                            continue;
+                        Value &sh = cj.shadow[v];
+                        if (sh == 0.0)
+                            continue; // consumed dup / exact cancel
+                        pol.addDelta(v, sh);
+                        sh = 0.0;
+                        ++me.shadowMerged;
+                    }
+                }
+            }
+            const auto [wb, we] = wordShare(w);
+            claimed.clearWordRange(wb, we);
+            queued.clearWordRange(wb, we);
+            me.actives.clear();
+            me.absSum = 0.0;
+            for (VertexId v = me.range.begin; v < me.range.end; ++v) {
+                const Value d = delta[v].load();
+                if (d != ident
+                    && gas::wouldChange(kind, state[v].load(), d,
+                                        eps)) {
+                    me.actives.push_back(v);
+                    me.absSum += std::abs(d);
+                }
+            }
+            bar.arrive_and_wait();
+
+            /* Reduce: the round gate needs the global active set. */
+            if (me.id == 0) {
+                std::size_t total = 0;
+                Value abs_sum = 0.0;
+                for (unsigned j = 0; j < T; ++j) {
+                    total += ctxs[j]->actives.size();
+                    abs_sum += ctxs[j]->absSum;
+                }
+                S.activeTotal = total;
+                S.gate = (is_sum && total)
+                    ? std::max(eps, kSelectFactor * abs_sum
+                                   / static_cast<Value>(total))
+                    : eps;
+                S.converged = total == 0;
+                S.done = total == 0 || round >= opt_.maxRounds;
+                S.roundsRun = round;
+            }
+            bar.arrive_and_wait();
+            if (S.done)
+                break;
+            pol.gate = S.gate;
+
+            /* Seed own deque, most-impactful-first; reversed pushes
+             * let the owner pop the top-priority chunk while thieves
+             * steal from the tail end. */
+            me.touched.clear();
+            me.deque.reset();
+            me.rootVec.clear();
+            for (const VertexId v : me.actives) {
+                if (clearsGate(kind, state[v].load(), delta[v].load(),
+                               S.gate))
+                    me.rootVec.push_back(v);
+            }
+            std::stable_sort(
+                me.rootVec.begin(), me.rootVec.end(),
+                [&](VertexId a, VertexId b) {
+                    const Value da = delta[a].load();
+                    const Value db = delta[b].load();
+                    switch (kind) {
+                      case gas::AccumKind::Sum:
+                        return std::abs(da) > std::abs(db);
+                      case gas::AccumKind::Min:
+                        return da < db;
+                      case gas::AccumKind::Max:
+                        return da > db;
+                    }
+                    return false;
+                });
+            for (const VertexId v : me.rootVec)
+                queued.trySet(v);
+            const auto m =
+                static_cast<std::uint32_t>(me.rootVec.size());
+            const std::uint32_t nch = (m + chunk - 1) / chunk;
+            S.outstanding.fetch_add(nch);
+            for (std::uint32_t c = nch; c > 0; --c) {
+                const std::uint32_t b = (c - 1) * chunk;
+                const bool ok = me.deque.push(
+                    packChunk(w, b, std::min(m, b + chunk)));
+                dg_assert(ok, "parallel seed deque overflow");
+            }
+            bar.arrive_and_wait();
+
+            /* Work until the round is globally drained. */
+            const auto processChunk = [&](std::uint64_t desc) {
+                const auto owner =
+                    static_cast<unsigned>(desc >> 56);
+                const auto b = static_cast<std::uint32_t>(
+                    (desc >> 28) & kIdxMask);
+                const auto e =
+                    static_cast<std::uint32_t>(desc & kIdxMask);
+                const VertexId *roots = ctxs[owner]->rootPtr;
+                for (std::uint32_t i = b; i < e; ++i)
+                    pol.workRoot(roots[i], opt_.stackDepth);
+                S.outstanding.fetch_sub(1);
+            };
+            for (;;) {
+                if (const auto d = me.deque.pop()) {
+                    processChunk(*d);
+                    continue;
+                }
+                bool stole = false;
+                for (unsigned k = 1; k < T; ++k) {
+                    const unsigned vic = (w + k) % T;
+                    if (const auto d = ctxs[vic]->deque.steal()) {
+                        ++me.steals;
+                        obs::span::instant("parallel", "steal",
+                                           "victim", vic);
+                        processChunk(*d);
+                        stole = true;
+                        break;
+                    }
+                }
+                if (stole)
+                    continue;
+                if (S.outstanding.load() == 0)
+                    break;
+                ++me.idleWaits;
+                std::this_thread::yield();
+            }
+        }
+    };
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(T - 1);
+    for (unsigned w = 1; w < T; ++w)
+        threads.emplace_back(workerLoop, w);
+    workerLoop(0);
+    for (auto &t : threads)
+        t.join();
+    const auto t1 = std::chrono::steady_clock::now();
+
+    RunResult result;
+    auto &mx = result.metrics;
+    mx.coresUsed = T;
+    mx.rounds = S.roundsRun;
+    mx.converged = S.converged;
+    mx.makespan = static_cast<Cycles>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count());
+    if (!mx.converged)
+        dg_warn("Parallel hit the round limit before converging");
+
+    std::uint64_t walks = 0, steals = 0, waits = 0, merged = 0;
+    std::uint64_t shortcuts = 0, ddmu_obs = 0;
+    for (const auto &c : ctxs) {
+        mx.updates += c->updates;
+        mx.edgeOps += c->edgeOps;
+        mx.hubIndexLookups += c->hubLookups;
+        mx.hubIndexHits += c->hubHits;
+        mx.hubIndexInserts += c->inserts;
+        mx.shortcutsApplied += c->shortcuts;
+        walks += c->walks;
+        steals += c->steals;
+        waits += c->idleWaits;
+        merged += c->shadowMerged;
+        shortcuts += c->shortcuts;
+        ddmu_obs += c->ddmuObs;
+    }
+    mx.hubIndexSeeded = seeded;
+    mx.hubIndexBytes = path_of_first.size() * 32; // paper entry layout
+    c_walks.inc(walks);
+    c_shortcuts.inc(shortcuts);
+    c_ddmu.inc(ddmu_obs);
+    c_rounds.inc(mx.rounds);
+    c_steals.inc(steals);
+    c_waits.inc(waits);
+    c_merge.inc(merged);
+
+    if (opt_.hubExport) {
+        opt_.hubExport->deps.clear();
+        std::vector<std::uint32_t> pids;
+        pids.reserve(path_of_first.size());
+        for (const auto &[e, pid] : path_of_first) {
+            static_cast<void>(e);
+            pids.push_back(pid);
+        }
+        std::sort(pids.begin(), pids.end());
+        for (const auto pid : pids) {
+            const auto &en = entries[pid];
+            if (static_cast<dep::EntryFlag>(en.flag.load())
+                != dep::EntryFlag::A)
+                continue;
+            const auto &p = cs.paths()[pid];
+            opt_.hubExport->deps.push_back(
+                {p.head, p.tail, p.vertices,
+                 {en.mu.load(), en.xi.load(), en.cap.load()}});
+        }
+    }
+
+    result.states.resize(n);
+    for (VertexId v = 0; v < n; ++v)
+        result.states[v] = state[v].load(std::memory_order_relaxed);
+    return result;
+}
+
+EnginePtr
+makeParallel(EngineOptions opt)
+{
+    return std::make_unique<ParallelEngine>(opt);
+}
+
+} // namespace depgraph::runtime

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Native multi-threaded execution of the dependency-driven model.
+ *
+ * ParallelEngine runs the same HDTL chain-walking + hub-index model as
+ * the cycle-accurate DepGraph executor -- the inner loops are literally
+ * shared via depgraph/chain_walk.hh -- but on real host threads instead
+ * of the simulated machine: vertices are range-partitioned across
+ * workers, each worker owns a work-stealing deque of chain-root chunks,
+ * and rounds are separated by a std::barrier. See docs/PARALLEL.md for
+ * the execution model, the seqlock memory-ordering contract of the
+ * native hub table, and how its staleness semantics relate to the
+ * cycle model.
+ *
+ * The engine reports wall-clock nanoseconds in RunMetrics::makespan
+ * (not simulated cycles) and leaves the cache/energy models untouched;
+ * it exists for serving-layer throughput, not for the paper's
+ * architecture tables, which is why it is deliberately absent from
+ * core_api::allSolutions().
+ */
+
+#ifndef DEPGRAPH_RUNTIME_PARALLEL_ENGINE_HH
+#define DEPGRAPH_RUNTIME_PARALLEL_ENGINE_HH
+
+#include "runtime/engine.hh"
+
+namespace depgraph::runtime
+{
+
+/** Worker-thread count an EngineOptions resolves to: hostThreads when
+ * set, else hardware concurrency, capped at 16. */
+unsigned resolveHostThreads(unsigned requested);
+
+class ParallelEngine : public Engine
+{
+  public:
+    explicit ParallelEngine(EngineOptions opt = {});
+
+    std::string name() const override;
+
+    /** The machine is only a bystander here: native runs never touch
+     * its caches, stats or energy model. */
+    RunResult run(const graph::Graph &g, gas::Algorithm &alg,
+                  sim::Machine &m) override;
+
+  private:
+    EngineOptions opt_;
+};
+
+EnginePtr makeParallel(EngineOptions opt = {});
+
+} // namespace depgraph::runtime
+
+#endif // DEPGRAPH_RUNTIME_PARALLEL_ENGINE_HH

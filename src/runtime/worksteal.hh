@@ -1,0 +1,120 @@
+/**
+ * @file
+ * A Chase-Lev work-stealing deque over 64-bit work descriptors.
+ *
+ * Single owner pushes and pops at the bottom (LIFO); any number of
+ * thieves steal at the top (FIFO), so thieves drain the oldest --
+ * lowest-priority -- work while the owner keeps locality on what it
+ * queued last. The native parallel engine stores packed chunk
+ * descriptors (see parallel_engine.cc) and sizes each deque for the
+ * worst case up front, so the buffer never grows mid-round.
+ *
+ * Memory ordering: every shared access is a seq_cst atomic operation.
+ * The classic formulation saves a few fences with acquire/release plus
+ * standalone fences, but standalone fences are invisible to
+ * ThreadSanitizer -- the tsan CI job would flag false races inside the
+ * deque and, worse, stop tracking the happens-before edges real bugs
+ * hide behind. Steals are rare (they happen when a worker is otherwise
+ * idle), so the seq_cst premium is noise.
+ */
+
+#ifndef DEPGRAPH_RUNTIME_WORKSTEAL_HH
+#define DEPGRAPH_RUNTIME_WORKSTEAL_HH
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace depgraph::runtime
+{
+
+class WorkStealDeque
+{
+  public:
+    /** Capacity is rounded up to a power of two and is a hard limit:
+     * the engine pre-sizes for seeded chunks + one requeue per vertex,
+     * so overflow indicates a sizing bug, not load. */
+    explicit WorkStealDeque(std::size_t min_capacity = 256)
+    {
+        std::size_t cap = 16;
+        while (cap < min_capacity)
+            cap <<= 1;
+        mask_ = cap - 1;
+        slots_ = std::vector<std::atomic<std::uint64_t>>(cap);
+    }
+
+    /** Owner only. */
+    bool
+    push(std::uint64_t item)
+    {
+        const std::int64_t b = bottom_.load();
+        const std::int64_t t = top_.load();
+        if (b - t >= static_cast<std::int64_t>(mask_ + 1))
+            return false; // full (engine sizes this away)
+        slots_[static_cast<std::size_t>(b) & mask_].store(item);
+        bottom_.store(b + 1);
+        return true;
+    }
+
+    /** Owner only: take the most recently pushed item. */
+    std::optional<std::uint64_t>
+    pop()
+    {
+        const std::int64_t b = bottom_.load() - 1;
+        bottom_.store(b);
+        std::int64_t t = top_.load();
+        if (t < b)
+            return slots_[static_cast<std::size_t>(b) & mask_].load();
+        if (t == b) {
+            /* Last item: race the thieves for it via top. */
+            std::optional<std::uint64_t> item =
+                slots_[static_cast<std::size_t>(b) & mask_].load();
+            if (!top_.compare_exchange_strong(t, t + 1))
+                item.reset(); // a thief got there first
+            bottom_.store(b + 1);
+            return item;
+        }
+        bottom_.store(b + 1); // empty
+        return std::nullopt;
+    }
+
+    /** Any thread: take the oldest item. Returns nullopt when empty or
+     * when the CAS loses a race (callers just move on to the next
+     * victim, so one attempt is enough). */
+    std::optional<std::uint64_t>
+    steal()
+    {
+        std::int64_t t = top_.load();
+        const std::int64_t b = bottom_.load();
+        if (t >= b)
+            return std::nullopt;
+        const std::uint64_t item =
+            slots_[static_cast<std::size_t>(t) & mask_].load();
+        if (!top_.compare_exchange_strong(t, t + 1))
+            return std::nullopt;
+        return item;
+    }
+
+    /** Owner only, between rounds (no concurrent thieves). */
+    void
+    reset()
+    {
+        bottom_.store(0);
+        top_.store(0);
+    }
+
+    std::size_t capacity() const { return mask_ + 1; }
+
+  private:
+    alignas(64) std::atomic<std::int64_t> bottom_{0};
+    alignas(64) std::atomic<std::int64_t> top_{0};
+    std::vector<std::atomic<std::uint64_t>> slots_;
+    std::size_t mask_ = 0;
+};
+
+} // namespace depgraph::runtime
+
+#endif // DEPGRAPH_RUNTIME_WORKSTEAL_HH

@@ -130,7 +130,11 @@ doQuery(GraphService &svc, const std::vector<std::string> &t)
     if (t.size() > 3) {
         // Accept any paper solution name; bad names must not kill the
         // server, so scan instead of calling solutionFromName().
-        bool found = false;
+        // Parallel is not in allSolutions() (wall-clock engine, kept
+        // out of the paper sweeps) but is a valid serving target.
+        bool found = t[3] == solutionName(Solution::Parallel);
+        if (found)
+            spec.solution = Solution::Parallel;
         for (auto s : allSolutions()) {
             if (t[3] == solutionName(s)) {
                 spec.solution = s;

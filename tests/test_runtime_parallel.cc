@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Native parallel engine: equivalence, determinism, churn resume, and
+ * serving-layer shutdown.
+ *
+ * The equivalence and determinism suites pin the convergence threshold
+ * to (near) zero through a forwarding wrapper: with eps = 0 a min/max
+ * run terminates at the unique exact closure -- every candidate value
+ * is an identical edge-by-edge fold in every engine, so the parallel
+ * fixpoint must EQUAL the sequential one regardless of thread
+ * interleaving, and repeated parallel runs must be bitwise identical.
+ * With the default eps, sub-threshold improvements may or may not be
+ * applied depending on arrival order, which is tolerance-level noise,
+ * not a bug; tightening eps removes that freedom and turns the tests
+ * into exact oracles.
+ *
+ * Registered with ctest labels `parallel;tsan`: the whole binary is a
+ * ThreadSanitizer target (workers, seqlock hub entries, work-stealing
+ * deques).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "common/random.hh"
+#include "core/depgraph_system.hh"
+#include "gas/incremental.hh"
+#include "gas/reference.hh"
+#include "graph/generators.hh"
+#include "service/service.hh"
+
+namespace depgraph
+{
+namespace
+{
+
+using graph::Graph;
+
+/** Forwarding wrapper that only overrides the convergence epsilon. */
+class TightEps : public gas::Algorithm
+{
+  public:
+    TightEps(gas::Algorithm &inner, Value eps)
+        : inner_(inner), eps_(eps)
+    {}
+
+    std::string name() const override
+    {
+        return inner_.name() + "+tight";
+    }
+    gas::AccumKind accumKind() const override
+    {
+        return inner_.accumKind();
+    }
+    Value accumOp(Value a, Value b) const override
+    {
+        return inner_.accumOp(a, b);
+    }
+    gas::LinearFunc
+    edgeFunc(const Graph &g, VertexId src, EdgeId e) const override
+    {
+        return inner_.edgeFunc(g, src, e);
+    }
+    Value
+    edgeCompute(const Graph &g, VertexId src, EdgeId e,
+                Value delta) const override
+    {
+        return inner_.edgeCompute(g, src, e, delta);
+    }
+    void prepare(const Graph &g) override { inner_.prepare(g); }
+    Value initState(const Graph &g, VertexId v) const override
+    {
+        return inner_.initState(g, v);
+    }
+    Value initDelta(const Graph &g, VertexId v) const override
+    {
+        return inner_.initDelta(g, v);
+    }
+    Value epsilon() const override { return eps_; }
+    bool transformable() const override
+    {
+        return inner_.transformable();
+    }
+
+  private:
+    gas::Algorithm &inner_;
+    Value eps_;
+};
+
+SystemConfig
+parallelConfig(unsigned threads)
+{
+    SystemConfig cfg;
+    cfg.engine.hostThreads = threads;
+    return cfg;
+}
+
+/* ---- Fixpoint equivalence against the sequential engine. -------- */
+
+class ParallelEquivalence : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(ParallelEquivalence, MatchesSequentialEngine)
+{
+    const Graph g = graph::powerLaw(600, 2.0, 6.0, {.seed = 8100});
+    const auto kind = gas::makeAlgorithm(GetParam())->accumKind();
+    const bool is_sum = kind == gas::AccumKind::Sum;
+    // Sum cannot use eps = 0 (geometric tails never vanish exactly);
+    // 1e-13 leaves the undelivered mass orders below the 1e-9 bar.
+    const Value eps = is_sum ? 1e-13 : 0.0;
+
+    const auto alg_seq = gas::makeAlgorithm(GetParam());
+    TightEps tight_seq(*alg_seq, eps);
+    DepGraphSystem seq(SystemConfig{});
+    const auto r_seq = seq.run(g, tight_seq, Solution::Sequential);
+    ASSERT_TRUE(r_seq.metrics.converged);
+
+    const auto alg_par = gas::makeAlgorithm(GetParam());
+    TightEps tight_par(*alg_par, eps);
+    DepGraphSystem par(parallelConfig(3));
+    const auto r_par = par.run(g, tight_par, Solution::Parallel);
+    ASSERT_TRUE(r_par.metrics.converged);
+
+    ASSERT_EQ(r_par.states.size(), r_seq.states.size());
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        if (is_sum) {
+            const double scale =
+                std::max(1.0, std::abs(r_seq.states[v]));
+            EXPECT_LE(std::abs(r_par.states[v] - r_seq.states[v]),
+                      1e-9 * scale)
+                << GetParam() << " v" << v;
+        } else {
+            // Exact closure: candidate folds are bit-identical in
+            // both engines, so the min/max fixpoint is too.
+            EXPECT_EQ(r_par.states[v], r_seq.states[v])
+                << GetParam() << " v" << v;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(FiveAlgorithms, ParallelEquivalence,
+                         ::testing::Values("pagerank", "adsorption",
+                                           "sssp", "wcc", "sswp"));
+
+/* ---- Scheduling determinism for min/max accumulators. ----------- */
+
+class ParallelDeterminism : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(ParallelDeterminism, BitwiseStableAcrossThreadsAndReps)
+{
+    const Graph g = graph::powerLaw(400, 2.0, 6.0, {.seed = 8200});
+    ASSERT_NE(gas::makeAlgorithm(GetParam())->accumKind(),
+              gas::AccumKind::Sum);
+
+    std::vector<Value> golden;
+    unsigned reps = 0;
+    for (const unsigned threads : {1u, 2u, 3u, 4u}) {
+        for (unsigned rep = 0; rep < 4; ++rep, ++reps) {
+            const auto alg = gas::makeAlgorithm(GetParam());
+            TightEps tight(*alg, 0.0);
+            DepGraphSystem sys(parallelConfig(threads));
+            const auto r = sys.run(g, tight, Solution::Parallel);
+            ASSERT_TRUE(r.metrics.converged);
+            if (golden.empty()) {
+                golden = r.states;
+                continue;
+            }
+            ASSERT_EQ(r.states.size(), golden.size());
+            // Bitwise, not just ==: the engine canonicalizes -0.0 so
+            // the result is one reproducible artifact.
+            EXPECT_EQ(std::memcmp(r.states.data(), golden.data(),
+                                  golden.size() * sizeof(Value)),
+                      0)
+                << GetParam() << " threads=" << threads << " rep="
+                << rep;
+        }
+    }
+    EXPECT_EQ(reps, 16u);
+}
+
+INSTANTIATE_TEST_SUITE_P(MinAndMaxAccums, ParallelDeterminism,
+                         ::testing::Values("sssp", "wcc"));
+
+/* ---- Churn resume vs from-scratch through the parallel path. ---- */
+
+struct Churn
+{
+    std::vector<gas::EdgeInsertion> ins;
+    std::vector<gas::EdgeDeletion> dels;
+};
+
+Churn
+someChurn(const Graph &g, unsigned n_ins, unsigned n_dels,
+          std::uint64_t seed)
+{
+    Rng rng(seed);
+    Churn c;
+    for (unsigned i = 0; i < n_ins; ++i) {
+        const auto s =
+            static_cast<VertexId>(rng.nextBounded(g.numVertices()));
+        auto d =
+            static_cast<VertexId>(rng.nextBounded(g.numVertices()));
+        if (d == s)
+            d = (d + 1) % g.numVertices();
+        c.ins.push_back({s, d, rng.nextDouble(1.0, 5.0)});
+    }
+    for (unsigned i = 0; i < n_dels; ++i) {
+        const auto s =
+            static_cast<VertexId>(rng.nextBounded(g.numVertices()));
+        if (g.outDegree(s) == 0 || rng.nextBounded(8) == 0) {
+            c.dels.push_back(
+                {s, static_cast<VertexId>(
+                        rng.nextBounded(g.numVertices()))});
+            continue;
+        }
+        const EdgeId e = g.edgeBegin(s)
+            + static_cast<EdgeId>(rng.nextBounded(g.outDegree(s)));
+        c.dels.push_back({s, g.target(e)});
+    }
+    return c;
+}
+
+class ParallelChurnResume : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(ParallelChurnResume, TwentyFourSeedsMatchFromScratch)
+{
+    const double tol =
+        gas::makeAlgorithm(GetParam())->accumKind()
+                == gas::AccumKind::Sum
+            ? 1e-3
+            : 1e-9;
+    for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+        const Graph g = graph::powerLaw(250, 2.0, 5.0,
+                                        {.seed = 7000 + seed});
+        const auto churn = someChurn(g, 8, 8, 7100 + seed);
+        const auto updated =
+            gas::applyChurn(g, churn.ins, churn.dels);
+
+        const auto alg_old = gas::makeAlgorithm(GetParam());
+        const auto fix = gas::runReference(g, *alg_old);
+        ASSERT_TRUE(fix.converged) << "seed " << seed;
+
+        const auto alg_gold = gas::makeAlgorithm(GetParam());
+        const auto gold = gas::runReference(updated, *alg_gold);
+        ASSERT_TRUE(gold.converged) << "seed " << seed;
+
+        const auto alg_inc = gas::makeAlgorithm(GetParam());
+        auto states = fix.states;
+        const auto deltas = gas::edgeChurnDeltas(
+            g, updated, churn.ins, churn.dels, states, *alg_inc);
+        gas::ResumeAlgorithm resume(*alg_inc, std::move(states),
+                                    deltas);
+        DepGraphSystem sys(parallelConfig(3));
+        const auto r = sys.run(updated, resume, Solution::Parallel);
+
+        EXPECT_TRUE(r.metrics.converged)
+            << GetParam() << " seed " << seed;
+        EXPECT_LE(gas::maxStateDifference(r.states, gold.states), tol)
+            << GetParam() << " seed " << seed;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(SumAndMinMaxAccums, ParallelChurnResume,
+                         ::testing::Values("pagerank", "sssp", "wcc"));
+
+/* ---- Serving-layer integration and teardown. -------------------- */
+
+TEST(ParallelService, QueriesThroughTheParallelEngine)
+{
+    const Graph g = graph::powerLaw(500, 2.0, 6.0, {.seed = 8300});
+    service::ServiceOptions opt;
+    opt.pool.numThreads = 2;
+    opt.batcher.solution = Solution::Parallel;
+    opt.system.engine.hostThreads = 2;
+    service::GraphService svc(opt);
+    svc.loadGraph("g", g);
+
+    const auto pr =
+        svc.query({"g", "pagerank", Solution::Parallel}).get();
+    ASSERT_TRUE(pr.ok());
+    ASSERT_NE(pr.states, nullptr);
+    const auto ss = svc.query({"g", "sssp", Solution::Parallel}).get();
+    ASSERT_TRUE(ss.ok());
+    ASSERT_NE(ss.states, nullptr);
+
+    const auto alg_pr = gas::makeAlgorithm("pagerank");
+    const auto gold_pr = gas::runReference(g, *alg_pr);
+    EXPECT_LE(gas::maxStateDifference(*pr.states, gold_pr.states),
+              5e-3);
+    const auto alg_ss = gas::makeAlgorithm("sssp");
+    const auto gold_ss = gas::runReference(g, *alg_ss);
+    EXPECT_LE(gas::maxStateDifference(*ss.states, gold_ss.states),
+              1e-9);
+}
+
+TEST(ParallelService, ShutdownWithParallelQueriesInFlight)
+{
+    // Teardown while parallel runs are live on pool workers: the
+    // service destructor must join everything; no hangs, no leaks
+    // (tsan-checked). The big-ish graph keeps runs in flight when the
+    // destructor fires.
+    const Graph g = graph::powerLaw(4000, 2.0, 8.0, {.seed = 8400});
+    service::ServiceOptions opt;
+    opt.pool.numThreads = 3;
+    opt.batcher.solution = Solution::Parallel;
+    opt.system.engine.hostThreads = 2;
+    {
+        service::GraphService svc(opt);
+        svc.loadGraph("g", g);
+        std::vector<std::future<service::Response>> pending;
+        for (int i = 0; i < 6; ++i)
+            pending.push_back(
+                svc.query({"g", i % 2 ? "pagerank" : "sssp",
+                           Solution::Parallel}));
+        // Consume one to prove liveness, abandon the rest mid-run.
+        ASSERT_TRUE(pending.front().get().ok());
+    }
+    SUCCEED();
+}
+
+} // namespace
+} // namespace depgraph

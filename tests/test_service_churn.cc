@@ -181,6 +181,90 @@ TEST(ServiceChurn, ConcurrentMixedChurnMatchesSerialReplay)
     EXPECT_EQ(st.rejected, 0u);
 }
 
+TEST(ServiceChurn, ConcurrentChurnThroughParallelEngine)
+{
+    // The concurrent-stream scenario again, but both the batcher's
+    // incremental reconvergence and the client queries run on the
+    // native parallel engine: pool workers and engine workers nest,
+    // and flush-published fixpoints interleave with parallel reads.
+    const auto initial = graph::powerLaw(300, 2.0, 6.0, {.seed = 602});
+
+    ServiceOptions opt;
+    opt.pool.numThreads = 3;
+    opt.pool.queueCapacity = 256;
+    opt.pool.blockWhenFull = true;
+    opt.batcher.maxPendingEdges = 16;
+    opt.batcher.solution = Solution::Parallel;
+    opt.system.engine.hostThreads = 2;
+    GraphService svc(opt);
+    svc.loadGraph("g", initial);
+
+    ASSERT_TRUE(
+        svc.query({"g", "pagerank", Solution::Parallel}).get().ok());
+    ASSERT_TRUE(
+        svc.query({"g", "sssp", Solution::Parallel}).get().ok());
+
+    constexpr unsigned kParClients = 4;
+    std::vector<std::thread> clients;
+    std::atomic<unsigned> failures{0};
+    for (unsigned t = 0; t < kParClients; ++t) {
+        clients.emplace_back([&, t] {
+            Session session(svc, "g", "pagerank", Solution::Parallel);
+            for (unsigned i = 0; i < kRoundsPerClient; ++i) {
+                if (!session.update(clientIns(initial, t, i)).ok())
+                    ++failures;
+                if (!session.erase(clientDels(initial, t, i)).ok())
+                    ++failures;
+                const auto q = (t + i) % 2 == 0
+                    ? session.query("pagerank")
+                    : session.query("sssp");
+                if (!q.ok() || !q.states)
+                    ++failures;
+            }
+        });
+    }
+    for (auto &c : clients)
+        c.join();
+    EXPECT_EQ(failures.load(), 0u);
+    svc.drain();
+
+    std::vector<gas::EdgeInsertion> surviving;
+    for (unsigned t = 0; t < kParClients; ++t)
+        for (unsigned i = 0; i < kRoundsPerClient; ++i) {
+            const auto ins = clientIns(initial, t, i);
+            surviving.insert(surviving.end(),
+                             ins.begin() + kDelsPerRound, ins.end());
+        }
+    const auto final_graph = gas::applyInsertions(initial, surviving);
+    const auto snap = svc.store().get("g");
+    ASSERT_NE(snap, nullptr);
+    EXPECT_EQ(snap->graph->numEdges(), final_graph.numEdges());
+
+    const auto served_pr =
+        svc.query({"g", "pagerank", Solution::Parallel}).get();
+    const auto served_sssp =
+        svc.query({"g", "sssp", Solution::Parallel}).get();
+    ASSERT_TRUE(served_pr.ok());
+    ASSERT_TRUE(served_sssp.ok());
+    {
+        const auto alg = gas::makeAlgorithm("pagerank");
+        const auto gold = gas::runReference(final_graph, *alg);
+        ASSERT_TRUE(gold.converged);
+        EXPECT_LE(gas::maxStateDifference(*served_pr.states,
+                                          gold.states),
+                  5e-3);
+    }
+    {
+        const auto alg = gas::makeAlgorithm("sssp");
+        const auto gold = gas::runReference(final_graph, *alg);
+        ASSERT_TRUE(gold.converged);
+        EXPECT_LE(gas::maxStateDifference(*served_sssp.states,
+                                          gold.states),
+                  1e-9); // min-accumulator: exact
+    }
+    EXPECT_EQ(svc.stats().rejected, 0u);
+}
+
 TEST(ServiceChurn, SnapshotIsolationAcrossDeletions)
 {
     ServiceOptions opt;

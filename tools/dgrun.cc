@@ -96,6 +96,12 @@ main(int argc, char **argv)
     o.declare("solution", "DepGraph-H",
               "Sequential|Ligra|Mosaic|Wonderland|FBSGraph|Ligra-o|"
               "HATS|Minnow|PHI|DepGraph-S|DepGraph-H|DepGraph-H-w");
+    o.declare("engine", "sim",
+              "sim (cycle model, per --solution) | parallel (native "
+              "host threads)");
+    o.declare("threads", "0",
+              "host threads for --engine=parallel (0 = hardware "
+              "concurrency, capped at 16)");
     o.declare("cores", "16", "simulated cores");
     o.declare("lambda", "0.005", "hub fraction");
     o.declare("stack", "10", "HDTL stack depth");
@@ -125,9 +131,20 @@ main(int argc, char **argv)
     cfg.engine.numCores = cfg.machine.numCores;
     cfg.engine.hub.lambda = o.getDouble("lambda");
     cfg.engine.stackDepth = static_cast<unsigned>(o.getInt("stack"));
+    cfg.engine.hostThreads =
+        static_cast<unsigned>(o.getInt("threads"));
 
+    const auto engine_kind = o.getString("engine");
+    Solution sol;
+    if (engine_kind == "parallel") {
+        sol = Solution::Parallel;
+    } else if (engine_kind == "sim") {
+        sol = solutionFromName(o.getString("solution"));
+    } else {
+        dg_fatal("unknown --engine '", engine_kind,
+                 "' (sim|parallel)");
+    }
     DepGraphSystem sys(cfg);
-    const auto sol = solutionFromName(o.getString("solution"));
     runtime::RunResult r;
     {
         obs::span::Scoped run_span("tool", "run");
@@ -167,9 +184,19 @@ main(int argc, char **argv)
     t.addRow({"rounds", Table::fmt(std::uint64_t{mx.rounds})});
     t.addRow({"updates", Table::fmt(mx.updates)});
     t.addRow({"edge ops", Table::fmt(mx.edgeOps)});
-    t.addRow({"makespan (cycles)", Table::fmt(mx.makespan)});
-    t.addRow({"sim time (ms @2.5GHz)",
-              Table::fmt(static_cast<double>(mx.makespan) / 2.5e6, 3)});
+    if (sol == Solution::Parallel) {
+        t.addRow({"makespan (wall ns)", Table::fmt(mx.makespan)});
+        t.addRow({"wall time (ms)",
+                  Table::fmt(static_cast<double>(mx.makespan) / 1e6,
+                             3)});
+        t.addRow({"host threads", Table::fmt(
+                      std::uint64_t{mx.coresUsed})});
+    } else {
+        t.addRow({"makespan (cycles)", Table::fmt(mx.makespan)});
+        t.addRow({"sim time (ms @2.5GHz)",
+                  Table::fmt(static_cast<double>(mx.makespan) / 2.5e6,
+                             3)});
+    }
     t.addRow({"utilization", Table::fmt(mx.utilization(), 3)});
     t.addRow({"other-time share", Table::fmt(mx.otherTimeShare(), 3)});
     t.addRow({"L1 hit rate", Table::fmt(r.memStats.l1.hitRate(), 3)});
