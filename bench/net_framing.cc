@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Microbenchmarks for the network hot path: line framing across
+ * fragmented reads, HTTP response serialization, and consistent-hash
+ * routing. These run per request (framing, routing) or per scrape
+ * (response build), so regressions here tax every byte served.
+ *
+ *   ./bench/net_framing --benchmark_min_time=0.1s
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "src/net/framing.hh"
+#include "src/net/http.hh"
+#include "src/net/router.hh"
+
+namespace
+{
+
+using namespace depgraph;
+
+/** A realistic pipelined payload: many short protocol lines. */
+std::string
+makePayload(std::size_t lines)
+{
+    std::string p;
+    for (std::size_t i = 0; i < lines; ++i)
+        p += "update g " + std::to_string(i % 4096) + " "
+            + std::to_string((i * 7) % 4096) + " 1\n";
+    return p;
+}
+
+void
+BM_LineFramerPipelined(benchmark::State &state)
+{
+    const auto payload = makePayload(
+        static_cast<std::size_t>(state.range(0)));
+    std::string line;
+    for (auto _ : state) {
+        net::LineFramer f;
+        f.append(payload);
+        std::size_t n = 0;
+        while (f.next(line))
+            ++n;
+        benchmark::DoNotOptimize(n);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(payload.size())
+        * static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LineFramerPipelined)->Arg(16)->Arg(256)->Arg(4096);
+
+void
+BM_LineFramerFragmented(benchmark::State &state)
+{
+    // Socket-realistic delivery: the same payload arriving in small
+    // fragments, lines popped as soon as they complete.
+    const auto payload = makePayload(256);
+    const auto frag = static_cast<std::size_t>(state.range(0));
+    std::string line;
+    for (auto _ : state) {
+        net::LineFramer f;
+        std::size_t n = 0;
+        for (std::size_t off = 0; off < payload.size(); off += frag) {
+            f.append(payload.data() + off,
+                     std::min(frag, payload.size() - off));
+            while (f.next(line))
+                ++n;
+        }
+        benchmark::DoNotOptimize(n);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(payload.size())
+        * static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LineFramerFragmented)->Arg(7)->Arg(64)->Arg(1460);
+
+void
+BM_HttpResponseBuild(benchmark::State &state)
+{
+    const std::string body(static_cast<std::size_t>(state.range(0)),
+                           'm');
+    for (auto _ : state) {
+        auto r = net::httpResponse(200, "text/plain; version=0.0.4",
+                                   body, true);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(body.size())
+        * static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HttpResponseBuild)->Arg(64)->Arg(16384)->Arg(262144);
+
+void
+BM_HttpParseRequest(benchmark::State &state)
+{
+    const std::string req = "GET /metrics HTTP/1.1\r\n"
+                            "Host: shard3.internal:7411\r\n"
+                            "User-Agent: Prometheus/2.45\r\n"
+                            "Accept: text/plain\r\n\r\n";
+    for (auto _ : state) {
+        net::HttpRequest parsed;
+        std::size_t consumed = 0;
+        benchmark::DoNotOptimize(
+            net::parseHttpRequest(req, parsed, consumed));
+    }
+}
+BENCHMARK(BM_HttpParseRequest);
+
+void
+BM_RouterShardLookup(benchmark::State &state)
+{
+    net::ShardRouter router;
+    for (int s = 0; s < state.range(0); ++s)
+        router.add("shard" + std::to_string(s) + ":7411");
+    std::vector<std::string> keys;
+    for (int i = 0; i < 512; ++i)
+        keys.push_back("graph-" + std::to_string(i));
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            router.shardFor(keys[i++ % keys.size()]));
+    }
+}
+BENCHMARK(BM_RouterShardLookup)->Arg(1)->Arg(4)->Arg(64);
+
+void
+BM_RouterVertexPartition(benchmark::State &state)
+{
+    net::ShardRouter router;
+    for (int s = 0; s < 8; ++s)
+        router.add("shard" + std::to_string(s) + ":7411");
+    VertexId v = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            router.shardForVertex("g", v++, 64));
+    }
+}
+BENCHMARK(BM_RouterVertexPartition);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+#include "net/admission.hh"
+
+namespace depgraph::net
+{
+
+using service::RequestType;
+
+AdmissionController::AdmissionController(const service::Stats &stats,
+                                         AdmissionOptions opt)
+    : stats_(stats), opt_(opt)
+{}
+
+std::optional<std::chrono::milliseconds>
+AdmissionController::check(RequestType t)
+{
+    if (!enabled())
+        return std::nullopt;
+    maybeRefresh();
+    const auto p99 = windowP99_[static_cast<std::size_t>(t)].load(
+        std::memory_order_relaxed);
+    if (p99 <= opt_.maxQueueWaitP99Micros)
+        return std::nullopt;
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    return opt_.retryAfter;
+}
+
+std::uint64_t
+AdmissionController::windowP99Micros(RequestType t) const
+{
+    return windowP99_[static_cast<std::size_t>(t)].load(
+        std::memory_order_relaxed);
+}
+
+void
+AdmissionController::maybeRefresh()
+{
+    // try_lock: under contention one thread refreshes, the rest use
+    // the cached p99 -- nobody queues behind the refresh.
+    std::unique_lock lk(refreshMu_, std::try_to_lock);
+    if (!lk.owns_lock())
+        return;
+    const auto now = std::chrono::steady_clock::now();
+    if (everRefreshed_ && now - lastRefresh_ < opt_.window)
+        return;
+    refreshLocked();
+    lastRefresh_ = now;
+    everRefreshed_ = true;
+}
+
+void
+AdmissionController::refreshLocked()
+{
+    for (std::size_t t = 0; t < service::kNumRequestTypes; ++t) {
+        const auto &h = stats_.queueWaitHistogram(
+            static_cast<RequestType>(t));
+
+        std::array<std::uint64_t, obs::Histogram::kBuckets> delta{};
+        std::uint64_t total = 0;
+        for (std::size_t k = 0; k < obs::Histogram::kBuckets; ++k) {
+            const auto cur = h.bucketCount(k);
+            delta[k] = cur - prev_[t][k];
+            prev_[t][k] = cur;
+            total += delta[k];
+        }
+        if (total < opt_.minWindowSamples) {
+            // Too little signal this window: fail open.
+            windowP99_[t].store(0, std::memory_order_relaxed);
+            continue;
+        }
+        const auto rank =
+            static_cast<std::uint64_t>(0.99
+                                       * static_cast<double>(total));
+        std::uint64_t seen = 0, p99 = 0;
+        for (std::size_t k = 0; k < obs::Histogram::kBuckets; ++k) {
+            seen += delta[k];
+            if (seen > rank) {
+                p99 = obs::Histogram::bucketUpperBound(k);
+                break;
+            }
+        }
+        windowP99_[t].store(p99, std::memory_order_relaxed);
+    }
+}
+
+} // namespace depgraph::net

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Latency-driven admission control.
+ *
+ * Queue depth alone is a bad shed signal: a deep queue of cheap
+ * requests is healthy, a shallow queue of slow ones is not. What a
+ * client actually experiences is queue WAIT, and the service already
+ * measures it per request type (service::Stats). The controller keeps
+ * a sliding window over those histograms -- bucket-count deltas
+ * between refreshes -- and sheds a request class once its windowed
+ * p99 queue wait crosses the configured ceiling.
+ *
+ * Shedding is protocol-level, not TCP-level: the connection replies
+ * `err 429 overloaded retry-after=<ms>` immediately (no dispatch, no
+ * queue slot), so a well-behaved client backs off while the pool works
+ * down the backlog. That converts collapse into bounded latency.
+ *
+ * check() is cheap enough for the per-request path: a relaxed load of
+ * the cached p99; one caller per window interval additionally pays the
+ * refresh (22 relaxed bucket loads per type) under a try_lock.
+ */
+
+#ifndef DEPGRAPH_NET_ADMISSION_HH
+#define DEPGRAPH_NET_ADMISSION_HH
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+
+#include "service/stats.hh"
+
+namespace depgraph::net
+{
+
+struct AdmissionOptions
+{
+    /** Shed when the windowed p99 queue wait exceeds this (0 = admission
+     * control disabled). */
+    std::uint64_t maxQueueWaitP99Micros = 0;
+    /** Windows with fewer samples than this always admit (a cold or
+     * idle service must not shed its first burst). */
+    std::uint64_t minWindowSamples = 16;
+    /** Backoff hint sent to shed clients. */
+    std::chrono::milliseconds retryAfter{50};
+    /** Sliding-window refresh period. */
+    std::chrono::milliseconds window{250};
+};
+
+class AdmissionController
+{
+  public:
+    AdmissionController(const service::Stats &stats,
+                        AdmissionOptions opt);
+
+    bool enabled() const { return opt_.maxQueueWaitP99Micros > 0; }
+
+    /**
+     * Admit or shed one request of type `t`.
+     * @return empty to admit; otherwise the retry-after hint.
+     */
+    std::optional<std::chrono::milliseconds>
+    check(service::RequestType t);
+
+    /** Last computed windowed p99 for `t` (diagnostics / tests). */
+    std::uint64_t windowP99Micros(service::RequestType t) const;
+
+    std::uint64_t shedTotal() const
+    {
+        return shed_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    void maybeRefresh();
+    void refreshLocked();
+
+    const service::Stats &stats_;
+    AdmissionOptions opt_;
+
+    std::mutex refreshMu_;
+    std::chrono::steady_clock::time_point lastRefresh_{};
+    bool everRefreshed_ = false;
+
+    /** Bucket counts at the last refresh, per request type. */
+    std::array<std::array<std::uint64_t, obs::Histogram::kBuckets>,
+               service::kNumRequestTypes>
+        prev_{};
+
+    std::array<std::atomic<std::uint64_t>, service::kNumRequestTypes>
+        windowP99_{};
+    std::atomic<std::uint64_t> shed_{0};
+};
+
+} // namespace depgraph::net
+
+#endif // DEPGRAPH_NET_ADMISSION_HH

@@ -1,0 +1,195 @@
+#include "net/client.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace depgraph::net
+{
+
+Client::~Client()
+{
+    close();
+}
+
+Client::Client(Client &&o) noexcept
+    : fd_(o.fd_), eof_(o.eof_), framer_(std::move(o.framer_)),
+      error_(std::move(o.error_))
+{
+    o.fd_ = -1;
+}
+
+Client &
+Client::operator=(Client &&o) noexcept
+{
+    if (this != &o) {
+        close();
+        fd_ = o.fd_;
+        eof_ = o.eof_;
+        framer_ = std::move(o.framer_);
+        error_ = std::move(o.error_);
+        o.fd_ = -1;
+    }
+    return *this;
+}
+
+bool
+splitEndpoint(const std::string &endpoint, std::string &host,
+              std::uint16_t &port)
+{
+    const auto colon = endpoint.rfind(':');
+    if (colon == std::string::npos || colon + 1 >= endpoint.size())
+        return false;
+    host = endpoint.substr(0, colon);
+    try {
+        const auto p = std::stoul(endpoint.substr(colon + 1));
+        if (p == 0 || p > 65535)
+            return false;
+        port = static_cast<std::uint16_t>(p);
+    } catch (...) {
+        return false;
+    }
+    return !host.empty();
+}
+
+bool
+Client::connectEndpoint(const std::string &endpoint,
+                        std::chrono::milliseconds recv_timeout)
+{
+    std::string host;
+    std::uint16_t port = 0;
+    if (!splitEndpoint(endpoint, host, port)) {
+        error_ = "bad endpoint '" + endpoint + "'";
+        return false;
+    }
+    return connect(host, port, recv_timeout);
+}
+
+bool
+Client::connect(const std::string &host, std::uint16_t port,
+                std::chrono::milliseconds recv_timeout)
+{
+    close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) {
+        error_ = std::strerror(errno);
+        return false;
+    }
+    ::sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        error_ = "bad address '" + host + "'";
+        close();
+        return false;
+    }
+    if (::connect(fd_, reinterpret_cast<::sockaddr *>(&addr),
+                  sizeof(addr))
+        != 0) {
+        error_ = std::strerror(errno);
+        close();
+        return false;
+    }
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (recv_timeout.count() > 0) {
+        ::timeval tv{};
+        tv.tv_sec = static_cast<time_t>(recv_timeout.count() / 1000);
+        tv.tv_usec = static_cast<suseconds_t>(
+            (recv_timeout.count() % 1000) * 1000);
+        ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    }
+    eof_ = false;
+    framer_.clear();
+    return true;
+}
+
+bool
+Client::sendAll(std::string_view data)
+{
+    while (!data.empty()) {
+        const auto n =
+            ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            error_ = std::strerror(errno);
+            return false;
+        }
+        data.remove_prefix(static_cast<std::size_t>(n));
+    }
+    return true;
+}
+
+bool
+Client::sendLine(std::string_view line)
+{
+    std::string framed(line);
+    framed.push_back('\n');
+    return sendAll(framed);
+}
+
+bool
+Client::recvLine(std::string &line)
+{
+    if (framer_.next(line))
+        return true;
+    char buf[4096];
+    for (;;) {
+        const auto n = ::recv(fd_, buf, sizeof(buf), 0);
+        if (n > 0) {
+            framer_.append(buf, static_cast<std::size_t>(n));
+            if (framer_.next(line))
+                return true;
+            continue;
+        }
+        if (n == 0) {
+            eof_ = true;
+            error_ = "connection closed";
+            return false;
+        }
+        if (errno == EINTR)
+            continue;
+        error_ = (errno == EAGAIN || errno == EWOULDBLOCK)
+            ? "receive timeout"
+            : std::strerror(errno);
+        return false;
+    }
+}
+
+std::string
+Client::recvAll(std::size_t max_bytes)
+{
+    std::string out(framer_.raw());
+    framer_.clear();
+    char buf[4096];
+    while (out.size() < max_bytes) {
+        const auto n = ::recv(fd_, buf, sizeof(buf), 0);
+        if (n > 0) {
+            out.append(buf, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n == 0)
+            eof_ = true;
+        else if (errno == EINTR)
+            continue;
+        break;
+    }
+    return out;
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+} // namespace depgraph::net

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Blocking TCP client for the dgserve line protocol.
+ *
+ * The server side is deliberately non-blocking; clients (dgload, the
+ * loopback tests, ad-hoc scripts) are simpler as plain blocking
+ * sockets with an optional receive timeout. Line replies are framed
+ * through the same LineFramer the server uses, so both ends agree on
+ * the wire format by construction.
+ */
+
+#ifndef DEPGRAPH_NET_CLIENT_HH
+#define DEPGRAPH_NET_CLIENT_HH
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "net/framing.hh"
+
+namespace depgraph::net
+{
+
+class Client
+{
+  public:
+    Client() = default;
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+    Client(Client &&o) noexcept;
+    Client &operator=(Client &&o) noexcept;
+
+    /** Connect to host:port. @return false on failure (see error()). */
+    bool connect(const std::string &host, std::uint16_t port,
+                 std::chrono::milliseconds recv_timeout =
+                     std::chrono::milliseconds(10000));
+
+    /** Connect to "host:port". */
+    bool connectEndpoint(const std::string &endpoint,
+                         std::chrono::milliseconds recv_timeout =
+                             std::chrono::milliseconds(10000));
+
+    bool connected() const { return fd_ >= 0; }
+    const std::string &error() const { return error_; }
+
+    /** Write all bytes (appends nothing; include your own '\n'). */
+    bool sendAll(std::string_view data);
+
+    /** Send one command line (appends '\n'). */
+    bool sendLine(std::string_view line);
+
+    /**
+     * Blocking read of the next reply line. @return false on timeout,
+     * EOF, or error (error() distinguishes; eof() true on clean EOF).
+     */
+    bool recvLine(std::string &line);
+
+    /** Read until EOF or `max_bytes` (HTTP responses, debugging). */
+    std::string recvAll(std::size_t max_bytes = 1 << 20);
+
+    bool eof() const { return eof_; }
+
+    void close();
+
+    int fd() const { return fd_; }
+
+  private:
+    int fd_ = -1;
+    bool eof_ = false;
+    LineFramer framer_{1 << 20}; // replies can be large (metrics)
+    std::string error_;
+};
+
+/** Split "host:port"; @return false on malformed input. */
+bool splitEndpoint(const std::string &endpoint, std::string &host,
+                   std::uint16_t &port);
+
+} // namespace depgraph::net
+
+#endif // DEPGRAPH_NET_CLIENT_HH

@@ -1,0 +1,288 @@
+#include "net/connection.hh"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+
+#include "net/event_loop.hh"
+#include "net/server.hh"
+
+namespace depgraph::net
+{
+
+Connection::Connection(Server &srv, EventLoop &loop, int fd,
+                       std::size_t max_line_bytes)
+    : srv_(srv), loop_(loop), fd_(fd), framer_(max_line_bytes)
+{}
+
+Connection::~Connection()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+Connection::start()
+{
+    auto self = shared_from_this();
+    loop_.add(fd_, EPOLLIN, [self](std::uint32_t ev) {
+        self->onEvent(ev);
+    });
+}
+
+void
+Connection::close()
+{
+    if (fd_ < 0)
+        return;
+    loop_.remove(fd_);
+    ::close(fd_);
+    fd_ = -1;
+    srv_.onConnectionClosed(*this);
+}
+
+void
+Connection::onEvent(std::uint32_t events)
+{
+    if (events & (EPOLLHUP | EPOLLERR)) {
+        close();
+        return;
+    }
+    if (events & EPOLLIN)
+        onReadable();
+    if (fd_ >= 0 && (events & EPOLLOUT))
+        flushWrites();
+}
+
+void
+Connection::onReadable()
+{
+    std::array<char, 4096> buf;
+    for (;;) {
+        const auto n = ::recv(fd_, buf.data(), buf.size(), 0);
+        if (n > 0) {
+            srv_.noteBytesRead(static_cast<std::size_t>(n));
+            if (!framer_.append(buf.data(),
+                                static_cast<std::size_t>(n))
+                && mode_ != Mode::Http) {
+                failOversized();
+                return;
+            }
+            continue;
+        }
+        if (n == 0) {
+            // Peer closed. Anything in flight completes into a dead
+            // connection and is dropped (see completeRequest).
+            close();
+            return;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        if (errno == EINTR)
+            continue;
+        close();
+        return;
+    }
+    processBuffer();
+}
+
+void
+Connection::processBuffer()
+{
+    if (fd_ < 0)
+        return;
+    if (mode_ == Mode::Unknown) {
+        const auto &raw = framer_.raw();
+        if (looksLikeHttp(raw)) {
+            mode_ = Mode::Http;
+        } else if (raw.find('\n') != std::string::npos
+                   || raw.size() >= 8) {
+            // Longest HTTP method prefix is "DELETE " (7 bytes); 8
+            // bytes without a match, or any complete line, means the
+            // dgserve line protocol.
+            mode_ = Mode::Line;
+        } else {
+            return; // not enough bytes to tell yet
+        }
+    }
+    if (mode_ == Mode::Http) {
+        processHttp();
+        return;
+    }
+    std::string line;
+    while (framer_.next(line))
+        pendingLines_.push_back(std::move(line));
+    dispatchPending();
+}
+
+void
+Connection::processHttp()
+{
+    while (fd_ >= 0 && !closeAfterFlush_ && !inFlight_) {
+        HttpRequest req;
+        std::size_t consumed = 0;
+        const auto st =
+            parseHttpRequest(framer_.raw(), req, consumed);
+        if (st == HttpParse::NeedMore)
+            return;
+        if (st == HttpParse::Bad) {
+            sendReply(httpResponse(400, "text/plain",
+                                   "bad request\n", false));
+            closeAfterFlush_ = true;
+            flushWrites();
+            return;
+        }
+        framer_.consume(consumed);
+        srv_.noteHttpRequest();
+
+        const bool head = req.method == "HEAD";
+        if (!head && req.method != "GET") {
+            sendReply(httpResponse(405, "text/plain",
+                                   "only GET/HEAD\n", false));
+            closeAfterFlush_ = true;
+        } else if (draining_) {
+            sendReply(httpResponse(503, "text/plain", "draining\n",
+                                   false));
+            closeAfterFlush_ = true;
+        } else {
+            const auto path =
+                req.target.substr(0, req.target.find('?'));
+            if (path == "/healthz") {
+                sendReply(httpResponse(200, "text/plain", "ok\n",
+                                       req.keepAlive));
+                if (!req.keepAlive)
+                    closeAfterFlush_ = true;
+            } else if (path == "/metrics") {
+                // Rendering walks the registry; keep it off the loop.
+                inFlight_ = true;
+                srv_.dispatchMetrics(shared_from_this(),
+                                     req.keepAlive, head);
+            } else {
+                sendReply(httpResponse(404, "text/plain",
+                                       "not found\n",
+                                       req.keepAlive));
+                if (!req.keepAlive)
+                    closeAfterFlush_ = true;
+            }
+        }
+    }
+    flushWrites();
+}
+
+void
+Connection::dispatchPending()
+{
+    while (fd_ >= 0 && !inFlight_ && !pendingLines_.empty()) {
+        auto line = std::move(pendingLines_.front());
+        pendingLines_.pop_front();
+
+        if (draining_) {
+            sendReply("err 503 shutting down\n");
+            continue;
+        }
+        if (const auto retry = srv_.admitLine(line)) {
+            sendReply("err 429 overloaded retry-after="
+                      + std::to_string(retry->count()) + "\n");
+            continue;
+        }
+        inFlight_ = true;
+        srv_.dispatchLine(shared_from_this(), std::move(line));
+    }
+    if (draining_ && idle())
+        close();
+}
+
+void
+Connection::completeRequest(std::string reply, bool then_close)
+{
+    inFlight_ = false;
+    if (fd_ < 0)
+        return; // client vanished mid-request: drop the reply
+    if (!reply.empty())
+        sendReply(reply);
+    if (then_close) {
+        closeAfterFlush_ = true;
+        flushWrites();
+        return;
+    }
+    if (mode_ == Mode::Http) {
+        processHttp(); // maybe a pipelined request is buffered
+        return;
+    }
+    dispatchPending();
+}
+
+void
+Connection::beginDrain()
+{
+    draining_ = true;
+    if (idle())
+        close();
+}
+
+void
+Connection::failOversized()
+{
+    srv_.noteOversized();
+    // The line cannot be parsed and the stream is unsynchronized
+    // beyond it: report and hang up. Stop reading so a firehose
+    // client cannot keep us busy while the reply drains.
+    ::shutdown(fd_, SHUT_RD);
+    sendReply("err 413 line too long (max "
+              + std::to_string(framer_.maxLineBytes()) + " bytes)\n");
+    closeAfterFlush_ = true;
+    flushWrites();
+}
+
+void
+Connection::sendReply(std::string_view text)
+{
+    if (fd_ < 0)
+        return;
+    out_.append(text);
+    flushWrites();
+}
+
+void
+Connection::flushWrites()
+{
+    if (fd_ < 0)
+        return;
+    while (!out_.empty()) {
+        const auto n = ::send(fd_, out_.data(), out_.size(),
+                              MSG_NOSIGNAL);
+        if (n > 0) {
+            srv_.noteBytesWritten(static_cast<std::size_t>(n));
+            out_.erase(0, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            break;
+        if (n < 0 && errno == EINTR)
+            continue;
+        close(); // broken pipe etc.
+        return;
+    }
+    if (out_.empty() && closeAfterFlush_) {
+        close();
+        return;
+    }
+    updateInterest();
+    if (draining_ && idle())
+        close();
+}
+
+void
+Connection::updateInterest()
+{
+    const bool want = !out_.empty();
+    if (want == wantWrite_ || fd_ < 0)
+        return;
+    wantWrite_ = want;
+    loop_.modify(fd_, EPOLLIN | (want ? EPOLLOUT : 0u));
+}
+
+} // namespace depgraph::net

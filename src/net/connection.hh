@@ -1,0 +1,109 @@
+/**
+ * @file
+ * One accepted client connection.
+ *
+ * A connection auto-detects its protocol from the first bytes: HTTP
+ * methods are uppercase ("GET /metrics"), dgserve verbs are lowercase,
+ * so one token decides. Line mode frames newline-delimited protocol
+ * commands through LineFramer (with the oversized-line cap); HTTP mode
+ * parses requests for the /metrics and /healthz endpoints.
+ *
+ * Threading: every method here runs on the event-loop thread. Request
+ * execution happens on the server's dispatcher threads; they hand the
+ * reply back via EventLoop::post(completeRequest). `inFlight_` plus
+ * the pending-line queue preserve reply ordering for pipelined
+ * clients: one request per connection executes at a time, later lines
+ * wait their turn (concurrency comes from many connections).
+ *
+ * Lifetime: shared_ptr. The server's registry holds one reference;
+ * an in-flight dispatch holds another, so a client that disconnects
+ * mid-request leaves a harmless orphan whose completion is dropped.
+ */
+
+#ifndef DEPGRAPH_NET_CONNECTION_HH
+#define DEPGRAPH_NET_CONNECTION_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "net/framing.hh"
+#include "net/http.hh"
+
+namespace depgraph::net
+{
+
+class EventLoop;
+class Server;
+
+class Connection : public std::enable_shared_from_this<Connection>
+{
+  public:
+    Connection(Server &srv, EventLoop &loop, int fd,
+               std::size_t max_line_bytes);
+    ~Connection();
+
+    Connection(const Connection &) = delete;
+    Connection &operator=(const Connection &) = delete;
+
+    /** Register with the loop; call once, right after accept. */
+    void start();
+
+    /** Deregister and close the socket. Idempotent. */
+    void close();
+
+    bool isClosed() const { return fd_ < 0; }
+
+    /** No request executing, none queued, nothing left to write. */
+    bool
+    idle() const
+    {
+        return !inFlight_ && pendingLines_.empty() && out_.empty();
+    }
+
+    /** Server began draining: finish what is queued, then go away.
+     * Lines arriving from now on are refused with err 503. */
+    void beginDrain();
+
+    /** Dispatcher finished a request (posted back to the loop).
+     * `reply` already ends in '\n' (or is empty for silent lines);
+     * `then_close` closes once the write buffer flushes. */
+    void completeRequest(std::string reply, bool then_close);
+
+    int fd() const { return fd_; }
+
+  private:
+    enum class Mode
+    {
+        Unknown,
+        Line,
+        Http,
+    };
+
+    void onEvent(std::uint32_t events);
+    void onReadable();
+    void processBuffer();
+    void processHttp();
+    void dispatchPending();
+    void sendReply(std::string_view text);
+    void flushWrites();
+    void updateInterest();
+    void failOversized();
+
+    Server &srv_;
+    EventLoop &loop_;
+    int fd_;
+    Mode mode_ = Mode::Unknown;
+    LineFramer framer_;
+    std::deque<std::string> pendingLines_;
+    std::string out_;          ///< bytes awaiting write
+    bool inFlight_ = false;    ///< a dispatcher owns one request
+    bool draining_ = false;
+    bool closeAfterFlush_ = false;
+    bool wantWrite_ = false;   ///< EPOLLOUT currently subscribed
+};
+
+} // namespace depgraph::net
+
+#endif // DEPGRAPH_NET_CONNECTION_HH

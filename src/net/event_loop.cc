@@ -1,0 +1,157 @@
+#include "net/event_loop.hh"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <array>
+#include <utility>
+
+namespace depgraph::net
+{
+
+EventLoop::EventLoop()
+{
+    epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    wakeFd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (valid()) {
+        ::epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.fd = wakeFd_;
+        ::epoll_ctl(epfd_, EPOLL_CTL_ADD, wakeFd_, &ev);
+    }
+}
+
+EventLoop::~EventLoop()
+{
+    if (wakeFd_ >= 0)
+        ::close(wakeFd_);
+    if (epfd_ >= 0)
+        ::close(epfd_);
+}
+
+bool
+EventLoop::add(int fd, std::uint32_t events, Callback cb)
+{
+    ::epoll_event ev{};
+    ev.events = events;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) != 0)
+        return false;
+    handlers_[fd] = std::make_shared<Callback>(std::move(cb));
+    return true;
+}
+
+bool
+EventLoop::modify(int fd, std::uint32_t events)
+{
+    ::epoll_event ev{};
+    ev.events = events;
+    ev.data.fd = fd;
+    return ::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev) == 0;
+}
+
+void
+EventLoop::remove(int fd)
+{
+    ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+    handlers_.erase(fd);
+}
+
+void
+EventLoop::post(std::function<void()> fn)
+{
+    {
+        std::lock_guard lk(postMu_);
+        posted_.push_back(std::move(fn));
+    }
+    const std::uint64_t one = 1;
+    // A full eventfd counter (EAGAIN) still wakes the loop; short
+    // writes cannot happen for 8 bytes.
+    [[maybe_unused]] const auto n =
+        ::write(wakeFd_, &one, sizeof(one));
+}
+
+void
+EventLoop::drainWakeups()
+{
+    std::uint64_t v = 0;
+    while (::read(wakeFd_, &v, sizeof(v)) > 0) {
+    }
+}
+
+void
+EventLoop::drainPosted()
+{
+    std::vector<std::function<void()>> batch;
+    {
+        std::lock_guard lk(postMu_);
+        batch.swap(posted_);
+    }
+    for (auto &fn : batch)
+        fn();
+}
+
+void
+EventLoop::run(std::chrono::milliseconds tick,
+               std::function<void()> on_tick)
+{
+    using clock = std::chrono::steady_clock;
+    running_.store(true, std::memory_order_release);
+    stop_.store(false, std::memory_order_release);
+
+    const bool ticking = tick.count() > 0 && on_tick;
+    auto next_tick = ticking ? clock::now() + tick
+                             : clock::time_point::max();
+
+    std::array<::epoll_event, 64> events;
+    while (!stop_.load(std::memory_order_acquire)) {
+        int timeout = -1;
+        if (ticking) {
+            const auto now = clock::now();
+            if (now >= next_tick) {
+                on_tick();
+                next_tick = now + tick;
+            }
+            timeout = static_cast<int>(
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    next_tick - clock::now())
+                    .count());
+            if (timeout < 0)
+                timeout = 0;
+        }
+        const int n = ::epoll_wait(epfd_, events.data(),
+                                   static_cast<int>(events.size()),
+                                   timeout);
+        if (n < 0)
+            continue; // EINTR
+        for (int i = 0; i < n; ++i) {
+            const int fd = events[i].data.fd;
+            if (fd == wakeFd_) {
+                drainWakeups();
+                continue;
+            }
+            // A handler earlier in this batch may have removed this
+            // fd (e.g. close cascading); look it up fresh.
+            const auto it = handlers_.find(fd);
+            if (it == handlers_.end())
+                continue;
+            const auto cb = it->second; // keep alive across the call
+            (*cb)(events[i].events);
+        }
+        drainPosted();
+    }
+    drainPosted(); // run closures posted right before stop()
+    running_.store(false, std::memory_order_release);
+}
+
+void
+EventLoop::stop()
+{
+    stop_.store(true, std::memory_order_release);
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const auto n =
+        ::write(wakeFd_, &one, sizeof(one));
+}
+
+} // namespace depgraph::net

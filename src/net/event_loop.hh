@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Single-threaded epoll event loop.
+ *
+ * Ownership model: fd handlers are registered, modified and removed
+ * only on the loop thread (or before run() starts). Other threads talk
+ * to the loop exclusively through post(), which enqueues a closure and
+ * wakes the loop via an eventfd -- that is how dispatcher threads hand
+ * completed replies back to connections, and how the signal thread
+ * initiates a drain.
+ *
+ * Level-triggered: handlers read/write until EAGAIN themselves, the
+ * loop only routes readiness. A periodic tick callback (snapshot-store
+ * TTL sweeps, admission refresh) rides the epoll_wait timeout.
+ */
+
+#ifndef DEPGRAPH_NET_EVENT_LOOP_HH
+#define DEPGRAPH_NET_EVENT_LOOP_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace depgraph::net
+{
+
+class EventLoop
+{
+  public:
+    /** Receives the ready EPOLL* event mask. */
+    using Callback = std::function<void(std::uint32_t)>;
+
+    EventLoop();
+    ~EventLoop();
+
+    EventLoop(const EventLoop &) = delete;
+    EventLoop &operator=(const EventLoop &) = delete;
+
+    /** False when epoll/eventfd creation failed at construction. */
+    bool valid() const { return epfd_ >= 0 && wakeFd_ >= 0; }
+
+    /** Register `fd` for `events` (loop thread only). The loop does
+     * not own the fd; close it after remove(). */
+    bool add(int fd, std::uint32_t events, Callback cb);
+
+    /** Change the interest mask of a registered fd (loop thread). */
+    bool modify(int fd, std::uint32_t events);
+
+    /** Deregister (loop thread). Pending readiness is dropped. */
+    void remove(int fd);
+
+    /** Run `fn` on the loop thread soon. Thread-safe; usable before
+     * run() and from handlers. */
+    void post(std::function<void()> fn);
+
+    /**
+     * Dispatch until stop(). `tick` (>0) invokes `on_tick` on the
+     * loop thread at roughly that period.
+     */
+    void run(std::chrono::milliseconds tick = std::chrono::milliseconds(0),
+             std::function<void()> on_tick = {});
+
+    /** Ask run() to return after the current iteration. Thread-safe. */
+    void stop();
+
+    bool running() const
+    {
+        return running_.load(std::memory_order_acquire);
+    }
+
+  private:
+    void drainPosted();
+    void drainWakeups();
+
+    int epfd_ = -1;
+    int wakeFd_ = -1;
+    std::atomic<bool> stop_{false};
+    std::atomic<bool> running_{false};
+
+    /** shared_ptr so a handler that removes its own fd (connection
+     * close) does not free the closure the loop is executing. */
+    std::unordered_map<int, std::shared_ptr<Callback>> handlers_;
+
+    std::mutex postMu_;
+    std::vector<std::function<void()>> posted_;
+};
+
+} // namespace depgraph::net
+
+#endif // DEPGRAPH_NET_EVENT_LOOP_HH

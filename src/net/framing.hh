@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Line framing for untrusted byte streams.
+ *
+ * The dgserve protocol is newline-delimited; a socket delivers it in
+ * arbitrary fragments (partial lines, several pipelined lines in one
+ * read). LineFramer accumulates bytes and hands back complete lines,
+ * enforcing a hard cap on the length of an unterminated line so a
+ * client that never sends '\n' cannot grow the buffer without bound.
+ *
+ * Header-only: the client (tools/dgload), the server connection, and
+ * the framing micro-bench all share the exact same code path.
+ */
+
+#ifndef DEPGRAPH_NET_FRAMING_HH
+#define DEPGRAPH_NET_FRAMING_HH
+
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace depgraph::net
+{
+
+class LineFramer
+{
+  public:
+    explicit LineFramer(std::size_t max_line_bytes = 8192)
+        : max_(max_line_bytes)
+    {}
+
+    /**
+     * Append raw bytes. @return false when the unterminated tail now
+     * exceeds the cap -- the stream is hostile or corrupt and the
+     * caller should reply 413 and close. Already-complete lines
+     * buffered before the overflow are still retrievable.
+     */
+    bool
+    append(const char *data, std::size_t n)
+    {
+        buf_.append(data, n);
+        // The chunk is the buffer's new suffix, so only it needs
+        // scanning to keep the tail count current: appends stay
+        // O(chunk), never O(buffer).
+        const auto nl = std::string_view(data, n).rfind('\n');
+        if (nl != std::string_view::npos)
+            tail_ = n - nl - 1;
+        else
+            tail_ += n;
+        return tail_ <= max_;
+    }
+
+    bool
+    append(std::string_view s)
+    {
+        return append(s.data(), s.size());
+    }
+
+    /**
+     * Pop the next complete line into `line` (terminator stripped;
+     * a trailing '\r' is stripped too, so CRLF clients work).
+     * @return false when no complete line is buffered.
+     *
+     * Consumed lines advance a head offset instead of erasing the
+     * buffer's front, so draining a large pipelined burst is linear
+     * in its size, not quadratic.
+     */
+    bool
+    next(std::string &line)
+    {
+        const auto nl = buf_.find('\n', scanned_);
+        if (nl == std::string::npos) {
+            // Remember how far we scanned so pathological inputs do
+            // not make next() quadratic across appends.
+            scanned_ = buf_.size();
+            return false;
+        }
+        std::size_t len = nl - head_;
+        if (len > 0 && buf_[nl - 1] == '\r')
+            --len;
+        line.assign(buf_, head_, len);
+        head_ = nl + 1;
+        scanned_ = head_;
+        compact();
+        return true;
+    }
+
+    /** Bytes buffered past the last complete line. */
+    std::size_t tailBytes() const { return tail_; }
+
+    std::size_t bufferedBytes() const { return buf_.size() - head_; }
+    std::size_t maxLineBytes() const { return max_; }
+
+    /** The raw buffer (HTTP detection peeks at the first bytes). */
+    std::string_view
+    raw() const
+    {
+        return std::string_view(buf_).substr(head_);
+    }
+
+    /** Drop `n` bytes from the front (an HTTP request was parsed out
+     * of the raw buffer by other means). */
+    void
+    consume(std::size_t n)
+    {
+        head_ += std::min(n, buf_.size() - head_);
+        scanned_ = head_;
+        const auto rest = raw();
+        const auto nl = rest.rfind('\n');
+        tail_ = nl == std::string_view::npos ? rest.size()
+                                             : rest.size() - nl - 1;
+        compact();
+    }
+
+    void
+    clear()
+    {
+        buf_.clear();
+        head_ = scanned_ = tail_ = 0;
+    }
+
+  private:
+    /**
+     * Reclaim the consumed prefix once it dominates the buffer. The
+     * moved remainder is at most the bytes consumed since the last
+     * compaction, so the cost amortizes to O(1) per consumed byte.
+     */
+    void
+    compact()
+    {
+        if (head_ >= 4096 && head_ * 2 >= buf_.size()) {
+            buf_.erase(0, head_);
+            scanned_ -= head_;
+            head_ = 0;
+        }
+    }
+
+    std::string buf_;
+    std::size_t head_ = 0;    ///< bytes already handed out
+    std::size_t scanned_ = 0; ///< '\n'-free prefix already scanned
+    std::size_t tail_ = 0;    ///< bytes past the last '\n'
+    std::size_t max_;
+};
+
+} // namespace depgraph::net
+
+#endif // DEPGRAPH_NET_FRAMING_HH

@@ -1,0 +1,157 @@
+#include "net/http.hh"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <sstream>
+
+namespace depgraph::net
+{
+
+namespace
+{
+
+constexpr std::array<std::string_view, 5> kMethods = {
+    "GET ", "HEAD ", "POST ", "PUT ", "DELETE ",
+};
+
+std::string_view
+trim(std::string_view s)
+{
+    while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+        s.remove_prefix(1);
+    while (!s.empty() && (s.back() == ' ' || s.back() == '\t'
+                          || s.back() == '\r'))
+        s.remove_suffix(1);
+    return s;
+}
+
+bool
+iequals(std::string_view a, std::string_view b)
+{
+    return a.size() == b.size()
+        && std::equal(a.begin(), a.end(), b.begin(),
+                      [](char x, char y) {
+                          return std::tolower(static_cast<unsigned char>(
+                                     x))
+                              == std::tolower(
+                                  static_cast<unsigned char>(y));
+                      });
+}
+
+} // namespace
+
+bool
+looksLikeHttp(std::string_view prefix)
+{
+    for (const auto m : kMethods) {
+        const auto n = std::min(prefix.size(), m.size());
+        if (prefix.substr(0, n) == m.substr(0, n) && n == m.size())
+            return true;
+    }
+    return false;
+}
+
+HttpParse
+parseHttpRequest(std::string_view in, HttpRequest &req,
+                 std::size_t &consumed)
+{
+    const auto end = in.find("\r\n\r\n");
+    std::size_t term = 4;
+    auto head_end = end;
+    if (head_end == std::string_view::npos) {
+        // Tolerate bare-LF clients (netcat scripts).
+        head_end = in.find("\n\n");
+        term = 2;
+    }
+    if (head_end == std::string_view::npos)
+        return in.size() > kMaxHttpHeaderBytes ? HttpParse::Bad
+                                               : HttpParse::NeedMore;
+    if (head_end + term > kMaxHttpHeaderBytes)
+        return HttpParse::Bad;
+    consumed = head_end + term;
+
+    const auto head = in.substr(0, head_end);
+    const auto line_end = head.find('\n');
+    const auto request_line =
+        trim(line_end == std::string_view::npos ? head
+                                                : head.substr(0, line_end));
+
+    const auto sp1 = request_line.find(' ');
+    if (sp1 == std::string_view::npos)
+        return HttpParse::Bad;
+    const auto sp2 = request_line.find(' ', sp1 + 1);
+    if (sp2 == std::string_view::npos)
+        return HttpParse::Bad;
+    req.method = std::string(request_line.substr(0, sp1));
+    req.target =
+        std::string(trim(request_line.substr(sp1 + 1, sp2 - sp1 - 1)));
+    const auto version = trim(request_line.substr(sp2 + 1));
+    if (version.substr(0, 5) != "HTTP/")
+        return HttpParse::Bad;
+    // HTTP/1.0 defaults to close; 1.1 to keep-alive.
+    req.keepAlive = version != "HTTP/1.0";
+
+    // Headers: only Connection matters to us.
+    std::size_t pos =
+        line_end == std::string_view::npos ? head.size() : line_end + 1;
+    while (pos < head.size()) {
+        auto eol = head.find('\n', pos);
+        if (eol == std::string_view::npos)
+            eol = head.size();
+        const auto line = trim(head.substr(pos, eol - pos));
+        pos = eol + 1;
+        const auto colon = line.find(':');
+        if (colon == std::string_view::npos)
+            continue;
+        const auto name = trim(line.substr(0, colon));
+        const auto value = trim(line.substr(colon + 1));
+        if (iequals(name, "connection")) {
+            if (iequals(value, "close"))
+                req.keepAlive = false;
+            else if (iequals(value, "keep-alive"))
+                req.keepAlive = true;
+        } else if (iequals(name, "content-length")
+                   && value != "0") {
+            // We serve GET/HEAD only; a body means a client we do not
+            // understand. Refuse rather than desync the stream.
+            return HttpParse::Bad;
+        }
+    }
+    return HttpParse::Ok;
+}
+
+const char *
+httpReason(int status)
+{
+    switch (status) {
+      case 200:
+        return "OK";
+      case 400:
+        return "Bad Request";
+      case 404:
+        return "Not Found";
+      case 405:
+        return "Method Not Allowed";
+      case 503:
+        return "Service Unavailable";
+    }
+    return "Unknown";
+}
+
+std::string
+httpResponse(int status, std::string_view content_type,
+             std::string_view body, bool keep_alive)
+{
+    std::ostringstream os;
+    os << "HTTP/1.1 " << status << " " << httpReason(status) << "\r\n"
+       << "Content-Type: " << content_type << "\r\n"
+       << "Content-Length: " << body.size() << "\r\n"
+       << "Connection: " << (keep_alive ? "keep-alive" : "close")
+       << "\r\n\r\n";
+    os.write(body.data(),
+             static_cast<std::streamsize>(body.size()));
+    return os.str();
+}
+
+} // namespace depgraph::net

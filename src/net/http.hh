@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Minimal HTTP/1.1 support for the serving endpoints.
+ *
+ * dgserve's native protocol stays line-oriented; HTTP exists only so
+ * standard tooling can hit `GET /metrics` (Prometheus text exposition)
+ * and `GET /healthz` without a custom client. The parser handles
+ * exactly what those need: a request line plus headers, keep-alive,
+ * and a hard cap on the header block. Anything fancier (bodies,
+ * chunked encoding, continuations) is rejected as 400.
+ */
+
+#ifndef DEPGRAPH_NET_HTTP_HH
+#define DEPGRAPH_NET_HTTP_HH
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace depgraph::net
+{
+
+/** Largest request-line + header block we accept. */
+inline constexpr std::size_t kMaxHttpHeaderBytes = 8192;
+
+struct HttpRequest
+{
+    std::string method; ///< "GET", "HEAD", ...
+    std::string target; ///< "/metrics", "/healthz?verbose=1", ...
+    bool keepAlive = true;
+};
+
+enum class HttpParse
+{
+    NeedMore, ///< header block not complete yet
+    Ok,       ///< request parsed; `consumed` bytes used
+    Bad,      ///< malformed or over the header cap; close with 400
+};
+
+/**
+ * Try to parse one request from the front of `in`.
+ * On Ok, `consumed` is the byte count of the request (including the
+ * terminating blank line) to strip from the stream.
+ */
+HttpParse parseHttpRequest(std::string_view in, HttpRequest &req,
+                           std::size_t &consumed);
+
+/**
+ * Does this byte prefix look like an HTTP request rather than a
+ * dgserve protocol line? Safe to call on a partial prefix: returns
+ * false until enough bytes arrived to tell (no protocol verb starts
+ * like an HTTP method, so one token + space decides).
+ */
+bool looksLikeHttp(std::string_view prefix);
+
+/** Serialize a full response (status line, headers, body). */
+std::string httpResponse(int status, std::string_view content_type,
+                         std::string_view body, bool keep_alive);
+
+/** Reason phrase for the handful of statuses we emit. */
+const char *httpReason(int status);
+
+} // namespace depgraph::net
+
+#endif // DEPGRAPH_NET_HTTP_HH

@@ -1,0 +1,101 @@
+#include "net/router.hh"
+
+#include <mutex>
+
+namespace depgraph::net
+{
+
+ShardRouter::ShardRouter(RouterOptions opt)
+    : opt_(opt)
+{
+    if (opt_.replicas == 0)
+        opt_.replicas = 1;
+}
+
+std::uint64_t
+ShardRouter::hashKey(std::string_view s)
+{
+    std::uint64_t h = 14695981039346656037ull; // FNV offset basis
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull; // FNV prime
+    }
+    // Finalize (splitmix64): FNV alone clusters sequential suffixes,
+    // which shows up as ring imbalance with few endpoints.
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 27;
+    h *= 0x94d049bb133111ebull;
+    h ^= h >> 31;
+    return h;
+}
+
+void
+ShardRouter::add(const std::string &endpoint)
+{
+    std::unique_lock lk(mu_);
+    if (!members_.insert(endpoint).second)
+        return;
+    for (unsigned i = 0; i < opt_.replicas; ++i)
+        ring_.emplace(hashKey(endpoint + "#" + std::to_string(i)),
+                      endpoint);
+}
+
+bool
+ShardRouter::remove(const std::string &endpoint)
+{
+    std::unique_lock lk(mu_);
+    if (members_.erase(endpoint) == 0)
+        return false;
+    for (auto it = ring_.begin(); it != ring_.end();) {
+        if (it->second == endpoint)
+            it = ring_.erase(it);
+        else
+            ++it;
+    }
+    return true;
+}
+
+std::size_t
+ShardRouter::size() const
+{
+    std::shared_lock lk(mu_);
+    return members_.size();
+}
+
+std::vector<std::string>
+ShardRouter::endpoints() const
+{
+    std::shared_lock lk(mu_);
+    return {members_.begin(), members_.end()};
+}
+
+std::string
+ShardRouter::shardFor(std::string_view key) const
+{
+    std::shared_lock lk(mu_);
+    if (ring_.empty())
+        return {};
+    auto it = ring_.lower_bound(hashKey(key));
+    if (it == ring_.end())
+        it = ring_.begin(); // wrap around the ring
+    return it->second;
+}
+
+std::string
+ShardRouter::partitionKey(const std::string &graph, VertexId v,
+                          std::uint32_t partitions)
+{
+    if (partitions == 0)
+        return graph;
+    return graph + "/" + std::to_string(v % partitions);
+}
+
+std::string
+ShardRouter::shardForVertex(const std::string &graph, VertexId v,
+                            std::uint32_t partitions) const
+{
+    return shardFor(partitionKey(graph, v, partitions));
+}
+
+} // namespace depgraph::net

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * ShardRouter: consistent-hash placement of graphs (and vertex-range
+ * partitions of one graph) across service instances.
+ *
+ * Classic ring with virtual nodes: every endpoint owns `replicas`
+ * points on a 64-bit ring; a key routes to the first point clockwise
+ * from its hash. Adding or removing one endpoint therefore moves only
+ * ~1/n of the keyspace instead of reshuffling everything -- the
+ * property that lets a fleet scale horizontally while clients keep
+ * warm per-shard state (the shard's fixpoint caches stay valid for the
+ * graphs that did not move).
+ *
+ * Hashing is FNV-1a, NOT std::hash: routing must agree across
+ * processes and library versions, because the client (dgload, or any
+ * edge proxy) computes placement independently of the servers.
+ *
+ * Two key schemes:
+ *  - whole graph:      key = graph name
+ *  - vertex partition: key = "<graph>/<partition>", partition =
+ *    vertex % partitions (contiguous round-robin ranges). One graph
+ *    too hot for a single instance spreads its vertex ranges while
+ *    every client still agrees where vertex v lives.
+ */
+
+#ifndef DEPGRAPH_NET_ROUTER_HH
+#define DEPGRAPH_NET_ROUTER_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace depgraph::net
+{
+
+struct RouterOptions
+{
+    /** Virtual nodes per endpoint; more = smoother balance. */
+    unsigned replicas = 64;
+};
+
+class ShardRouter
+{
+  public:
+    explicit ShardRouter(RouterOptions opt = {});
+
+    /** Add an endpoint ("host:port"). Duplicate adds are no-ops. */
+    void add(const std::string &endpoint);
+
+    /** @return true if the endpoint was a member. */
+    bool remove(const std::string &endpoint);
+
+    std::size_t size() const;
+    std::vector<std::string> endpoints() const;
+
+    /** Endpoint owning `key`; "" when the ring is empty. */
+    std::string shardFor(std::string_view key) const;
+
+    std::string
+    shardForGraph(const std::string &graph) const
+    {
+        return shardFor(graph);
+    }
+
+    /**
+     * Endpoint owning vertex `v` of `graph` split into `partitions`
+     * vertex ranges (partitions == 0 routes the whole graph).
+     */
+    std::string shardForVertex(const std::string &graph, VertexId v,
+                               std::uint32_t partitions) const;
+
+    /** The partition key shardForVertex() routes ("g/3"). */
+    static std::string partitionKey(const std::string &graph,
+                                    VertexId v,
+                                    std::uint32_t partitions);
+
+    /** FNV-1a 64-bit; stable across processes by construction. */
+    static std::uint64_t hashKey(std::string_view s);
+
+  private:
+    mutable std::shared_mutex mu_;
+    RouterOptions opt_;
+    std::map<std::uint64_t, std::string> ring_; ///< point -> endpoint
+    std::set<std::string> members_;
+};
+
+} // namespace depgraph::net
+
+#endif // DEPGRAPH_NET_ROUTER_HH

@@ -1,0 +1,468 @@
+#include "net/server.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "obs/span.hh"
+
+namespace depgraph::net
+{
+
+using service::RequestType;
+
+namespace
+{
+
+/** Admission class of a protocol line; control verbs (stats, drain,
+ * help, metrics, quit, ...) return nullopt and are never shed. */
+std::optional<RequestType>
+admissionClass(const std::string &line)
+{
+    const auto start = line.find_first_not_of(" \t");
+    if (start == std::string::npos)
+        return std::nullopt;
+    const auto end = line.find_first_of(" \t", start);
+    const auto verb = line.substr(start, end == std::string::npos
+                                             ? std::string::npos
+                                             : end - start);
+    if (verb == "query")
+        return RequestType::Query;
+    if (verb == "update" || verb == "del" || verb == "delete")
+        return RequestType::StreamUpdates;
+    if (verb == "flush")
+        return RequestType::Flush;
+    if (verb == "load")
+        return RequestType::Load;
+    return std::nullopt;
+}
+
+/** Stable span name for a protocol line's verb. */
+const char *
+spanName(const std::string &line)
+{
+    const auto cls = admissionClass(line);
+    if (!cls)
+        return "control";
+    switch (*cls) {
+      case RequestType::Query:
+        return "query";
+      case RequestType::StreamUpdates:
+        return "update";
+      case RequestType::Flush:
+        return "flush";
+      case RequestType::Load:
+        return "load";
+    }
+    return "control";
+}
+
+} // namespace
+
+Server::Server(service::GraphService &svc, ServerOptions opt)
+    : svc_(svc), opt_(std::move(opt)),
+      admission_(svc.rawStats(), opt_.admission)
+{
+    auto &reg = obs::registry();
+    mAccepted_ = &reg.counter("dg_net_connections_accepted_total",
+                              "TCP connections accepted");
+    mClosed_ = &reg.counter("dg_net_connections_closed_total",
+                            "TCP connections closed");
+    mRejectedConns_ =
+        &reg.counter("dg_net_connections_rejected_total",
+                     "connections refused at the cap or during drain");
+    mActive_ = &reg.gauge("dg_net_connections_active",
+                          "currently open connections");
+    mBytesIn_ = &reg.counter("dg_net_bytes_read_total",
+                             "bytes read from clients");
+    mBytesOut_ = &reg.counter("dg_net_bytes_written_total",
+                              "bytes written to clients");
+    mLineRequests_ = &reg.counter("dg_net_requests_total",
+                                  "requests served by protocol",
+                                  {{"proto", "line"}});
+    mHttpRequests_ = &reg.counter("dg_net_requests_total",
+                                  "requests served by protocol",
+                                  {{"proto", "http"}});
+    mErrReplies_ = &reg.counter("dg_net_protocol_errors_total",
+                                "line requests answered with err");
+    mShed_ = &reg.counter("dg_net_shed_total",
+                          "requests shed by admission control");
+    mOversized_ = &reg.counter("dg_net_oversized_lines_total",
+                               "connections dropped for oversized "
+                               "frames");
+    mRequestUs_ = &reg.histogram("dg_net_request_us",
+                                 "dispatch-to-reply latency of line "
+                                 "requests (us)");
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+bool
+Server::start()
+{
+    if (running())
+        return true;
+    if (!loop_.valid()) {
+        error_ = "epoll unavailable";
+        return false;
+    }
+
+    listenFd_ = ::socket(AF_INET,
+                         SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                         0);
+    if (listenFd_ < 0) {
+        error_ = std::strerror(errno);
+        return false;
+    }
+    const int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    ::sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(opt_.port);
+    if (::inet_pton(AF_INET, opt_.host.c_str(), &addr.sin_addr)
+        != 1) {
+        error_ = "bad listen address '" + opt_.host + "'";
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    if (::bind(listenFd_, reinterpret_cast<::sockaddr *>(&addr),
+               sizeof(addr))
+            != 0
+        || ::listen(listenFd_, 128) != 0) {
+        error_ = std::strerror(errno);
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    ::socklen_t len = sizeof(addr);
+    ::getsockname(listenFd_, reinterpret_cast<::sockaddr *>(&addr),
+                  &len);
+    boundPort_ = ntohs(addr.sin_port);
+
+    {
+        std::lock_guard lk(workMu_);
+        workStop_ = false;
+    }
+    const unsigned nd = opt_.dispatchers ? opt_.dispatchers : 1;
+    dispatchers_.reserve(nd);
+    for (unsigned i = 0; i < nd; ++i)
+        dispatchers_.emplace_back([this] { dispatcherLoop(); });
+
+    running_.store(true, std::memory_order_release);
+    draining_.store(false, std::memory_order_release);
+
+    loopThread_ = std::thread([this] {
+        loop_.add(listenFd_, EPOLLIN,
+                  [this](std::uint32_t) { acceptReady(); });
+        loop_.run(opt_.tickInterval, [this] { onTick(); });
+    });
+    return true;
+}
+
+std::string
+Server::endpoint() const
+{
+    std::ostringstream os;
+    os << opt_.host << ":" << boundPort_;
+    return os.str();
+}
+
+void
+Server::acceptReady()
+{
+    for (;;) {
+        const int fd = ::accept4(listenFd_, nullptr, nullptr,
+                                 SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            break; // EAGAIN and friends
+        }
+        if (draining_.load(std::memory_order_acquire)
+            || conns_.size() >= opt_.maxConnections) {
+            mRejectedConns_->inc();
+            ::close(fd);
+            continue;
+        }
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        acceptedConns_.fetch_add(1, std::memory_order_relaxed);
+        mAccepted_->inc();
+        auto conn = std::make_shared<Connection>(*this, loop_, fd,
+                                                 opt_.maxLineBytes);
+        conns_.emplace(fd, conn);
+        activeConns_.store(conns_.size(), std::memory_order_relaxed);
+        mActive_->set(static_cast<double>(conns_.size()));
+        conn->start();
+    }
+}
+
+void
+Server::onConnectionClosed(Connection &conn)
+{
+    mClosed_->inc();
+    // The fd is already -1 by the time close() notifies; erase by
+    // identity.
+    for (auto it = conns_.begin(); it != conns_.end();) {
+        if (it->second.get() == &conn)
+            it = conns_.erase(it);
+        else
+            ++it;
+    }
+    activeConns_.store(conns_.size(), std::memory_order_relaxed);
+    mActive_->set(static_cast<double>(conns_.size()));
+    if (draining_.load(std::memory_order_acquire) && conns_.empty())
+        notifyDrained();
+}
+
+std::optional<std::chrono::milliseconds>
+Server::admitLine(const std::string &line)
+{
+    if (!admission_.enabled())
+        return std::nullopt;
+    const auto cls = admissionClass(line);
+    if (!cls)
+        return std::nullopt;
+    const auto verdict = admission_.check(*cls);
+    if (verdict)
+        mShed_->inc();
+    return verdict;
+}
+
+void
+Server::dispatchLine(std::shared_ptr<Connection> conn,
+                     std::string line)
+{
+    enqueueWork([this, conn = std::move(conn),
+                 line = std::move(line)] {
+        const auto start = std::chrono::steady_clock::now();
+        service::CommandResult r;
+        {
+            obs::span::Scoped span("net", spanName(line));
+            r = service::runCommandLine(svc_, line);
+        }
+        mLineRequests_->inc();
+        if (r.output.rfind("err", 0) == 0)
+            mErrReplies_->inc();
+        mRequestUs_->record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count()));
+        std::string reply =
+            r.output.empty() ? std::string() : r.output + "\n";
+        loop_.post([conn, reply = std::move(reply),
+                    quit = r.quit]() mutable {
+            conn->completeRequest(std::move(reply), quit);
+        });
+    });
+}
+
+void
+Server::dispatchMetrics(std::shared_ptr<Connection> conn,
+                        bool keep_alive, bool head_only)
+{
+    enqueueWork([this, conn = std::move(conn), keep_alive,
+                 head_only] {
+        svc_.publishStats();
+        const auto body = obs::registry().renderPrometheus();
+        auto reply = httpResponse(
+            200, "text/plain; version=0.0.4",
+            head_only ? std::string_view() : std::string_view(body),
+            keep_alive);
+        loop_.post([conn, reply = std::move(reply),
+                    keep_alive]() mutable {
+            conn->completeRequest(std::move(reply), !keep_alive);
+        });
+    });
+}
+
+void
+Server::onTick()
+{
+    svc_.store().sweep();
+    mActive_->set(static_cast<double>(conns_.size()));
+}
+
+void
+Server::beginDrain()
+{
+    if (draining_.exchange(true, std::memory_order_acq_rel))
+        return;
+    loop_.post([this] {
+        if (listenFd_ >= 0) {
+            loop_.remove(listenFd_);
+            ::close(listenFd_);
+            listenFd_ = -1;
+        }
+        // Snapshot: beginDrain() may close idle connections, which
+        // mutates conns_ under our feet.
+        std::vector<std::shared_ptr<Connection>> snapshot;
+        snapshot.reserve(conns_.size());
+        for (auto &[fd, c] : conns_)
+            snapshot.push_back(c);
+        for (auto &c : snapshot)
+            c->beginDrain();
+        if (conns_.empty())
+            notifyDrained();
+    });
+}
+
+void
+Server::notifyDrained()
+{
+    // Lock before notifying: drainAndStop() checks the atomic under
+    // drainMu_, so an unsynchronized notify could slip between its
+    // predicate check and the wait (missed wakeup).
+    std::lock_guard lk(drainMu_);
+    drainCv_.notify_all();
+}
+
+bool
+Server::drainAndStop(std::chrono::milliseconds deadline)
+{
+    if (!running())
+        return true;
+    const auto until = std::chrono::steady_clock::now() + deadline;
+    beginDrain();
+
+    bool conns_done;
+    {
+        std::unique_lock lk(drainMu_);
+        conns_done = drainCv_.wait_until(lk, until, [&] {
+            return activeConns_.load(std::memory_order_acquire) == 0;
+        });
+    }
+    if (!conns_done)
+        loop_.post([this] { closeAllConnections(); });
+
+    // Whatever budget remains goes to the service: finish accepted
+    // requests, then flush pending update batches (always flushed,
+    // even on timeout -- acknowledged updates are never dropped).
+    const auto now = std::chrono::steady_clock::now();
+    const auto remaining =
+        now < until ? std::chrono::duration_cast<
+                          std::chrono::milliseconds>(until - now)
+                    : std::chrono::milliseconds(0);
+    const bool svc_done = svc_.drainFor(remaining);
+
+    stop();
+    return conns_done && svc_done;
+}
+
+void
+Server::closeAllConnections()
+{
+    std::vector<std::shared_ptr<Connection>> snapshot;
+    snapshot.reserve(conns_.size());
+    for (auto &[fd, c] : conns_)
+        snapshot.push_back(c);
+    for (auto &c : snapshot)
+        c->close();
+    if (conns_.empty())
+        notifyDrained();
+}
+
+void
+Server::stop()
+{
+    if (!running_.exchange(false, std::memory_order_acq_rel))
+        return;
+    draining_.store(true, std::memory_order_release);
+    loop_.post([this] {
+        closeAllConnections();
+        if (listenFd_ >= 0) {
+            loop_.remove(listenFd_);
+            ::close(listenFd_);
+            listenFd_ = -1;
+        }
+        loop_.stop();
+    });
+    joinThreads();
+}
+
+void
+Server::joinThreads()
+{
+    if (loopThread_.joinable())
+        loopThread_.join();
+    {
+        std::lock_guard lk(workMu_);
+        workStop_ = true;
+    }
+    workCv_.notify_all();
+    for (auto &t : dispatchers_)
+        if (t.joinable())
+            t.join();
+    dispatchers_.clear();
+}
+
+void
+Server::enqueueWork(std::function<void()> fn)
+{
+    {
+        std::lock_guard lk(workMu_);
+        work_.push_back(std::move(fn));
+    }
+    workCv_.notify_one();
+}
+
+void
+Server::dispatcherLoop()
+{
+    for (;;) {
+        std::function<void()> fn;
+        {
+            std::unique_lock lk(workMu_);
+            workCv_.wait(lk, [&] {
+                return workStop_ || !work_.empty();
+            });
+            if (work_.empty()) {
+                if (workStop_)
+                    return;
+                continue;
+            }
+            fn = std::move(work_.front());
+            work_.pop_front();
+        }
+        fn();
+    }
+}
+
+void
+Server::noteBytesRead(std::size_t n)
+{
+    mBytesIn_->inc(n);
+}
+
+void
+Server::noteBytesWritten(std::size_t n)
+{
+    mBytesOut_->inc(n);
+}
+
+void
+Server::noteOversized()
+{
+    mOversized_->inc();
+}
+
+void
+Server::noteHttpRequest()
+{
+    mHttpRequests_->inc();
+}
+
+} // namespace depgraph::net

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * net::Server -- the TCP front end of a GraphService.
+ *
+ * Architecture (one process = one shard of a ShardRouter fleet):
+ *
+ *   accept ──▶ event loop (epoll, 1 thread)
+ *                │  frames lines / parses HTTP, applies admission
+ *                ▼
+ *              dispatcher threads ──▶ service::runCommandLine()
+ *                │                     (blocks on the service's own
+ *                ▼                      worker pool like any client)
+ *              loop.post(reply) ──▶ connection write buffer
+ *
+ * The event loop never blocks on the service: requests hop to a small
+ * dispatcher pool, so one slow query stalls only its own connection
+ * (ordering is per-connection) while the loop keeps serving everyone
+ * else. Admission control sheds work before it costs a dispatcher or
+ * a queue slot (`err 429 ... retry-after=<ms>`).
+ *
+ * Graceful lifecycle: beginDrain() closes the listener and lets every
+ * connection finish its in-flight and already-queued requests -- an
+ * acknowledged write is never dropped -- while refusing new lines with
+ * err 503. drainAndStop() bounds that with a deadline, then drains the
+ * service itself (flushing pending update batches) and joins all
+ * threads. dgserve wires SIGTERM/SIGINT to exactly this path.
+ */
+
+#ifndef DEPGRAPH_NET_SERVER_HH
+#define DEPGRAPH_NET_SERVER_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/admission.hh"
+#include "net/connection.hh"
+#include "net/event_loop.hh"
+#include "obs/metrics.hh"
+#include "service/protocol.hh"
+
+namespace depgraph::net
+{
+
+struct ServerOptions
+{
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0; ///< 0 = ephemeral (see Server::port())
+    /** Threads executing protocol commands against the service. */
+    unsigned dispatchers = 4;
+    std::size_t maxConnections = 1024;
+    std::size_t maxLineBytes = service::kMaxLineBytes;
+    AdmissionOptions admission;
+    /** Periodic loop tick: snapshot-store TTL sweep + gauge refresh. */
+    std::chrono::milliseconds tickInterval{500};
+};
+
+class Server
+{
+  public:
+    Server(service::GraphService &svc, ServerOptions opt = {});
+
+    /** Stops hard if still running (prefer drainAndStop first). */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind, listen, start the loop + dispatcher threads.
+     * @return false on bind/listen failure (see lastError()).
+     */
+    bool start();
+
+    /** Actual bound port (resolves port 0 to the kernel's choice). */
+    std::uint16_t port() const { return boundPort_; }
+
+    std::string endpoint() const;
+
+    const std::string &lastError() const { return error_; }
+
+    bool
+    running() const
+    {
+        return running_.load(std::memory_order_acquire);
+    }
+
+    /** Stop accepting; existing connections wind down (async). */
+    void beginDrain();
+
+    /**
+     * Graceful shutdown with a deadline: beginDrain(), wait for every
+     * connection to finish its accepted requests, force-close whatever
+     * remains at the deadline, then drain the service (applying
+     * pending update batches) and join all threads.
+     * @return true when everything finished inside the deadline.
+     */
+    bool drainAndStop(std::chrono::milliseconds deadline);
+
+    /** Immediate shutdown: close everything, join threads. */
+    void stop();
+
+    service::GraphService &service() { return svc_; }
+    AdmissionController &admission() { return admission_; }
+    const ServerOptions &options() const { return opt_; }
+
+    std::uint64_t
+    connectionsAccepted() const
+    {
+        return acceptedConns_.load(std::memory_order_relaxed);
+    }
+
+    std::size_t
+    activeConnections() const
+    {
+        return activeConns_.load(std::memory_order_relaxed);
+    }
+
+    /* ---- internal interface for Connection (loop thread) ---- */
+
+    EventLoop &loop() { return loop_; }
+
+    /** Admission verdict for one protocol line (classifies the verb;
+     * control verbs are never shed). */
+    std::optional<std::chrono::milliseconds>
+    admitLine(const std::string &line);
+
+    /** Run a protocol line on a dispatcher; the reply comes back via
+     * conn->completeRequest(). */
+    void dispatchLine(std::shared_ptr<Connection> conn,
+                      std::string line);
+
+    /** Serve GET /metrics on a dispatcher (renders the registry). */
+    void dispatchMetrics(std::shared_ptr<Connection> conn,
+                         bool keep_alive, bool head_only);
+
+    void onConnectionClosed(Connection &conn);
+
+    void noteBytesRead(std::size_t n);
+    void noteBytesWritten(std::size_t n);
+    void noteOversized();
+    void noteHttpRequest();
+
+  private:
+    void acceptReady();
+    void onTick();
+    void dispatcherLoop();
+    void enqueueWork(std::function<void()> fn);
+    void closeAllConnections();
+    void notifyDrained();
+    void joinThreads();
+
+    service::GraphService &svc_;
+    ServerOptions opt_;
+    AdmissionController admission_;
+
+    EventLoop loop_;
+    std::thread loopThread_;
+    int listenFd_ = -1;
+    std::uint16_t boundPort_ = 0;
+    std::string error_;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> draining_{false};
+
+    /** Loop-thread only. */
+    std::unordered_map<int, std::shared_ptr<Connection>> conns_;
+
+    std::atomic<std::size_t> activeConns_{0};
+    std::atomic<std::uint64_t> acceptedConns_{0};
+
+    std::mutex drainMu_;
+    std::condition_variable drainCv_;
+
+    std::vector<std::thread> dispatchers_;
+    std::mutex workMu_;
+    std::condition_variable workCv_;
+    std::deque<std::function<void()>> work_;
+    bool workStop_ = false;
+
+    /* dg_net_* metric handles (process-global registry). */
+    obs::Counter *mAccepted_;
+    obs::Counter *mClosed_;
+    obs::Counter *mRejectedConns_;
+    obs::Gauge *mActive_;
+    obs::Counter *mBytesIn_;
+    obs::Counter *mBytesOut_;
+    obs::Counter *mLineRequests_;
+    obs::Counter *mHttpRequests_;
+    obs::Counter *mErrReplies_;
+    obs::Counter *mShed_;
+    obs::Counter *mOversized_;
+    obs::Histogram *mRequestUs_;
+};
+
+} // namespace depgraph::net
+
+#endif // DEPGRAPH_NET_SERVER_HH

@@ -53,12 +53,21 @@ parseDouble(const std::string &s, double &out)
 }
 
 CommandResult
+err(int code, const std::string &reason)
+{
+    return protocolError(code, reason);
+}
+
+/** Bad-argument / malformed-frame shorthand. */
+CommandResult
 err(const std::string &reason)
 {
-    return {"err: " + reason};
+    return protocolError(400, reason);
 }
 
 const char *kHelp =
+    "ok verbs: load query update del flush graphs stats metrics "
+    "drain trace help quit\n"
     "commands:\n"
     "  load <name> powerlaw <n> [alpha] [degree] [seed]\n"
     "  load <name> grid <rows> <cols>\n"
@@ -69,7 +78,10 @@ const char *kHelp =
     "  del <name> <src> <dst> [weight]   (no weight = any weight)\n"
     "  flush <name>\n"
     "  graphs | stats | metrics | drain | help | quit\n"
-    "  trace on | off | dump <path>   (Chrome trace_event JSON)";
+    "  trace on | off | dump <path>   (Chrome trace_event JSON)\n"
+    "errors: 'err <code> <msg>' (400 bad request, 404 unknown graph,\n"
+    "  408 deadline, 413 line too long, 429 rejected/overloaded "
+    "with retry-after=<ms>, 500 internal, 503 shutting down)";
 
 CommandResult
 doLoad(GraphService &svc, const std::vector<std::string> &t)
@@ -151,8 +163,8 @@ doQuery(GraphService &svc, const std::vector<std::string> &t)
 
     const auto r = svc.query(spec).get();
     if (!r.ok())
-        return err(std::string(statusName(r.status)) + " "
-                   + r.error);
+        return err(errCodeFor(r.status),
+                   std::string(statusName(r.status)) + " " + r.error);
 
     std::ostringstream os;
     os << "ok v=" << r.version << " algo=" << spec.algorithm
@@ -197,8 +209,8 @@ doUpdate(GraphService &svc, const std::vector<std::string> &t)
                                         w}})
                        .get();
     if (!r.ok())
-        return err(std::string(statusName(r.status)) + " "
-                   + r.error);
+        return err(errCodeFor(r.status),
+                   std::string(statusName(r.status)) + " " + r.error);
     std::ostringstream os;
     os << "ok enqueued=" << r.enqueuedEdges << " pending="
        << r.pendingEdges;
@@ -230,8 +242,8 @@ doDelete(GraphService &svc, const std::vector<std::string> &t)
                                           w}})
                        .get();
     if (!r.ok())
-        return err(std::string(statusName(r.status)) + " "
-                   + r.error);
+        return err(errCodeFor(r.status),
+                   std::string(statusName(r.status)) + " " + r.error);
     std::ostringstream os;
     os << "ok enqueued=" << r.enqueuedEdges << " pending="
        << r.pendingEdges;
@@ -243,8 +255,38 @@ doDelete(GraphService &svc, const std::vector<std::string> &t)
 } // namespace
 
 CommandResult
+protocolError(int code, const std::string &msg)
+{
+    return {"err " + std::to_string(code) + " " + msg};
+}
+
+int
+errCodeFor(Status s)
+{
+    switch (s) {
+      case Status::Ok:
+        return 200;
+      case Status::NotFound:
+        return 404;
+      case Status::BadRequest:
+        return 400;
+      case Status::Rejected:
+        return 429;
+      case Status::DeadlineExceeded:
+        return 408;
+      case Status::ShuttingDown:
+        return 503;
+    }
+    return 500;
+}
+
+CommandResult
 runCommandLine(GraphService &svc, const std::string &line)
 {
+    if (line.size() > kMaxLineBytes)
+        return err(413,
+                   "line too long (max "
+                       + std::to_string(kMaxLineBytes) + " bytes)");
     const auto t = tokenize(line);
     if (t.empty() || t[0][0] == '#')
         return {""};
@@ -306,7 +348,7 @@ runCommandLine(GraphService &svc, const std::string &line)
                 return err("usage: trace dump <path>");
             std::ofstream os(t[2]);
             if (!os)
-                return err("cannot open '" + t[2] + "'");
+                return err(500, "cannot open '" + t[2] + "'");
             os << obs::span::dumpChromeJson();
             std::ostringstream msg;
             msg << "ok events=" << obs::span::recordedEvents()

@@ -19,8 +19,23 @@
  *   help
  *   quit
  *
- * Replies start with "ok" or "err: <reason>"; malformed input never
- * terminates the server.
+ * Replies start with "ok" or with a structured error line
+ * "err <code> <msg>", machine-parseable because the same protocol now
+ * also runs over TCP from untrusted clients (src/net/). Codes follow
+ * the HTTP convention so one table serves both planes:
+ *
+ *   400 malformed frame / bad argument / unknown verb
+ *   404 unknown graph
+ *   408 deadline exceeded while queued
+ *   413 line over the length cap
+ *   429 rejected (queue full, or shed by admission control --
+ *       the reply carries "retry-after=<ms>")
+ *   500 internal error
+ *   503 shutting down / draining
+ *
+ * Malformed input never terminates the server, and a line longer than
+ * kMaxLineBytes is answered with 413 instead of being buffered
+ * without bound.
  */
 
 #ifndef DEPGRAPH_SERVICE_PROTOCOL_HH
@@ -34,11 +49,21 @@
 namespace depgraph::service
 {
 
+/** Longest accepted protocol line; the transport enforces it while
+ * framing, runCommandLine() re-checks as defense in depth. */
+inline constexpr std::size_t kMaxLineBytes = 8192;
+
 struct CommandResult
 {
     std::string output; ///< reply text (no trailing newline)
     bool quit = false;  ///< the client asked to stop
 };
+
+/** Build one structured error reply line: "err <code> <msg>". */
+CommandResult protocolError(int code, const std::string &msg);
+
+/** The protocol error code for a service-level status. */
+int errCodeFor(Status s);
 
 /** Parse and execute one protocol line against the service. */
 CommandResult runCommandLine(GraphService &svc, const std::string &line);

@@ -70,7 +70,7 @@ deadlineIn(std::chrono::milliseconds timeout)
 }
 
 GraphService::GraphService(ServiceOptions opt)
-    : opt_(opt), system_(opt.system),
+    : opt_(opt), store_(opt.store), system_(opt.system),
       batcher_(store_, system_, stats_, opt.batcher), pool_(opt.pool)
 {
     if (opt_.statsLogInterval.count() > 0
@@ -299,6 +299,14 @@ GraphService::drain()
     batcher_.flushAll();
 }
 
+bool
+GraphService::drainFor(std::chrono::milliseconds timeout)
+{
+    const bool drained = pool_.drainFor(timeout);
+    batcher_.flushAll();
+    return drained;
+}
+
 void
 GraphService::shutdown()
 {
@@ -348,6 +356,7 @@ GraphService::reporterLoop()
             break;
         lk.unlock();
         const auto now = clock::now();
+        store_.sweep(); // no-op unless a snapshot TTL is configured
         if (now >= next_log) {
             dg_inform(stats().logLine());
             next_log = now + opt_.statsLogInterval;

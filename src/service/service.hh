@@ -86,6 +86,7 @@ struct ServiceOptions
 {
     ThreadPool::Options pool;
     UpdateBatcher::Options batcher;
+    StoreOptions store;  ///< snapshot retention (TTL / graph cap)
     SystemConfig system; ///< machine + engine config for all runs
     /** > 0: the reporter thread logs a stats line at this period. */
     std::chrono::milliseconds statsLogInterval{0};
@@ -145,6 +146,16 @@ class GraphService
      */
     void drain();
 
+    /**
+     * drain() with a deadline: wait up to `timeout` for accepted
+     * requests to finish, then flush pending update batches either
+     * way (acknowledged updates are never dropped -- on timeout the
+     * flush may run concurrently with stragglers, which the batcher's
+     * per-graph serialization makes safe). @return true when the pool
+     * fully drained in time.
+     */
+    bool drainFor(std::chrono::milliseconds timeout);
+
     /** Stop accepting requests, drain, join workers. Idempotent. */
     void shutdown();
 
@@ -157,6 +168,10 @@ class GraphService
     GraphStore &store() { return store_; }
     UpdateBatcher &batcher() { return batcher_; }
     const ServiceOptions &options() const { return opt_; }
+
+    /** Live counters/histograms (read-only): the net layer's
+     * admission controller taps the queue-wait histograms directly. */
+    const Stats &rawStats() const { return stats_; }
 
   private:
     struct Timed; // request bookkeeping helper

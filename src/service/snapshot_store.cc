@@ -19,6 +19,14 @@ freezeGraph(graph::Graph g)
 
 } // namespace
 
+GraphStore::GraphStore()
+    : GraphStore(StoreOptions{})
+{}
+
+GraphStore::GraphStore(StoreOptions opt)
+    : opt_(opt)
+{}
+
 std::uint64_t
 GraphStore::put(const std::string &name, graph::Graph g)
 {
@@ -27,9 +35,11 @@ GraphStore::put(const std::string &name, graph::Graph g)
     auto snap = std::make_shared<Snapshot>();
     snap->name = name;
     const auto it = snaps_.find(name);
-    snap->version = it == snaps_.end() ? 1 : it->second->version + 1;
+    snap->version =
+        it == snaps_.end() ? 1 : it->second.snap->version + 1;
     snap->graph = std::move(frozen);
-    snaps_[name] = snap;
+    snaps_[name] = {snap, std::chrono::steady_clock::now()};
+    enforceCapLocked(name);
     return snap->version;
 }
 
@@ -38,7 +48,10 @@ GraphStore::get(const std::string &name) const
 {
     std::lock_guard lk(mu_);
     const auto it = snaps_.find(name);
-    return it == snaps_.end() ? nullptr : it->second;
+    if (it == snaps_.end())
+        return nullptr;
+    it->second.lastAccess = std::chrono::steady_clock::now();
+    return it->second.snap;
 }
 
 bool
@@ -54,7 +67,7 @@ GraphStore::names() const
     std::lock_guard lk(mu_);
     std::vector<std::string> out;
     out.reserve(snaps_.size());
-    for (const auto &[name, snap] : snaps_)
+    for (const auto &[name, entry] : snaps_)
         out.push_back(name);
     return out;
 }
@@ -72,7 +85,7 @@ GraphStore::publish(const SnapshotPtr &base, graph::Graph g,
     // Compare versions, not pointers: cacheFixpoint() swaps in an
     // equivalent snapshot object without bumping the version, and that
     // must not fail a publish (at worst its cache entry is superseded).
-    if (it == snaps_.end() || it->second->version != base->version)
+    if (it == snaps_.end() || it->second.snap->version != base->version)
         return nullptr; // someone published past us; retry on current
     auto snap = std::make_shared<Snapshot>();
     snap->name = base->name;
@@ -80,7 +93,7 @@ GraphStore::publish(const SnapshotPtr &base, graph::Graph g,
     snap->graph = std::move(frozen);
     snap->fixpoints = std::move(fixpoints);
     snap->hubArtifacts = std::move(hub_artifacts);
-    it->second = snap;
+    it->second = {snap, std::chrono::steady_clock::now()};
     return snap;
 }
 
@@ -92,16 +105,77 @@ GraphStore::cacheFixpoint(const std::string &name,
 {
     std::lock_guard lk(mu_);
     const auto it = snaps_.find(name);
-    if (it == snaps_.end() || it->second->version != version)
+    if (it == snaps_.end() || it->second.snap->version != version)
         return false;
     // Snapshots are immutable once handed out: cache by replacing the
     // current snapshot with an identical one plus the new entry.
-    auto snap = std::make_shared<Snapshot>(*it->second);
+    auto snap = std::make_shared<Snapshot>(*it->second.snap);
     snap->fixpoints[algorithm] = std::move(states);
     if (hub)
         snap->hubArtifacts[algorithm] = std::move(hub);
-    it->second = snap;
+    it->second = {snap, std::chrono::steady_clock::now()};
     return true;
+}
+
+void
+GraphStore::enforceCapLocked(const std::string &keep)
+{
+    if (opt_.maxGraphs == 0)
+        return;
+    while (snaps_.size() > opt_.maxGraphs) {
+        auto victim = snaps_.end();
+        for (auto it = snaps_.begin(); it != snaps_.end(); ++it) {
+            if (it->first == keep)
+                continue;
+            if (victim == snaps_.end()
+                || it->second.lastAccess < victim->second.lastAccess)
+                victim = it;
+        }
+        if (victim == snaps_.end())
+            return; // only `keep` remains; never evict it
+        snaps_.erase(victim);
+        ++evictions_;
+    }
+}
+
+std::size_t
+GraphStore::sweep()
+{
+    if (opt_.ttl.count() <= 0)
+        return 0;
+    const auto cutoff = std::chrono::steady_clock::now() - opt_.ttl;
+    std::lock_guard lk(mu_);
+    std::size_t evicted = 0;
+    for (auto it = snaps_.begin(); it != snaps_.end();) {
+        if (it->second.lastAccess < cutoff) {
+            it = snaps_.erase(it);
+            ++evicted;
+            ++evictions_;
+        } else {
+            ++it;
+        }
+    }
+    return evicted;
+}
+
+std::uint64_t
+GraphStore::evictions() const
+{
+    std::lock_guard lk(mu_);
+    return evictions_;
+}
+
+GraphStore::Usage
+GraphStore::usage() const
+{
+    std::lock_guard lk(mu_);
+    Usage u;
+    u.graphs = snaps_.size();
+    for (const auto &[name, entry] : snaps_) {
+        u.cachedFixpoints += entry.snap->fixpoints.size();
+        u.cachedHubArtifacts += entry.snap->hubArtifacts.size();
+    }
+    return u;
 }
 
 } // namespace depgraph::service

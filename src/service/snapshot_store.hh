@@ -18,6 +18,8 @@
 #ifndef DEPGRAPH_SERVICE_SNAPSHOT_STORE_HH
 #define DEPGRAPH_SERVICE_SNAPSHOT_STORE_HH
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -38,6 +40,28 @@ using HubArtifactsPtr = std::shared_ptr<const runtime::HubArtifacts>;
 /** One immutable published version of a named graph. */
 struct Snapshot
 {
+    Snapshot() { liveCount_.fetch_add(1, std::memory_order_relaxed); }
+
+    Snapshot(const Snapshot &o)
+        : name(o.name), version(o.version), graph(o.graph),
+          fixpoints(o.fixpoints), hubArtifacts(o.hubArtifacts)
+    {
+        liveCount_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    Snapshot &operator=(const Snapshot &) = default;
+
+    ~Snapshot() { liveCount_.fetch_sub(1, std::memory_order_relaxed); }
+
+    /** Snapshot objects alive process-wide (store entries plus every
+     * superseded version readers still pin). The boundedness the TTL
+     * sweep promises is assertable against this number. */
+    static std::uint64_t
+    live()
+    {
+        return liveCount_.load(std::memory_order_relaxed);
+    }
+
     std::string name;
     std::uint64_t version = 0;
     std::shared_ptr<const graph::Graph> graph;
@@ -47,13 +71,36 @@ struct Snapshot
      * The UpdateBatcher invalidates the entries a churn batch touches
      * and warm-starts the next incremental run from the rest. */
     std::map<std::string, HubArtifactsPtr> hubArtifacts;
+
+  private:
+    static inline std::atomic<std::uint64_t> liveCount_{0};
 };
 
 using SnapshotPtr = std::shared_ptr<const Snapshot>;
 
+/**
+ * Retention policy for a long-running store. Both knobs default off,
+ * preserving the original keep-everything behavior for library use;
+ * a serving deployment (dgserve --listen) enables them so resident
+ * memory stays bounded no matter how many graphs clients create.
+ */
+struct StoreOptions
+{
+    /** Evict a graph untouched (no get/put/publish/cache) for this
+     * long. 0 = never. Eviction only drops the store's reference --
+     * in-flight readers keep their snapshots alive. */
+    std::chrono::milliseconds ttl{0};
+    /** Hard cap on named graphs; exceeding it on put()/publish()
+     * evicts the least-recently-accessed other graph. 0 = unbounded. */
+    std::size_t maxGraphs = 0;
+};
+
 class GraphStore
 {
   public:
+    explicit GraphStore(StoreOptions opt);
+    GraphStore();
+
     /**
      * Create or replace the named graph with a brand-new lineage
      * (version = previous version + 1, empty fixpoint cache).
@@ -93,9 +140,43 @@ class GraphStore
                        StateVectorPtr states,
                        HubArtifactsPtr hub = nullptr);
 
+    /**
+     * Apply the retention policy now: drop graphs idle past the TTL.
+     * Cheap no-op when ttl is 0. Driven by the net server's loop tick
+     * and the service reporter; callable any time. @return graphs
+     * evicted by this sweep.
+     */
+    std::size_t sweep();
+
+    /** Graphs evicted so far (TTL + LRU cap), for tests/metrics. */
+    std::uint64_t evictions() const;
+
+    /** Cache-entry census across current snapshots. */
+    struct Usage
+    {
+        std::size_t graphs = 0;
+        std::size_t cachedFixpoints = 0;
+        std::size_t cachedHubArtifacts = 0;
+    };
+    Usage usage() const;
+
+    const StoreOptions &options() const { return opt_; }
+
   private:
+    struct Entry
+    {
+        SnapshotPtr snap;
+        std::chrono::steady_clock::time_point lastAccess;
+    };
+
+    /** Evict LRU graphs beyond maxGraphs, keeping `keep`. Caller
+     * holds mu_. */
+    void enforceCapLocked(const std::string &keep);
+
+    StoreOptions opt_;
     mutable std::mutex mu_;
-    std::map<std::string, SnapshotPtr> snaps_;
+    mutable std::map<std::string, Entry> snaps_;
+    std::uint64_t evictions_ = 0;
 };
 
 } // namespace depgraph::service

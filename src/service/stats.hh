@@ -118,6 +118,15 @@ class Stats
     /** Service: worker pickup -> completion. */
     void recordService(RequestType t, std::uint64_t micros);
 
+    /** Live queue-wait histogram for one request type. Admission
+     * control (net::AdmissionController) windows its p99 off this
+     * without paying for a full snapshot per request. */
+    const LatencyHistogram &
+    queueWaitHistogram(RequestType t) const
+    {
+        return queueWait_[static_cast<std::size_t>(t)];
+    }
+
     /** Queue gauges are sampled by the service at snapshot time. */
     StatsSnapshot snapshot(std::size_t queue_depth = 0,
                            std::size_t queue_high_water = 0) const;

@@ -52,6 +52,14 @@ ThreadPool::drain()
     idleCv_.wait(lk, [&] { return executed_ == accepted_; });
 }
 
+bool
+ThreadPool::drainFor(std::chrono::milliseconds timeout)
+{
+    std::unique_lock lk(idleMu_);
+    return idleCv_.wait_for(lk, timeout,
+                            [&] { return executed_ == accepted_; });
+}
+
 void
 ThreadPool::shutdown()
 {

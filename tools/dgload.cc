@@ -1,0 +1,365 @@
+/**
+ * @file
+ * dgload — multi-connection load driver for dgserve --listen.
+ *
+ * Opens N concurrent TCP connections and drives a mixed
+ * query/insert/delete workload against one server or a sharded fleet
+ * (--shards routes each graph by the same consistent hash the servers
+ * would use), measuring per-request latency client-side — the number
+ * a user would see, queue wait and transport included.
+ *
+ * Replies are checked: anything other than "ok ..." counts as a
+ * protocol error and fails the run (exit 1), except "err 429 ...
+ * retry-after=<ms>" sheds, which are honored by backing off and
+ * retrying — that is the admission-control contract, not an error.
+ *
+ * Results (count, mean, exact p50/p99, max per request type) print as
+ * a table and optionally land in a BENCH_net.json artifact:
+ *   dgload --port 7411 --connections 8 --requests 200 \
+ *          --json BENCH_net.json
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <random>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/options.hh"
+#include "net/client.hh"
+#include "net/router.hh"
+
+namespace
+{
+
+using namespace depgraph;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kNumOps = 3;
+const char *kOpNames[kNumOps] = {"query", "update", "del"};
+
+struct OpStats
+{
+    std::mutex mu;
+    std::vector<std::uint64_t> latenciesUs;
+
+    void
+    record(std::uint64_t us)
+    {
+        std::lock_guard lk(mu);
+        latenciesUs.push_back(us);
+    }
+};
+
+struct Summary
+{
+    std::string type;
+    std::size_t count = 0;
+    std::uint64_t meanUs = 0, p50Us = 0, p99Us = 0, maxUs = 0;
+};
+
+Summary
+summarize(const std::string &type, std::vector<std::uint64_t> lat)
+{
+    Summary s;
+    s.type = type;
+    s.count = lat.size();
+    if (lat.empty())
+        return s;
+    std::sort(lat.begin(), lat.end());
+    std::uint64_t sum = 0;
+    for (const auto v : lat)
+        sum += v;
+    s.meanUs = sum / lat.size();
+    s.p50Us = lat[lat.size() / 2];
+    s.p99Us = lat[std::min(lat.size() - 1,
+                           static_cast<std::size_t>(
+                               0.99 * static_cast<double>(lat.size())))];
+    s.maxUs = lat.back();
+    return s;
+}
+
+struct SharedCounters
+{
+    std::atomic<std::uint64_t> ok{0};
+    std::atomic<std::uint64_t> shed{0};
+    std::atomic<std::uint64_t> protocolErrors{0};
+    std::atomic<std::uint64_t> transportErrors{0};
+    std::mutex errMu;
+    std::vector<std::string> errSamples;
+
+    void
+    noteError(const std::string &line)
+    {
+        protocolErrors.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard lk(errMu);
+        if (errSamples.size() < 10)
+            errSamples.push_back(line);
+    }
+};
+
+/** Parse "retry-after=<ms>" out of an err 429 reply; 0 if absent. */
+std::uint64_t
+retryAfterMs(const std::string &reply)
+{
+    const auto pos = reply.find("retry-after=");
+    if (pos == std::string::npos)
+        return 0;
+    try {
+        return std::stoull(reply.substr(pos + 12));
+    } catch (...) {
+        return 0;
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options o;
+    o.declare("host", "127.0.0.1", "server host");
+    o.declare("port", "7411", "server port");
+    o.declare("shards", "",
+              "comma-separated host:port fleet; graphs route across "
+              "it by consistent hash (overrides --host/--port)");
+    o.declare("connections", "8", "concurrent client connections");
+    o.declare("requests", "200", "requests per connection");
+    o.declare("graphs", "2", "distinct graphs driven");
+    o.declare("n", "2000", "vertices per generated graph");
+    o.declare("algo", "pagerank", "query algorithm");
+    o.declare("solution", "Sequential",
+              "engine for served queries (Sequential is bitwise "
+              "deterministic)");
+    o.declare("mix_query", "0.6", "fraction of query requests");
+    o.declare("mix_update", "0.3", "fraction of edge insertions");
+    o.declare("mix_del", "0.1", "fraction of edge deletions");
+    o.declare("seed", "1", "workload RNG seed");
+    o.declare("setup", "true",
+              "load the graphs before driving traffic");
+    o.declare("timeout_ms", "30000", "per-reply receive timeout");
+    o.declare("json", "", "write results to this JSON file");
+    o.parse(argc, argv);
+
+    const auto connections =
+        static_cast<unsigned>(o.getInt("connections"));
+    const auto requests =
+        static_cast<std::size_t>(o.getInt("requests"));
+    const auto num_graphs =
+        std::max<std::size_t>(1, static_cast<std::size_t>(
+                                     o.getInt("graphs")));
+    const auto n = o.getInt("n");
+    const auto algo = o.getString("algo");
+    const auto solution = o.getString("solution");
+    const auto timeout =
+        std::chrono::milliseconds(o.getInt("timeout_ms"));
+    const double mix[kNumOps] = {o.getDouble("mix_query"),
+                                 o.getDouble("mix_update"),
+                                 o.getDouble("mix_del")};
+
+    // Fleet: every client computes placement with the same ring the
+    // operators configured, so a graph's traffic always lands on the
+    // shard that owns (and caches) it.
+    net::ShardRouter router;
+    std::string shards = o.getString("shards");
+    if (shards.empty()) {
+        router.add(o.getString("host") + ":"
+                   + std::to_string(o.getInt("port")));
+    } else {
+        std::istringstream is(shards);
+        std::string ep;
+        while (std::getline(is, ep, ','))
+            if (!ep.empty())
+                router.add(ep);
+    }
+
+    std::vector<std::string> graph_names;
+    for (std::size_t g = 0; g < num_graphs; ++g) {
+        // Built with += rather than operator+ to sidestep a gcc-12
+        // -Wrestrict false positive (PR 105329) on string concat.
+        std::string name = "g";
+        name += std::to_string(g);
+        graph_names.push_back(std::move(name));
+    }
+
+    if (o.getBool("setup")) {
+        for (const auto &name : graph_names) {
+            net::Client c;
+            if (!c.connectEndpoint(router.shardForGraph(name),
+                                   timeout)) {
+                std::cerr << "dgload: connect "
+                          << router.shardForGraph(name) << ": "
+                          << c.error() << "\n";
+                return 1;
+            }
+            std::ostringstream cmd;
+            cmd << "load " << name << " powerlaw " << n << " 2.0 8 "
+                << o.getInt("seed");
+            std::string reply;
+            if (!c.sendLine(cmd.str()) || !c.recvLine(reply)
+                || reply.rfind("ok", 0) != 0) {
+                std::cerr << "dgload: load failed: " << reply << " "
+                          << c.error() << "\n";
+                return 1;
+            }
+        }
+    }
+
+    OpStats per_op[kNumOps];
+    SharedCounters counters;
+
+    const auto t0 = Clock::now();
+    std::vector<std::thread> workers;
+    workers.reserve(connections);
+    for (unsigned t = 0; t < connections; ++t) {
+        workers.emplace_back([&, t] {
+            const auto &graph = graph_names[t % graph_names.size()];
+            net::Client c;
+            if (!c.connectEndpoint(router.shardForGraph(graph),
+                                   timeout)) {
+                counters.transportErrors.fetch_add(
+                    1, std::memory_order_relaxed);
+                return;
+            }
+            std::mt19937_64 rng(
+                static_cast<std::uint64_t>(o.getInt("seed")) * 7919
+                + t);
+            std::uniform_real_distribution<double> pick(0.0, 1.0);
+            std::uniform_int_distribution<std::int64_t> vertex(
+                0, std::max<std::int64_t>(1, n - 1));
+
+            for (std::size_t i = 0; i < requests; ++i) {
+                const double p = pick(rng);
+                std::size_t op = 0;
+                if (p >= mix[0] && p < mix[0] + mix[1])
+                    op = 1;
+                else if (p >= mix[0] + mix[1])
+                    op = 2;
+
+                std::ostringstream cmd;
+                if (op == 0)
+                    cmd << "query " << graph << " " << algo << " "
+                        << solution << " 1";
+                else if (op == 1)
+                    cmd << "update " << graph << " " << vertex(rng)
+                        << " " << vertex(rng) << " 1";
+                else
+                    cmd << "del " << graph << " " << vertex(rng)
+                        << " " << vertex(rng);
+
+                // Retry sheds with the advertised backoff; anything
+                // else that is not "ok" is a protocol error.
+                for (int attempt = 0; attempt < 50; ++attempt) {
+                    const auto start = Clock::now();
+                    std::string reply;
+                    if (!c.sendLine(cmd.str())
+                        || !c.recvLine(reply)) {
+                        counters.transportErrors.fetch_add(
+                            1, std::memory_order_relaxed);
+                        return;
+                    }
+                    const auto us = static_cast<std::uint64_t>(
+                        std::chrono::duration_cast<
+                            std::chrono::microseconds>(Clock::now()
+                                                       - start)
+                            .count());
+                    if (reply.rfind("ok", 0) == 0) {
+                        per_op[op].record(us);
+                        counters.ok.fetch_add(
+                            1, std::memory_order_relaxed);
+                        break;
+                    }
+                    if (reply.rfind("err 429", 0) == 0) {
+                        counters.shed.fetch_add(
+                            1, std::memory_order_relaxed);
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(std::max<
+                                                      std::uint64_t>(
+                                1, retryAfterMs(reply))));
+                        continue;
+                    }
+                    counters.noteError(reply);
+                    break;
+                }
+            }
+            c.sendLine("quit");
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    const auto wall_ms = std::chrono::duration_cast<
+                             std::chrono::milliseconds>(Clock::now()
+                                                        - t0)
+                             .count();
+
+    std::vector<Summary> summaries;
+    std::vector<std::uint64_t> all;
+    for (std::size_t op = 0; op < kNumOps; ++op) {
+        auto lat = per_op[op].latenciesUs;
+        all.insert(all.end(), lat.begin(), lat.end());
+        summaries.push_back(summarize(kOpNames[op], std::move(lat)));
+    }
+    summaries.push_back(summarize("all", std::move(all)));
+
+    const auto ok = counters.ok.load();
+    const double rps = wall_ms > 0
+        ? 1000.0 * static_cast<double>(ok)
+            / static_cast<double>(wall_ms)
+        : 0.0;
+
+    std::cout << "dgload: " << connections << " connections x "
+              << requests << " requests over " << router.size()
+              << " shard(s), " << wall_ms << " ms, " << rps
+              << " req/s\n";
+    std::cout << "  ok=" << ok << " shed=" << counters.shed.load()
+              << " protocol_errors="
+              << counters.protocolErrors.load()
+              << " transport_errors="
+              << counters.transportErrors.load() << "\n";
+    for (const auto &s : summaries)
+        std::cout << "  " << s.type << ": count=" << s.count
+                  << " mean=" << s.meanUs << "us p50=" << s.p50Us
+                  << "us p99=" << s.p99Us << "us max=" << s.maxUs
+                  << "us\n";
+    for (const auto &e : counters.errSamples)
+        std::cout << "  err sample: " << e << "\n";
+
+    const auto json_path = o.getString("json");
+    if (!json_path.empty()) {
+        std::ofstream js(json_path);
+        js << "[\n";
+        bool first = true;
+        for (const auto &s : summaries) {
+            if (!first)
+                js << ",\n";
+            first = false;
+            js << "  {\"type\": \"" << s.type
+               << "\", \"count\": " << s.count
+               << ", \"mean_us\": " << s.meanUs
+               << ", \"p50_us\": " << s.p50Us
+               << ", \"p99_us\": " << s.p99Us
+               << ", \"max_us\": " << s.maxUs << "}";
+        }
+        js << ",\n  {\"type\": \"run\", \"connections\": "
+           << connections << ", \"requests_per_connection\": "
+           << requests << ", \"shards\": " << router.size()
+           << ", \"wall_ms\": " << wall_ms << ", \"rps\": " << rps
+           << ", \"ok\": " << ok
+           << ", \"shed\": " << counters.shed.load()
+           << ", \"protocol_errors\": "
+           << counters.protocolErrors.load()
+           << ", \"transport_errors\": "
+           << counters.transportErrors.load() << "}\n]\n";
+        std::cout << "wrote " << json_path << "\n";
+    }
+
+    return counters.protocolErrors.load() > 0
+            || counters.transportErrors.load() > 0
+        ? 1
+        : 0;
+}

@@ -1,21 +1,122 @@
 /**
  * @file
- * dgserve — the graph-compute service behind a scriptable stdin/stdout
- * protocol. Reads newline-delimited requests, executes them on the
- * worker pool, prints one reply block per request (see
- * service/protocol.hh for the command set).
+ * dgserve — the graph-compute service, reachable two ways:
  *
- * Examples:
- *   printf 'load g powerlaw 5000\nquery g pagerank\nquit\n' | dgserve
- *   printf 'load g ring 64\ndel g 0 1\nflush g\nquit\n' | dgserve
- *   dgserve --workers 8 --queue 256 --block --stats_ms 2000 < script
+ *  stdin mode (default): newline-delimited requests on stdin, one
+ *  reply block per request on stdout. Scriptable:
+ *    printf 'load g powerlaw 5000\nquery g pagerank\nquit\n' | dgserve
+ *
+ *  network mode (--listen <port>): the same protocol over TCP via the
+ *  epoll server in src/net/, plus HTTP GET /metrics (Prometheus) and
+ *  GET /healthz on the same port. Port 0 binds an ephemeral port; the
+ *  chosen one is printed as "listening on <host>:<port>".
+ *    dgserve --listen 7411 --workers 8 &
+ *    printf 'load g ring 64\nquery g sssp\nquit\n' | nc 127.0.0.1 7411
+ *    curl -s http://127.0.0.1:7411/metrics
+ *
+ * Lifecycle: SIGTERM/SIGINT trigger a graceful drain in BOTH modes —
+ * stop accepting input, finish accepted requests within --drain_ms,
+ * flush pending update batches (acknowledged writes are never
+ * dropped), then exit 0.
  */
 
+#include <csignal>
 #include <iostream>
 
 #include "common/options.hh"
+#include "net/server.hh"
 #include "obs/span.hh"
 #include "service/protocol.hh"
+
+namespace
+{
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void
+onSignal(int sig)
+{
+    g_signal = sig;
+}
+
+/** stdin mode: handler without SA_RESTART so a blocking read on a
+ * pipe/terminal returns EINTR and the loop can wind down instead of
+ * the default action killing us mid-batch. */
+void
+installSignalHandlers()
+{
+    struct sigaction sa = {};
+    sa.sa_handler = onSignal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0; // deliberately no SA_RESTART
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+}
+
+int
+serveStdin(depgraph::service::GraphService &svc, bool echo,
+           std::chrono::milliseconds drain_deadline)
+{
+    using namespace depgraph;
+
+    installSignalHandlers();
+    std::size_t executed = 0;
+    std::string line;
+    while (!g_signal && std::getline(std::cin, line)) {
+        if (echo)
+            std::cout << "> " << line << "\n";
+        const auto r = service::runCommandLine(svc, line);
+        if (!r.output.empty())
+            std::cout << r.output << "\n";
+        std::cout.flush();
+        ++executed;
+        if (r.quit || g_signal)
+            break;
+    }
+
+    const bool drained = svc.drainFor(drain_deadline);
+    std::cout << svc.stats().logLine() << "\n";
+    std::cout << "served " << executed << " commands";
+    if (g_signal)
+        std::cout << " (signal " << g_signal << ", "
+                  << (drained ? "drained" : "drain deadline hit")
+                  << ")";
+    std::cout << "\n";
+    return 0;
+}
+
+int
+serveListen(depgraph::service::GraphService &svc,
+            depgraph::net::ServerOptions nopt,
+            std::chrono::milliseconds drain_deadline,
+            const sigset_t &sigs)
+{
+    using namespace depgraph;
+
+    net::Server server(svc, std::move(nopt));
+    if (!server.start()) {
+        std::cerr << "dgserve: cannot listen on "
+                  << server.options().host << ":"
+                  << server.options().port << ": "
+                  << server.lastError() << "\n";
+        return 1;
+    }
+    std::cout << "listening on " << server.options().host << ":"
+              << server.port() << "\n";
+    std::cout.flush();
+
+    int sig = 0;
+    sigwait(&sigs, &sig);
+    std::cout << "signal " << sig << ": draining (deadline "
+              << drain_deadline.count() << "ms)\n";
+    const bool clean = server.drainAndStop(drain_deadline);
+    std::cout << svc.stats().logLine() << "\n";
+    std::cout << (clean ? "drained clean" : "drain deadline hit")
+              << "\n";
+    return 0;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -41,7 +142,40 @@ main(int argc, char **argv)
     o.declare("trace", "false",
               "start with span tracing on (same as 'trace on')");
     o.declare("echo", "false", "echo each command before its reply");
+    o.declare("listen", "-1",
+              "TCP port to serve on (-1 = stdin mode; 0 = ephemeral, "
+              "printed at startup)");
+    o.declare("host", "127.0.0.1", "listen address for --listen");
+    o.declare("dispatchers", "4",
+              "network dispatcher threads (--listen mode)");
+    o.declare("max_conns", "1024", "concurrent connection cap");
+    o.declare("max_line", "8192", "protocol line length cap, bytes");
+    o.declare("drain_ms", "5000",
+              "graceful-drain deadline after SIGTERM/SIGINT");
+    o.declare("admission_p99_us", "0",
+              "shed query/update traffic when the windowed p99 queue "
+              "wait exceeds this many microseconds (0 = off)");
+    o.declare("retry_after_ms", "50",
+              "backoff hint sent with err 429 sheds");
+    o.declare("store_ttl_ms", "0",
+              "evict graphs idle this long (0 = keep forever)");
+    o.declare("store_max_graphs", "0",
+              "LRU cap on named graphs (0 = unbounded)");
     o.parse(argc, argv);
+
+    const auto listen_port = o.getInt("listen");
+    const auto drain_ms =
+        std::chrono::milliseconds(o.getInt("drain_ms"));
+
+    // Network mode handles signals synchronously via sigwait: block
+    // them before any thread exists so every service/net thread
+    // inherits the mask and delivery funnels to main.
+    sigset_t sigs;
+    sigemptyset(&sigs);
+    sigaddset(&sigs, SIGINT);
+    sigaddset(&sigs, SIGTERM);
+    if (listen_port >= 0)
+        pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
 
     service::ServiceOptions sopt;
     sopt.pool.numThreads = static_cast<unsigned>(o.getInt("workers"));
@@ -58,14 +192,30 @@ main(int argc, char **argv)
         std::chrono::milliseconds(o.getInt("stats_ms"));
     sopt.metricsPublishInterval =
         std::chrono::milliseconds(o.getInt("metrics_ms"));
+    sopt.store.ttl =
+        std::chrono::milliseconds(o.getInt("store_ttl_ms"));
+    sopt.store.maxGraphs =
+        static_cast<std::size_t>(o.getInt("store_max_graphs"));
     if (o.getBool("trace"))
         obs::span::setEnabled(true);
 
     service::GraphService svc(sopt);
-    const auto n = service::serveStream(svc, std::cin, std::cout,
-                                        o.getBool("echo"));
-    svc.drain();
-    std::cout << svc.stats().logLine() << "\n";
-    std::cout << "served " << n << " commands\n";
-    return 0;
+
+    if (listen_port < 0)
+        return serveStdin(svc, o.getBool("echo"), drain_ms);
+
+    net::ServerOptions nopt;
+    nopt.host = o.getString("host");
+    nopt.port = static_cast<std::uint16_t>(listen_port);
+    nopt.dispatchers =
+        static_cast<unsigned>(o.getInt("dispatchers"));
+    nopt.maxConnections =
+        static_cast<std::size_t>(o.getInt("max_conns"));
+    nopt.maxLineBytes =
+        static_cast<std::size_t>(o.getInt("max_line"));
+    nopt.admission.maxQueueWaitP99Micros =
+        static_cast<std::uint64_t>(o.getInt("admission_p99_us"));
+    nopt.admission.retryAfter =
+        std::chrono::milliseconds(o.getInt("retry_after_ms"));
+    return serveListen(svc, std::move(nopt), drain_ms, sigs);
 }
