@@ -1,0 +1,356 @@
+/**
+ * @file
+ * wal_overhead -- what durability costs, per fsync policy.
+ *
+ * Two measurements, both written to BENCH_wal.json:
+ *
+ *  1. raw WAL layer: records/s and MB/s of framed Mutate appends with
+ *     a Marker + group-commit every --raw_batch records, for each of
+ *     `off`, `batch` and `always`. `always` fsyncs per append and is
+ *     run with fewer records (--raw_always_ops) so the bench finishes
+ *     on slow disks.
+ *
+ *  2. serving path: sustained update throughput of a GraphService
+ *     (enqueue -> threshold batch flush -> incremental reconvergence
+ *     -> publish) with durability disabled ("none") and with a WAL
+ *     under each sync policy. Each configuration runs --reps times and
+ *     the best run counts, damping scheduler noise.
+ *
+ * The CI gate: --gate-off-pct 5 fails the bench when `--wal_sync=off`
+ * serving throughput is more than 5% below the no-WAL baseline --
+ * journaling to the page cache must stay almost free next to the
+ * reconvergence work it rides along with.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+#include "durability/record.hh"
+#include "durability/wal.hh"
+#include "graph/generators.hh"
+#include "service/service.hh"
+
+using namespace depgraph;
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+double
+nowMs()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+std::string
+freshDir()
+{
+    char tmpl[] = "/tmp/dg_wal_bench_XXXXXX";
+    const char *d = ::mkdtemp(tmpl);
+    if (!d) {
+        std::perror("mkdtemp");
+        std::exit(EXIT_FAILURE);
+    }
+    return d;
+}
+
+/** Deterministic edge stream; dupes are fine (inserts append). */
+struct EdgeGen
+{
+    std::uint64_t x = 0x9e3779b97f4a7c15ull;
+    VertexId n;
+
+    explicit EdgeGen(VertexId vertices) : n(vertices) {}
+
+    gas::EdgeInsertion
+    next()
+    {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        const auto s = static_cast<VertexId>(x % n);
+        const auto d = static_cast<VertexId>((x >> 32) % n);
+        return {s, d, 1.0};
+    }
+};
+
+struct RawResult
+{
+    std::uint64_t records = 0;
+    std::uint64_t bytes = 0;
+    double wallMs = 0.0;
+};
+
+/** Append `ops` Mutate records with a Marker + group-commit every
+ * `batch`, under one sync policy. */
+RawResult
+rawWal(durability::SyncPolicy policy, std::uint64_t ops,
+       std::uint64_t batch, std::uint64_t edgesPerRecord)
+{
+    const auto dir = freshDir();
+    durability::WalFile wal;
+    std::string err;
+    if (!wal.open(dir + "/bench.wal", &err)) {
+        std::fprintf(stderr, "wal open: %s\n", err.c_str());
+        std::exit(EXIT_FAILURE);
+    }
+
+    EdgeGen gen(100'000);
+    std::vector<gas::EdgeInsertion> ins;
+    for (std::uint64_t i = 0; i < edgesPerRecord; ++i)
+        ins.push_back(gen.next());
+    const auto payload = durability::encodeMutate("bench", ins, {});
+    const auto marker = durability::encodeMarker("bench");
+    const bool syncEach = policy == durability::SyncPolicy::Always;
+
+    RawResult r;
+    const double t0 = nowMs();
+    for (std::uint64_t i = 0; i < ops; ++i) {
+        if (!wal.append(payload, syncEach, &err)) {
+            std::fprintf(stderr, "append: %s\n", err.c_str());
+            std::exit(EXIT_FAILURE);
+        }
+        if ((i + 1) % batch == 0) {
+            // Group-commit boundary, exactly as the batcher flush
+            // drives it: marker record, then fsync under `batch`.
+            wal.append(marker, syncEach, &err);
+            if (policy == durability::SyncPolicy::Batch)
+                wal.sync(&err);
+        }
+    }
+    r.wallMs = nowMs() - t0;
+    r.records = ops;
+    r.bytes = wal.appendedBytes();
+    wal.close();
+    fs::remove_all(dir);
+    return r;
+}
+
+struct ServeResult
+{
+    std::uint64_t updates = 0;
+    double wallMs = 0.0;
+    std::uint64_t flushes = 0;
+};
+
+/** One serving run: load a graph, stream `total` edges in requests of
+ * `perReq`, final flush. `policy` empty = durability off. */
+ServeResult
+serveOnce(const std::string &policyName, VertexId n, double degree,
+          std::uint64_t total, std::uint64_t perReq,
+          std::size_t threshold)
+{
+    service::ServiceOptions opt;
+    opt.pool.numThreads = 2;
+    opt.pool.queueCapacity = 128;
+    opt.pool.blockWhenFull = true;
+    opt.batcher.maxPendingEdges = threshold;
+    opt.batcher.solution = Solution::Sequential;
+
+    std::string dir;
+    if (policyName != "none") {
+        dir = freshDir();
+        opt.durability.dataDir = dir;
+        durability::SyncPolicy p{};
+        if (!durability::parseSyncPolicy(policyName, p)) {
+            std::fprintf(stderr, "bad policy %s\n",
+                         policyName.c_str());
+            std::exit(EXIT_FAILURE);
+        }
+        opt.durability.sync = p;
+    }
+
+    ServeResult r;
+    {
+        service::GraphService svc(opt);
+        svc.loadGraph("g", graph::powerLaw(n, 2.0, degree,
+                                           {.seed = 42}));
+        // Warm the fixpoint cache so threshold flushes reconverge
+        // incrementally, the steady-state serving shape.
+        svc.query({.graph = "g", .algorithm = "pagerank"})
+            .get();
+
+        EdgeGen gen(n);
+        const double t0 = nowMs();
+        for (std::uint64_t sent = 0; sent < total;) {
+            std::vector<gas::EdgeInsertion> req;
+            for (std::uint64_t i = 0; i < perReq && sent < total;
+                 ++i, ++sent)
+                req.push_back(gen.next());
+            const auto resp =
+                svc.streamUpdates("g", std::move(req)).get();
+            if (!resp.ok()) {
+                std::fprintf(stderr, "update failed: %s\n",
+                             resp.error.c_str());
+                std::exit(EXIT_FAILURE);
+            }
+        }
+        svc.flush("g").get();
+        r.wallMs = nowMs() - t0;
+        r.updates = total;
+        r.flushes = svc.stats().batchesApplied;
+        svc.shutdown();
+    }
+    if (!dir.empty())
+        fs::remove_all(dir);
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchEnv env;
+    env.opts.declare("raw_ops", "4000",
+                     "raw WAL appends for off/batch");
+    env.opts.declare("raw_always_ops", "400",
+                     "raw WAL appends for always (fsync per record)");
+    env.opts.declare("raw_batch", "32",
+                     "records per raw group-commit");
+    env.opts.declare("raw_edges", "8", "edges per Mutate record");
+    env.opts.declare("n", "2000", "serving graph vertices");
+    env.opts.declare("degree", "6", "serving graph average degree");
+    env.opts.declare("updates", "4000",
+                     "edges streamed per serving run");
+    env.opts.declare("per_req", "8", "edges per update request");
+    env.opts.declare("threshold", "256",
+                     "batcher flush threshold (edges)");
+    env.opts.declare("reps", "3", "serving runs per policy (best "
+                                  "counts)");
+    env.opts.declare("json", "BENCH_wal.json",
+                     "output path for the JSON records");
+    env.opts.declare("gate-off-pct", "0",
+                     "fail when wal_sync=off serving throughput is "
+                     "more than this % below no-WAL (0 = no gate)");
+    env.parse(argc, argv);
+
+    const auto rawOps =
+        static_cast<std::uint64_t>(env.opts.getInt("raw_ops"));
+    const auto rawAlwaysOps =
+        static_cast<std::uint64_t>(env.opts.getInt("raw_always_ops"));
+    const auto rawBatch =
+        static_cast<std::uint64_t>(env.opts.getInt("raw_batch"));
+    const auto rawEdges =
+        static_cast<std::uint64_t>(env.opts.getInt("raw_edges"));
+    const auto n = static_cast<VertexId>(env.opts.getInt("n"));
+    const auto degree = env.opts.getDouble("degree");
+    const auto updates =
+        static_cast<std::uint64_t>(env.opts.getInt("updates"));
+    const auto perReq =
+        static_cast<std::uint64_t>(env.opts.getInt("per_req"));
+    const auto threshold =
+        static_cast<std::size_t>(env.opts.getInt("threshold"));
+    const int reps = static_cast<int>(env.opts.getInt("reps"));
+    const double gatePct = env.opts.getDouble("gate-off-pct");
+
+    bench::JsonRecords json;
+
+    /* 1. Raw WAL layer. */
+    std::printf("=== WAL overhead ===\n\n");
+    std::printf("raw journal appends (%llu edges/record, "
+                "group-commit every %llu):\n",
+                static_cast<unsigned long long>(rawEdges),
+                static_cast<unsigned long long>(rawBatch));
+    Table rawTable({"policy", "records", "wall ms", "records/s",
+                    "MB/s"});
+    const durability::SyncPolicy policies[] = {
+        durability::SyncPolicy::Off, durability::SyncPolicy::Batch,
+        durability::SyncPolicy::Always};
+    for (auto p : policies) {
+        const auto ops = p == durability::SyncPolicy::Always
+            ? rawAlwaysOps
+            : rawOps;
+        const auto r = rawWal(p, ops, rawBatch, rawEdges);
+        const double perSec = r.wallMs > 0.0
+            ? static_cast<double>(r.records) * 1000.0 / r.wallMs
+            : 0.0;
+        const double mbps = r.wallMs > 0.0
+            ? static_cast<double>(r.bytes) / 1048.576 / r.wallMs
+            : 0.0;
+        rawTable.addRow({durability::syncPolicyName(p),
+                         std::to_string(r.records),
+                         Table::fmt(r.wallMs, 1),
+                         Table::fmt(perSec, 0), Table::fmt(mbps, 1)});
+        json.beginRecord()
+            .field("section", "raw_wal")
+            .field("policy", durability::syncPolicyName(p))
+            .field("records", r.records)
+            .field("bytes", r.bytes)
+            .field("wall_ms", r.wallMs)
+            .field("records_per_sec", perSec)
+            .field("mb_per_sec", mbps);
+    }
+    rawTable.print();
+
+    /* 2. Serving path. */
+    std::printf("\nserving throughput (%llu updates, %llu/request, "
+                "flush threshold %zu, best of %d):\n",
+                static_cast<unsigned long long>(updates),
+                static_cast<unsigned long long>(perReq), threshold,
+                reps);
+    const char *modes[] = {"none", "off", "batch", "always"};
+    double upsByMode[4] = {0, 0, 0, 0};
+    Table serveTable({"wal_sync", "wall ms", "updates/s", "flushes",
+                      "vs none"});
+    for (int m = 0; m < 4; ++m) {
+        ServeResult best;
+        for (int rep = 0; rep < reps; ++rep) {
+            const auto r = serveOnce(modes[m], n, degree, updates,
+                                     perReq, threshold);
+            if (rep == 0 || r.wallMs < best.wallMs)
+                best = r;
+        }
+        const double ups = best.wallMs > 0.0
+            ? static_cast<double>(best.updates) * 1000.0 / best.wallMs
+            : 0.0;
+        upsByMode[m] = ups;
+        const double rel =
+            upsByMode[0] > 0.0 ? ups / upsByMode[0] : 1.0;
+        serveTable.addRow({modes[m], Table::fmt(best.wallMs, 1),
+                           Table::fmt(ups, 0),
+                           std::to_string(best.flushes),
+                           Table::fmt(rel, 3)});
+        json.beginRecord()
+            .field("section", "serving")
+            .field("policy", modes[m])
+            .field("updates", best.updates)
+            .field("wall_ms", best.wallMs)
+            .field("updates_per_sec", ups)
+            .field("batch_flushes", best.flushes)
+            .field("relative_to_none", rel);
+    }
+    serveTable.print();
+
+    const auto path = env.opts.getString("json");
+    if (!json.writeFile(path)) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return EXIT_FAILURE;
+    }
+    std::printf("\nwrote %s\n", path.c_str());
+
+    if (gatePct > 0.0) {
+        const double floor = upsByMode[0] * (1.0 - gatePct / 100.0);
+        if (upsByMode[1] < floor) {
+            std::fprintf(stderr,
+                         "gate: FAILED wal_sync=off %.0f updates/s "
+                         "is > %.1f%% below no-WAL %.0f\n",
+                         upsByMode[1], gatePct, upsByMode[0]);
+            return EXIT_FAILURE;
+        }
+        std::printf("gate: PASSED wal_sync=off within %.1f%% of "
+                    "no-WAL (%.0f vs %.0f updates/s)\n",
+                    gatePct, upsByMode[1], upsByMode[0]);
+    }
+    return EXIT_SUCCESS;
+}

@@ -3,9 +3,15 @@
 #
 #   scripts/ci.sh                 # all modes: release, asan, tsan
 #   scripts/ci.sh release         # plain Release build + full ctest
-#   scripts/ci.sh asan            # AddressSanitizer + UBSan
+#   scripts/ci.sh asan            # AddressSanitizer + UBSan (full
+#                                 # suite, so the WAL/checkpoint
+#                                 # recovery tests run sanitized too)
 #   scripts/ci.sh tsan            # ThreadSanitizer; service/concurrency
 #                                 # tests (label `tsan`) must stay clean
+#   scripts/ci.sh durability      # fast crash-safety loop: only the
+#                                 # `durability` + `chaos` labelled
+#                                 # suites (WAL, recovery, subprocess
+#                                 # kill/restart harness), Release
 #
 # Extra args after the mode are forwarded to ctest, e.g.
 #   scripts/ci.sh tsan -R Service
@@ -26,7 +32,16 @@ run_mode() {
 
     case "${mode}" in
     release) ;;
+    durability)
+        # Shares the release build tree: same binaries, narrowed to
+        # the crash-safety suites for a quick edit-test loop.
+        dir="build-ci-release"
+        ctest_args+=(-L 'durability|chaos')
+        ;;
     asan)
+        # Full suite under ASan+UBSan -- this is where the recovery
+        # differentials and the chaos harness (which forks the
+        # sanitized dgserve/dgload binaries) run memory-checked.
         cmake_args+=(
             -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer -g"
             -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined")
@@ -41,7 +56,8 @@ run_mode() {
         ctest_args+=(-L tsan)
         ;;
     *)
-        echo "unknown mode '${mode}' (want release|asan|tsan)" >&2
+        echo "unknown mode '${mode}'" \
+             "(want release|asan|tsan|durability)" >&2
         exit 2
         ;;
     esac

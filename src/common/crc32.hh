@@ -1,0 +1,55 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven.
+ *
+ * Used to frame write-ahead-log records and checkpoint files so a torn
+ * write (partial record at the tail after a crash) is detected and
+ * truncated instead of being replayed as garbage. Not cryptographic --
+ * it guards against truncation and bit rot, not an adversary.
+ */
+
+#ifndef DEPGRAPH_COMMON_CRC32_HH
+#define DEPGRAPH_COMMON_CRC32_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace depgraph
+{
+
+namespace detail
+{
+
+inline constexpr std::array<std::uint32_t, 256>
+makeCrc32Table()
+{
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        t[i] = c;
+    }
+    return t;
+}
+
+inline constexpr auto kCrc32Table = makeCrc32Table();
+
+} // namespace detail
+
+/** CRC-32 of `n` bytes, chainable via `seed` (pass a previous result
+ * to continue a running checksum over split buffers). */
+inline std::uint32_t
+crc32(const void *data, std::size_t n, std::uint32_t seed = 0)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    std::uint32_t c = seed ^ 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < n; ++i)
+        c = detail::kCrc32Table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+} // namespace depgraph
+
+#endif // DEPGRAPH_COMMON_CRC32_HH

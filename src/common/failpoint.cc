@@ -1,0 +1,225 @@
+#include "common/failpoint.hh"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+namespace depgraph::failpoint
+{
+
+namespace
+{
+
+enum class Action
+{
+    Error,
+    Delay,
+    Exit,
+};
+
+struct Point
+{
+    Action action = Action::Error;
+    std::uint64_t arg = 0;      ///< delay ms / exit code
+    std::uint64_t firstHit = 1; ///< fire on this hit and later
+    std::uint64_t hits = 0;     ///< evaluations since arming
+    std::string spec;           ///< original text, for list()
+};
+
+struct Registry
+{
+    std::mutex mu;
+    std::map<std::string, Point> points;
+};
+
+/** Fast-path gate: number of armed points. Zero (the overwhelmingly
+ * common case) means evaluate() is one relaxed load and out. */
+std::atomic<std::uint64_t> g_armed{0};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+/** Parse "error" | "delay(<ms>)" | "exit(<code>)" [+ "@<n>"]. */
+bool
+parseSpec(const std::string &spec, Point &out)
+{
+    std::string body = spec;
+    out.spec = spec;
+    const auto at = body.rfind('@');
+    if (at != std::string::npos) {
+        try {
+            std::size_t pos = 0;
+            out.firstHit = std::stoull(body.substr(at + 1), &pos);
+            if (pos != body.size() - at - 1 || out.firstHit == 0)
+                return false;
+        } catch (...) {
+            return false;
+        }
+        body = body.substr(0, at);
+    }
+    std::string kind = body;
+    std::uint64_t arg = 0;
+    const auto open = body.find('(');
+    if (open != std::string::npos) {
+        if (body.back() != ')')
+            return false;
+        kind = body.substr(0, open);
+        const auto inner =
+            body.substr(open + 1, body.size() - open - 2);
+        try {
+            std::size_t pos = 0;
+            arg = std::stoull(inner, &pos);
+            if (pos != inner.size())
+                return false;
+        } catch (...) {
+            return false;
+        }
+    }
+    if (kind == "error") {
+        out.action = Action::Error;
+    } else if (kind == "delay") {
+        out.action = Action::Delay;
+    } else if (kind == "exit") {
+        out.action = Action::Exit;
+        if (open == std::string::npos)
+            arg = 137; // SIGKILL convention, the chaos default
+    } else {
+        return false;
+    }
+    out.arg = arg;
+    return true;
+}
+
+} // namespace
+
+bool
+evaluate(const char *name)
+{
+    if (g_armed.load(std::memory_order_relaxed) == 0)
+        return false;
+
+    Action action;
+    std::uint64_t arg;
+    {
+        auto &reg = registry();
+        std::lock_guard lk(reg.mu);
+        const auto it = reg.points.find(name);
+        if (it == reg.points.end())
+            return false;
+        auto &p = it->second;
+        if (++p.hits < p.firstHit)
+            return false;
+        action = p.action;
+        arg = p.arg;
+    }
+    switch (action) {
+      case Action::Error:
+        return true;
+      case Action::Delay:
+        std::this_thread::sleep_for(std::chrono::milliseconds(arg));
+        return false;
+      case Action::Exit:
+        // The whole point: die without destructors, flushes, or
+        // atexit handlers -- indistinguishable from SIGKILL to the
+        // rest of the process's state.
+        std::fprintf(stderr, "failpoint '%s': _exit(%llu)\n", name,
+                     static_cast<unsigned long long>(arg));
+        std::fflush(stderr);
+        _exit(static_cast<int>(arg));
+    }
+    return false;
+}
+
+bool
+arm(const std::string &name, const std::string &spec)
+{
+    auto &reg = registry();
+    if (spec == "off") {
+        std::lock_guard lk(reg.mu);
+        if (reg.points.erase(name))
+            g_armed.fetch_sub(1, std::memory_order_relaxed);
+        return true;
+    }
+    Point p;
+    if (!parseSpec(spec, p))
+        return false;
+    std::lock_guard lk(reg.mu);
+    const auto [it, inserted] = reg.points.insert_or_assign(name, p);
+    (void)it;
+    if (inserted)
+        g_armed.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+void
+clearAll()
+{
+    auto &reg = registry();
+    std::lock_guard lk(reg.mu);
+    g_armed.fetch_sub(reg.points.size(), std::memory_order_relaxed);
+    reg.points.clear();
+}
+
+std::vector<std::string>
+list()
+{
+    auto &reg = registry();
+    std::lock_guard lk(reg.mu);
+    std::vector<std::string> out;
+    out.reserve(reg.points.size());
+    for (const auto &[name, p] : reg.points) {
+        std::ostringstream os;
+        os << name << "=" << p.spec << " hits=" << p.hits;
+        out.push_back(os.str());
+    }
+    return out;
+}
+
+std::size_t
+armFromEnv(const char *env_var)
+{
+    const char *raw = std::getenv(env_var);
+    if (!raw || !*raw)
+        return 0;
+    std::size_t armed = 0;
+    std::string entry;
+    std::istringstream is(raw);
+    while (std::getline(is, entry, ';')) {
+        std::istringstream sub(entry);
+        std::string one;
+        while (std::getline(sub, one, ',')) {
+            if (one.empty())
+                continue;
+            const auto eq = one.find('=');
+            if (eq == std::string::npos
+                || !arm(one.substr(0, eq), one.substr(eq + 1))) {
+                std::fprintf(stderr,
+                             "failpoint: ignoring malformed %s "
+                             "entry '%s'\n",
+                             env_var, one.c_str());
+                continue;
+            }
+            ++armed;
+        }
+    }
+    return armed;
+}
+
+std::uint64_t
+armedCount()
+{
+    return g_armed.load(std::memory_order_relaxed);
+}
+
+} // namespace depgraph::failpoint

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Failpoints: named fault-injection sites compiled into the binary.
+ *
+ * A call site marks a crash-consistency-critical moment:
+ *
+ *   if (dg_failpoint("wal.after_append"))
+ *       return false;                  // injected I/O error
+ *
+ * Disarmed (the default) this costs one relaxed atomic load -- cheap
+ * enough to leave in production builds, which is the point: the chaos
+ * harness kills the REAL dgserve binary at these exact sites, not a
+ * special test build. A failpoint is armed by name with a spec:
+ *
+ *   off            disarm
+ *   error          evaluate() returns true (caller injects a failure)
+ *   delay(<ms>)    sleep, then return false (widen race windows)
+ *   exit(<code>)   _exit(code) immediately -- simulates SIGKILL/power
+ *                  loss at exactly this instruction
+ *
+ * An optional `@<n>` suffix makes the action fire on the n-th hit and
+ * later ones only ("exit(137)@25" crashes on the 25th pass), so a
+ * harness can let traffic flow before pulling the plug. Arming comes
+ * from two planes: the DG_FAILPOINTS environment variable
+ * ("a=exit(137)@3;b=delay(50)", parsed by armFromEnv() at startup) and
+ * the `failpoint` protocol verb on a live server. The catalog of wired
+ * sites lives in docs/DURABILITY.md.
+ */
+
+#ifndef DEPGRAPH_COMMON_FAILPOINT_HH
+#define DEPGRAPH_COMMON_FAILPOINT_HH
+
+#include <string>
+#include <vector>
+
+namespace depgraph::failpoint
+{
+
+/**
+ * Evaluate the named site. Returns true when an `error` action fired
+ * (the caller should fail the operation); sleeps through `delay`;
+ * never returns under `exit`. Disarmed sites return false after a
+ * single relaxed atomic load.
+ */
+bool evaluate(const char *name);
+
+/**
+ * Arm (or re-arm) a failpoint. @return false on a malformed spec.
+ * "off" disarms the single name; specs are as documented above.
+ */
+bool arm(const std::string &name, const std::string &spec);
+
+/** Disarm every failpoint. */
+void clearAll();
+
+/** Armed failpoints as "name=spec hits=<n>" lines (for the protocol
+ * verb and debugging). Empty when nothing is armed. */
+std::vector<std::string> list();
+
+/** Parse DG_FAILPOINTS ("name=spec;name=spec", ';' or ',' separated).
+ * @return number of failpoints armed; malformed entries are skipped
+ * with a warning on stderr. */
+std::size_t armFromEnv(const char *env_var = "DG_FAILPOINTS");
+
+/** Total hits across all evaluations of armed failpoints (tests). */
+std::uint64_t armedCount();
+
+} // namespace depgraph::failpoint
+
+/** Sugar so call sites read as a statement of intent. */
+#define dg_failpoint(name) (::depgraph::failpoint::evaluate(name))
+
+#endif // DEPGRAPH_COMMON_FAILPOINT_HH

@@ -1,0 +1,225 @@
+#include "durability/checkpoint.hh"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "common/crc32.hh"
+#include "common/failpoint.hh"
+#include "durability/record.hh"
+#include "obs/metrics.hh"
+
+namespace depgraph::durability
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'D', 'G', 'C', 'K', 'P', 'T', '0', '1'};
+
+void
+setErr(std::string *err, std::string msg)
+{
+    if (err)
+        *err = std::move(msg);
+}
+
+std::string
+errnoString(const std::string &what)
+{
+    return what + ": " + std::strerror(errno);
+}
+
+bool
+fsyncPath(const std::string &path, bool directory, std::string *err)
+{
+    const int fd =
+        ::open(path.c_str(), directory ? O_RDONLY | O_DIRECTORY
+                                       : O_RDONLY);
+    if (fd < 0) {
+        setErr(err, errnoString("open " + path));
+        return false;
+    }
+    const bool ok = ::fsync(fd) == 0;
+    if (!ok)
+        setErr(err, errnoString("fsync " + path));
+    ::close(fd);
+    return ok;
+}
+
+} // namespace
+
+bool
+writeCheckpoint(const std::string &path, const CheckpointData &data,
+                std::string *err)
+{
+    if (!data.graph) {
+        setErr(err, "checkpoint without a graph");
+        return false;
+    }
+
+    ByteWriter w;
+    w.str(data.name);
+    w.pod(data.version);
+    w.vec(data.graph->offsets());
+    w.vec(data.graph->targets());
+    w.vec(data.graph->weights());
+    w.pod(static_cast<std::uint64_t>(data.fixpoints.size()));
+    for (const auto &[algo, states] : data.fixpoints) {
+        w.str(algo);
+        if (states)
+            w.vec(*states);
+        else
+            w.pod(static_cast<std::uint64_t>(0));
+    }
+    const auto &payload = w.buffer();
+
+    const std::string tmp = path + ".tmp";
+    {
+        const int fd = ::open(tmp.c_str(),
+                              O_WRONLY | O_CREAT | O_TRUNC, 0644);
+        if (fd < 0) {
+            setErr(err, errnoString("open " + tmp));
+            return false;
+        }
+        const auto len = static_cast<std::uint64_t>(payload.size());
+        const std::uint32_t crc =
+            crc32(payload.data(), payload.size());
+        std::vector<std::uint8_t> head(sizeof kMagic + 12);
+        std::memcpy(head.data(), kMagic, sizeof kMagic);
+        std::memcpy(head.data() + 8, &len, 8);
+        std::memcpy(head.data() + 16, &crc, 4);
+
+        bool ok = true;
+        auto writeAll = [&](const std::uint8_t *p, std::size_t n) {
+            std::size_t off = 0;
+            while (off < n) {
+                const auto w2 = ::write(fd, p + off, n - off);
+                if (w2 < 0) {
+                    if (errno == EINTR)
+                        continue;
+                    return false;
+                }
+                off += static_cast<std::size_t>(w2);
+            }
+            return true;
+        };
+        ok = writeAll(head.data(), head.size())
+            && writeAll(payload.data(), payload.size())
+            && ::fsync(fd) == 0;
+        ::close(fd);
+        if (!ok) {
+            setErr(err, errnoString("write " + tmp));
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+
+    // The tmp file is complete and durable; the rename is the commit.
+    if (dg_failpoint("ckpt.publish")) {
+        setErr(err, "injected ckpt.publish failure");
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        setErr(err, errnoString("rename " + tmp));
+        std::remove(tmp.c_str());
+        return false;
+    }
+    const auto slash = path.rfind('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash);
+    if (!fsyncPath(dir, true, err))
+        return false;
+
+    auto &reg = obs::registry();
+    reg.counter("dg_ckpt_writes_total", "checkpoints published")
+        .inc();
+    reg.counter("dg_ckpt_bytes_total", "checkpoint payload bytes")
+        .inc(payload.size());
+
+    if (dg_failpoint("ckpt.published")) {
+        setErr(err, "injected ckpt.published failure");
+        return false;
+    }
+    return true;
+}
+
+bool
+readCheckpoint(const std::string &path, CheckpointData &out,
+               std::string *err)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open()) {
+        setErr(err, "open " + path + " failed");
+        return false;
+    }
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    if (in.bad() || bytes.size() < sizeof kMagic + 12) {
+        setErr(err, path + ": short or unreadable");
+        return false;
+    }
+    if (std::memcmp(bytes.data(), kMagic, sizeof kMagic) != 0) {
+        setErr(err, path + ": bad magic");
+        return false;
+    }
+    std::uint64_t len = 0;
+    std::uint32_t crc = 0;
+    std::memcpy(&len, bytes.data() + 8, 8);
+    std::memcpy(&crc, bytes.data() + 16, 4);
+    if (len != bytes.size() - sizeof kMagic - 12) {
+        setErr(err, path + ": length mismatch (truncated?)");
+        return false;
+    }
+    const std::uint8_t *payload = bytes.data() + sizeof kMagic + 12;
+    if (crc32(payload, static_cast<std::size_t>(len)) != crc) {
+        setErr(err, path + ": CRC mismatch");
+        return false;
+    }
+
+    ByteReader r(payload, static_cast<std::size_t>(len));
+    std::vector<EdgeId> offsets;
+    std::vector<VertexId> targets;
+    std::vector<Value> weights;
+    std::uint64_t fixpointCount = 0;
+    if (!r.str(out.name) || !r.pod(out.version) || !r.vec(offsets)
+        || !r.vec(targets) || !r.vec(weights)
+        || !r.pod(fixpointCount)) {
+        setErr(err, path + ": malformed payload");
+        return false;
+    }
+    if (offsets.empty() || offsets.front() != 0
+        || offsets.back() != targets.size()
+        || (!weights.empty() && weights.size() != targets.size())) {
+        setErr(err, path + ": inconsistent CSR");
+        return false;
+    }
+    out.graph = std::make_shared<graph::Graph>(
+        std::move(offsets), std::move(targets), std::move(weights));
+    out.fixpoints.clear();
+    for (std::uint64_t i = 0; i < fixpointCount; ++i) {
+        std::string algo;
+        std::vector<Value> states;
+        if (!r.str(algo) || !r.vec(states)) {
+            setErr(err, path + ": malformed fixpoint entry");
+            return false;
+        }
+        out.fixpoints.emplace_back(
+            std::move(algo), std::make_shared<const std::vector<Value>>(
+                                 std::move(states)));
+    }
+    if (!r.exhausted()) {
+        setErr(err, path + ": trailing bytes");
+        return false;
+    }
+    return true;
+}
+
+} // namespace depgraph::durability

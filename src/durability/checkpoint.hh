@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Checkpoint files: one whole-graph snapshot (CSR + converged fixpoint
+ * caches) published with the classic atomic-rename dance.
+ *
+ * Layout of `<name>.ckpt`:
+ *
+ *   magic "DGCKPT01" | u64 payload_len | u32 crc32(payload) | payload
+ *
+ * with the payload carrying graph name, store version, the three CSR
+ * arrays, and each cached per-algorithm fixpoint vector. Writing goes
+ * to `<name>.ckpt.tmp`, fsyncs, renames over the final path, then
+ * fsyncs the directory -- so a crash at ANY instruction leaves either
+ * the old complete checkpoint or the new complete checkpoint, never a
+ * hybrid. read validates magic, length and CRC and fails soft (the
+ * recovery path falls back to WAL-only replay).
+ *
+ * Failpoints: "ckpt.publish" fires before the rename (an error aborts
+ * leaving the old file; an exit models a crash with only the tmp file
+ * written) and "ckpt.published" fires right after the rename, before
+ * the caller gets to truncate the WAL.
+ */
+
+#ifndef DEPGRAPH_DURABILITY_CHECKPOINT_HH
+#define DEPGRAPH_DURABILITY_CHECKPOINT_HH
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+#include "graph/csr.hh"
+
+namespace depgraph::durability
+{
+
+/** What a checkpoint stores / recovery yields for one graph. */
+struct CheckpointData
+{
+    std::string name;
+    std::uint64_t version = 0;
+    std::shared_ptr<const graph::Graph> graph;
+    /** Per-algorithm converged states valid at exactly `version`. */
+    std::vector<
+        std::pair<std::string,
+                  std::shared_ptr<const std::vector<Value>>>>
+        fixpoints;
+};
+
+/** Atomically (re)write the checkpoint at `path`. */
+bool writeCheckpoint(const std::string &path,
+                     const CheckpointData &data, std::string *err);
+
+/** @return false when missing, truncated, or corrupt (err says why). */
+bool readCheckpoint(const std::string &path, CheckpointData &out,
+                    std::string *err);
+
+} // namespace depgraph::durability
+
+#endif // DEPGRAPH_DURABILITY_CHECKPOINT_HH

@@ -1,0 +1,425 @@
+#include "durability/manager.hh"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <set>
+
+#include "common/logging.hh"
+#include "obs/metrics.hh"
+
+namespace depgraph::durability
+{
+
+namespace
+{
+
+void
+setErr(std::string *err, std::string msg)
+{
+    if (err)
+        *err = std::move(msg);
+}
+
+bool
+makeDir(const std::string &path, std::string *err)
+{
+    if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST)
+        return true;
+    setErr(err,
+           "mkdir " + path + ": " + std::string(std::strerror(errno)));
+    return false;
+}
+
+int
+hexValue(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+} // namespace
+
+Manager::Manager(DurabilityOptions opt) : opt_(std::move(opt)) {}
+
+Manager::~Manager() = default;
+
+std::string
+Manager::escapeName(const std::string &name)
+{
+    static const char *hex = "0123456789abcdef";
+    std::string out;
+    out.reserve(name.size());
+    for (const unsigned char c : name) {
+        if ((c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z')
+            || (c >= '0' && c <= '9') || c == '_' || c == '-') {
+            out.push_back(static_cast<char>(c));
+        } else {
+            out.push_back('%');
+            out.push_back(hex[c >> 4]);
+            out.push_back(hex[c & 0xF]);
+        }
+    }
+    return out;
+}
+
+std::string
+Manager::unescapeName(const std::string &stem)
+{
+    std::string out;
+    out.reserve(stem.size());
+    for (std::size_t i = 0; i < stem.size(); ++i) {
+        if (stem[i] == '%' && i + 2 < stem.size()
+            && hexValue(stem[i + 1]) >= 0
+            && hexValue(stem[i + 2]) >= 0) {
+            out.push_back(static_cast<char>(
+                hexValue(stem[i + 1]) * 16 + hexValue(stem[i + 2])));
+            i += 2;
+        } else {
+            out.push_back(stem[i]);
+        }
+    }
+    return out;
+}
+
+std::string
+Manager::walPath(const std::string &graph) const
+{
+    return opt_.dataDir + "/wal/" + escapeName(graph) + ".wal";
+}
+
+std::string
+Manager::ckptPath(const std::string &graph) const
+{
+    return opt_.dataDir + "/ckpt/" + escapeName(graph) + ".ckpt";
+}
+
+bool
+Manager::start(std::string *err)
+{
+    if (!enabled())
+        return true;
+    return makeDir(opt_.dataDir, err)
+        && makeDir(opt_.dataDir + "/wal", err)
+        && makeDir(opt_.dataDir + "/ckpt", err);
+}
+
+void
+Manager::setHooks(FlushFn flush, PendingFn pending, SnapshotFn snap)
+{
+    flush_ = std::move(flush);
+    pending_ = std::move(pending);
+    snapshot_ = std::move(snap);
+}
+
+std::shared_ptr<Manager::PerGraph>
+Manager::state(const std::string &graph)
+{
+    std::lock_guard lk(mu_);
+    auto &slot = map_[graph];
+    if (!slot)
+        slot = std::make_shared<PerGraph>();
+    return slot;
+}
+
+bool
+Manager::ensureWalOpen(PerGraph &pg, const std::string &graph,
+                       std::string *err)
+{
+    if (pg.wal.isOpen())
+        return true;
+    return pg.wal.open(walPath(graph), err);
+}
+
+bool
+Manager::logCreate(const std::string &graph, const graph::Graph &g,
+                   const std::function<void()> &applyWhileLocked,
+                   std::string *err)
+{
+    if (!enabled()) {
+        applyWhileLocked();
+        return true;
+    }
+    auto pg = state(graph);
+    std::lock_guard lk(pg->ackMu);
+    if (!frozen_.load(std::memory_order_acquire)) {
+        if (!ensureWalOpen(*pg, graph, err)
+            || !pg->wal.append(encodeCreate(graph, g),
+                               opt_.sync == SyncPolicy::Always, err))
+            return false;
+    }
+    applyWhileLocked();
+    return true;
+}
+
+bool
+Manager::logMutate(const std::string &graph,
+                   const std::vector<gas::EdgeInsertion> &ins,
+                   const std::vector<gas::EdgeDeletion> &dels,
+                   const std::function<void()> &applyWhileLocked,
+                   std::string *err)
+{
+    if (!enabled()) {
+        applyWhileLocked();
+        return true;
+    }
+    auto pg = state(graph);
+    std::lock_guard lk(pg->ackMu);
+    if (!frozen_.load(std::memory_order_acquire)) {
+        if (!ensureWalOpen(*pg, graph, err)
+            || !pg->wal.append(encodeMutate(graph, ins, dels),
+                               opt_.sync == SyncPolicy::Always, err))
+            return false;
+    }
+    applyWhileLocked();
+    return true;
+}
+
+void
+Manager::groupCommit(const std::string &graph)
+{
+    if (!enabled() || frozen_.load(std::memory_order_acquire))
+        return;
+    auto pg = state(graph);
+    // No ackMu here: an external checkpoint drives the batcher flush
+    // that calls us while already holding it (see header).
+    std::string err;
+    if (!ensureWalOpen(*pg, graph, &err)
+        || !pg->wal.append(encodeMarker(graph),
+                           opt_.sync != SyncPolicy::Off, &err))
+        dg_warn("wal group-commit for '", graph, "' failed: ", err);
+}
+
+void
+Manager::noteApplied(const std::string &graph)
+{
+    if (!enabled() || frozen_.load(std::memory_order_acquire)
+        || opt_.checkpointEveryBatches == 0)
+        return;
+    auto pg = state(graph);
+    const auto batches =
+        pg->batchesSinceCkpt.fetch_add(1, std::memory_order_relaxed)
+        + 1;
+    if (batches < opt_.checkpointEveryBatches)
+        return;
+    // Opportunistic: a busy ackMu (writer mid-ack, or a checkpoint
+    // already running) or still-pending churn skips this round --
+    // the counter keeps its value, so the next applied batch retries.
+    std::unique_lock lk(pg->ackMu, std::try_to_lock);
+    if (!lk.owns_lock())
+        return;
+    if (pending_ && pending_(graph) > 0)
+        return;
+    std::string err;
+    if (!checkpointLocked(*pg, graph, /*flushFirst=*/false, &err))
+        dg_warn("periodic checkpoint of '", graph, "' failed: ", err);
+}
+
+bool
+Manager::checkpointNow(const std::string &graph, std::string *err)
+{
+    if (!enabled()) {
+        setErr(err, "durability disabled (no --data_dir)");
+        return false;
+    }
+    if (frozen_.load(std::memory_order_acquire)) {
+        setErr(err, "durability frozen (simulated crash)");
+        return false;
+    }
+    auto pg = state(graph);
+    std::lock_guard lk(pg->ackMu);
+    return checkpointLocked(*pg, graph, /*flushFirst=*/true, err);
+}
+
+bool
+Manager::checkpointLocked(PerGraph &pg, const std::string &graph,
+                          bool flushFirst, std::string *err)
+{
+    if (flushFirst && flush_)
+        flush_(graph);
+    if (!snapshot_) {
+        setErr(err, "no snapshot hook installed");
+        return false;
+    }
+    CheckpointData data;
+    if (!snapshot_(graph, data)) {
+        setErr(err, "unknown graph '" + graph + "'");
+        return false;
+    }
+    if (!writeCheckpoint(ckptPath(graph), data, err))
+        return false;
+    if (!ensureWalOpen(pg, graph, err) || !pg.wal.truncate(err))
+        return false;
+    pg.batchesSinceCkpt.store(0, std::memory_order_relaxed);
+    return true;
+}
+
+void
+Manager::syncAll()
+{
+    if (!enabled() || frozen_.load(std::memory_order_acquire))
+        return;
+    std::vector<std::shared_ptr<PerGraph>> all;
+    {
+        std::lock_guard lk(mu_);
+        all.reserve(map_.size());
+        for (auto &[name, pg] : map_)
+            all.push_back(pg);
+    }
+    for (auto &pg : all)
+        if (pg->wal.isOpen())
+            pg->wal.sync(nullptr);
+}
+
+void
+Manager::simulateCrash()
+{
+    frozen_.store(true, std::memory_order_release);
+}
+
+RecoveryReport
+Manager::recover(const ReplayHandlers &h, std::string *err)
+{
+    RecoveryReport report;
+    if (!enabled())
+        return report;
+
+    namespace fs = std::filesystem;
+    std::set<std::string> names;
+    std::error_code ec;
+    for (const char *sub : {"/wal", "/ckpt"}) {
+        for (const auto &entry :
+             fs::directory_iterator(opt_.dataDir + sub, ec)) {
+            const auto p = entry.path();
+            if (p.extension() == ".wal" || p.extension() == ".ckpt")
+                names.insert(unescapeName(p.stem().string()));
+        }
+    }
+
+    auto &reg = obs::registry();
+    for (const auto &name : names) {
+        bool haveBase = false;
+        CheckpointData ckpt;
+        const auto cp = ckptPath(name);
+        if (fs::exists(cp, ec)) {
+            std::string cerr2;
+            if (readCheckpoint(cp, ckpt, &cerr2)) {
+                haveBase = true;
+                ++report.checkpointsLoaded;
+            } else {
+                ++report.corruptCheckpoints;
+                dg_warn("checkpoint for '", name,
+                        "' unusable, falling back to WAL: ", cerr2);
+            }
+        }
+
+        WalFile::ReadResult rr;
+        std::string werr;
+        if (!WalFile::readAll(walPath(name), rr, &werr)) {
+            dg_warn("wal for '", name, "' unreadable: ", werr);
+            rr = WalFile::ReadResult{};
+        }
+
+        // Decode; a CRC-valid but semantically malformed frame is
+        // treated exactly like a torn tail -- everything from it on
+        // is amputated.
+        std::vector<Record> records;
+        std::uint64_t decodedBytes = 0;
+        bool decodeTear = false;
+        for (const auto &payload : rr.payloads) {
+            Record rec;
+            if (!decodeRecord(payload.data(), payload.size(), rec)) {
+                decodeTear = true;
+                break;
+            }
+            decodedBytes += 8 + payload.size();
+            records.push_back(std::move(rec));
+        }
+        if (rr.tornTail || decodeTear) {
+            const auto keep =
+                decodeTear ? decodedBytes : rr.validBytes;
+            std::string terr;
+            if (WalFile::repair(walPath(name), keep, &terr))
+                ++report.tornTailsTruncated;
+            else
+                dg_warn("wal tail repair for '", name,
+                        "' failed: ", terr);
+        }
+
+        bool createSeen = false, mutationSeen = false;
+        for (const auto &r : records) {
+            createSeen |= r.type == RecordType::Create;
+            mutationSeen |= r.type == RecordType::Mutate;
+        }
+
+        if (haveBase) {
+            if (mutationSeen && !opt_.seedFixpointsOnReplay)
+                ckpt.fixpoints.clear(); // exact mode: recompute
+            if (h.onCheckpoint)
+                h.onCheckpoint(std::move(ckpt));
+        }
+        for (auto &r : records) {
+            switch (r.type) {
+              case RecordType::Create:
+                if (h.onCreate)
+                    h.onCreate(name, std::move(r.created));
+                ++report.walRecordsReplayed;
+                break;
+              case RecordType::Mutate:
+                if (h.onMutate)
+                    h.onMutate(name, std::move(r.ins),
+                               std::move(r.dels));
+                ++report.walRecordsReplayed;
+                break;
+              case RecordType::Marker:
+                if (h.onMarker)
+                    h.onMarker(name);
+                ++report.walBatchesReplayed;
+                break;
+            }
+        }
+        if (h.onReplayDone)
+            h.onReplayDone(name);
+
+        const bool recovered = haveBase || createSeen;
+        if (recovered)
+            report.graphs.push_back(name);
+
+        // Seal: fresh checkpoint of the recovered state, then an
+        // empty journal -- the next crash replays from here.
+        if (recovered
+            && (!records.empty() || rr.tornTail || decodeTear)) {
+            auto pg = state(name);
+            std::lock_guard lk(pg->ackMu);
+            std::string serr;
+            if (!checkpointLocked(*pg, name, /*flushFirst=*/false,
+                                  &serr))
+                dg_warn("post-recovery checkpoint of '", name,
+                        "' failed: ", serr);
+        } else if (!recovered && !records.empty()) {
+            // Mutations for a graph that never existed: drop them.
+            std::string terr;
+            WalFile::repair(walPath(name), 0, &terr);
+        }
+    }
+
+    reg.counter("dg_recovery_runs_total", "recovery passes").inc();
+    reg.counter("dg_recovery_records_total",
+                "WAL records replayed by recovery")
+        .inc(report.walRecordsReplayed);
+    reg.counter("dg_recovery_torn_tails_total",
+                "torn WAL tails amputated")
+        .inc(report.tornTailsTruncated);
+    setErr(err, "");
+    return report;
+}
+
+} // namespace depgraph::durability

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * durability::Manager -- the policy layer tying WAL + checkpoints to
+ * the serving engine.
+ *
+ * Layout under --data_dir:
+ *
+ *   <data_dir>/wal/<escaped-name>.wal    per-graph journal
+ *   <data_dir>/ckpt/<escaped-name>.ckpt  per-graph checkpoint
+ *
+ * (graph names come from untrusted clients; anything outside
+ * [A-Za-z0-9_-] is percent-escaped so "../../etc" cannot leave the
+ * data dir).
+ *
+ * Ack protocol. Each graph has an ackMu; logCreate()/logMutate() hold
+ * it across {WAL append, apply-to-engine callback} so a record is
+ * either durable AND applied or neither -- and so a concurrent
+ * checkpoint (which holds the same ackMu across {flush, snapshot
+ * write, WAL truncate}) can never truncate a record whose mutation was
+ * acked but not yet enqueued. groupCommit() deliberately does NOT take
+ * ackMu: it is called from inside the batcher flush, which an external
+ * checkpoint drives while already holding ackMu.
+ *
+ * Periodic checkpoints (checkpointEveryBatches > 0) trigger from
+ * noteApplied() with try_lock -- if the ackMu is busy (a writer or
+ * another checkpoint) or churn is still pending, this round is simply
+ * skipped; durability never blocks the serving path for a snapshot.
+ *
+ * Recovery (recover()) walks both directories, loads the newest valid
+ * checkpoint per graph, replays the WAL suffix through caller-provided
+ * handlers (create / mutate / marker-flush), amputates torn tails, and
+ * finishes by re-checkpointing + truncating every journal it replayed.
+ * With seedFixpointsOnReplay=false (the default, "exact" mode) a
+ * checkpoint's fixpoint caches are DROPPED when the WAL holds
+ * mutations for that graph: replay then applies churn to the CSR
+ * without an incremental pass and the first query recomputes from
+ * scratch -- making recovered query results bitwise equal to a
+ * scratch recompute. "fast" mode keeps the caches and reconverges
+ * incrementally (epsilon-equal, much cheaper for big graphs).
+ */
+
+#ifndef DEPGRAPH_DURABILITY_MANAGER_HH
+#define DEPGRAPH_DURABILITY_MANAGER_HH
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "durability/checkpoint.hh"
+#include "durability/record.hh"
+#include "durability/wal.hh"
+
+namespace depgraph::durability
+{
+
+struct DurabilityOptions
+{
+    /** Root directory; empty disables durability entirely. */
+    std::string dataDir;
+    SyncPolicy sync = SyncPolicy::Batch;
+    /** Checkpoint a graph after this many applied batches (0 = only
+     * explicit `checkpoint` verb / recovery-end checkpoints). */
+    std::size_t checkpointEveryBatches = 0;
+    /** false = "exact" recovery (scratch recompute, bitwise-equal
+     * queries); true = "fast" (seed checkpoint fixpoints, incremental
+     * reconvergence, epsilon-equal). */
+    bool seedFixpointsOnReplay = false;
+};
+
+struct RecoveryReport
+{
+    std::vector<std::string> graphs; ///< names recovered
+    std::size_t checkpointsLoaded = 0;
+    std::size_t corruptCheckpoints = 0;
+    std::size_t walRecordsReplayed = 0;
+    std::size_t walBatchesReplayed = 0; ///< marker-bounded flushes
+    std::size_t tornTailsTruncated = 0;
+};
+
+class Manager
+{
+  public:
+    /** Flush the batcher for one graph (checkpoint prologue). */
+    using FlushFn = std::function<void(const std::string &)>;
+    /** Pending churn edges for one graph (checkpoint gating). */
+    using PendingFn = std::function<std::size_t(const std::string &)>;
+    /** Fill CheckpointData from the current snapshot; false when the
+     * graph vanished. */
+    using SnapshotFn =
+        std::function<bool(const std::string &, CheckpointData &)>;
+
+    explicit Manager(DurabilityOptions opt = {});
+    ~Manager();
+
+    Manager(const Manager &) = delete;
+    Manager &operator=(const Manager &) = delete;
+
+    bool enabled() const { return !opt_.dataDir.empty(); }
+    const DurabilityOptions &options() const { return opt_; }
+
+    /** Create the directory layout. Call once before anything else. */
+    bool start(std::string *err);
+
+    void setHooks(FlushFn flush, PendingFn pending, SnapshotFn snap);
+
+    /**
+     * Journal a graph (re)creation, then run `applyWhileLocked` (the
+     * store put) under the graph's ackMu. @return false with nothing
+     * applied when the record could not be made durable.
+     */
+    bool logCreate(const std::string &graph, const graph::Graph &g,
+                   const std::function<void()> &applyWhileLocked,
+                   std::string *err);
+
+    /** Journal an acknowledged churn request, then run the enqueue
+     * callback under ackMu. Same all-or-nothing contract. */
+    bool logMutate(const std::string &graph,
+                   const std::vector<gas::EdgeInsertion> &ins,
+                   const std::vector<gas::EdgeDeletion> &dels,
+                   const std::function<void()> &applyWhileLocked,
+                   std::string *err);
+
+    /**
+     * Group-commit boundary: append a Marker record and (under the
+     * `batch` policy) fsync everything journaled since the last one.
+     * Called by the UpdateBatcher at the top of a flush, after the
+     * pending churn is claimed. Never takes ackMu (see file comment).
+     */
+    void groupCommit(const std::string &graph);
+
+    /** A batch was applied+published; drives periodic checkpoints. */
+    void noteApplied(const std::string &graph);
+
+    /** Explicit checkpoint: flush, snapshot, publish, truncate WAL. */
+    bool checkpointNow(const std::string &graph, std::string *err);
+
+    /** fsync every open journal (graceful drain/shutdown). */
+    void syncAll();
+
+    /**
+     * TESTS ONLY: freeze all disk I/O from this instant. Everything
+     * already on disk stays; nothing further is written, synced or
+     * truncated -- so tearing the process down gracefully afterwards
+     * leaves the files exactly as a SIGKILL here would have.
+     */
+    void simulateCrash();
+
+    struct ReplayHandlers
+    {
+        /** Seed a recovered graph from its checkpoint. */
+        std::function<void(CheckpointData &&)> onCheckpoint;
+        /** WAL Create: (re)place the named graph. */
+        std::function<void(const std::string &, graph::Graph &&)>
+            onCreate;
+        /** WAL Mutate: enqueue churn (do NOT re-journal it). */
+        std::function<void(const std::string &,
+                           std::vector<gas::EdgeInsertion> &&,
+                           std::vector<gas::EdgeDeletion> &&)>
+            onMutate;
+        /** WAL Marker: flush the batcher for the graph. */
+        std::function<void(const std::string &)> onMarker;
+        /** All records delivered for the graph; flush leftovers. */
+        std::function<void(const std::string &)> onReplayDone;
+    };
+
+    /** Replay persisted state through `h`. Call before serving. */
+    RecoveryReport recover(const ReplayHandlers &h, std::string *err);
+
+    /** Escape a client graph name into a safe file stem. */
+    static std::string escapeName(const std::string &name);
+    static std::string unescapeName(const std::string &stem);
+
+    std::string walPath(const std::string &graph) const;
+    std::string ckptPath(const std::string &graph) const;
+
+  private:
+    struct PerGraph
+    {
+        std::mutex ackMu;
+        WalFile wal;
+        std::atomic<std::size_t> batchesSinceCkpt{0};
+    };
+
+    std::shared_ptr<PerGraph> state(const std::string &graph);
+    bool ensureWalOpen(PerGraph &pg, const std::string &graph,
+                       std::string *err);
+    /** Caller holds pg.ackMu. */
+    bool checkpointLocked(PerGraph &pg, const std::string &graph,
+                          bool flushFirst, std::string *err);
+
+    DurabilityOptions opt_;
+    FlushFn flush_;
+    PendingFn pending_;
+    SnapshotFn snapshot_;
+    std::atomic<bool> frozen_{false};
+
+    mutable std::mutex mu_; ///< guards map_
+    std::map<std::string, std::shared_ptr<PerGraph>> map_;
+};
+
+} // namespace depgraph::durability
+
+#endif // DEPGRAPH_DURABILITY_MANAGER_HH

@@ -1,0 +1,129 @@
+#include "durability/record.hh"
+
+#include <algorithm>
+
+namespace depgraph::durability
+{
+
+namespace
+{
+
+void
+header(ByteWriter &w, RecordType t, const std::string &graph)
+{
+    w.pod(static_cast<std::uint8_t>(t));
+    w.str(graph);
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+encodeCreate(const std::string &graph, const graph::Graph &g)
+{
+    ByteWriter w;
+    header(w, RecordType::Create, graph);
+    w.vec(g.offsets());
+    w.vec(g.targets());
+    w.vec(g.weights());
+    return std::move(w.buffer());
+}
+
+std::vector<std::uint8_t>
+encodeMutate(const std::string &graph,
+             const std::vector<gas::EdgeInsertion> &ins,
+             const std::vector<gas::EdgeDeletion> &dels)
+{
+    ByteWriter w;
+    header(w, RecordType::Mutate, graph);
+    w.pod(static_cast<std::uint64_t>(ins.size()));
+    for (const auto &e : ins) {
+        w.pod(e.src);
+        w.pod(e.dst);
+        w.pod(e.weight);
+    }
+    w.pod(static_cast<std::uint64_t>(dels.size()));
+    for (const auto &e : dels) {
+        w.pod(e.src);
+        w.pod(e.dst);
+        w.pod(e.weight);
+    }
+    return std::move(w.buffer());
+}
+
+std::vector<std::uint8_t>
+encodeMarker(const std::string &graph)
+{
+    ByteWriter w;
+    header(w, RecordType::Marker, graph);
+    return std::move(w.buffer());
+}
+
+bool
+decodeRecord(const std::uint8_t *data, std::size_t n, Record &out)
+{
+    ByteReader r(data, n);
+    std::uint8_t type = 0;
+    if (!r.pod(type) || !r.str(out.graph))
+        return false;
+
+    switch (type) {
+      case static_cast<std::uint8_t>(RecordType::Create): {
+        out.type = RecordType::Create;
+        std::vector<EdgeId> offsets;
+        std::vector<VertexId> targets;
+        std::vector<Value> weights;
+        if (!r.vec(offsets) || !r.vec(targets) || !r.vec(weights)
+            || !r.exhausted())
+            return false;
+        // Graph's ctor asserts CSR invariants fatally; re-check them
+        // here so a corrupt-but-CRC-colliding record is rejected, not
+        // a process abort.
+        if (offsets.empty() || offsets.front() != 0
+            || offsets.back() != targets.size()
+            || (!weights.empty() && weights.size() != targets.size()))
+            return false;
+        for (std::size_t i = 1; i < offsets.size(); ++i)
+            if (offsets[i] < offsets[i - 1])
+                return false;
+        for (const auto t : targets)
+            if (t >= offsets.size() - 1)
+                return false;
+        out.created = graph::Graph(std::move(offsets),
+                                   std::move(targets),
+                                   std::move(weights));
+        return true;
+      }
+      case static_cast<std::uint8_t>(RecordType::Mutate): {
+        out.type = RecordType::Mutate;
+        std::uint64_t count = 0;
+        if (!r.pod(count))
+            return false;
+        out.ins.clear();
+        out.ins.reserve(std::min<std::uint64_t>(count, 1u << 20));
+        for (std::uint64_t i = 0; i < count; ++i) {
+            gas::EdgeInsertion e;
+            if (!r.pod(e.src) || !r.pod(e.dst) || !r.pod(e.weight))
+                return false;
+            out.ins.push_back(e);
+        }
+        if (!r.pod(count))
+            return false;
+        out.dels.clear();
+        out.dels.reserve(std::min<std::uint64_t>(count, 1u << 20));
+        for (std::uint64_t i = 0; i < count; ++i) {
+            gas::EdgeDeletion e;
+            if (!r.pod(e.src) || !r.pod(e.dst) || !r.pod(e.weight))
+                return false;
+            out.dels.push_back(e);
+        }
+        return r.exhausted();
+      }
+      case static_cast<std::uint8_t>(RecordType::Marker):
+        out.type = RecordType::Marker;
+        return r.exhausted();
+      default:
+        return false;
+    }
+}
+
+} // namespace depgraph::durability

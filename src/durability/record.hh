@@ -1,0 +1,178 @@
+/**
+ * @file
+ * WAL record payloads and their byte codec.
+ *
+ * Three record types travel through a graph's journal:
+ *
+ *   Create (1)  graph (re)created -- name + full CSR arrays. Replay
+ *               replaces any prior state of the name, exactly like a
+ *               live `load` does.
+ *   Mutate (2)  one acknowledged churn request -- name + insertions +
+ *               deletions, in request order.
+ *   Marker (3)  a group-commit boundary written when the UpdateBatcher
+ *               flushed this graph. Replay flushes at markers so the
+ *               recovered CSR sees the SAME batch boundaries the live
+ *               process did -- deletion-cancels-pending-insert makes
+ *               the final edge multiset batching-dependent in wildcard
+ *               corner cases, so boundaries are part of the history.
+ *
+ * Encoding is length-prefixed little-endian-by-convention (memcpy of
+ * host-order scalars; the WAL is machine-local, never shipped across
+ * architectures). decode() never trusts lengths: every read is bounds-
+ * checked and a malformed payload returns false instead of crashing,
+ * because the tail of a journal after a power loss is attacker-grade
+ * garbage.
+ */
+
+#ifndef DEPGRAPH_DURABILITY_RECORD_HH
+#define DEPGRAPH_DURABILITY_RECORD_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "gas/incremental.hh"
+#include "graph/csr.hh"
+
+namespace depgraph::durability
+{
+
+enum class RecordType : std::uint8_t
+{
+    Create = 1,
+    Mutate = 2,
+    Marker = 3,
+};
+
+/** A decoded WAL record (union-style: fields valid per `type`). */
+struct Record
+{
+    RecordType type = RecordType::Marker;
+    std::string graph;
+
+    /* Create */
+    graph::Graph created;
+
+    /* Mutate */
+    std::vector<gas::EdgeInsertion> ins;
+    std::vector<gas::EdgeDeletion> dels;
+};
+
+std::vector<std::uint8_t> encodeCreate(const std::string &graph,
+                                       const graph::Graph &g);
+
+std::vector<std::uint8_t>
+encodeMutate(const std::string &graph,
+             const std::vector<gas::EdgeInsertion> &ins,
+             const std::vector<gas::EdgeDeletion> &dels);
+
+std::vector<std::uint8_t> encodeMarker(const std::string &graph);
+
+/** @return false on any malformed/truncated payload. */
+bool decodeRecord(const std::uint8_t *data, std::size_t n,
+                  Record &out);
+
+/**
+ * Low-level byte stream helpers, shared with the checkpoint codec.
+ */
+class ByteWriter
+{
+  public:
+    std::vector<std::uint8_t> &buffer() { return buf_; }
+
+    void
+    bytes(const void *p, std::size_t n)
+    {
+        const auto *b = static_cast<const std::uint8_t *>(p);
+        buf_.insert(buf_.end(), b, b + n);
+    }
+
+    template <typename T>
+    void
+    pod(T v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        bytes(&v, sizeof v);
+    }
+
+    void
+    str(const std::string &s)
+    {
+        pod(static_cast<std::uint64_t>(s.size()));
+        bytes(s.data(), s.size());
+    }
+
+    template <typename T>
+    void
+    vec(const std::vector<T> &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        pod(static_cast<std::uint64_t>(v.size()));
+        bytes(v.data(), v.size() * sizeof(T));
+    }
+
+  private:
+    std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader
+{
+  public:
+    ByteReader(const std::uint8_t *p, std::size_t n) : p_(p), n_(n) {}
+
+    bool
+    bytes(void *out, std::size_t n)
+    {
+        if (n > n_ - pos_)
+            return false;
+        std::memcpy(out, p_ + pos_, n);
+        pos_ += n;
+        return true;
+    }
+
+    template <typename T>
+    bool
+    pod(T &out)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        return bytes(&out, sizeof out);
+    }
+
+    bool
+    str(std::string &out)
+    {
+        std::uint64_t len = 0;
+        if (!pod(len) || len > n_ - pos_)
+            return false;
+        out.assign(reinterpret_cast<const char *>(p_ + pos_),
+                   static_cast<std::size_t>(len));
+        pos_ += static_cast<std::size_t>(len);
+        return true;
+    }
+
+    template <typename T>
+    bool
+    vec(std::vector<T> &out)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        std::uint64_t len = 0;
+        if (!pod(len) || len > (n_ - pos_) / sizeof(T))
+            return false;
+        out.resize(static_cast<std::size_t>(len));
+        return bytes(out.data(),
+                     static_cast<std::size_t>(len) * sizeof(T));
+    }
+
+    bool exhausted() const { return pos_ == n_; }
+
+  private:
+    const std::uint8_t *p_;
+    std::size_t n_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace depgraph::durability
+
+#endif // DEPGRAPH_DURABILITY_RECORD_HH

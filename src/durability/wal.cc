@@ -1,0 +1,256 @@
+#include "durability/wal.hh"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include "common/crc32.hh"
+#include "common/failpoint.hh"
+#include "obs/metrics.hh"
+
+namespace depgraph::durability
+{
+
+namespace
+{
+
+std::string
+errnoString(const char *what)
+{
+    return std::string(what) + ": " + std::strerror(errno);
+}
+
+void
+setErr(std::string *err, std::string msg)
+{
+    if (err)
+        *err = std::move(msg);
+}
+
+} // namespace
+
+bool
+parseSyncPolicy(const std::string &s, SyncPolicy &out)
+{
+    if (s == "always")
+        out = SyncPolicy::Always;
+    else if (s == "batch")
+        out = SyncPolicy::Batch;
+    else if (s == "off")
+        out = SyncPolicy::Off;
+    else
+        return false;
+    return true;
+}
+
+const char *
+syncPolicyName(SyncPolicy p)
+{
+    switch (p) {
+      case SyncPolicy::Always:
+        return "always";
+      case SyncPolicy::Batch:
+        return "batch";
+      case SyncPolicy::Off:
+        return "off";
+    }
+    return "?";
+}
+
+WalFile::~WalFile()
+{
+    close();
+}
+
+bool
+WalFile::open(const std::string &path, std::string *err)
+{
+    std::lock_guard lk(mu_);
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd_ < 0) {
+        setErr(err, errnoString(("open " + path).c_str()));
+        return false;
+    }
+    path_ = path;
+    return true;
+}
+
+bool
+WalFile::append(const std::vector<std::uint8_t> &payload, bool syncNow,
+                std::string *err)
+{
+    if (payload.size() > kMaxRecordBytes) {
+        setErr(err, "wal record too large");
+        return false;
+    }
+    if (dg_failpoint("wal.append")) {
+        setErr(err, "injected wal.append failure");
+        return false;
+    }
+
+    const auto len = static_cast<std::uint32_t>(payload.size());
+    const std::uint32_t crc = crc32(payload.data(), payload.size());
+    std::vector<std::uint8_t> frame(8 + payload.size());
+    std::memcpy(frame.data(), &len, 4);
+    std::memcpy(frame.data() + 4, &crc, 4);
+    std::memcpy(frame.data() + 8, payload.data(), payload.size());
+
+    std::lock_guard lk(mu_);
+    if (fd_ < 0) {
+        setErr(err, "wal not open");
+        return false;
+    }
+    std::size_t off = 0;
+    while (off < frame.size()) {
+        const auto n =
+            ::write(fd_, frame.data() + off, frame.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            setErr(err, errnoString("wal write"));
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    appended_ += frame.size();
+
+    auto &reg = obs::registry();
+    reg.counter("dg_wal_records_total", "WAL records appended").inc();
+    reg.counter("dg_wal_bytes_total", "WAL bytes appended")
+        .inc(frame.size());
+
+    // The record is in the file (or at least the page cache); an
+    // exit() armed here models a crash after write, before fsync/ack.
+    if (dg_failpoint("wal.after_append")) {
+        setErr(err, "injected wal.after_append failure");
+        return false;
+    }
+
+    if (syncNow) {
+        if (::fsync(fd_) != 0) {
+            setErr(err, errnoString("wal fsync"));
+            return false;
+        }
+        reg.counter("dg_wal_syncs_total", "WAL fsync calls").inc();
+    }
+    return true;
+}
+
+bool
+WalFile::sync(std::string *err)
+{
+    std::lock_guard lk(mu_);
+    if (fd_ < 0)
+        return true; // nothing appended, nothing to sync
+    if (::fsync(fd_) != 0) {
+        setErr(err, errnoString("wal fsync"));
+        return false;
+    }
+    obs::registry()
+        .counter("dg_wal_syncs_total", "WAL fsync calls")
+        .inc();
+    return true;
+}
+
+bool
+WalFile::truncate(std::string *err)
+{
+    std::lock_guard lk(mu_);
+    if (fd_ < 0)
+        return true;
+    if (::ftruncate(fd_, 0) != 0) {
+        setErr(err, errnoString("wal ftruncate"));
+        return false;
+    }
+    if (::fsync(fd_) != 0) {
+        setErr(err, errnoString("wal fsync"));
+        return false;
+    }
+    appended_ = 0;
+    return true;
+}
+
+void
+WalFile::close()
+{
+    std::lock_guard lk(mu_);
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+std::uint64_t
+WalFile::appendedBytes() const
+{
+    std::lock_guard lk(mu_);
+    return appended_;
+}
+
+bool
+WalFile::readAll(const std::string &path, ReadResult &out,
+                 std::string *err)
+{
+    out = ReadResult{};
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open()) {
+        if (::access(path.c_str(), F_OK) != 0)
+            return true; // no journal yet: empty history
+        setErr(err, "open " + path + " for read failed");
+        return false;
+    }
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    if (in.bad()) {
+        setErr(err, "read " + path + " failed");
+        return false;
+    }
+
+    std::size_t pos = 0;
+    while (pos + 8 <= bytes.size()) {
+        std::uint32_t len = 0, crc = 0;
+        std::memcpy(&len, bytes.data() + pos, 4);
+        std::memcpy(&crc, bytes.data() + pos + 4, 4);
+        if (len > kMaxRecordBytes || pos + 8 + len > bytes.size())
+            break; // torn length word or payload ran past EOF
+        if (crc32(bytes.data() + pos + 8, len) != crc)
+            break; // torn/corrupt payload
+        out.payloads.emplace_back(bytes.begin()
+                                      + static_cast<long>(pos + 8),
+                                  bytes.begin()
+                                      + static_cast<long>(pos + 8
+                                                          + len));
+        pos += 8 + len;
+    }
+    out.validBytes = pos;
+    out.tornTail = pos < bytes.size();
+    return true;
+}
+
+bool
+WalFile::repair(const std::string &path, std::uint64_t validBytes,
+                std::string *err)
+{
+    const int fd = ::open(path.c_str(), O_WRONLY);
+    if (fd < 0) {
+        setErr(err, errnoString(("open " + path).c_str()));
+        return false;
+    }
+    bool ok = ::ftruncate(fd, static_cast<off_t>(validBytes)) == 0
+        && ::fsync(fd) == 0;
+    if (!ok)
+        setErr(err, errnoString("wal repair truncate"));
+    ::close(fd);
+    return ok;
+}
+
+} // namespace depgraph::durability

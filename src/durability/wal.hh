@@ -1,0 +1,115 @@
+/**
+ * @file
+ * WalFile: one append-only, CRC-framed journal file.
+ *
+ * Every record is framed as
+ *
+ *   [u32 payload_len][u32 crc32(payload)][payload bytes]
+ *
+ * so a reader can walk the file and stop at the first frame whose
+ * length runs past EOF or whose CRC mismatches -- that is a torn tail
+ * from a crash mid-write, and readAll() reports the byte offset of the
+ * last GOOD frame so the caller can truncate the garbage away instead
+ * of replaying it. A record that was never fully written was, under
+ * --wal_sync=always, never acknowledged either, so truncation cannot
+ * lose an acked write.
+ *
+ * Sync policy is the caller's business per append: pass syncNow=true
+ * to fsync before returning (the `always` policy acks only durable
+ * records), or batch syncs via sync() at group-commit boundaries.
+ */
+
+#ifndef DEPGRAPH_DURABILITY_WAL_HH
+#define DEPGRAPH_DURABILITY_WAL_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace depgraph::durability
+{
+
+/** When does an appended record hit the platter? */
+enum class SyncPolicy
+{
+    Always, ///< fsync before every ack: no acked write ever lost
+    Batch,  ///< fsync at group-commit (batcher flush) boundaries
+    Off,    ///< never fsync: page cache only, fastest, least durable
+};
+
+/** Parse "always" | "batch" | "off". @return false on anything else. */
+bool parseSyncPolicy(const std::string &s, SyncPolicy &out);
+const char *syncPolicyName(SyncPolicy p);
+
+class WalFile
+{
+  public:
+    /** Frames larger than this are rejected on write and treated as
+     * tail corruption on read (a torn length word can claim 4 GiB). */
+    static constexpr std::uint32_t kMaxRecordBytes = 1u << 30;
+
+    WalFile() = default;
+    ~WalFile();
+
+    WalFile(const WalFile &) = delete;
+    WalFile &operator=(const WalFile &) = delete;
+
+    /** Open (creating if absent) for appending. */
+    bool open(const std::string &path, std::string *err);
+
+    bool isOpen() const { return fd_ >= 0; }
+    const std::string &path() const { return path_; }
+
+    /**
+     * Frame and append one record; fsync before returning when
+     * `syncNow`. Failpoints: "wal.append" (before the write; an armed
+     * error fails the append with nothing written) and
+     * "wal.after_append" (after the write, before any fsync -- the
+     * canonical place to _exit() and leave a possibly-unsynced tail).
+     */
+    bool append(const std::vector<std::uint8_t> &payload, bool syncNow,
+                std::string *err);
+
+    /** fsync whatever has been appended so far. */
+    bool sync(std::string *err);
+
+    /** Drop every record: truncate to zero length. */
+    bool truncate(std::string *err);
+
+    void close();
+
+    /** Bytes appended through this handle (not fstat; cheap). */
+    std::uint64_t appendedBytes() const;
+
+    struct ReadResult
+    {
+        std::vector<std::vector<std::uint8_t>> payloads;
+        /** Offset one past the last intact frame. */
+        std::uint64_t validBytes = 0;
+        /** True when garbage followed validBytes (torn tail). */
+        bool tornTail = false;
+    };
+
+    /**
+     * Read every intact frame of `path`. A missing file is success
+     * with zero records. @return false only on I/O errors (open/read
+     * failed) -- corruption is not an error, it is a tornTail report.
+     */
+    static bool readAll(const std::string &path, ReadResult &out,
+                        std::string *err);
+
+    /** Truncate `path` to `validBytes`, amputating a torn tail. */
+    static bool repair(const std::string &path,
+                       std::uint64_t validBytes, std::string *err);
+
+  private:
+    mutable std::mutex mu_; ///< serializes fd writes and fsyncs
+    std::string path_;
+    int fd_ = -1;
+    std::uint64_t appended_ = 0;
+};
+
+} // namespace depgraph::durability
+
+#endif // DEPGRAPH_DURABILITY_WAL_HH

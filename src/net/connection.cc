@@ -7,6 +7,7 @@
 #include <array>
 #include <cerrno>
 
+#include "common/failpoint.hh"
 #include "net/event_loop.hh"
 #include "net/server.hh"
 
@@ -251,6 +252,14 @@ Connection::flushWrites()
 {
     if (fd_ < 0)
         return;
+    // Chaos site: `error` drops the connection mid-reply (the client
+    // sees a reset after its request may already have been applied --
+    // exactly the ambiguity reconnect logic must survive); `exit`
+    // kills the server between apply and reply.
+    if (!out_.empty() && dg_failpoint("net.write")) {
+        close();
+        return;
+    }
     while (!out_.empty()) {
         const auto n = ::send(fd_, out_.data(), out_.size(),
                               MSG_NOSIGNAL);

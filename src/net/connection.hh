@@ -55,11 +55,15 @@ class Connection : public std::enable_shared_from_this<Connection>
 
     bool isClosed() const { return fd_ < 0; }
 
-    /** No request executing, none queued, nothing left to write. */
+    /** No request executing, none queued, nothing left to write.
+     * Unconsumed receive bytes count as queued work: a pipelined
+     * HTTP request still in the framer must be answered (503 during
+     * a drain), not dropped by an early close. */
     bool
     idle() const
     {
-        return !inFlight_ && pendingLines_.empty() && out_.empty();
+        return !inFlight_ && pendingLines_.empty() && out_.empty()
+            && framer_.raw().empty();
     }
 
     /** Server began draining: finish what is queued, then go away.

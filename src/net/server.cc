@@ -11,6 +11,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "common/failpoint.hh"
 #include "obs/span.hh"
 
 namespace depgraph::net
@@ -249,6 +250,9 @@ Server::dispatchLine(std::shared_ptr<Connection> conn,
     enqueueWork([this, conn = std::move(conn),
                  line = std::move(line)] {
         const auto start = std::chrono::steady_clock::now();
+        // Delay site: hold a request on the dispatcher (e.g. while a
+        // test flips the server into drain underneath it).
+        (void)dg_failpoint("net.dispatch_line");
         service::CommandResult r;
         {
             obs::span::Scoped span("net", spanName(line));
@@ -276,6 +280,7 @@ Server::dispatchMetrics(std::shared_ptr<Connection> conn,
 {
     enqueueWork([this, conn = std::move(conn), keep_alive,
                  head_only] {
+        (void)dg_failpoint("net.http_metrics");
         svc_.publishStats();
         const auto body = obs::registry().renderPrometheus();
         auto reply = httpResponse(

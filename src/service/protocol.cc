@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <fstream>
+#include <iomanip>
 #include <istream>
 #include <ostream>
 #include <sstream>
 #include <vector>
 
+#include "common/failpoint.hh"
 #include "graph/generators.hh"
 #include "obs/metrics.hh"
 #include "obs/span.hh"
@@ -66,8 +68,8 @@ err(const std::string &reason)
 }
 
 const char *kHelp =
-    "ok verbs: load query update del flush graphs stats metrics "
-    "drain trace help quit\n"
+    "ok verbs: load query update del flush edge checkpoint failpoint "
+    "graphs stats metrics drain trace help quit\n"
     "commands:\n"
     "  load <name> powerlaw <n> [alpha] [degree] [seed]\n"
     "  load <name> grid <rows> <cols>\n"
@@ -77,11 +79,31 @@ const char *kHelp =
     "  update <name> <src> <dst> [weight]\n"
     "  del <name> <src> <dst> [weight]   (no weight = any weight)\n"
     "  flush <name>\n"
+    "  edge <name> <src> <dst>   (count matching edges in snapshot)\n"
+    "  checkpoint <name>   (snapshot + truncate WAL; needs --data_dir)\n"
+    "  failpoint <name> <spec> | failpoint list | failpoint clear\n"
     "  graphs | stats | metrics | drain | help | quit\n"
     "  trace on | off | dump <path>   (Chrome trace_event JSON)\n"
     "errors: 'err <code> <msg>' (400 bad request, 404 unknown graph,\n"
     "  408 deadline, 413 line too long, 429 rejected/overloaded "
     "with retry-after=<ms>, 500 internal, 503 shutting down)";
+
+/** FNV-1a over the state vector's bytes: a cheap cross-process
+ * fingerprint. Two servers print the same hash iff their converged
+ * states are BITWISE equal -- the recovery differential in one hex
+ * token. */
+std::uint64_t
+stateHash(const std::vector<Value> &states)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    const auto *p = reinterpret_cast<const unsigned char *>(
+        states.data());
+    for (std::size_t i = 0; i < states.size() * sizeof(Value); ++i) {
+        h ^= p[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
 
 CommandResult
 doLoad(GraphService &svc, const std::vector<std::string> &t)
@@ -172,6 +194,11 @@ doQuery(GraphService &svc, const std::vector<std::string> &t)
     if (!r.cacheHit)
         os << " updates=" << r.metrics.updates << " makespan="
            << r.metrics.makespan;
+    if (r.states) {
+        os << " hash=" << std::hex << std::setw(16)
+           << std::setfill('0') << stateHash(*r.states) << std::dec
+           << std::setfill(' ');
+    }
     if (r.states && top > 0) {
         std::vector<VertexId> order(r.states->size());
         for (VertexId v = 0; v < order.size(); ++v)
@@ -252,6 +279,59 @@ doDelete(GraphService &svc, const std::vector<std::string> &t)
     return {os.str()};
 }
 
+/**
+ * edge <name> <src> <dst>: occurrences of src->dst in the CURRENT
+ * snapshot. The chaos harness's survival check: an acked unique
+ * insertion must count >= 1 after recovery, an unacked one at most
+ * what was acked (never double-applied).
+ */
+CommandResult
+doEdge(GraphService &svc, const std::vector<std::string> &t)
+{
+    if (t.size() < 4)
+        return err("usage: edge <name> <src> <dst>");
+    std::uint64_t src = 0, dst = 0;
+    if (!parseU64(t[2], src) || !parseU64(t[3], dst))
+        return err("bad vertex id");
+    const auto snap = svc.store().get(t[1]);
+    if (!snap)
+        return err(404, "no graph named '" + t[1] + "'");
+    std::uint64_t count = 0;
+    if (src < snap->graph->numVertices()) {
+        for (const auto v :
+             snap->graph->neighbors(static_cast<VertexId>(src)))
+            if (v == static_cast<VertexId>(dst))
+                ++count;
+    }
+    std::ostringstream os;
+    os << "ok count=" << count << " v=" << snap->version
+       << " pending=" << svc.batcher().pendingEdges(t[1]);
+    return {os.str()};
+}
+
+CommandResult
+doFailpoint(const std::vector<std::string> &t)
+{
+    if (t.size() >= 2 && t[1] == "list") {
+        std::ostringstream os;
+        os << "ok armed=" << failpoint::list().size();
+        for (const auto &line : failpoint::list())
+            os << " " << line;
+        return {os.str()};
+    }
+    if (t.size() >= 2 && t[1] == "clear") {
+        failpoint::clearAll();
+        return {"ok cleared"};
+    }
+    if (t.size() < 3)
+        return err("usage: failpoint <name> <spec> | list | clear");
+    if (!failpoint::arm(t[1], t[2]))
+        return err("bad failpoint spec '" + t[2] + "'");
+    if (t[2] == "off")
+        return {"ok disarmed " + t[1]};
+    return {"ok armed " + t[1] + "=" + t[2]};
+}
+
 } // namespace
 
 CommandResult
@@ -276,6 +356,8 @@ errCodeFor(Status s)
         return 408;
       case Status::ShuttingDown:
         return 503;
+      case Status::Internal:
+        return 500;
     }
     return 500;
 }
@@ -315,6 +397,18 @@ runCommandLine(GraphService &svc, const std::string &line)
             os << "ok nothing-pending";
         return {os.str()};
     }
+    if (cmd == "edge")
+        return doEdge(svc, t);
+    if (cmd == "checkpoint") {
+        if (t.size() < 2)
+            return err("usage: checkpoint <name>");
+        std::string reason;
+        if (!svc.checkpoint(t[1], &reason))
+            return err(svc.store().get(t[1]) ? 500 : 404, reason);
+        return {"ok checkpointed " + t[1]};
+    }
+    if (cmd == "failpoint")
+        return doFailpoint(t);
     if (cmd == "graphs") {
         std::ostringstream os;
         os << "ok";

@@ -59,6 +59,8 @@ statusName(Status s)
         return "deadline-exceeded";
       case Status::ShuttingDown:
         return "shutting-down";
+      case Status::Internal:
+        return "internal";
     }
     return "?";
 }
@@ -71,11 +73,77 @@ deadlineIn(std::chrono::milliseconds timeout)
 
 GraphService::GraphService(ServiceOptions opt)
     : opt_(opt), store_(opt.store), system_(opt.system),
-      batcher_(store_, system_, stats_, opt.batcher), pool_(opt.pool)
+      batcher_(store_, system_, stats_, opt.batcher),
+      dur_(opt.durability), pool_(opt.pool)
 {
+    if (dur_.enabled()) {
+        std::string err;
+        if (!dur_.start(&err))
+            dg_fatal("durability: ", err);
+        dur_.setHooks(
+            [this](const std::string &g) { batcher_.flush(g); },
+            [this](const std::string &g) {
+                return batcher_.pendingEdges(g);
+            },
+            [this](const std::string &g,
+                   durability::CheckpointData &out) {
+                const auto snap = store_.get(g);
+                if (!snap)
+                    return false;
+                out.name = g;
+                out.version = snap->version;
+                out.graph = snap->graph;
+                for (const auto &[algo, states] : snap->fixpoints)
+                    out.fixpoints.emplace_back(algo, states);
+                return true;
+            });
+        batcher_.setDurability(&dur_);
+        recoverFromDisk();
+    }
     if (opt_.statsLogInterval.count() > 0
         || opt_.metricsPublishInterval.count() > 0)
         reporter_ = std::thread([this] { reporterLoop(); });
+}
+
+void
+GraphService::recoverFromDisk()
+{
+    durability::Manager::ReplayHandlers h;
+    h.onCheckpoint = [this](durability::CheckpointData &&data) {
+        const auto name = data.name;
+        const auto version = store_.put(name, *data.graph);
+        for (auto &[algo, states] : data.fixpoints)
+            store_.cacheFixpoint(name, version, algo,
+                                 std::move(states));
+    };
+    h.onCreate = [this](const std::string &name, graph::Graph &&g) {
+        store_.put(name, std::move(g));
+    };
+    h.onMutate = [this](const std::string &name,
+                        std::vector<gas::EdgeInsertion> &&ins,
+                        std::vector<gas::EdgeDeletion> &&dels) {
+        // Already journaled: feed the batcher directly, do not re-log.
+        batcher_.enqueue(name, std::move(ins), std::move(dels));
+    };
+    h.onMarker = [this](const std::string &name) {
+        // Replay reproduces the live process's flush boundaries, so
+        // batching-dependent corner cases resolve identically.
+        batcher_.flush(name);
+    };
+    h.onReplayDone = [this](const std::string &name) {
+        batcher_.flush(name);
+    };
+    std::string err;
+    recovery_ = dur_.recover(h, &err);
+    if (!recovery_.graphs.empty() || recovery_.walRecordsReplayed > 0
+        || recovery_.tornTailsTruncated > 0)
+        dg_inform("recovery: ", recovery_.graphs.size(), " graph(s), ",
+                  recovery_.checkpointsLoaded, " checkpoint(s), ",
+                  recovery_.walRecordsReplayed, " WAL record(s) in ",
+                  recovery_.walBatchesReplayed, " batch(es), ",
+                  recovery_.tornTailsTruncated, " torn tail(s), ",
+                  recovery_.corruptCheckpoints,
+                  " corrupt checkpoint(s)");
 }
 
 GraphService::~GraphService()
@@ -87,7 +155,16 @@ std::uint64_t
 GraphService::loadGraph(const std::string &name, graph::Graph g)
 {
     const auto start = std::chrono::steady_clock::now();
-    const auto version = store_.put(name, std::move(g));
+    std::uint64_t version = 0;
+    std::string derr;
+    if (!dur_.logCreate(
+            name, g,
+            [&] { version = store_.put(name, std::move(g)); },
+            &derr)) {
+        dg_warn("load '", name, "' not journaled, refused: ", derr);
+        stats_.errors.fetch_add(1, std::memory_order_relaxed);
+        return 0;
+    }
     stats_.loads.fetch_add(1, std::memory_order_relaxed);
     // Loads run synchronously on the caller, so there is no queue
     // wait; the whole latency is service time.
@@ -264,9 +341,24 @@ GraphService::streamChurn(const std::string &graph,
                 dels.size(), std::memory_order_relaxed);
             r.enqueuedEdges = ins.size() + dels.size();
             bool should_flush = false;
-            r.pendingEdges = batcher_.enqueue(graph, std::move(ins),
-                                              std::move(dels),
-                                              &should_flush);
+            // All-or-nothing ack: journal the churn and enqueue it
+            // under one lock, so a record is durable iff applied. A
+            // failed append enqueues nothing and the client sees an
+            // internal error instead of a lying ack.
+            std::string derr;
+            if (!dur_.logMutate(
+                    graph, ins, dels,
+                    [&] {
+                        r.pendingEdges = batcher_.enqueue(
+                            graph, std::move(ins), std::move(dels),
+                            &should_flush);
+                    },
+                    &derr)) {
+                stats_.errors.fetch_add(1, std::memory_order_relaxed);
+                r.status = Status::Internal;
+                r.error = "durability: " + derr;
+                return r;
+            }
             // Threshold crossed: apply the batch right here on this
             // worker (no re-submit, so a full queue cannot wedge it).
             if (should_flush)
@@ -297,6 +389,7 @@ GraphService::drain()
     // then apply whatever is pending.
     pool_.drain();
     batcher_.flushAll();
+    dur_.syncAll();
 }
 
 bool
@@ -304,6 +397,7 @@ GraphService::drainFor(std::chrono::milliseconds timeout)
 {
     const bool drained = pool_.drainFor(timeout);
     batcher_.flushAll();
+    dur_.syncAll();
     return drained;
 }
 
@@ -322,6 +416,13 @@ GraphService::shutdown()
     }
     pool_.shutdown();     // drains queued requests, joins workers
     batcher_.flushAll();  // accepted updates are never dropped
+    dur_.syncAll();       // even under --wal_sync=batch
+}
+
+bool
+GraphService::checkpoint(const std::string &graph, std::string *err)
+{
+    return dur_.checkpointNow(graph, err);
 }
 
 StatsSnapshot

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "core/depgraph_system.hh"
+#include "durability/manager.hh"
 #include "gas/incremental.hh"
 #include "service/snapshot_store.hh"
 #include "service/stats.hh"
@@ -47,6 +48,7 @@ enum class Status
     Rejected,         ///< queue full under the reject policy
     DeadlineExceeded, ///< deadline passed while queued
     ShuttingDown,     ///< service no longer accepts requests
+    Internal,         ///< e.g. WAL append failed: nothing applied
 };
 
 const char *statusName(Status s);
@@ -93,6 +95,10 @@ struct ServiceOptions
     /** > 0: the reporter thread also publishes the stats into
      * obs::registry() at this period (dg_service_* metrics). */
     std::chrono::milliseconds metricsPublishInterval{0};
+    /** Crash durability (WAL + checkpoints). Disabled while
+     * `durability.dataDir` is empty: acked writes then survive only a
+     * graceful drain, exactly the pre-durability behavior. */
+    durability::DurabilityOptions durability;
 };
 
 class GraphService
@@ -108,7 +114,9 @@ class GraphService
 
     /**
      * Create or replace a named graph (synchronous; the snapshot is
-     * visible to queries when this returns). @return the new version.
+     * visible to queries when this returns). @return the new version,
+     * or 0 when durability is on and the creation could not be
+     * journaled (the graph is then NOT visible -- all or nothing).
      */
     std::uint64_t loadGraph(const std::string &name, graph::Graph g);
 
@@ -169,6 +177,20 @@ class GraphService
     UpdateBatcher &batcher() { return batcher_; }
     const ServiceOptions &options() const { return opt_; }
 
+    durability::Manager &durabilityManager() { return dur_; }
+
+    /** What startup recovery replayed (empty when durability is off
+     * or the data dir was fresh). */
+    const durability::RecoveryReport &recoveryReport() const
+    {
+        return recovery_;
+    }
+
+    /** Flush + snapshot + truncate the named graph's WAL now (the
+     * `checkpoint` protocol verb). @return false with a reason when
+     * durability is off or the graph is unknown. */
+    bool checkpoint(const std::string &graph, std::string *err);
+
     /** Live counters/histograms (read-only): the net layer's
      * admission controller taps the queue-wait histograms directly. */
     const Stats &rawStats() const { return stats_; }
@@ -181,12 +203,15 @@ class GraphService
                                     Deadline deadline);
     Response runQuery(const QuerySpec &spec);
     void reporterLoop();
+    void recoverFromDisk();
 
     ServiceOptions opt_;
     Stats stats_;
     GraphStore store_;
     DepGraphSystem system_;
     UpdateBatcher batcher_;
+    durability::Manager dur_;
+    durability::RecoveryReport recovery_;
     ThreadPool pool_;
 
     std::mutex reporterMu_;

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "common/failpoint.hh"
 #include "common/logging.hh"
+#include "durability/manager.hh"
 #include "gas/algorithms.hh"
 #include "obs/span.hh"
 
@@ -132,6 +134,18 @@ UpdateBatcher::flush(const std::string &graph)
     if (ins.empty() && dels.empty())
         return 0; // e.g. every insertion cancelled against a deletion
 
+    // Group commit: everything journaled for this batch becomes
+    // durable (under --wal_sync=batch) before the apply publishes it,
+    // and the Marker record pins this flush boundary so replay batches
+    // the same churn the same way.
+    if (dur_)
+        dur_->groupCommit(graph);
+    // Crash/delay site for the chaos harness: records are durable,
+    // the publish has not happened yet. (The `error` action is a
+    // no-op here -- there is nothing to fail without dropping acked
+    // churn, which would be the one unforgivable bug.)
+    (void)dg_failpoint("batcher.flush");
+
     obs::span::Scoped flush_span("service", "batch_flush", "edges",
                                  ins.size() + dels.size());
 
@@ -202,6 +216,8 @@ UpdateBatcher::flush(const std::string &graph)
                                             std::memory_order_relaxed);
             stats_.hubDepsInvalidated.fetch_add(
                 invalidated, std::memory_order_relaxed);
+            if (dur_)
+                dur_->noteApplied(graph);
             return snap->version;
         }
     }

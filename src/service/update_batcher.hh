@@ -34,6 +34,11 @@
 #include "service/snapshot_store.hh"
 #include "service/stats.hh"
 
+namespace depgraph::durability
+{
+class Manager;
+}
+
 namespace depgraph::service
 {
 
@@ -51,6 +56,11 @@ class UpdateBatcher
 
     UpdateBatcher(GraphStore &store, DepGraphSystem &system,
                   Stats &stats, Options opt);
+
+    /** Attach the durability manager: flushes then group-commit the
+     * WAL (marker + batched fsync) before applying, and report every
+     * applied batch for periodic checkpointing. nullptr detaches. */
+    void setDurability(durability::Manager *dur) { dur_ = dur; }
 
     /**
      * Queue edge insertions for `graph`.
@@ -105,6 +115,7 @@ class UpdateBatcher
     DepGraphSystem &system_;
     Stats &stats_;
     Options opt_;
+    durability::Manager *dur_ = nullptr;
 
     mutable std::mutex mu_; ///< guards map_ and every pending vector
     std::map<std::string, std::shared_ptr<PerGraph>> map_;

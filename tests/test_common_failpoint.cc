@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Failpoint framework semantics: spec parsing, arm/disarm lifecycle,
+ * the error and delay actions, @n hit thresholds, and DG_FAILPOINTS
+ * environment parsing. (The `exit` action _exit()s the process and is
+ * exercised by the subprocess chaos suite, not here.)
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+
+#include "common/failpoint.hh"
+
+namespace depgraph::failpoint
+{
+namespace
+{
+
+/** Every test starts and ends with a clean registry: failpoints are
+ * process-global state. */
+class FailpointTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { clearAll(); }
+    void TearDown() override { clearAll(); }
+};
+
+TEST_F(FailpointTest, DisarmedSitesReturnFalse)
+{
+    EXPECT_EQ(armedCount(), 0u);
+    EXPECT_FALSE(dg_failpoint("test.never_armed"));
+}
+
+TEST_F(FailpointTest, ErrorActionFiresUntilDisarmed)
+{
+    ASSERT_TRUE(arm("test.err", "error"));
+    EXPECT_EQ(armedCount(), 1u);
+    EXPECT_TRUE(dg_failpoint("test.err"));
+    EXPECT_TRUE(dg_failpoint("test.err")); // sticky, not one-shot
+
+    // Another site stays untouched while this one is armed.
+    EXPECT_FALSE(dg_failpoint("test.other"));
+
+    ASSERT_TRUE(arm("test.err", "off"));
+    EXPECT_EQ(armedCount(), 0u);
+    EXPECT_FALSE(dg_failpoint("test.err"));
+}
+
+TEST_F(FailpointTest, DelayActionSleepsThenReturnsFalse)
+{
+    ASSERT_TRUE(arm("test.slow", "delay(30)"));
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_FALSE(dg_failpoint("test.slow"));
+    const auto elapsed = std::chrono::steady_clock::now() - t0;
+    EXPECT_GE(elapsed, std::chrono::milliseconds(25));
+}
+
+TEST_F(FailpointTest, HitThresholdFiresOnNthAndLaterHits)
+{
+    ASSERT_TRUE(arm("test.third", "error@3"));
+    EXPECT_FALSE(dg_failpoint("test.third")); // hit 1
+    EXPECT_FALSE(dg_failpoint("test.third")); // hit 2
+    EXPECT_TRUE(dg_failpoint("test.third"));  // hit 3: fires
+    EXPECT_TRUE(dg_failpoint("test.third"));  // hit 4: still fires
+}
+
+TEST_F(FailpointTest, RearmingResetsHitCount)
+{
+    ASSERT_TRUE(arm("test.re", "error@2"));
+    EXPECT_FALSE(dg_failpoint("test.re"));
+    EXPECT_TRUE(dg_failpoint("test.re"));
+    ASSERT_TRUE(arm("test.re", "error@2")); // re-arm: fresh counter
+    EXPECT_EQ(armedCount(), 1u);            // replaced, not doubled
+    EXPECT_FALSE(dg_failpoint("test.re"));
+    EXPECT_TRUE(dg_failpoint("test.re"));
+}
+
+TEST_F(FailpointTest, MalformedSpecsAreRejected)
+{
+    EXPECT_FALSE(arm("t", ""));
+    EXPECT_FALSE(arm("t", "explode"));
+    EXPECT_TRUE(arm("t", "exit"));           // exit defaults to 137
+    EXPECT_FALSE(arm("t", "delay(abc)"));
+    EXPECT_FALSE(arm("t", "delay(10"));      // missing ')'
+    EXPECT_FALSE(arm("t", "error@"));        // empty threshold
+    EXPECT_FALSE(arm("t", "error@0"));       // hits are 1-based
+    EXPECT_FALSE(arm("t", "error@2x"));      // trailing junk
+    clearAll();
+    EXPECT_EQ(armedCount(), 0u);
+}
+
+TEST_F(FailpointTest, ListShowsSpecAndHitCounts)
+{
+    ASSERT_TRUE(arm("test.a", "error"));
+    ASSERT_TRUE(arm("test.b", "delay(5)@2"));
+    (void)dg_failpoint("test.a");
+
+    const auto lines = list();
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[0], "test.a=error hits=1");
+    EXPECT_EQ(lines[1], "test.b=delay(5)@2 hits=0");
+
+    clearAll();
+    EXPECT_TRUE(list().empty());
+}
+
+TEST_F(FailpointTest, ArmFromEnvParsesBothSeparators)
+{
+    ::setenv("DG_FP_TEST",
+             "test.x=error@2;test.y=delay(1),test.z=exit(7)@9", 1);
+    EXPECT_EQ(armFromEnv("DG_FP_TEST"), 3u);
+    EXPECT_EQ(armedCount(), 3u);
+    const auto lines = list();
+    ASSERT_EQ(lines.size(), 3u);
+    EXPECT_EQ(lines[0], "test.x=error@2 hits=0");
+    EXPECT_EQ(lines[1], "test.y=delay(1) hits=0");
+    EXPECT_EQ(lines[2], "test.z=exit(7)@9 hits=0");
+    ::unsetenv("DG_FP_TEST");
+}
+
+TEST_F(FailpointTest, ArmFromEnvSkipsMalformedEntries)
+{
+    ::setenv("DG_FP_TEST", "bad-entry;test.ok=error;also=bogus()", 1);
+    EXPECT_EQ(armFromEnv("DG_FP_TEST"), 1u);
+    EXPECT_EQ(armedCount(), 1u);
+    EXPECT_TRUE(dg_failpoint("test.ok"));
+    ::unsetenv("DG_FP_TEST");
+}
+
+TEST_F(FailpointTest, ArmFromEnvMissingVariableIsZero)
+{
+    ::unsetenv("DG_FP_NOPE");
+    EXPECT_EQ(armFromEnv("DG_FP_NOPE"), 0u);
+}
+
+} // namespace
+} // namespace depgraph::failpoint

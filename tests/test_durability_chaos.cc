@@ -1,0 +1,637 @@
+/**
+ * @file
+ * Chaos harness: drives traffic at a REAL dgserve subprocess, kills
+ * it at armed failpoints (or with raw SIGKILL plus a torn WAL tail),
+ * restarts it on the same data dir, and asserts the durability
+ * contract from the outside:
+ *
+ *   - every ACKED mutation is present after recovery,
+ *   - the one in-flight request at the crash is applied at most once,
+ *   - the recovered state hashes bitwise-equal to an in-process
+ *     scratch service fed the same surviving mutations.
+ *
+ * Also exercises the lifecycle satellites end-to-end: second-SIGTERM
+ * escalation (immediate 128+sig exit) and dgload's reconnect loop
+ * across a server crash + restart.
+ */
+
+#include <gtest/gtest.h>
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.hh"
+#include "net/client.hh"
+#include "service/protocol.hh"
+#include "service/service.hh"
+
+#ifndef DGSERVE_BIN
+#error "build must define DGSERVE_BIN (path to the dgserve binary)"
+#endif
+#ifndef DGLOAD_BIN
+#error "build must define DGLOAD_BIN (path to the dgload binary)"
+#endif
+
+namespace depgraph
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+
+/** One dgserve child with captured stdout. */
+class ServerProc
+{
+  public:
+    ~ServerProc() { stop(); }
+
+    bool
+    start(const std::vector<std::string> &extraArgs,
+          const std::string &failpoints = "")
+    {
+        int pipefd[2];
+        if (::pipe(pipefd) != 0)
+            return false;
+        pid_ = ::fork();
+        if (pid_ < 0)
+            return false;
+        if (pid_ == 0) {
+            ::dup2(pipefd[1], STDOUT_FILENO);
+            ::close(pipefd[0]);
+            ::close(pipefd[1]);
+            if (!failpoints.empty())
+                ::setenv("DG_FAILPOINTS", failpoints.c_str(), 1);
+            else
+                ::unsetenv("DG_FAILPOINTS");
+            std::vector<std::string> args = {DGSERVE_BIN,
+                                             "--workers=2",
+                                             "--dispatchers=2",
+                                             "--solution=Sequential",
+                                             "--batch=8",
+                                             "--drain_ms=2000"};
+            args.insert(args.end(), extraArgs.begin(),
+                        extraArgs.end());
+            std::vector<char *> argv;
+            for (auto &a : args)
+                argv.push_back(a.data());
+            argv.push_back(nullptr);
+            ::execv(DGSERVE_BIN, argv.data());
+            ::_exit(127);
+        }
+        ::close(pipefd[1]);
+        out_ = pipefd[0];
+        return waitListening();
+    }
+
+    std::uint16_t port() const { return port_; }
+    pid_t pid() const { return pid_; }
+    const std::string &stdoutText() const { return text_; }
+
+    /** Reap the child; @return raw waitpid status (-1 on timeout). */
+    int
+    wait(std::chrono::milliseconds timeout = 10000ms)
+    {
+        if (pid_ < 0)
+            return -1;
+        const auto deadline =
+            std::chrono::steady_clock::now() + timeout;
+        int status = 0;
+        while (std::chrono::steady_clock::now() < deadline) {
+            const auto r = ::waitpid(pid_, &status, WNOHANG);
+            if (r == pid_) {
+                pid_ = -1;
+                drainStdout();
+                return status;
+            }
+            std::this_thread::sleep_for(20ms);
+        }
+        return -1;
+    }
+
+    void signal(int sig) { ::kill(pid_, sig); }
+
+    void
+    stop()
+    {
+        if (pid_ > 0) {
+            ::kill(pid_, SIGKILL);
+            (void)wait();
+        }
+        if (out_ >= 0) {
+            ::close(out_);
+            out_ = -1;
+        }
+    }
+
+  private:
+    /** Read child stdout until the "listening on" banner. */
+    bool
+    waitListening()
+    {
+        std::string line;
+        while (readLine(line)) {
+            const auto tag = line.find("listening on ");
+            if (tag == std::string::npos)
+                continue;
+            const auto colon = line.rfind(':');
+            port_ = static_cast<std::uint16_t>(
+                std::stoi(line.substr(colon + 1)));
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    readLine(std::string &line, std::chrono::milliseconds timeout =
+                                    30000ms)
+    {
+        const auto deadline =
+            std::chrono::steady_clock::now() + timeout;
+        for (;;) {
+            const auto nl = text_.find('\n', consumed_);
+            if (nl != std::string::npos) {
+                line = text_.substr(consumed_, nl - consumed_);
+                consumed_ = nl + 1;
+                return true;
+            }
+            const auto left =
+                std::chrono::duration_cast<
+                    std::chrono::milliseconds>(
+                    deadline - std::chrono::steady_clock::now());
+            if (left.count() <= 0)
+                return false;
+            struct pollfd p = {out_, POLLIN, 0};
+            if (::poll(&p, 1, static_cast<int>(left.count())) <= 0)
+                return false;
+            char buf[4096];
+            const auto n = ::read(out_, buf, sizeof buf);
+            if (n <= 0)
+                return false;
+            text_.append(buf, static_cast<std::size_t>(n));
+        }
+    }
+
+    void
+    drainStdout()
+    {
+        char buf[4096];
+        for (;;) {
+            struct pollfd p = {out_, POLLIN, 0};
+            if (::poll(&p, 1, 200) <= 0)
+                return;
+            const auto n = ::read(out_, buf, sizeof buf);
+            if (n <= 0)
+                return;
+            text_.append(buf, static_cast<std::size_t>(n));
+        }
+    }
+
+    pid_t pid_ = -1;
+    int out_ = -1;
+    std::uint16_t port_ = 0;
+    std::string text_;
+    std::size_t consumed_ = 0;
+};
+
+constexpr std::uint64_t kGraphSeed = 7;
+
+graph::Graph
+baseGraph()
+{
+    return graph::powerLaw(300, 2.0, 4.0, {.seed = kGraphSeed});
+}
+
+/** The load verb re-generating the identical graph server-side. */
+const char *kLoadLine = "load g powerlaw 300 2.0 4.0 7";
+
+/** Distinct edges absent from the base graph: their post-recovery
+ * count is exactly 1 iff the insertion survived. */
+std::vector<std::pair<VertexId, VertexId>>
+uniqueEdges(std::size_t n)
+{
+    const auto g = baseGraph();
+    std::set<std::pair<VertexId, VertexId>> present;
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        for (EdgeId e = g.edgeBegin(v); e < g.edgeEnd(v); ++e)
+            present.insert({v, g.target(e)});
+    std::vector<std::pair<VertexId, VertexId>> out;
+    std::uint64_t x = 0x9e3779b97f4a7c15ull;
+    while (out.size() < n) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        const auto s = static_cast<VertexId>(x % g.numVertices());
+        const auto d =
+            static_cast<VertexId>((x >> 32) % g.numVertices());
+        if (present.count({s, d}))
+            continue;
+        present.insert({s, d});
+        out.push_back({s, d});
+    }
+    return out;
+}
+
+struct Traffic
+{
+    std::vector<std::pair<VertexId, VertexId>> acked;
+    /** The request in flight when the connection died (if any): it
+     * may legally be applied 0 or 1 times, never more. */
+    std::optional<std::pair<VertexId, VertexId>> ambiguous;
+    bool serverDied = false;
+};
+
+/** Send unique-edge updates until the server dies or edges run out. */
+Traffic
+drive(net::Client &c,
+      const std::vector<std::pair<VertexId, VertexId>> &edges)
+{
+    Traffic t;
+    for (const auto &[s, d] : edges) {
+        const auto line = "update g " + std::to_string(s) + " "
+                          + std::to_string(d);
+        std::string reply;
+        if (!c.sendLine(line) || !c.recvLine(reply)) {
+            t.ambiguous = {s, d};
+            t.serverDied = true;
+            return t;
+        }
+        if (reply.rfind("ok", 0) != 0) {
+            ADD_FAILURE() << "update rejected: " << reply;
+            return t;
+        }
+        t.acked.push_back({s, d});
+    }
+    return t;
+}
+
+net::Client
+connectTo(std::uint16_t port)
+{
+    net::Client c;
+    EXPECT_TRUE(c.connect("127.0.0.1", port, 30000ms)) << c.error();
+    return c;
+}
+
+std::string
+roundTrip(net::Client &c, const std::string &line)
+{
+    std::string reply;
+    EXPECT_TRUE(c.sendLine(line)) << c.error();
+    EXPECT_TRUE(c.recvLine(reply)) << c.error();
+    return reply;
+}
+
+std::uint64_t
+edgeCount(net::Client &c, VertexId s, VertexId d)
+{
+    const auto reply = roundTrip(c, "edge g " + std::to_string(s)
+                                        + " " + std::to_string(d));
+    std::uint64_t count = 0;
+    EXPECT_EQ(std::sscanf(reply.c_str(), "ok count=%lu", &count), 1)
+        << reply;
+    return count;
+}
+
+std::string
+hashIn(const std::string &queryReply)
+{
+    const auto at = queryReply.find("hash=");
+    EXPECT_NE(at, std::string::npos) << queryReply;
+    if (at == std::string::npos)
+        return "";
+    return queryReply.substr(at + 5, 16);
+}
+
+/** Scratch hash from an in-process service fed `edges` in order --
+ * what the recovered server must match bitwise. */
+std::string
+referenceHash(
+    const std::vector<std::pair<VertexId, VertexId>> &edges,
+    const std::string &algo)
+{
+    service::ServiceOptions opt;
+    opt.pool.numThreads = 2;
+    opt.batcher.maxPendingEdges = 100000;
+    opt.batcher.solution = Solution::Sequential;
+    service::GraphService svc(opt);
+    EXPECT_GT(svc.loadGraph("g", baseGraph()), 0u);
+    std::vector<gas::EdgeInsertion> ins;
+    for (const auto &[s, d] : edges)
+        ins.push_back({s, d, 1.0});
+    if (!ins.empty()) {
+        EXPECT_TRUE(svc.streamUpdates("g", ins).get().ok());
+        EXPECT_TRUE(svc.flush("g").get().ok());
+    }
+    return hashIn(
+        runCommandLine(svc, "query g " + algo + " Sequential 0")
+            .output);
+}
+
+/**
+ * Post-crash audit: restart on the same data dir, require every
+ * acked edge exactly once, the ambiguous one at most once, and the
+ * recovered fixpoint bitwise-equal to scratch.
+ */
+void
+verifyRecovered(const std::string &dir, const Traffic &t,
+                const std::string &expectRecoveredSubstr = "")
+{
+    ServerProc srv;
+    ASSERT_TRUE(srv.start({"--listen=0", "--data_dir=" + dir,
+                           "--wal_sync=always"}));
+    if (!expectRecoveredSubstr.empty()) {
+        EXPECT_NE(srv.stdoutText().find(expectRecoveredSubstr),
+                  std::string::npos)
+            << srv.stdoutText();
+    }
+
+    auto c = connectTo(srv.port());
+    ASSERT_TRUE(c.connected());
+    for (const auto &[s, d] : t.acked)
+        EXPECT_EQ(edgeCount(c, s, d), 1u)
+            << "acked edge " << s << "->" << d << " lost";
+
+    auto surviving = t.acked;
+    if (t.ambiguous) {
+        const auto n =
+            edgeCount(c, t.ambiguous->first, t.ambiguous->second);
+        EXPECT_LE(n, 1u) << "in-flight edge double-applied";
+        if (n == 1)
+            surviving.push_back(*t.ambiguous);
+    }
+
+    const auto got =
+        hashIn(roundTrip(c, "query g sssp Sequential 0"));
+    EXPECT_EQ(got, referenceHash(surviving, "sssp"))
+        << "recovered state diverges from scratch recompute";
+
+    c.close();
+    srv.signal(SIGTERM);
+    EXPECT_EQ(srv.wait(), 0);
+}
+
+class ChaosTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        auto tmpl =
+            (fs::temp_directory_path() / "dgchaos.XXXXXX").string();
+        ASSERT_NE(::mkdtemp(tmpl.data()), nullptr);
+        dir_ = tmpl;
+    }
+
+    void TearDown() override { fs::remove_all(dir_); }
+
+    std::string dir_;
+};
+
+TEST_F(ChaosTest, CrashAfterWalAppendLosesNoAckedWrite)
+{
+    Traffic t;
+    {
+        ServerProc srv;
+        // The 1st append is the `load` Create; the exit lands on the
+        // 10th append = the 9th update, mid-traffic.
+        ASSERT_TRUE(srv.start({"--listen=0", "--data_dir=" + dir_,
+                               "--wal_sync=always"},
+                              "wal.after_append=exit(137)@10"));
+        auto c = connectTo(srv.port());
+        ASSERT_TRUE(c.connected());
+        ASSERT_EQ(roundTrip(c, kLoadLine).rfind("ok", 0), 0u);
+        t = drive(c, uniqueEdges(40));
+        EXPECT_TRUE(t.serverDied);
+        // Threshold flushes interleave Marker appends with the
+        // Mutates, so the exact ack count at append #10 depends on
+        // where the markers landed -- only the bounds are stable.
+        EXPECT_GE(t.acked.size(), 4u);
+        EXPECT_LT(t.acked.size(), 10u);
+
+        const auto status = srv.wait();
+        ASSERT_TRUE(WIFEXITED(status));
+        EXPECT_EQ(WEXITSTATUS(status), 137);
+    }
+    verifyRecovered(dir_, t);
+}
+
+TEST_F(ChaosTest, CrashInsideBatchFlushLosesNoAckedWrite)
+{
+    Traffic t;
+    {
+        ServerProc srv;
+        // --batch=8: the second threshold flush dies between the
+        // group-commit fsync and the snapshot publish.
+        ASSERT_TRUE(srv.start({"--listen=0", "--data_dir=" + dir_,
+                               "--wal_sync=always"},
+                              "batcher.flush=exit(137)@2"));
+        auto c = connectTo(srv.port());
+        ASSERT_TRUE(c.connected());
+        ASSERT_EQ(roundTrip(c, kLoadLine).rfind("ok", 0), 0u);
+        t = drive(c, uniqueEdges(40));
+        EXPECT_TRUE(t.serverDied);
+        EXPECT_GE(t.acked.size(), 8u);
+
+        const auto status = srv.wait();
+        ASSERT_TRUE(WIFEXITED(status));
+        EXPECT_EQ(WEXITSTATUS(status), 137);
+    }
+    verifyRecovered(dir_, t);
+}
+
+TEST_F(ChaosTest, CrashDuringCheckpointPublishFallsBackToWal)
+{
+    Traffic t;
+    {
+        ServerProc srv;
+        ASSERT_TRUE(srv.start({"--listen=0", "--data_dir=" + dir_,
+                               "--wal_sync=always"}));
+        auto c = connectTo(srv.port());
+        ASSERT_TRUE(c.connected());
+        ASSERT_EQ(roundTrip(c, kLoadLine).rfind("ok", 0), 0u);
+        t = drive(c, uniqueEdges(20));
+        ASSERT_EQ(t.acked.size(), 20u);
+
+        // Arm over the protocol, then ask for the checkpoint that
+        // will die right before its atomic rename.
+        ASSERT_EQ(
+            roundTrip(c, "failpoint ckpt.publish exit(137)")
+                .rfind("ok", 0),
+            0u);
+        std::string ignored;
+        c.sendLine("checkpoint g");
+        (void)c.recvLine(ignored); // EOF: the server just died
+
+        const auto status = srv.wait();
+        ASSERT_TRUE(WIFEXITED(status));
+        EXPECT_EQ(WEXITSTATUS(status), 137);
+    }
+    // No checkpoint was published; recovery replays the WAL alone.
+    EXPECT_FALSE(fs::exists(fs::path(dir_) / "ckpt" / "g.ckpt"));
+    verifyRecovered(dir_, t, "WAL record(s)");
+}
+
+TEST_F(ChaosTest, SigkillPlusTornTailRecovers)
+{
+    Traffic t;
+    {
+        ServerProc srv;
+        ASSERT_TRUE(srv.start({"--listen=0", "--data_dir=" + dir_,
+                               "--wal_sync=always"}));
+        auto c = connectTo(srv.port());
+        ASSERT_TRUE(c.connected());
+        ASSERT_EQ(roundTrip(c, kLoadLine).rfind("ok", 0), 0u);
+        t = drive(c, uniqueEdges(15));
+        ASSERT_EQ(t.acked.size(), 15u);
+
+        srv.signal(SIGKILL);
+        const auto status = srv.wait();
+        ASSERT_TRUE(WIFSIGNALED(status));
+        EXPECT_EQ(WTERMSIG(status), SIGKILL);
+    }
+
+    // Splice a half-written frame onto the journal, as a crash in
+    // the middle of an unacked append would have.
+    const auto wal = (fs::path(dir_) / "wal" / "g.wal").string();
+    ASSERT_TRUE(fs::exists(wal));
+    std::ofstream(wal, std::ios::binary | std::ios::app)
+        << std::string("\x80\x00\x00\x00 torn", 9);
+
+    verifyRecovered(dir_, t, "torn tail(s) truncated");
+}
+
+TEST_F(ChaosTest, SecondSigtermEscalatesToImmediateExit)
+{
+    ServerProc srv;
+    // Delay every dispatched line from the 2nd on: the in-flight
+    // request pins the drain well past the test's patience.
+    ASSERT_TRUE(srv.start({"--listen=0", "--drain_ms=8000"},
+                          "net.dispatch_line=delay(6000)@2"));
+    auto c = connectTo(srv.port());
+    ASSERT_TRUE(c.connected());
+    ASSERT_EQ(roundTrip(c, kLoadLine).rfind("ok", 0), 0u);
+    ASSERT_TRUE(c.sendLine("query g pagerank")); // will stall 6s
+
+    std::this_thread::sleep_for(300ms);
+    const auto t0 = std::chrono::steady_clock::now();
+    srv.signal(SIGTERM);
+    std::this_thread::sleep_for(300ms);
+    srv.signal(SIGTERM);
+
+    const auto status = srv.wait(5000ms);
+    const auto elapsed = std::chrono::steady_clock::now() - t0;
+    ASSERT_NE(status, -1) << "server ignored the second SIGTERM";
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 128 + SIGTERM);
+    EXPECT_LT(elapsed, 3s)
+        << "escalation should not wait out the drain";
+}
+
+TEST_F(ChaosTest, SingleSigtermStillDrainsCleanly)
+{
+    ServerProc srv;
+    ASSERT_TRUE(srv.start({"--listen=0", "--data_dir=" + dir_,
+                           "--wal_sync=batch"}));
+    auto c = connectTo(srv.port());
+    ASSERT_TRUE(c.connected());
+    ASSERT_EQ(roundTrip(c, kLoadLine).rfind("ok", 0), 0u);
+    const auto t = drive(c, uniqueEdges(5));
+    ASSERT_EQ(t.acked.size(), 5u);
+    c.close();
+
+    srv.signal(SIGTERM);
+    const auto status = srv.wait();
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+    // Batch-sync journals are fsynced on the graceful path, so a
+    // restart sees every acked write even without wal_sync=always.
+    verifyRecovered(dir_, t);
+}
+
+TEST_F(ChaosTest, DgloadReconnectsAcrossServerCrashAndRestart)
+{
+    std::uint16_t port = 0;
+    {
+        ServerProc first;
+        // Die on the 40th socket write: mid-way through dgload's run.
+        ASSERT_TRUE(first.start({"--listen=0",
+                                 "--data_dir=" + dir_,
+                                 "--wal_sync=always"},
+                                "net.write=exit(137)@40"));
+        port = first.port();
+
+        // dgload in the background against the doomed server, with
+        // its stdout captured so the reconnect count is assertable.
+        int pipefd[2];
+        ASSERT_EQ(::pipe(pipefd), 0);
+        const auto pid = ::fork();
+        ASSERT_GE(pid, 0);
+        if (pid == 0) {
+            ::dup2(pipefd[1], STDOUT_FILENO);
+            ::close(pipefd[0]);
+            ::close(pipefd[1]);
+            std::string portArg = "--port=" + std::to_string(port);
+            const char *argv[] = {DGLOAD_BIN,
+                                  portArg.c_str(),
+                                  "--connections=2",
+                                  "--requests=40",
+                                  "--graphs=1",
+                                  "--n=300",
+                                  "--solution=Sequential",
+                                  "--seed=3",
+                                  nullptr};
+            ::execv(DGLOAD_BIN, const_cast<char **>(argv));
+            ::_exit(127);
+        }
+        ::close(pipefd[1]);
+
+        // The failpoint kills the first server mid-load...
+        const auto status = first.wait(30000ms);
+        ASSERT_TRUE(WIFEXITED(status));
+        EXPECT_EQ(WEXITSTATUS(status), 137);
+
+        // ...and a supervisor brings a fresh one up on the SAME port
+        // and data dir while dgload's backoff loop is still retrying.
+        ServerProc second;
+        ASSERT_TRUE(second.start(
+            {"--listen=" + std::to_string(port),
+             "--data_dir=" + dir_, "--wal_sync=always"}));
+
+        int loadStatus = 0;
+        ASSERT_EQ(::waitpid(pid, &loadStatus, 0), pid);
+        std::string loadOut;
+        char buf[4096];
+        for (ssize_t n; (n = ::read(pipefd[0], buf, sizeof buf)) > 0;)
+            loadOut.append(buf, static_cast<std::size_t>(n));
+        ::close(pipefd[0]);
+
+        ASSERT_TRUE(WIFEXITED(loadStatus));
+        EXPECT_EQ(WEXITSTATUS(loadStatus), 0)
+            << "dgload should survive the crash via reconnects: "
+            << loadOut;
+        const auto at = loadOut.find("reconnects=");
+        ASSERT_NE(at, std::string::npos) << loadOut;
+        EXPECT_GT(
+            std::stoul(loadOut.substr(at + 11)), 0u)
+            << loadOut;
+
+        second.signal(SIGTERM);
+        EXPECT_EQ(second.wait(), 0);
+    }
+}
+
+} // namespace
+} // namespace depgraph

@@ -1,0 +1,496 @@
+/**
+ * @file
+ * Crash-recovery differentials, in process: a GraphService with
+ * durability on takes traffic, simulateCrash() freezes its disk state
+ * mid-flight (everything after is exactly what a SIGKILL would have
+ * left), and a second service recovers from the same data dir. The
+ * core invariant: in exact mode, the recovered service's first query
+ * is BITWISE equal to a scratch service that applied the same acked
+ * churn -- across algorithms, seeds, checkpoint placement, and torn
+ * WAL tails.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <random>
+#include <set>
+
+#include "common/failpoint.hh"
+#include "gas/algorithms.hh"
+#include "gas/reference.hh"
+#include "graph/generators.hh"
+#include "service/protocol.hh"
+#include "service/service.hh"
+
+namespace depgraph::service
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+constexpr const char *kAlgos[] = {"pagerank", "adsorption", "sssp",
+                                  "wcc", "sswp"};
+
+ServiceOptions
+baseOptions()
+{
+    ServiceOptions opt;
+    opt.pool.numThreads = 2;
+    opt.pool.queueCapacity = 64;
+    opt.pool.blockWhenFull = true;
+    opt.batcher.maxPendingEdges = 1000; // no auto-flush
+    opt.batcher.solution = Solution::Sequential;
+    return opt;
+}
+
+ServiceOptions
+durableOptions(const std::string &dir,
+               durability::SyncPolicy sync =
+                   durability::SyncPolicy::Always,
+               bool fast = false, std::size_t ckptEvery = 0)
+{
+    auto opt = baseOptions();
+    opt.durability.dataDir = dir;
+    opt.durability.sync = sync;
+    opt.durability.seedFixpointsOnReplay = fast;
+    opt.durability.checkpointEveryBatches = ckptEvery;
+    return opt;
+}
+
+graph::Graph
+baseGraph(std::uint64_t seed)
+{
+    return graph::powerLaw(200, 2.0, 4.0, {.seed = seed});
+}
+
+/**
+ * A deterministic churn script: per round, a handful of brand-new
+ * edges (never already present, so weight-wildcard deletions are
+ * unambiguous) and, from round 2 on, deletions of edges inserted
+ * earlier. flushAfter pins the batch boundaries, which both the
+ * journal's Marker records and the scratch reference must reproduce.
+ */
+struct ChurnPlan
+{
+    std::vector<std::vector<gas::EdgeInsertion>> ins;
+    std::vector<std::vector<gas::EdgeDeletion>> dels;
+    std::vector<bool> flushAfter;
+};
+
+ChurnPlan
+makePlan(const graph::Graph &g, std::uint64_t seed,
+         std::size_t rounds = 4)
+{
+    std::set<std::pair<VertexId, VertexId>> present;
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        for (EdgeId e = g.edgeBegin(v); e < g.edgeEnd(v); ++e)
+            present.insert({v, g.target(e)});
+
+    std::vector<std::pair<VertexId, VertexId>> mine;
+    std::mt19937_64 rng(seed * 7919 + 17);
+    std::uniform_int_distribution<VertexId> pick(
+        0, g.numVertices() - 1);
+
+    ChurnPlan plan;
+    plan.ins.resize(rounds);
+    plan.dels.resize(rounds);
+    plan.flushAfter.assign(rounds, false);
+    for (std::size_t r = 0; r + 2 < rounds; ++r)
+        plan.flushAfter[r] = true; // last two rounds stay pending
+
+    for (std::size_t r = 0; r < rounds; ++r) {
+        for (int i = 0; i < 5; ++i) {
+            VertexId s, d;
+            do {
+                s = pick(rng);
+                d = pick(rng);
+            } while (present.count({s, d}));
+            present.insert({s, d});
+            mine.push_back({s, d});
+            plan.ins[r].push_back({s, d, 1.0});
+        }
+        if (r >= 2) {
+            for (int i = 0; i < 2 && !mine.empty(); ++i) {
+                const auto [s, d] = mine.front();
+                mine.erase(mine.begin());
+                present.erase({s, d});
+                plan.dels[r].push_back(
+                    {s, d, gas::EdgeDeletion::kAnyWeight});
+            }
+        }
+    }
+    return plan;
+}
+
+/** Drive the plan; every ack asserted (these are the writes recovery
+ * must preserve). */
+void
+applyPlan(GraphService &svc, const ChurnPlan &plan)
+{
+    for (std::size_t r = 0; r < plan.ins.size(); ++r) {
+        auto resp =
+            svc.streamChurn("g", plan.ins[r], plan.dels[r]).get();
+        ASSERT_TRUE(resp.ok()) << resp.error;
+        if (plan.flushAfter[r]) {
+            ASSERT_TRUE(svc.flush("g").get().ok());
+        }
+    }
+}
+
+std::vector<Value>
+queryStates(GraphService &svc, const std::string &algo,
+            bool *cacheHit = nullptr)
+{
+    auto r = svc.query({"g", algo, Solution::Sequential}).get();
+    EXPECT_TRUE(r.ok()) << r.error;
+    if (cacheHit)
+        *cacheHit = r.cacheHit;
+    if (!r.states)
+        return {};
+    return *r.states;
+}
+
+/** The scratch reference: same base graph, same churn, same batch
+ * boundaries, no durability -- its first query computes from scratch
+ * over the identical CSR. */
+std::vector<Value>
+scratchReference(std::uint64_t seed, const ChurnPlan &plan,
+                 const std::string &algo)
+{
+    GraphService ref(baseOptions());
+    EXPECT_GT(ref.loadGraph("g", baseGraph(seed)), 0u);
+    applyPlan(ref, plan);
+    EXPECT_TRUE(ref.flush("g").get().ok());
+    return queryStates(ref, algo);
+}
+
+void
+expectBitwiseEqual(const std::vector<Value> &a,
+                   const std::vector<Value> &b,
+                   const std::string &context)
+{
+    ASSERT_EQ(a.size(), b.size()) << context;
+    ASSERT_FALSE(a.empty()) << context;
+    EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                          a.size() * sizeof(Value)),
+              0)
+        << context << ": recovered states differ from scratch "
+        << "(max diff " << gas::maxStateDifference(a, b) << ")";
+}
+
+/** Occurrences of src->dst in the current snapshot (edge verb). */
+std::uint64_t
+edgeCount(GraphService &svc, const std::string &graph, VertexId src,
+          VertexId dst)
+{
+    const auto out = runCommandLine(
+        svc, "edge " + graph + " " + std::to_string(src) + " "
+                 + std::to_string(dst))
+                         .output;
+    std::uint64_t count = 0;
+    EXPECT_EQ(std::sscanf(out.c_str(), "ok count=%lu", &count), 1)
+        << out;
+    return count;
+}
+
+class RecoveryTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        failpoint::clearAll();
+        auto tmpl =
+            (fs::temp_directory_path() / "dgrec.XXXXXX").string();
+        ASSERT_NE(::mkdtemp(tmpl.data()), nullptr);
+        dir_ = tmpl;
+    }
+
+    void
+    TearDown() override
+    {
+        failpoint::clearAll();
+        fs::remove_all(dir_);
+    }
+
+    std::string dir_;
+};
+
+/** One full crash/recover/differential cycle. */
+void
+crashAndVerify(const std::string &dir, std::uint64_t seed,
+               const std::string &algo, bool warmQuery)
+{
+    const auto plan = makePlan(baseGraph(seed), seed);
+    {
+        GraphService a(durableOptions(dir));
+        ASSERT_GT(a.loadGraph("g", baseGraph(seed)), 0u);
+        if (warmQuery)
+            (void)queryStates(a, algo); // cache a fixpoint pre-churn
+        applyPlan(a, plan);
+        a.durabilityManager().simulateCrash();
+        // Teardown after the freeze: the files now look exactly as a
+        // SIGKILL at the freeze instant would have left them.
+    }
+
+    GraphService b(durableOptions(dir));
+    const auto &rep = b.recoveryReport();
+    ASSERT_EQ(rep.graphs.size(), 1u);
+    EXPECT_EQ(rep.graphs[0], "g");
+    EXPECT_GT(rep.walRecordsReplayed, 0u);
+
+    bool hit = true;
+    const auto got = queryStates(b, algo, &hit);
+    EXPECT_FALSE(hit) << "exact mode must recompute from scratch";
+    expectBitwiseEqual(scratchReference(seed, plan, algo), got,
+                       "seed " + std::to_string(seed) + " " + algo);
+}
+
+TEST_F(RecoveryTest, TwentyFourSeedDifferentialAcrossAlgorithms)
+{
+    for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+        const auto sub =
+            (fs::path(dir_) / std::to_string(seed)).string();
+        fs::create_directories(sub);
+        crashAndVerify(sub, seed, kAlgos[seed % 5], seed % 2 == 0);
+        if (HasFatalFailure())
+            return;
+    }
+}
+
+TEST_F(RecoveryTest, CheckpointPlusWalSuffixReplaysExactly)
+{
+    const std::uint64_t seed = 101;
+    const auto plan = makePlan(baseGraph(seed), seed);
+    {
+        GraphService a(durableOptions(dir_));
+        ASSERT_GT(a.loadGraph("g", baseGraph(seed)), 0u);
+        (void)queryStates(a, "pagerank"); // checkpoint gets a fixpoint
+
+        // First half of the plan, then an explicit checkpoint...
+        for (std::size_t r = 0; r < 2; ++r) {
+            ASSERT_TRUE(
+                a.streamChurn("g", plan.ins[r], plan.dels[r])
+                    .get()
+                    .ok());
+            if (plan.flushAfter[r]) {
+                ASSERT_TRUE(a.flush("g").get().ok());
+            }
+        }
+        std::string err;
+        ASSERT_TRUE(a.checkpoint("g", &err)) << err;
+        EXPECT_TRUE(fs::exists(
+            a.durabilityManager().ckptPath("g")));
+        // The checkpoint truncated the journal.
+        EXPECT_EQ(fs::file_size(a.durabilityManager().walPath("g")),
+                  0u);
+
+        // ...then the suffix the WAL must carry alone.
+        for (std::size_t r = 2; r < plan.ins.size(); ++r) {
+            ASSERT_TRUE(
+                a.streamChurn("g", plan.ins[r], plan.dels[r])
+                    .get()
+                    .ok());
+            if (plan.flushAfter[r]) {
+                ASSERT_TRUE(a.flush("g").get().ok());
+            }
+        }
+        a.durabilityManager().simulateCrash();
+    }
+
+    GraphService b(durableOptions(dir_));
+    const auto &rep = b.recoveryReport();
+    EXPECT_EQ(rep.checkpointsLoaded, 1u);
+    EXPECT_GT(rep.walRecordsReplayed, 0u);
+
+    expectBitwiseEqual(scratchReference(seed, plan, "pagerank"),
+                       queryStates(b, "pagerank"),
+                       "checkpoint + WAL suffix");
+}
+
+TEST_F(RecoveryTest, FastModeSeedsCachesAndReconvergesEpsilonEqual)
+{
+    const std::uint64_t seed = 202;
+    const auto plan = makePlan(baseGraph(seed), seed);
+    {
+        GraphService a(durableOptions(dir_));
+        ASSERT_GT(a.loadGraph("g", baseGraph(seed)), 0u);
+        (void)queryStates(a, "pagerank");
+        std::string err;
+        ASSERT_TRUE(a.checkpoint("g", &err)) << err; // fixpoint saved
+        applyPlan(a, plan);
+        a.durabilityManager().simulateCrash();
+    }
+
+    GraphService b(durableOptions(
+        dir_, durability::SyncPolicy::Always, /*fast=*/true));
+    EXPECT_EQ(b.recoveryReport().checkpointsLoaded, 1u);
+
+    // The seeded cache reconverged incrementally during replay: the
+    // first query is a HIT, and epsilon-equal to scratch.
+    bool hit = false;
+    const auto got = queryStates(b, "pagerank", &hit);
+    EXPECT_TRUE(hit)
+        << "fast mode should serve the reconverged cache";
+    const auto want = scratchReference(seed, plan, "pagerank");
+    ASSERT_EQ(want.size(), got.size());
+    const auto alg = gas::makeAlgorithm("pagerank");
+    const double tol =
+        alg->accumKind() == gas::AccumKind::Sum ? 1e-3 : 1e-9;
+    EXPECT_LE(gas::maxStateDifference(want, got), tol);
+}
+
+TEST_F(RecoveryTest, TornWalTailIsTruncatedAndAckedWritesSurvive)
+{
+    const std::uint64_t seed = 303;
+    const auto plan = makePlan(baseGraph(seed), seed);
+    std::string walPath;
+    {
+        GraphService a(durableOptions(dir_));
+        ASSERT_GT(a.loadGraph("g", baseGraph(seed)), 0u);
+        applyPlan(a, plan);
+        walPath = a.durabilityManager().walPath("g");
+        a.durabilityManager().simulateCrash();
+    }
+
+    // A crash tore the last frame: splice garbage onto the journal.
+    // Under --wal_sync=always every ACKED record precedes this tail.
+    ASSERT_TRUE(fs::exists(walPath));
+    const auto before = fs::file_size(walPath);
+    std::ofstream(walPath, std::ios::binary | std::ios::app)
+        << std::string("\x40\x00\x00\x00 torn frame debris", 22);
+
+    GraphService b(durableOptions(dir_));
+    const auto &rep = b.recoveryReport();
+    EXPECT_GE(rep.tornTailsTruncated, 1u);
+    EXPECT_GT(rep.walRecordsReplayed, 0u);
+
+    expectBitwiseEqual(scratchReference(seed, plan, "sssp"),
+                       queryStates(b, "sssp"), "torn tail");
+    // The post-recovery checkpoint truncated the repaired journal.
+    EXPECT_LT(fs::file_size(walPath), before);
+}
+
+TEST_F(RecoveryTest, WalAppendFailureAcksNothing)
+{
+    GraphService svc(durableOptions(dir_));
+    ASSERT_GT(svc.loadGraph("g", baseGraph(1)), 0u);
+    const auto before = edgeCount(svc, "g", 1, 2);
+
+    ASSERT_TRUE(failpoint::arm("wal.append", "error"));
+    auto r = svc.streamUpdates("g", {{1, 2, 1.0}}).get();
+    EXPECT_EQ(r.status, Status::Internal);
+    EXPECT_NE(r.error.find("durability"), std::string::npos)
+        << r.error;
+    // Nothing enqueued: the mutation is neither durable nor applied.
+    EXPECT_EQ(svc.batcher().pendingEdges("g"), 0u);
+
+    // loadGraph under the same fault: all or nothing.
+    EXPECT_EQ(svc.loadGraph("g2", baseGraph(2)), 0u);
+    EXPECT_EQ(svc.query({"g2", "pagerank", Solution::Sequential})
+                  .get()
+                  .status,
+              Status::NotFound);
+
+    failpoint::clearAll();
+    auto r2 = svc.streamUpdates("g", {{1, 2, 1.0}}).get();
+    ASSERT_TRUE(r2.ok()) << r2.error;
+    ASSERT_TRUE(svc.flush("g").get().ok());
+    EXPECT_EQ(edgeCount(svc, "g", 1, 2), before + 1);
+}
+
+TEST_F(RecoveryTest, PeriodicCheckpointTriggersAndRecoversAlone)
+{
+    std::uint64_t want = 0;
+    {
+        GraphService a(durableOptions(
+            dir_, durability::SyncPolicy::Batch, false,
+            /*ckptEvery=*/1));
+        ASSERT_GT(a.loadGraph("g", baseGraph(5)), 0u);
+        ASSERT_TRUE(a.streamUpdates("g", {{7, 9, 1.0}}).get().ok());
+        ASSERT_TRUE(a.flush("g").get().ok());
+        want = edgeCount(a, "g", 7, 9);
+        // noteApplied() checkpoints on the flush path itself (the
+        // try_lock has no contention here), so the file exists now.
+        EXPECT_TRUE(
+            fs::exists(a.durabilityManager().ckptPath("g")));
+        EXPECT_EQ(fs::file_size(a.durabilityManager().walPath("g")),
+                  0u);
+        a.durabilityManager().simulateCrash();
+    }
+
+    GraphService b(durableOptions(dir_));
+    EXPECT_EQ(b.recoveryReport().checkpointsLoaded, 1u);
+    EXPECT_EQ(b.recoveryReport().walRecordsReplayed, 0u);
+    EXPECT_EQ(edgeCount(b, "g", 7, 9), want);
+}
+
+TEST_F(RecoveryTest, GracefulShutdownThenRecoverKeepsEverything)
+{
+    const auto plan = makePlan(baseGraph(9), 9);
+    {
+        GraphService a(durableOptions(
+            dir_, durability::SyncPolicy::Batch));
+        ASSERT_GT(a.loadGraph("g", baseGraph(9)), 0u);
+        applyPlan(a, plan);
+        a.shutdown(); // drain syncs the journal; no crash
+    }
+    GraphService b(durableOptions(dir_));
+    ASSERT_EQ(b.recoveryReport().graphs.size(), 1u);
+    expectBitwiseEqual(scratchReference(9, plan, "wcc"),
+                       queryStates(b, "wcc"), "graceful shutdown");
+}
+
+TEST_F(RecoveryTest, MultipleGraphsRecoverIndependently)
+{
+    std::uint64_t gBase = 0, hBase = 0;
+    {
+        GraphService a(durableOptions(dir_));
+        ASSERT_GT(a.loadGraph("g", baseGraph(11)), 0u);
+        ASSERT_GT(a.loadGraph("h", baseGraph(12)), 0u);
+        gBase = edgeCount(a, "g", 3, 4);
+        hBase = edgeCount(a, "h", 5, 6);
+        ASSERT_TRUE(a.streamUpdates("g", {{3, 4, 1.0}}).get().ok());
+        ASSERT_TRUE(a.streamUpdates("h", {{5, 6, 1.0}}).get().ok());
+        std::string err;
+        ASSERT_TRUE(a.checkpoint("h", &err)) << err; // h: ckpt only
+        a.durabilityManager().simulateCrash();
+    }
+
+    GraphService b(durableOptions(dir_));
+    const auto &rep = b.recoveryReport();
+    EXPECT_EQ(rep.graphs.size(), 2u);
+    EXPECT_EQ(rep.checkpointsLoaded, 1u);
+    EXPECT_EQ(edgeCount(b, "g", 3, 4), gBase + 1);
+    EXPECT_EQ(edgeCount(b, "h", 5, 6), hBase + 1);
+}
+
+TEST_F(RecoveryTest, RecoveredServiceKeepsJournalingNewWrites)
+{
+    std::uint64_t aBase = 0, bBase = 0;
+    {
+        GraphService a(durableOptions(dir_));
+        ASSERT_GT(a.loadGraph("g", baseGraph(21)), 0u);
+        aBase = edgeCount(a, "g", 1, 2);
+        bBase = edgeCount(a, "g", 2, 3);
+        ASSERT_TRUE(a.streamUpdates("g", {{1, 2, 1.0}}).get().ok());
+        a.durabilityManager().simulateCrash();
+    }
+    {
+        GraphService b(durableOptions(dir_));
+        ASSERT_TRUE(b.streamUpdates("g", {{2, 3, 1.0}}).get().ok());
+        b.durabilityManager().simulateCrash();
+    }
+    GraphService c(durableOptions(dir_));
+    EXPECT_EQ(edgeCount(c, "g", 1, 2), aBase + 1);
+    EXPECT_EQ(edgeCount(c, "g", 2, 3), bBase + 1);
+}
+
+} // namespace
+} // namespace depgraph::service

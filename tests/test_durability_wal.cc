@@ -1,0 +1,394 @@
+/**
+ * @file
+ * Durability primitives in isolation: WAL framing + torn-tail
+ * detection, the record codec's hostility to malformed bytes, the
+ * checkpoint file format's corruption rejection, and graph-name
+ * escaping (untrusted names must not escape the data dir).
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "durability/checkpoint.hh"
+#include "durability/manager.hh"
+#include "durability/record.hh"
+#include "durability/wal.hh"
+#include "graph/generators.hh"
+
+namespace depgraph::durability
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** A fresh scratch directory, removed on teardown. */
+class WalTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        auto tmpl = (fs::temp_directory_path() / "dgwal.XXXXXX")
+                        .string();
+        ASSERT_NE(::mkdtemp(tmpl.data()), nullptr);
+        dir_ = tmpl;
+    }
+
+    void TearDown() override { fs::remove_all(dir_); }
+
+    std::string path(const std::string &leaf) const
+    {
+        return (fs::path(dir_) / leaf).string();
+    }
+
+    std::string dir_;
+};
+
+std::vector<std::uint8_t>
+bytesOf(const std::string &s)
+{
+    return {s.begin(), s.end()};
+}
+
+graph::Graph
+smallGraph(std::uint64_t seed = 7)
+{
+    return graph::powerLaw(50, 2.0, 3.0, {.seed = seed});
+}
+
+TEST_F(WalTest, AppendThenReadAllRoundTrips)
+{
+    const auto p = path("a.wal");
+    WalFile w;
+    std::string err;
+    ASSERT_TRUE(w.open(p, &err)) << err;
+    ASSERT_TRUE(w.append(bytesOf("first"), false, &err)) << err;
+    ASSERT_TRUE(w.append(bytesOf("second record"), true, &err)) << err;
+    ASSERT_TRUE(w.append({}, false, &err)) << err; // empty payload ok
+    EXPECT_EQ(w.appendedBytes(), fs::file_size(p));
+    w.close();
+
+    WalFile::ReadResult r;
+    ASSERT_TRUE(WalFile::readAll(p, r, &err)) << err;
+    ASSERT_EQ(r.payloads.size(), 3u);
+    EXPECT_EQ(r.payloads[0], bytesOf("first"));
+    EXPECT_EQ(r.payloads[1], bytesOf("second record"));
+    EXPECT_TRUE(r.payloads[2].empty());
+    EXPECT_FALSE(r.tornTail);
+    EXPECT_EQ(r.validBytes, fs::file_size(p));
+}
+
+TEST_F(WalTest, MissingFileReadsAsEmpty)
+{
+    WalFile::ReadResult r;
+    std::string err;
+    ASSERT_TRUE(WalFile::readAll(path("nope.wal"), r, &err)) << err;
+    EXPECT_TRUE(r.payloads.empty());
+    EXPECT_FALSE(r.tornTail);
+    EXPECT_EQ(r.validBytes, 0u);
+}
+
+TEST_F(WalTest, TornLengthWordStopsAtLastGoodFrame)
+{
+    const auto p = path("torn.wal");
+    WalFile w;
+    std::string err;
+    ASSERT_TRUE(w.open(p, &err)) << err;
+    ASSERT_TRUE(w.append(bytesOf("good"), true, &err)) << err;
+    const auto good = w.appendedBytes();
+    w.close();
+
+    // A crash mid-write leaves a partial frame: 2 of 4 length bytes.
+    std::ofstream(p, std::ios::binary | std::ios::app)
+        << std::string("\x03\x00", 2);
+
+    WalFile::ReadResult r;
+    ASSERT_TRUE(WalFile::readAll(p, r, &err)) << err;
+    ASSERT_EQ(r.payloads.size(), 1u);
+    EXPECT_EQ(r.payloads[0], bytesOf("good"));
+    EXPECT_TRUE(r.tornTail);
+    EXPECT_EQ(r.validBytes, good);
+
+    ASSERT_TRUE(WalFile::repair(p, r.validBytes, &err)) << err;
+    EXPECT_EQ(fs::file_size(p), good);
+    WalFile::ReadResult r2;
+    ASSERT_TRUE(WalFile::readAll(p, r2, &err)) << err;
+    EXPECT_EQ(r2.payloads.size(), 1u);
+    EXPECT_FALSE(r2.tornTail);
+
+    // Repair is append-compatible: the journal keeps working.
+    WalFile w2;
+    ASSERT_TRUE(w2.open(p, &err)) << err;
+    ASSERT_TRUE(w2.append(bytesOf("after repair"), true, &err)) << err;
+    w2.close();
+    WalFile::ReadResult r3;
+    ASSERT_TRUE(WalFile::readAll(p, r3, &err)) << err;
+    ASSERT_EQ(r3.payloads.size(), 2u);
+    EXPECT_EQ(r3.payloads[1], bytesOf("after repair"));
+}
+
+TEST_F(WalTest, CorruptedPayloadByteFailsItsCrc)
+{
+    const auto p = path("crc.wal");
+    WalFile w;
+    std::string err;
+    ASSERT_TRUE(w.open(p, &err)) << err;
+    ASSERT_TRUE(w.append(bytesOf("aaaa"), false, &err)) << err;
+    const auto first = w.appendedBytes();
+    ASSERT_TRUE(w.append(bytesOf("bbbb"), true, &err)) << err;
+    w.close();
+
+    // Flip one payload byte of the SECOND record.
+    {
+        std::fstream f(p, std::ios::binary | std::ios::in
+                              | std::ios::out);
+        f.seekp(static_cast<std::streamoff>(first) + 8);
+        f.put('X');
+    }
+
+    WalFile::ReadResult r;
+    ASSERT_TRUE(WalFile::readAll(p, r, &err)) << err;
+    ASSERT_EQ(r.payloads.size(), 1u); // stops before the bad frame
+    EXPECT_EQ(r.payloads[0], bytesOf("aaaa"));
+    EXPECT_TRUE(r.tornTail);
+    EXPECT_EQ(r.validBytes, first);
+}
+
+TEST_F(WalTest, GarbageTailAfterGoodRecordsIsTorn)
+{
+    const auto p = path("garbage.wal");
+    WalFile w;
+    std::string err;
+    ASSERT_TRUE(w.open(p, &err)) << err;
+    ASSERT_TRUE(w.append(bytesOf("keep me"), true, &err)) << err;
+    const auto good = w.appendedBytes();
+    w.close();
+
+    std::ofstream(p, std::ios::binary | std::ios::app)
+        << "\xff\xff\xff\xff random trailing junk from a dying disk";
+
+    WalFile::ReadResult r;
+    ASSERT_TRUE(WalFile::readAll(p, r, &err)) << err;
+    ASSERT_EQ(r.payloads.size(), 1u);
+    EXPECT_TRUE(r.tornTail);
+    EXPECT_EQ(r.validBytes, good);
+}
+
+TEST_F(WalTest, TruncateDropsEverything)
+{
+    const auto p = path("trunc.wal");
+    WalFile w;
+    std::string err;
+    ASSERT_TRUE(w.open(p, &err)) << err;
+    ASSERT_TRUE(w.append(bytesOf("x"), false, &err)) << err;
+    ASSERT_TRUE(w.truncate(&err)) << err;
+    EXPECT_EQ(w.appendedBytes(), 0u);
+    ASSERT_TRUE(w.append(bytesOf("y"), true, &err)) << err;
+    w.close();
+
+    WalFile::ReadResult r;
+    ASSERT_TRUE(WalFile::readAll(p, r, &err)) << err;
+    ASSERT_EQ(r.payloads.size(), 1u);
+    EXPECT_EQ(r.payloads[0], bytesOf("y"));
+}
+
+TEST(SyncPolicyParse, NamesRoundTrip)
+{
+    SyncPolicy p;
+    ASSERT_TRUE(parseSyncPolicy("always", p));
+    EXPECT_EQ(p, SyncPolicy::Always);
+    EXPECT_STREQ(syncPolicyName(p), "always");
+    ASSERT_TRUE(parseSyncPolicy("batch", p));
+    EXPECT_EQ(p, SyncPolicy::Batch);
+    ASSERT_TRUE(parseSyncPolicy("off", p));
+    EXPECT_EQ(p, SyncPolicy::Off);
+    EXPECT_FALSE(parseSyncPolicy("sometimes", p));
+    EXPECT_FALSE(parseSyncPolicy("", p));
+}
+
+TEST(RecordCodec, CreateRoundTripsTheWholeCsr)
+{
+    const auto g = smallGraph();
+    const auto payload = encodeCreate("my-graph", g);
+
+    Record r;
+    ASSERT_TRUE(decodeRecord(payload.data(), payload.size(), r));
+    EXPECT_EQ(r.type, RecordType::Create);
+    EXPECT_EQ(r.graph, "my-graph");
+    EXPECT_EQ(r.created.offsets(), g.offsets());
+    EXPECT_EQ(r.created.targets(), g.targets());
+    EXPECT_EQ(r.created.weights(), g.weights());
+}
+
+TEST(RecordCodec, MutateRoundTripsInsAndDels)
+{
+    const std::vector<gas::EdgeInsertion> ins = {
+        {1, 2, 1.0}, {3, 4, 2.5}};
+    const std::vector<gas::EdgeDeletion> dels = {
+        {5, 6, gas::EdgeDeletion::kAnyWeight}};
+    const auto payload = encodeMutate("g", ins, dels);
+
+    Record r;
+    ASSERT_TRUE(decodeRecord(payload.data(), payload.size(), r));
+    EXPECT_EQ(r.type, RecordType::Mutate);
+    EXPECT_EQ(r.graph, "g");
+    ASSERT_EQ(r.ins.size(), 2u);
+    EXPECT_EQ(r.ins[1].src, 3u);
+    EXPECT_EQ(r.ins[1].dst, 4u);
+    EXPECT_EQ(r.ins[1].weight, 2.5);
+    ASSERT_EQ(r.dels.size(), 1u);
+    EXPECT_EQ(r.dels[0].src, 5u);
+    EXPECT_EQ(r.dels[0].weight, gas::EdgeDeletion::kAnyWeight);
+}
+
+TEST(RecordCodec, MarkerRoundTrips)
+{
+    const auto payload = encodeMarker("the-graph");
+    Record r;
+    ASSERT_TRUE(decodeRecord(payload.data(), payload.size(), r));
+    EXPECT_EQ(r.type, RecordType::Marker);
+    EXPECT_EQ(r.graph, "the-graph");
+}
+
+TEST(RecordCodec, MalformedPayloadsAreRejectedNotFatal)
+{
+    Record r;
+    EXPECT_FALSE(decodeRecord(nullptr, 0, r));
+
+    const std::uint8_t junk[] = {0x00, 0x01, 0x02, 0x03};
+    EXPECT_FALSE(decodeRecord(junk, sizeof junk, r)); // bad type
+
+    // Truncations of a valid payload at every length must all fail
+    // cleanly (decode either sees a short read or trailing bytes).
+    const auto good = encodeMutate("g", {{1, 2, 1.0}}, {});
+    for (std::size_t n = 0; n < good.size(); ++n)
+        EXPECT_FALSE(decodeRecord(good.data(), n, r)) << n;
+
+    // An inner length word inflated to claim 2^60 elements must be
+    // caught by bounds checks, not attempted as an allocation.
+    auto evil = encodeCreate("g", smallGraph());
+    const auto name_at = sizeof(std::uint8_t); // type byte, then name
+    std::uint64_t huge = 1ull << 60;
+    std::memcpy(evil.data() + name_at, &huge, sizeof huge);
+    EXPECT_FALSE(decodeRecord(evil.data(), evil.size(), r));
+}
+
+TEST(RecordCodec, CreateWithInvalidCsrIsRejected)
+{
+    // A CRC collision could hand decode a structurally broken CSR;
+    // decode must validate the invariants, not trust them.
+    const auto g = smallGraph();
+    auto payload = encodeCreate("g", g);
+    // Smash a target id to be >= numVertices: find the targets region
+    // by re-encoding with a poisoned graph is fiddly, so instead
+    // decode-mutate-encode: build a hand-rolled bad payload.
+    ByteWriter w;
+    w.pod(static_cast<std::uint8_t>(RecordType::Create));
+    w.str("g");
+    w.vec(std::vector<EdgeId>{0, 1});       // offsets: 1 vertex, 1 edge
+    w.vec(std::vector<VertexId>{99});       // target 99 out of range
+    w.vec(std::vector<Value>{1.0});
+    Record r;
+    EXPECT_FALSE(
+        decodeRecord(w.buffer().data(), w.buffer().size(), r));
+}
+
+TEST_F(WalTest, CheckpointRoundTripsGraphAndFixpoints)
+{
+    const auto p = path("g.ckpt");
+    CheckpointData in;
+    in.name = "g";
+    in.version = 42;
+    in.graph = std::make_shared<graph::Graph>(smallGraph());
+    in.fixpoints.emplace_back(
+        "pagerank", std::make_shared<std::vector<Value>>(
+                        std::vector<Value>{0.25, 0.5, 0.125}));
+    in.fixpoints.emplace_back(
+        "sssp", std::make_shared<std::vector<Value>>(
+                    std::vector<Value>{0.0, 1.0, 2.0}));
+
+    std::string err;
+    ASSERT_TRUE(writeCheckpoint(p, in, &err)) << err;
+    EXPECT_FALSE(fs::exists(p + ".tmp")); // published atomically
+
+    CheckpointData out;
+    ASSERT_TRUE(readCheckpoint(p, out, &err)) << err;
+    EXPECT_EQ(out.name, "g");
+    EXPECT_EQ(out.version, 42u);
+    ASSERT_NE(out.graph, nullptr);
+    EXPECT_EQ(out.graph->offsets(), in.graph->offsets());
+    EXPECT_EQ(out.graph->targets(), in.graph->targets());
+    EXPECT_EQ(out.graph->weights(), in.graph->weights());
+    ASSERT_EQ(out.fixpoints.size(), 2u);
+    EXPECT_EQ(out.fixpoints[0].first, "pagerank");
+    EXPECT_EQ(*out.fixpoints[0].second,
+              (std::vector<Value>{0.25, 0.5, 0.125}));
+    EXPECT_EQ(out.fixpoints[1].first, "sssp");
+}
+
+TEST_F(WalTest, CheckpointCorruptionIsDetected)
+{
+    const auto p = path("bad.ckpt");
+    CheckpointData in;
+    in.name = "g";
+    in.version = 1;
+    in.graph = std::make_shared<graph::Graph>(smallGraph());
+    std::string err;
+    ASSERT_TRUE(writeCheckpoint(p, in, &err)) << err;
+
+    CheckpointData out;
+    // Missing file: soft failure.
+    EXPECT_FALSE(readCheckpoint(path("absent.ckpt"), out, &err));
+
+    // Payload bit flip: CRC mismatch.
+    {
+        std::fstream f(p, std::ios::binary | std::ios::in
+                              | std::ios::out);
+        f.seekp(-1, std::ios::end);
+        f.put('~');
+    }
+    EXPECT_FALSE(readCheckpoint(p, out, &err));
+    EXPECT_NE(err.find("CRC"), std::string::npos) << err;
+
+    // Rewrite, then truncate mid-payload: short read.
+    ASSERT_TRUE(writeCheckpoint(p, in, &err)) << err;
+    fs::resize_file(p, fs::file_size(p) / 2);
+    EXPECT_FALSE(readCheckpoint(p, out, &err));
+
+    // Bad magic.
+    ASSERT_TRUE(writeCheckpoint(p, in, &err)) << err;
+    {
+        std::fstream f(p, std::ios::binary | std::ios::in
+                              | std::ios::out);
+        f.seekp(0);
+        f.write("NOTMAGIC", 8);
+    }
+    EXPECT_FALSE(readCheckpoint(p, out, &err));
+}
+
+TEST(EscapeName, SafeNamesPassThroughHostileOnesAreEscaped)
+{
+    EXPECT_EQ(Manager::escapeName("graph_A-1"), "graph_A-1");
+    EXPECT_EQ(Manager::unescapeName("graph_A-1"), "graph_A-1");
+
+    const std::string hostile = "../../etc/passwd";
+    const auto esc = Manager::escapeName(hostile);
+    EXPECT_EQ(esc.find('/'), std::string::npos);
+    EXPECT_EQ(esc.find(".."), std::string::npos);
+    EXPECT_EQ(Manager::unescapeName(esc), hostile);
+
+    // Percent itself must round-trip (it is the escape introducer).
+    const std::string tricky = "a%2eb c/d";
+    EXPECT_EQ(Manager::unescapeName(Manager::escapeName(tricky)),
+              tricky);
+}
+
+} // namespace
+} // namespace depgraph::durability

@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/failpoint.hh"
 #include "net/client.hh"
 #include "net/server.hh"
 #include "service/protocol.hh"
@@ -408,6 +409,82 @@ TEST(NetServer, RejectsConnectionsBeyondTheCap)
     EXPECT_FALSE(c.recvLine(reply));
     EXPECT_TRUE(c.eof());
     EXPECT_TRUE(reply.empty());
+}
+
+TEST(NetServer, LineRequestsAfterDrainGet503InFlightCompletes)
+{
+    // A delay failpoint pins one dispatched line in flight while
+    // drain begins; the pipelined follow-up must be refused with 503
+    // and must NOT reach the graph.
+    failpoint::clearAll();
+    GraphService svc(smallService());
+    Server srv(svc, {});
+    ASSERT_TRUE(srv.start()) << srv.lastError();
+
+    auto setup = connectTo(srv);
+    ASSERT_EQ(roundTrip(setup, "load g ring 64"), "ok v=1 graph=g");
+    setup.close();
+
+    ASSERT_TRUE(failpoint::arm("net.dispatch_line", "delay(400)"));
+    auto writer = connectTo(srv);
+    ASSERT_TRUE(writer.sendAll("update g 1 5\nupdate g 2 7\n"));
+
+    std::this_thread::sleep_for(100ms); // first line is in flight
+    srv.beginDrain();
+
+    std::string first, second;
+    ASSERT_TRUE(writer.recvLine(first)) << writer.error();
+    EXPECT_EQ(first.rfind("ok enqueued=1", 0), 0u) << first;
+    ASSERT_TRUE(writer.recvLine(second)) << writer.error();
+    EXPECT_EQ(second, "err 503 shutting down");
+    EXPECT_FALSE(writer.recvLine(second)); // drain closed the socket
+
+    EXPECT_TRUE(srv.drainAndStop(30000ms));
+    failpoint::clearAll();
+
+    // The acked update was flushed by the drain; the refused one is
+    // nowhere: ring(64) has 64 edges, plus exactly the acked insert.
+    const auto snap = svc.store().get("g");
+    ASSERT_NE(snap, nullptr);
+    EXPECT_EQ(snap->graph->numEdges(), 65u);
+}
+
+TEST(NetServer, HttpRequestsAfterDrainGet503InFlightCompletes)
+{
+    // Same contract over HTTP: a /metrics render pinned in flight by
+    // its failpoint finishes and is delivered, then the pipelined
+    // /healthz on the same keep-alive connection reports draining.
+    failpoint::clearAll();
+    GraphService svc(smallService());
+    Server srv(svc, {});
+    ASSERT_TRUE(srv.start()) << srv.lastError();
+
+    ASSERT_TRUE(failpoint::arm("net.http_metrics", "delay(400)"));
+    auto c = connectTo(srv);
+    ASSERT_TRUE(c.sendAll("GET /metrics HTTP/1.1\r\n\r\n"
+                          "GET /healthz HTTP/1.1\r\n\r\n"));
+
+    std::this_thread::sleep_for(100ms); // metrics render in flight
+    srv.beginDrain();
+
+    const auto raw = c.recvAll();
+    // The in-flight response completed into the draining connection.
+    EXPECT_NE(raw.find("HTTP/1.1 200 OK"), std::string::npos) << raw;
+    EXPECT_NE(raw.find("dg_"), std::string::npos)
+        << "metrics body missing: " << raw;
+    // The follow-up was answered 503 draining, then closed.
+    EXPECT_NE(raw.find("HTTP/1.1 503"), std::string::npos) << raw;
+    EXPECT_NE(raw.find("draining"), std::string::npos) << raw;
+    // Exactly two responses: the completed render and the refusal --
+    // no healthy /healthz reply sneaked out mid-drain.
+    std::size_t statuses = 0;
+    for (auto at = raw.find("HTTP/1.1 "); at != std::string::npos;
+         at = raw.find("HTTP/1.1 ", at + 1))
+        ++statuses;
+    EXPECT_EQ(statuses, 2u) << raw;
+
+    EXPECT_TRUE(srv.drainAndStop(30000ms));
+    failpoint::clearAll();
 }
 
 } // namespace

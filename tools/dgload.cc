@@ -90,6 +90,7 @@ struct SharedCounters
     std::atomic<std::uint64_t> shed{0};
     std::atomic<std::uint64_t> protocolErrors{0};
     std::atomic<std::uint64_t> transportErrors{0};
+    std::atomic<std::uint64_t> reconnects{0};
     std::mutex errMu;
     std::vector<std::string> errSamples;
 
@@ -115,6 +116,41 @@ retryAfterMs(const std::string &reply)
     } catch (...) {
         return 0;
     }
+}
+
+/** Exponential backoff with full jitter: uniform over
+ * [0, min(cap, base * 2^attempt)]. Jitter decorrelates a fleet of
+ * workers that all lost the same server at the same instant -- without
+ * it they reconnect in lockstep and stampede the restarted process. */
+std::uint64_t
+backoffDelayMs(unsigned attempt, std::mt19937_64 &rng,
+               std::uint64_t base_ms = 10,
+               std::uint64_t cap_ms = 2000)
+{
+    const std::uint64_t ceiling =
+        std::min(cap_ms, base_ms << std::min(attempt, 20u));
+    return std::uniform_int_distribution<std::uint64_t>(0,
+                                                        ceiling)(rng);
+}
+
+/**
+ * Connect with bounded retries. A refused/reset connect sleeps the
+ * jittered backoff and tries again -- a server mid-restart (crash
+ * recovery, rolling deploy) comes back within a few hundred ms and
+ * the run should ride that out instead of failing the worker.
+ */
+bool
+connectWithRetry(net::Client &c, const std::string &endpoint,
+                 std::chrono::milliseconds timeout,
+                 std::mt19937_64 &rng, unsigned max_attempts)
+{
+    for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
+        if (c.connectEndpoint(endpoint, timeout))
+            return true;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(backoffDelayMs(attempt, rng)));
+    }
+    return false;
 }
 
 } // namespace
@@ -143,6 +179,9 @@ main(int argc, char **argv)
     o.declare("setup", "true",
               "load the graphs before driving traffic");
     o.declare("timeout_ms", "30000", "per-reply receive timeout");
+    o.declare("connect_retries", "10",
+              "bounded connect attempts (initial and per reconnect), "
+              "exponential backoff with jitter between them");
     o.declare("json", "", "write results to this JSON file");
     o.parse(argc, argv);
 
@@ -158,6 +197,8 @@ main(int argc, char **argv)
     const auto solution = o.getString("solution");
     const auto timeout =
         std::chrono::milliseconds(o.getInt("timeout_ms"));
+    const auto connect_retries = std::max<unsigned>(
+        1, static_cast<unsigned>(o.getInt("connect_retries")));
     const double mix[kNumOps] = {o.getDouble("mix_query"),
                                  o.getDouble("mix_update"),
                                  o.getDouble("mix_del")};
@@ -188,10 +229,13 @@ main(int argc, char **argv)
     }
 
     if (o.getBool("setup")) {
+        std::mt19937_64 setup_rng(
+            static_cast<std::uint64_t>(o.getInt("seed")) ^ 0x5e7f);
         for (const auto &name : graph_names) {
             net::Client c;
-            if (!c.connectEndpoint(router.shardForGraph(name),
-                                   timeout)) {
+            if (!connectWithRetry(c, router.shardForGraph(name),
+                                  timeout, setup_rng,
+                                  connect_retries)) {
                 std::cerr << "dgload: connect "
                           << router.shardForGraph(name) << ": "
                           << c.error() << "\n";
@@ -219,16 +263,16 @@ main(int argc, char **argv)
     for (unsigned t = 0; t < connections; ++t) {
         workers.emplace_back([&, t] {
             const auto &graph = graph_names[t % graph_names.size()];
+            std::mt19937_64 rng(
+                static_cast<std::uint64_t>(o.getInt("seed")) * 7919
+                + t);
             net::Client c;
-            if (!c.connectEndpoint(router.shardForGraph(graph),
-                                   timeout)) {
+            if (!connectWithRetry(c, router.shardForGraph(graph),
+                                  timeout, rng, connect_retries)) {
                 counters.transportErrors.fetch_add(
                     1, std::memory_order_relaxed);
                 return;
             }
-            std::mt19937_64 rng(
-                static_cast<std::uint64_t>(o.getInt("seed")) * 7919
-                + t);
             std::uniform_real_distribution<double> pick(0.0, 1.0);
             std::uniform_int_distribution<std::int64_t> vertex(
                 0, std::max<std::int64_t>(1, n - 1));
@@ -259,9 +303,26 @@ main(int argc, char **argv)
                     std::string reply;
                     if (!c.sendLine(cmd.str())
                         || !c.recvLine(reply)) {
-                        counters.transportErrors.fetch_add(
+                        // ECONNRESET/EPIPE/EOF mid-run: the server
+                        // dropped us (restart, force-close, crash).
+                        // Reconnect with jittered backoff and resend
+                        // THIS request. NOTE at-least-once semantics:
+                        // the lost reply's request may have applied,
+                        // so a resent update can double-apply -- the
+                        // price of a throughput driver that rides
+                        // through restarts. Workloads needing exact
+                        // counts use the chaos harness instead.
+                        c.close();
+                        if (!connectWithRetry(
+                                c, router.shardForGraph(graph),
+                                timeout, rng, connect_retries)) {
+                            counters.transportErrors.fetch_add(
+                                1, std::memory_order_relaxed);
+                            return;
+                        }
+                        counters.reconnects.fetch_add(
                             1, std::memory_order_relaxed);
-                        return;
+                        continue;
                     }
                     const auto us = static_cast<std::uint64_t>(
                         std::chrono::duration_cast<
@@ -320,7 +381,8 @@ main(int argc, char **argv)
               << " protocol_errors="
               << counters.protocolErrors.load()
               << " transport_errors="
-              << counters.transportErrors.load() << "\n";
+              << counters.transportErrors.load()
+              << " reconnects=" << counters.reconnects.load() << "\n";
     for (const auto &s : summaries)
         std::cout << "  " << s.type << ": count=" << s.count
                   << " mean=" << s.meanUs << "us p50=" << s.p50Us
@@ -354,7 +416,9 @@ main(int argc, char **argv)
            << ", \"protocol_errors\": "
            << counters.protocolErrors.load()
            << ", \"transport_errors\": "
-           << counters.transportErrors.load() << "}\n]\n";
+           << counters.transportErrors.load()
+           << ", \"reconnects\": " << counters.reconnects.load()
+           << "}\n]\n";
         std::cout << "wrote " << json_path << "\n";
     }
 

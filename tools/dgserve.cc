@@ -14,15 +14,31 @@
  *    printf 'load g ring 64\nquery g sssp\nquit\n' | nc 127.0.0.1 7411
  *    curl -s http://127.0.0.1:7411/metrics
  *
+ * Durability (--data_dir <dir>): acknowledged mutations are journaled
+ * to a per-graph WAL (--wal_sync picks the fsync policy) and graphs
+ * are checkpointed (periodically with --checkpoint_every, or via the
+ * `checkpoint` verb). On startup the latest valid checkpoints load and
+ * the WAL suffix replays, so a SIGKILL/power loss no longer discards
+ * acked writes. See docs/DURABILITY.md.
+ *
  * Lifecycle: SIGTERM/SIGINT trigger a graceful drain in BOTH modes —
  * stop accepting input, finish accepted requests within --drain_ms,
  * flush pending update batches (acknowledged writes are never
- * dropped), then exit 0.
+ * dropped), then exit 0. A SECOND SIGTERM/SIGINT during the drain
+ * skips the wait: connections force-close and the process exits
+ * 128+signo immediately (the WAL keeps acked writes safe; that is
+ * what it is for).
  */
 
-#include <csignal>
-#include <iostream>
+#include <unistd.h>
 
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <thread>
+
+#include "common/failpoint.hh"
 #include "common/options.hh"
 #include "net/server.hh"
 #include "obs/span.hh"
@@ -36,6 +52,12 @@ volatile std::sig_atomic_t g_signal = 0;
 void
 onSignal(int sig)
 {
+    if (g_signal) {
+        // Second signal while draining: the operator means NOW.
+        // _exit skips destructors/flushes by design -- durability of
+        // acked writes is the WAL's job, not the drain's.
+        _exit(128 + sig);
+    }
     g_signal = sig;
 }
 
@@ -51,6 +73,25 @@ installSignalHandlers()
     sa.sa_flags = 0; // deliberately no SA_RESTART
     sigaction(SIGINT, &sa, nullptr);
     sigaction(SIGTERM, &sa, nullptr);
+}
+
+void
+reportRecovery(const depgraph::service::GraphService &svc)
+{
+    const auto &r = svc.recoveryReport();
+    if (r.graphs.empty() && r.walRecordsReplayed == 0
+        && r.tornTailsTruncated == 0)
+        return;
+    std::cout << "recovered " << r.graphs.size() << " graph(s) ("
+              << r.checkpointsLoaded << " checkpoint(s), "
+              << r.walRecordsReplayed << " WAL record(s), "
+              << r.walBatchesReplayed << " batch(es), "
+              << r.tornTailsTruncated << " torn tail(s) truncated, "
+              << r.corruptCheckpoints << " corrupt checkpoint(s))";
+    for (const auto &g : r.graphs)
+        std::cout << " " << g;
+    std::cout << "\n";
+    std::cout.flush();
 }
 
 int
@@ -101,6 +142,7 @@ serveListen(depgraph::service::GraphService &svc,
                   << server.lastError() << "\n";
         return 1;
     }
+    reportRecovery(svc);
     std::cout << "listening on " << server.options().host << ":"
               << server.port() << "\n";
     std::cout.flush();
@@ -109,7 +151,31 @@ serveListen(depgraph::service::GraphService &svc,
     sigwait(&sigs, &sig);
     std::cout << "signal " << sig << ": draining (deadline "
               << drain_deadline.count() << "ms)\n";
-    const bool clean = server.drainAndStop(drain_deadline);
+    std::cout.flush();
+
+    // Drain in the background so main can keep listening for a second
+    // signal -- an operator (or supervisor) that signals again wants
+    // an immediate exit, not the remainder of --drain_ms.
+    bool clean = false;
+    std::atomic<bool> done{false};
+    std::thread drainer([&] {
+        clean = server.drainAndStop(drain_deadline);
+        done.store(true, std::memory_order_release);
+    });
+    struct timespec poll = {0, 100 * 1000 * 1000}; // 100ms
+    while (!done.load(std::memory_order_acquire)) {
+        const int again = sigtimedwait(&sigs, nullptr, &poll);
+        if (again > 0) {
+            std::cout << "second signal " << again
+                      << ": force close, immediate exit\n";
+            std::cout.flush();
+            // Skips destructors on purpose: acked writes are already
+            // WAL-durable, and waiting out straggler connections is
+            // exactly what the operator just declined.
+            std::_Exit(128 + again);
+        }
+    }
+    drainer.join();
     std::cout << svc.stats().logLine() << "\n";
     std::cout << (clean ? "drained clean" : "drain deadline hit")
               << "\n";
@@ -161,6 +227,21 @@ main(int argc, char **argv)
               "evict graphs idle this long (0 = keep forever)");
     o.declare("store_max_graphs", "0",
               "LRU cap on named graphs (0 = unbounded)");
+    o.declare("data_dir", "",
+              "durability root: WAL + checkpoints live here and "
+              "recovery replays them at startup (empty = no "
+              "durability, the pre-WAL in-memory behavior)");
+    o.declare("wal_sync", "batch",
+              "WAL fsync policy: always (fsync per acked mutation), "
+              "batch (group-commit at batch flushes), off");
+    o.declare("checkpoint_every", "0",
+              "checkpoint a graph every N applied batches (0 = only "
+              "the `checkpoint` verb and recovery)");
+    o.declare("recovery", "exact",
+              "exact: drop checkpoint fixpoint caches when the WAL "
+              "has mutations, so recovered queries are bitwise equal "
+              "to a scratch recompute; fast: seed the caches and "
+              "reconverge incrementally (epsilon-equal)");
     o.parse(argc, argv);
 
     const auto listen_port = o.getInt("listen");
@@ -176,6 +257,12 @@ main(int argc, char **argv)
     sigaddset(&sigs, SIGTERM);
     if (listen_port >= 0)
         pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+    // Chaos harnesses arm crash sites before the process starts
+    // serving: DG_FAILPOINTS="wal.after_append=exit(137)@25;..."
+    if (const auto armed = failpoint::armFromEnv())
+        std::cerr << "dgserve: " << armed
+                  << " failpoint(s) armed from DG_FAILPOINTS\n";
 
     service::ServiceOptions sopt;
     sopt.pool.numThreads = static_cast<unsigned>(o.getInt("workers"));
@@ -196,13 +283,32 @@ main(int argc, char **argv)
         std::chrono::milliseconds(o.getInt("store_ttl_ms"));
     sopt.store.maxGraphs =
         static_cast<std::size_t>(o.getInt("store_max_graphs"));
+    sopt.durability.dataDir = o.getString("data_dir");
+    if (!durability::parseSyncPolicy(o.getString("wal_sync"),
+                                     sopt.durability.sync)) {
+        std::cerr << "dgserve: bad --wal_sync '"
+                  << o.getString("wal_sync")
+                  << "' (always|batch|off)\n";
+        return 2;
+    }
+    sopt.durability.checkpointEveryBatches =
+        static_cast<std::size_t>(o.getInt("checkpoint_every"));
+    if (o.getString("recovery") == "fast") {
+        sopt.durability.seedFixpointsOnReplay = true;
+    } else if (o.getString("recovery") != "exact") {
+        std::cerr << "dgserve: bad --recovery '"
+                  << o.getString("recovery") << "' (exact|fast)\n";
+        return 2;
+    }
     if (o.getBool("trace"))
         obs::span::setEnabled(true);
 
     service::GraphService svc(sopt);
 
-    if (listen_port < 0)
+    if (listen_port < 0) {
+        reportRecovery(svc);
         return serveStdin(svc, o.getBool("echo"), drain_ms);
+    }
 
     net::ServerOptions nopt;
     nopt.host = o.getString("host");
