@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Micro-benchmark for the vectorized fold/apply kernels
+ * (src/depgraph/fold_kernels.*): elements per cycle for each kernel on
+ * the scalar reference table and, when the host has it, the AVX2
+ * table, plus the SIMD-over-scalar speedup.
+ *
+ * Unlike the fig* binaries this measures REAL host cycles (rdtsc), so
+ * the numbers depend on the machine. Emits BENCH_fold.json for CI to
+ * archive, and optionally gates on the AVX2 fold throughput:
+ *
+ *   fold_kernels --gate-min-elems-per-cycle 2.0
+ *
+ * exits non-zero if any AVX2 fold kernel (sum/min/max) sustains fewer
+ * than 2.0 elements per cycle. The gate auto-skips (with a note) on
+ * hosts without AVX2 -- the scalar fallback is a correctness path, not
+ * a throughput claim, and failing there would only test the CI fleet.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#else
+#include <chrono>
+#endif
+
+#include "bench/bench_util.hh"
+#include "common/random.hh"
+#include "depgraph/fold_kernels.hh"
+
+using namespace depgraph;
+namespace fold = depgraph::dep::fold;
+
+namespace
+{
+
+/** Cycle (x86) or nanosecond (elsewhere) timestamp; only ratios and
+ * per-unit throughput are reported, so the unit just needs a name. */
+std::uint64_t
+tick()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    return __rdtsc();
+#else
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+#endif
+}
+
+constexpr const char *kTickUnit =
+#if defined(__x86_64__) || defined(__i386__)
+    "cycle";
+#else
+    "ns";
+#endif
+
+/** Time `body` over `iters` repetitions of `elems` elements, with
+ * `prep` run untimed before each repetition. Returns elems/tick. */
+template <typename Prep, typename Body>
+double
+measure(std::size_t elems, unsigned iters, Prep prep, Body body)
+{
+    // Warm caches and the branch predictor.
+    prep();
+    body();
+    std::uint64_t total = 0;
+    for (unsigned i = 0; i < iters; ++i) {
+        prep();
+        const std::uint64_t t0 = tick();
+        body();
+        total += tick() - t0;
+    }
+    return static_cast<double>(elems) * iters
+        / static_cast<double>(total);
+}
+
+volatile Value g_sink; // defeat dead-code elimination
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchEnv env;
+    env.opts.declare("elems", "4096",
+                     "lane-array length per kernel call");
+    env.opts.declare("iters", "4000", "timed repetitions per kernel");
+    env.opts.declare("json", "BENCH_fold.json",
+                     "output path for the JSON records");
+    env.opts.declare("gate-min-elems-per-cycle", "0",
+                     "fail unless every AVX2 fold kernel sustains this "
+                     "many elems/cycle (0 = no gate; auto-skips "
+                     "without AVX2)");
+    env.parse(argc, argv);
+
+    const auto elems =
+        static_cast<std::size_t>(env.opts.getInt("elems"));
+    const auto iters =
+        static_cast<unsigned>(env.opts.getInt("iters"));
+
+    std::printf("=== fold kernel throughput (elems/%s) ===\n",
+                kTickUnit);
+    std::printf("host AVX2: %s; array: %zu doubles; %u reps\n\n",
+                fold::avx2Supported() ? "yes" : "no", elems, iters);
+
+    // Lane data shaped like real tiles: finite magnitudes, no specials
+    // (the fuzz suite owns the corners; this is the throughput path).
+    Rng rng(42);
+    std::vector<Value> x(elems), mu(elems), xi(elems), cap(elems),
+        inf(elems);
+    for (std::size_t i = 0; i < elems; ++i) {
+        x[i] = rng.nextDouble(-1.0, 1.0);
+        mu[i] = rng.nextDouble(0.0, 1.0);
+        xi[i] = rng.nextDouble(0.0, 4.0);
+        cap[i] = rng.nextBool(0.5) ? kInfinity : rng.nextDouble(2.0, 6.0);
+    }
+    std::vector<Value> delta0(elems), shadow0(elems);
+    for (std::size_t i = 0; i < elems; ++i) {
+        delta0[i] = rng.nextDouble(-1.0, 1.0);
+        shadow0[i] = rng.nextBool(0.5) ? 0.0 : rng.nextDouble(-1.0, 1.0);
+    }
+    std::vector<Value> delta(elems), shadow(elems);
+
+    struct Row
+    {
+        std::string kernel;
+        double scalar = 0.0;
+        double simd = 0.0; // 0 when the host lacks AVX2
+    };
+    std::vector<Row> rows;
+
+    const auto benchTable = [&](const fold::detail::Kernels &k,
+                                const char *kernel) {
+        const auto noPrep = [] {};
+        if (std::strcmp(kernel, "fold_sum") == 0)
+            return measure(elems, iters, noPrep, [&] {
+                g_sink = k.foldSum(x.data(), elems);
+            });
+        if (std::strcmp(kernel, "fold_min") == 0)
+            return measure(elems, iters, noPrep, [&] {
+                g_sink = k.foldMin(x.data(), elems);
+            });
+        if (std::strcmp(kernel, "fold_max") == 0)
+            return measure(elems, iters, noPrep, [&] {
+                g_sink = k.foldMax(x.data(), elems);
+            });
+        if (std::strcmp(kernel, "edge_apply") == 0)
+            return measure(elems, iters, noPrep, [&] {
+                k.edgeApply(mu.data(), xi.data(), cap.data(), 0.5,
+                            inf.data(), elems);
+                g_sink = inf[elems - 1];
+            });
+        // merge_dense consumes its shadow (reset to identity), so
+        // refill both arrays outside the timed region each rep.
+        return measure(
+            elems, iters,
+            [&] {
+                delta = delta0;
+                shadow = shadow0;
+            },
+            [&] {
+                k.mergeDense(gas::AccumKind::Sum, delta.data(),
+                             shadow.data(), 0.0, elems);
+                g_sink = delta[elems - 1];
+            });
+    };
+
+    const char *kernels[] = {"fold_sum", "fold_min", "fold_max",
+                             "edge_apply", "merge_dense"};
+    const auto *avx2 = fold::detail::avx2Kernels();
+
+    bench::JsonRecords json;
+    std::printf("%-12s %12s %12s %9s\n", "kernel", "scalar", "avx2",
+                "speedup");
+    for (const char *kernel : kernels) {
+        Row row;
+        row.kernel = kernel;
+        row.scalar = benchTable(fold::detail::scalarKernels(), kernel);
+        if (avx2 != nullptr)
+            row.simd = benchTable(*avx2, kernel);
+        const double speedup =
+            row.simd > 0.0 ? row.simd / row.scalar : 0.0;
+        std::printf("%-12s %12.3f %12.3f %8.2fx\n", kernel, row.scalar,
+                    row.simd, speedup);
+        json.beginRecord()
+            .field("kernel", row.kernel)
+            .field("tick_unit", kTickUnit)
+            .field("elems", static_cast<std::uint64_t>(elems))
+            .field("scalar_elems_per_cycle", row.scalar)
+            .field("avx2_elems_per_cycle", row.simd)
+            .field("speedup", speedup)
+            .field("avx2_supported", fold::avx2Supported());
+        rows.push_back(row);
+    }
+
+    const std::string path = env.opts.getString("json");
+    if (!json.writeFile(path)) {
+        std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+        return 1;
+    }
+    std::printf("\nwrote %s\n", path.c_str());
+
+    const double gate =
+        env.opts.getDouble("gate-min-elems-per-cycle");
+    if (gate > 0.0) {
+        if (avx2 == nullptr) {
+            std::printf("gate: SKIPPED (host lacks AVX2; scalar "
+                        "fallback is a correctness path)\n");
+            return 0;
+        }
+        for (const auto &row : rows) {
+            if (row.kernel != "fold_sum" && row.kernel != "fold_min"
+                && row.kernel != "fold_max")
+                continue;
+            if (row.simd < gate) {
+                std::fprintf(stderr,
+                             "gate: FAILED %s at %.3f elems/cycle "
+                             "< required %.3f\n",
+                             row.kernel.c_str(), row.simd, gate);
+                return 1;
+            }
+        }
+        std::printf("gate: PASSED all AVX2 folds >= %.3f "
+                    "elems/cycle\n", gate);
+    }
+    return 0;
+}

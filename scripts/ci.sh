@@ -52,8 +52,10 @@ run_mode() {
             -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread")
         # TSan's value is the threaded code; the single-threaded
         # simulator suite runs 5-20x slower under it for no extra
-        # signal, so this mode runs only the `tsan`-labelled tests.
-        ctest_args+=(-L tsan)
+        # signal, so this mode runs only the `tsan`-labelled tests,
+        # plus the `fuzz` differential suite (cheap, and the forced-
+        # scalar dispatch toggling deserves a data-race check).
+        ctest_args+=(-L 'tsan|fuzz')
         ;;
     *)
         echo "unknown mode '${mode}'" \

@@ -14,6 +14,16 @@
  *    Fig. 7) -- stack management, core-path tracking, shortcut firing
  *    at the root edge, tail observation, fictitious-edge cancellation
  *    on every early exit, and the routing decision per influence.
+ *  - LaneTile/FoldScratch: the frontier/batch form of the walk. Each
+ *    stack frame's out-edge block is gathered into struct-of-arrays
+ *    lanes (mu/xi/cap per edge) and EdgeCompute runs over the whole
+ *    tile at once through the dispatched fold kernels
+ *    (fold_kernels.hh) -- the wide-datapath streaming of the paper's
+ *    accelerator, on host SIMD. Influences consumed by the walk are
+ *    then read from the tile; remote influences that cannot affect
+ *    the traversal may be pre-banked straight from the tile in a
+ *    batch (conflict-free per-worker shadow scatter, following Yao et
+ *    al.'s parallel data-conflict management).
  *  - ddmuFitStep(): the DDMU N -> I -> A fitting state machine
  *    (Sec. III-B2), generic over the entry representation so the
  *    simulated HubIndex and the native seqlock table share it.
@@ -31,12 +41,15 @@
 #ifndef DEPGRAPH_DEPGRAPH_CHAIN_WALK_HH
 #define DEPGRAPH_DEPGRAPH_CHAIN_WALK_HH
 
+#include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "depgraph/fold_kernels.hh"
 #include "gas/model.hh"
 #include "graph/core_paths.hh"
 #include "graph/partition.hh"
@@ -88,6 +101,48 @@ struct WalkFrame
     WalkTrack track;
 };
 
+/**
+ * Struct-of-arrays lanes for one contiguous out-edge segment of a
+ * stack frame: per-edge linear-function coefficients plus the batched
+ * EdgeCompute results at the frame's (fixed) entry delta. One tile
+ * covers up to fold::kLaneTile edges; frames with larger out-degree
+ * refill the tile as the edge cursor crosses segment boundaries.
+ *
+ * The per-edge influence read from `inf` is bitwise-identical to the
+ * scalar Policy::influence(v, e, d) call it replaces: the frame delta
+ * d is fixed for the whole frame, the gather reproduces edgeFunc()
+ * exactly (gas::Algorithm::edgeFuncBlock contract), and the kernels
+ * guarantee ISA-independent rounding (fold_kernels.hh).
+ */
+struct LaneTile
+{
+    EdgeId base = 0;          ///< first edge covered by the tile
+    std::uint32_t count = 0;  ///< lanes filled (0 forces a refill)
+    bool mayPrebank = false;  ///< frame-level prebank eligibility
+    std::array<Value, fold::kLaneTile> mu, xi, cap, inf;
+    /** Lanes already applied by Policy::prebankTile; the walk skips
+     * them (their influence is banked, never descended into). */
+    std::array<std::uint8_t, fold::kLaneTile> consumed;
+};
+
+/** Per-walker lane-tile scratch, one tile per stack depth (the frame
+ * at depth k owns tiles[k]; deeper frames never touch shallower
+ * tiles, so a tile stays valid across the subtree walked below its
+ * frame). Reused across walks -- tiles are invalidated by the
+ * count=0 reset at frame push, never by clearing the arrays. */
+struct FoldScratch
+{
+    std::vector<LaneTile> tiles;
+
+    void
+    ensureDepth(unsigned stack_depth)
+    {
+        const std::size_t need = std::max(1u, stack_depth);
+        if (tiles.size() < need)
+            tiles.resize(need);
+    }
+};
+
 /** Where an edge influence went, as decided by Policy::routeInfluence:
  * either it banks (remote delivery, below-gate deposit, H'' cut,
  * already-visited target) and the walk moves on, or the walker should
@@ -127,6 +182,32 @@ enum class Route
  *                                  under concurrency)
  *   void overflowRoot(t)           stack full: t becomes a new root
  *
+ * Frontier/batch extension (both engines implement it):
+ *
+ *   bool lanesEnabled()            batch EdgeCompute through lane
+ *                                  tiles? (false keeps the historical
+ *                                  per-edge scalar path, e.g. for
+ *                                  non-affine edgeCompute overrides)
+ *   void gatherEdgeFuncs(v, eBegin, n, mu, xi, cap)
+ *                                  SoA gather of the edge block's
+ *                                  linear functions (edgeFuncBlock)
+ *   void prebankTile(v, tile)      optional batched apply: bank lanes
+ *                                  whose influence cannot affect this
+ *                                  traversal (remote targets) straight
+ *                                  from the tile, marking them
+ *                                  consumed[]; must account for any
+ *                                  per-edge bookkeeping chargeEdge
+ *                                  would have done. No-op policies
+ *                                  just return.
+ *
+ * A tile is only offered for prebanking (tile.mayPrebank) when the
+ * frame can neither start nor continue a core-path -- the root frame
+ * of a hub/core vertex starts paths and tracked frames continue them,
+ * so those always route edge-by-edge. Prebanked lanes are never
+ * descent candidates (policies only consume remote-target lanes,
+ * which always bank), so skipping them preserves the walk order of
+ * everything the traversal still visits.
+ *
  * Ordering guarantees (relied on by both backends): the shortcut fires
  * before the root edge's influence is routed; the tail observation and
  * fictitious reset happen before the tail edge's influence is routed;
@@ -137,14 +218,32 @@ template <class Policy>
 void
 walkChain(const graph::Graph &g, const graph::CoreSubgraph &cs,
           unsigned stack_depth, VertexId root,
-          std::vector<WalkFrame> &stack, Policy &P)
+          std::vector<WalkFrame> &stack, FoldScratch &lanes, Policy &P)
 {
     const bool root_is_hpp = cs.isHubOrCore(root);
+    const bool hub_on = P.hubEnabled();
     const Value d_root = P.enterRoot(root, root_is_hpp);
+    const bool lanes_on = P.lanesEnabled();
+    if (lanes_on)
+        lanes.ensureDepth(stack_depth);
+
+    /* Reset (not fill) the depth-d tile when a frame is pushed at
+     * depth d: count = 0 forces the lazy fill on the first edge, and
+     * the eligibility bit is fixed for the frame's lifetime. */
+    const auto resetTile = [&](std::size_t depth, EdgeId cur,
+                               bool may_prebank) {
+        if (!lanes_on)
+            return;
+        LaneTile &tl = lanes.tiles[depth];
+        tl.base = cur;
+        tl.count = 0;
+        tl.mayPrebank = may_prebank;
+    };
 
     stack.clear();
     stack.push_back({root, g.edgeBegin(root), g.edgeEnd(root), d_root,
                      WalkTrack{}});
+    resetTile(0, g.edgeBegin(root), !(hub_on && root_is_hpp));
 
     while (!stack.empty()) {
         WalkFrame &f = stack.back();
@@ -152,15 +251,42 @@ walkChain(const graph::Graph &g, const graph::CoreSubgraph &cs,
             stack.pop_back();
             continue;
         }
+
+        LaneTile *tile = nullptr;
+        if (lanes_on) {
+            tile = &lanes.tiles[stack.size() - 1];
+            if (f.cur >= tile->base + tile->count) {
+                /* (Re)fill: gather the next edge segment into SoA
+                 * lanes and run the batched EdgeCompute. */
+                tile->base = f.cur;
+                tile->count = static_cast<std::uint32_t>(
+                    std::min<EdgeId>(fold::kLaneTile, f.end - f.cur));
+                P.gatherEdgeFuncs(f.v, tile->base, tile->count,
+                                  tile->mu.data(), tile->xi.data(),
+                                  tile->cap.data());
+                fold::edgeApply(tile->mu.data(), tile->xi.data(),
+                                tile->cap.data(), f.d,
+                                tile->inf.data(), tile->count);
+                tile->consumed.fill(0);
+                if (tile->mayPrebank)
+                    P.prebankTile(f.v, *tile);
+            }
+            if (tile->consumed[f.cur - tile->base]) {
+                ++f.cur;
+                continue;
+            }
+        }
+
         const EdgeId e = f.cur++;
         const VertexId t = g.target(e);
 
         P.chargeEdge(f.v, e, t);
-        const Value inf = P.influence(f.v, e, f.d);
+        const Value inf = lanes_on
+            ? tile->inf[e - tile->base]
+            : P.influence(f.v, e, f.d);
 
         /* Core-path tracking. */
         WalkTrack child;
-        const bool hub_on = P.hubEnabled();
         if (hub_on && f.v == root && root_is_hpp) {
             const auto pid = P.pathOfFirstEdge(e);
             if (pid != WalkTrack::kNone) {
@@ -168,7 +294,9 @@ walkChain(const graph::Graph &g, const graph::CoreSubgraph &cs,
                 child.pathIdx = pid;
                 child.pos = 1;
                 child.basisIn = d_root;
-                child.xPure = P.influence(f.v, e, d_root);
+                /* f.d == d_root on the root frame, so the (possibly
+                 * lane-computed) inf IS influence(f.v, e, d_root). */
+                child.xPure = inf;
                 child.composed = P.edgeFunc(f.v, e);
                 /* Shortcut: deliver the head's influence to the tail
                  * immediately if the dependency is available. Only sum
@@ -233,6 +361,9 @@ walkChain(const graph::Graph &g, const graph::CoreSubgraph &cs,
         }
         const Value d_t = P.enterVertex(t);
         stack.push_back({t, g.edgeBegin(t), g.edgeEnd(t), d_t, child});
+        /* Interior frames never start core-paths; only a tracked
+         * child (continuing one) keeps the per-edge path. */
+        resetTile(stack.size() - 1, g.edgeBegin(t), !child.valid());
     }
 }
 

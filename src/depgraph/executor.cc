@@ -306,6 +306,22 @@ struct SimWalkPolicy
         return alg.edgeFunc(g, src, e);
     }
 
+    /* Frontier/batch extension: EdgeCompute runs over SoA lane tiles
+     * (bitwise-identical values, so the simulated execution -- and
+     * its cycle charging, which stays per-edge in chargeEdge() -- is
+     * unchanged). The cycle model routes every influence through the
+     * simulated queues, so nothing is prebanked. */
+    bool lanesEnabled() const { return alg.affineEdgeCompute(); }
+
+    void
+    gatherEdgeFuncs(VertexId v, EdgeId eBegin, std::uint32_t cnt,
+                    Value *mu, Value *xi, Value *cap)
+    {
+        alg.edgeFuncBlock(g, v, eBegin, cnt, mu, xi, cap);
+    }
+
+    void prebankTile(VertexId, LaneTile &) {}
+
     std::uint32_t
     pathOfFirstEdge(EdgeId e) const
     {
@@ -603,6 +619,10 @@ DepGraphExecutor::run(const graph::Graph &g, gas::Algorithm &alg,
 
     std::vector<WalkFrame> stack;
     stack.reserve(opt_.stackDepth);
+    FoldScratch lanes;
+    lanes.ensureDepth(opt_.stackDepth);
+    obs::span::instant("engine", "simd_dispatch", "avx2",
+                       fold::activeIsa() == fold::Isa::Avx2 ? 1 : 0);
 
     /* ---- Round loop. ---- */
     std::size_t active_total = 0;
@@ -705,10 +725,10 @@ DepGraphExecutor::run(const graph::Graph &g, gas::Algorithm &alg,
                         obs::span::Scoped walk("engine", "chain_walk",
                                                "core", c);
                         walkChain(g, cs, opt_.stackDepth, root, stack,
-                                  sw);
+                                  lanes, sw);
                     } else {
                         walkChain(g, cs, opt_.stackDepth, root, stack,
-                                  sw);
+                                  lanes, sw);
                     }
                 }
             }
@@ -720,14 +740,12 @@ DepGraphExecutor::run(const graph::Graph &g, gas::Algorithm &alg,
         obs::span::instant("engine", "round_done", "round",
                            mx.rounds);
 
-        /* Barrier: merge remote stores; reseed from banked deltas. */
+        /* Barrier: merge remote stores; reseed from banked deltas.
+         * The dense merge is vectorized (elementwise, so bitwise
+         * identical to the historical loop); it is host work the
+         * simulated machine never charged cycles for. */
         processedRound.clearAll();
-        for (VertexId v = 0; v < n; ++v) {
-            if (shadow[v] != ident) {
-                delta[v] = applyAccum(kind, delta[v], shadow[v]);
-                shadow[v] = ident;
-            }
-        }
+        fold::mergeDense(kind, delta.data(), shadow.data(), ident, n);
         seedQueues();
 
         Cycles bar = 0;
@@ -753,6 +771,7 @@ DepGraphExecutor::run(const graph::Graph &g, gas::Algorithm &alg,
     mx.hubIndexHits = ds.hits;
     mx.hubIndexInserts = ds.inserts;
     mx.hubIndexBytes = index.byteSize();
+    fold::publishMetrics();
 
     /* Export the Available entries in engine-independent form (full
      * vertex sequence per dependency) so a later incremental run can

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Scalar reference kernels + the runtime ISA dispatch point.
+ *
+ * The scalar implementations DEFINE the kernel semantics; the AVX2
+ * translation unit (fold_kernels_avx2.cc) must match them bitwise.
+ * This file must therefore never be compiled with FMA contraction
+ * (the build adds -ffp-contract=off for it): a contracted mu*d + xi
+ * would round differently from both the baseline engines and the
+ * vector kernels.
+ */
+
+#include "depgraph/fold_kernels.hh"
+
+#include <array>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/metrics.hh"
+
+namespace depgraph::dep::fold
+{
+
+namespace
+{
+
+/* ---- Counters (relaxed; one add per kernel call, i.e. per tile of
+ * kLaneTile edges, not per edge). ---- */
+struct AtomicCounters
+{
+    std::atomic<std::uint64_t> calls{0};
+    std::atomic<std::uint64_t> elems{0};
+
+    void
+    tick(std::size_t n)
+    {
+        calls.fetch_add(1, std::memory_order_relaxed);
+        elems.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    KernelCounters
+    snapshot() const
+    {
+        return {calls.load(std::memory_order_relaxed),
+                elems.load(std::memory_order_relaxed)};
+    }
+};
+
+AtomicCounters g_edgeApply, g_foldSum, g_foldMin, g_foldMax,
+    g_mergeDense;
+
+/* ---- Scalar kernels: the deterministic reduction contract, spelled
+ * out. ---- */
+
+void
+edgeApplyScalar(const Value *mu, const Value *xi, const Value *cap,
+                Value d, Value *inf, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const Value t = mu[i] * d + xi[i];
+        /* std::min(cap, t) == (t < cap ? t : cap); the AVX2 kernel
+         * encodes the same operand order as vminpd(t, cap). */
+        inf[i] = t < cap[i] ? t : cap[i];
+    }
+}
+
+template <class Op>
+Value
+foldStriped(const Value *x, std::size_t n, Value identity, Op op)
+{
+    std::array<Value, kFoldLanes> lane;
+    lane.fill(identity);
+    /* Stripe: lane j left-folds x[j], x[j+16], x[j+32], ...; a ragged
+     * tail element x[16k + j] is lane j's last operand -- identical to
+     * how the AVX2 kernel drains its tail into the spilled lanes. */
+    for (std::size_t i = 0; i < n; ++i)
+        lane[i % kFoldLanes] = op(lane[i % kFoldLanes], x[i]);
+    /* Fixed combine tree, matching the vector path's
+     * (A0 o A1) o (A2 o A3) accumulator merge + horizontal fold. */
+    std::array<Value, 4> c;
+    for (std::size_t j = 0; j < 4; ++j)
+        c[j] = op(op(lane[j], lane[j + 4]),
+                  op(lane[j + 8], lane[j + 12]));
+    return op(op(c[0], c[1]), op(c[2], c[3]));
+}
+
+Value
+foldSumScalar(const Value *x, std::size_t n)
+{
+    return foldStriped(x, n, 0.0,
+                       [](Value a, Value b) { return a + b; });
+}
+
+Value
+foldMinScalar(const Value *x, std::size_t n)
+{
+    return canon(foldStriped(
+        x, n, kInfinity, [](Value a, Value b) {
+            return a < b ? a : b; /* == vminpd(a, b) */
+        }));
+}
+
+Value
+foldMaxScalar(const Value *x, std::size_t n)
+{
+    return canon(foldStriped(
+        x, n, -kInfinity, [](Value a, Value b) {
+            return a > b ? a : b; /* == vmaxpd(a, b) */
+        }));
+}
+
+void
+mergeDenseScalar(gas::AccumKind kind, Value *delta, Value *shadow,
+                 Value ident, std::size_t n)
+{
+    for (std::size_t v = 0; v < n; ++v) {
+        if (shadow[v] != ident) {
+            delta[v] = gas::applyAccum(kind, delta[v], shadow[v]);
+            shadow[v] = ident;
+        }
+    }
+}
+
+const detail::Kernels kScalar{edgeApplyScalar, foldSumScalar,
+                              foldMinScalar, foldMaxScalar,
+                              mergeDenseScalar};
+
+/* ---- Dispatch state. ---- */
+
+std::atomic<bool> g_forceScalar{false};
+
+bool
+envDisablesSimd()
+{
+    static const bool off = [] {
+        const char *s = std::getenv("DG_SIMD");
+        if (!s)
+            return false;
+        return std::strcmp(s, "off") == 0
+            || std::strcmp(s, "scalar") == 0
+            || std::strcmp(s, "0") == 0;
+    }();
+    return off;
+}
+
+const detail::Kernels &
+active()
+{
+    if (g_forceScalar.load(std::memory_order_relaxed)
+        || envDisablesSimd())
+        return kScalar;
+    if (const auto *k = detail::avx2Kernels())
+        return *k;
+    return kScalar;
+}
+
+} // namespace
+
+namespace detail
+{
+
+const Kernels &
+scalarKernels()
+{
+    return kScalar;
+}
+
+#if !DG_FOLD_HAVE_AVX2
+const Kernels *
+avx2Kernels()
+{
+    return nullptr;
+}
+#endif
+
+} // namespace detail
+
+const char *
+isaName(Isa isa)
+{
+    return isa == Isa::Avx2 ? "avx2" : "scalar";
+}
+
+bool
+avx2Supported()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    return __builtin_cpu_supports("avx2") != 0;
+#else
+    return false;
+#endif
+}
+
+void
+forceScalar(bool on)
+{
+    g_forceScalar.store(on, std::memory_order_relaxed);
+}
+
+Isa
+activeIsa()
+{
+    return &active() == &kScalar ? Isa::Scalar : Isa::Avx2;
+}
+
+void
+edgeApply(const Value *mu, const Value *xi, const Value *cap, Value d,
+          Value *inf, std::size_t n)
+{
+    g_edgeApply.tick(n);
+    active().edgeApply(mu, xi, cap, d, inf, n);
+}
+
+Value
+foldSum(const Value *x, std::size_t n)
+{
+    g_foldSum.tick(n);
+    return active().foldSum(x, n);
+}
+
+Value
+foldMin(const Value *x, std::size_t n)
+{
+    g_foldMin.tick(n);
+    return active().foldMin(x, n);
+}
+
+Value
+foldMax(const Value *x, std::size_t n)
+{
+    g_foldMax.tick(n);
+    return active().foldMax(x, n);
+}
+
+void
+mergeDense(gas::AccumKind kind, Value *delta, Value *shadow,
+           Value ident, std::size_t n)
+{
+    g_mergeDense.tick(n);
+    active().mergeDense(kind, delta, shadow, ident, n);
+}
+
+Stats
+stats()
+{
+    return {g_edgeApply.snapshot(), g_foldSum.snapshot(),
+            g_foldMin.snapshot(), g_foldMax.snapshot(),
+            g_mergeDense.snapshot()};
+}
+
+void
+publishMetrics()
+{
+    auto &reg = obs::registry();
+    const Stats s = stats();
+    const struct
+    {
+        const char *kernel;
+        const KernelCounters &c;
+    } rows[] = {
+        {"edge_apply", s.edgeApply},   {"fold_sum", s.foldSum},
+        {"fold_min", s.foldMin},       {"fold_max", s.foldMax},
+        {"merge_dense", s.mergeDense},
+    };
+    for (const auto &r : rows) {
+        reg.counter("dg_simd_kernel_calls_total",
+                    "Vectorized fold/apply kernel invocations",
+                    {{"kernel", r.kernel}})
+            .set(r.c.calls);
+        reg.counter("dg_simd_kernel_elems_total",
+                    "Elements processed by fold/apply kernels",
+                    {{"kernel", r.kernel}})
+            .set(r.c.elems);
+    }
+    reg.gauge("dg_simd_isa_active",
+              "1 when the named ISA path is the dispatch target",
+              {{"isa", "avx2"}})
+        .set(activeIsa() == Isa::Avx2 ? 1.0 : 0.0);
+    reg.gauge("dg_simd_isa_active",
+              "1 when the named ISA path is the dispatch target",
+              {{"isa", "scalar"}})
+        .set(activeIsa() == Isa::Scalar ? 1.0 : 0.0);
+}
+
+} // namespace depgraph::dep::fold

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Vectorized fold/apply kernels for the frontier-batched chain walks,
+ * with a portable scalar fallback behind one runtime dispatch point.
+ *
+ * Both execution backends (the cycle-model executor and the native
+ * parallel engine) consume edges through struct-of-arrays lane tiles
+ * (chain_walk.hh::LaneTile). The kernels here do the data-parallel
+ * work on those lanes:
+ *
+ *  - edgeApply():  inf[i] = min(cap[i], mu[i]*d + xi[i]) for a whole
+ *                  edge block at a fixed source delta d (EdgeCompute
+ *                  over contiguous lanes).
+ *  - foldSum/foldMin/foldMax(): horizontal reductions over a lane
+ *                  array (gate accounting, parallel-edge collapsing).
+ *  - mergeDense(): the round-barrier shadow merge,
+ *                  delta[v] = Accum(delta[v], shadow[v]) wherever
+ *                  shadow[v] != identity.
+ *
+ * DETERMINISM CONTRACT (docs/PARALLEL.md): the SIMD and scalar paths
+ * must produce bitwise-identical results for every input, so that a
+ * run's fixpoint never depends on the host ISA. Elementwise kernels
+ * (edgeApply, mergeDense) get this for free -- AVX2 vmulpd/vaddpd/
+ * vminpd are IEEE operations, and the AVX2 translation unit is built
+ * with -ffp-contract=off so no FMA contraction can perturb the scalar
+ * mu*d + xi rounding. Reductions are order-sensitive, so the fold
+ * kernels pin ONE reduction order for both paths:
+ *
+ *   lane[j] = x[j] o x[j+16] o x[j+32] o ...      (16 striped lanes,
+ *                                                  left-associated)
+ *   c[j]    = (lane[j] o lane[j+4]) o (lane[j+8] o lane[j+12])
+ *   result  = (c[0] o c[1]) o (c[2] o c[3])
+ *
+ * A ragged tail element x[16*k + j] is simply lane j's last operand.
+ * This tree maps 1:1 onto four 4-wide AVX2 accumulators (striping
+ * gives the scalar path ILP and the vector path its ~4x throughput;
+ * a single left-fold chain would pin both to the add-latency chain and
+ * no speedup would be measurable). The fuzz suite
+ * (tests/test_depgraph_fold_fuzz.cc) pins the equivalence over +-0,
+ * infinities, NaN-adjacent and denormal inputs and every tail length.
+ *
+ * One carve-out, found by that suite: for ADDITIVE results the
+ * contract covers NaN-ness but not NaN sign/payload bits. IEEE
+ * addition and multiplication are bitwise-commutative for every
+ * numeric value, so the compiler may swap addsd/mulsd operand order on
+ * the scalar path -- observable only when a NaN is produced (e.g. a
+ * propagated 0x7ff8... input NaN vs a generated 0xfff8... indefinite
+ * from inf + -inf). NaNs never arise in a converging run, and min/max
+ * kernels (non-commutative ternaries, order pinned) stay strictly
+ * bitwise even for NaN inputs.
+ *
+ * Operand-order subtleties the AVX2 kernels rely on (and the scalar
+ * kernels spell out): x86 vminpd/vmaxpd return the SECOND operand on
+ * unordered inputs and on the +-0 tie, which is exactly the ternary
+ * `a < b ? a : b` of gas::applyAccum and the `std::min(cap, t)` of
+ * LinearFunc when the operands are passed in that order.
+ */
+
+#ifndef DEPGRAPH_DEPGRAPH_FOLD_KERNELS_HH
+#define DEPGRAPH_DEPGRAPH_FOLD_KERNELS_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "gas/model.hh"
+
+namespace depgraph::dep::fold
+{
+
+/** Instruction-set level a kernel call executes at. */
+enum class Isa
+{
+    Scalar,
+    Avx2,
+};
+
+const char *isaName(Isa isa);
+
+/** True when the host CPU supports AVX2 (false on non-x86 builds). */
+bool avx2Supported();
+
+/**
+ * Programmatic dispatch override (tests, tools): force the scalar
+ * fallback regardless of CPU support. Also settable with the
+ * environment variable DG_SIMD=off|scalar|0 (read once, at the first
+ * dispatch decision); DG_SIMD=auto|avx2|on|1 keeps autodetection.
+ */
+void forceScalar(bool on);
+
+/** The ISA the next kernel call will dispatch to. */
+Isa activeIsa();
+
+/** Stripe count of the deterministic reduction tree (see file
+ * comment). Four 4-wide AVX2 accumulators. */
+inline constexpr std::size_t kFoldLanes = 16;
+
+/** Edge-block tile size used by the chain-walk lane tiles: one refill
+ * amortizes the gather over this many edges. */
+inline constexpr std::uint32_t kLaneTile = 128;
+
+/** Canonicalize -0.0 to +0.0 so equal fixpoints are bit-identical
+ * regardless of which contribution reached a vertex first (IEEE
+ * min/max of +-0.0 is order-dependent; this is the only value-level
+ * tie a min/max race can produce). Shared by both engines and by the
+ * min/max fold kernels. */
+inline Value
+canon(Value x)
+{
+    return x == 0.0 ? 0.0 : x;
+}
+
+/* ---- Shared atomic accumulation helpers. ----
+ *
+ * These are the ONLY store paths into the native engine's delta slots,
+ * hoisted here next to canon() so the +-0 contract is auditable in one
+ * place. History of the audit (the "shortcut fold vs direct walk race"
+ * edge): a min/max shortcut fold (foldPath) can produce -0.0 -- e.g. a
+ * pure-linear chain applied to delta 0.0 with a negative mu product --
+ * while the direct walk delivers the same influence through per-edge
+ * EdgeCompute, which may round to +0.0. Both deliveries race on the
+ * same hub-tail slot; without canonicalizing BEFORE the compare, the
+ * strict-improvement loop would treat -0.0 < +0.0 as no improvement
+ * under Min (they compare equal) yet publish whichever bit pattern won
+ * the race on other interleavings. canon() on the incoming value and
+ * on every merged result makes the published bits interleaving- and
+ * path-independent. test_runtime_parallel.cc pins this with a
+ * two-vertex chain whose edge function yields -0.0. */
+
+/** Sum accumulation into an atomic slot; returns the merged value. */
+inline Value
+accumSlotAdd(std::atomic<Value> &slot, Value inf)
+{
+    Value cur = slot.load();
+    Value next;
+    do {
+        next = canon(cur + inf);
+    } while (!slot.compare_exchange_weak(cur, next));
+    return next;
+}
+
+/** Strict-improvement CAS for min/max: store only when the merge
+ * changes the value, canonicalized. Convergence is to the unique exact
+ * fixpoint, so the result is interleaving-independent. */
+inline Value
+improveSlot(std::atomic<Value> &slot, gas::AccumKind kind, Value inf)
+{
+    const Value c = canon(inf);
+    Value cur = slot.load();
+    for (;;) {
+        const Value merged = canon(gas::applyAccum(kind, cur, c));
+        if (merged == cur)
+            return cur;
+        if (slot.compare_exchange_weak(cur, merged))
+            return merged;
+    }
+}
+
+/* ---- Dispatched kernels. ---- */
+
+/** inf[i] = min(cap[i], mu[i]*d + xi[i]), i in [0, n). Bitwise equal
+ * to LinearFunc{mu[i], xi[i], cap[i]}(d) per element on every ISA
+ * path. */
+void edgeApply(const Value *mu, const Value *xi, const Value *cap,
+               Value d, Value *inf, std::size_t n);
+
+/** Reduce x[0..n) with the deterministic striped tree (file comment).
+ * foldSum of an empty range is 0.0; foldMin/foldMax of an empty range
+ * are +inf / -inf (the accumulator identities). Min/max results are
+ * canon()-ed. */
+Value foldSum(const Value *x, std::size_t n);
+Value foldMin(const Value *x, std::size_t n);
+Value foldMax(const Value *x, std::size_t n);
+
+/** Round-barrier merge: for each v with shadow[v] != ident,
+ * delta[v] = Accum(delta[v], shadow[v]) and shadow[v] = ident.
+ * Elementwise; bitwise equal to the scalar loop on every ISA path.
+ * (No canonicalization -- this mirrors the single-threaded executor's
+ * historical semantics exactly; the native engine canonicalizes at its
+ * atomic store paths instead.) */
+void mergeDense(gas::AccumKind kind, Value *delta, Value *shadow,
+                Value ident, std::size_t n);
+
+/* ---- Observability. ---- */
+
+/** Per-kernel call/element counters (process-global, relaxed). */
+struct KernelCounters
+{
+    std::uint64_t calls = 0;
+    std::uint64_t elems = 0;
+};
+
+struct Stats
+{
+    KernelCounters edgeApply;
+    KernelCounters foldSum;
+    KernelCounters foldMin;
+    KernelCounters foldMax;
+    KernelCounters mergeDense;
+};
+
+/** Snapshot of the process-global kernel counters. */
+Stats stats();
+
+/** Bridge the kernel counters into obs::registry() as
+ * dg_simd_kernel_calls_total / dg_simd_kernel_elems_total (labelled by
+ * kernel) plus the dg_simd_isa_active gauge. Engines call this at
+ * run-report time (metrics.hh: the registry is the export plane). */
+void publishMetrics();
+
+/* ---- Internal: per-ISA kernel tables (fold_kernels.cc and
+ * fold_kernels_avx2.cc). Exposed in the header only so the fuzz suite
+ * and the micro-bench can pin SIMD vs scalar explicitly, independent
+ * of the ambient dispatch state. ---- */
+namespace detail
+{
+
+struct Kernels
+{
+    void (*edgeApply)(const Value *, const Value *, const Value *,
+                      Value, Value *, std::size_t);
+    Value (*foldSum)(const Value *, std::size_t);
+    Value (*foldMin)(const Value *, std::size_t);
+    Value (*foldMax)(const Value *, std::size_t);
+    void (*mergeDense)(gas::AccumKind, Value *, Value *, Value,
+                       std::size_t);
+};
+
+const Kernels &scalarKernels();
+
+/** nullptr when the build or the host lacks AVX2. */
+const Kernels *avx2Kernels();
+
+} // namespace detail
+
+} // namespace depgraph::dep::fold
+
+#endif // DEPGRAPH_DEPGRAPH_FOLD_KERNELS_HH

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * AVX2 kernels, bitwise-matching the scalar reference in
+ * fold_kernels.cc.
+ *
+ * Build contract (src/depgraph/CMakeLists.txt): this translation unit
+ * alone is compiled with -mavx2 -ffp-contract=off on x86 hosts, and is
+ * referenced only through detail::avx2Kernels(), which the dispatcher
+ * consults after a cpuid check -- so no AVX2 instruction executes on a
+ * host without the feature, and no other TU can accidentally pick up
+ * AVX2 code generation.
+ *
+ * Bitwise equivalences relied on (see fold_kernels.hh):
+ *   vaddpd/vmulpd      -- IEEE double ops, identical to scalar + / *
+ *                         (contraction disabled, so no FMA fusing).
+ *   vminpd(a, b)       -- a < b ? a : b, returns b on unordered and on
+ *                         the +-0 tie: exactly gas::applyAccum(Min)
+ *                         and, as vminpd(t, cap), exactly
+ *                         std::min(cap, t).
+ *   vmaxpd(a, b)       -- a > b ? a : b, same operand convention.
+ *   _CMP_NEQ_UQ        -- IEEE !=, true on unordered, matching the
+ *                         scalar shadow[v] != ident test.
+ * The reduction kernels accumulate into four 4-wide registers (lanes
+ * j, j+4, j+8, j+12 per register position is NOT the layout -- lane
+ * 16k+j goes to register j/4, position j%4), then drain the ragged
+ * tail and run the fixed combine tree in scalar code, which is the
+ * exact tree the scalar reference uses.
+ */
+
+#include "depgraph/fold_kernels.hh"
+
+#if DG_FOLD_HAVE_AVX2
+
+#include <array>
+#include <immintrin.h>
+
+namespace depgraph::dep::fold
+{
+
+namespace
+{
+
+struct SumOp
+{
+    static __m256d
+    vec(__m256d a, __m256d b)
+    {
+        return _mm256_add_pd(a, b);
+    }
+    static Value
+    scl(Value a, Value b)
+    {
+        return a + b;
+    }
+    static constexpr Value identity = 0.0;
+    static constexpr bool canonResult = false;
+};
+
+struct MinOp
+{
+    static __m256d
+    vec(__m256d a, __m256d b)
+    {
+        return _mm256_min_pd(a, b);
+    }
+    static Value
+    scl(Value a, Value b)
+    {
+        return a < b ? a : b;
+    }
+    static constexpr Value identity = kInfinity;
+    static constexpr bool canonResult = true;
+};
+
+struct MaxOp
+{
+    static __m256d
+    vec(__m256d a, __m256d b)
+    {
+        return _mm256_max_pd(a, b);
+    }
+    static Value
+    scl(Value a, Value b)
+    {
+        return a > b ? a : b;
+    }
+    static constexpr Value identity = -kInfinity;
+    static constexpr bool canonResult = true;
+};
+
+template <class Op>
+Value
+foldAvx2(const Value *x, std::size_t n)
+{
+    const __m256d id = _mm256_set1_pd(Op::identity);
+    __m256d a0 = id, a1 = id, a2 = id, a3 = id;
+    const std::size_t n16 = n - n % kFoldLanes;
+    for (std::size_t i = 0; i < n16; i += kFoldLanes) {
+        a0 = Op::vec(a0, _mm256_loadu_pd(x + i));
+        a1 = Op::vec(a1, _mm256_loadu_pd(x + i + 4));
+        a2 = Op::vec(a2, _mm256_loadu_pd(x + i + 8));
+        a3 = Op::vec(a3, _mm256_loadu_pd(x + i + 12));
+    }
+    alignas(32) std::array<Value, kFoldLanes> lane;
+    _mm256_store_pd(lane.data() + 0, a0);
+    _mm256_store_pd(lane.data() + 4, a1);
+    _mm256_store_pd(lane.data() + 8, a2);
+    _mm256_store_pd(lane.data() + 12, a3);
+    /* Ragged tail: element n16 + k is lane k's last operand, exactly
+     * as in the scalar stripe. */
+    for (std::size_t k = 0; k < n - n16; ++k)
+        lane[k] = Op::scl(lane[k], x[n16 + k]);
+    std::array<Value, 4> c;
+    for (std::size_t j = 0; j < 4; ++j)
+        c[j] = Op::scl(Op::scl(lane[j], lane[j + 4]),
+                       Op::scl(lane[j + 8], lane[j + 12]));
+    const Value r = Op::scl(Op::scl(c[0], c[1]), Op::scl(c[2], c[3]));
+    return Op::canonResult ? canon(r) : r;
+}
+
+void
+edgeApplyAvx2(const Value *mu, const Value *xi, const Value *cap,
+              Value d, Value *inf, std::size_t n)
+{
+    const __m256d vd = _mm256_set1_pd(d);
+    const std::size_t n4 = n - n % 4;
+    for (std::size_t i = 0; i < n4; i += 4) {
+        const __m256d t = _mm256_add_pd(
+            _mm256_mul_pd(_mm256_loadu_pd(mu + i), vd),
+            _mm256_loadu_pd(xi + i));
+        /* vminpd(t, cap) == std::min(cap, t) bitwise (operand order
+         * picks cap on ties and NaN, like the scalar kernel). */
+        _mm256_storeu_pd(inf + i,
+                         _mm256_min_pd(t, _mm256_loadu_pd(cap + i)));
+    }
+    for (std::size_t i = n4; i < n; ++i) {
+        const Value t = mu[i] * d + xi[i];
+        inf[i] = t < cap[i] ? t : cap[i];
+    }
+}
+
+template <class Op>
+void
+mergeDenseAvx2(Value *delta, Value *shadow, Value ident, std::size_t n)
+{
+    const __m256d vident = _mm256_set1_pd(ident);
+    const std::size_t n4 = n - n % 4;
+    for (std::size_t v = 0; v < n4; v += 4) {
+        const __m256d sh = _mm256_loadu_pd(shadow + v);
+        const __m256d live = _mm256_cmp_pd(sh, vident, _CMP_NEQ_UQ);
+        if (_mm256_testz_pd(live, live))
+            continue; /* whole block untouched (the common case) */
+        const __m256d de = _mm256_loadu_pd(delta + v);
+        const __m256d merged = Op::vec(de, sh);
+        _mm256_storeu_pd(delta + v,
+                         _mm256_blendv_pd(de, merged, live));
+        _mm256_storeu_pd(shadow + v,
+                         _mm256_blendv_pd(sh, vident, live));
+    }
+    for (std::size_t v = n4; v < n; ++v) {
+        if (shadow[v] != ident) {
+            delta[v] = Op::scl(delta[v], shadow[v]);
+            shadow[v] = ident;
+        }
+    }
+}
+
+void
+mergeDenseDispatch(gas::AccumKind kind, Value *delta, Value *shadow,
+                   Value ident, std::size_t n)
+{
+    switch (kind) {
+      case gas::AccumKind::Sum:
+        return mergeDenseAvx2<SumOp>(delta, shadow, ident, n);
+      case gas::AccumKind::Min:
+        return mergeDenseAvx2<MinOp>(delta, shadow, ident, n);
+      case gas::AccumKind::Max:
+        return mergeDenseAvx2<MaxOp>(delta, shadow, ident, n);
+    }
+}
+
+const detail::Kernels kAvx2{edgeApplyAvx2, foldAvx2<SumOp>,
+                            foldAvx2<MinOp>, foldAvx2<MaxOp>,
+                            mergeDenseDispatch};
+
+} // namespace
+
+namespace detail
+{
+
+const Kernels *
+avx2Kernels()
+{
+    return avx2Supported() ? &kAvx2 : nullptr;
+}
+
+} // namespace detail
+
+} // namespace depgraph::dep::fold
+
+#endif // DG_FOLD_HAVE_AVX2

@@ -52,6 +52,22 @@ class PageRank : public Algorithm
                 kInfinity};
     }
 
+    /* One division for the whole block: every out-edge of src shares
+     * the same damping/deg factor. */
+    void
+    edgeFuncBlock(const graph::Graph &g, VertexId src, EdgeId,
+                  std::uint32_t n, Value *mu, Value *xi,
+                  Value *cap) const override
+    {
+        const auto deg = g.outDegree(src);
+        const Value m = damping_ / static_cast<Value>(deg ? deg : 1);
+        for (std::uint32_t i = 0; i < n; ++i) {
+            mu[i] = m;
+            xi[i] = 0.0;
+            cap[i] = kInfinity;
+        }
+    }
+
     Value
     initState(const graph::Graph &, VertexId) const override
     {
@@ -129,6 +145,24 @@ class Adsorption : public Algorithm
                 0.0, kInfinity};
     }
 
+    void
+    edgeFuncBlock(const graph::Graph &g, VertexId src, EdgeId eBegin,
+                  std::uint32_t n, Value *mu, Value *xi,
+                  Value *cap) const override
+    {
+        dg_assert(preparedFor_ == &g,
+                  "Adsorption::prepare() not called for this graph");
+        /* Same expression shape as edgeFunc(): p * w / wsum with the
+         * identical association, so the lane values match bitwise. */
+        const Value p = continueProb(src);
+        const Value wsum = outWeightSum_[src];
+        for (std::uint32_t i = 0; i < n; ++i) {
+            mu[i] = p * g.weight(eBegin + i) / wsum;
+            xi[i] = 0.0;
+            cap[i] = kInfinity;
+        }
+    }
+
     Value
     initState(const graph::Graph &, VertexId) const override
     {
@@ -170,6 +204,18 @@ class Katz : public Algorithm
     edgeFunc(const graph::Graph &, VertexId, EdgeId) const override
     {
         return {beta_, 0.0, kInfinity};
+    }
+
+    void
+    edgeFuncBlock(const graph::Graph &, VertexId, EdgeId,
+                  std::uint32_t n, Value *mu, Value *xi,
+                  Value *cap) const override
+    {
+        for (std::uint32_t i = 0; i < n; ++i) {
+            mu[i] = beta_;
+            xi[i] = 0.0;
+            cap[i] = kInfinity;
+        }
     }
 
     Value
@@ -217,6 +263,19 @@ class Sssp : public Algorithm
         return {1.0, g.weight(e), kInfinity};
     }
 
+    /* xi lane streams the edge weights directly. */
+    void
+    edgeFuncBlock(const graph::Graph &g, VertexId, EdgeId eBegin,
+                  std::uint32_t n, Value *mu, Value *xi,
+                  Value *cap) const override
+    {
+        for (std::uint32_t i = 0; i < n; ++i) {
+            mu[i] = 1.0;
+            xi[i] = g.weight(eBegin + i);
+            cap[i] = kInfinity;
+        }
+    }
+
     Value
     initState(const graph::Graph &, VertexId) const override
     {
@@ -260,6 +319,18 @@ class Wcc : public Algorithm
         return {1.0, 0.0, kInfinity};
     }
 
+    void
+    edgeFuncBlock(const graph::Graph &, VertexId, EdgeId,
+                  std::uint32_t n, Value *mu, Value *xi,
+                  Value *cap) const override
+    {
+        for (std::uint32_t i = 0; i < n; ++i) {
+            mu[i] = 1.0;
+            xi[i] = 0.0;
+            cap[i] = kInfinity;
+        }
+    }
+
     Value
     initState(const graph::Graph &, VertexId) const override
     {
@@ -300,6 +371,19 @@ class Sswp : public Algorithm
     edgeFunc(const graph::Graph &g, VertexId, EdgeId e) const override
     {
         return {1.0, 0.0, g.weight(e)};
+    }
+
+    /* cap lane streams the edge weights (capped-linear EdgeCompute). */
+    void
+    edgeFuncBlock(const graph::Graph &g, VertexId, EdgeId eBegin,
+                  std::uint32_t n, Value *mu, Value *xi,
+                  Value *cap) const override
+    {
+        for (std::uint32_t i = 0; i < n; ++i) {
+            mu[i] = 1.0;
+            xi[i] = 0.0;
+            cap[i] = g.weight(eBegin + i);
+        }
     }
 
     Value

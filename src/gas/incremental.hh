@@ -196,6 +196,20 @@ class ResumeAlgorithm : public Algorithm
         return inner_.edgeCompute(g, src, e, delta);
     }
 
+    void
+    edgeFuncBlock(const graph::Graph &g, VertexId src, EdgeId eBegin,
+                  std::uint32_t n, Value *mu, Value *xi,
+                  Value *cap) const override
+    {
+        inner_.edgeFuncBlock(g, src, eBegin, n, mu, xi, cap);
+    }
+
+    bool
+    affineEdgeCompute() const override
+    {
+        return inner_.affineEdgeCompute();
+    }
+
     void prepare(const graph::Graph &g) override { inner_.prepare(g); }
 
     Value

@@ -18,6 +18,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -144,6 +145,41 @@ class Algorithm
                 Value delta) const
     {
         return edgeFunc(g, src, e)(delta);
+    }
+
+    /**
+     * Gather the linear edge functions of the contiguous out-edge
+     * block [eBegin, eBegin + n) of src into struct-of-arrays lanes
+     * (the chain-walk lane tiles feed these to the vectorized fold
+     * kernels). The default loops over edgeFunc(); algorithms override
+     * it to stream constants/weights directly. Every override must
+     * stay bitwise-identical to the per-edge edgeFunc() values.
+     */
+    virtual void
+    edgeFuncBlock(const graph::Graph &g, VertexId src, EdgeId eBegin,
+                  std::uint32_t n, Value *mu, Value *xi,
+                  Value *cap) const
+    {
+        for (std::uint32_t i = 0; i < n; ++i) {
+            const LinearFunc f = edgeFunc(g, src, eBegin + i);
+            mu[i] = f.mu;
+            xi[i] = f.xi;
+            cap[i] = f.cap;
+        }
+    }
+
+    /**
+     * Whether edgeCompute() is exactly edgeFunc() applied to delta --
+     * i.e. min(cap, mu*delta + xi) with no extra rounding steps. Only
+     * then may an engine batch EdgeCompute through edgeFuncBlock() +
+     * the vectorized lane kernels; a false return keeps chain walks on
+     * the per-edge scalar path. All built-in algorithms are affine
+     * (none overrides edgeCompute()).
+     */
+    virtual bool
+    affineEdgeCompute() const
+    {
+        return true;
     }
 
     /**

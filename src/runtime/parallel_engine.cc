@@ -31,15 +31,10 @@ namespace
 
 constexpr unsigned kMaxThreads = 16;
 
-/** Canonicalize -0.0 to +0.0 so equal fixpoints are bit-identical
- * regardless of which contribution reached a vertex first (IEEE min/max
- * of +-0.0 is order-dependent; this is the only value-level tie a
- * min/max race can produce). */
-inline Value
-canon(Value x)
-{
-    return x == 0.0 ? 0.0 : x;
-}
+/* -0.0 canonicalization and the atomic accumulation helpers moved to
+ * fold_kernels.hh so both engines and the lane kernels share one
+ * audited +-0 contract (see the comment block there). */
+using dep::fold::canon;
 
 /** Shared atomic bitmap; words cleared in parallel by word ranges
  * (vertex-range splits would race on boundary words). */
@@ -191,13 +186,15 @@ struct alignas(64) WorkerCtx
     std::vector<Value> shadow;      ///< sum: cross-partition deposits
     std::vector<VertexId> touched;  ///< shadow slots possibly != ident
     std::vector<dep::WalkFrame> stack;
+    dep::FoldScratch lanes;         ///< per-depth SoA edge-block tiles
     std::vector<VertexId> actives;  ///< seeding scratch (unfiltered)
+    std::vector<Value> laneBuf;     ///< |delta| lanes for the gate fold
     Value absSum = 0.0;
 
     std::uint64_t updates = 0, edgeOps = 0, walks = 0;
     std::uint64_t steals = 0, idleWaits = 0, shadowMerged = 0;
     std::uint64_t hubLookups = 0, hubHits = 0, shortcuts = 0;
-    std::uint64_t ddmuObs = 0, inserts = 0;
+    std::uint64_t ddmuObs = 0, inserts = 0, prebanked = 0;
 
     WorkerCtx(unsigned w, graph::PartitionRange r, VertexId n,
               unsigned chunk, bool is_sum, unsigned stack_depth)
@@ -211,7 +208,9 @@ struct alignas(64) WorkerCtx
             touched.reserve(n);
         }
         stack.reserve(stack_depth + 1);
+        lanes.ensureDepth(stack_depth);
         actives.reserve(r.size());
+        laneBuf.reserve(r.size());
     }
 };
 
@@ -251,6 +250,7 @@ struct NativePolicy
     const bool sum;
     const bool hubOn;
     const dep::FitMode fit;
+    const bool lanesOn; ///< batch EdgeCompute through lane tiles?
 
     Value gate = 0.0;     ///< copied from SharedRound each round
     unsigned curPart = 0; ///< partition of the root being walked
@@ -290,6 +290,73 @@ struct NativePolicy
         return alg.edgeFunc(g, src, e);
     }
 
+    /* ---- Frontier/batch extension. ---- */
+    bool lanesEnabled() const { return lanesOn; }
+
+    void
+    gatherEdgeFuncs(VertexId v, EdgeId eBegin, std::uint32_t cnt,
+                    Value *mu, Value *xi, Value *cap)
+    {
+        alg.edgeFuncBlock(g, v, eBegin, cnt, mu, xi, cap);
+    }
+
+    /* Batched conflict-free applies straight from the tile (Yao et
+     * al.'s parallel data-conflict management): remote-target lanes
+     * always bank (routeInfluence never descends off-partition), so
+     * their influences can be applied up front, before the walk
+     * serializes over the remaining edges. Sum lanes scatter into
+     * this worker's PRIVATE shadow buffer -- no atomics, no conflicts
+     * -- with the same gate-flush rule as the per-edge path; min/max
+     * lanes collapse contiguous parallel-edge runs with the fold
+     * kernel and issue one strict-improvement CAS per target.
+     * Everything here is ISA-independent in value terms, so forced-
+     * scalar and SIMD runs stay bitwise-identical. */
+    void
+    prebankTile(VertexId, dep::LaneTile &tile)
+    {
+        for (std::uint32_t i = 0; i < tile.count;) {
+            const VertexId t = g.target(tile.base + i);
+            if (part.ownerOf(t) == curPart) {
+                ++i;
+                continue;
+            }
+            if (sum) {
+                tile.consumed[i] = 1;
+                ++me.edgeOps;
+                ++me.prebanked;
+                Value &sh = me.shadow[t];
+                if (sh == 0.0)
+                    me.touched.push_back(t);
+                sh += tile.inf[i];
+                if (std::abs(sh) >= gate) {
+                    const Value flushed = sh;
+                    sh = 0.0;
+                    const Value after = addDelta(t, flushed);
+                    if (worthChasing(kind, state[t].load(), after,
+                                     gate))
+                        requeue(t);
+                }
+                ++i;
+            } else {
+                std::uint32_t j = i + 1;
+                while (j < tile.count
+                       && g.target(tile.base + j) == t)
+                    ++j;
+                for (std::uint32_t k = i; k < j; ++k)
+                    tile.consumed[k] = 1;
+                me.edgeOps += j - i;
+                me.prebanked += j - i;
+                const Value x = kind == gas::AccumKind::Min
+                    ? dep::fold::foldMin(tile.inf.data() + i, j - i)
+                    : dep::fold::foldMax(tile.inf.data() + i, j - i);
+                const Value after = improveDelta(t, x);
+                if (worthChasing(kind, state[t].load(), after, gate))
+                    requeue(t);
+                i = j;
+            }
+        }
+    }
+
     std::uint32_t
     pathOfFirstEdge(EdgeId e) const
     {
@@ -309,34 +376,18 @@ struct NativePolicy
         sh += inf;
     }
 
+    /* Both delta store paths delegate to the shared, +-0-audited CAS
+     * helpers next to canon() in fold_kernels.hh. */
     Value
     addDelta(VertexId t, Value inf)
     {
-        auto &slot = delta[t];
-        Value cur = slot.load();
-        Value next;
-        do {
-            next = canon(cur + inf);
-        } while (!slot.compare_exchange_weak(cur, next));
-        return next;
+        return dep::fold::accumSlotAdd(delta[t], inf);
     }
 
-    /* Strict-improvement CAS for min/max: store only when the merge
-     * changes the value, canonicalized. Convergence is to the unique
-     * exact fixpoint, so the result is interleaving-independent. */
     Value
     improveDelta(VertexId t, Value inf)
     {
-        auto &slot = delta[t];
-        const Value c = canon(inf);
-        Value cur = slot.load();
-        for (;;) {
-            const Value merged = canon(gas::applyAccum(kind, cur, c));
-            if (merged == cur)
-                return cur;
-            if (slot.compare_exchange_weak(cur, merged))
-                return merged;
-        }
+        return dep::fold::improveSlot(delta[t], kind, inf);
     }
 
     /* Requeue t as a fresh root on this worker's own deque (at most
@@ -492,7 +543,8 @@ struct NativePolicy
         if (!claimed.trySet(v))
             return;
         ++me.walks;
-        dep::walkChain(g, cs, stack_depth, v, me.stack, *this);
+        dep::walkChain(g, cs, stack_depth, v, me.stack, me.lanes,
+                       *this);
     }
 };
 
@@ -529,6 +581,7 @@ ParallelEngine::run(const graph::Graph &g, gas::Algorithm &alg,
     const Value ident = alg.identity();
     const Value eps = alg.epsilon();
     const bool is_sum = kind == gas::AccumKind::Sum;
+    const bool lanes_on = alg.affineEdgeCompute();
 
     unsigned T = resolveHostThreads(opt_.hostThreads);
     if (n > 0)
@@ -604,6 +657,15 @@ ParallelEngine::run(const graph::Graph &g, gas::Algorithm &alg,
     auto &c_merge = reg.counter(
         "dg_parallel_shadow_merge_values_total",
         "Shadow delta values merged at round barriers", labels);
+    auto &c_prebank = reg.counter(
+        "dg_simd_prebanked_edges_total",
+        "Edge influences batch-applied from lane tiles (conflict-free"
+        " shadow scatter / folded parallel-edge CAS)",
+        labels);
+    obs::span::instant("parallel", "simd_dispatch", "avx2",
+                       dep::fold::activeIsa() == dep::fold::Isa::Avx2
+                           ? 1
+                           : 0);
 
     const auto wordShare = [&](unsigned w) {
         const std::size_t words = claimed.words.size();
@@ -616,7 +678,8 @@ ParallelEngine::run(const graph::Graph &g, gas::Algorithm &alg,
         NativePolicy pol{g,       alg,     part,  cs,
                          path_of_first,    entries, state, delta,
                          claimed, queued,  S,     me,
-                         kind,    ident,   is_sum, hub_on, fit};
+                         kind,    ident,   is_sum, hub_on, fit,
+                         lanes_on};
 
         for (unsigned round = 0;; ++round) {
             obs::span::Scoped roundSpan("parallel", "worker_round",
@@ -642,16 +705,20 @@ ParallelEngine::run(const graph::Graph &g, gas::Algorithm &alg,
             claimed.clearWordRange(wb, we);
             queued.clearWordRange(wb, we);
             me.actives.clear();
-            me.absSum = 0.0;
+            me.laneBuf.clear();
             for (VertexId v = me.range.begin; v < me.range.end; ++v) {
                 const Value d = delta[v].load();
                 if (d != ident
                     && gas::wouldChange(kind, state[v].load(), d,
                                         eps)) {
                     me.actives.push_back(v);
-                    me.absSum += std::abs(d);
+                    me.laneBuf.push_back(std::abs(d));
                 }
             }
+            /* Gate numerator via the deterministic vector fold (one
+             * fixed reduction order per worker regardless of ISA). */
+            me.absSum = dep::fold::foldSum(me.laneBuf.data(),
+                                           me.laneBuf.size());
             bar.arrive_and_wait();
 
             /* Reduce: the round gate needs the global active set. */
@@ -778,7 +845,7 @@ ParallelEngine::run(const graph::Graph &g, gas::Algorithm &alg,
         dg_warn("Parallel hit the round limit before converging");
 
     std::uint64_t walks = 0, steals = 0, waits = 0, merged = 0;
-    std::uint64_t shortcuts = 0, ddmu_obs = 0;
+    std::uint64_t shortcuts = 0, ddmu_obs = 0, prebanked = 0;
     for (const auto &c : ctxs) {
         mx.updates += c->updates;
         mx.edgeOps += c->edgeOps;
@@ -792,6 +859,7 @@ ParallelEngine::run(const graph::Graph &g, gas::Algorithm &alg,
         merged += c->shadowMerged;
         shortcuts += c->shortcuts;
         ddmu_obs += c->ddmuObs;
+        prebanked += c->prebanked;
     }
     mx.hubIndexSeeded = seeded;
     mx.hubIndexBytes = path_of_first.size() * 32; // paper entry layout
@@ -802,6 +870,8 @@ ParallelEngine::run(const graph::Graph &g, gas::Algorithm &alg,
     c_steals.inc(steals);
     c_waits.inc(waits);
     c_merge.inc(merged);
+    c_prebank.inc(prebanked);
+    dep::fold::publishMetrics();
 
     if (opt_.hubExport) {
         opt_.hubExport->deps.clear();

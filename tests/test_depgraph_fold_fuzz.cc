@@ -1,0 +1,402 @@
+/**
+ * @file
+ * Differential fuzz suite for the fold/apply kernels
+ * (src/depgraph/fold_kernels.*): the SIMD path must be BITWISE equal
+ * to the scalar reference for every input, or a run's fixpoint would
+ * depend on the host ISA (fold_kernels.hh determinism contract).
+ *
+ * Two layers of fuzzing:
+ *
+ *  - Raw lane arrays stuffed with the adversarial corners of IEEE
+ *    double: +-0.0, +-inf, denormals, NaN-adjacent magnitudes (1e308,
+ *    whose sums overflow to inf) and genuine NaNs, over every ragged
+ *    tail length around the 4-wide / 16-striped block boundaries.
+ *  - Algorithm-shaped lanes: real edge blocks gathered through
+ *    edgeFuncBlock() from power-law graphs for all five production
+ *    algorithms, 64 seeds each, applied at special-valued source
+ *    deltas.
+ *
+ * Comparisons go through detail::scalarKernels() vs
+ * detail::avx2Kernels() directly so the suite pins both paths
+ * explicitly, independent of the ambient dispatch state; on hosts
+ * without AVX2 the differential half auto-skips and the scalar
+ * reference contracts (identities, striped-tree order, LinearFunc
+ * equivalence) still run.
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "depgraph/fold_kernels.hh"
+#include "gas/algorithms.hh"
+#include "graph/generators.hh"
+
+namespace depgraph
+{
+namespace
+{
+
+namespace fold = dep::fold;
+
+/** Bitwise equality, so -0.0 vs +0.0 and differing NaN payloads count
+ * as mismatches. */
+bool
+bitEq(Value a, Value b)
+{
+    return std::memcmp(&a, &b, sizeof(Value)) == 0;
+}
+
+std::uint64_t
+bits(Value v)
+{
+    std::uint64_t u;
+    std::memcpy(&u, &v, sizeof u);
+    return u;
+}
+
+#define EXPECT_BITEQ(a, b)                                             \
+    EXPECT_PRED2(bitEq, (a), (b))                                      \
+        << "bits " << std::hex << bits(a) << " vs " << bits(b)
+
+/** Additive results (sums, mu*d products): bitwise equal, except that
+ * two NaNs always match. IEEE + and * are bitwise-commutative for
+ * every NUMERIC value, so the compiler may swap scalar operand order;
+ * only NaN sign/payload bits can observe that (fold_kernels.hh
+ * carve-out). Min/max stay under the strict EXPECT_BITEQ. */
+bool
+bitEqOrBothNan(Value a, Value b)
+{
+    return bitEq(a, b) || (std::isnan(a) && std::isnan(b));
+}
+
+#define EXPECT_ADDEQ(a, b)                                             \
+    EXPECT_PRED2(bitEqOrBothNan, (a), (b))                             \
+        << "bits " << std::hex << bits(a) << " vs " << bits(b)
+
+/** Adversarial IEEE corners, mixed with ordinary magnitudes. */
+Value
+specialValue(Rng &rng)
+{
+    static const Value pool[] = {
+        0.0,
+        -0.0,
+        1.0,
+        -1.0,
+        kInfinity,
+        -kInfinity,
+        std::numeric_limits<Value>::denorm_min(),
+        -std::numeric_limits<Value>::denorm_min(),
+        2.2250738585072009e-308, // largest subnormal
+        -2.2250738585072009e-308,
+        1e308, // sums overflow to inf (NaN-adjacent: inf - inf)
+        -1e308,
+        1e-300,
+        std::numeric_limits<Value>::quiet_NaN(),
+        0.1,
+        -0.1,
+    };
+    if (rng.nextBool(0.5))
+        return pool[rng.nextBounded(std::size(pool))];
+    return rng.nextDouble(-1e3, 1e3);
+}
+
+/** Lengths straddling the 4-wide vector and 16-lane stripe
+ * boundaries, plus the empty range. */
+std::size_t
+fuzzLength(Rng &rng)
+{
+    static const std::size_t fixed[] = {0,  1,  2,  3,  4,   5,  7,
+                                        8,  15, 16, 17, 19,  31, 32,
+                                        33, 63, 64, 65, 127, 128};
+    if (rng.nextBool(0.7))
+        return fixed[rng.nextBounded(std::size(fixed))];
+    return rng.nextBounded(200);
+}
+
+std::vector<Value>
+fuzzArray(Rng &rng, std::size_t n)
+{
+    std::vector<Value> x(n);
+    for (auto &v : x)
+        v = specialValue(rng);
+    return x;
+}
+
+/** Independent reimplementation of the pinned reduction order from
+ * fold_kernels.hh, so BOTH kernel tables are checked against the
+ * documented tree rather than only against each other. */
+template <typename Op>
+Value
+stripedReference(const Value *x, std::size_t n, Value ident, Op op)
+{
+    Value lane[fold::kFoldLanes];
+    for (auto &l : lane)
+        l = ident;
+    for (std::size_t i = 0; i < n; ++i)
+        lane[i % fold::kFoldLanes] = op(lane[i % fold::kFoldLanes], x[i]);
+    Value c[4];
+    for (std::size_t j = 0; j < 4; ++j)
+        c[j] = op(op(lane[j], lane[j + 4]), op(lane[j + 8], lane[j + 12]));
+    return op(op(c[0], c[1]), op(c[2], c[3]));
+}
+
+Value
+refMin(Value a, Value b)
+{
+    return a < b ? a : b;
+}
+
+Value
+refMax(Value a, Value b)
+{
+    return a > b ? a : b;
+}
+
+/* ---- Raw lane-array fuzz: scalar vs AVX2, all five kernels. ---- */
+
+TEST(FoldFuzz, RawLanesScalarVsAvx2Bitwise)
+{
+    const auto *avx2 = fold::detail::avx2Kernels();
+    if (avx2 == nullptr)
+        GTEST_SKIP() << "host/build lacks AVX2";
+    const auto &scalar = fold::detail::scalarKernels();
+
+    for (std::uint64_t seed = 0; seed < 64; ++seed) {
+        Rng rng(0xF01D + seed);
+        for (int iter = 0; iter < 32; ++iter) {
+            const std::size_t n = fuzzLength(rng);
+            const auto x = fuzzArray(rng, n);
+
+            EXPECT_ADDEQ(scalar.foldSum(x.data(), n),
+                         avx2->foldSum(x.data(), n))
+                << "seed " << seed << " n " << n;
+            EXPECT_BITEQ(scalar.foldMin(x.data(), n),
+                         avx2->foldMin(x.data(), n))
+                << "seed " << seed << " n " << n;
+            EXPECT_BITEQ(scalar.foldMax(x.data(), n),
+                         avx2->foldMax(x.data(), n))
+                << "seed " << seed << " n " << n;
+
+            // edgeApply: random mu/xi/cap lanes at a special delta.
+            const auto mu = fuzzArray(rng, n);
+            const auto xi = fuzzArray(rng, n);
+            auto cap = fuzzArray(rng, n);
+            // Mix in the common "no cap" case.
+            for (auto &c : cap)
+                if (rng.nextBool(0.5))
+                    c = kInfinity;
+            const Value d = specialValue(rng);
+            std::vector<Value> inf_s(n), inf_v(n);
+            scalar.edgeApply(mu.data(), xi.data(), cap.data(), d,
+                             inf_s.data(), n);
+            avx2->edgeApply(mu.data(), xi.data(), cap.data(), d,
+                            inf_v.data(), n);
+            for (std::size_t i = 0; i < n; ++i)
+                EXPECT_ADDEQ(inf_s[i], inf_v[i])
+                    << "seed " << seed << " lane " << i;
+
+            // mergeDense: identity-sprinkled shadow, all three kinds.
+            for (auto kind : {gas::AccumKind::Sum, gas::AccumKind::Min,
+                              gas::AccumKind::Max}) {
+                const Value ident = gas::accumIdentity(kind);
+                auto delta_s = fuzzArray(rng, n);
+                auto shadow_s = fuzzArray(rng, n);
+                for (auto &s : shadow_s)
+                    if (rng.nextBool(0.4))
+                        s = ident;
+                auto delta_v = delta_s;
+                auto shadow_v = shadow_s;
+                scalar.mergeDense(kind, delta_s.data(), shadow_s.data(),
+                                  ident, n);
+                avx2->mergeDense(kind, delta_v.data(), shadow_v.data(),
+                                 ident, n);
+                for (std::size_t i = 0; i < n; ++i) {
+                    if (kind == gas::AccumKind::Sum)
+                        EXPECT_ADDEQ(delta_s[i], delta_v[i])
+                            << "seed " << seed << " slot " << i;
+                    else
+                        EXPECT_BITEQ(delta_s[i], delta_v[i])
+                            << "seed " << seed << " slot " << i;
+                    EXPECT_BITEQ(shadow_s[i], shadow_v[i])
+                        << "seed " << seed << " slot " << i;
+                }
+            }
+        }
+    }
+}
+
+/* ---- Scalar reference contracts (run on every host). ---- */
+
+TEST(FoldFuzz, EmptyRangeIdentities)
+{
+    const auto &scalar = fold::detail::scalarKernels();
+    EXPECT_BITEQ(scalar.foldSum(nullptr, 0), 0.0);
+    EXPECT_BITEQ(scalar.foldMin(nullptr, 0), kInfinity);
+    EXPECT_BITEQ(scalar.foldMax(nullptr, 0), -kInfinity);
+    EXPECT_BITEQ(fold::foldSum(nullptr, 0), 0.0);
+    EXPECT_BITEQ(fold::foldMin(nullptr, 0), kInfinity);
+    EXPECT_BITEQ(fold::foldMax(nullptr, 0), -kInfinity);
+    if (const auto *avx2 = fold::detail::avx2Kernels()) {
+        EXPECT_BITEQ(avx2->foldSum(nullptr, 0), 0.0);
+        EXPECT_BITEQ(avx2->foldMin(nullptr, 0), kInfinity);
+        EXPECT_BITEQ(avx2->foldMax(nullptr, 0), -kInfinity);
+    }
+}
+
+TEST(FoldFuzz, StripedTreeOrderIsTheDocumentedOne)
+{
+    const auto &scalar = fold::detail::scalarKernels();
+    const auto *avx2 = fold::detail::avx2Kernels();
+    for (std::uint64_t seed = 0; seed < 64; ++seed) {
+        Rng rng(0x57A1 + seed);
+        const std::size_t n = fuzzLength(rng);
+        const auto x = fuzzArray(rng, n);
+
+        const Value ref_sum = stripedReference(
+            x.data(), n, 0.0, [](Value a, Value b) { return a + b; });
+        const Value ref_min = fold::canon(
+            stripedReference(x.data(), n, kInfinity, refMin));
+        const Value ref_max = fold::canon(
+            stripedReference(x.data(), n, -kInfinity, refMax));
+
+        EXPECT_ADDEQ(scalar.foldSum(x.data(), n), ref_sum) << "n " << n;
+        EXPECT_BITEQ(scalar.foldMin(x.data(), n), ref_min) << "n " << n;
+        EXPECT_BITEQ(scalar.foldMax(x.data(), n), ref_max) << "n " << n;
+        if (avx2 != nullptr) {
+            EXPECT_ADDEQ(avx2->foldSum(x.data(), n), ref_sum);
+            EXPECT_BITEQ(avx2->foldMin(x.data(), n), ref_min);
+            EXPECT_BITEQ(avx2->foldMax(x.data(), n), ref_max);
+        }
+    }
+}
+
+TEST(FoldFuzz, EdgeApplyMatchesLinearFuncPerElement)
+{
+    const auto &scalar = fold::detail::scalarKernels();
+    for (std::uint64_t seed = 0; seed < 64; ++seed) {
+        Rng rng(0xEA11 + seed);
+        const std::size_t n = fuzzLength(rng);
+        const auto mu = fuzzArray(rng, n);
+        const auto xi = fuzzArray(rng, n);
+        const auto cap = fuzzArray(rng, n);
+        const Value d = specialValue(rng);
+        std::vector<Value> inf(n);
+        scalar.edgeApply(mu.data(), xi.data(), cap.data(), d, inf.data(),
+                         n);
+        for (std::size_t i = 0; i < n; ++i) {
+            const gas::LinearFunc f{mu[i], xi[i], cap[i]};
+            EXPECT_ADDEQ(inf[i], f(d)) << "lane " << i;
+        }
+    }
+}
+
+TEST(FoldFuzz, DispatchControls)
+{
+    // forceScalar(true) pins the fallback even on AVX2 hosts; the
+    // dispatched entry points then agree bitwise with the scalar table
+    // by identity, not merely by value.
+    fold::forceScalar(true);
+    EXPECT_EQ(fold::activeIsa(), fold::Isa::Scalar);
+    Rng rng(0xD15);
+    const auto x = fuzzArray(rng, 37);
+    EXPECT_BITEQ(fold::foldSum(x.data(), x.size()),
+                 fold::detail::scalarKernels().foldSum(x.data(),
+                                                       x.size()));
+    fold::forceScalar(false);
+    // Autodetection: AVX2 active only when the host supports it (the
+    // DG_SIMD env override may still legitimately force scalar).
+    if (fold::activeIsa() == fold::Isa::Avx2) {
+        EXPECT_TRUE(fold::avx2Supported());
+    }
+    EXPECT_STREQ(fold::isaName(fold::Isa::Scalar), "scalar");
+    EXPECT_STREQ(fold::isaName(fold::Isa::Avx2), "avx2");
+}
+
+/* ---- Algorithm-shaped lanes: real edge blocks, 64 seeds x all five
+ * production algorithms. ---- */
+
+class AlgorithmFoldFuzz : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(AlgorithmFoldFuzz, EdgeBlocksScalarVsAvx2Bitwise)
+{
+    const auto *avx2 = fold::detail::avx2Kernels();
+    const auto &scalar = fold::detail::scalarKernels();
+
+    for (std::uint64_t seed = 0; seed < 64; ++seed) {
+        Rng rng(0xA160 + seed * 131);
+        const graph::Graph g =
+            graph::powerLaw(120, 2.0, 6.0, {.seed = 9000 + seed});
+        auto alg = gas::makeAlgorithm(GetParam());
+        alg->prepare(g);
+
+        for (int iter = 0; iter < 16; ++iter) {
+            // Pick a vertex with out-edges and a random sub-block,
+            // including ragged tails (n not a multiple of 4 or 16).
+            VertexId v = 0;
+            for (int tries = 0; tries < 64; ++tries) {
+                v = static_cast<VertexId>(
+                    rng.nextBounded(g.numVertices()));
+                if (g.outDegree(v) > 0)
+                    break;
+            }
+            const EdgeId deg = g.outDegree(v);
+            if (deg == 0)
+                continue;
+            const EdgeId off = rng.nextBounded(deg);
+            const auto n = static_cast<std::uint32_t>(std::min<EdgeId>(
+                1 + rng.nextBounded(fold::kLaneTile), deg - off));
+            const EdgeId eBegin = g.edgeBegin(v) + off;
+
+            // The block gather must agree bitwise with per-edge
+            // edgeFunc (the edgeFuncBlock() override contract).
+            std::vector<Value> mu(n), xi(n), cap(n);
+            alg->edgeFuncBlock(g, v, eBegin, n, mu.data(), xi.data(),
+                               cap.data());
+            for (std::uint32_t i = 0; i < n; ++i) {
+                const gas::LinearFunc f = alg->edgeFunc(g, v, eBegin + i);
+                EXPECT_BITEQ(mu[i], f.mu) << "edge " << i;
+                EXPECT_BITEQ(xi[i], f.xi) << "edge " << i;
+                EXPECT_BITEQ(cap[i], f.cap) << "edge " << i;
+            }
+
+            // Deltas a real walk could carry, plus the IEEE corners.
+            const Value d = rng.nextBool(0.5)
+                                ? specialValue(rng)
+                                : rng.nextDouble(-10.0, 10.0);
+            std::vector<Value> inf_s(n);
+            scalar.edgeApply(mu.data(), xi.data(), cap.data(), d,
+                             inf_s.data(), n);
+            const Value sum_s = scalar.foldSum(inf_s.data(), n);
+            const Value min_s = scalar.foldMin(inf_s.data(), n);
+            const Value max_s = scalar.foldMax(inf_s.data(), n);
+
+            if (avx2 == nullptr)
+                continue;
+            std::vector<Value> inf_v(n);
+            avx2->edgeApply(mu.data(), xi.data(), cap.data(), d,
+                            inf_v.data(), n);
+            for (std::uint32_t i = 0; i < n; ++i)
+                EXPECT_ADDEQ(inf_s[i], inf_v[i])
+                    << GetParam() << " seed " << seed << " lane " << i;
+            EXPECT_ADDEQ(sum_s, avx2->foldSum(inf_v.data(), n));
+            EXPECT_BITEQ(min_s, avx2->foldMin(inf_v.data(), n));
+            EXPECT_BITEQ(max_s, avx2->foldMax(inf_v.data(), n));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, AlgorithmFoldFuzz,
+                         ::testing::Values("pagerank", "adsorption",
+                                           "sssp", "wcc", "sswp"),
+                         [](const auto &info) { return info.param; });
+
+} // namespace
+} // namespace depgraph

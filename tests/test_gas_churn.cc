@@ -16,6 +16,7 @@
 
 #include "common/random.hh"
 #include "core/depgraph_system.hh"
+#include "depgraph/fold_kernels.hh"
 #include "gas/incremental.hh"
 #include "gas/reference.hh"
 #include "graph/generators.hh"
@@ -192,6 +193,70 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values("pagerank", "sssp", "wcc"),
                        ::testing::Values(Solution::Sequential,
                                          Solution::DepGraphH)));
+
+/* ---- Churn through the frontier-batched walk path. --------------- */
+
+TEST(ChurnBatchedWalks, HubTileRefillReconvergesOnBothEngines)
+{
+    // A hub whose out-degree exceeds the lane-tile size
+    // (fold::kLaneTile = 128) forces every walk rooted there to refill
+    // its lane tile mid-frame, and the attached chain gives walks
+    // depth so interior frames batch too. Mixed insert/delete
+    // reconvergence from the old fixpoint must still land on the
+    // from-scratch states through BOTH engines' batched inner loop.
+    constexpr VertexId n = 180;
+    graph::Builder b(n);
+    Rng wrng(4242);
+    for (VertexId v = 1; v < n; ++v) {
+        b.addEdge(0, v, wrng.nextDouble(1.0, 5.0));
+        if (v + 1 < n)
+            b.addEdge(v, v + 1, wrng.nextDouble(1.0, 5.0));
+    }
+    const auto g = b.build(true);
+    ASSERT_GT(g.outDegree(0), dep::fold::kLaneTile);
+
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        auto churn = someChurn(g, 6, 6, 4300 + seed);
+        // Touch the hub's own edge block in both directions so the
+        // refill interacts with the churned-in and churned-out edges.
+        churn.ins.push_back(
+            {0, static_cast<VertexId>(1 + seed), 0.25});
+        churn.dels.push_back(
+            {0, g.target(g.edgeBegin(0) + static_cast<EdgeId>(seed))});
+        const auto updated = applyChurn(g, churn.ins, churn.dels);
+
+        for (const auto &algo : {"pagerank", "sssp", "wcc"}) {
+            const auto alg_old = makeAlgorithm(algo);
+            const auto fix = runReference(g, *alg_old);
+            ASSERT_TRUE(fix.converged) << algo << " seed " << seed;
+            const auto alg_gold = makeAlgorithm(algo);
+            const auto gold = runReference(updated, *alg_gold);
+            ASSERT_TRUE(gold.converged) << algo << " seed " << seed;
+
+            for (const auto solution :
+                 {Solution::Sequential, Solution::Parallel}) {
+                const auto alg_inc = makeAlgorithm(algo);
+                auto states = fix.states;
+                const auto deltas =
+                    edgeChurnDeltas(g, updated, churn.ins, churn.dels,
+                                    states, *alg_inc);
+                ResumeAlgorithm resume(*alg_inc, std::move(states),
+                                       deltas);
+                SystemConfig cfg;
+                cfg.engine.hostThreads = 3;
+                DepGraphSystem sys(cfg);
+                const auto r = sys.run(updated, resume, solution);
+                EXPECT_TRUE(r.metrics.converged)
+                    << algo << " on " << solutionName(solution)
+                    << " seed " << seed;
+                EXPECT_LE(maxStateDifference(r.states, gold.states),
+                          tolFor(*alg_inc))
+                    << algo << " on " << solutionName(solution)
+                    << " seed " << seed;
+            }
+        }
+    }
+}
 
 /* ---- Batch-merge properties for deletions. ---------------------- */
 

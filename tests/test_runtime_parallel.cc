@@ -21,11 +21,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstring>
 #include <thread>
 
 #include "common/random.hh"
 #include "core/depgraph_system.hh"
+#include "depgraph/fold_kernels.hh"
 #include "gas/incremental.hh"
 #include "gas/reference.hh"
 #include "graph/generators.hh"
@@ -69,6 +71,17 @@ class TightEps : public gas::Algorithm
     {
         return inner_.edgeCompute(g, src, e, delta);
     }
+    void
+    edgeFuncBlock(const Graph &g, VertexId src, EdgeId eBegin,
+                  std::uint32_t n, Value *mu, Value *xi,
+                  Value *cap) const override
+    {
+        inner_.edgeFuncBlock(g, src, eBegin, n, mu, xi, cap);
+    }
+    bool affineEdgeCompute() const override
+    {
+        return inner_.affineEdgeCompute();
+    }
     void prepare(const Graph &g) override { inner_.prepare(g); }
     Value initState(const Graph &g, VertexId v) const override
     {
@@ -96,6 +109,14 @@ parallelConfig(unsigned threads)
     cfg.engine.hostThreads = threads;
     return cfg;
 }
+
+/** Pin the fold-kernel dispatch for one scope; always restores
+ * autodetection (the DG_SIMD env override still applies) on exit. */
+struct ScalarGuard
+{
+    explicit ScalarGuard(bool on) { dep::fold::forceScalar(on); }
+    ~ScalarGuard() { dep::fold::forceScalar(false); }
+};
 
 /* ---- Fixpoint equivalence against the sequential engine. -------- */
 
@@ -157,7 +178,7 @@ TEST_P(ParallelDeterminism, BitwiseStableAcrossThreadsAndReps)
 
     std::vector<Value> golden;
     unsigned reps = 0;
-    for (const unsigned threads : {1u, 2u, 3u, 4u}) {
+    for (const unsigned threads : {1u, 2u, 4u, 8u}) {
         for (unsigned rep = 0; rep < 4; ++rep, ++reps) {
             const auto alg = gas::makeAlgorithm(GetParam());
             TightEps tight(*alg, 0.0);
@@ -183,6 +204,108 @@ TEST_P(ParallelDeterminism, BitwiseStableAcrossThreadsAndReps)
 
 INSTANTIATE_TEST_SUITE_P(MinAndMaxAccums, ParallelDeterminism,
                          ::testing::Values("sssp", "wcc"));
+
+/* ---- SIMD vs forced-scalar: one fixpoint per input, per ISA. ---- */
+
+TEST(ParallelSimdScalar, ForcedScalarMatchesSimdBitwise)
+{
+    // The fold kernels' determinism contract (fold_kernels.hh) says a
+    // run's result must not depend on the dispatched ISA. Pin it end
+    // to end: the same run, once with autodetected dispatch and once
+    // with the scalar fallback forced, must produce bitwise-identical
+    // states. On hosts without AVX2 both runs dispatch scalar and the
+    // comparison degenerates to a repeat-determinism check.
+    const Graph g = graph::powerLaw(400, 2.0, 6.0, {.seed = 8500});
+    for (const char *name :
+         {"pagerank", "adsorption", "sssp", "wcc", "sswp"}) {
+        const auto kind = gas::makeAlgorithm(name)->accumKind();
+        const bool is_sum = kind == gas::AccumKind::Sum;
+        const Value eps = is_sum ? 1e-13 : 0.0;
+        // Sum delivery order depends on scheduling, so sum algorithms
+        // compare on one worker; min/max fixpoints are schedule-
+        // independent at eps 0 and get real parallelism.
+        const unsigned threads = is_sum ? 1 : 3;
+
+        auto run = [&](bool force_scalar) {
+            ScalarGuard guard(force_scalar);
+            const auto alg = gas::makeAlgorithm(name);
+            TightEps tight(*alg, eps);
+            DepGraphSystem sys(parallelConfig(threads));
+            auto r = sys.run(g, tight, Solution::Parallel);
+            EXPECT_TRUE(r.metrics.converged) << name;
+            return r.states;
+        };
+        const auto simd = run(false);
+        const auto scalar = run(true);
+        ASSERT_EQ(simd.size(), scalar.size());
+        EXPECT_EQ(std::memcmp(simd.data(), scalar.data(),
+                              simd.size() * sizeof(Value)),
+                  0)
+            << name;
+    }
+}
+
+/* ---- The +-0 canonicalization audit regression. ------------------ */
+
+/** Min accumulator whose single edge computes -1.0 * 0.0 = -0.0: the
+ * smallest reproducer of the shortcut-fold vs direct-walk race audit
+ * in fold_kernels.hh (a pure-linear chain applied to delta 0.0 with a
+ * negative mu product yields -0.0 while another path delivers +0.0 to
+ * the same slot). */
+class NegZeroMin : public gas::Algorithm
+{
+  public:
+    std::string name() const override { return "negzero-min"; }
+    gas::AccumKind accumKind() const override
+    {
+        return gas::AccumKind::Min;
+    }
+    Value accumOp(Value a, Value b) const override
+    {
+        return gas::applyAccum(gas::AccumKind::Min, a, b);
+    }
+    gas::LinearFunc
+    edgeFunc(const Graph &, VertexId, EdgeId) const override
+    {
+        gas::LinearFunc f;
+        f.mu = -1.0;
+        return f;
+    }
+    Value initState(const Graph &, VertexId) const override
+    {
+        return kInfinity;
+    }
+    Value initDelta(const Graph &, VertexId v) const override
+    {
+        return v == 0 ? 0.0 : kInfinity;
+    }
+    Value epsilon() const override { return 0.0; }
+};
+
+TEST(ParallelNegZero, TwoVertexChainPublishesPositiveZero)
+{
+    // Whatever interleaving or ISA wins the race on the tail slot, the
+    // published bits must be +0.0 (canon() on the incoming value and
+    // on every merged result), so fixpoints memcmp equal across runs.
+    const Graph g = graph::path(2);
+    for (const unsigned threads : {1u, 2u, 4u}) {
+        for (const bool force_scalar : {false, true}) {
+            ScalarGuard guard(force_scalar);
+            for (unsigned rep = 0; rep < 4; ++rep) {
+                NegZeroMin alg;
+                DepGraphSystem sys(parallelConfig(threads));
+                const auto r = sys.run(g, alg, Solution::Parallel);
+                ASSERT_TRUE(r.metrics.converged);
+                ASSERT_EQ(r.states.size(), 2u);
+                ASSERT_EQ(r.states[1], 0.0)
+                    << "threads " << threads << " rep " << rep;
+                EXPECT_FALSE(std::signbit(r.states[1]))
+                    << "-0.0 leaked past canon(): threads " << threads
+                    << " scalar " << force_scalar << " rep " << rep;
+            }
+        }
+    }
+}
 
 /* ---- Churn resume vs from-scratch through the parallel path. ---- */
 
