@@ -721,7 +721,7 @@ DepGraphExecutor::run(const graph::Graph &g, gas::Algorithm &alg,
                              ": root v", root, " delta=",
                              delta[root]);
                     c_walks.inc();
-                    if (obs::span::enabled()) {
+                    if (obs::span::active()) {
                         obs::span::Scoped walk("engine", "chain_walk",
                                                "core", c);
                         walkChain(g, cs, opt_.stackDepth, root, stack,

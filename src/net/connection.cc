@@ -160,7 +160,13 @@ Connection::processHttp()
                 // Rendering walks the registry; keep it off the loop.
                 inFlight_ = true;
                 srv_.dispatchMetrics(shared_from_this(),
-                                     req.keepAlive, head);
+                                     req.keepAlive, head,
+                                     std::move(req.traceId));
+            } else if (path == "/debug/slowlog") {
+                inFlight_ = true;
+                srv_.dispatchSlowlog(shared_from_this(),
+                                     req.keepAlive, head,
+                                     std::move(req.traceId));
             } else {
                 sendReply(httpResponse(404, "text/plain",
                                        "not found\n",

@@ -111,6 +111,8 @@ parseHttpRequest(std::string_view in, HttpRequest &req,
                 req.keepAlive = false;
             else if (iequals(value, "keep-alive"))
                 req.keepAlive = true;
+        } else if (iequals(name, "x-dg-trace")) {
+            req.traceId = std::string(value);
         } else if (iequals(name, "content-length")
                    && value != "0") {
             // We serve GET/HEAD only; a body means a client we do not

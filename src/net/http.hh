@@ -25,8 +25,9 @@ inline constexpr std::size_t kMaxHttpHeaderBytes = 8192;
 
 struct HttpRequest
 {
-    std::string method; ///< "GET", "HEAD", ...
-    std::string target; ///< "/metrics", "/healthz?verbose=1", ...
+    std::string method;  ///< "GET", "HEAD", ...
+    std::string target;  ///< "/metrics", "/healthz?verbose=1", ...
+    std::string traceId; ///< X-DG-Trace header value ("" = absent)
     bool keepAlive = true;
 };
 

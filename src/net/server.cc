@@ -12,6 +12,7 @@
 #include <sstream>
 
 #include "common/failpoint.hh"
+#include "obs/slowlog.hh"
 #include "obs/span.hh"
 
 namespace depgraph::net
@@ -22,11 +23,24 @@ using service::RequestType;
 namespace
 {
 
+/** The line with any leading `trace=<id>` token stripped, so the
+ * admission/span classification sees the actual verb. */
+const std::string &
+withoutTraceToken(const std::string &line, std::string &storage)
+{
+    std::uint64_t id = 0;
+    if (service::splitTraceToken(line, id, storage))
+        return storage;
+    return line;
+}
+
 /** Admission class of a protocol line; control verbs (stats, drain,
  * help, metrics, quit, ...) return nullopt and are never shed. */
 std::optional<RequestType>
-admissionClass(const std::string &line)
+admissionClass(const std::string &raw_line)
 {
+    std::string storage;
+    const std::string &line = withoutTraceToken(raw_line, storage);
     const auto start = line.find_first_not_of(" \t");
     if (start == std::string::npos)
         return std::nullopt;
@@ -256,7 +270,7 @@ Server::dispatchLine(std::shared_ptr<Connection> conn,
         service::CommandResult r;
         {
             obs::span::Scoped span("net", spanName(line));
-            r = service::runCommandLine(svc_, line);
+            r = service::runTracedCommandLine(svc_, line);
         }
         mLineRequests_->inc();
         if (r.output.rfind("err", 0) == 0)
@@ -276,15 +290,57 @@ Server::dispatchLine(std::shared_ptr<Connection> conn,
 
 void
 Server::dispatchMetrics(std::shared_ptr<Connection> conn,
-                        bool keep_alive, bool head_only)
+                        bool keep_alive, bool head_only,
+                        std::string trace_header)
 {
-    enqueueWork([this, conn = std::move(conn), keep_alive,
-                 head_only] {
+    enqueueWork([this, conn = std::move(conn), keep_alive, head_only,
+                 trace_header = std::move(trace_header)] {
         (void)dg_failpoint("net.http_metrics");
-        svc_.publishStats();
-        const auto body = obs::registry().renderPrometheus();
+        // An X-DG-Trace header traces the scrape itself (the HTTP leg
+        // of a cross-shard request id).
+        std::uint64_t trace_id = 0;
+        if (!trace_header.empty())
+            obs::span::parseTraceId(trace_header, trace_id);
+        auto req = obs::span::beginRequest(trace_id);
+        std::string body;
+        {
+            obs::span::RequestScope bind(req);
+            obs::span::Scoped span("net", "http_metrics");
+            svc_.publishStats();
+            body = obs::registry().renderPrometheus();
+        }
+        obs::span::finishRequest(req);
         auto reply = httpResponse(
             200, "text/plain; version=0.0.4",
+            head_only ? std::string_view() : std::string_view(body),
+            keep_alive);
+        loop_.post([conn, reply = std::move(reply),
+                    keep_alive]() mutable {
+            conn->completeRequest(std::move(reply), !keep_alive);
+        });
+    });
+}
+
+void
+Server::dispatchSlowlog(std::shared_ptr<Connection> conn,
+                        bool keep_alive, bool head_only,
+                        std::string trace_header)
+{
+    enqueueWork([this, conn = std::move(conn), keep_alive, head_only,
+                 trace_header = std::move(trace_header)] {
+        std::uint64_t trace_id = 0;
+        if (!trace_header.empty())
+            obs::span::parseTraceId(trace_header, trace_id);
+        auto req = obs::span::beginRequest(trace_id);
+        std::string body;
+        {
+            obs::span::RequestScope bind(req);
+            obs::span::Scoped span("net", "http_slowlog");
+            body = obs::slowLog().renderJsonLines();
+        }
+        obs::span::finishRequest(req);
+        auto reply = httpResponse(
+            200, "application/x-ndjson",
             head_only ? std::string_view() : std::string_view(body),
             keep_alive);
         loop_.post([conn, reply = std::move(reply),

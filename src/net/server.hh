@@ -139,9 +139,16 @@ class Server
     void dispatchLine(std::shared_ptr<Connection> conn,
                       std::string line);
 
-    /** Serve GET /metrics on a dispatcher (renders the registry). */
+    /** Serve GET /metrics on a dispatcher (renders the registry). A
+     * nonempty X-DG-Trace header traces the scrape under that id. */
     void dispatchMetrics(std::shared_ptr<Connection> conn,
-                         bool keep_alive, bool head_only);
+                         bool keep_alive, bool head_only,
+                         std::string trace_header = {});
+
+    /** Serve GET /debug/slowlog (slow-query log as JSON lines). */
+    void dispatchSlowlog(std::shared_ptr<Connection> conn,
+                         bool keep_alive, bool head_only,
+                         std::string trace_header = {});
 
     void onConnectionClosed(Connection &conn);
 

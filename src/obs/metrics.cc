@@ -115,6 +115,57 @@ escapeLabelValue(const std::string &v)
     return out;
 }
 
+std::string
+escapeHelpText(const std::string &v)
+{
+    std::string out;
+    out.reserve(v.size());
+    for (const char c : v) {
+        switch (c) {
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+const char *
+buildVersion()
+{
+#ifdef DG_GIT_DESCRIBE
+    return DG_GIT_DESCRIBE;
+#else
+    return "unknown";
+#endif
+}
+
+const char *
+buildCompiler()
+{
+#ifdef __VERSION__
+    return __VERSION__;
+#else
+    return "unknown";
+#endif
+}
+
+void
+publishBuildInfo(Registry &reg, const std::string &simd_isa)
+{
+    reg.gauge("dg_build_info",
+              "Constant 1; build attribution rides in the labels",
+              {{"version", buildVersion()},
+               {"compiler", buildCompiler()},
+               {"simd", simd_isa}})
+        .set(1.0);
+}
+
 Registry::Instance &
 Registry::instance(const std::string &name, const std::string &help,
                    MetricKind kind, Labels labels)
@@ -178,7 +229,8 @@ Registry::renderPrometheus() const
     std::lock_guard lk(mu_);
     std::ostringstream os;
     for (const auto &fam : families_) {
-        os << "# HELP " << fam.name << ' ' << fam.help << '\n';
+        os << "# HELP " << fam.name << ' '
+           << escapeHelpText(fam.help) << '\n';
         os << "# TYPE " << fam.name << ' ' << kindName(fam.kind)
            << '\n';
         for (const auto &inst : fam.instances) {

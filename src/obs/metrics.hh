@@ -250,6 +250,22 @@ Registry &registry();
 /** Escape a Prometheus label value (backslash, quote, newline). */
 std::string escapeLabelValue(const std::string &v);
 
+/** Escape Prometheus HELP text (backslash, newline -- quotes are
+ * legal in HELP and stay as-is). */
+std::string escapeHelpText(const std::string &v);
+
+/** The build's `git describe` string ("unknown" outside a git
+ * checkout); baked in at configure time. */
+const char *buildVersion();
+
+/** Compiler identification string (__VERSION__). */
+const char *buildCompiler();
+
+/** Publish the `dg_build_info` gauge (constant 1; version, compiler
+ * and active SIMD ISA ride as labels) so scraped artifacts are
+ * attributable to a build. */
+void publishBuildInfo(Registry &reg, const std::string &simd_isa);
+
 } // namespace depgraph::obs
 
 #endif // DEPGRAPH_OBS_METRICS_HH

@@ -1,0 +1,137 @@
+#include "obs/slowlog.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "obs/span.hh"
+
+namespace depgraph::obs
+{
+
+namespace
+{
+
+void
+appendJsonString(std::ostringstream &os, const std::string &s)
+{
+    os << '"';
+    for (const char c : s) {
+        switch (c) {
+        case '"': os << "\\\""; break;
+        case '\\': os << "\\\\"; break;
+        case '\n': os << "\\n"; break;
+        case '\r': os << "\\r"; break;
+        case '\t': os << "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c) & 0xff);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+} // namespace
+
+SlowLog::SlowLog(std::size_t capacity)
+    : capacity_(capacity)
+{}
+
+void
+SlowLog::setCapacity(std::size_t capacity)
+{
+    std::lock_guard lk(mu_);
+    capacity_ = capacity;
+    while (entries_.size() > capacity_)
+        entries_.pop_front();
+}
+
+std::size_t
+SlowLog::capacity() const
+{
+    std::lock_guard lk(mu_);
+    return capacity_;
+}
+
+void
+SlowLog::append(SlowEntry entry)
+{
+    std::lock_guard lk(mu_);
+    ++totalAppended_;
+    if (capacity_ == 0)
+        return;
+    entries_.push_back(std::move(entry));
+    while (entries_.size() > capacity_)
+        entries_.pop_front();
+}
+
+std::vector<SlowEntry>
+SlowLog::snapshot() const
+{
+    std::lock_guard lk(mu_);
+    return {entries_.begin(), entries_.end()};
+}
+
+std::string
+SlowLog::renderJsonLines() const
+{
+    const auto entries = snapshot();
+    std::ostringstream os;
+    for (const auto &e : entries) {
+        os << "{\"ts_unix_ms\":" << e.unixMs << ",\"trace\":\""
+           << span::formatTraceId(e.traceId)
+           << "\",\"total_us\":" << e.totalUs
+           << ",\"trace_committed\":"
+           << (e.traceCommitted ? "true" : "false") << ",\"verb\":";
+        appendJsonString(os, e.verb);
+        os << ",\"request\":";
+        appendJsonString(os, e.request);
+        os << ",\"stages\":{";
+        bool first = true;
+        for (const auto &[name, value] : e.stages) {
+            if (!first)
+                os << ',';
+            first = false;
+            appendJsonString(os, name);
+            os << ':' << value;
+        }
+        os << "}}\n";
+    }
+    return os.str();
+}
+
+std::uint64_t
+SlowLog::totalAppended() const
+{
+    std::lock_guard lk(mu_);
+    return totalAppended_;
+}
+
+std::size_t
+SlowLog::size() const
+{
+    std::lock_guard lk(mu_);
+    return entries_.size();
+}
+
+void
+SlowLog::clear()
+{
+    std::lock_guard lk(mu_);
+    entries_.clear();
+    totalAppended_ = 0;
+}
+
+SlowLog &
+slowLog()
+{
+    static SlowLog log;
+    return log;
+}
+
+} // namespace depgraph::obs

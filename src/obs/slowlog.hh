@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Slow-query log: a bounded in-memory ring of structured entries, one
+ * per request that ran past the configured slow threshold
+ * (obs::span::Sampling::slowMicros). Exposed by the `slowlog` protocol
+ * verb and `GET /debug/slowlog`; schema in docs/OBSERVABILITY.md
+ * ("Slow-query log").
+ */
+
+#ifndef DEPGRAPH_OBS_SLOWLOG_HH
+#define DEPGRAPH_OBS_SLOWLOG_HH
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace depgraph::obs
+{
+
+/** One over-threshold request. */
+struct SlowEntry
+{
+    std::uint64_t unixMs = 0;   ///< wall-clock completion time
+    std::uint64_t traceId = 0;  ///< request trace id (nonzero)
+    std::uint64_t totalUs = 0;  ///< end-to-end latency
+    bool traceCommitted = false; ///< spans published to the trace ring
+    std::string verb;            ///< protocol verb ("query", ...)
+    std::string request;         ///< request line, truncated
+    /** Stage attribution (queue_wait_us, wal_sync_us, engine_rounds,
+     * edges_walked, ...); never empty -- total_us is always present. */
+    std::vector<std::pair<std::string, std::uint64_t>> stages;
+};
+
+/**
+ * Fixed-capacity ring of SlowEntry, oldest-evicted. Thread-safe; the
+ * append path runs once per slow request, so a mutex is fine.
+ */
+class SlowLog
+{
+  public:
+    explicit SlowLog(std::size_t capacity = 256);
+
+    /** Resize; evicts oldest entries if shrinking. Capacity 0 keeps
+     * nothing (appends still count in totalAppended()). */
+    void setCapacity(std::size_t capacity);
+    std::size_t capacity() const;
+
+    void append(SlowEntry entry);
+
+    /** Oldest-first copy of the retained entries. */
+    std::vector<SlowEntry> snapshot() const;
+
+    /** Retained entries as newline-delimited JSON objects, oldest
+     * first (one `\n`-terminated object per line). */
+    std::string renderJsonLines() const;
+
+    /** Appends since construction/clear(), including evicted ones. */
+    std::uint64_t totalAppended() const;
+
+    std::size_t size() const;
+    void clear();
+
+  private:
+    mutable std::mutex mu_;
+    std::deque<SlowEntry> entries_;
+    std::size_t capacity_;
+    std::uint64_t totalAppended_ = 0;
+};
+
+/** Process-wide slow-query log. */
+SlowLog &slowLog();
+
+} // namespace depgraph::obs
+
+#endif // DEPGRAPH_OBS_SLOWLOG_HH

@@ -1,10 +1,15 @@
 #include "obs/span.hh"
 
+#include <cctype>
 #include <chrono>
+#include <deque>
 #include <memory>
 #include <mutex>
+#include <random>
 #include <sstream>
 #include <vector>
+
+#include "obs/metrics.hh"
 
 namespace depgraph::obs::span
 {
@@ -15,11 +20,31 @@ namespace
 std::atomic<bool> g_enabled{false};
 std::atomic<std::uint64_t> g_nextId{1};
 
-std::chrono::steady_clock::time_point
-epoch()
+std::atomic<std::uint32_t> g_sampleEvery{0};
+std::atomic<std::uint64_t> g_slowMicros{0};
+std::atomic<std::uint64_t> g_sampleCounter{0};
+
+struct EpochInfo
 {
-    static const auto t0 = std::chrono::steady_clock::now();
-    return t0;
+    std::chrono::steady_clock::time_point steady;
+    std::uint64_t unixMicros;
+};
+
+/** Pins the steady time base AND captures the matching wall clock, so
+ * dumps from different processes can be aligned (dgtrace). */
+const EpochInfo &
+epochInfo()
+{
+    static const EpochInfo e = [] {
+        EpochInfo i;
+        i.steady = std::chrono::steady_clock::now();
+        i.unixMicros = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::system_clock::now().time_since_epoch())
+                .count());
+        return i;
+    }();
+    return e;
 }
 
 struct Event
@@ -30,7 +55,8 @@ struct Event
     std::uint64_t ts;    ///< microseconds since epoch()
     std::uint64_t dur;   ///< "X" events only
     std::uint64_t idOrArg;
-    char phase; ///< 'X', 'i', 'b', 'e'
+    std::uint64_t trace; ///< request trace id; 0 = none
+    char phase;          ///< 'X', 'i', 'b', 'e'
 };
 
 /** One thread's ring buffer. Guarded by its own mutex so a dump can
@@ -63,6 +89,8 @@ struct ThreadBuffer
 };
 
 constexpr std::size_t kPerThreadCapacity = 1 << 16;
+constexpr std::size_t kScratchCapacity = 1024;
+constexpr std::size_t kCommittedCapacity = 1 << 16;
 
 struct BufferDirectory
 {
@@ -94,13 +122,41 @@ localBuffer()
     return *buf;
 }
 
-void
-record(char phase, const char *cat, const char *name,
-       std::uint64_t ts, std::uint64_t dur, const char *arg_name,
-       std::uint64_t id_or_arg)
+/** A committed scratch event keeps the tid of the thread that
+ * originally recorded it, so cross-thread request flows render on
+ * their true lanes. */
+struct CommittedEvent
 {
-    localBuffer().push(
-        Event{cat, name, arg_name, ts, dur, id_or_arg, phase});
+    Event event;
+    unsigned tid;
+};
+
+/** Process-wide ring of request-committed events (mutex-guarded; the
+ * commit path runs once per sampled/slow request, not per event). */
+struct CommittedStore
+{
+    std::mutex mu;
+    std::deque<CommittedEvent> events;
+    std::uint64_t dropped = 0;
+
+    void
+    push(std::vector<CommittedEvent> &&batch)
+    {
+        std::lock_guard lk(mu);
+        for (auto &e : batch)
+            events.push_back(std::move(e));
+        while (events.size() > kCommittedCapacity) {
+            events.pop_front();
+            ++dropped;
+        }
+    }
+};
+
+CommittedStore &
+committedStore()
+{
+    static CommittedStore s;
+    return s;
 }
 
 std::string
@@ -117,6 +173,107 @@ jsonEscape(const char *s)
 
 } // namespace
 
+/**
+ * Bounded per-request event scratch + stage accumulator. Multiple
+ * threads touch one request sequentially (dispatcher -> worker ->
+ * dispatcher), but a light mutex keeps it safe under any interleaving
+ * (and visible to TSan).
+ */
+class RequestTrace
+{
+  public:
+    RequestTrace(std::uint64_t trace_id, bool head_sampled,
+                 bool record_events)
+        : traceId_(trace_id), headSampled_(head_sampled),
+          recordEvents_(record_events), startUs_(nowMicros())
+    {}
+
+    void
+    push(const Event &e, unsigned tid)
+    {
+        if (!recordEvents_)
+            return;
+        std::lock_guard lk(mu_);
+        if (events_.size() >= kScratchCapacity) {
+            ++dropped_;
+            return; // newest-dropped: the request's start is the story
+        }
+        events_.push_back({e, tid});
+    }
+
+    void
+    addStage(const char *name, std::uint64_t value)
+    {
+        std::lock_guard lk(mu_);
+        stages_.emplace_back(name, value);
+    }
+
+    std::uint64_t traceId() const { return traceId_; }
+    bool headSampled() const { return headSampled_; }
+    std::uint64_t startUs() const { return startUs_; }
+
+    /** One-shot close; fills the summary and hands out the events to
+     * commit (empty when the request should not be published). */
+    bool
+    finish(std::uint64_t slow_us, RequestSummary &out,
+           std::vector<CommittedEvent> &to_commit)
+    {
+        std::lock_guard lk(mu_);
+        if (finished_)
+            return false;
+        finished_ = true;
+        out.traced = true;
+        out.traceId = traceId_;
+        out.headSampled = headSampled_;
+        out.totalMicros = nowMicros() - startUs_;
+        out.scratchDropped = dropped_;
+        out.slow = slow_us > 0 && out.totalMicros >= slow_us;
+        out.committed = headSampled_ || out.slow;
+        stages_.emplace_back("total_us", out.totalMicros);
+        out.stages = stages_;
+        if (out.committed && !events_.empty()) {
+            to_commit = std::move(events_);
+            for (auto &ce : to_commit)
+                ce.event.trace = traceId_;
+        }
+        events_.clear();
+        return true;
+    }
+
+  private:
+    mutable std::mutex mu_;
+    std::vector<CommittedEvent> events_;
+    StageList stages_;
+    std::uint64_t dropped_ = 0;
+    const std::uint64_t traceId_;
+    const bool headSampled_;
+    const bool recordEvents_;
+    const std::uint64_t startUs_;
+    bool finished_ = false;
+};
+
+namespace
+{
+
+thread_local std::shared_ptr<RequestTrace> tl_request;
+
+void
+record(char phase, const char *cat, const char *name,
+       std::uint64_t ts, std::uint64_t dur, const char *arg_name,
+       std::uint64_t id_or_arg)
+{
+    const Event e{cat, name, arg_name, ts, dur, id_or_arg, 0, phase};
+    if (RequestTrace *rt = tl_request.get()) {
+        // Bound to a request: events go to its scratch (committed or
+        // discarded at finishRequest), never duplicated into the ring.
+        rt->push(e, localBuffer().tid);
+        return;
+    }
+    localBuffer().push(e);
+}
+
+} // namespace
+
 bool
 enabled()
 {
@@ -127,8 +284,14 @@ void
 setEnabled(bool on)
 {
     if (on)
-        epoch(); // pin the time base before the first event
+        epochInfo(); // pin the time base before the first event
     g_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool
+active()
+{
+    return enabled() || tl_request.get() != nullptr;
 }
 
 std::uint64_t
@@ -136,8 +299,14 @@ nowMicros()
 {
     return static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(
-            std::chrono::steady_clock::now() - epoch())
+            std::chrono::steady_clock::now() - epochInfo().steady)
             .count());
+}
+
+std::uint64_t
+epochUnixMicros()
+{
+    return epochInfo().unixMicros;
 }
 
 std::uint64_t
@@ -150,7 +319,7 @@ void
 complete(const char *cat, const char *name, std::uint64_t ts_us,
          std::uint64_t dur_us, const char *arg_name, std::uint64_t arg)
 {
-    if (!enabled())
+    if (!active())
         return;
     record('X', cat, name, ts_us, dur_us, arg_name, arg);
 }
@@ -159,7 +328,7 @@ void
 instant(const char *cat, const char *name, const char *arg_name,
         std::uint64_t arg)
 {
-    if (!enabled())
+    if (!active())
         return;
     record('i', cat, name, nowMicros(), 0, arg_name, arg);
 }
@@ -167,7 +336,7 @@ instant(const char *cat, const char *name, const char *arg_name,
 void
 asyncBegin(const char *cat, const char *name, std::uint64_t id)
 {
-    if (!enabled())
+    if (!active())
         return;
     record('b', cat, name, nowMicros(), 0, nullptr, id);
 }
@@ -175,10 +344,200 @@ asyncBegin(const char *cat, const char *name, std::uint64_t id)
 void
 asyncEnd(const char *cat, const char *name, std::uint64_t id)
 {
-    if (!enabled())
+    if (!active())
         return;
     record('e', cat, name, nowMicros(), 0, nullptr, id);
 }
+
+void
+setSampling(Sampling s)
+{
+    if (s.every || s.slowMicros)
+        epochInfo();
+    g_sampleEvery.store(s.every, std::memory_order_relaxed);
+    g_slowMicros.store(s.slowMicros, std::memory_order_relaxed);
+}
+
+Sampling
+sampling()
+{
+    Sampling s;
+    s.every = g_sampleEvery.load(std::memory_order_relaxed);
+    s.slowMicros = g_slowMicros.load(std::memory_order_relaxed);
+    return s;
+}
+
+std::shared_ptr<RequestTrace>
+beginRequest(std::uint64_t explicit_id)
+{
+    const auto every = g_sampleEvery.load(std::memory_order_relaxed);
+    const auto slow_us = g_slowMicros.load(std::memory_order_relaxed);
+    if (!explicit_id && !enabled() && every == 0 && slow_us == 0)
+        return nullptr;
+
+    bool head = explicit_id != 0 || enabled();
+    if (!head && every != 0)
+        head = g_sampleCounter.fetch_add(1, std::memory_order_relaxed)
+                % every
+            == 0;
+    // A request nobody will ever look at (not sampled, and no slow
+    // threshold that could still promote it) costs nothing further.
+    if (!head && slow_us == 0)
+        return nullptr;
+    epochInfo();
+    const bool record_events = head || slow_us > 0;
+    return std::make_shared<RequestTrace>(
+        explicit_id ? explicit_id : newTraceId(), head, record_events);
+}
+
+RequestScope::RequestScope(std::shared_ptr<RequestTrace> req)
+    : bound_(req != nullptr)
+{
+    if (bound_) {
+        prev_ = std::move(tl_request);
+        tl_request = std::move(req);
+    }
+}
+
+RequestScope::~RequestScope()
+{
+    if (bound_)
+        tl_request = std::move(prev_);
+}
+
+std::shared_ptr<RequestTrace>
+currentRequest()
+{
+    return tl_request;
+}
+
+std::uint64_t
+currentTraceId()
+{
+    const RequestTrace *rt = tl_request.get();
+    return rt ? rt->traceId() : 0;
+}
+
+void
+addRequestStage(const char *name, std::uint64_t value)
+{
+    if (RequestTrace *rt = tl_request.get())
+        rt->addStage(name, value);
+}
+
+RequestSummary
+finishRequest(const std::shared_ptr<RequestTrace> &req)
+{
+    RequestSummary out;
+    if (!req)
+        return out;
+    std::vector<CommittedEvent> to_commit;
+    if (!req->finish(g_slowMicros.load(std::memory_order_relaxed), out,
+                     to_commit))
+        return RequestSummary{}; // double finish
+    if (!to_commit.empty())
+        committedStore().push(std::move(to_commit));
+    return out;
+}
+
+std::size_t
+requestScratchCapacity()
+{
+    return kScratchCapacity;
+}
+
+std::uint64_t
+newTraceId()
+{
+    // splitmix64 over a per-process random seed + counter: ids from
+    // different shard processes must not collide in a merged trace.
+    static const std::uint64_t seed = [] {
+        std::random_device rd;
+        return (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+    }();
+    std::uint64_t z =
+        seed + 0x9e3779b97f4a7c15ull
+        * g_nextId.fetch_add(1, std::memory_order_relaxed);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    return z ? z : 1;
+}
+
+std::string
+formatTraceId(std::uint64_t id)
+{
+    static const char *hex = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = hex[id & 0xf];
+        id >>= 4;
+    }
+    return out;
+}
+
+bool
+parseTraceId(std::string_view s, std::uint64_t &id)
+{
+    if (s.size() >= 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X'))
+        s.remove_prefix(2);
+    if (s.empty() || s.size() > 16)
+        return false;
+    std::uint64_t v = 0;
+    for (const char c : s) {
+        v <<= 4;
+        if (c >= '0' && c <= '9')
+            v |= static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            v |= static_cast<std::uint64_t>(c - 'a' + 10);
+        else if (c >= 'A' && c <= 'F')
+            v |= static_cast<std::uint64_t>(c - 'A' + 10);
+        else
+            return false;
+    }
+    if (v == 0)
+        return false;
+    id = v;
+    return true;
+}
+
+namespace
+{
+
+void
+renderEvent(std::ostringstream &os, const Event &e, unsigned tid,
+            bool &first)
+{
+    if (!first)
+        os << ',';
+    first = false;
+    os << "{\"name\":\"" << jsonEscape(e.name) << "\",\"cat\":\""
+       << jsonEscape(e.cat) << "\",\"ph\":\"" << e.phase
+       << "\",\"ts\":" << e.ts << ",\"pid\":1,\"tid\":" << tid;
+    if (e.phase == 'X')
+        os << ",\"dur\":" << e.dur;
+    if (e.phase == 'b' || e.phase == 'e')
+        os << ",\"id\":" << e.idOrArg;
+    const bool has_arg =
+        e.phase != 'b' && e.phase != 'e' && e.argName != nullptr;
+    if (has_arg || e.trace) {
+        os << ",\"args\":{";
+        bool first_arg = true;
+        if (has_arg) {
+            os << '"' << jsonEscape(e.argName) << "\":" << e.idOrArg;
+            first_arg = false;
+        }
+        if (e.trace) {
+            if (!first_arg)
+                os << ',';
+            os << "\"trace\":\"" << formatTraceId(e.trace) << '"';
+        }
+        os << '}';
+    }
+    os << '}';
+}
+
+} // namespace
 
 std::string
 dumpChromeJson()
@@ -199,67 +558,74 @@ dumpChromeJson()
         const std::size_t n = b->filled;
         const std::size_t start =
             n == b->events.size() ? b->next : 0;
-        for (std::size_t i = 0; i < n; ++i) {
-            const Event &e =
-                b->events[(start + i) % b->events.size()];
-            if (!first)
-                os << ',';
-            first = false;
-            os << "{\"name\":\"" << jsonEscape(e.name)
-               << "\",\"cat\":\"" << jsonEscape(e.cat)
-               << "\",\"ph\":\"" << e.phase << "\",\"ts\":" << e.ts
-               << ",\"pid\":1,\"tid\":" << b->tid;
-            if (e.phase == 'X')
-                os << ",\"dur\":" << e.dur;
-            if (e.phase == 'b' || e.phase == 'e')
-                os << ",\"id\":" << e.idOrArg;
-            else if (e.argName)
-                os << ",\"args\":{\"" << jsonEscape(e.argName)
-                   << "\":" << e.idOrArg << '}';
-            os << '}';
-        }
+        for (std::size_t i = 0; i < n; ++i)
+            renderEvent(os,
+                        b->events[(start + i) % b->events.size()],
+                        b->tid, first);
     }
-    os << "],\"displayTimeUnit\":\"ms\"}";
+    {
+        auto &store = committedStore();
+        std::lock_guard lk(store.mu);
+        for (const auto &ce : store.events)
+            renderEvent(os, ce.event, ce.tid, first);
+    }
+    os << "],\"displayTimeUnit\":\"ms\",\"otherData\":{"
+       << "\"epochUnixUs\":" << epochUnixMicros() << ",\"build\":\""
+       << jsonEscape(buildVersion()) << "\"}}";
     return os.str();
 }
 
 void
 clear()
 {
-    auto &dir = directory();
-    std::lock_guard lk(dir.mu);
-    for (const auto &b : dir.buffers) {
-        std::lock_guard blk(b->mu);
-        b->next = 0;
-        b->filled = 0;
-        b->dropped = 0;
+    {
+        auto &dir = directory();
+        std::lock_guard lk(dir.mu);
+        for (const auto &b : dir.buffers) {
+            std::lock_guard blk(b->mu);
+            b->next = 0;
+            b->filled = 0;
+            b->dropped = 0;
+        }
     }
+    auto &store = committedStore();
+    std::lock_guard lk(store.mu);
+    store.events.clear();
+    store.dropped = 0;
 }
 
 std::uint64_t
 droppedEvents()
 {
-    auto &dir = directory();
-    std::lock_guard lk(dir.mu);
     std::uint64_t total = 0;
-    for (const auto &b : dir.buffers) {
-        std::lock_guard blk(b->mu);
-        total += b->dropped;
+    {
+        auto &dir = directory();
+        std::lock_guard lk(dir.mu);
+        for (const auto &b : dir.buffers) {
+            std::lock_guard blk(b->mu);
+            total += b->dropped;
+        }
     }
-    return total;
+    auto &store = committedStore();
+    std::lock_guard lk(store.mu);
+    return total + store.dropped;
 }
 
 std::size_t
 recordedEvents()
 {
-    auto &dir = directory();
-    std::lock_guard lk(dir.mu);
     std::size_t total = 0;
-    for (const auto &b : dir.buffers) {
-        std::lock_guard blk(b->mu);
-        total += b->filled;
+    {
+        auto &dir = directory();
+        std::lock_guard lk(dir.mu);
+        for (const auto &b : dir.buffers) {
+            std::lock_guard blk(b->mu);
+            total += b->filled;
+        }
     }
-    return total;
+    auto &store = committedStore();
+    std::lock_guard lk(store.mu);
+    return total + store.events.size();
 }
 
 } // namespace depgraph::obs::span

@@ -5,8 +5,9 @@
  * Each thread records events into its own fixed-capacity ring buffer
  * (oldest events are overwritten; the drop count is kept), so the hot
  * path never contends with other recorders. With tracing disabled the
- * cost of a trace point is one relaxed atomic load and a branch --
- * that is the invariant bench/obs_overhead.cc checks.
+ * cost of a trace point is one relaxed atomic load, one thread-local
+ * read and a branch -- that is the invariant bench/obs_overhead.cc
+ * checks.
  *
  * Event vocabulary (mapping to the Chrome trace_event `ph` field):
  *  - Scoped / complete(): a named duration on the recording thread
@@ -16,6 +17,20 @@
  *    id ("b"/"e") -- used for service request spans whose queue-wait
  *    happens on the submitting thread but whose execution happens on a
  *    worker. The id travels through the ThreadPool job queue.
+ *
+ * Per-request tracing (docs/OBSERVABILITY.md "Request tracing"):
+ * beginRequest() opens a request-scoped scratch recorder identified by
+ * a 64-bit trace id (minted, or supplied by the client so one request
+ * stitches across shard processes). While a thread is bound to the
+ * request via RequestScope, every trace point on that thread records
+ * into the request's bounded scratch instead of the thread ring; the
+ * scratch is committed to a process-wide ring at finishRequest() only
+ * when the request was head-sampled (1-in-N, setSampling()) or ran
+ * longer than the slow threshold -- so long-running services keep
+ * per-request tracing on without drowning in events, and slow
+ * outliers are always captured. Committed events carry the trace id
+ * as an `args.trace` hex string in the JSON dump; tools/dgtrace merges
+ * dumps from several shard processes on that key.
  *
  * Name and category strings must be string literals (or otherwise
  * outlive the tracer): the recorder stores the pointers, not copies.
@@ -28,19 +43,32 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 namespace depgraph::obs::span
 {
 
-/** Is recording on? One relaxed load; the disabled-path branch. */
+/** Is process-wide record-everything tracing on? One relaxed load. */
 bool enabled();
 
-/** Turn recording on/off process-wide. */
+/** Turn record-everything tracing on/off process-wide. */
 void setEnabled(bool on);
+
+/** Is any trace point live on this thread -- either tracing is
+ * enabled process-wide or the thread is bound to a request scratch
+ * (RequestScope)? This is the disabled-path branch. */
+bool active();
 
 /** Microseconds since the process-wide trace epoch (steady clock). */
 std::uint64_t nowMicros();
+
+/** Wall-clock microseconds (unix epoch) of the trace epoch; dumped as
+ * otherData.epochUnixUs so dgtrace can align shard processes. */
+std::uint64_t epochUnixMicros();
 
 /** Fresh nonzero id for an async span. */
 std::uint64_t newId();
@@ -63,7 +91,7 @@ void asyncBegin(const char *cat, const char *name, std::uint64_t id);
 void asyncEnd(const char *cat, const char *name, std::uint64_t id);
 
 /**
- * RAII complete-event recorder. Captures the enablement decision at
+ * RAII complete-event recorder. Captures the recording decision at
  * construction so a span is never half-recorded across a toggle.
  */
 class Scoped
@@ -72,7 +100,7 @@ class Scoped
     Scoped(const char *cat, const char *name,
            const char *arg_name = nullptr, std::uint64_t arg = 0)
         : cat_(cat), name_(name), argName_(arg_name), arg_(arg),
-          active_(enabled()), start_(active_ ? nowMicros() : 0)
+          active_(active()), start_(active_ ? nowMicros() : 0)
     {}
 
     ~Scoped()
@@ -93,6 +121,99 @@ class Scoped
     bool active_;
     std::uint64_t start_;
 };
+
+/* ---- Per-request tracing ---- */
+
+/** Head-based 1-in-N sampling plus tail-based slow promotion. */
+struct Sampling
+{
+    /** Commit every Nth request's scratch to the ring (0 = none). */
+    std::uint32_t every = 0;
+    /** Requests running at least this long commit regardless of the
+     * head decision, and finishRequest() reports them slow (0 = no
+     * promotion and no slow reporting). */
+    std::uint64_t slowMicros = 0;
+};
+
+void setSampling(Sampling s);
+Sampling sampling();
+
+/** Per-request scratch recorder; opaque, see beginRequest(). */
+class RequestTrace;
+
+/** Stage names + values attributed to one request (queue_wait_us,
+ * wal_sync_us, engine_rounds, ...). Names are literals. */
+using StageList = std::vector<std::pair<const char *, std::uint64_t>>;
+
+/**
+ * Open a request trace. Returns nullptr when nothing would ever
+ * observe it (tracing off, no sampling configured, no explicit id and
+ * not head-sampled with tail promotion off) -- the null path costs one
+ * atomic increment at most.
+ *
+ * @param explicit_id nonzero: the caller (a client via `trace=<id>` /
+ *        X-DG-Trace) chose the id; the request is force-sampled so
+ *        cross-shard traces never lose a leg to the sampler.
+ */
+std::shared_ptr<RequestTrace> beginRequest(std::uint64_t explicit_id = 0);
+
+/** Bind this thread to a request scratch (restores the previous
+ * binding on destruction; a null request is a no-op binding). */
+class RequestScope
+{
+  public:
+    explicit RequestScope(std::shared_ptr<RequestTrace> req);
+    ~RequestScope();
+
+    RequestScope(const RequestScope &) = delete;
+    RequestScope &operator=(const RequestScope &) = delete;
+
+  private:
+    std::shared_ptr<RequestTrace> prev_;
+    bool bound_;
+};
+
+/** The request this thread is bound to (nullptr outside a scope). */
+std::shared_ptr<RequestTrace> currentRequest();
+
+/** Trace id of the bound request (0 when unbound). */
+std::uint64_t currentTraceId();
+
+/** Attribute a stage value to the bound request (no-op unbound). */
+void addRequestStage(const char *name, std::uint64_t value);
+
+/** What finishRequest() decided and accumulated. */
+struct RequestSummary
+{
+    bool traced = false;      ///< a scratch existed at all
+    bool committed = false;   ///< events published to the ring
+    bool slow = false;        ///< exceeded Sampling::slowMicros
+    bool headSampled = false;
+    std::uint64_t traceId = 0;
+    std::uint64_t totalMicros = 0;
+    std::uint64_t scratchDropped = 0; ///< events past the scratch cap
+    StageList stages;
+};
+
+/**
+ * Close a request trace: decide commit (head-sampled || slow), publish
+ * the scratch to the committed ring if so, and return the stage
+ * breakdown. Idempotent; a second call returns traced=false.
+ */
+RequestSummary finishRequest(const std::shared_ptr<RequestTrace> &req);
+
+/** Events one request scratch holds before dropping (newest-dropped;
+ * the drop count lands in RequestSummary::scratchDropped). */
+std::size_t requestScratchCapacity();
+
+/** Mint a nonzero 64-bit trace id (splitmix64 over a process seed). */
+std::uint64_t newTraceId();
+
+/** Canonical wire format: 16 lowercase hex digits, no 0x. */
+std::string formatTraceId(std::uint64_t id);
+
+/** Parse hex (optional 0x) trace id; false on malformed/zero. */
+bool parseTraceId(std::string_view s, std::uint64_t &id);
 
 /** Render everything recorded so far as Chrome trace_event JSON. */
 std::string dumpChromeJson();

@@ -1,5 +1,7 @@
 #include "runtime/obs_export.hh"
 
+#include "depgraph/fold_kernels.hh"
+
 namespace depgraph::runtime
 {
 
@@ -123,6 +125,8 @@ publishRunResult(obs::Registry &reg, const RunResult &r,
     publishRunMetrics(reg, r.metrics, labels);
     publishMachineStats(reg, r.memStats, labels);
     publishEnergy(reg, r.energy, labels);
+    obs::publishBuildInfo(
+        reg, dep::fold::isaName(dep::fold::activeIsa()));
 }
 
 } // namespace depgraph::runtime

@@ -1,16 +1,19 @@
 #include "service/protocol.hh"
 
 #include <algorithm>
+#include <cctype>
 #include <fstream>
 #include <iomanip>
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <string_view>
 #include <vector>
 
 #include "common/failpoint.hh"
 #include "graph/generators.hh"
 #include "obs/metrics.hh"
+#include "obs/slowlog.hh"
 #include "obs/span.hh"
 
 namespace depgraph::service
@@ -69,7 +72,7 @@ err(const std::string &reason)
 
 const char *kHelp =
     "ok verbs: load query update del flush edge checkpoint failpoint "
-    "graphs stats metrics drain trace help quit\n"
+    "graphs stats metrics drain trace slowlog help quit\n"
     "commands:\n"
     "  load <name> powerlaw <n> [alpha] [degree] [seed]\n"
     "  load <name> grid <rows> <cols>\n"
@@ -84,6 +87,9 @@ const char *kHelp =
     "  failpoint <name> <spec> | failpoint list | failpoint clear\n"
     "  graphs | stats | metrics | drain | help | quit\n"
     "  trace on | off | dump <path>   (Chrome trace_event JSON)\n"
+    "  slowlog [clear]   (slow-query log as JSON lines)\n"
+    "  any command may be prefixed with trace=<16-hex-id> to trace\n"
+    "  that request under a client-chosen id (force-sampled)\n"
     "errors: 'err <code> <msg>' (400 bad request, 404 unknown graph,\n"
     "  408 deadline, 413 line too long, 429 rejected/overloaded "
     "with retry-after=<ms>, 500 internal, 503 shutting down)";
@@ -452,11 +458,168 @@ runCommandLine(GraphService &svc, const std::string &line)
         }
         return err("usage: trace on | off | dump <path>");
     }
+    if (cmd == "slowlog") {
+        if (t.size() > 1 && t[1] == "clear") {
+            obs::slowLog().clear();
+            return {"ok cleared"};
+        }
+        auto &log = obs::slowLog();
+        std::ostringstream os;
+        os << "ok entries=" << log.size() << " logged="
+           << log.totalAppended();
+        auto lines = log.renderJsonLines();
+        if (!lines.empty()) {
+            lines.pop_back(); // reply carries no trailing newline
+            os << '\n' << lines;
+        }
+        return {os.str()};
+    }
     if (cmd == "drain") {
         svc.drain();
         return {"ok drained"};
     }
     return err("unknown command '" + cmd + "' (try help)");
+}
+
+bool
+splitTraceToken(const std::string &line, std::uint64_t &trace_id,
+                std::string &rest)
+{
+    trace_id = 0;
+    std::size_t i = 0;
+    while (i < line.size() && std::isspace(
+               static_cast<unsigned char>(line[i])))
+        ++i;
+    static constexpr std::string_view kPrefix = "trace=";
+    if (line.compare(i, kPrefix.size(), kPrefix) != 0)
+        return false;
+    const std::size_t id_begin = i + kPrefix.size();
+    std::size_t id_end = id_begin;
+    while (id_end < line.size()
+           && !std::isspace(static_cast<unsigned char>(line[id_end])))
+        ++id_end;
+    std::uint64_t id = 0;
+    if (obs::span::parseTraceId(
+            std::string_view(line).substr(id_begin, id_end - id_begin),
+            id))
+        trace_id = id;
+    std::size_t rest_begin = id_end;
+    while (rest_begin < line.size()
+           && std::isspace(
+               static_cast<unsigned char>(line[rest_begin])))
+        ++rest_begin;
+    rest = line.substr(rest_begin);
+    return true;
+}
+
+namespace
+{
+
+/** Span names must be literals (the recorder keeps the pointer), so
+ * map the request verb onto a static vocabulary. */
+const char *
+verbLiteral(const std::string &line)
+{
+    std::size_t b = 0;
+    while (b < line.size()
+           && std::isspace(static_cast<unsigned char>(line[b])))
+        ++b;
+    std::size_t e = b;
+    while (e < line.size()
+           && !std::isspace(static_cast<unsigned char>(line[e])))
+        ++e;
+    const std::string_view verb(line.data() + b, e - b);
+    static constexpr const char *kVerbs[] = {
+        "load",  "query",      "update",    "del",     "delete",
+        "flush", "edge",       "checkpoint", "failpoint", "graphs",
+        "stats", "metrics",    "trace",     "slowlog", "drain",
+        "help",  "quit",       "exit",
+    };
+    for (const char *v : kVerbs)
+        if (verb == v)
+            return v;
+    return "other";
+}
+
+/** Publish one finished request into histograms/counters and, when
+ * slow, the slow-query log. */
+void
+publishRequestSummary(const obs::span::RequestSummary &summary,
+                      const char *verb, const std::string &line)
+{
+    auto &reg = obs::registry();
+    reg.counter("dg_requests_traced_total",
+                "Requests that opened a per-request trace scratch")
+        .inc();
+    if (summary.committed)
+        reg.counter("dg_traces_committed_total",
+                    "Request traces committed to the span ring "
+                    "(head-sampled or slow-promoted)")
+            .inc();
+    for (const auto &[name, value] : summary.stages) {
+        const std::string_view sv(name);
+        if (sv.size() > 3 && sv.substr(sv.size() - 3) == "_us") {
+            reg.histogram(
+                   "dg_request_stage_us",
+                   "Per-request stage latency in microseconds",
+                   {{"stage",
+                     std::string(sv.substr(0, sv.size() - 3))}})
+                .record(value);
+        } else {
+            reg.histogram("dg_request_stage_value",
+                          "Per-request unitless stage attribution "
+                          "(rounds, edges, hits, ...)",
+                          {{"stage", std::string(sv)}})
+                .record(value);
+        }
+    }
+    if (!summary.slow)
+        return;
+    reg.counter("dg_slow_requests_total",
+                "Requests that exceeded the slow threshold")
+        .inc();
+    obs::SlowEntry entry;
+    entry.unixMs = (obs::span::epochUnixMicros()
+                    + obs::span::nowMicros())
+        / 1000;
+    entry.traceId = summary.traceId;
+    entry.totalUs = summary.totalMicros;
+    entry.traceCommitted = summary.committed;
+    entry.verb = verb;
+    entry.request = line.substr(0, 200);
+    entry.stages.reserve(summary.stages.size());
+    for (const auto &[name, value] : summary.stages)
+        entry.stages.emplace_back(name, value);
+    obs::slowLog().append(std::move(entry));
+}
+
+} // namespace
+
+CommandResult
+runTracedCommandLine(GraphService &svc, const std::string &line)
+{
+    std::uint64_t trace_id = 0;
+    std::string stripped;
+    const bool had_token = splitTraceToken(line, trace_id, stripped);
+    if (had_token && trace_id == 0)
+        return protocolError(400, "bad trace id (want hex64)");
+    const std::string &cmd = had_token ? stripped : line;
+
+    auto req = obs::span::beginRequest(trace_id);
+    if (!req)
+        return runCommandLine(svc, cmd);
+
+    const char *verb = verbLiteral(cmd);
+    obs::span::RequestScope bind(req);
+    CommandResult result;
+    {
+        obs::span::Scoped span("request", verb);
+        result = runCommandLine(svc, cmd);
+    }
+    const auto summary = obs::span::finishRequest(req);
+    if (summary.traced)
+        publishRequestSummary(summary, verb, cmd);
+    return result;
 }
 
 std::size_t
@@ -468,7 +631,7 @@ serveStream(GraphService &svc, std::istream &in, std::ostream &out,
     while (std::getline(in, line)) {
         if (echo)
             out << "> " << line << "\n";
-        const auto r = runCommandLine(svc, line);
+        const auto r = runTracedCommandLine(svc, line);
         if (!r.output.empty())
             out << r.output << "\n";
         out.flush();

@@ -15,9 +15,15 @@
  *   flush <name>
  *   graphs
  *   stats
+ *   slowlog [clear]
  *   drain
  *   help
  *   quit
+ *
+ * Any command may be prefixed with a `trace=<16-hex-id>` token: the
+ * request is then traced under that id (force-sampled), which is how
+ * one client request stitches across shard processes -- see
+ * docs/OBSERVABILITY.md "Request tracing".
  *
  * Replies start with "ok" or with a structured error line
  * "err <code> <msg>", machine-parseable because the same protocol now
@@ -41,6 +47,7 @@
 #ifndef DEPGRAPH_SERVICE_PROTOCOL_HH
 #define DEPGRAPH_SERVICE_PROTOCOL_HH
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -67,6 +74,26 @@ int errCodeFor(Status s);
 
 /** Parse and execute one protocol line against the service. */
 CommandResult runCommandLine(GraphService &svc, const std::string &line);
+
+/**
+ * Split a leading `trace=<hex>` token off a protocol line.
+ * @return true iff the line starts with a `trace=` token; `rest` is
+ *         then the remainder of the line and `trace_id` the parsed id
+ *         (0 when the id was malformed -- the caller rejects those).
+ */
+bool splitTraceToken(const std::string &line, std::uint64_t &trace_id,
+                     std::string &rest);
+
+/**
+ * runCommandLine() wrapped in per-request tracing: strips the
+ * `trace=` token, opens a request trace (sampled per
+ * obs::span::setSampling(), force-sampled when the client supplied an
+ * id), attributes stages, publishes `dg_request_stage_*` metrics, and
+ * appends to the slow-query log when the request ran past the slow
+ * threshold. Transports (net dispatcher, stdin REPL) enter here.
+ */
+CommandResult runTracedCommandLine(GraphService &svc,
+                                   const std::string &line);
 
 /**
  * REPL driver: read lines from `in`, execute, write replies to `out`

@@ -4,6 +4,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "depgraph/fold_kernels.hh"
 #include "gas/algorithms.hh"
 #include "obs/metrics.hh"
 #include "obs/span.hh"
@@ -168,7 +169,9 @@ GraphService::loadGraph(const std::string &name, graph::Graph g)
     stats_.loads.fetch_add(1, std::memory_order_relaxed);
     // Loads run synchronously on the caller, so there is no queue
     // wait; the whole latency is service time.
-    stats_.recordService(RequestType::Load, microsSince(start));
+    const auto service_us = microsSince(start);
+    stats_.recordService(RequestType::Load, service_us);
+    obs::span::addRequestStage("service_us", service_us);
     return version;
 }
 
@@ -193,12 +196,25 @@ GraphService::submitJob(RequestType type, std::function<Response()> body,
     obs::span::asyncBegin("service", type_name, span_id);
 
     const auto submitted = std::chrono::steady_clock::now();
-    auto job = [this, type, type_name, span_id,
+    // Carry the submitter's request binding into the worker: spans and
+    // stage attributions recorded while the job runs land in the same
+    // per-request scratch, stitching the request across threads.
+    auto rtrace = obs::span::currentRequest();
+    auto job = [this, type, type_name, span_id, rtrace,
                 body = std::move(body), deadline, submitted,
                 prom]() mutable {
+        obs::span::RequestScope bind(rtrace);
         const auto picked = std::chrono::steady_clock::now();
-        stats_.recordQueueWait(type,
-                               microsBetween(submitted, picked));
+        const auto wait_us = microsBetween(submitted, picked);
+        stats_.recordQueueWait(type, wait_us);
+        obs::span::addRequestStage("queue_wait_us", wait_us);
+        // The pool already emits a queue_wait span into the ring when
+        // global tracing is on; mirror it into the request scratch
+        // only when the scratch is the sole observer.
+        if (rtrace && !obs::span::enabled())
+            obs::span::complete("service", "queue_wait",
+                                obs::span::nowMicros() - wait_us,
+                                wait_us, "id", span_id);
         Response r;
         {
             obs::span::Scoped handle("service", type_name, "id",
@@ -212,7 +228,9 @@ GraphService::submitJob(RequestType type, std::function<Response()> body,
                 r = body();
             }
         }
-        stats_.recordService(type, microsSince(picked));
+        const auto service_us = microsSince(picked);
+        stats_.recordService(type, service_us);
+        obs::span::addRequestStage("service_us", service_us);
         obs::span::asyncEnd("service", type_name, span_id);
         prom->set_value(std::move(r));
     };
@@ -274,9 +292,11 @@ GraphService::runQuery(const QuerySpec &spec)
         stats_.queryCacheHits.fetch_add(1, std::memory_order_relaxed);
         r.cacheHit = true;
         r.states = it->second;
+        obs::span::addRequestStage("cache_hit", 1);
         return r;
     }
     stats_.queryCacheMisses.fetch_add(1, std::memory_order_relaxed);
+    const auto fold_before = dep::fold::stats();
 
     const auto alg = gas::makeAlgorithm(spec.algorithm);
     // Warm-start from any hub dependencies already cached for this
@@ -291,6 +311,24 @@ GraphService::runQuery(const QuerySpec &spec)
     auto run = system_.run(*snap->graph, *alg, spec.solution, seed,
                            learned.get());
     r.metrics = run.metrics;
+    if (obs::span::currentRequest()) {
+        obs::span::addRequestStage("engine_rounds", run.metrics.rounds);
+        obs::span::addRequestStage("edges_walked", run.metrics.edgeOps);
+        obs::span::addRequestStage("hub_shortcut_hits",
+                                   run.metrics.shortcutsApplied);
+        obs::span::addRequestStage("updates", run.metrics.updates);
+        // SIMD lane fill: how full the fold-kernel lane tiles ran for
+        // THIS query (delta over the process-global counters).
+        const auto fold_after = dep::fold::stats();
+        const auto d_calls = fold_after.edgeApply.calls
+            - fold_before.edgeApply.calls;
+        const auto d_elems = fold_after.edgeApply.elems
+            - fold_before.edgeApply.elems;
+        if (d_calls > 0)
+            obs::span::addRequestStage(
+                "simd_lane_fill_pct",
+                d_elems * 100 / (d_calls * dep::fold::kLaneTile));
+    }
     auto states = std::make_shared<std::vector<Value>>(
         std::move(run.states));
     r.states = states;
@@ -346,6 +384,7 @@ GraphService::streamChurn(const std::string &graph,
             // failed append enqueues nothing and the client sees an
             // internal error instead of a lying ack.
             std::string derr;
+            const auto wal_start = std::chrono::steady_clock::now();
             if (!dur_.logMutate(
                     graph, ins, dels,
                     [&] {
@@ -359,10 +398,17 @@ GraphService::streamChurn(const std::string &graph,
                 r.error = "durability: " + derr;
                 return r;
             }
+            obs::span::addRequestStage("wal_sync_us",
+                                       microsSince(wal_start));
             // Threshold crossed: apply the batch right here on this
             // worker (no re-submit, so a full queue cannot wedge it).
-            if (should_flush)
+            if (should_flush) {
+                const auto flush_start =
+                    std::chrono::steady_clock::now();
                 r.version = batcher_.flush(graph);
+                obs::span::addRequestStage("batch_apply_us",
+                                           microsSince(flush_start));
+            }
             return r;
         },
         deadline);
@@ -436,6 +482,9 @@ GraphService::publishStats() const
 {
     stats_.publishTo(obs::registry(), pool_.queueDepth(),
                      pool_.queueHighWater());
+    obs::publishBuildInfo(
+        obs::registry(),
+        dep::fold::isaName(dep::fold::activeIsa()));
 }
 
 void

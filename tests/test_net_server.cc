@@ -16,6 +16,8 @@
 #include "common/failpoint.hh"
 #include "net/client.hh"
 #include "net/server.hh"
+#include "obs/slowlog.hh"
+#include "obs/span.hh"
 #include "service/protocol.hh"
 #include "service/service.hh"
 
@@ -255,6 +257,112 @@ TEST(NetServer, HttpHealthzMetricsAnd404)
             "POST /metrics HTTP/1.1\r\nConnection: close\r\n\r\n"));
         EXPECT_NE(c.recvAll().find("HTTP/1.1 405"), std::string::npos);
     }
+}
+
+TEST(NetServer, TraceTokenIsTransparentAndBadIdsGet400)
+{
+    obs::span::clear();
+    obs::span::setSampling({0, 0});
+    GraphService svc(smallService());
+    Server srv(svc, {});
+    ASSERT_TRUE(srv.start()) << srv.lastError();
+    auto c = connectTo(srv);
+    ASSERT_EQ(roundTrip(c, "load g ring 64"), "ok v=1 graph=g");
+    // Warm the fixpoint cache so both compared replies are hits.
+    ASSERT_EQ(roundTrip(c, "query g sssp Sequential 0").rfind("ok", 0),
+              0u);
+
+    // The token is stripped before dispatch: the reply is identical
+    // to the bare command's.
+    EXPECT_EQ(roundTrip(c, "trace=deadbeef1234 query g sssp "
+                           "Sequential 0"),
+              roundTrip(c, "query g sssp Sequential 0"));
+    // A malformed id is refused, not silently ignored.
+    EXPECT_EQ(roundTrip(c, "trace=nothex query g sssp Sequential 0"),
+              "err 400 bad trace id (want hex64)");
+    EXPECT_EQ(roundTrip(c, "trace= query g sssp Sequential 0"),
+              "err 400 bad trace id (want hex64)");
+
+    // A client-supplied id force-samples: the request's spans were
+    // committed and carry the (zero-padded) id.
+    EXPECT_NE(obs::span::dumpChromeJson().find("0000deadbeef1234"),
+              std::string::npos);
+    obs::span::clear();
+}
+
+TEST(NetServer, SlowlogVerbAndHttpEndpoint)
+{
+    obs::slowLog().clear();
+    obs::slowLog().setCapacity(16);
+    obs::span::clear();
+    obs::span::setSampling({0, 1}); // 1 us threshold: all slow
+    {
+        GraphService svc(smallService());
+        Server srv(svc, {});
+        ASSERT_TRUE(srv.start()) << srv.lastError();
+        auto c = connectTo(srv);
+        ASSERT_EQ(roundTrip(c, "load g ring 64"), "ok v=1 graph=g");
+        ASSERT_EQ(roundTrip(c, "query g sssp Sequential 0")
+                      .rfind("ok", 0),
+                  0u);
+        // Stop logging so the reads below don't append entries.
+        obs::span::setSampling({0, 0});
+
+        const auto head = roundTrip(c, "slowlog");
+        ASSERT_EQ(head.rfind("ok entries=", 0), 0u) << head;
+        const auto n =
+            std::stoul(head.substr(std::string("ok entries=").size()));
+        ASSERT_EQ(n, 2u) << head; // load + query, exactly once each
+        for (std::size_t i = 0; i < n; ++i) {
+            std::string line;
+            ASSERT_TRUE(c.recvLine(line));
+            EXPECT_NE(line.find("\"total_us\""), std::string::npos)
+                << line;
+            EXPECT_NE(line.find("\"stages\""), std::string::npos)
+                << line;
+            EXPECT_NE(line.find("\"trace\""), std::string::npos)
+                << line;
+        }
+
+        // Same data over HTTP, as newline-delimited JSON.
+        auto h = connectTo(srv);
+        ASSERT_TRUE(h.sendAll("GET /debug/slowlog HTTP/1.1\r\n"
+                              "Connection: close\r\n\r\n"));
+        const auto body = h.recvAll();
+        EXPECT_NE(body.find("HTTP/1.1 200 OK"), std::string::npos);
+        EXPECT_NE(body.find("application/x-ndjson"),
+                  std::string::npos);
+        EXPECT_NE(body.find("\"total_us\""), std::string::npos);
+
+        EXPECT_EQ(roundTrip(c, "slowlog clear"), "ok cleared");
+        EXPECT_EQ(roundTrip(c, "slowlog").rfind("ok entries=0", 0),
+                  0u);
+    }
+    obs::span::setSampling({0, 0});
+    obs::slowLog().clear();
+    obs::span::clear();
+}
+
+TEST(NetServer, HttpMetricsHonorsTraceHeader)
+{
+    obs::span::clear();
+    obs::span::setSampling({0, 0});
+    GraphService svc(smallService());
+    Server srv(svc, {});
+    ASSERT_TRUE(srv.start()) << srv.lastError();
+
+    auto c = connectTo(srv);
+    ASSERT_TRUE(c.sendAll("GET /metrics HTTP/1.1\r\n"
+                          "X-DG-Trace: 0xfeedfacecafe\r\n"
+                          "Connection: close\r\n\r\n"));
+    const auto body = c.recvAll();
+    EXPECT_NE(body.find("HTTP/1.1 200 OK"), std::string::npos);
+    // The stats refresh publishes the build-info gauge.
+    EXPECT_NE(body.find("dg_build_info{"), std::string::npos);
+    // The explicit id force-sampled the render's spans.
+    EXPECT_NE(obs::span::dumpChromeJson().find("0000feedfacecafe"),
+              std::string::npos);
+    obs::span::clear();
 }
 
 TEST(NetServer, SocketRepliesMatchInProcessBitwise)

@@ -251,6 +251,48 @@ TEST(Prometheus, LabelValuesAreEscaped)
               std::string::npos);
 }
 
+TEST(Prometheus, HelpTextIsEscapedInExposition)
+{
+    EXPECT_EQ(escapeHelpText("plain"), "plain");
+    EXPECT_EQ(escapeHelpText("a\\b"), "a\\\\b");
+    EXPECT_EQ(escapeHelpText("two\nlines"), "two\\nlines");
+
+    // A raw newline in help text would split the HELP comment and
+    // corrupt the exposition; the renderer must escape it.
+    Registry reg;
+    reg.counter("dg_helpesc_total", "first\nsecond \\end").inc();
+    const auto text = reg.renderPrometheus();
+    EXPECT_NE(
+        text.find("# HELP dg_helpesc_total first\\nsecond \\\\end"),
+        std::string::npos)
+        << text;
+    EXPECT_EQ(text.find("first\nsecond"), std::string::npos);
+}
+
+TEST(Prometheus, BuildInfoGaugeCarriesVersionCompilerSimd)
+{
+    Registry reg;
+    publishBuildInfo(reg, "avx2");
+    const auto text = reg.renderPrometheus();
+    EXPECT_NE(text.find("# TYPE dg_build_info gauge"),
+              std::string::npos);
+    const auto at = text.find("dg_build_info{");
+    ASSERT_NE(at, std::string::npos) << text;
+    const auto line = text.substr(at, text.find('\n', at) - at);
+    EXPECT_NE(line.find("version=\""), std::string::npos) << line;
+    EXPECT_NE(line.find("compiler=\""), std::string::npos) << line;
+    EXPECT_NE(line.find("simd=\"avx2\""), std::string::npos) << line;
+    EXPECT_NE(line.find("} 1"), std::string::npos) << line;
+    // The embedded strings are never empty, whatever the build.
+    EXPECT_STRNE(buildVersion(), "");
+    EXPECT_STRNE(buildCompiler(), "");
+
+    // Republishing is idempotent: still one instance, still 1.
+    publishBuildInfo(reg, "avx2");
+    EXPECT_EQ(reg.renderPrometheus().find("dg_build_info{", at + 1),
+              std::string::npos);
+}
+
 TEST(Prometheus, LabelsRenderSorted)
 {
     Registry reg;

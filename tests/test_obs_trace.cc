@@ -8,14 +8,20 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <set>
 #include <thread>
+#include <vector>
 
 #include "core/depgraph_system.hh"
 #include "graph/generators.hh"
 #include "obs/json.hh"
+#include "obs/slowlog.hh"
 #include "obs/span.hh"
+#include "service/protocol.hh"
 #include "service/service.hh"
 
 namespace depgraph
@@ -32,11 +38,13 @@ class SpanTest : public ::testing::Test
     void SetUp() override
     {
         obs::span::clear();
+        obs::span::setSampling({0, 0});
         obs::span::setEnabled(true);
     }
     void TearDown() override
     {
         obs::span::setEnabled(false);
+        obs::span::setSampling({0, 0});
         obs::span::clear();
     }
 };
@@ -211,6 +219,320 @@ TEST_F(SpanTest, ServiceRequestsEmitQueueWaitAndHandlerSpans)
     EXPECT_TRUE(phases.count("b"));
     EXPECT_TRUE(phases.count("e"));
     EXPECT_TRUE(phases.count("X"));
+}
+
+TEST_F(SpanTest, RingOverwriteKeepsNewestDropsOldest)
+{
+    // Push well past capacity with a monotone index argument: the
+    // dump must hold exactly the newest `capacity` events, and the
+    // drop counter must equal the number of evicted (oldest) ones.
+    constexpr std::size_t kCap = std::size_t{1} << 16;
+    constexpr std::size_t kOver = 500;
+    for (std::size_t i = 0; i < kCap + kOver; ++i)
+        obs::span::instant("test", "spin", "i", i);
+    EXPECT_EQ(obs::span::droppedEvents(), kOver);
+    EXPECT_EQ(obs::span::recordedEvents(), kCap);
+
+    const auto events = dumpedEvents();
+    ASSERT_TRUE(events.isArray());
+    double min_i = 1e18, max_i = -1.0;
+    std::size_t n = 0;
+    for (const auto &e : events.asArray()) {
+        const auto *args = e.find("args");
+        const auto *i = args ? args->find("i") : nullptr;
+        if (!i)
+            continue;
+        min_i = std::min(min_i, i->asNumber());
+        max_i = std::max(max_i, i->asNumber());
+        ++n;
+    }
+    EXPECT_EQ(n, kCap);
+    EXPECT_DOUBLE_EQ(min_i, static_cast<double>(kOver));
+    EXPECT_DOUBLE_EQ(max_i, static_cast<double>(kCap + kOver - 1));
+}
+
+TEST_F(SpanTest, ConcurrentToggleAndSamplingWithWritersIsSafe)
+{
+    // Writers spin on instants/scopes and the request path while the
+    // main thread flips enable and sampling; run under the tsan CI
+    // label, this is the data-race check for the control plane.
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> writers;
+    for (int t = 0; t < 3; ++t) {
+        writers.emplace_back([&stop] {
+            while (!stop.load(std::memory_order_relaxed)) {
+                obs::span::instant("test", "w");
+                obs::span::Scoped s("test", "s");
+            }
+        });
+    }
+    writers.emplace_back([&stop] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            auto req = obs::span::beginRequest();
+            if (!req)
+                continue;
+            obs::span::RequestScope bind(req);
+            obs::span::instant("test", "r");
+            obs::span::addRequestStage("wal_sync_us", 1);
+            obs::span::finishRequest(req);
+        }
+    });
+    for (int i = 0; i < 200; ++i) {
+        obs::span::setEnabled(i % 2 == 0);
+        obs::span::setSampling(
+            {i % 3 == 0 ? 2u : 0u, i % 5 == 0 ? 1000ull : 0ull});
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    stop.store(true);
+    for (auto &t : writers)
+        t.join();
+
+    obs::span::setSampling({0, 0});
+    obs::span::setEnabled(true);
+    obs::span::instant("test", "after");
+    const auto events = dumpedEvents();
+    EXPECT_GE(named(events, "after").size(), 1u);
+}
+
+TEST(TraceId, FormatAndParseRoundTrip)
+{
+    const auto id = obs::span::newTraceId();
+    EXPECT_NE(id, 0u);
+    const auto hex = obs::span::formatTraceId(id);
+    EXPECT_EQ(hex.size(), 16u);
+    std::uint64_t back = 0;
+    EXPECT_TRUE(obs::span::parseTraceId(hex, back));
+    EXPECT_EQ(back, id);
+
+    EXPECT_TRUE(obs::span::parseTraceId("0xFFFF", back));
+    EXPECT_EQ(back, 0xFFFFu);
+    EXPECT_FALSE(obs::span::parseTraceId("", back));
+    EXPECT_FALSE(obs::span::parseTraceId("0", back)); // zero reserved
+    EXPECT_FALSE(obs::span::parseTraceId("xyz", back));
+    EXPECT_FALSE(
+        obs::span::parseTraceId("12345678901234567", back)); // >16
+}
+
+TEST_F(SpanTest, HeadSamplingCommitsOneInN)
+{
+    obs::span::setEnabled(false);
+    obs::span::setSampling({4, 0});
+    int committed = 0, sampled = 0;
+    for (int i = 0; i < 8; ++i) {
+        auto req = obs::span::beginRequest();
+        if (!req)
+            continue; // unsampled fast path: no object at all
+        ++sampled;
+        obs::span::RequestScope bind(req);
+        obs::span::instant("test", "req_event");
+        const auto s = obs::span::finishRequest(req);
+        EXPECT_TRUE(s.traced);
+        EXPECT_TRUE(s.headSampled);
+        if (s.committed)
+            ++committed;
+    }
+    // Exactly 2 of any 8 consecutive requests hit a 1-in-4 sampler.
+    EXPECT_EQ(sampled, 2);
+    EXPECT_EQ(committed, 2);
+    const auto events = dumpedEvents();
+    EXPECT_EQ(named(events, "req_event").size(), 2u);
+}
+
+TEST_F(SpanTest, ExplicitTraceIdForcesSampling)
+{
+    obs::span::setEnabled(false); // no head sampling, no slow gate
+    std::uint64_t id = 0;
+    ASSERT_TRUE(obs::span::parseTraceId("0xabcdef0123456789", id));
+    auto req = obs::span::beginRequest(id);
+    ASSERT_NE(req, nullptr);
+    {
+        obs::span::RequestScope bind(req);
+        obs::span::instant("test", "forced");
+        EXPECT_EQ(obs::span::currentTraceId(), id);
+    }
+    const auto s = obs::span::finishRequest(req);
+    EXPECT_TRUE(s.headSampled);
+    EXPECT_TRUE(s.committed);
+    EXPECT_EQ(s.traceId, id);
+
+    const auto forced = named(dumpedEvents(), "forced");
+    ASSERT_EQ(forced.size(), 1u);
+    const auto *args = forced[0].find("args");
+    ASSERT_NE(args, nullptr);
+    ASSERT_NE(args->find("trace"), nullptr);
+    EXPECT_EQ(args->find("trace")->asString(),
+              obs::span::formatTraceId(id));
+}
+
+TEST_F(SpanTest, SlowRequestIsPromotedWithoutHeadSampling)
+{
+    obs::span::setEnabled(false);
+    obs::span::setSampling({0, 1}); // 1 us: everything is slow
+    auto req = obs::span::beginRequest();
+    ASSERT_NE(req, nullptr); // tail path keeps scratch alive
+    {
+        obs::span::RequestScope bind(req);
+        obs::span::instant("test", "tail_event");
+        obs::span::addRequestStage("wal_sync_us", 12);
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    const auto s = obs::span::finishRequest(req);
+    EXPECT_TRUE(s.traced);
+    EXPECT_FALSE(s.headSampled);
+    EXPECT_TRUE(s.slow);
+    EXPECT_TRUE(s.committed);
+    bool saw_wal = false, saw_total = false;
+    for (const auto &[k, v] : s.stages) {
+        saw_wal |= std::string(k) == "wal_sync_us" && v == 12;
+        saw_total |= std::string(k) == "total_us" && v > 0;
+    }
+    EXPECT_TRUE(saw_wal);
+    EXPECT_TRUE(saw_total);
+    EXPECT_EQ(named(dumpedEvents(), "tail_event").size(), 1u);
+}
+
+TEST_F(SpanTest, FastUnsampledRequestIsDiscarded)
+{
+    obs::span::setEnabled(false);
+    obs::span::setSampling({0, 60'000'000}); // 60 s: nothing is slow
+    auto req = obs::span::beginRequest();
+    ASSERT_NE(req, nullptr);
+    {
+        obs::span::RequestScope bind(req);
+        obs::span::instant("test", "discarded");
+    }
+    const auto s = obs::span::finishRequest(req);
+    EXPECT_TRUE(s.traced);
+    EXPECT_FALSE(s.headSampled);
+    EXPECT_FALSE(s.slow);
+    EXPECT_FALSE(s.committed);
+    EXPECT_EQ(obs::span::recordedEvents(), 0u);
+    // A second finish of the same request is inert.
+    EXPECT_FALSE(obs::span::finishRequest(req).traced);
+}
+
+TEST_F(SpanTest, RequestScratchDropsNewestPastCapacity)
+{
+    obs::span::setEnabled(false);
+    const auto cap = obs::span::requestScratchCapacity();
+    auto req = obs::span::beginRequest(0x1234); // forced commit
+    ASSERT_NE(req, nullptr);
+    {
+        obs::span::RequestScope bind(req);
+        for (std::size_t i = 0; i < cap + 10; ++i)
+            obs::span::instant("test", "flood", "i", i);
+    }
+    const auto s = obs::span::finishRequest(req);
+    EXPECT_EQ(s.scratchDropped, 10u);
+
+    // The kept side is the oldest: the request's start is the story.
+    const auto flood = named(dumpedEvents(), "flood");
+    ASSERT_EQ(flood.size(), cap);
+    double max_i = -1.0;
+    for (const auto &e : flood)
+        max_i = std::max(max_i, e.find("args")->find("i")->asNumber());
+    EXPECT_DOUBLE_EQ(max_i, static_cast<double>(cap - 1));
+}
+
+TEST(SlowLogTest, RenderJsonLinesRoundTrips)
+{
+    obs::SlowLog log(8);
+    obs::SlowEntry e;
+    e.unixMs = 1700000000123ull;
+    e.traceId = 0xdeadbeefcafef00dull;
+    e.totalUs = 1234;
+    e.traceCommitted = true;
+    e.verb = "query";
+    e.request = "query g pagerank \"quoted\"\npart";
+    e.stages = {{"queue_wait_us", 10}, {"total_us", 1234}};
+    log.append(e);
+
+    const auto text = log.renderJsonLines();
+    ASSERT_FALSE(text.empty());
+    EXPECT_EQ(text.back(), '\n');
+    std::string err;
+    const auto doc =
+        obs::json::parse(text.substr(0, text.size() - 1), &err);
+    ASSERT_TRUE(doc.has_value()) << err;
+    ASSERT_TRUE(doc->isObject());
+    EXPECT_DOUBLE_EQ(doc->find("ts_unix_ms")->asNumber(),
+                     1700000000123.0);
+    EXPECT_EQ(doc->find("trace")->asString(), "deadbeefcafef00d");
+    EXPECT_DOUBLE_EQ(doc->find("total_us")->asNumber(), 1234.0);
+    EXPECT_TRUE(doc->find("trace_committed")->asBool());
+    EXPECT_EQ(doc->find("verb")->asString(), "query");
+    // The embedded quote and newline survived escaping.
+    EXPECT_NE(doc->find("request")->asString().find("\"quoted\"\npart"),
+              std::string::npos);
+    const auto *stages = doc->find("stages");
+    ASSERT_NE(stages, nullptr);
+    EXPECT_DOUBLE_EQ(stages->find("queue_wait_us")->asNumber(), 10.0);
+    EXPECT_DOUBLE_EQ(stages->find("total_us")->asNumber(), 1234.0);
+}
+
+TEST(SlowLogTest, CapacityEvictsOldest)
+{
+    obs::SlowLog log(2);
+    for (std::uint64_t i = 0; i < 5; ++i) {
+        obs::SlowEntry e;
+        e.totalUs = i;
+        log.append(e);
+    }
+    EXPECT_EQ(log.size(), 2u);
+    EXPECT_EQ(log.totalAppended(), 5u);
+    const auto snap = log.snapshot();
+    ASSERT_EQ(snap.size(), 2u);
+    EXPECT_EQ(snap[0].totalUs, 3u);
+    EXPECT_EQ(snap[1].totalUs, 4u);
+
+    log.setCapacity(1);
+    EXPECT_EQ(log.size(), 1u);
+    EXPECT_EQ(log.snapshot()[0].totalUs, 4u);
+    log.clear();
+    EXPECT_EQ(log.size(), 0u);
+    EXPECT_EQ(log.totalAppended(), 0u);
+}
+
+TEST_F(SpanTest, TracedServiceRequestFeedsSlowlogWithStages)
+{
+    obs::span::setEnabled(false);
+    obs::span::setSampling({0, 1}); // 1 us: every request is slow
+    obs::slowLog().clear();
+    obs::slowLog().setCapacity(16);
+
+    service::ServiceOptions opt;
+    opt.pool.numThreads = 2;
+    opt.system.machine.numCores = 2;
+    opt.system.engine.numCores = 2;
+    {
+        service::GraphService svc(opt);
+        svc.loadGraph("g", graph::ring(64));
+        const auto r = service::runTracedCommandLine(
+            svc, "query g pagerank Sequential 0");
+        EXPECT_EQ(r.output.rfind("ok", 0), 0u) << r.output;
+        svc.drain();
+    }
+
+    // Exactly one request ran over the threshold -> exactly one entry.
+    ASSERT_EQ(obs::slowLog().size(), 1u);
+    const auto snap = obs::slowLog().snapshot();
+    EXPECT_EQ(snap[0].verb, "query");
+    EXPECT_NE(snap[0].traceId, 0u);
+    EXPECT_GT(snap[0].totalUs, 0u);
+    EXPECT_TRUE(snap[0].traceCommitted); // slow promotes the spans
+    bool saw_queue = false, saw_total = false;
+    for (const auto &[k, v] : snap[0].stages) {
+        saw_queue |= k == "queue_wait_us";
+        saw_total |= k == "total_us" && v > 0;
+    }
+    EXPECT_TRUE(saw_queue);
+    EXPECT_TRUE(saw_total);
+
+    // The promoted spans reached the dump under the logged trace id.
+    const auto dump = obs::span::dumpChromeJson();
+    EXPECT_NE(dump.find(obs::span::formatTraceId(snap[0].traceId)),
+              std::string::npos);
+    obs::slowLog().clear();
 }
 
 } // namespace

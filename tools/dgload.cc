@@ -33,6 +33,7 @@
 #include "common/options.hh"
 #include "net/client.hh"
 #include "net/router.hh"
+#include "obs/span.hh"
 
 namespace
 {
@@ -182,6 +183,10 @@ main(int argc, char **argv)
     o.declare("connect_retries", "10",
               "bounded connect attempts (initial and per reconnect), "
               "exponential backoff with jitter between them");
+    o.declare("trace_every", "0",
+              "prepend a fresh trace=<id> token to every Kth request "
+              "per worker, and finish with a fan-out probe that sends "
+              "ONE trace id to every shard (0 = off)");
     o.declare("json", "", "write results to this JSON file");
     o.parse(argc, argv);
 
@@ -202,6 +207,8 @@ main(int argc, char **argv)
     const double mix[kNumOps] = {o.getDouble("mix_query"),
                                  o.getDouble("mix_update"),
                                  o.getDouble("mix_del")};
+    const auto trace_every =
+        static_cast<std::size_t>(o.getInt("trace_every"));
 
     // Fleet: every client computes placement with the same ring the
     // operators configured, so a graph's traffic always lands on the
@@ -286,6 +293,14 @@ main(int argc, char **argv)
                     op = 2;
 
                 std::ostringstream cmd;
+                // Client-side trace propagation: a trace= token rides
+                // the line protocol and force-samples the request on
+                // whichever shard serves it.
+                if (trace_every != 0 && i % trace_every == 0)
+                    cmd << "trace="
+                        << obs::span::formatTraceId(
+                               obs::span::newTraceId())
+                        << " ";
                 if (op == 0)
                     cmd << "query " << graph << " " << algo << " "
                         << solution << " 1";
@@ -358,6 +373,39 @@ main(int argc, char **argv)
                                                         - t0)
                              .count();
 
+    // Fan-out probe: after the load run, ONE trace id visits every
+    // shard, so merging the shards' dumps with tools/dgtrace yields a
+    // single request stitched across all their processes.
+    std::string fanout_trace;
+    std::size_t fanout_shards = 0;
+    if (trace_every != 0) {
+        fanout_trace =
+            obs::span::formatTraceId(obs::span::newTraceId());
+        std::mt19937_64 fan_rng(
+            static_cast<std::uint64_t>(o.getInt("seed")) ^ 0xfa17);
+        for (const auto &ep : router.endpoints()) {
+            // Prefer a graph this shard owns so the traced leg does
+            // real engine work; fall back to the graphs verb (its
+            // reply is a single `ok` line whatever the shard holds).
+            std::string cmd = "trace=" + fanout_trace + " graphs";
+            for (const auto &g : graph_names)
+                if (router.shardForGraph(g) == ep) {
+                    cmd = "trace=" + fanout_trace + " query " + g
+                        + " " + algo + " " + solution + " 1";
+                    break;
+                }
+            net::Client c;
+            if (!connectWithRetry(c, ep, timeout, fan_rng,
+                                  connect_retries))
+                continue;
+            std::string reply;
+            if (c.sendLine(cmd) && c.recvLine(reply)
+                && reply.rfind("ok", 0) == 0)
+                ++fanout_shards;
+            c.sendLine("quit");
+        }
+    }
+
     std::vector<Summary> summaries;
     std::vector<std::uint64_t> all;
     for (std::size_t op = 0; op < kNumOps; ++op) {
@@ -388,6 +436,9 @@ main(int argc, char **argv)
                   << " mean=" << s.meanUs << "us p50=" << s.p50Us
                   << "us p99=" << s.p99Us << "us max=" << s.maxUs
                   << "us\n";
+    if (!fanout_trace.empty())
+        std::cout << "  fanout trace=" << fanout_trace << " shards="
+                  << fanout_shards << "/" << router.size() << "\n";
     for (const auto &e : counters.errSamples)
         std::cout << "  err sample: " << e << "\n";
 
@@ -418,6 +469,8 @@ main(int argc, char **argv)
            << ", \"transport_errors\": "
            << counters.transportErrors.load()
            << ", \"reconnects\": " << counters.reconnects.load()
+           << ", \"fanout_trace\": \"" << fanout_trace
+           << "\", \"fanout_shards\": " << fanout_shards
            << "}\n]\n";
         std::cout << "wrote " << json_path << "\n";
     }

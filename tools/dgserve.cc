@@ -41,6 +41,7 @@
 #include "common/failpoint.hh"
 #include "common/options.hh"
 #include "net/server.hh"
+#include "obs/slowlog.hh"
 #include "obs/span.hh"
 #include "service/protocol.hh"
 
@@ -106,7 +107,7 @@ serveStdin(depgraph::service::GraphService &svc, bool echo,
     while (!g_signal && std::getline(std::cin, line)) {
         if (echo)
             std::cout << "> " << line << "\n";
-        const auto r = service::runCommandLine(svc, line);
+        const auto r = service::runTracedCommandLine(svc, line);
         if (!r.output.empty())
             std::cout << r.output << "\n";
         std::cout.flush();
@@ -207,6 +208,14 @@ main(int argc, char **argv)
               "'metrics' verb publishes on demand either way)");
     o.declare("trace", "false",
               "start with span tracing on (same as 'trace on')");
+    o.declare("trace_sample", "0",
+              "head-sample 1 in N requests into the trace ring "
+              "(0 = off; client-supplied trace= ids are always kept)");
+    o.declare("slow_ms", "0",
+              "slow-query threshold in ms: requests over it are "
+              "logged to the slowlog and trace-committed (0 = off)");
+    o.declare("slowlog_cap", "256",
+              "slow-query log ring capacity (entries)");
     o.declare("echo", "false", "echo each command before its reply");
     o.declare("listen", "-1",
               "TCP port to serve on (-1 = stdin mode; 0 = ephemeral, "
@@ -302,6 +311,11 @@ main(int argc, char **argv)
     }
     if (o.getBool("trace"))
         obs::span::setEnabled(true);
+    obs::span::setSampling(
+        {static_cast<std::uint32_t>(o.getInt("trace_sample")),
+         static_cast<std::uint64_t>(o.getInt("slow_ms")) * 1000});
+    obs::slowLog().setCapacity(
+        static_cast<std::size_t>(o.getInt("slowlog_cap")));
 
     service::GraphService svc(sopt);
 

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * dgtrace — merge Chrome trace_event dumps from several shard
+ * processes into one trace.
+ *
+ *   dgtrace --out merged.json [--trace <hex-id>] shard0.json shard1.json ...
+ *
+ * Each input is one process's `trace dump` output. The merger:
+ *  - gives each input a distinct pid (input order) and emits a
+ *    process_name metadata event carrying the source filename;
+ *  - aligns clocks: every dump records otherData.epochUnixUs (the wall
+ *    clock of its steady-clock trace epoch), so shifting each file's
+ *    timestamps by (epochUnixUs - min epochUnixUs) puts all processes
+ *    on one timeline;
+ *  - with --trace <hex-id>, keeps only events tagged args.trace ==
+ *    <hex-id> (plus metadata), isolating one request's spans across
+ *    the whole fleet.
+ *
+ * The result loads in about://tracing / ui.perfetto.dev; spans of one
+ * request share an args.trace value across pids.
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+#include "obs/span.hh"
+
+namespace
+{
+
+using namespace depgraph;
+
+/** Serialize a parsed value back to JSON; integral doubles print as
+ * integers so round-tripped timestamps stay exact. */
+void
+render(std::ostringstream &os, const obs::json::Value &v)
+{
+    using Type = obs::json::Value::Type;
+    switch (v.type()) {
+      case Type::Null:
+        os << "null";
+        break;
+      case Type::Bool:
+        os << (v.asBool() ? "true" : "false");
+        break;
+      case Type::Number: {
+        const double d = v.asNumber();
+        if (d == std::floor(d) && std::abs(d) < 9.007199254740992e15)
+            os << static_cast<long long>(d);
+        else
+            os << d;
+        break;
+      }
+      case Type::String: {
+        os << '"';
+        for (const char c : v.asString()) {
+            switch (c) {
+              case '"':
+                os << "\\\"";
+                break;
+              case '\\':
+                os << "\\\\";
+                break;
+              case '\n':
+                os << "\\n";
+                break;
+              case '\t':
+                os << "\\t";
+                break;
+              default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x",
+                                  static_cast<unsigned>(c) & 0xff);
+                    os << buf;
+                } else {
+                    os << c;
+                }
+            }
+        }
+        os << '"';
+        break;
+      }
+      case Type::Array: {
+        os << '[';
+        bool first = true;
+        for (const auto &e : v.asArray()) {
+            if (!first)
+                os << ',';
+            first = false;
+            render(os, e);
+        }
+        os << ']';
+        break;
+      }
+      case Type::Object: {
+        os << '{';
+        bool first = true;
+        for (const auto &[k, val] : v.asObject()) {
+            if (!first)
+                os << ',';
+            first = false;
+            os << '"' << k << "\":";
+            render(os, val);
+        }
+        os << '}';
+        break;
+      }
+    }
+}
+
+struct Input
+{
+    std::string path;
+    obs::json::Value doc;
+    std::uint64_t epochUnixUs = 0;
+};
+
+int
+usage()
+{
+    std::cerr
+        << "usage: dgtrace --out <merged.json> [--trace <hex-id>] "
+           "<shard.json> [<shard.json> ...]\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path;
+    std::string trace_filter;
+    std::vector<std::string> inputs;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (arg == "--trace" && i + 1 < argc) {
+            trace_filter = argv[++i];
+        } else if (arg == "--help" || arg == "-h") {
+            return usage();
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "dgtrace: unknown option '" << arg << "'\n";
+            return usage();
+        } else {
+            inputs.push_back(arg);
+        }
+    }
+    if (out_path.empty() || inputs.empty())
+        return usage();
+    if (!trace_filter.empty()) {
+        // Canonicalize so `--trace 0xAB..` matches the dump format.
+        std::uint64_t id = 0;
+        if (!obs::span::parseTraceId(trace_filter, id)) {
+            std::cerr << "dgtrace: bad --trace id '" << trace_filter
+                      << "'\n";
+            return 2;
+        }
+        trace_filter = obs::span::formatTraceId(id);
+    }
+
+    std::vector<Input> files;
+    std::uint64_t min_epoch = UINT64_MAX;
+    for (const auto &path : inputs) {
+        std::ifstream is(path);
+        if (!is) {
+            std::cerr << "dgtrace: cannot open '" << path << "'\n";
+            return 1;
+        }
+        std::ostringstream buf;
+        buf << is.rdbuf();
+        std::string err;
+        auto doc = obs::json::parse(buf.str(), &err);
+        if (!doc || !doc->isObject()) {
+            std::cerr << "dgtrace: " << path << ": " << err << "\n";
+            return 1;
+        }
+        Input in;
+        in.path = path;
+        if (const auto *other = doc->find("otherData"))
+            if (const auto *epoch = other->find("epochUnixUs"))
+                in.epochUnixUs =
+                    static_cast<std::uint64_t>(epoch->asNumber());
+        in.doc = std::move(*doc);
+        min_epoch = std::min(min_epoch, in.epochUnixUs);
+        files.push_back(std::move(in));
+    }
+    if (min_epoch == UINT64_MAX)
+        min_epoch = 0;
+
+    std::ostringstream os;
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    std::size_t kept = 0, dropped = 0;
+    for (std::size_t f = 0; f < files.size(); ++f) {
+        const auto pid = f + 1;
+        if (!first)
+            os << ',';
+        first = false;
+        os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+           << ",\"tid\":0,\"args\":{\"name\":\"";
+        for (const char c : files[f].path)
+            if (c == '"' || c == '\\')
+                os << '\\' << c;
+            else
+                os << c;
+        os << "\"}}";
+
+        const auto *events = files[f].doc.find("traceEvents");
+        if (!events || !events->isArray())
+            continue;
+        const std::uint64_t shift =
+            files[f].epochUnixUs - min_epoch;
+        for (const auto &ev : events->asArray()) {
+            if (!ev.isObject())
+                continue;
+            if (!trace_filter.empty()) {
+                const auto *args = ev.find("args");
+                const auto *trace =
+                    args ? args->find("trace") : nullptr;
+                if (!trace || !trace->isString()
+                    || trace->asString() != trace_filter) {
+                    ++dropped;
+                    continue;
+                }
+            }
+            ++kept;
+            os << ",{";
+            bool first_key = true;
+            for (const auto &[k, val] : ev.asObject()) {
+                if (!first_key)
+                    os << ',';
+                first_key = false;
+                os << '"' << k << "\":";
+                if (k == "pid") {
+                    os << pid;
+                } else if (k == "ts" && val.isNumber()) {
+                    os << static_cast<std::uint64_t>(val.asNumber())
+                            + shift;
+                } else {
+                    render(os, val);
+                }
+            }
+            os << '}';
+        }
+    }
+    os << "],\"displayTimeUnit\":\"ms\"}";
+
+    std::ofstream out(out_path);
+    if (!out) {
+        std::cerr << "dgtrace: cannot write '" << out_path << "'\n";
+        return 1;
+    }
+    out << os.str();
+    std::cout << "dgtrace: merged " << files.size() << " file(s), "
+              << kept << " event(s)";
+    if (!trace_filter.empty())
+        std::cout << " matching trace=" << trace_filter << " ("
+                  << dropped << " filtered out)";
+    std::cout << " -> " << out_path << "\n";
+    return 0;
+}
