@@ -1,15 +1,22 @@
 /**
  * @file
- * Strong-scaling sweep for the native parallel engine.
+ * Strong-scaling sweep + carry-vs-rescan A/B for the native parallel
+ * engine.
  *
- * Runs PageRank / SSSP / WCC on one R-MAT graph under
+ * Part 1 runs PageRank / SSSP / WCC on one R-MAT graph under
  * Solution::Parallel at 1, 2, 4 and 8 host threads and reports
  * wall-clock makespan, rounds and speedup versus the single-thread
  * run. Unlike the fig* binaries this measures REAL time on the host,
  * not simulated cycles, so results depend on the machine it runs on.
  *
+ * Part 2 A/Bs the cross-round active-list carry against the legacy
+ * full-range rescan (same graph, same thread count, best of --reps
+ * runs per mode) and records per-round active-set sizes, so the
+ * sparse-frontier tail the carry targets is visible in the archived
+ * JSON.
+ *
  * Emits BENCH_parallel.json (an array of per-run records) for CI to
- * archive, and optionally gates on the 4-thread PageRank speedup:
+ * archive, and optionally gates:
  *
  *   parallel_scaling --gate-pagerank-speedup 1.5
  *
@@ -18,11 +25,19 @@
  * exposes fewer than 4 hardware threads -- a single-core runner
  * physically cannot show parallel speedup, and failing there would
  * only test the CI fleet, not the engine.
+ *
+ *   parallel_scaling --gate-carry-pct 10
+ *
+ * exits non-zero if the carry-mode PageRank A/B run is more than 10%
+ * slower than the rescan-mode run (carry must never lose beyond
+ * noise; it runs on any host since both modes share the machine).
  */
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <map>
+#include <string>
 #include <thread>
 
 #include "bench/bench_util.hh"
@@ -32,6 +47,23 @@
 
 using namespace depgraph;
 
+namespace
+{
+
+std::string
+joinRounds(const std::vector<std::uint64_t> &xs)
+{
+    std::string s;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        if (i)
+            s += ',';
+        s += std::to_string(xs[i]);
+    }
+    return s;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
@@ -39,11 +71,20 @@ main(int argc, char **argv)
     env.opts.declare("n", "65536", "R-MAT vertex count (power of two)");
     env.opts.declare("degree", "16", "R-MAT average degree");
     env.opts.declare("seed", "42", "R-MAT seed");
+    env.opts.declare("reps", "3",
+                     "runs per mode in the carry A/B (best-of)");
+    env.opts.declare("ab-threads", "0",
+                     "thread count for the carry A/B (0 = min(4, "
+                     "hardware threads))");
     env.opts.declare("json", "BENCH_parallel.json",
                      "output path for the JSON records");
     env.opts.declare("gate-pagerank-speedup", "0",
                      "fail unless pagerank 4-thread speedup >= this "
                      "(0 = no gate; auto-skips on <4 hardware threads)");
+    env.opts.declare("gate-carry-pct", "0",
+                     "fail if carry-mode pagerank is more than this "
+                     "many percent slower than rescan mode (0 = no "
+                     "gate)");
     env.parse(argc, argv);
 
     const auto n = static_cast<VertexId>(env.opts.getInt("n"));
@@ -81,6 +122,8 @@ main(int argc, char **argv)
                 static_cast<double>(r.metrics.makespan) / 1e6;
             wall[{algo, t}] = ms;
             json.beginRecord()
+                .field("section", "scaling")
+                .field("mode", "carry")
                 .field("algo", algo)
                 .field("threads", t)
                 .field("hardware_threads", hw)
@@ -90,6 +133,10 @@ main(int argc, char **argv)
                 .field("rounds", std::uint64_t{r.metrics.rounds})
                 .field("updates", r.metrics.updates)
                 .field("edge_ops", r.metrics.edgeOps)
+                .field("actives_carried", r.metrics.activesCarried)
+                .field("rescan_fallbacks", r.metrics.rescanFallbacks)
+                .field("chunk_final",
+                       std::uint64_t{r.metrics.chunkSizeFinal})
                 .field("converged", r.metrics.converged)
                 .field("speedup_vs_1t",
                        wall[{algo, 1u}] > 0.0
@@ -117,6 +164,63 @@ main(int argc, char **argv)
     std::printf("\n");
     table.print();
 
+    /* ---- Carry vs rescan A/B. ---- */
+    unsigned ab_t =
+        static_cast<unsigned>(env.opts.getInt("ab-threads"));
+    if (ab_t == 0)
+        ab_t = std::min(4u, std::max(1u, hw));
+    const auto reps =
+        std::max(1, static_cast<int>(env.opts.getInt("reps")));
+    std::printf("\n=== carry vs rescan (t=%u, best of %d) ===\n", ab_t,
+                reps);
+    // algo -> best wall ms per mode, for the gate below.
+    std::map<std::string, double> abCarry, abRescan;
+    for (const char *algo : algos) {
+        for (const bool carry : {false, true}) {
+            double best = 0.0;
+            std::uint64_t carried = 0, fallbacks = 0, rounds = 0;
+            std::string actives;
+            for (int rep = 0; rep < reps; ++rep) {
+                SystemConfig cfg;
+                cfg.engine.hostThreads = ab_t;
+                cfg.engine.carryActiveList = carry;
+                DepGraphSystem sys(cfg);
+                const auto r = sys.run(g, algo, Solution::Parallel);
+                const double ms =
+                    static_cast<double>(r.metrics.makespan) / 1e6;
+                if (rep == 0 || ms < best) {
+                    best = ms;
+                    carried = r.metrics.activesCarried;
+                    fallbacks = r.metrics.rescanFallbacks;
+                    rounds = r.metrics.rounds;
+                    actives = joinRounds(r.roundActives);
+                }
+            }
+            (carry ? abCarry : abRescan)[algo] = best;
+            json.beginRecord()
+                .field("section", "carry_ab")
+                .field("mode", carry ? "carry" : "rescan")
+                .field("algo", algo)
+                .field("threads", ab_t)
+                .field("reps", static_cast<std::uint64_t>(reps))
+                .field("wall_ms", best)
+                .field("rounds", rounds)
+                .field("actives_carried", carried)
+                .field("rescan_fallbacks", fallbacks)
+                .field("round_actives", actives);
+            std::printf("  %-8s %-6s  %9.1f ms  %4llu rounds  "
+                        "carried %llu  fallbacks %llu\n",
+                        algo, carry ? "carry" : "rescan", best,
+                        static_cast<unsigned long long>(rounds),
+                        static_cast<unsigned long long>(carried),
+                        static_cast<unsigned long long>(fallbacks));
+        }
+        const double ratio = abRescan[algo] > 0.0
+            ? abCarry[algo] / abRescan[algo]
+            : 1.0;
+        std::printf("  %-8s carry/rescan = %.3f\n", algo, ratio);
+    }
+
     const auto path = env.opts.getString("json");
     if (!json.writeFile(path)) {
         std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -130,18 +234,36 @@ main(int argc, char **argv)
         if (hw < 4) {
             std::printf("gate: SKIPPED (host has %u hardware threads; "
                         "parallel speedup needs >= 4)\n", hw);
-            return 0;
+        } else {
+            const double s4 =
+                wall[{"pagerank", 1u}] / wall[{"pagerank", 4u}];
+            if (s4 < gate) {
+                std::fprintf(stderr,
+                             "gate: FAILED pagerank 4-thread speedup "
+                             "%.2fx < required %.2fx\n", s4, gate);
+                return 1;
+            }
+            std::printf("gate: PASSED pagerank 4-thread speedup "
+                        "%.2fx >= %.2fx\n", s4, gate);
         }
-        const double s4 =
-            wall[{"pagerank", 1u}] / wall[{"pagerank", 4u}];
-        if (s4 < gate) {
+    }
+
+    const double carry_pct = env.opts.getDouble("gate-carry-pct");
+    if (carry_pct > 0.0) {
+        const double allowed =
+            abRescan["pagerank"] * (1.0 + carry_pct / 100.0);
+        if (abCarry["pagerank"] > allowed) {
             std::fprintf(stderr,
-                         "gate: FAILED pagerank 4-thread speedup "
-                         "%.2fx < required %.2fx\n", s4, gate);
+                         "gate: FAILED carry pagerank %.1f ms > "
+                         "rescan %.1f ms + %.0f%% margin\n",
+                         abCarry["pagerank"], abRescan["pagerank"],
+                         carry_pct);
             return 1;
         }
-        std::printf("gate: PASSED pagerank 4-thread speedup %.2fx "
-                    ">= %.2fx\n", s4, gate);
+        std::printf("gate: PASSED carry pagerank %.1f ms <= rescan "
+                    "%.1f ms + %.0f%% margin\n",
+                    abCarry["pagerank"], abRescan["pagerank"],
+                    carry_pct);
     }
     return 0;
 }

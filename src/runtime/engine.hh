@@ -53,6 +53,17 @@ struct HubArtifacts
     bool empty() const { return deps.empty(); }
 };
 
+/** NUMA placement policy for the native parallel engine. `Auto`
+ * probes /sys/devices/system/node and, on multi-node hosts, binds
+ * workers to nodes (first-touch array placement + same-node-first
+ * steal order); on single-node hosts it is behaviorally identical to
+ * `Off` apart from workers first-touching their own partitions. */
+enum class NumaMode
+{
+    Auto,
+    Off,
+};
+
 /** Knobs shared by all engines; DepGraph-specific ones are ignored by
  * the software baselines. */
 struct EngineOptions
@@ -60,6 +71,21 @@ struct EngineOptions
     unsigned numCores = 64;      ///< cores to use (<= machine cores)
     unsigned maxRounds = 100000; ///< convergence safety limit
     unsigned chunkSize = 32;     ///< work-stealing chunk granularity
+                                 ///< (initial value when adaptive)
+
+    /** Carry the active list across rounds in the parallel engine
+     * instead of rescanning the full vertex range at every barrier.
+     * The rescan path is kept for differential testing and as the
+     * dense-frontier fallback. */
+    bool carryActiveList = true;
+
+    /** Let the parallel engine retune chunk granularity per round
+     * from the previous round's steal/idle counters (bounded,
+     * deterministic function of those counters). */
+    bool adaptiveChunking = true;
+
+    /** NUMA placement for the parallel engine. */
+    NumaMode numa = NumaMode::Auto;
 
     /* DepGraph knobs (paper defaults: lambda=0.5%, beta=0.001,
      * stack depth 10). */

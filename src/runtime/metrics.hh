@@ -48,6 +48,15 @@ struct RunMetrics
     std::uint64_t prefetchedEdges = 0;
     std::size_t hubIndexBytes = 0;
 
+    /* Parallel-engine scheduling counters (0 for other engines). */
+    std::uint64_t activesCarried = 0;  ///< actives found via carry
+                                       ///< lists (no full rescan)
+    std::uint64_t rescanFallbacks = 0; ///< dense full-range scans a
+                                       ///< carry-mode worker fell
+                                       ///< back to
+    unsigned chunkSizeFinal = 0;       ///< adaptive chunk size at the
+                                       ///< last executed round
+
     unsigned coresUsed = 1;
 
     /** Total busy cycles (anything but idle), summed over cores. */
@@ -95,6 +104,10 @@ struct RunMetrics
 struct RunResult
 {
     std::vector<Value> states;
+    /** Global active-set size per executed round (parallel engine
+     * only; empty elsewhere). The sparse-frontier tail this records
+     * is what the cross-round carry optimizes. */
+    std::vector<std::uint64_t> roundActives;
     RunMetrics metrics;
     sim::MachineStats memStats;
     sim::EnergyBreakdown energy;

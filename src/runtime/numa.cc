@@ -1,0 +1,131 @@
+#include "runtime/numa.hh"
+
+#include <cstring>
+#include <fstream>
+#include <thread>
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace depgraph::runtime
+{
+
+std::vector<unsigned>
+parseCpuList(const std::string &list)
+{
+    std::vector<unsigned> cpus;
+    std::size_t i = 0;
+    const auto digits = [&](unsigned &out) {
+        if (i >= list.size() || list[i] < '0' || list[i] > '9')
+            return false;
+        unsigned long v = 0;
+        bool sane = true;
+        while (i < list.size() && list[i] >= '0' && list[i] <= '9') {
+            v = v * 10 + static_cast<unsigned long>(list[i] - '0');
+            if (v > 1u << 20)
+                sane = false; // absurd cpu id: whole run is junk
+            ++i;
+        }
+        out = static_cast<unsigned>(v);
+        return sane;
+    };
+    while (i < list.size()) {
+        unsigned lo = 0;
+        if (!digits(lo)) {
+            ++i; // skip junk (whitespace, trailing newline)
+            continue;
+        }
+        unsigned hi = lo;
+        if (i < list.size() && list[i] == '-') {
+            ++i;
+            if (!digits(hi) || hi < lo)
+                continue; // malformed range: drop it
+        }
+        for (unsigned c = lo; c <= hi && hi - lo < 4096; ++c)
+            cpus.push_back(c);
+        if (i < list.size() && list[i] == ',')
+            ++i;
+    }
+    return cpus;
+}
+
+NumaTopology
+probeNumaTopology(const std::string &root)
+{
+    NumaTopology topo;
+    for (unsigned k = 0; k < 256; ++k) {
+        std::ifstream in(root + "/node" + std::to_string(k)
+                         + "/cpulist");
+        if (!in)
+            break;
+        std::string line;
+        std::getline(in, line);
+        auto cpus = parseCpuList(line);
+        if (cpus.empty())
+            continue; // memory-only node: no workers land there
+        topo.nodes.push_back({k, std::move(cpus)});
+    }
+    if (topo.nodes.empty()) {
+        NumaNode all;
+        all.id = 0;
+        const unsigned hw =
+            std::max(1u, std::thread::hardware_concurrency());
+        for (unsigned c = 0; c < hw; ++c)
+            all.cpus.push_back(c);
+        topo.nodes.push_back(std::move(all));
+    }
+    return topo;
+}
+
+#ifdef __linux__
+
+ScopedAffinity::ScopedAffinity(const std::vector<unsigned> &cpus)
+{
+    static_assert(sizeof(saved_) >= sizeof(cpu_set_t));
+    if (cpus.empty())
+        return;
+    cpu_set_t prev;
+    CPU_ZERO(&prev);
+    if (pthread_getaffinity_np(pthread_self(), sizeof(prev), &prev)
+        != 0)
+        return;
+    cpu_set_t want;
+    CPU_ZERO(&want);
+    bool any = false;
+    for (const unsigned c : cpus) {
+        if (c < CPU_SETSIZE && CPU_ISSET(c, &prev)) {
+            CPU_SET(c, &want);
+            any = true;
+        }
+    }
+    /* Never bind to cpus the thread is not allowed on (cgroup /
+     * taskset restrictions); an empty intersection means placement is
+     * out of our hands. */
+    if (!any)
+        return;
+    if (pthread_setaffinity_np(pthread_self(), sizeof(want), &want)
+        != 0)
+        return;
+    std::memcpy(saved_, &prev, sizeof(prev));
+    bound_ = true;
+}
+
+ScopedAffinity::~ScopedAffinity()
+{
+    if (!bound_)
+        return;
+    cpu_set_t prev;
+    std::memcpy(&prev, saved_, sizeof(prev));
+    pthread_setaffinity_np(pthread_self(), sizeof(prev), &prev);
+}
+
+#else
+
+ScopedAffinity::ScopedAffinity(const std::vector<unsigned> &) {}
+ScopedAffinity::~ScopedAffinity() = default;
+
+#endif
+
+} // namespace depgraph::runtime

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * NUMA topology probing and placement helpers for the native parallel
+ * engine.
+ *
+ * Topology comes from `/sys/devices/system/node/node<K>/cpulist`; a
+ * host without that tree (non-Linux, restricted container, genuinely
+ * single-socket) degrades to one node holding every hardware thread,
+ * so the engine behaves identically on CI runners and the dev box.
+ * Placement has three cooperating pieces:
+ *
+ *  - nodeOfWorker(): contiguous worker->node assignment, so adjacent
+ *    vertex-range partitions (which exchange the most shadow traffic)
+ *    share a node;
+ *  - ScopedAffinity: bind the calling thread to a node's cpu set for
+ *    the duration of a run and restore the previous mask on exit (the
+ *    parallel engine runs worker 0 on the caller's thread -- often a
+ *    service-pool thread that outlives the run);
+ *  - FirstTouchArray: cache-line-aligned storage whose elements are
+ *    constructed by the owning worker AFTER binding, so the kernel's
+ *    first-touch policy places each partition's state/delta pages on
+ *    the worker's own node.
+ */
+
+#ifndef DEPGRAPH_RUNTIME_NUMA_HH
+#define DEPGRAPH_RUNTIME_NUMA_HH
+
+#include <cstddef>
+#include <new>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace depgraph::runtime
+{
+
+struct NumaNode
+{
+    unsigned id = 0;
+    std::vector<unsigned> cpus;
+};
+
+struct NumaTopology
+{
+    std::vector<NumaNode> nodes;
+
+    unsigned
+    numNodes() const
+    {
+        return static_cast<unsigned>(nodes.size());
+    }
+
+    bool multiNode() const { return nodes.size() > 1; }
+};
+
+/** Parse a sysfs cpulist ("0-3,8,10-11") into cpu ids, ascending.
+ * Malformed chunks are skipped; an unparsable string yields empty. */
+std::vector<unsigned> parseCpuList(const std::string &list);
+
+/** Probe `<root>/node<K>/cpulist` for K = 0, 1, ... (default root is
+ * /sys/devices/system/node). Falls back to a single node covering
+ * hardware_concurrency() cpus when the tree is absent or empty. */
+NumaTopology probeNumaTopology(
+    const std::string &root = "/sys/devices/system/node");
+
+/** Node of worker w out of T when K nodes exist: contiguous blocks
+ * (workers 0..T/K-1 on node 0, ...), matching the contiguous
+ * vertex-range partitioning so neighbour partitions co-locate. */
+inline unsigned
+nodeOfWorker(unsigned w, unsigned T, unsigned K)
+{
+    if (T == 0 || K == 0)
+        return 0;
+    return static_cast<unsigned>(
+        (static_cast<unsigned long long>(w) * K) / T);
+}
+
+/** Bind the calling thread to a cpu set for this scope; restores the
+ * previous mask on destruction. Binding failures (restricted sandbox,
+ * empty cpu list, non-Linux host) are silently ignored -- placement is
+ * an optimization, never a correctness requirement. */
+class ScopedAffinity
+{
+  public:
+    explicit ScopedAffinity(const std::vector<unsigned> &cpus);
+    ~ScopedAffinity();
+
+    ScopedAffinity(const ScopedAffinity &) = delete;
+    ScopedAffinity &operator=(const ScopedAffinity &) = delete;
+
+    bool bound() const { return bound_; }
+
+  private:
+    bool bound_ = false;
+#ifdef __linux__
+    /* Opaque storage for the saved cpu_set_t (kept out of the header
+     * so <sched.h> does not leak into every engine include). */
+    alignas(8) unsigned char saved_[128];
+#endif
+};
+
+/**
+ * Cache-line-aligned array whose elements are constructed lazily via
+ * constructRange() -- the parallel engine calls it from each worker
+ * for the worker's own partition, after the worker bound itself to
+ * its node, so pages fault in on the node that will service them.
+ * T must be trivially destructible (the engine stores atomic Values);
+ * destruction is a plain deallocation.
+ */
+template <class T>
+class FirstTouchArray
+{
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "FirstTouchArray skips element destructors");
+
+  public:
+    explicit FirstTouchArray(std::size_t n)
+        : n_(n),
+          raw_(n ? ::operator new(n * sizeof(T), std::align_val_t{64})
+                 : nullptr)
+    {}
+
+    ~FirstTouchArray()
+    {
+        if (raw_)
+            ::operator delete(raw_, std::align_val_t{64});
+    }
+
+    FirstTouchArray(const FirstTouchArray &) = delete;
+    FirstTouchArray &operator=(const FirstTouchArray &) = delete;
+
+    /** Construct elements [b, e) as T(init(i)). Ranges touched by
+     * different threads must not overlap; together they must cover
+     * [0, n) before any element is read. */
+    template <class Fn>
+    void
+    constructRange(std::size_t b, std::size_t e, Fn &&init)
+    {
+        T *p = static_cast<T *>(raw_);
+        for (std::size_t i = b; i < e; ++i)
+            ::new (static_cast<void *>(p + i)) T(init(i));
+    }
+
+    T *data() { return std::launder(static_cast<T *>(raw_)); }
+    T &operator[](std::size_t i) { return data()[i]; }
+    std::size_t size() const { return n_; }
+
+  private:
+    std::size_t n_ = 0;
+    void *raw_ = nullptr;
+};
+
+} // namespace depgraph::runtime
+
+#endif // DEPGRAPH_RUNTIME_NUMA_HH

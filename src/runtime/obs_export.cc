@@ -47,6 +47,12 @@ publishRunMetrics(obs::Registry &reg, const RunMetrics &mx,
          mx.hubIndexHits);
     bump(reg, "dg_run_shortcuts_total",
          "Hub-index shortcuts applied", labels, mx.shortcutsApplied);
+    bump(reg, "dg_run_actives_carried_total",
+         "Active vertices found via cross-round carry lists", labels,
+         mx.activesCarried);
+    bump(reg, "dg_run_rescan_fallbacks_total",
+         "Carry-mode dense full-range rescan fallbacks", labels,
+         mx.rescanFallbacks);
 
     reg.gauge("dg_run_utilization",
               "Overall utilization U of the last published run",

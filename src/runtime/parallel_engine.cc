@@ -9,6 +9,7 @@
 #include <optional>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/logging.hh"
@@ -18,6 +19,7 @@
 #include "graph/partition.hh"
 #include "obs/metrics.hh"
 #include "obs/span.hh"
+#include "runtime/numa.hh"
 #include "runtime/selective.hh"
 #include "runtime/worksteal.hh"
 
@@ -30,6 +32,12 @@ namespace
 {
 
 constexpr unsigned kMaxThreads = 16;
+
+/* Adaptive chunk-controller bounds. The deques are sized for the
+ * minimum up front, so resizing a round's granularity never needs a
+ * reallocation. */
+constexpr unsigned kChunkMin = 4;
+constexpr unsigned kChunkMax = 4096;
 
 /* -0.0 canonicalization and the atomic accumulation helpers moved to
  * fold_kernels.hh so both engines and the lane kernels share one
@@ -59,6 +67,15 @@ struct AtomicBitmap
     {
         const auto mask = std::uint64_t{1} << (v & 63u);
         return (words[v >> 6].load() & mask) != 0;
+    }
+
+    /** Atomic single-bit clear: safe on partition-boundary words that
+     * a neighbouring owner may be setting bits in concurrently. */
+    void
+    clear(VertexId v)
+    {
+        const auto mask = std::uint64_t{1} << (v & 63u);
+        words[v >> 6].fetch_and(~mask);
     }
 
     void
@@ -174,7 +191,11 @@ observeNative(NativeEntry &en, Value in, Value out,
     return ObserveResult::Settled;
 }
 
-/** Per-worker state, cache-line separated. */
+/** Per-worker state, cache-line separated. The constructor only sets
+ * up what thieves reach through stable pointers (the deque and
+ * rootVec storage); everything sized O(n) or O(range) is allocated by
+ * initThreadLocal() on the worker's own thread, after NUMA binding,
+ * so first-touch places the pages on the worker's node. */
 struct alignas(64) WorkerCtx
 {
     unsigned id = 0;
@@ -187,30 +208,56 @@ struct alignas(64) WorkerCtx
     std::vector<VertexId> touched;  ///< shadow slots possibly != ident
     std::vector<dep::WalkFrame> stack;
     dep::FoldScratch lanes;         ///< per-depth SoA edge-block tiles
-    std::vector<VertexId> actives;  ///< seeding scratch (unfiltered)
+    std::vector<VertexId> actives;  ///< this round's active set
     std::vector<Value> laneBuf;     ///< |delta| lanes for the gate fold
+    /** (priority key, vertex) pairs for the seed sort -- reused every
+     * round so seeding allocates nothing (std::stable_sort grabbed a
+     * fresh temp buffer per round; keyed std::sort is in-place). */
+    std::vector<std::pair<Value, VertexId>> sortKeys;
+    /** Cross-round carry: own-range vertices whose delta slot may
+     * hold undelivered mass (kept in sync with the `carried` bitmap;
+     * see docs/PARALLEL.md). */
+    std::vector<VertexId> carry;
+    /** Per-owner outboxes: first delta write to a remote vertex this
+     * round appends it here; the owner drains at its next merge. */
+    std::vector<std::vector<VertexId>> carryOut;
+    std::vector<unsigned> victims; ///< steal order, same-node first
     Value absSum = 0.0;
 
     std::uint64_t updates = 0, edgeOps = 0, walks = 0;
     std::uint64_t steals = 0, idleWaits = 0, shadowMerged = 0;
     std::uint64_t hubLookups = 0, hubHits = 0, shortcuts = 0;
     std::uint64_t ddmuObs = 0, inserts = 0, prebanked = 0;
+    std::uint64_t carriedActives = 0, rescans = 0;
+
+    /* Round-local scheduler feedback, reset at every seed phase and
+     * read by worker 0 in the next round's reduce (barrier-ordered). */
+    std::uint64_t stealsRound = 0, idleRound = 0, chunksRound = 0;
 
     WorkerCtx(unsigned w, graph::PartitionRange r, VertexId n,
-              unsigned chunk, bool is_sum, unsigned stack_depth)
+              unsigned min_chunk, unsigned T)
         : id(w), range(r),
-          deque((r.size() + chunk - 1) / std::max(1u, chunk) + n + 2)
+          deque((r.size() + min_chunk - 1) / std::max(1u, min_chunk)
+                + n + 2)
     {
         rootVec.reserve(static_cast<std::size_t>(r.size()) + n);
         rootPtr = rootVec.data();
+        carryOut.resize(T);
+    }
+
+    void
+    initThreadLocal(VertexId n, bool is_sum, unsigned stack_depth)
+    {
         if (is_sum) {
             shadow.assign(n, 0.0);
             touched.reserve(n);
         }
         stack.reserve(stack_depth + 1);
         lanes.ensureDepth(stack_depth);
-        actives.reserve(r.size());
-        laneBuf.reserve(r.size());
+        actives.reserve(range.size());
+        laneBuf.reserve(range.size());
+        sortKeys.reserve(range.size());
+        carry.reserve(range.size());
     }
 };
 
@@ -221,9 +268,11 @@ struct SharedRound
     std::atomic<std::int64_t> outstanding{0};
     Value gate = 0.0;
     std::size_t activeTotal = 0;
+    unsigned chunk = 32; ///< this round's chunk granularity
     bool done = false;
     bool converged = false;
     unsigned roundsRun = 0;
+    std::vector<std::uint64_t> roundActives;
 };
 
 /**
@@ -239,10 +288,11 @@ struct NativePolicy
     const graph::CoreSubgraph &cs;
     const std::unordered_map<EdgeId, std::uint32_t> &pathOfFirst;
     std::vector<NativeEntry> &entries;
-    std::vector<std::atomic<Value>> &state;
-    std::vector<std::atomic<Value>> &delta;
+    std::atomic<Value> *state;
+    std::atomic<Value> *delta;
     AtomicBitmap &claimed;
     AtomicBitmap &queued;
+    AtomicBitmap &carried; ///< cross-round carry membership
     SharedRound &S;
     WorkerCtx &me;
     const gas::AccumKind kind;
@@ -251,6 +301,7 @@ struct NativePolicy
     const bool hubOn;
     const dep::FitMode fit;
     const bool lanesOn; ///< batch EdgeCompute through lane tiles?
+    const bool carryOn; ///< maintain the cross-round carry lists?
 
     Value gate = 0.0;     ///< copied from SharedRound each round
     unsigned curPart = 0; ///< partition of the root being walked
@@ -376,18 +427,41 @@ struct NativePolicy
         sh += inf;
     }
 
+    /* Cross-round carry maintenance: the first write to a vertex's
+     * delta slot since the owner's last scan enrolls it in the
+     * owner's next-round candidate list. The `carried` bit dedups
+     * globally; the trySet winner alone appends, into its own
+     * per-owner outbox, so no list is written concurrently. Every
+     * delta-slot mutation funnels through addDelta/improveDelta,
+     * which is what makes the carry invariant ("non-identity delta
+     * implies carry membership") hold without a rescan. */
+    void
+    noteDeltaWrite(VertexId t)
+    {
+        if (!carryOn || carried.test(t))
+            return;
+        if (!carried.trySet(t))
+            return;
+        me.carryOut[part.ownerOf(t)].push_back(t);
+    }
+
     /* Both delta store paths delegate to the shared, +-0-audited CAS
      * helpers next to canon() in fold_kernels.hh. */
     Value
     addDelta(VertexId t, Value inf)
     {
-        return dep::fold::accumSlotAdd(delta[t], inf);
+        const Value after = dep::fold::accumSlotAdd(delta[t], inf);
+        noteDeltaWrite(t);
+        return after;
     }
 
     Value
     improveDelta(VertexId t, Value inf)
     {
-        return dep::fold::improveSlot(delta[t], kind, inf);
+        const Value after =
+            dep::fold::improveSlot(delta[t], kind, inf);
+        noteDeltaWrite(t);
+        return after;
     }
 
     /* Requeue t as a fresh root on this worker's own deque (at most
@@ -582,13 +656,18 @@ ParallelEngine::run(const graph::Graph &g, gas::Algorithm &alg,
     const Value eps = alg.epsilon();
     const bool is_sum = kind == gas::AccumKind::Sum;
     const bool lanes_on = alg.affineEdgeCompute();
+    const bool carry_on = opt_.carryActiveList;
 
     unsigned T = resolveHostThreads(opt_.hostThreads);
     if (n > 0)
         T = std::min<unsigned>(T, n);
     else
         T = 1;
-    const unsigned chunk = std::max(1u, opt_.chunkSize);
+    const unsigned chunk0 = std::max(1u, opt_.chunkSize);
+    /* Size deques for the smallest granularity the controller can
+     * reach, so adaptive rounds never overflow them. */
+    const unsigned min_chunk =
+        opt_.adaptiveChunking ? std::min(chunk0, kChunkMin) : chunk0;
 
     const graph::Partitioning part(g, T);
     const bool hub_on = opt_.hubIndexEnabled && alg.transformable();
@@ -600,6 +679,18 @@ ParallelEngine::run(const graph::Graph &g, gas::Algorithm &alg,
     dg_assert(static_cast<std::uint64_t>(n)
                       + part.range(0).size() < kIdxMask,
               "graph too large for packed chunk descriptors");
+
+    /* NUMA placement: probe once per run; on single-node hosts (and
+     * with --numa=off) every worker maps to node 0 and the steal
+     * order degenerates to the historical rotation. */
+    const bool numa_on = opt_.numa == NumaMode::Auto;
+    const NumaTopology topo =
+        numa_on ? probeNumaTopology() : NumaTopology{};
+    const unsigned num_nodes = numa_on ? topo.numNodes() : 1;
+    std::vector<unsigned> node_of(T, 0);
+    if (num_nodes > 1)
+        for (unsigned w = 0; w < T; ++w)
+            node_of[w] = nodeOfWorker(w, T, num_nodes);
 
     std::vector<NativeEntry> entries(cs.paths().size());
     std::uint64_t seeded = 0;
@@ -617,23 +708,38 @@ ParallelEngine::run(const graph::Graph &g, gas::Algorithm &alg,
             });
     }
 
-    std::vector<std::atomic<Value>> state(n), delta(n);
-    for (VertexId v = 0; v < n; ++v) {
-        state[v].store(canon(alg.initState(g, v)),
-                       std::memory_order_relaxed);
-        delta[v].store(canon(alg.initDelta(g, v)),
-                       std::memory_order_relaxed);
-    }
+    /* state/delta live in first-touch arrays: with NUMA on, each
+     * worker constructs its own partition's elements after binding to
+     * its node (below), so the pages fault in locally; with NUMA off
+     * the main thread constructs everything, as before. */
+    FirstTouchArray<std::atomic<Value>> stateArr(n), deltaArr(n);
+    const auto initRange = [&](VertexId b, VertexId e) {
+        stateArr.constructRange(b, e, [&](std::size_t v) {
+            return canon(
+                alg.initState(g, static_cast<VertexId>(v)));
+        });
+        deltaArr.constructRange(b, e, [&](std::size_t v) {
+            return canon(
+                alg.initDelta(g, static_cast<VertexId>(v)));
+        });
+    };
+    if (!numa_on)
+        initRange(0, n);
+    std::atomic<Value> *state = stateArr.data();
+    std::atomic<Value> *delta = deltaArr.data();
 
-    AtomicBitmap claimed(n), queued(n);
+    AtomicBitmap claimed(n), queued(n), carried(n);
     SharedRound S;
+    S.chunk = chunk0;
     std::barrier<> bar(static_cast<std::ptrdiff_t>(T));
 
     std::vector<std::unique_ptr<WorkerCtx>> ctxs;
     ctxs.reserve(T);
-    for (unsigned w = 0; w < T; ++w)
+    for (unsigned w = 0; w < T; ++w) {
         ctxs.push_back(std::make_unique<WorkerCtx>(
-            w, part.range(w), n, chunk, is_sum, opt_.stackDepth));
+            w, part.range(w), n, min_chunk, T));
+        ctxs.back()->victims = stealOrder(w, T, node_of);
+    }
 
     auto &reg = obs::registry();
     const obs::Labels labels{{"engine", "Parallel"}};
@@ -662,6 +768,25 @@ ParallelEngine::run(const graph::Graph &g, gas::Algorithm &alg,
         "Edge influences batch-applied from lane tiles (conflict-free"
         " shadow scatter / folded parallel-edge CAS)",
         labels);
+    auto &c_carried = reg.counter(
+        "dg_parallel_active_carried_total",
+        "Active vertices discovered via the cross-round carry lists"
+        " (no full-range rescan)",
+        labels);
+    auto &c_fallback = reg.counter(
+        "dg_parallel_rescan_fallbacks_total",
+        "Carry-mode rounds where a worker fell back to a dense"
+        " full-range rescan (frontier too dense for the carry list)",
+        labels);
+    auto &g_chunk = reg.gauge(
+        "dg_parallel_chunk_size",
+        "Work-stealing chunk granularity of the current/last round",
+        labels);
+    g_chunk.set(static_cast<double>(S.chunk));
+    reg.gauge("dg_parallel_numa_nodes",
+              "NUMA nodes the parallel engine places workers on",
+              labels)
+        .set(static_cast<double>(num_nodes));
     obs::span::instant("parallel", "simd_dispatch", "avx2",
                        dep::fold::activeIsa() == dep::fold::Isa::Avx2
                            ? 1
@@ -675,11 +800,23 @@ ParallelEngine::run(const graph::Graph &g, gas::Algorithm &alg,
 
     auto workerLoop = [&](unsigned w) {
         auto &me = *ctxs[w];
+
+        /* Placement prologue: bind to this worker's node (multi-node
+         * hosts only; restored on scope exit so pool threads are not
+         * left pinned), then fault in this partition's state/delta
+         * pages and the worker-local buffers from here. */
+        std::optional<ScopedAffinity> bind;
+        if (num_nodes > 1)
+            bind.emplace(topo.nodes[node_of[w]].cpus);
+        if (numa_on)
+            initRange(me.range.begin, me.range.end);
+        me.initThreadLocal(n, is_sum, opt_.stackDepth);
+
         NativePolicy pol{g,       alg,     part,  cs,
                          path_of_first,    entries, state, delta,
-                         claimed, queued,  S,     me,
+                         claimed, queued,  carried, S,    me,
                          kind,    ident,   is_sum, hub_on, fit,
-                         lanes_on};
+                         lanes_on, carry_on};
 
         for (unsigned round = 0;; ++round) {
             obs::span::Scoped roundSpan("parallel", "worker_round",
@@ -701,19 +838,71 @@ ParallelEngine::run(const graph::Graph &g, gas::Algorithm &alg,
                     }
                 }
             }
+            if (carry_on) {
+                /* Drain the outboxes: vertices other workers (or the
+                 * merge just above) enrolled for this range since the
+                 * last scan. Each entry won a `carried` trySet, so
+                 * lists stay duplicate-free without re-checking. */
+                for (unsigned j = 0; j < T; ++j) {
+                    auto &in = ctxs[j]->carryOut[me.id];
+                    me.carry.insert(me.carry.end(), in.begin(),
+                                    in.end());
+                    in.clear();
+                }
+            }
             const auto [wb, we] = wordShare(w);
             claimed.clearWordRange(wb, we);
             queued.clearWordRange(wb, we);
             me.actives.clear();
             me.laneBuf.clear();
-            for (VertexId v = me.range.begin; v < me.range.end; ++v) {
-                const Value d = delta[v].load();
-                if (d != ident
-                    && gas::wouldChange(kind, state[v].load(), d,
-                                        eps)) {
-                    me.actives.push_back(v);
-                    me.laneBuf.push_back(std::abs(d));
+
+            /* Active scan: walk the carried candidate list when it is
+             * sparse; fall back to the dense full-range sweep when the
+             * frontier covers most of the partition (sequential scan
+             * beats chasing a near-total list) or carry is off. */
+            const bool dense = !carry_on || round == 0
+                || me.carry.size() * 4
+                    >= static_cast<std::size_t>(me.range.size()) * 3;
+            if (dense) {
+                if (carry_on) {
+                    for (const VertexId v : me.carry)
+                        carried.clear(v);
+                    me.carry.clear();
+                    if (round > 0)
+                        ++me.rescans;
                 }
+                for (VertexId v = me.range.begin; v < me.range.end;
+                     ++v) {
+                    const Value d = delta[v].load();
+                    if (d != ident
+                        && gas::wouldChange(kind, state[v].load(), d,
+                                            eps)) {
+                        me.actives.push_back(v);
+                        me.laneBuf.push_back(std::abs(d));
+                        if (carry_on) {
+                            carried.trySet(v);
+                            me.carry.push_back(v);
+                        }
+                    }
+                }
+            } else {
+                for (const VertexId v : me.carry) {
+                    const Value d = delta[v].load();
+                    if (d != ident
+                        && gas::wouldChange(kind, state[v].load(), d,
+                                            eps)) {
+                        me.actives.push_back(v);
+                        me.laneBuf.push_back(std::abs(d));
+                    } else {
+                        /* Stale-active eviction: the slot is spent
+                         * (or inert); any future delta write re-adds
+                         * the vertex through noteDeltaWrite. */
+                        carried.clear(v);
+                    }
+                }
+                me.carry.assign(me.actives.begin(),
+                                me.actives.end());
+                me.carriedActives += me.actives.size();
             }
             /* Gate numerator via the deterministic vector fold (one
              * fixed reduction order per worker regardless of ISA). */
@@ -721,7 +910,9 @@ ParallelEngine::run(const graph::Graph &g, gas::Algorithm &alg,
                                            me.laneBuf.size());
             bar.arrive_and_wait();
 
-            /* Reduce: the round gate needs the global active set. */
+            /* Reduce: the round gate needs the global active set; the
+             * chunk controller folds the last round's steal/idle
+             * feedback into this round's granularity. */
             if (me.id == 0) {
                 std::size_t total = 0;
                 Value abs_sum = 0.0;
@@ -737,43 +928,78 @@ ParallelEngine::run(const graph::Graph &g, gas::Algorithm &alg,
                 S.converged = total == 0;
                 S.done = total == 0 || round >= opt_.maxRounds;
                 S.roundsRun = round;
+                S.roundActives.push_back(total);
+                if (opt_.adaptiveChunking && round > 0) {
+                    std::uint64_t st = 0, ch = 0;
+                    for (unsigned j = 0; j < T; ++j) {
+                        st += ctxs[j]->stealsRound;
+                        ch += ctxs[j]->chunksRound;
+                    }
+                    /* Deterministic-by-construction: a pure function
+                     * of the previous round's aggregated counters.
+                     * Heavy stealing means the seeded chunks were too
+                     * coarse to balance the skew -- halve; a steal-
+                     * free round with many chunks means deque churn
+                     * (push/pop/outstanding traffic) dominates --
+                     * grow. */
+                    if (ch > 0 && st * 4 >= ch)
+                        S.chunk = std::max(kChunkMin, S.chunk / 2);
+                    else if (st * 32 <= ch
+                             && ch >= std::uint64_t{T} * 64)
+                        S.chunk = std::min(kChunkMax, S.chunk * 2);
+                    g_chunk.set(static_cast<double>(S.chunk));
+                }
             }
             bar.arrive_and_wait();
             if (S.done)
                 break;
             pol.gate = S.gate;
+            const unsigned chunk = S.chunk;
 
             /* Seed own deque, most-impactful-first; reversed pushes
              * let the owner pop the top-priority chunk while thieves
-             * steal from the tail end. */
+             * steal from the tail end. The sort is an in-place keyed
+             * std::sort over reused scratch (stable_sort allocated a
+             * temp buffer every round) with the vertex id as the tie
+             * break, so the seed order is a function of (delta,
+             * id) alone -- independent of carry-list insertion
+             * order. */
+            obs::span::Scoped seedSpan("parallel", "round_seed",
+                                       "worker", me.id);
             me.touched.clear();
             me.deque.reset();
             me.rootVec.clear();
+            me.sortKeys.clear();
+            me.stealsRound = 0;
+            me.idleRound = 0;
             for (const VertexId v : me.actives) {
-                if (clearsGate(kind, state[v].load(), delta[v].load(),
-                               S.gate))
-                    me.rootVec.push_back(v);
+                const Value d = delta[v].load();
+                if (!clearsGate(kind, state[v].load(), d, S.gate))
+                    continue;
+                Value key = 0.0;
+                switch (kind) {
+                  case gas::AccumKind::Sum:
+                    key = -std::abs(d);
+                    break;
+                  case gas::AccumKind::Min:
+                    key = d;
+                    break;
+                  case gas::AccumKind::Max:
+                    key = -d;
+                    break;
+                }
+                me.sortKeys.emplace_back(key, v);
             }
-            std::stable_sort(
-                me.rootVec.begin(), me.rootVec.end(),
-                [&](VertexId a, VertexId b) {
-                    const Value da = delta[a].load();
-                    const Value db = delta[b].load();
-                    switch (kind) {
-                      case gas::AccumKind::Sum:
-                        return std::abs(da) > std::abs(db);
-                      case gas::AccumKind::Min:
-                        return da < db;
-                      case gas::AccumKind::Max:
-                        return da > db;
-                    }
-                    return false;
-                });
-            for (const VertexId v : me.rootVec)
+            std::sort(me.sortKeys.begin(), me.sortKeys.end());
+            for (const auto &[key, v] : me.sortKeys) {
+                static_cast<void>(key);
+                me.rootVec.push_back(v);
                 queued.trySet(v);
+            }
             const auto m =
                 static_cast<std::uint32_t>(me.rootVec.size());
             const std::uint32_t nch = (m + chunk - 1) / chunk;
+            me.chunksRound = nch;
             S.outstanding.fetch_add(nch);
             for (std::uint32_t c = nch; c > 0; --c) {
                 const std::uint32_t b = (c - 1) * chunk;
@@ -802,10 +1028,10 @@ ParallelEngine::run(const graph::Graph &g, gas::Algorithm &alg,
                     continue;
                 }
                 bool stole = false;
-                for (unsigned k = 1; k < T; ++k) {
-                    const unsigned vic = (w + k) % T;
+                for (const unsigned vic : me.victims) {
                     if (const auto d = ctxs[vic]->deque.steal()) {
                         ++me.steals;
+                        ++me.stealsRound;
                         obs::span::instant("parallel", "steal",
                                            "victim", vic);
                         processChunk(*d);
@@ -818,6 +1044,7 @@ ParallelEngine::run(const graph::Graph &g, gas::Algorithm &alg,
                 if (S.outstanding.load() == 0)
                     break;
                 ++me.idleWaits;
+                ++me.idleRound;
                 std::this_thread::yield();
             }
         }
@@ -838,6 +1065,7 @@ ParallelEngine::run(const graph::Graph &g, gas::Algorithm &alg,
     mx.coresUsed = T;
     mx.rounds = S.roundsRun;
     mx.converged = S.converged;
+    mx.chunkSizeFinal = S.chunk;
     mx.makespan = static_cast<Cycles>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
             .count());
@@ -853,6 +1081,8 @@ ParallelEngine::run(const graph::Graph &g, gas::Algorithm &alg,
         mx.hubIndexHits += c->hubHits;
         mx.hubIndexInserts += c->inserts;
         mx.shortcutsApplied += c->shortcuts;
+        mx.activesCarried += c->carriedActives;
+        mx.rescanFallbacks += c->rescans;
         walks += c->walks;
         steals += c->steals;
         waits += c->idleWaits;
@@ -871,6 +1101,8 @@ ParallelEngine::run(const graph::Graph &g, gas::Algorithm &alg,
     c_waits.inc(waits);
     c_merge.inc(merged);
     c_prebank.inc(prebanked);
+    c_carried.inc(mx.activesCarried);
+    c_fallback.inc(mx.rescanFallbacks);
     dep::fold::publishMetrics();
 
     if (opt_.hubExport) {
@@ -894,6 +1126,7 @@ ParallelEngine::run(const graph::Graph &g, gas::Algorithm &alg,
         }
     }
 
+    result.roundActives = std::move(S.roundActives);
     result.states.resize(n);
     for (VertexId v = 0; v < n; ++v)
         result.states[v] = state[v].load(std::memory_order_relaxed);

@@ -96,9 +96,11 @@ SoftEngine::run(const graph::Graph &g, gas::Algorithm &alg,
     rebuildFrontier();
 
     std::vector<VertexId> order;
+    order.reserve(n); // reused across rounds: no per-round realloc
     Bitmap visited(n), inFrontier(n); // PathSweep scratch
 
     std::vector<VertexId> all_active;
+    all_active.reserve(n); // likewise rebuilt per round -- reserve once
     for (mx.rounds = 0; mx.rounds < opt_.maxRounds && active_total > 0;
          ++mx.rounds) {
         /* Maiter-style selective gate for this round (sum only). */

@@ -115,6 +115,38 @@ class WorkStealDeque
     std::size_t mask_ = 0;
 };
 
+/**
+ * Victim visit order for worker `self` among T workers: round-robin
+ * starting at self+1, but with victims on self's own NUMA node
+ * visited before remote-node ones (stolen chunks drag their owner's
+ * rootVec cache lines along, so a same-node steal is strictly
+ * cheaper). `nodeOf[w]` is each worker's node id; with every worker
+ * on one node this degenerates to the plain (self + k) % T rotation,
+ * so single-node hosts keep the historical order bit for bit.
+ */
+inline std::vector<unsigned>
+stealOrder(unsigned self, unsigned T,
+           const std::vector<unsigned> &nodeOf)
+{
+    std::vector<unsigned> order;
+    if (T <= 1)
+        return order;
+    order.reserve(T - 1);
+    const unsigned my_node =
+        self < nodeOf.size() ? nodeOf[self] : 0;
+    for (unsigned k = 1; k < T; ++k) {
+        const unsigned vic = (self + k) % T;
+        if ((vic < nodeOf.size() ? nodeOf[vic] : 0) == my_node)
+            order.push_back(vic);
+    }
+    for (unsigned k = 1; k < T; ++k) {
+        const unsigned vic = (self + k) % T;
+        if ((vic < nodeOf.size() ? nodeOf[vic] : 0) != my_node)
+            order.push_back(vic);
+    }
+    return order;
+}
+
 } // namespace depgraph::runtime
 
 #endif // DEPGRAPH_RUNTIME_WORKSTEAL_HH

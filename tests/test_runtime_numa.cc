@@ -1,0 +1,204 @@
+/**
+ * @file
+ * NUMA placement helpers: sysfs cpulist parsing, topology probing
+ * against a fake sysfs tree, worker->node assignment, the same-node-
+ * first steal order, scoped affinity binding, and the first-touch
+ * array's cross-thread construction contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "runtime/numa.hh"
+#include "runtime/worksteal.hh"
+
+namespace depgraph::runtime
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/* ---- parseCpuList. ---------------------------------------------- */
+
+TEST(ParseCpuList, SinglesRangesAndMixes)
+{
+    EXPECT_EQ(parseCpuList("5"), (std::vector<unsigned>{5}));
+    EXPECT_EQ(parseCpuList("0-3"),
+              (std::vector<unsigned>{0, 1, 2, 3}));
+    EXPECT_EQ(parseCpuList("0-3,8,10-11"),
+              (std::vector<unsigned>{0, 1, 2, 3, 8, 10, 11}));
+    // Sysfs lines end with a newline; junk between chunks is skipped.
+    EXPECT_EQ(parseCpuList("0-1\n"),
+              (std::vector<unsigned>{0, 1}));
+    EXPECT_EQ(parseCpuList(" 2 , 4 "),
+              (std::vector<unsigned>{2, 4}));
+}
+
+TEST(ParseCpuList, MalformedInputYieldsNothingUsable)
+{
+    EXPECT_TRUE(parseCpuList("").empty());
+    EXPECT_TRUE(parseCpuList("garbage").empty());
+    // Inverted range: dropped, the rest of the list survives.
+    EXPECT_EQ(parseCpuList("3-1,7"), (std::vector<unsigned>{7}));
+    // Absurd cpu ids are treated as junk, not allocated.
+    EXPECT_TRUE(parseCpuList("99999999999").empty());
+}
+
+/* ---- probeNumaTopology against a fake sysfs root. --------------- */
+
+TEST(ProbeNumaTopology, ReadsNodesFromSysfsTree)
+{
+    const fs::path root =
+        fs::path(::testing::TempDir()) / "dg_numa_fake";
+    fs::remove_all(root);
+    fs::create_directories(root / "node0");
+    fs::create_directories(root / "node1");
+    fs::create_directories(root / "node2");
+    std::ofstream(root / "node0" / "cpulist") << "0-1\n";
+    std::ofstream(root / "node1" / "cpulist") << "2-3\n";
+    // Memory-only node: present, but no cpus -> no workers land here.
+    std::ofstream(root / "node2" / "cpulist") << "\n";
+
+    const auto topo = probeNumaTopology(root.string());
+    ASSERT_EQ(topo.numNodes(), 2u);
+    EXPECT_TRUE(topo.multiNode());
+    EXPECT_EQ(topo.nodes[0].id, 0u);
+    EXPECT_EQ(topo.nodes[0].cpus, (std::vector<unsigned>{0, 1}));
+    EXPECT_EQ(topo.nodes[1].id, 1u);
+    EXPECT_EQ(topo.nodes[1].cpus, (std::vector<unsigned>{2, 3}));
+    fs::remove_all(root);
+}
+
+TEST(ProbeNumaTopology, MissingTreeFallsBackToOneNode)
+{
+    const auto topo = probeNumaTopology("/nonexistent/dg-nodes");
+    ASSERT_EQ(topo.numNodes(), 1u);
+    EXPECT_FALSE(topo.multiNode());
+    EXPECT_GE(topo.nodes[0].cpus.size(), 1u);
+}
+
+/* ---- nodeOfWorker: contiguous blocks. --------------------------- */
+
+TEST(NodeOfWorker, ContiguousBlocksCoverAllNodes)
+{
+    // 8 workers over 2 nodes: 0..3 on node 0, 4..7 on node 1.
+    for (unsigned w = 0; w < 4; ++w)
+        EXPECT_EQ(nodeOfWorker(w, 8, 2), 0u) << w;
+    for (unsigned w = 4; w < 8; ++w)
+        EXPECT_EQ(nodeOfWorker(w, 8, 2), 1u) << w;
+    // Uneven split: ceil/floor blocks, never out of range.
+    for (unsigned w = 0; w < 7; ++w)
+        EXPECT_LT(nodeOfWorker(w, 7, 3), 3u) << w;
+    EXPECT_EQ(nodeOfWorker(0, 7, 3), 0u);
+    EXPECT_EQ(nodeOfWorker(6, 7, 3), 2u);
+    // Degenerate inputs stay at node 0.
+    EXPECT_EQ(nodeOfWorker(0, 0, 2), 0u);
+    EXPECT_EQ(nodeOfWorker(3, 4, 0), 0u);
+}
+
+/* ---- stealOrder: same node first, historical order preserved. --- */
+
+TEST(StealOrder, SingleNodeDegeneratesToRotation)
+{
+    const std::vector<unsigned> one_node{0, 0, 0, 0};
+    EXPECT_EQ(stealOrder(1, 4, one_node),
+              (std::vector<unsigned>{2, 3, 0}));
+    EXPECT_EQ(stealOrder(0, 4, one_node),
+              (std::vector<unsigned>{1, 2, 3}));
+    EXPECT_TRUE(stealOrder(0, 1, {0}).empty());
+}
+
+TEST(StealOrder, SameNodeVictimsComeFirst)
+{
+    const std::vector<unsigned> nodes{0, 0, 1, 1};
+    // Worker 0 (node 0): same-node 1 first, then remote 2, 3 in
+    // rotation order.
+    EXPECT_EQ(stealOrder(0, 4, nodes),
+              (std::vector<unsigned>{1, 2, 3}));
+    // Worker 2 (node 1): same-node 3 first, then remote 0, 1.
+    EXPECT_EQ(stealOrder(2, 4, nodes),
+              (std::vector<unsigned>{3, 0, 1}));
+    // Every victim appears exactly once.
+    const auto ord = stealOrder(3, 4, nodes);
+    ASSERT_EQ(ord.size(), 3u);
+    EXPECT_EQ(ord[0], 2u); // same node
+}
+
+/* ---- ScopedAffinity: bind + restore, never to forbidden cpus. --- */
+
+TEST(ScopedAffinity, EmptyAndForbiddenSetsDoNotBind)
+{
+    {
+        ScopedAffinity a({});
+        EXPECT_FALSE(a.bound());
+    }
+    {
+        // No host exposes cpu 100000; the allowed-set intersection is
+        // empty, so the guard must refuse to bind rather than pin the
+        // thread somewhere illegal.
+        ScopedAffinity a({100000});
+        EXPECT_FALSE(a.bound());
+    }
+}
+
+TEST(ScopedAffinity, BindAndRestoreRoundTrips)
+{
+    // Binding to every cpu of the (real) node-0 set intersects the
+    // thread's allowed mask non-trivially, so on Linux this binds;
+    // destruction must restore without crashing, and a second bind
+    // must still see the original allowed set.
+    const auto topo = probeNumaTopology();
+    ASSERT_GE(topo.numNodes(), 1u);
+    for (int rep = 0; rep < 2; ++rep) {
+        ScopedAffinity a(topo.nodes[0].cpus);
+#ifdef __linux__
+        EXPECT_TRUE(a.bound()) << "rep " << rep;
+#else
+        EXPECT_FALSE(a.bound());
+#endif
+    }
+}
+
+/* ---- FirstTouchArray: cross-thread construction contract. ------- */
+
+TEST(FirstTouchArray, PartitionedConstructionAndAlignment)
+{
+    constexpr std::size_t n = 1000;
+    FirstTouchArray<std::atomic<double>> arr(n);
+    EXPECT_EQ(arr.size(), n);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(arr.data()) % 64, 0u);
+
+    // Two threads construct disjoint halves (the engine's pattern:
+    // each worker first-touches its own partition), then every
+    // element is readable from the main thread after join.
+    std::thread t0([&] {
+        arr.constructRange(0, n / 2, [](std::size_t i) {
+            return static_cast<double>(i);
+        });
+    });
+    std::thread t1([&] {
+        arr.constructRange(n / 2, n, [](std::size_t i) {
+            return static_cast<double>(i);
+        });
+    });
+    t0.join();
+    t1.join();
+    for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(arr[i].load(), static_cast<double>(i)) << i;
+}
+
+TEST(FirstTouchArray, ZeroSizeIsSafe)
+{
+    FirstTouchArray<std::atomic<double>> arr(0);
+    EXPECT_EQ(arr.size(), 0u);
+    arr.constructRange(0, 0, [](std::size_t) { return 0.0; });
+}
+
+} // namespace
+} // namespace depgraph::runtime

@@ -390,6 +390,184 @@ TEST_P(ParallelChurnResume, TwentyFourSeedsMatchFromScratch)
 INSTANTIATE_TEST_SUITE_P(SumAndMinMaxAccums, ParallelChurnResume,
                          ::testing::Values("pagerank", "sssp", "wcc"));
 
+/* ---- Carry vs rescan differential. ------------------------------ */
+
+class ParallelCarryDifferential
+    : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(ParallelCarryDifferential, CarryMatchesRescanAcross24Seeds)
+{
+    // The cross-round carry must be a pure scheduling change: for
+    // min/max at eps 0 both modes terminate at the unique exact
+    // closure (bitwise comparison); for sum the carry list's scan
+    // order perturbs the selective gate's |delta| fold by ulps, which
+    // is tolerance-level freedom, so sum compares within the same
+    // 1e-9 bar the sequential-equivalence suite uses.
+    const auto kind = gas::makeAlgorithm(GetParam())->accumKind();
+    const bool is_sum = kind == gas::AccumKind::Sum;
+    const Value eps = is_sum ? 1e-13 : 0.0;
+
+    std::uint64_t carried_total = 0;
+    for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+        const Graph g = graph::powerLaw(250, 2.0, 5.0,
+                                        {.seed = 8600 + seed});
+        const auto run = [&](bool carry) {
+            const auto alg = gas::makeAlgorithm(GetParam());
+            TightEps tight(*alg, eps);
+            auto cfg = parallelConfig(3);
+            cfg.engine.carryActiveList = carry;
+            DepGraphSystem sys(cfg);
+            auto r = sys.run(g, tight, Solution::Parallel);
+            EXPECT_TRUE(r.metrics.converged)
+                << GetParam() << " seed " << seed << " carry "
+                << carry;
+            return r;
+        };
+        const auto rc = run(true);
+        const auto rr = run(false);
+
+        // The fallback path must never touch the carry machinery.
+        EXPECT_EQ(rr.metrics.activesCarried, 0u) << "seed " << seed;
+        EXPECT_EQ(rr.metrics.rescanFallbacks, 0u) << "seed " << seed;
+        carried_total += rc.metrics.activesCarried;
+        // Every executed round's global active count is recorded.
+        EXPECT_EQ(rc.roundActives.size(),
+                  std::size_t{rc.metrics.rounds} + 1)
+            << "seed " << seed;
+
+        ASSERT_EQ(rc.states.size(), rr.states.size());
+        if (is_sum) {
+            for (VertexId v = 0; v < g.numVertices(); ++v) {
+                const double scale =
+                    std::max(1.0, std::abs(rr.states[v]));
+                EXPECT_LE(std::abs(rc.states[v] - rr.states[v]),
+                          1e-9 * scale)
+                    << GetParam() << " seed " << seed << " v" << v;
+            }
+        } else {
+            EXPECT_EQ(std::memcmp(rc.states.data(), rr.states.data(),
+                                  rr.states.size() * sizeof(Value)),
+                      0)
+                << GetParam() << " seed " << seed;
+        }
+    }
+    // Across 24 graphs at least some rounds must have gone through
+    // the sparse carry scan, or the mode under test never ran.
+    EXPECT_GT(carried_total, 0u) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(FiveAlgorithms, ParallelCarryDifferential,
+                         ::testing::Values("pagerank", "adsorption",
+                                           "sssp", "wcc", "sswp"));
+
+/* ---- Adaptive chunking: determinism pins. ----------------------- */
+
+TEST(ParallelAdaptiveChunk, BitwiseStableAcrossThreadsAndMatchesFixed)
+{
+    // Chunk granularity only repartitions the same sorted root lists,
+    // so at eps 0 the min/max fixpoint must not depend on what the
+    // controller does. Start at the controller's floor so growth has
+    // to kick in, and pin across thread counts, reps, and against an
+    // adaptive-off run.
+    const Graph g = graph::powerLaw(400, 2.0, 6.0, {.seed = 8700});
+    for (const char *name : {"sssp", "wcc"}) {
+        std::vector<Value> golden;
+        for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+            for (unsigned rep = 0; rep < 2; ++rep) {
+                const auto alg = gas::makeAlgorithm(name);
+                TightEps tight(*alg, 0.0);
+                auto cfg = parallelConfig(threads);
+                cfg.engine.adaptiveChunking = true;
+                cfg.engine.chunkSize = 4;
+                DepGraphSystem sys(cfg);
+                const auto r = sys.run(g, tight, Solution::Parallel);
+                ASSERT_TRUE(r.metrics.converged) << name;
+                EXPECT_GE(r.metrics.chunkSizeFinal, 4u);
+                EXPECT_LE(r.metrics.chunkSizeFinal, 4096u);
+                if (golden.empty()) {
+                    golden = r.states;
+                    continue;
+                }
+                ASSERT_EQ(r.states.size(), golden.size());
+                EXPECT_EQ(std::memcmp(r.states.data(), golden.data(),
+                                      golden.size() * sizeof(Value)),
+                          0)
+                    << name << " threads=" << threads << " rep="
+                    << rep;
+            }
+        }
+        const auto alg = gas::makeAlgorithm(name);
+        TightEps tight(*alg, 0.0);
+        auto cfg = parallelConfig(4);
+        cfg.engine.adaptiveChunking = false;
+        DepGraphSystem sys(cfg);
+        const auto r = sys.run(g, tight, Solution::Parallel);
+        ASSERT_TRUE(r.metrics.converged) << name;
+        EXPECT_EQ(r.metrics.chunkSizeFinal, 32u) << name;
+        EXPECT_EQ(std::memcmp(r.states.data(), golden.data(),
+                              golden.size() * sizeof(Value)),
+                  0)
+            << name << " adaptive-off";
+    }
+}
+
+/* ---- Carry under deletion-heavy churn: stale-active eviction. --- */
+
+TEST(ParallelCarryChurnEviction, DeletionHeavyResumeMatchesGold)
+{
+    // A resume after deletion-heavy churn starts from a sparse
+    // frontier (only churn-touched vertices hold deltas) and spends
+    // most rounds in the carry scan, where retractions leave carried
+    // vertices whose slots go inert -- exactly the stale entries
+    // Rule-B eviction must drop without losing convergence.
+    for (const char *name : {"sssp", "pagerank"}) {
+        const double tol =
+            gas::makeAlgorithm(name)->accumKind()
+                    == gas::AccumKind::Sum
+                ? 1e-3
+                : 1e-9;
+        for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+            const Graph g = graph::powerLaw(250, 2.0, 5.0,
+                                            {.seed = 8800 + seed});
+            const auto churn = someChurn(g, 2, 16, 8900 + seed);
+            const auto updated =
+                gas::applyChurn(g, churn.ins, churn.dels);
+
+            const auto alg_old = gas::makeAlgorithm(name);
+            const auto fix = gas::runReference(g, *alg_old);
+            ASSERT_TRUE(fix.converged) << "seed " << seed;
+            const auto alg_gold = gas::makeAlgorithm(name);
+            const auto gold = gas::runReference(updated, *alg_gold);
+            ASSERT_TRUE(gold.converged) << "seed " << seed;
+
+            for (const bool carry : {true, false}) {
+                const auto alg_inc = gas::makeAlgorithm(name);
+                auto states = fix.states;
+                const auto deltas = gas::edgeChurnDeltas(
+                    g, updated, churn.ins, churn.dels, states,
+                    *alg_inc);
+                gas::ResumeAlgorithm resume(*alg_inc,
+                                            std::move(states),
+                                            deltas);
+                auto cfg = parallelConfig(3);
+                cfg.engine.carryActiveList = carry;
+                DepGraphSystem sys(cfg);
+                const auto r =
+                    sys.run(updated, resume, Solution::Parallel);
+                EXPECT_TRUE(r.metrics.converged)
+                    << name << " seed " << seed << " carry "
+                    << carry;
+                EXPECT_LE(gas::maxStateDifference(r.states,
+                                                  gold.states),
+                          tol)
+                    << name << " seed " << seed << " carry "
+                    << carry;
+            }
+        }
+    }
+}
+
 /* ---- Serving-layer integration and teardown. -------------------- */
 
 TEST(ParallelService, QueriesThroughTheParallelEngine)

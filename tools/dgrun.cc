@@ -102,6 +102,17 @@ main(int argc, char **argv)
     o.declare("threads", "0",
               "host threads for --engine=parallel (0 = hardware "
               "concurrency, capped at 16)");
+    o.declare("numa", "auto",
+              "parallel-engine NUMA placement: auto|off");
+    o.declare("carry", "1",
+              "parallel engine: carry the active list across rounds "
+              "(0 = full rescan every round)");
+    o.declare("adaptive-chunk", "1",
+              "parallel engine: retune chunk granularity per round "
+              "from steal/idle feedback");
+    o.declare("chunk", "32",
+              "parallel engine: work-stealing chunk size (initial "
+              "value when adaptive)");
     o.declare("cores", "16", "simulated cores");
     o.declare("lambda", "0.005", "hub fraction");
     o.declare("stack", "10", "HDTL stack depth");
@@ -133,6 +144,16 @@ main(int argc, char **argv)
     cfg.engine.stackDepth = static_cast<unsigned>(o.getInt("stack"));
     cfg.engine.hostThreads =
         static_cast<unsigned>(o.getInt("threads"));
+    cfg.engine.carryActiveList = o.getInt("carry") != 0;
+    cfg.engine.adaptiveChunking = o.getInt("adaptive-chunk") != 0;
+    cfg.engine.chunkSize = static_cast<unsigned>(o.getInt("chunk"));
+    const auto numa = o.getString("numa");
+    if (numa == "off")
+        cfg.engine.numa = runtime::NumaMode::Off;
+    else if (numa == "auto")
+        cfg.engine.numa = runtime::NumaMode::Auto;
+    else
+        dg_fatal("unknown --numa '", numa, "' (auto|off)");
 
     const auto engine_kind = o.getString("engine");
     Solution sol;
@@ -191,6 +212,11 @@ main(int argc, char **argv)
                              3)});
         t.addRow({"host threads", Table::fmt(
                       std::uint64_t{mx.coresUsed})});
+        t.addRow({"actives carried", Table::fmt(mx.activesCarried)});
+        t.addRow({"rescan fallbacks",
+                  Table::fmt(mx.rescanFallbacks)});
+        t.addRow({"final chunk size", Table::fmt(
+                      std::uint64_t{mx.chunkSizeFinal})});
     } else {
         t.addRow({"makespan (cycles)", Table::fmt(mx.makespan)});
         t.addRow({"sim time (ms @2.5GHz)",

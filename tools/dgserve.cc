@@ -201,6 +201,9 @@ main(int argc, char **argv)
     o.declare("solution", "DepGraph-H",
               "engine for queries' default and incremental passes");
     o.declare("cores", "16", "simulated cores");
+    o.declare("numa", "auto",
+              "NUMA placement when a query runs the native parallel "
+              "engine: auto|off");
     o.declare("stats_ms", "0",
               "periodic stats log interval in ms (0 = off)");
     o.declare("metrics_ms", "0",
@@ -284,6 +287,13 @@ main(int argc, char **argv)
     sopt.system.machine.numCores =
         static_cast<unsigned>(o.getInt("cores"));
     sopt.system.engine.numCores = sopt.system.machine.numCores;
+    {
+        const auto numa = o.getString("numa");
+        if (numa == "off")
+            sopt.system.engine.numa = runtime::NumaMode::Off;
+        else if (numa != "auto")
+            dg_fatal("unknown --numa '", numa, "' (auto|off)");
+    }
     sopt.statsLogInterval =
         std::chrono::milliseconds(o.getInt("stats_ms"));
     sopt.metricsPublishInterval =
